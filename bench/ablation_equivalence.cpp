@@ -1,0 +1,89 @@
+// Ablation for the paper's Related-Work claim that its boundary method
+// "can be combined" with Relyzer-style fault-site equivalence "to further
+// reduce the number of samples": at equal experiment budgets, compare
+//
+//   uniform       -- plain Monte-Carlo sampling (Section 4.2),
+//   equivalence   -- per-class pilots + threshold broadcast
+//                    (campaign/equivalence.h),
+//
+// scored against exhaustive ground truth.  Equivalence concentrates the
+// budget on one representative per (phase, sign, magnitude) class, covering
+// *sites* far faster than uniform sampling covers experiments -- at the
+// cost of trusting the class homogeneity (broadcast errors show up as lost
+// precision).
+#include "common/bench_common.h"
+
+#include "boundary/metrics.h"
+#include "campaign/equivalence.h"
+#include "campaign/inference.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  const bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  bench::print_banner(
+      "Ablation -- boundary + Relyzer-style equivalence classes",
+      "Per-class pilot campaigns with threshold broadcast vs plain uniform\n"
+      "sampling at equal budget (paper Related Work: 'the two approaches\n"
+      "can be combined').",
+      context);
+
+  util::ThreadPool& pool = util::default_pool();
+
+  for (const std::string& name : context.kernel_names) {
+    const bench::PreparedKernel kernel =
+        bench::prepare_kernel(name, context.preset);
+    const campaign::GroundTruth truth =
+        bench::ground_truth_for(kernel, context, pool);
+
+    util::Table table(
+        {"budget", "uniform P/R", "equivalence P/R", "classes",
+         "mean class size"});
+    for (const double fraction : {0.002, 0.01, 0.05}) {
+      const auto budget = static_cast<std::uint64_t>(
+          fraction * static_cast<double>(kernel.golden.sample_space_size()));
+
+      util::RunningStats up, ur, ep, er;
+      std::size_t class_count = 0;
+      double mean_size = 0.0;
+      for (std::size_t trial = 0; trial < context.trials; ++trial) {
+        campaign::InferenceOptions uniform_options;
+        uniform_options.sample_fraction = fraction;
+        uniform_options.seed = context.seed + trial;
+        uniform_options.filter = true;
+        const campaign::InferenceResult uniform = campaign::infer_uniform(
+            *kernel.program, kernel.golden, uniform_options, pool);
+        const auto uniform_metrics = boundary::evaluate_boundary(
+            uniform.boundary, kernel.golden.trace, truth.outcomes(),
+            uniform.sampled_ids);
+        up.add(uniform_metrics.precision());
+        ur.add(uniform_metrics.recall());
+
+        campaign::EquivalenceInferenceOptions equivalence_options;
+        equivalence_options.budget = budget;
+        equivalence_options.seed = context.seed + trial;
+        const campaign::EquivalenceInferenceResult equivalence =
+            campaign::infer_with_equivalence(*kernel.program, kernel.golden,
+                                             equivalence_options, pool);
+        const auto equivalence_metrics = boundary::evaluate_boundary(
+            equivalence.boundary, kernel.golden.trace, truth.outcomes(),
+            equivalence.sampled_ids);
+        ep.add(equivalence_metrics.precision());
+        er.add(equivalence_metrics.recall());
+        class_count = equivalence.classes;
+        mean_size = equivalence.mean_class_size;
+      }
+      table.add_row({util::percent(fraction, 1),
+                     util::format("%s / %s", util::percent(up.mean()).c_str(),
+                                  util::percent(ur.mean()).c_str()),
+                     util::format("%s / %s", util::percent(ep.mean()).c_str(),
+                                  util::percent(er.mean()).c_str()),
+                     util::format("%zu", class_count),
+                     util::format("%.1f", mean_size)});
+    }
+    std::printf("--- %s ---\n", name.c_str());
+    bench::print_table(table, context, "");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Analysis beyond the paper: detection and spread latency.
+//
+// The boundary says which faults are dangerous; this bench asks *when* they
+// become visible -- the quantity that sizes checkpoint intervals and
+// detector placement (Hiller et al., the paper's ref [14]):
+//
+//   * crash latency: dynamic instructions between injection and the first
+//     non-finite value, for Crash outcomes;
+//   * spread-90: for SDC outcomes, instructions until 90% of the sites the
+//     corruption will ever significantly touch have been touched;
+//   * touched fraction: how much of the remaining execution an SDC
+//     corruption reaches (the per-kernel "fan-out" of an error).
+#include "common/bench_common.h"
+
+#include "campaign/latency.h"
+#include "campaign/sampler.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  const bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  const auto samples = static_cast<std::uint64_t>(cli.get_int("samples", 3000));
+  bench::print_banner(
+      "Analysis -- crash and spread latency",
+      "How long a fault stays invisible: trap latency for crashes, spread\n"
+      "speed and fan-out for SDC corruptions (per-kernel).",
+      context);
+
+  util::ThreadPool& pool = util::default_pool();
+  util::Table table({"Name", "crashes", "crash latency (mean/max)", "sdcs",
+                     "spread-90 (mean)", "touched fraction (mean)"});
+
+  for (const std::string& name : context.kernel_names) {
+    const bench::PreparedKernel kernel =
+        bench::prepare_kernel(name, context.preset);
+    util::Rng rng(context.seed);
+    const std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
+        rng, kernel.golden.sample_space_size(), samples);
+    const campaign::LatencyReport report =
+        campaign::measure_latency(*kernel.program, kernel.golden, ids, pool);
+
+    table.add_row(
+        {name,
+         util::format("%llu", static_cast<unsigned long long>(report.crashes)),
+         report.crashes
+             ? util::format("%.0f / %.0f instrs", report.crash_latency.mean(),
+                            report.crash_latency.max())
+             : std::string("-"),
+         util::format("%llu", static_cast<unsigned long long>(report.sdcs)),
+         report.sdcs ? util::format("%.0f instrs",
+                                    report.sdc_spread90.mean())
+                     : std::string("-"),
+         report.sdcs ? util::percent(report.sdc_touched_fraction.mean())
+                     : std::string("-")});
+  }
+
+  bench::print_table(table, context, "fault visibility latency");
+  return 0;
+}

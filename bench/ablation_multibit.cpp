@@ -1,0 +1,107 @@
+// Ablation beyond the paper: does a boundary inferred under the paper's
+// single-bit-flip model transfer to *double-bit* faults?
+//
+// The fault tolerance boundary is defined over the injected error
+// *magnitude*, not over bit patterns (Section 3.2's f_i(eps)), so nothing in
+// its construction is specific to single flips.  This bench samples random
+// double-bit experiments, compares their outcome distribution to the
+// single-bit one, and scores the single-bit-inferred boundary's predictions
+// of double-bit outcomes (predicted masked iff |corrupted - golden| <=
+// threshold).  High precision here means the boundary really captured a
+// magnitude threshold rather than a bit-pattern artefact.
+#include "common/bench_common.h"
+
+#include <cmath>
+
+#include "boundary/predictor.h"
+#include "campaign/inference.h"
+#include "fi/fpbits.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  const bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  const auto probes = static_cast<std::uint64_t>(cli.get_int("probes", 4000));
+  bench::print_banner(
+      "Ablation -- single-bit boundary vs double-bit faults",
+      "Boundary inferred from 2% single-bit sampling, evaluated on random\n"
+      "double-bit-upset experiments (outcome rates + prediction quality).",
+      context);
+
+  util::ThreadPool& pool = util::default_pool();
+  util::Table table({"Name", "1-bit SDC", "2-bit SDC", "2-bit Crash",
+                     "precision on 2-bit", "recall on 2-bit"});
+
+  for (const std::string& name : context.kernel_names) {
+    const bench::PreparedKernel kernel =
+        bench::prepare_kernel(name, context.preset);
+    const fi::GoldenRun& golden = kernel.golden;
+
+    // Single-bit inferred boundary (the paper's method, unchanged).
+    campaign::InferenceOptions options;
+    options.sample_fraction = 0.02;
+    options.filter = true;
+    options.seed = context.seed;
+    const campaign::InferenceResult inference =
+        campaign::infer_uniform(*kernel.program, golden, options, pool);
+    const double single_bit_sdc =
+        static_cast<double>(inference.counts.sdc) /
+        static_cast<double>(inference.counts.total());
+
+    // Random double-bit experiments.
+    util::Rng rng(context.seed ^ 0xb17f11b5ull);
+    util::Confusion confusion;
+    campaign::OutcomeCounts counts;
+    for (std::uint64_t probe = 0; probe < probes; ++probe) {
+      const std::uint64_t site = rng.next_below(golden.trace.size());
+      const int bit_a = static_cast<int>(rng.next_below(fi::kBitsPerValue));
+      int bit_b = static_cast<int>(rng.next_below(fi::kBitsPerValue - 1));
+      if (bit_b >= bit_a) ++bit_b;  // distinct bits
+      const fi::Injection injection =
+          fi::Injection::double_bit_flip(site, bit_a, bit_b);
+
+      const fi::ExperimentResult result =
+          fi::run_injected(*kernel.program, golden, injection);
+      switch (result.outcome) {
+        case fi::Outcome::kMasked:
+          ++counts.masked;
+          break;
+        case fi::Outcome::kSdc:
+          ++counts.sdc;
+          break;
+        case fi::Outcome::kCrash:
+          ++counts.crash;
+          break;
+      }
+
+      // Boundary prediction from the corruption *magnitude*.
+      const double corrupted = injection.apply(golden.trace[site]);
+      if (!std::isfinite(corrupted)) continue;  // predicted crash: skip
+      const double error = std::fabs(corrupted - golden.trace[site]);
+      const bool predicted_masked =
+          inference.boundary.predict_masked(site, error);
+      const bool actually_masked = result.outcome == fi::Outcome::kMasked;
+      if (predicted_masked && actually_masked) {
+        ++confusion.true_positive;
+      } else if (predicted_masked) {
+        ++confusion.false_positive;
+      } else if (actually_masked) {
+        ++confusion.false_negative;
+      } else {
+        ++confusion.true_negative;
+      }
+    }
+
+    table.add_row({name, util::percent(single_bit_sdc),
+                   util::percent(counts.sdc_fraction()),
+                   util::percent(static_cast<double>(counts.crash) /
+                                 static_cast<double>(counts.total())),
+                   util::percent(confusion.precision()),
+                   util::percent(confusion.recall())});
+  }
+
+  bench::print_table(table, context, "single-bit boundary vs double-bit faults");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: sensitivity to the user tolerance T.
+//
+// The paper defines Masked as "within an acceptable tolerance level defined
+// by the domain user" -- T is a free parameter, and every SDC ratio in the
+// evaluation depends on it.  This bench sweeps the relative tolerance over
+// six decades and reports, per kernel:
+//
+//   * the golden SDC ratio (monotonically falling in T by construction),
+//   * the crash ratio (T-independent: crashes do not consult T),
+//   * the 1%-sampling boundary's precision/recall against each T's ground
+//     truth -- showing the *method* is robust even though the *numbers*
+//     move, which is why EXPERIMENTS.md matches paper shapes, not decimals.
+#include "common/bench_common.h"
+
+#include <memory>
+
+#include "boundary/metrics.h"
+#include "campaign/ground_truth.h"
+#include "campaign/inference.h"
+#include "kernels/cg.h"
+#include "kernels/fft.h"
+#include "kernels/lu.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace ftb;
+
+fi::ProgramPtr make_with_rtol(const std::string& name, double rtol) {
+  // Rebuild the default-preset config with an overridden tolerance; the
+  // config key changes with rtol, so ground-truth caches stay distinct.
+  if (name == "cg") {
+    kernels::CgConfig config;
+    config.rtol = rtol;
+    return std::make_unique<kernels::CgProgram>(config);
+  }
+  if (name == "lu") {
+    kernels::LuConfig config;
+    config.rtol = rtol;
+    return std::make_unique<kernels::LuProgram>(config);
+  }
+  if (name == "fft") {
+    kernels::FftConfig config;
+    config.rtol = rtol;
+    return std::make_unique<kernels::FftProgram>(config);
+  }
+  throw std::invalid_argument("tolerance sweep supports cg, lu, fft");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  bench::print_banner(
+      "Ablation -- user-tolerance sweep",
+      "Golden SDC ratio and boundary quality as the acceptance tolerance T\n"
+      "varies over six decades (T is the domain user's knob).",
+      context);
+
+  util::ThreadPool& pool = util::default_pool();
+
+  for (const std::string& name : context.kernel_names) {
+    if (name != "cg" && name != "lu" && name != "fft") continue;
+    util::Table table({"rtol", "golden SDC", "crash", "precision(1%)",
+                       "recall(1%)"});
+    for (const double rtol : {1e-9, 1e-7, 1e-5, 1e-3}) {
+      const fi::ProgramPtr program = make_with_rtol(name, rtol);
+      const fi::GoldenRun golden = fi::run_golden(*program);
+      const campaign::GroundTruth truth = campaign::GroundTruth::compute(
+          *program, golden, pool, context.use_cache);
+
+      campaign::InferenceOptions options;
+      options.sample_fraction = 0.01;
+      options.filter = true;
+      options.seed = context.seed;
+      const campaign::InferenceResult inference =
+          campaign::infer_uniform(*program, golden, options, pool);
+      const auto metrics = boundary::evaluate_boundary(
+          inference.boundary, golden.trace, truth.outcomes(),
+          inference.sampled_ids);
+
+      const campaign::OutcomeCounts counts = truth.counts();
+      table.add_row({util::format("%.0e", rtol),
+                     util::percent(truth.overall_sdc_ratio()),
+                     util::percent(static_cast<double>(counts.crash) /
+                                   static_cast<double>(counts.total())),
+                     util::percent(metrics.precision()),
+                     util::percent(metrics.recall())});
+    }
+    std::printf("--- %s ---\n", name.c_str());
+    bench::print_table(table, context, "");
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "common/bench_common.h"
+
+#include <cstdio>
+
+namespace ftb::bench {
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char ch : text) {
+    if (ch == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+BenchContext BenchContext::from_cli(const util::Cli& cli) {
+  BenchContext context;
+  context.preset = kernels::preset_from_string(cli.get("preset", "default"));
+  context.kernel_names = split_csv(cli.get("kernels", "cg,lu,fft"));
+  context.trials = static_cast<std::size_t>(cli.get_int("trials", 3));
+  context.seed = static_cast<std::uint64_t>(cli.get_int("seed", 20210227));
+  context.use_cache = !cli.get_bool("no-cache", false);
+  context.emit_csv = cli.get_bool("csv", false);
+  return context;
+}
+
+PreparedKernel prepare_kernel(const std::string& name,
+                              kernels::Preset preset) {
+  PreparedKernel kernel;
+  kernel.name_ = name;
+  kernel.program = kernels::make_program(name, preset);
+  kernel.golden = fi::run_golden(*kernel.program);
+  return kernel;
+}
+
+std::vector<PreparedKernel> prepare_kernels(const BenchContext& context) {
+  std::vector<PreparedKernel> kernels;
+  kernels.reserve(context.kernel_names.size());
+  for (const std::string& name : context.kernel_names) {
+    kernels.push_back(prepare_kernel(name, context.preset));
+  }
+  return kernels;
+}
+
+campaign::GroundTruth ground_truth_for(const PreparedKernel& kernel,
+                                       const BenchContext& context,
+                                       util::ThreadPool& pool) {
+  return campaign::GroundTruth::compute(*kernel.program, kernel.golden, pool,
+                                        context.use_cache);
+}
+
+void print_banner(const std::string& artefact, const std::string& description,
+                  const BenchContext& context) {
+  std::printf("=== %s ===\n%s\n", artefact.c_str(), description.c_str());
+  std::printf("preset=%s  trials=%zu  seed=%llu\n\n",
+              kernels::to_string(context.preset), context.trials,
+              static_cast<unsigned long long>(context.seed));
+  std::fflush(stdout);
+}
+
+void print_table(const util::Table& table, const BenchContext& context,
+                 const std::string& title) {
+  std::fputs(table.render(title).c_str(), stdout);
+  std::fputs("\n", stdout);
+  if (context.emit_csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace ftb::bench

@@ -1,0 +1,66 @@
+// Shared harness for the experiment-regeneration binaries: kernel
+// selection, preset handling, golden-run + ground-truth acquisition (with
+// the on-disk cache), and consistent headers so all bench output reads the
+// same way.
+//
+// Every bench accepts:
+//   --preset tiny|default|paper   problem sizes (default: "default")
+//   --kernels cg,lu,fft           comma list (default: the paper's three)
+//   --trials N                    trials for mean +- stddev tables
+//   --seed S                      base RNG seed
+//   --no-cache                    ignore / don't write the ground-truth cache
+//   --csv                         also emit CSV after each table
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/ground_truth.h"
+#include "fi/executor.h"
+#include "fi/program.h"
+#include "kernels/registry.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace ftb::bench {
+
+struct BenchContext {
+  kernels::Preset preset = kernels::Preset::kDefault;
+  std::vector<std::string> kernel_names;
+  std::size_t trials = 3;
+  std::uint64_t seed = 20210227;  // PPoPP'21 started 2021-02-27
+  bool use_cache = true;
+  bool emit_csv = false;
+
+  static BenchContext from_cli(const util::Cli& cli);
+};
+
+/// A kernel prepared for experiments: program + golden run.
+struct PreparedKernel {
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+
+  const std::string& name() const { return name_; }
+  std::string name_;
+};
+
+PreparedKernel prepare_kernel(const std::string& name, kernels::Preset preset);
+
+std::vector<PreparedKernel> prepare_kernels(const BenchContext& context);
+
+/// Ground truth for a prepared kernel, honouring the cache flag.
+campaign::GroundTruth ground_truth_for(const PreparedKernel& kernel,
+                                       const BenchContext& context,
+                                       util::ThreadPool& pool);
+
+/// Prints the standard bench banner (what paper artefact this regenerates).
+void print_banner(const std::string& artefact, const std::string& description,
+                  const BenchContext& context);
+
+/// Prints a table and, if requested, its CSV form.
+void print_table(const util::Table& table, const BenchContext& context,
+                 const std::string& title);
+
+}  // namespace ftb::bench

@@ -1,0 +1,100 @@
+// Regenerates paper Figure 3: per-benchmark histograms of
+// DeltaSDC = Golden_SDC(site) - Approx_SDC(site), where Approx comes from
+// the boundary built by the exhaustive campaign (Section 4.1).
+//
+// Expected shape (paper): a dominant spike at 0 (the boundary predicts most
+// sites exactly), with a small negative tail -- sites whose SDC ratio the
+// boundary *over*estimates because of non-monotonic behaviour.  The paper
+// reports the FFT histogram as a pure spike and ~9-11% slightly
+// overestimated sites for CG/LU.
+#include "common/bench_common.h"
+
+#include <cstdio>
+
+#include "boundary/exhaustive.h"
+#include "boundary/metrics.h"
+#include "boundary/predictor.h"
+#include "util/histogram.h"
+#include "util/svg_plot.h"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  const bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  bench::print_banner(
+      "Figure 3 -- DeltaSDC histograms (exhaustive boundary)",
+      "DeltaSDC = Golden_SDC - Approx_SDC per dynamic instruction; mass at 0\n"
+      "means the boundary predicts that site exactly, negative tail =\n"
+      "overestimation at non-monotonic sites.",
+      context);
+
+  const std::string svg_dir = cli.get("svg");
+  util::ThreadPool& pool = util::default_pool();
+
+  for (const std::string& name : context.kernel_names) {
+    const bench::PreparedKernel kernel =
+        bench::prepare_kernel(name, context.preset);
+    const campaign::GroundTruth truth =
+        bench::ground_truth_for(kernel, context, pool);
+
+    const boundary::FaultToleranceBoundary exhaustive =
+        boundary::exhaustive_boundary(truth.outcomes(), kernel.golden.trace);
+    const std::vector<double> golden_profile = truth.sdc_profile();
+    const std::vector<double> predicted_profile =
+        boundary::predicted_sdc_profile(exhaustive, kernel.golden.trace);
+    const std::vector<double> delta =
+        boundary::delta_sdc_profile(golden_profile, predicted_profile);
+
+    util::Histogram histogram(-0.20, 0.20, 41);  // centred bin straddles 0
+    histogram.add_all(delta);
+
+    std::size_t exact = 0, overestimated = 0, underestimated = 0;
+    for (double d : delta) {
+      if (d == 0.0) {
+        ++exact;
+      } else if (d < 0.0) {
+        ++overestimated;  // predicted more SDC than reality
+      } else {
+        ++underestimated;
+      }
+    }
+
+    const boundary::MonotonicityReport monotonicity =
+        boundary::analyze_monotonicity(truth.outcomes(), kernel.golden.trace);
+
+    std::printf("--- %s ---\n", name.c_str());
+    std::printf(
+        "sites=%zu  exact=%.2f%%  overestimated=%.2f%%  underestimated=%.2f%%"
+        "  non-monotonic sites=%.2f%%\n",
+        delta.size(), 100.0 * static_cast<double>(exact) / delta.size(),
+        100.0 * static_cast<double>(overestimated) / delta.size(),
+        100.0 * static_cast<double>(underestimated) / delta.size(),
+        100.0 * monotonicity.fraction());
+    std::fputs(histogram.render(56).c_str(), stdout);
+    std::fputs("\n", stdout);
+
+    if (!svg_dir.empty()) {
+      util::SvgOptions svg_options;
+      svg_options.title = name + ": DeltaSDC histogram";
+      svg_options.x_label = "Golden_SDC - Approx_SDC";
+      svg_options.y_label = "fault injection sites";
+      util::write_svg_file(svg_dir + "/fig3_" + name + ".svg",
+                           util::svg_histogram(histogram, svg_options));
+      std::printf("SVG written to %s/fig3_%s.svg\n", svg_dir.c_str(),
+                  name.c_str());
+    }
+
+    if (context.emit_csv) {
+      util::Table csv({"bin_center", "count"});
+      for (std::size_t b = 0; b < histogram.bin_count(); ++b) {
+        csv.add_row({util::format("%+.4f", histogram.bin_center(b)),
+                     util::format("%llu", static_cast<unsigned long long>(
+                                              histogram.count(b)))});
+      }
+      std::fputs(csv.to_csv().c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

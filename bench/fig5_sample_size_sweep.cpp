@@ -1,0 +1,112 @@
+// Regenerates paper Figure 5: prediction precision and recall as functions
+// of the sampling rate {0.1, 0.5, 1, 5, 10, 50}%, with the Section 3.5
+// filter off (top row) and on (bottom row).
+//
+// Expected shape (paper): recall rises steeply then levels off around
+// 80-90% before converging slowly; without the filter, precision can sag as
+// more (occasionally contaminated) propagation data accumulates -- most
+// visibly on CG -- while with the filter precision stays pinned near 100%
+// at the cost of slightly slower recall growth.
+#include "common/bench_common.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "boundary/metrics.h"
+#include "campaign/inference.h"
+#include "util/ascii_plot.h"
+#include "util/svg_plot.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  const bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  bench::print_banner(
+      "Figure 5 -- precision & recall vs sampling rate, filter off/on",
+      "Uniform sampling at {0.1, 0.5, 1, 5, 10, 50}% of the sample space;\n"
+      "means over trials; the filter (Section 3.5) trades recall for\n"
+      "precision stability.",
+      context);
+
+  const std::vector<double> fractions = {0.001, 0.005, 0.01, 0.05, 0.1, 0.5};
+  const std::string svg_dir = cli.get("svg");
+  util::ThreadPool& pool = util::default_pool();
+
+  for (const std::string& name : context.kernel_names) {
+    const bench::PreparedKernel kernel =
+        bench::prepare_kernel(name, context.preset);
+    const campaign::GroundTruth truth =
+        bench::ground_truth_for(kernel, context, pool);
+
+    util::Table table({"fraction", "precision(no filter)", "recall(no filter)",
+                       "precision(filter)", "recall(filter)"});
+    std::vector<double> precision_plain, recall_plain, precision_filtered,
+        recall_filtered;
+
+    for (double fraction : fractions) {
+      util::RunningStats stats[4];
+      for (std::size_t trial = 0; trial < context.trials; ++trial) {
+        for (int filtered = 0; filtered < 2; ++filtered) {
+          campaign::InferenceOptions options;
+          options.sample_fraction = fraction;
+          options.seed = context.seed + trial;  // same samples both ways
+          options.filter = filtered != 0;
+          const campaign::InferenceResult result = campaign::infer_uniform(
+              *kernel.program, kernel.golden, options, pool);
+          const auto metrics = boundary::evaluate_boundary(
+              result.boundary, kernel.golden.trace, truth.outcomes(),
+              result.sampled_ids);
+          stats[2 * filtered].add(metrics.precision());
+          stats[2 * filtered + 1].add(metrics.recall());
+        }
+      }
+      precision_plain.push_back(stats[0].mean());
+      recall_plain.push_back(stats[1].mean());
+      precision_filtered.push_back(stats[2].mean());
+      recall_filtered.push_back(stats[3].mean());
+      table.add_row({util::percent(fraction, 1),
+                     util::percent(stats[0].mean()),
+                     util::percent(stats[1].mean()),
+                     util::percent(stats[2].mean()),
+                     util::percent(stats[3].mean())});
+    }
+
+    std::printf("--- %s ---\n", name.c_str());
+    bench::print_table(table, context, "Figure 5 data");
+
+    util::PlotOptions plot_options;
+    plot_options.fix_y_range = true;
+    plot_options.y_min = 0.5;
+    plot_options.y_max = 1.02;
+    plot_options.width = 60;
+    plot_options.x_label = "sampling rate (log-ish index)";
+    const util::Series top[] = {
+        {"precision (no filter)", precision_plain, 'p'},
+        {"recall (no filter)", recall_plain, 'r'},
+    };
+    const util::Series bottom[] = {
+        {"precision (filter)", precision_filtered, 'P'},
+        {"recall (filter)", recall_filtered, 'R'},
+    };
+    std::printf("[top: no filter]\n%s", util::plot(top, plot_options).c_str());
+    std::printf("[bottom: with filter]\n%s\n",
+                util::plot(bottom, plot_options).c_str());
+
+    if (!svg_dir.empty()) {
+      util::SvgOptions svg_options;
+      svg_options.x_label = "sampling-rate index {0.1,0.5,1,5,10,50}%";
+      svg_options.y_label = "ratio";
+      svg_options.title = name + ": no filter";
+      util::write_svg_file(svg_dir + "/fig5_" + name + "_nofilter.svg",
+                           util::svg_chart(top, svg_options));
+      svg_options.title = name + ": with filter";
+      util::write_svg_file(svg_dir + "/fig5_" + name + "_filter.svg",
+                           util::svg_chart(bottom, svg_options));
+      std::printf("SVGs written to %s/fig5_%s_{nofilter,filter}.svg\n",
+                  svg_dir.c_str(), name.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Microbenchmarks for the instrumented kernels: golden-run cost per kernel
+// and preset (the unit every campaign multiplies by its experiment count).
+#include <benchmark/benchmark.h>
+
+#include "fi/executor.h"
+#include "kernels/registry.h"
+
+namespace {
+
+using namespace ftb;
+
+void run_golden_benchmark(benchmark::State& state, const std::string& name,
+                          kernels::Preset preset) {
+  const fi::ProgramPtr program = kernels::make_program(name, preset);
+  const std::uint64_t dyn = fi::count_dynamic_instructions(*program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::run_golden(*program));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dyn));
+  state.counters["dyn_instrs"] = static_cast<double>(dyn);
+}
+
+void BM_GoldenCgDefault(benchmark::State& state) {
+  run_golden_benchmark(state, "cg", kernels::Preset::kDefault);
+}
+void BM_GoldenLuDefault(benchmark::State& state) {
+  run_golden_benchmark(state, "lu", kernels::Preset::kDefault);
+}
+void BM_GoldenFftDefault(benchmark::State& state) {
+  run_golden_benchmark(state, "fft", kernels::Preset::kDefault);
+}
+void BM_GoldenStencilDefault(benchmark::State& state) {
+  run_golden_benchmark(state, "stencil2d", kernels::Preset::kDefault);
+}
+void BM_GoldenCgPaper(benchmark::State& state) {
+  run_golden_benchmark(state, "cg", kernels::Preset::kPaper);
+}
+void BM_GoldenLuPaper(benchmark::State& state) {
+  run_golden_benchmark(state, "lu", kernels::Preset::kPaper);
+}
+void BM_GoldenFftPaper(benchmark::State& state) {
+  run_golden_benchmark(state, "fft", kernels::Preset::kPaper);
+}
+
+BENCHMARK(BM_GoldenCgDefault);
+BENCHMARK(BM_GoldenLuDefault);
+BENCHMARK(BM_GoldenFftDefault);
+BENCHMARK(BM_GoldenStencilDefault);
+BENCHMARK(BM_GoldenCgPaper);
+BENCHMARK(BM_GoldenLuPaper);
+BENCHMARK(BM_GoldenFftPaper);
+
+}  // namespace

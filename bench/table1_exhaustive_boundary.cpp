@@ -1,0 +1,55 @@
+// Regenerates paper Table 1: for each benchmark, the known true (golden)
+// SDC ratio from an exhaustive fault-injection campaign against the SDC
+// ratio approximated by the fault tolerance boundary constructed from that
+// same exhaustive campaign (Section 4.1), plus the sample-space size.
+//
+// Expected shape (paper): Approx_SDC is very close to Golden_SDC for every
+// benchmark, never below it (non-monotonic sites only cause overestimation).
+#include "common/bench_common.h"
+
+#include "boundary/exhaustive.h"
+#include "boundary/metrics.h"
+#include "boundary/predictor.h"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  const bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  bench::print_banner(
+      "Table 1 -- exhaustive-campaign fault tolerance boundary",
+      "Golden SDC ratio vs SDC ratio approximated from the boundary built\n"
+      "by the exhaustive campaign; Size is the (site, bit) sample space.",
+      context);
+
+  util::ThreadPool& pool = util::default_pool();
+  util::Table table({"Name", "Golden_SDC", "Approx_SDC", "Size",
+                     "DynInstrs", "Crash", "NonMonotonicSites"});
+
+  for (const std::string& name : context.kernel_names) {
+    const bench::PreparedKernel kernel =
+        bench::prepare_kernel(name, context.preset);
+    const campaign::GroundTruth truth =
+        bench::ground_truth_for(kernel, context, pool);
+
+    const boundary::FaultToleranceBoundary exhaustive =
+        boundary::exhaustive_boundary(truth.outcomes(), kernel.golden.trace);
+    const double approx =
+        boundary::predicted_overall_sdc(exhaustive, kernel.golden.trace);
+    const boundary::MonotonicityReport monotonicity =
+        boundary::analyze_monotonicity(truth.outcomes(), kernel.golden.trace);
+    const campaign::OutcomeCounts counts = truth.counts();
+
+    table.add_row({name, util::percent(truth.overall_sdc_ratio()),
+                   util::percent(approx),
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            truth.experiments())),
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            truth.sites())),
+                   util::percent(static_cast<double>(counts.crash) /
+                                 static_cast<double>(counts.total())),
+                   util::percent(monotonicity.fraction())});
+  }
+
+  bench::print_table(table, context, "Table 1");
+  return 0;
+}

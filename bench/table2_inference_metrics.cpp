@@ -1,0 +1,60 @@
+// Regenerates paper Table 2: prediction precision, recall, and uncertainty
+// (+- stddev over trials) for the boundary inferred with 1% uniform
+// sampling.
+//
+// Expected shape (paper): precision ~99-100% for every benchmark, recall
+// well below precision (77-94%), uncertainty ~= precision -- the metric the
+// user can compute without ground truth really does track the true
+// precision.
+#include "common/bench_common.h"
+
+#include <vector>
+
+#include "boundary/metrics.h"
+#include "campaign/inference.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  if (!cli.has("trials")) context.trials = 10;  // the paper uses 10
+  const double fraction = cli.get_double("fraction", 0.01);
+  bench::print_banner(
+      "Table 2 -- inference precision / recall / uncertainty (1% sampling)",
+      "Boundary inferred from uniform samples; metrics vs exhaustive ground\n"
+      "truth; uncertainty is the self-verified precision on the samples.",
+      context);
+
+  util::ThreadPool& pool = util::default_pool();
+  util::Table table({"Name", "Precision", "Recall", "Uncertainty"});
+
+  for (const std::string& name : context.kernel_names) {
+    const bench::PreparedKernel kernel =
+        bench::prepare_kernel(name, context.preset);
+    const campaign::GroundTruth truth =
+        bench::ground_truth_for(kernel, context, pool);
+
+    std::vector<double> precision, recall, uncertainty;
+    for (std::size_t trial = 0; trial < context.trials; ++trial) {
+      campaign::InferenceOptions options;
+      options.sample_fraction = fraction;
+      options.seed = context.seed + trial;
+      options.filter = true;
+      const campaign::InferenceResult result = campaign::infer_uniform(
+          *kernel.program, kernel.golden, options, pool);
+      const auto metrics = boundary::evaluate_boundary(
+          result.boundary, kernel.golden.trace, truth.outcomes(),
+          result.sampled_ids);
+      precision.push_back(metrics.precision());
+      recall.push_back(metrics.recall());
+      uncertainty.push_back(metrics.uncertainty());
+    }
+    table.add_row({name, util::format_percent_pm(util::mean_std(precision)),
+                   util::format_percent_pm(util::mean_std(recall)),
+                   util::format_percent_pm(util::mean_std(uncertainty))});
+  }
+
+  bench::print_table(table, context, "Table 2");
+  return 0;
+}

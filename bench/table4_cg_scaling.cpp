@@ -1,0 +1,135 @@
+// Regenerates paper Table 4: a *fixed* budget of 1000 samples keeps working
+// as the conjugate-gradient problem -- and with it the number of dynamic
+// instructions -- grows.  The paper used 20x20 and 100x100 matrices
+// (254,784 and 16,789,952 dynamic instructions); we substitute two grid
+// sizes scaled to a single-core budget and estimate the large input's
+// ground truth from a random probe set (documented in DESIGN.md), which is
+// exactly the quantity the paper's SDC-ratio column needs.
+//
+// Expected shape (paper): precision / uncertainty / recall stay high for
+// both sizes even though the fixed 1000 samples are a 100x smaller fraction
+// of the larger run's space.
+#include "common/bench_common.h"
+
+#include <vector>
+
+#include "boundary/metrics.h"
+#include "boundary/predictor.h"
+#include "campaign/ground_truth.h"
+#include "campaign/inference.h"
+#include "kernels/cg.h"
+#include "util/stats.h"
+
+namespace {
+
+struct SizeCase {
+  std::size_t grid;
+  std::size_t iterations;
+  bool exhaustive_truth;  // small case: full table; large case: probes
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  const util::Cli cli(argc, argv);
+  bench::BenchContext context = bench::BenchContext::from_cli(cli);
+  if (!cli.has("trials")) context.trials = 5;
+  const auto samples = static_cast<std::uint64_t>(cli.get_int("samples", 1000));
+  const auto probes = static_cast<std::uint64_t>(cli.get_int("probes", 20000));
+  bench::print_banner(
+      "Table 4 -- CG scaling with a fixed 1000-sample budget",
+      "Two CG problem sizes; the same absolute sample budget becomes a far\n"
+      "smaller fraction of the larger space yet keeps its prediction "
+      "quality.",
+      context);
+
+  const std::vector<SizeCase> cases = {
+      {6, 30, true},    // "small": exhaustive ground truth
+      {12, 100, false},  // "large": probed ground truth
+  };
+
+  util::ThreadPool& pool = util::default_pool();
+  util::Table table({"Input", "DynInstrs", "SampleFrac", "SDC ratio",
+                     "predict SDC ratio", "precision", "uncertainty",
+                     "recall"});
+
+  for (const SizeCase& size_case : cases) {
+    kernels::CgConfig config;
+    config.nx = config.ny = size_case.grid;
+    config.iterations = size_case.iterations;
+    const kernels::CgProgram program(config);
+    const fi::GoldenRun golden = fi::run_golden(program);
+    const std::uint64_t space = golden.sample_space_size();
+
+    // Ground truth: exhaustive for the small case, probe-estimated for the
+    // large one (same substitution DESIGN.md documents).
+    campaign::GroundTruth exhaustive;
+    campaign::SampledGroundTruth probed;
+    double truth_sdc = 0.0;
+    std::string truth_cell;
+    if (size_case.exhaustive_truth) {
+      exhaustive =
+          campaign::GroundTruth::compute(program, golden, pool,
+                                         context.use_cache);
+      truth_sdc = exhaustive.overall_sdc_ratio();
+      truth_cell = util::percent(truth_sdc);
+    } else {
+      probed = campaign::estimate_ground_truth(program, golden, probes,
+                                               context.seed ^ 0x5eedull, pool);
+      truth_sdc = probed.sdc_ratio();
+      // Statistical fault injection (paper ref [18]): report the 95% Wilson
+      // interval of the probe-estimated ratio.
+      const util::Interval ci =
+          util::wilson_interval(probed.tallies.sdc, probed.tallies.total());
+      truth_cell = util::format("%s [%s, %s]", util::percent(truth_sdc).c_str(),
+                                util::percent(ci.lo).c_str(),
+                                util::percent(ci.hi).c_str());
+    }
+
+    std::vector<double> predicted, precision, uncertainty, recall;
+    for (std::size_t trial = 0; trial < context.trials; ++trial) {
+      campaign::InferenceOptions options;
+      options.sample_fraction =
+          static_cast<double>(samples) / static_cast<double>(space);
+      options.seed = context.seed + trial;
+      options.filter = true;
+      const campaign::InferenceResult result =
+          campaign::infer_uniform(program, golden, options, pool);
+
+      predicted.push_back(
+          boundary::predicted_overall_sdc(result.boundary, golden.trace));
+      const util::Confusion self = campaign::confusion_on_records(
+          result.boundary, golden.trace, result.records);
+      uncertainty.push_back(self.precision());
+      if (size_case.exhaustive_truth) {
+        const auto metrics = boundary::evaluate_boundary(
+            result.boundary, golden.trace, exhaustive.outcomes(),
+            result.sampled_ids);
+        precision.push_back(metrics.precision());
+        recall.push_back(metrics.recall());
+      } else {
+        const util::Confusion on_probes = campaign::confusion_on_records(
+            result.boundary, golden.trace, probed.records);
+        precision.push_back(on_probes.precision());
+        recall.push_back(on_probes.recall());
+      }
+    }
+
+    table.add_row(
+        {util::format("%zux%zu grid", size_case.grid, size_case.grid),
+         util::format("%llu", static_cast<unsigned long long>(
+                                  golden.dynamic_instructions())),
+         util::percent(static_cast<double>(samples) /
+                           static_cast<double>(space),
+                       3),
+         truth_cell,
+         util::format_percent_pm(util::mean_std(predicted)),
+         util::format_percent_pm(util::mean_std(precision)),
+         util::format_percent_pm(util::mean_std(uncertainty)),
+         util::format_percent_pm(util::mean_std(recall))});
+  }
+
+  bench::print_table(table, context, "Table 4");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "boundary/accumulator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+
+BoundaryAccumulator::BoundaryAccumulator(std::size_t sites,
+                                         AccumulatorOptions options)
+    : site_count_(sites), options_(options), states_(sites) {
+  assert(options_.prop_buffer_cap > 0);
+}
+
+void BoundaryAccumulator::record_injection(std::size_t site, int bit,
+                                           fi::Outcome outcome,
+                                           double injected_error) {
+  assert(site < site_count_);
+  assert(bit >= 0 && bit < fi::kBitsPerValue);
+  SiteState& state = states_[site];
+  state.tested_mask |= std::uint64_t{1} << bit;
+
+  switch (outcome) {
+    case fi::Outcome::kMasked:
+      state.masked_inj_max = std::max(state.masked_inj_max, injected_error);
+      state.masked_inj.push_back(injected_error);
+      break;
+    case fi::Outcome::kSdc:
+      if (injected_error < state.min_sdc_inj) {
+        state.min_sdc_inj = injected_error;
+        // New SDC evidence can invalidate previously accepted propagation
+        // values; prune everything no longer strictly below the minimum.
+        if (options_.filter && !state.prop_buffer.empty()) {
+          while (!state.prop_buffer.empty() &&
+                 state.prop_buffer.back() >= state.min_sdc_inj) {
+            state.prop_buffer.pop_back();
+          }
+        }
+      }
+      break;
+    case fi::Outcome::kCrash:
+      // Crashes are detectable, not silent; they neither support nor
+      // constrain the boundary (the bit still counts as tested).
+      break;
+  }
+}
+
+void BoundaryAccumulator::insert_filtered(SiteState& state, double value) {
+  if (value >= state.min_sdc_inj) return;  // Section 3.5 rejection
+  auto pos = std::lower_bound(state.prop_buffer.begin(),
+                              state.prop_buffer.end(), value);
+  state.prop_buffer.insert(pos, value);
+  if (state.prop_buffer.size() > options_.prop_buffer_cap) {
+    state.prop_buffer.erase(state.prop_buffer.begin());  // drop the smallest
+  }
+}
+
+void BoundaryAccumulator::record_masked_propagation(
+    std::span<const double> diffs) {
+  assert(diffs.size() == site_count_);
+  for (std::size_t j = 0; j < diffs.size(); ++j) {
+    record_masked_value(j, diffs[j]);
+  }
+}
+
+void BoundaryAccumulator::record_masked_value(std::size_t site, double value) {
+  assert(site < site_count_);
+  if (value <= 0.0 || !std::isfinite(value)) return;
+  SiteState& state = states_[site];
+  if (options_.filter) {
+    insert_filtered(state, value);
+  } else if (value > state.prop_max) {
+    state.prop_max = value;
+  }
+}
+
+std::uint32_t BoundaryAccumulator::tested_bits(std::size_t site) const noexcept {
+  return static_cast<std::uint32_t>(
+      std::popcount(states_[site].tested_mask));
+}
+
+FaultToleranceBoundary BoundaryAccumulator::finalize() const {
+  std::vector<double> thresholds(site_count_, FaultToleranceBoundary::kUnknown);
+  std::vector<std::uint8_t> exact(site_count_, 0);
+
+  for (std::size_t i = 0; i < site_count_; ++i) {
+    const SiteState& state = states_[i];
+
+    if (state.tested_mask == ~std::uint64_t{0}) {
+      // Exact site (Section 4.4): all 64 flips tested directly; use the
+      // exhaustive rule -- largest masked injected error strictly below the
+      // smallest SDC injected error.
+      double best = 0.0;
+      for (double e : state.masked_inj) {
+        if (e < state.min_sdc_inj && e > best) best = e;
+      }
+      thresholds[i] = best;
+      exact[i] = 1;
+      continue;
+    }
+
+    if (options_.filter) {
+      double best = state.prop_buffer.empty() ? 0.0 : state.prop_buffer.back();
+      for (double e : state.masked_inj) {
+        if (e < state.min_sdc_inj && e > best) best = e;
+      }
+      thresholds[i] = best;
+    } else {
+      thresholds[i] = std::max(state.prop_max, state.masked_inj_max);
+    }
+  }
+  return FaultToleranceBoundary(std::move(thresholds), std::move(exact));
+}
+
+}  // namespace ftb::boundary

@@ -1,0 +1,99 @@
+// BoundaryAccumulator: streaming construction of the fault tolerance
+// boundary from fault-injection experiments.
+//
+// This implements Algorithm 1 of the paper -- the boundary is the pointwise
+// max over the propagation errors of all *masked* experiments -- plus two
+// refinements:
+//
+//   * the Section 3.5 *filter operation*: a masked propagation value at
+//     site j is rejected if it is >= the smallest injected error of a known
+//     SDC experiment at j (non-monotonic sites would otherwise inflate the
+//     threshold and cost precision);
+//   * the Section 4.4 *exact sites*: once all 64 bit flips of a site have
+//     been tested directly, the threshold is taken from the exhaustive rule
+//     (largest masked injected error strictly below the smallest SDC
+//     injected error) instead of from inference.
+//
+// Memory: the unfiltered path is a pure streaming max (O(1) per site).  The
+// filtered path keeps a small bounded buffer of the largest surviving
+// propagation values per site (default 32) because SDC evidence arriving
+// later can invalidate previously accepted values.  Eviction can only make
+// thresholds smaller, i.e. the filter stays conservative: precision is
+// never hurt, recall can drop marginally.  Values rejected at insert time
+// (> the then-current SDC minimum) would also be rejected at finalize time
+// because the minimum only decreases, so insert-time filtering loses
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "boundary/boundary.h"
+#include "fi/outcome.h"
+
+namespace ftb::boundary {
+
+struct AccumulatorOptions {
+  bool filter = false;           // Section 3.5 filter operation
+  std::size_t prop_buffer_cap = 32;  // per-site buffer in filtered mode
+};
+
+class BoundaryAccumulator {
+ public:
+  BoundaryAccumulator(std::size_t sites, AccumulatorOptions options = {});
+
+  std::size_t sites() const noexcept { return site_count_; }
+
+  /// Records a direct injection experiment at `site` flipping `bit`.
+  /// All outcomes matter here: masked injections are threshold evidence,
+  /// SDC injections feed the filter and the exact-site rule, crash
+  /// injections only mark the bit as tested.
+  void record_injection(std::size_t site, int bit, fi::Outcome outcome,
+                        double injected_error);
+
+  /// Records the propagation data of one *masked* experiment: diffs[j] is
+  /// the absolute error observed at site j (0 where untouched).  Only call
+  /// for experiments whose final outcome was Masked -- that is precisely
+  /// Algorithm 1's guard.
+  void record_masked_propagation(std::span<const double> diffs);
+
+  /// Streaming single-value form of the above for the low-memory pipeline
+  /// (fi/lowmem.h), which never materialises a diff vector.
+  void record_masked_value(std::size_t site, double value);
+
+  /// Per-site count of tested bits (64 -> the site is exact).
+  std::uint32_t tested_bits(std::size_t site) const noexcept;
+
+  /// Builds the boundary from everything recorded so far.  Can be called
+  /// repeatedly (the progressive sampler rebuilds every round).
+  FaultToleranceBoundary finalize() const;
+
+  const AccumulatorOptions& options() const noexcept { return options_; }
+
+ private:
+  struct SiteState {
+    // Direct-injection evidence.
+    std::uint64_t tested_mask = 0;       // bits already flipped at this site
+    double masked_inj_max = 0.0;         // largest masked injected error
+    double min_sdc_inj = kNoSdc;         // smallest SDC injected error
+    // Largest masked injected error strictly below min_sdc_inj needs the
+    // full set; 64 experiments max, so a compact sorted vector is exact.
+    std::vector<double> masked_inj;      // all masked injected errors
+    // Propagation evidence (Algorithm 1).
+    double prop_max = 0.0;               // unfiltered running max
+    std::vector<double> prop_buffer;     // filtered mode: top values kept
+  };
+
+  // +inf: no SDC evidence seen yet at a site.
+  static constexpr double kNoSdc = std::numeric_limits<double>::infinity();
+
+  void insert_filtered(SiteState& state, double value);
+
+  std::size_t site_count_;
+  AccumulatorOptions options_;
+  std::vector<SiteState> states_;
+};
+
+}  // namespace ftb::boundary

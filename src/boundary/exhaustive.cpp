@@ -1,0 +1,41 @@
+#include "boundary/exhaustive.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+
+FaultToleranceBoundary exhaustive_boundary(
+    std::span<const fi::Outcome> outcomes,
+    std::span<const double> golden_trace) {
+  const std::size_t sites = golden_trace.size();
+  assert(outcomes.size() == sites * fi::kBitsPerValue);
+
+  std::vector<double> thresholds(sites, 0.0);
+  std::vector<std::uint8_t> exact(sites, 1);
+
+  for (std::size_t site = 0; site < sites; ++site) {
+    const double value = golden_trace[site];
+    double min_sdc = std::numeric_limits<double>::infinity();
+    for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+      if (outcomes[site * fi::kBitsPerValue + bit] == fi::Outcome::kSdc) {
+        const double e = fi::bit_flip_error(value, bit);
+        if (e < min_sdc) min_sdc = e;
+      }
+    }
+    double best = 0.0;
+    for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+      if (outcomes[site * fi::kBitsPerValue + bit] == fi::Outcome::kMasked) {
+        const double e = fi::bit_flip_error(value, bit);
+        if (e < min_sdc && e > best) best = e;
+      }
+    }
+    thresholds[site] = best;
+  }
+  return FaultToleranceBoundary(std::move(thresholds), std::move(exact));
+}
+
+}  // namespace ftb::boundary

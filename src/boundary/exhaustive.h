@@ -1,0 +1,23 @@
+// Exhaustive boundary construction (paper Section 4.1): given the outcome of
+// every one of the 64 bit-flip experiments at every site, derive each site's
+// threshold as the largest masked injected error strictly below the smallest
+// SDC injected error.  This is the "ground truth boundary" the inference
+// method is compared against, and it also powers the Figure 3 monotonicity
+// analysis.
+#pragma once
+
+#include <span>
+
+#include "boundary/boundary.h"
+#include "fi/outcome.h"
+
+namespace ftb::boundary {
+
+/// `outcomes` is row-major: outcomes[site * 64 + bit].  `golden_trace` gives
+/// the fault-free value at each site, from which each experiment's injected
+/// error is recomputed (the fault model is deterministic).  All sites are
+/// marked exact.
+FaultToleranceBoundary exhaustive_boundary(std::span<const fi::Outcome> outcomes,
+                                           std::span<const double> golden_trace);
+
+}  // namespace ftb::boundary

@@ -1,0 +1,120 @@
+#include "boundary/metrics.h"
+
+#include <cassert>
+#include <limits>
+
+#include "boundary/predictor.h"
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+
+namespace {
+
+void tally(util::Confusion& confusion, fi::Outcome predicted,
+           fi::Outcome actual) noexcept {
+  // A predicted Crash is not a "predicted case" in the paper's sense (it is
+  // neither predicted masked nor predicted SDC by the boundary); actual
+  // crashes are negatives (not masked).
+  const bool predicted_masked = predicted == fi::Outcome::kMasked;
+  const bool actually_masked = actual == fi::Outcome::kMasked;
+  if (predicted == fi::Outcome::kCrash) return;
+  if (predicted_masked && actually_masked) {
+    ++confusion.true_positive;
+  } else if (predicted_masked) {
+    ++confusion.false_positive;
+  } else if (actually_masked) {
+    ++confusion.false_negative;
+  } else {
+    ++confusion.true_negative;
+  }
+}
+
+}  // namespace
+
+EvaluationMetrics evaluate_boundary(const FaultToleranceBoundary& boundary,
+                                    std::span<const double> golden_trace,
+                                    std::span<const fi::Outcome> outcomes,
+                                    std::span<const std::uint64_t> sampled_ids) {
+  const std::size_t sites = golden_trace.size();
+  assert(boundary.sites() == sites);
+  assert(outcomes.size() == sites * fi::kBitsPerValue);
+
+  std::vector<std::uint8_t> is_sampled(outcomes.size(), 0);
+  for (std::uint64_t id : sampled_ids) {
+    assert(id < outcomes.size());
+    is_sampled[id] = 1;
+  }
+
+  EvaluationMetrics metrics;
+  for (std::size_t site = 0; site < sites; ++site) {
+    const double value = golden_trace[site];
+    for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+      const std::size_t id = site * fi::kBitsPerValue + bit;
+      const fi::Outcome predicted = predict_flip(boundary, site, value, bit);
+      const fi::Outcome actual = outcomes[id];
+      tally(metrics.full, predicted, actual);
+      if (is_sampled[id]) tally(metrics.sampled, predicted, actual);
+    }
+  }
+  return metrics;
+}
+
+std::vector<double> true_sdc_profile(std::span<const fi::Outcome> outcomes,
+                                     std::size_t sites) {
+  assert(outcomes.size() == sites * fi::kBitsPerValue);
+  std::vector<double> profile(sites, 0.0);
+  for (std::size_t site = 0; site < sites; ++site) {
+    std::uint32_t sdc = 0;
+    for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+      if (outcomes[site * fi::kBitsPerValue + bit] == fi::Outcome::kSdc) ++sdc;
+    }
+    profile[site] =
+        static_cast<double>(sdc) / static_cast<double>(fi::kBitsPerValue);
+  }
+  return profile;
+}
+
+double overall_sdc_ratio(std::span<const fi::Outcome> outcomes) {
+  if (outcomes.empty()) return 0.0;
+  std::uint64_t sdc = 0;
+  for (fi::Outcome o : outcomes) {
+    if (o == fi::Outcome::kSdc) ++sdc;
+  }
+  return static_cast<double>(sdc) / static_cast<double>(outcomes.size());
+}
+
+std::vector<double> delta_sdc_profile(
+    std::span<const double> golden_profile,
+    std::span<const double> predicted_profile) {
+  assert(golden_profile.size() == predicted_profile.size());
+  std::vector<double> delta(golden_profile.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = golden_profile[i] - predicted_profile[i];
+  }
+  return delta;
+}
+
+MonotonicityReport analyze_monotonicity(std::span<const fi::Outcome> outcomes,
+                                        std::span<const double> golden_trace) {
+  const std::size_t sites = golden_trace.size();
+  assert(outcomes.size() == sites * fi::kBitsPerValue);
+  MonotonicityReport report;
+  report.total_sites = sites;
+  for (std::size_t site = 0; site < sites; ++site) {
+    const double value = golden_trace[site];
+    double min_sdc = std::numeric_limits<double>::infinity();
+    double max_masked = 0.0;
+    for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+      const fi::Outcome outcome = outcomes[site * fi::kBitsPerValue + bit];
+      const double error = fi::bit_flip_error(value, bit);
+      if (outcome == fi::Outcome::kSdc && error < min_sdc) min_sdc = error;
+      if (outcome == fi::Outcome::kMasked && error > max_masked) {
+        max_masked = error;
+      }
+    }
+    if (max_masked > min_sdc) ++report.non_monotonic_sites;
+  }
+  return report;
+}
+
+}  // namespace ftb::boundary

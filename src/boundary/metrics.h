@@ -1,0 +1,68 @@
+// Evaluation metrics (paper Sections 3.6 and 4.1): precision and recall of
+// a boundary against exhaustive ground truth, the self-verifiable
+// *uncertainty* (precision measured only on the sampled experiments), the
+// per-site DeltaSDC profile of Figure 3, and the monotonicity analysis the
+// paper reports alongside it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "boundary/boundary.h"
+#include "fi/outcome.h"
+#include "util/stats.h"
+
+namespace ftb::boundary {
+
+struct EvaluationMetrics {
+  util::Confusion full;     // confusion over the complete sample space
+  util::Confusion sampled;  // confusion over the selected samples only
+
+  double precision() const noexcept { return full.precision(); }
+  double recall() const noexcept { return full.recall(); }
+  /// Section 3.6: precision on the training (sampled) set; computable
+  /// without ground truth, so the user can self-verify the boundary.
+  double uncertainty() const noexcept { return sampled.precision(); }
+};
+
+/// Evaluates predicted-masked vs actually-masked over every (site, bit)
+/// experiment.  `outcomes` is the exhaustive ground-truth table, row-major
+/// outcomes[site * 64 + bit]; `sampled_ids` lists the experiments used to
+/// build the boundary (site * 64 + bit encoding), for the uncertainty
+/// metric.  Actual crashes count as negatives (they are not masked); a
+/// predicted-Crash never counts as predicted-masked.
+EvaluationMetrics evaluate_boundary(const FaultToleranceBoundary& boundary,
+                                    std::span<const double> golden_trace,
+                                    std::span<const fi::Outcome> outcomes,
+                                    std::span<const std::uint64_t> sampled_ids);
+
+/// Per-site true SDC ratio (n_sdc / 64) from the ground-truth table.
+std::vector<double> true_sdc_profile(std::span<const fi::Outcome> outcomes,
+                                     std::size_t sites);
+
+/// Overall SDC ratio over the whole sample space.
+double overall_sdc_ratio(std::span<const fi::Outcome> outcomes);
+
+/// DeltaSDC[i] = Golden_SDC[i] - Approx_SDC[i] (Figure 3's x axis).
+std::vector<double> delta_sdc_profile(std::span<const double> golden_profile,
+                                      std::span<const double> predicted_profile);
+
+/// Section 4.1 / Section 5: a site is non-monotonic when some masked
+/// experiment's injected error strictly exceeds the smallest SDC
+/// experiment's injected error at the same site.
+struct MonotonicityReport {
+  std::size_t total_sites = 0;
+  std::size_t non_monotonic_sites = 0;
+  double fraction() const noexcept {
+    return total_sites
+               ? static_cast<double>(non_monotonic_sites) /
+                     static_cast<double>(total_sites)
+               : 0.0;
+  }
+};
+
+MonotonicityReport analyze_monotonicity(std::span<const fi::Outcome> outcomes,
+                                        std::span<const double> golden_trace);
+
+}  // namespace ftb::boundary

@@ -1,0 +1,64 @@
+#include "boundary/predictor.h"
+
+#include <cassert>
+
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+
+double SitePrediction::sdc_ratio() const noexcept {
+  return static_cast<double>(sdc) / static_cast<double>(fi::kBitsPerValue);
+}
+
+fi::Outcome predict_flip(const FaultToleranceBoundary& boundary,
+                         std::size_t site, double golden_value,
+                         int bit) noexcept {
+  if (fi::flip_is_nonfinite(golden_value, bit)) return fi::Outcome::kCrash;
+  const double error = fi::bit_flip_error(golden_value, bit);
+  return boundary.predict_masked(site, error) ? fi::Outcome::kMasked
+                                              : fi::Outcome::kSdc;
+}
+
+SitePrediction predict_site(const FaultToleranceBoundary& boundary,
+                            std::size_t site, double golden_value) noexcept {
+  SitePrediction prediction;
+  for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+    switch (predict_flip(boundary, site, golden_value, bit)) {
+      case fi::Outcome::kMasked:
+        ++prediction.masked;
+        break;
+      case fi::Outcome::kSdc:
+        ++prediction.sdc;
+        break;
+      case fi::Outcome::kCrash:
+        ++prediction.crash;
+        break;
+    }
+  }
+  return prediction;
+}
+
+std::vector<double> predicted_sdc_profile(
+    const FaultToleranceBoundary& boundary,
+    std::span<const double> golden_trace) {
+  assert(boundary.sites() == golden_trace.size());
+  std::vector<double> profile(golden_trace.size(), 0.0);
+  for (std::size_t site = 0; site < golden_trace.size(); ++site) {
+    profile[site] = predict_site(boundary, site, golden_trace[site]).sdc_ratio();
+  }
+  return profile;
+}
+
+double predicted_overall_sdc(const FaultToleranceBoundary& boundary,
+                             std::span<const double> golden_trace) {
+  assert(boundary.sites() == golden_trace.size());
+  if (golden_trace.empty()) return 0.0;
+  std::uint64_t sdc = 0;
+  for (std::size_t site = 0; site < golden_trace.size(); ++site) {
+    sdc += predict_site(boundary, site, golden_trace[site]).sdc;
+  }
+  return static_cast<double>(sdc) /
+         static_cast<double>(golden_trace.size() * fi::kBitsPerValue);
+}
+
+}  // namespace ftb::boundary

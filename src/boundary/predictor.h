@@ -1,0 +1,48 @@
+// Prediction with a fault tolerance boundary: given the golden value at a
+// site, each of the 64 possible bit flips has a deterministic injected
+// error, so the boundary classifies each flip as predicted-Masked
+// (error <= threshold), predicted-Crash (the flipped value is non-finite,
+// which our fault model terminates loudly), or predicted-SDC (everything
+// else -- including all flips at sites with no information, per Section
+// 4.4's "assume the outcome of unknown sample cases as SDC").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "boundary/boundary.h"
+#include "fi/outcome.h"
+
+namespace ftb::boundary {
+
+/// Per-site counts over the 64 bit flips.
+struct SitePrediction {
+  std::uint32_t masked = 0;
+  std::uint32_t sdc = 0;
+  std::uint32_t crash = 0;
+
+  /// n_sdc / 64, matching the paper's per-instruction SDC ratio.
+  double sdc_ratio() const noexcept;
+};
+
+/// Predicts the outcome of flipping `bit` of the golden value at `site`.
+fi::Outcome predict_flip(const FaultToleranceBoundary& boundary,
+                         std::size_t site, double golden_value,
+                         int bit) noexcept;
+
+/// All 64 flips at one site.
+SitePrediction predict_site(const FaultToleranceBoundary& boundary,
+                            std::size_t site, double golden_value) noexcept;
+
+/// Predicted per-site SDC-ratio profile over the whole trace (Figure 4's
+/// orange curves).
+std::vector<double> predicted_sdc_profile(const FaultToleranceBoundary& boundary,
+                                          std::span<const double> golden_trace);
+
+/// Predicted overall SDC ratio: total predicted-SDC experiments over the
+/// whole sample space (Tables 1 and 3's Approx/Predict SDC columns).
+double predicted_overall_sdc(const FaultToleranceBoundary& boundary,
+                             std::span<const double> golden_trace);
+
+}  // namespace ftb::boundary

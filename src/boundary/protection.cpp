@@ -1,0 +1,94 @@
+#include "boundary/protection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "boundary/predictor.h"
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+
+namespace {
+
+/// Per-site predicted-SDC bit counts and the sites ordered by impact.
+struct Contributions {
+  std::vector<std::uint32_t> sdc_bits;      // per site
+  std::vector<std::uint64_t> order;         // sites, highest impact first
+  std::uint64_t total_sdc_bits = 0;
+};
+
+Contributions compute_contributions(const FaultToleranceBoundary& boundary,
+                                    std::span<const double> golden_trace) {
+  assert(boundary.sites() == golden_trace.size());
+  Contributions c;
+  c.sdc_bits.resize(golden_trace.size());
+  for (std::size_t site = 0; site < golden_trace.size(); ++site) {
+    c.sdc_bits[site] = predict_site(boundary, site, golden_trace[site]).sdc;
+    c.total_sdc_bits += c.sdc_bits[site];
+  }
+  c.order.resize(golden_trace.size());
+  std::iota(c.order.begin(), c.order.end(), std::uint64_t{0});
+  std::stable_sort(c.order.begin(), c.order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return c.sdc_bits[a] > c.sdc_bits[b];
+                   });
+  return c;
+}
+
+ProtectionPlan build_plan(const Contributions& c, std::size_t site_count,
+                          std::size_t protect_count) {
+  ProtectionPlan plan;
+  const double denom =
+      static_cast<double>(site_count) * fi::kBitsPerValue;
+  plan.sdc_before = static_cast<double>(c.total_sdc_bits) / denom;
+
+  std::uint64_t removed = 0;
+  plan.sites.reserve(protect_count);
+  for (std::size_t i = 0; i < protect_count; ++i) {
+    const std::uint64_t site = c.order[i];
+    if (c.sdc_bits[site] == 0) break;  // nothing left worth protecting
+    plan.sites.push_back(site);
+    removed += c.sdc_bits[site];
+  }
+  plan.sdc_after =
+      static_cast<double>(c.total_sdc_bits - removed) / denom;
+  plan.cost_fraction = site_count
+                           ? static_cast<double>(plan.sites.size()) /
+                                 static_cast<double>(site_count)
+                           : 0.0;
+  return plan;
+}
+
+}  // namespace
+
+ProtectionPlan plan_with_budget(const FaultToleranceBoundary& boundary,
+                                std::span<const double> golden_trace,
+                                double budget_fraction) {
+  const Contributions c = compute_contributions(boundary, golden_trace);
+  const auto protect_count = static_cast<std::size_t>(
+      std::clamp(budget_fraction, 0.0, 1.0) *
+      static_cast<double>(golden_trace.size()));
+  return build_plan(c, golden_trace.size(), protect_count);
+}
+
+ProtectionPlan plan_to_target(const FaultToleranceBoundary& boundary,
+                              std::span<const double> golden_trace,
+                              double target_sdc_ratio) {
+  const Contributions c = compute_contributions(boundary, golden_trace);
+  const double denom =
+      static_cast<double>(golden_trace.size()) * fi::kBitsPerValue;
+  const auto target_bits = static_cast<std::uint64_t>(
+      std::max(0.0, target_sdc_ratio) * denom);
+
+  std::uint64_t remaining = c.total_sdc_bits;
+  std::size_t needed = 0;
+  while (needed < c.order.size() && remaining > target_bits &&
+         c.sdc_bits[c.order[needed]] > 0) {
+    remaining -= c.sdc_bits[c.order[needed]];
+    ++needed;
+  }
+  return build_plan(c, golden_trace.size(), needed);
+}
+
+}  // namespace ftb::boundary

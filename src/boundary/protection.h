@@ -1,0 +1,45 @@
+// Selective-protection planning on top of a fault tolerance boundary.
+//
+// The paper's introduction motivates the whole method with this workload:
+// full duplication/TMR is too expensive, "a small fraction of static
+// instructions contribute to the majority of SDC events", so find the
+// vulnerable instructions and protect only those.  Given a boundary, each
+// site's predicted SDC contribution is its predicted-SDC bit count;
+// protecting a site (duplicating its producing instruction) removes that
+// contribution.  The planner greedily protects the highest-contribution
+// sites under either a site budget or a target residual SDC ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "boundary/boundary.h"
+
+namespace ftb::boundary {
+
+struct ProtectionPlan {
+  std::vector<std::uint64_t> sites;  // protected sites, highest impact first
+  double sdc_before = 0.0;  // predicted overall SDC ratio, unprotected
+  double sdc_after = 0.0;   // predicted ratio with the plan applied
+  double cost_fraction = 0.0;  // protected sites / total sites
+
+  double coverage() const noexcept {
+    return sdc_before > 0.0 ? 1.0 - sdc_after / sdc_before : 1.0;
+  }
+};
+
+/// Protects up to `budget_fraction` of the dynamic instructions, highest
+/// predicted-SDC contribution first.
+ProtectionPlan plan_with_budget(const FaultToleranceBoundary& boundary,
+                                std::span<const double> golden_trace,
+                                double budget_fraction);
+
+/// Protects the fewest sites that bring the predicted SDC ratio down to
+/// `target_sdc_ratio` (or protects every contributing site if the target is
+/// unreachable).
+ProtectionPlan plan_to_target(const FaultToleranceBoundary& boundary,
+                              std::span<const double> golden_trace,
+                              double target_sdc_ratio);
+
+}  // namespace ftb::boundary

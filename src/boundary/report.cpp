@@ -1,0 +1,76 @@
+#include "boundary/report.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "boundary/predictor.h"
+#include "util/table.h"
+
+namespace ftb::boundary {
+
+std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
+                                      const FaultToleranceBoundary& boundary,
+                                      std::span<const double> golden_trace,
+                                      std::span<const double> true_profile) {
+  assert(boundary.sites() == golden_trace.size());
+  assert(true_profile.empty() || true_profile.size() == golden_trace.size());
+  assert(phases.total_sites() == golden_trace.size());
+
+  std::vector<PhaseReport> report;
+  report.reserve(phases.segments().size());
+  for (const fi::PhaseMap::Segment& segment : phases.segments()) {
+    PhaseReport row;
+    row.name = segment.name;
+    row.begin = segment.begin;
+    row.end = segment.end;
+
+    double predicted_sum = 0.0;
+    double true_sum = 0.0;
+    std::uint64_t informed = 0;
+    std::vector<double> thresholds;
+    thresholds.reserve(segment.size());
+    for (std::uint64_t site = segment.begin; site < segment.end; ++site) {
+      predicted_sum +=
+          predict_site(boundary, site, golden_trace[site]).sdc_ratio();
+      if (!true_profile.empty()) true_sum += true_profile[site];
+      if (boundary.threshold(site) > 0.0) ++informed;
+      thresholds.push_back(boundary.threshold(site));
+    }
+    const auto n = static_cast<double>(segment.size());
+    row.mean_predicted_sdc = predicted_sum / n;
+    row.informed_fraction = static_cast<double>(informed) / n;
+    std::nth_element(thresholds.begin(),
+                     thresholds.begin() + thresholds.size() / 2,
+                     thresholds.end());
+    row.median_threshold = thresholds[thresholds.size() / 2];
+    if (!true_profile.empty()) row.mean_true_sdc = true_sum / n;
+    report.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string render_phase_report(std::span<const PhaseReport> report) {
+  const bool with_truth =
+      !report.empty() && report.front().mean_true_sdc.has_value();
+  std::vector<std::string> header = {"phase", "instructions",
+                                     "predicted SDC", "median threshold",
+                                     "informed"};
+  if (with_truth) header.insert(header.begin() + 3, "true SDC");
+  util::Table table(std::move(header));
+  for (const PhaseReport& row : report) {
+    std::vector<std::string> cells = {
+        row.name,
+        util::format("[%llu, %llu)", static_cast<unsigned long long>(row.begin),
+                     static_cast<unsigned long long>(row.end)),
+        util::percent(row.mean_predicted_sdc),
+        util::format("%.3g", row.median_threshold),
+        util::percent(row.informed_fraction)};
+    if (with_truth) {
+      cells.insert(cells.begin() + 3, util::percent(*row.mean_true_sdc));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.render();
+}
+
+}  // namespace ftb::boundary

@@ -1,0 +1,39 @@
+// Per-phase vulnerability reports: aggregates boundary predictions (and,
+// when available, ground truth) over the source-level phases a kernel
+// announced through Tracer::phase().  This is the "interpreted directly by
+// the application programmer" output the paper's Section 2.2 asks for.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "boundary/boundary.h"
+#include "fi/phase_map.h"
+
+namespace ftb::boundary {
+
+struct PhaseReport {
+  std::string name;
+  std::uint64_t begin = 0;            // dynamic-instruction range
+  std::uint64_t end = 0;
+  double mean_predicted_sdc = 0.0;    // mean predicted per-site SDC ratio
+  double median_threshold = 0.0;      // median tolerance threshold
+  double informed_fraction = 0.0;     // sites with any boundary information
+  std::optional<double> mean_true_sdc;  // when ground truth is supplied
+
+  std::uint64_t sites() const noexcept { return end - begin; }
+};
+
+/// Builds one report row per phase.  `true_profile` (per-site golden SDC
+/// ratios) is optional; pass an empty span when no ground truth exists.
+std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
+                                      const FaultToleranceBoundary& boundary,
+                                      std::span<const double> golden_trace,
+                                      std::span<const double> true_profile = {});
+
+/// Renders the report as an aligned text table (one line per phase).
+std::string render_phase_report(std::span<const PhaseReport> report);
+
+}  // namespace ftb::boundary

@@ -1,0 +1,86 @@
+#include "boundary/serialize.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/cache.h"
+
+namespace ftb::boundary {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4654422d424e4452ull;  // "FTB-BNDR"
+constexpr std::uint64_t kVersion = 1;
+
+}  // namespace
+
+std::string serialize(const FaultToleranceBoundary& boundary,
+                      const std::string& config_key) {
+  util::BinaryWriter writer;
+  writer.put_u64(kMagic);
+  writer.put_u64(kVersion);
+  writer.put_string(config_key);
+  writer.put_u64(boundary.sites());
+  for (std::size_t i = 0; i < boundary.sites(); ++i) {
+    writer.put_f64(boundary.threshold(i));
+  }
+  std::vector<std::uint8_t> exact(boundary.sites());
+  for (std::size_t i = 0; i < boundary.sites(); ++i) {
+    exact[i] = boundary.is_exact(i) ? 1 : 0;
+  }
+  writer.put_bytes(exact);
+  return {writer.buffer().begin(), writer.buffer().end()};
+}
+
+std::optional<FaultToleranceBoundary> deserialize(
+    const std::string& payload, const std::string& expect_config) {
+  try {
+    util::BinaryReader reader(
+        std::vector<std::uint8_t>(payload.begin(), payload.end()));
+    if (reader.get_u64() != kMagic) return std::nullopt;
+    if (reader.get_u64() != kVersion) return std::nullopt;
+    const std::string config = reader.get_string();
+    if (!expect_config.empty() && config != expect_config) {
+      return std::nullopt;
+    }
+    const std::uint64_t sites = reader.get_u64();
+    std::vector<double> thresholds;
+    thresholds.reserve(sites);
+    for (std::uint64_t i = 0; i < sites; ++i) {
+      thresholds.push_back(reader.get_f64());
+    }
+    std::vector<std::uint8_t> exact = reader.get_bytes();
+    if (exact.size() != sites) return std::nullopt;
+    return FaultToleranceBoundary(std::move(thresholds), std::move(exact));
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+bool save_to_file(const FaultToleranceBoundary& boundary,
+                  const std::string& config_key, const std::string& path) {
+  const std::string payload = serialize(boundary, config_key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<FaultToleranceBoundary> load_from_file(
+    const std::string& path, const std::string& expect_config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  const std::string payload{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  return deserialize(payload, expect_config);
+}
+
+}  // namespace ftb::boundary

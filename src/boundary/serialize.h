@@ -1,0 +1,32 @@
+// Boundary (de)serialisation: an inferred fault tolerance boundary is the
+// expensive artefact of a campaign, so downstream tooling (vulnerability
+// reports, protection planners, CI checks) can persist it and reload it
+// without rerunning experiments.  The format embeds the program's
+// config_key so a boundary cannot be applied to a different configuration
+// silently.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "boundary/boundary.h"
+
+namespace ftb::boundary {
+
+/// Serialises the boundary together with the program configuration key it
+/// was built for.
+std::string serialize(const FaultToleranceBoundary& boundary,
+                      const std::string& config_key);
+
+/// Deserialises; returns nullopt on corrupt input or when `expect_config`
+/// is non-empty and does not match the embedded key.
+std::optional<FaultToleranceBoundary> deserialize(
+    const std::string& payload, const std::string& expect_config = {});
+
+/// Convenience file helpers (binary, atomic-ish write via temp + rename).
+bool save_to_file(const FaultToleranceBoundary& boundary,
+                  const std::string& config_key, const std::string& path);
+std::optional<FaultToleranceBoundary> load_from_file(
+    const std::string& path, const std::string& expect_config = {});
+
+}  // namespace ftb::boundary

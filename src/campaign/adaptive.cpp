@@ -1,0 +1,89 @@
+#include "campaign/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "boundary/accumulator.h"
+#include "boundary/predictor.h"
+#include "campaign/sampler.h"
+#include "util/rng.h"
+
+namespace ftb::campaign {
+
+AdaptiveResult infer_adaptive(const fi::Program& program,
+                              const fi::GoldenRun& golden,
+                              const AdaptiveOptions& options,
+                              util::ThreadPool& pool) {
+  const std::uint64_t space = golden.sample_space_size();
+  const std::uint64_t round_size = std::max<std::uint64_t>(
+      options.min_round_samples,
+      static_cast<std::uint64_t>(
+          std::llround(options.round_fraction * static_cast<double>(space))));
+
+  AdaptiveResult result;
+  result.space = space;
+  result.information.assign(golden.trace.size(), 0.0);
+
+  boundary::BoundaryAccumulator accumulator(
+      golden.trace.size(), {options.filter, options.prop_buffer_cap});
+
+  // The candidate pool: everything not yet tested and not yet predicted
+  // masked by the evolving boundary.
+  std::vector<ExperimentId> candidates(space);
+  for (std::uint64_t id = 0; id < space; ++id) candidates[id] = id;
+
+  util::Rng rng(options.seed);
+  const double max_masked_share = 1.0 - options.stop_sdc_fraction;
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    if (candidates.empty()) break;
+
+    AdaptiveRound round_stats;
+    round_stats.candidates_before = candidates.size();
+
+    // Round 0 has no information yet, so the bias reduces to uniform.
+    const std::vector<ExperimentId> picked = sample_biased(
+        rng, candidates, result.information, round_size);
+
+    const std::vector<ExperimentRecord> records = run_and_accumulate(
+        program, golden, picked, pool, accumulator, result.information,
+        options.significance_rel_error);
+    round_stats.counts = count_outcomes(records);
+    result.rounds.push_back(round_stats);
+    result.sampled_ids.insert(result.sampled_ids.end(), picked.begin(),
+                              picked.end());
+    result.records.insert(result.records.end(), records.begin(),
+                          records.end());
+
+    // Rebuild the boundary and shrink the pool: drop tested experiments and
+    // everything the boundary now predicts masked.
+    const boundary::FaultToleranceBoundary current = accumulator.finalize();
+    std::vector<ExperimentId> next_pool;
+    next_pool.reserve(candidates.size());
+    for (const ExperimentId id : candidates) {
+      if (std::binary_search(picked.begin(), picked.end(), id)) {
+        continue;  // just tested (sample_biased returns sorted ids)
+      }
+      const std::uint64_t site = site_of(id);
+      const fi::Outcome predicted = boundary::predict_flip(
+          current, site, golden.trace[site], bit_of(id));
+      if (predicted == fi::Outcome::kMasked) continue;  // filtered out
+      next_pool.push_back(id);
+    }
+    candidates.swap(next_pool);
+
+    // Stop once a round yields (almost) no new masked cases.
+    const double masked_share =
+        round_stats.counts.total()
+            ? static_cast<double>(round_stats.counts.masked) /
+                  static_cast<double>(round_stats.counts.total())
+            : 0.0;
+    if (masked_share <= max_masked_share) break;
+  }
+
+  result.boundary = accumulator.finalize();
+  std::sort(result.sampled_ids.begin(), result.sampled_ids.end());
+  return result;
+}
+
+}  // namespace ftb::campaign

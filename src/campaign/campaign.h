@@ -1,0 +1,59 @@
+// Batch experiment execution.  Campaigns are embarrassingly parallel; the
+// runner pre-partitions the experiment list over the thread pool and writes
+// results at fixed indices, so a campaign's output is identical regardless
+// of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "campaign/sample_space.h"
+#include "fi/executor.h"
+#include "fi/program.h"
+#include "util/thread_pool.h"
+
+namespace ftb::campaign {
+
+struct ExperimentRecord {
+  ExperimentId id = 0;
+  fi::ExperimentResult result;
+};
+
+/// Runs each listed experiment once (outcome only, no propagation capture)
+/// and returns records in the same order as `ids`.
+std::vector<ExperimentRecord> run_experiments(const fi::Program& program,
+                                              const fi::GoldenRun& golden,
+                                              std::span<const ExperimentId> ids,
+                                              util::ThreadPool& pool);
+
+/// Runs each listed experiment in Compare mode and hands every result --
+/// with its propagation diff vector -- to `consume`.  `consume` is called
+/// from worker threads one-at-a-time (internally serialised), in arbitrary
+/// order; the diffs span is only valid during the call.  Returns records in
+/// `ids` order, like run_experiments.
+using CompareConsumer =
+    std::function<void(const ExperimentRecord&, std::span<const double> diffs)>;
+
+std::vector<ExperimentRecord> run_experiments_compare(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, util::ThreadPool& pool,
+    const CompareConsumer& consume);
+
+/// Outcome tallies over a record batch.
+struct OutcomeCounts {
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+
+  std::uint64_t total() const noexcept { return masked + sdc + crash; }
+  double sdc_fraction() const noexcept {
+    return total() ? static_cast<double>(sdc) / static_cast<double>(total())
+                   : 0.0;
+  }
+};
+
+OutcomeCounts count_outcomes(std::span<const ExperimentRecord> records) noexcept;
+
+}  // namespace ftb::campaign

@@ -1,0 +1,102 @@
+#include "campaign/ground_truth.h"
+
+#include <cassert>
+
+#include "boundary/metrics.h"
+#include "util/cache.h"
+#include "util/rng.h"
+
+namespace ftb::campaign {
+
+GroundTruth::GroundTruth(std::vector<fi::Outcome> outcomes, std::size_t sites)
+    : outcomes_(std::move(outcomes)), sites_(sites) {
+  assert(outcomes_.size() == sites_ * fi::kBitsPerValue);
+}
+
+std::string GroundTruth::cache_key(const fi::Program& program) {
+  return "ground_truth:v1:" + program.config_key();
+}
+
+GroundTruth GroundTruth::compute(const fi::Program& program,
+                                 const fi::GoldenRun& golden,
+                                 util::ThreadPool& pool, bool use_cache) {
+  const std::size_t sites = golden.trace.size();
+  const std::uint64_t total = sites * fi::kBitsPerValue;
+  const std::string key = cache_key(program);
+
+  if (use_cache) {
+    if (auto payload = util::cache_load(key)) {
+      if (payload->size() == total) {
+        std::vector<fi::Outcome> outcomes(total);
+        for (std::uint64_t i = 0; i < total; ++i) {
+          const std::uint8_t raw = (*payload)[i];
+          if (raw > static_cast<std::uint8_t>(fi::Outcome::kCrash)) {
+            outcomes.clear();
+            break;
+          }
+          outcomes[i] = static_cast<fi::Outcome>(raw);
+        }
+        if (!outcomes.empty()) return GroundTruth(std::move(outcomes), sites);
+      }
+    }
+  }
+
+  std::vector<fi::Outcome> outcomes(total, fi::Outcome::kMasked);
+  pool.parallel_for(0, total, [&](std::size_t id) {
+    const fi::ExperimentResult result =
+        fi::run_injected(program, golden, injection_of(id));
+    outcomes[id] = result.outcome;
+  });
+
+  if (use_cache) {
+    std::vector<std::uint8_t> payload(total);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      payload[i] = static_cast<std::uint8_t>(outcomes[i]);
+    }
+    util::cache_store(key, payload);
+  }
+  return GroundTruth(std::move(outcomes), sites);
+}
+
+double GroundTruth::overall_sdc_ratio() const noexcept {
+  return boundary::overall_sdc_ratio(outcomes_);
+}
+
+std::vector<double> GroundTruth::sdc_profile() const {
+  return boundary::true_sdc_profile(outcomes_, sites_);
+}
+
+OutcomeCounts GroundTruth::counts() const noexcept {
+  OutcomeCounts counts;
+  for (fi::Outcome o : outcomes_) {
+    switch (o) {
+      case fi::Outcome::kMasked:
+        ++counts.masked;
+        break;
+      case fi::Outcome::kSdc:
+        ++counts.sdc;
+        break;
+      case fi::Outcome::kCrash:
+        ++counts.crash;
+        break;
+    }
+  }
+  return counts;
+}
+
+SampledGroundTruth estimate_ground_truth(const fi::Program& program,
+                                         const fi::GoldenRun& golden,
+                                         std::uint64_t probes,
+                                         std::uint64_t seed,
+                                         util::ThreadPool& pool) {
+  util::Rng rng(seed);
+  const std::uint64_t space = golden.sample_space_size();
+  std::vector<ExperimentId> ids =
+      util::sample_without_replacement(rng, space, std::min(probes, space));
+  SampledGroundTruth sampled;
+  sampled.records = run_experiments(program, golden, ids, pool);
+  sampled.tallies = count_outcomes(sampled.records);
+  return sampled;
+}
+
+}  // namespace ftb::campaign

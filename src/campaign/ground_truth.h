@@ -1,0 +1,67 @@
+// Exhaustive ground truth: the outcome of every (site, bit) experiment.
+// This is the expensive artefact the paper's method exists to avoid; the
+// evaluation needs it to score the inferred boundary.  Tables are cached on
+// disk keyed by the program configuration (see util/cache.h), because
+// several bench binaries evaluate against the same table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "fi/executor.h"
+#include "fi/program.h"
+#include "util/thread_pool.h"
+
+namespace ftb::campaign {
+
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  GroundTruth(std::vector<fi::Outcome> outcomes, std::size_t sites);
+
+  /// Runs the full 64 * sites campaign (or loads it from the cache; pass
+  /// use_cache = false to force recomputation).
+  static GroundTruth compute(const fi::Program& program,
+                             const fi::GoldenRun& golden,
+                             util::ThreadPool& pool, bool use_cache = true);
+
+  std::size_t sites() const noexcept { return sites_; }
+  std::uint64_t experiments() const noexcept { return outcomes_.size(); }
+
+  fi::Outcome outcome(std::uint64_t site, int bit) const noexcept {
+    return outcomes_[site * fi::kBitsPerValue + static_cast<std::uint64_t>(bit)];
+  }
+  fi::Outcome outcome(ExperimentId id) const noexcept { return outcomes_[id]; }
+
+  std::span<const fi::Outcome> outcomes() const noexcept { return outcomes_; }
+
+  double overall_sdc_ratio() const noexcept;
+  std::vector<double> sdc_profile() const;
+  OutcomeCounts counts() const noexcept;
+
+ private:
+  static std::string cache_key(const fi::Program& program);
+
+  std::vector<fi::Outcome> outcomes_;
+  std::size_t sites_ = 0;
+};
+
+/// Monte-Carlo estimate of the ground truth for problem sizes where the
+/// exhaustive table is out of budget (our Table 4 substitution): `probes`
+/// uniformly sampled experiments with known outcomes.
+struct SampledGroundTruth {
+  std::vector<ExperimentRecord> records;
+  OutcomeCounts tallies;
+
+  double sdc_ratio() const noexcept { return tallies.sdc_fraction(); }
+};
+
+SampledGroundTruth estimate_ground_truth(const fi::Program& program,
+                                         const fi::GoldenRun& golden,
+                                         std::uint64_t probes,
+                                         std::uint64_t seed,
+                                         util::ThreadPool& pool);
+
+}  // namespace ftb::campaign

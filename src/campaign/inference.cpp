@@ -1,0 +1,96 @@
+#include "campaign/inference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "boundary/predictor.h"
+#include "campaign/sampler.h"
+#include "fi/fpbits.h"
+#include "util/rng.h"
+
+namespace ftb::campaign {
+
+std::vector<ExperimentRecord> run_and_accumulate(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, util::ThreadPool& pool,
+    boundary::BoundaryAccumulator& accumulator,
+    std::vector<double>& site_information, double significance_rel_error) {
+  assert(site_information.size() == golden.trace.size());
+
+  const auto consume = [&](const ExperimentRecord& record,
+                           std::span<const double> diffs) {
+    const std::uint64_t site = site_of(record.id);
+    const int bit = bit_of(record.id);
+
+    accumulator.record_injection(site, bit, record.result.outcome,
+                                 record.result.injected_error);
+    if (record.result.outcome == fi::Outcome::kMasked) {
+      accumulator.record_masked_propagation(diffs);
+    }
+
+    // Information counts (paper Figure 4 row 2, Section 3.4 bias): how
+    // often a site received a significant injection or significant
+    // propagated corruption.  diffs[site] is the injected error itself, so
+    // one pass covers both contributions.
+    for (std::uint64_t j = site; j < diffs.size(); ++j) {
+      if (diffs[j] <= 0.0) continue;
+      const double rel = fi::relative_error(golden.trace[j] + diffs[j],
+                                            golden.trace[j]);
+      if (rel > significance_rel_error) site_information[j] += 1.0;
+    }
+  };
+
+  return run_experiments_compare(program, golden, ids, pool, consume);
+}
+
+InferenceResult infer_uniform(const fi::Program& program,
+                              const fi::GoldenRun& golden,
+                              const InferenceOptions& options,
+                              util::ThreadPool& pool) {
+  const std::uint64_t space = golden.sample_space_size();
+  const auto k = static_cast<std::uint64_t>(
+      std::llround(options.sample_fraction * static_cast<double>(space)));
+
+  util::Rng rng(options.seed);
+  InferenceResult result;
+  result.sampled_ids = sample_uniform(rng, space, std::max<std::uint64_t>(k, 1));
+  result.information.assign(golden.trace.size(), 0.0);
+
+  boundary::BoundaryAccumulator accumulator(
+      golden.trace.size(), {options.filter, options.prop_buffer_cap});
+  result.records =
+      run_and_accumulate(program, golden, result.sampled_ids, pool,
+                         accumulator, result.information,
+                         options.significance_rel_error);
+  result.counts = count_outcomes(result.records);
+  result.boundary = accumulator.finalize();
+  return result;
+}
+
+util::Confusion confusion_on_records(
+    const boundary::FaultToleranceBoundary& boundary,
+    std::span<const double> golden_trace,
+    std::span<const ExperimentRecord> records) {
+  util::Confusion confusion;
+  for (const ExperimentRecord& record : records) {
+    const std::uint64_t site = site_of(record.id);
+    const fi::Outcome predicted = boundary::predict_flip(
+        boundary, site, golden_trace[site], bit_of(record.id));
+    if (predicted == fi::Outcome::kCrash) continue;
+    const bool predicted_masked = predicted == fi::Outcome::kMasked;
+    const bool actually_masked = record.result.outcome == fi::Outcome::kMasked;
+    if (predicted_masked && actually_masked) {
+      ++confusion.true_positive;
+    } else if (predicted_masked) {
+      ++confusion.false_positive;
+    } else if (actually_masked) {
+      ++confusion.false_negative;
+    } else {
+      ++confusion.true_negative;
+    }
+  }
+  return confusion;
+}
+
+}  // namespace ftb::campaign

@@ -1,0 +1,62 @@
+// The end-to-end inference pipeline (paper Section 3.3): sample experiments,
+// run them with propagation capture, feed masked propagation data into the
+// boundary accumulator (Algorithm 1, optionally with the Section 3.5
+// filter), and track the per-site information counts that drive both the
+// Figure 4 "potential impact" row and the Section 3.4 adaptive bias.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "boundary/accumulator.h"
+#include "boundary/boundary.h"
+#include "campaign/campaign.h"
+#include "fi/executor.h"
+#include "fi/program.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace ftb::campaign {
+
+struct InferenceOptions {
+  double sample_fraction = 0.01;       // the paper's default evaluation rate
+  std::uint64_t seed = 1;
+  bool filter = false;                 // Section 3.5 filter operation
+  std::size_t prop_buffer_cap = 32;
+  double significance_rel_error = 1e-8;  // Figure 4 row 2 significance cut
+};
+
+struct InferenceResult {
+  boundary::FaultToleranceBoundary boundary;
+  std::vector<ExperimentId> sampled_ids;  // experiments actually run
+  OutcomeCounts counts;                   // outcomes of those experiments
+  std::vector<double> information;        // S_i per site (impact measure)
+  std::vector<ExperimentRecord> records;  // per-experiment outcomes
+};
+
+/// Uniform Monte-Carlo sampling at options.sample_fraction of the space.
+InferenceResult infer_uniform(const fi::Program& program,
+                              const fi::GoldenRun& golden,
+                              const InferenceOptions& options,
+                              util::ThreadPool& pool);
+
+/// Lower-level building block shared with the adaptive sampler: runs `ids`
+/// in Compare mode, feeding `accumulator` (masked runs only) and adding to
+/// `site_information` (significant injections and propagations, any
+/// outcome).  Returns the experiment records in `ids` order.
+std::vector<ExperimentRecord> run_and_accumulate(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, util::ThreadPool& pool,
+    boundary::BoundaryAccumulator& accumulator,
+    std::vector<double>& site_information, double significance_rel_error);
+
+/// Confusion of boundary predictions against a batch of known-outcome
+/// records (used when only a sampled ground truth exists, e.g. Table 4's
+/// large input).
+util::Confusion confusion_on_records(
+    const boundary::FaultToleranceBoundary& boundary,
+    std::span<const double> golden_trace,
+    std::span<const ExperimentRecord> records);
+
+}  // namespace ftb::campaign

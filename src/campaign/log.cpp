@@ -1,0 +1,151 @@
+#include "campaign/log.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/cache.h"
+
+namespace ftb::campaign {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4654422d434c4f47ull;  // "FTB-CLOG"
+constexpr std::uint64_t kVersion = 1;
+
+}  // namespace
+
+void CampaignLog::append(std::span<const ExperimentRecord> batch) {
+  records_.insert(records_.end(), batch.begin(), batch.end());
+}
+
+void CampaignLog::dedupe() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const ExperimentRecord& a, const ExperimentRecord& b) {
+                     return a.id < b.id;
+                   });
+  records_.erase(std::unique(records_.begin(), records_.end(),
+                             [](const ExperimentRecord& a,
+                                const ExperimentRecord& b) {
+                               return a.id == b.id;
+                             }),
+                 records_.end());
+}
+
+void CampaignLog::merge(const CampaignLog& other) {
+  if (other.config_key_ != config_key_) {
+    throw std::invalid_argument("CampaignLog::merge: config key mismatch ('" +
+                                config_key_ + "' vs '" + other.config_key_ +
+                                "')");
+  }
+  append(other.records_);
+  dedupe();
+}
+
+std::vector<ExperimentId> CampaignLog::ids() const {
+  std::vector<ExperimentId> out;
+  out.reserve(records_.size());
+  for (const ExperimentRecord& record : records_) out.push_back(record.id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string CampaignLog::serialize() const {
+  util::BinaryWriter writer;
+  writer.put_u64(kMagic);
+  writer.put_u64(kVersion);
+  writer.put_string(config_key_);
+  writer.put_u64(records_.size());
+  for (const ExperimentRecord& record : records_) {
+    writer.put_u64(record.id);
+    writer.put_u64(static_cast<std::uint64_t>(record.result.outcome));
+    writer.put_f64(record.result.injected_error);
+    writer.put_f64(record.result.output_error);
+    writer.put_u64(record.result.crash_site);
+  }
+  return {writer.buffer().begin(), writer.buffer().end()};
+}
+
+std::optional<CampaignLog> CampaignLog::deserialize(
+    const std::string& payload) {
+  try {
+    util::BinaryReader reader(
+        std::vector<std::uint8_t>(payload.begin(), payload.end()));
+    if (reader.get_u64() != kMagic) return std::nullopt;
+    if (reader.get_u64() != kVersion) return std::nullopt;
+    CampaignLog log(reader.get_string());
+    const std::uint64_t count = reader.get_u64();
+    log.records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ExperimentRecord record;
+      record.id = reader.get_u64();
+      const std::uint64_t raw = reader.get_u64();
+      if (raw > static_cast<std::uint64_t>(fi::Outcome::kCrash)) {
+        return std::nullopt;
+      }
+      record.result.outcome = static_cast<fi::Outcome>(raw);
+      record.result.injected_error = reader.get_f64();
+      record.result.output_error = reader.get_f64();
+      record.result.crash_site = reader.get_u64();
+      log.records_.push_back(record);
+    }
+    return log;
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+bool CampaignLog::save(const std::string& path) const {
+  const std::string payload = serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<CampaignLog> CampaignLog::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  const std::string payload{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  return deserialize(payload);
+}
+
+boundary::FaultToleranceBoundary boundary_from_log(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    const CampaignLog& log, const boundary::AccumulatorOptions& options,
+    util::ThreadPool& pool) {
+  if (log.config_key() != program.config_key()) {
+    throw std::invalid_argument(
+        "boundary_from_log: log was recorded for a different configuration");
+  }
+  boundary::BoundaryAccumulator accumulator(golden.trace.size(), options);
+
+  // Injected-error evidence straight from the records; collect the masked
+  // ids for the propagation pass.
+  std::vector<ExperimentId> masked_ids;
+  for (const ExperimentRecord& record : log.records()) {
+    accumulator.record_injection(site_of(record.id), bit_of(record.id),
+                                 record.result.outcome,
+                                 record.result.injected_error);
+    if (record.result.outcome == fi::Outcome::kMasked) {
+      masked_ids.push_back(record.id);
+    }
+  }
+
+  const auto consume = [&](const ExperimentRecord&,
+                           std::span<const double> diffs) {
+    accumulator.record_masked_propagation(diffs);
+  };
+  (void)run_experiments_compare(program, golden, masked_ids, pool, consume);
+  return accumulator.finalize();
+}
+
+}  // namespace ftb::campaign

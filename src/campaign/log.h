@@ -1,0 +1,74 @@
+// Campaign logs: persistent records of executed experiments.
+//
+// Fault-injection experiments are the expensive resource; their outcomes
+// are tiny.  A CampaignLog captures every (experiment id, outcome,
+// injected error) pair keyed by the program configuration, so that
+//
+//   * long campaigns survive interruption (append + save, resume later),
+//   * logs from independent machines/seeds can be merged,
+//   * boundaries can be *rebuilt* from a log under different analysis
+//     settings (e.g. filter on/off) by re-running only the masked
+//     experiments in compare mode -- a small fraction of the original cost
+//     and no re-classification.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boundary/accumulator.h"
+#include "boundary/boundary.h"
+#include "campaign/campaign.h"
+#include "fi/executor.h"
+#include "fi/program.h"
+#include "util/thread_pool.h"
+
+namespace ftb::campaign {
+
+class CampaignLog {
+ public:
+  CampaignLog() = default;
+  explicit CampaignLog(std::string config_key)
+      : config_key_(std::move(config_key)) {}
+
+  const std::string& config_key() const noexcept { return config_key_; }
+  const std::vector<ExperimentRecord>& records() const noexcept {
+    return records_;
+  }
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Appends records; duplicates (same experiment id) are kept -- dedupe()
+  /// removes them (outcomes are deterministic, so any copy is as good).
+  void append(std::span<const ExperimentRecord> batch);
+
+  /// Removes duplicate experiment ids and sorts by id.
+  void dedupe();
+
+  /// Merges another log for the same configuration (throws
+  /// std::invalid_argument on key mismatch) and dedupes.
+  void merge(const CampaignLog& other);
+
+  /// Experiment ids in the log, sorted (after dedupe()).
+  std::vector<ExperimentId> ids() const;
+
+  /// Binary (de)serialisation.
+  std::string serialize() const;
+  static std::optional<CampaignLog> deserialize(const std::string& payload);
+  bool save(const std::string& path) const;
+  static std::optional<CampaignLog> load(const std::string& path);
+
+ private:
+  std::string config_key_;
+  std::vector<ExperimentRecord> records_;
+};
+
+/// Rebuilds a boundary from a log: injected-error evidence comes straight
+/// from the records; propagation evidence comes from re-running the masked
+/// experiments in compare mode.  The program configuration must match the
+/// log's key (checked).
+boundary::FaultToleranceBoundary boundary_from_log(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    const CampaignLog& log, const boundary::AccumulatorOptions& options,
+    util::ThreadPool& pool);
+
+}  // namespace ftb::campaign

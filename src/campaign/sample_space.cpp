@@ -1,0 +1,3 @@
+#include "campaign/sample_space.h"
+
+namespace ftb::campaign {}

@@ -1,0 +1,31 @@
+// The experiment sample space: one experiment per (dynamic instruction,
+// bit) pair, encoded as a single integer id = site * 64 + bit.  Table 1's
+// "Size" column is exactly the size of this space.
+#pragma once
+
+#include <cstdint>
+
+#include "fi/fpbits.h"
+#include "fi/tracer.h"
+
+namespace ftb::campaign {
+
+using ExperimentId = std::uint64_t;
+
+inline ExperimentId encode(std::uint64_t site, int bit) noexcept {
+  return site * fi::kBitsPerValue + static_cast<std::uint64_t>(bit);
+}
+
+inline std::uint64_t site_of(ExperimentId id) noexcept {
+  return id / fi::kBitsPerValue;
+}
+
+inline int bit_of(ExperimentId id) noexcept {
+  return static_cast<int>(id % fi::kBitsPerValue);
+}
+
+inline fi::Injection injection_of(ExperimentId id) noexcept {
+  return fi::Injection::bit_flip(site_of(id), bit_of(id));
+}
+
+}  // namespace ftb::campaign

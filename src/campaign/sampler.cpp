@@ -1,0 +1,55 @@
+#include "campaign/sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace ftb::campaign {
+
+std::vector<ExperimentId> sample_uniform(util::Rng& rng, std::uint64_t space,
+                                         std::uint64_t k) {
+  return util::sample_without_replacement(rng, space, std::min(k, space));
+}
+
+std::vector<ExperimentId> sample_biased(
+    util::Rng& rng, std::span<const ExperimentId> candidates,
+    std::span<const double> site_information, std::uint64_t k) {
+  k = std::min<std::uint64_t>(k, candidates.size());
+  if (k == 0) return {};
+  if (k == candidates.size()) {
+    return {candidates.begin(), candidates.end()};
+  }
+
+  // Efraimidis-Spirakis: each candidate draws key u^(1/w); keep the k
+  // largest keys.  Equivalent exponential form used here: key = -ln(u) / w,
+  // keep the k *smallest* (max-heap of size k).
+  using HeapEntry = std::pair<double, ExperimentId>;  // (key, id)
+  std::priority_queue<HeapEntry> heap;                // max-heap on key
+
+  for (const ExperimentId id : candidates) {
+    const std::uint64_t site = site_of(id);
+    assert(site < site_information.size());
+    const double weight = 1.0 / (1.0 + site_information[site]);
+    // next_double() can return 0; nudge into (0, 1] to keep -log finite.
+    const double u = 1.0 - rng.next_double();
+    const double key = -std::log(u) / weight;
+    if (heap.size() < k) {
+      heap.emplace(key, id);
+    } else if (key < heap.top().first) {
+      heap.pop();
+      heap.emplace(key, id);
+    }
+  }
+
+  std::vector<ExperimentId> picked;
+  picked.reserve(k);
+  while (!heap.empty()) {
+    picked.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace ftb::campaign

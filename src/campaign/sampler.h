@@ -1,0 +1,33 @@
+// Experiment sampling strategies.
+//
+//   * uniform: the paper's default Monte-Carlo selection over the whole
+//     (site, bit) space;
+//   * information-biased: Section 3.4's p_i proportional to 1 / S_i, where
+//     S_i is the amount of injection + propagation information already
+//     collected at site i.  Implemented as exact weighted sampling without
+//     replacement (exponential-key reservoir, Efraimidis-Spirakis), so a
+//     round never retests an experiment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "campaign/sample_space.h"
+#include "util/rng.h"
+
+namespace ftb::campaign {
+
+/// k distinct experiments uniformly from [0, space); sorted ascending.
+std::vector<ExperimentId> sample_uniform(util::Rng& rng, std::uint64_t space,
+                                         std::uint64_t k);
+
+/// k distinct experiments from `candidates`, where each candidate's weight
+/// is 1 / (1 + S_site) with S taken from `site_information` (indexed by
+/// site).  Returns sorted ids; k is clamped to candidates.size().
+std::vector<ExperimentId> sample_biased(util::Rng& rng,
+                                        std::span<const ExperimentId> candidates,
+                                        std::span<const double> site_information,
+                                        std::uint64_t k);
+
+}  // namespace ftb::campaign

@@ -1,0 +1,95 @@
+#include "fi/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace ftb::fi {
+
+namespace {
+
+/// A run whose dynamic-instruction count differs from the golden run has
+/// diverged control flow; the paper stops tracking at divergence and such
+/// runs terminate "loudly" in our model, so we classify them as Crash.
+bool step_count_matches(const Tracer& tracer, const GoldenRun& golden) noexcept {
+  return tracer.steps() == golden.trace.size();
+}
+
+ExperimentResult classify(const Program& program, const GoldenRun& golden,
+                          const Tracer& tracer,
+                          const std::vector<double>& output) {
+  ExperimentResult result;
+  result.injected_error = tracer.injected_error();
+  if (!step_count_matches(tracer, golden)) {
+    result.outcome = Outcome::kCrash;
+    result.output_error = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  result.output_error = OutputComparator::linf_distance(output, golden.output);
+  result.outcome = program.comparator().classify(output, golden.output);
+  return result;
+}
+
+ExperimentResult crash_result(const Tracer& tracer,
+                               std::uint64_t crash_site) noexcept {
+  ExperimentResult result;
+  result.outcome = Outcome::kCrash;
+  result.injected_error = tracer.injected_error();
+  result.output_error = std::numeric_limits<double>::infinity();
+  result.crash_site = crash_site;
+  return result;
+}
+
+}  // namespace
+
+GoldenRun run_golden(const Program& program) {
+  GoldenRun golden;
+  golden.trace.reserve(1024);
+  Tracer tracer = Tracer::recorder(golden.trace, &golden.phases);
+  golden.output = program.run(tracer);
+  for (double v : golden.trace) {
+    if (!std::isfinite(v)) {
+      throw std::runtime_error(program.name() +
+                               ": golden run produced a non-finite value");
+    }
+  }
+  golden.tolerance = program.comparator().threshold_for(golden.output);
+  return golden;
+}
+
+std::uint64_t count_dynamic_instructions(const Program& program) {
+  Tracer tracer = Tracer::counter();
+  (void)program.run(tracer);
+  return tracer.steps();
+}
+
+ExperimentResult run_injected(const Program& program, const GoldenRun& golden,
+                              const Injection& injection) {
+  assert(injection.site < golden.trace.size());
+  Tracer tracer = Tracer::injector(injection);
+  try {
+    const std::vector<double> output = program.run(tracer);
+    return classify(program, golden, tracer, output);
+  } catch (const CrashSignal& signal) {
+    return crash_result(tracer, signal.site);
+  }
+}
+
+ExperimentResult run_injected_compare(const Program& program,
+                                      const GoldenRun& golden,
+                                      const Injection& injection,
+                                      std::span<double> diffs) {
+  assert(injection.site < golden.trace.size());
+  assert(diffs.size() == golden.trace.size());
+  std::fill(diffs.begin(), diffs.end(), 0.0);
+  Tracer tracer = Tracer::comparator(injection, golden.trace, diffs);
+  try {
+    const std::vector<double> output = program.run(tracer);
+    return classify(program, golden, tracer, output);
+  } catch (const CrashSignal& signal) {
+    return crash_result(tracer, signal.site);
+  }
+}
+
+}  // namespace ftb::fi

@@ -1,0 +1,54 @@
+// Experiment executors: golden runs, fault-injected runs, and fault-injected
+// runs with error-propagation capture.  These are the only places that run
+// Programs, so outcome classification is centralised here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fi/outcome.h"
+#include "fi/program.h"
+#include "fi/tracer.h"
+
+namespace ftb::fi {
+
+/// Everything the analysis needs from the fault-free execution.  Holding the
+/// full trace is the memory cost the paper's "Overhead" section discusses:
+/// one double per dynamic instruction.
+struct GoldenRun {
+  std::vector<double> trace;    // value produced at every dynamic instruction
+  std::vector<double> output;   // final program output
+  std::vector<PhaseMark> phases;  // phase announcements, by start index
+  double tolerance = 0.0;       // comparator threshold for this output
+
+  std::uint64_t dynamic_instructions() const noexcept { return trace.size(); }
+
+  /// Total single-bit-flip experiments: 64 per dynamic instruction.
+  std::uint64_t sample_space_size() const noexcept {
+    return trace.size() * static_cast<std::uint64_t>(kBitsPerValue);
+  }
+};
+
+/// Runs the program fault-free and records its trace and output.
+GoldenRun run_golden(const Program& program);
+
+/// Counts dynamic instructions without recording (cheap sizing pass).
+std::uint64_t count_dynamic_instructions(const Program& program);
+
+/// Runs one fault-injection experiment and classifies the outcome.
+/// The injection site must be < golden.trace.size().
+ExperimentResult run_injected(const Program& program, const GoldenRun& golden,
+                              const Injection& injection);
+
+/// As run_injected, but also captures the propagated absolute error
+/// |x_i' - x_i| into diffs[i] for i >= injection.site.  `diffs` must have
+/// golden.trace.size() elements; the executor zeroes it first.  On Crash the
+/// diff contents are unspecified (callers only consume Masked propagation
+/// data, per Algorithm 1).
+ExperimentResult run_injected_compare(const Program& program,
+                                      const GoldenRun& golden,
+                                      const Injection& injection,
+                                      std::span<double> diffs);
+
+}  // namespace ftb::fi

@@ -1,0 +1,10 @@
+// fpbits is header-only; this translation unit exists so the static library
+// always has at least one object for the module and to host non-inline
+// helpers if they grow.
+#include "fi/fpbits.h"
+
+namespace ftb::fi {
+
+static_assert(sizeof(double) == 8, "binary64 layout required");
+
+}  // namespace ftb::fi

@@ -1,0 +1,59 @@
+// IEEE-754 double bit manipulation: the single-bit-flip fault model of
+// paper Section 2.1.  Bit positions follow the binary64 layout with bit 0
+// the least-significant mantissa bit, bits 52..62 the exponent, and bit 63
+// the sign.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <cstring>
+
+namespace ftb::fi {
+
+inline constexpr int kBitsPerValue = 64;
+inline constexpr int kMantissaBits = 52;
+inline constexpr int kSignBit = 63;
+
+inline std::uint64_t to_bits(double v) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double from_bits(std::uint64_t bits) noexcept {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Flips one bit of a double.  bit must be in [0, 64).
+inline double flip_bit(double v, int bit) noexcept {
+  return from_bits(to_bits(v) ^ (std::uint64_t{1} << bit));
+}
+
+inline bool is_exponent_bit(int bit) noexcept {
+  return bit >= kMantissaBits && bit < kSignBit;
+}
+
+/// The absolute error a flip introduces: |flip(v, bit) - v|.  Returns
+/// +inf/NaN when the flipped value is non-finite, which the fault model
+/// classifies as a (detectable) crash rather than SDC.
+inline double bit_flip_error(double v, int bit) noexcept {
+  const double flipped = flip_bit(v, bit);
+  return std::fabs(flipped - v);
+}
+
+/// True when flipping `bit` of `v` yields a non-finite value (Inf/NaN) --
+/// i.e. the injection itself is immediately "loud".
+inline bool flip_is_nonfinite(double v, int bit) noexcept {
+  return !std::isfinite(flip_bit(v, bit));
+}
+
+/// Relative error |a - b| / max(|a|, |b|, tiny); used for the significance
+/// test in the paper's "potential impact" measure (rel error > 1e-8).
+inline double relative_error(double a, double b) noexcept {
+  const double scale = std::fmax(std::fmax(std::fabs(a), std::fabs(b)), 1e-300);
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace ftb::fi

@@ -1,0 +1,105 @@
+#include "fi/lowmem.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ftb::fi {
+
+namespace {
+
+ExperimentResult classify_lowmem(const Program& program,
+                                 const CompressedGoldenTrace& golden,
+                                 const Tracer& tracer,
+                                 const std::vector<double>& output) {
+  ExperimentResult result;
+  result.injected_error = tracer.injected_error();
+  if (tracer.steps() != golden.sites()) {
+    result.outcome = Outcome::kCrash;
+    result.output_error = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  result.output_error =
+      OutputComparator::linf_distance(output, golden.output());
+  result.outcome = program.comparator().classify(output, golden.output());
+  return result;
+}
+
+ExperimentResult crash_result_lowmem(const Tracer& tracer,
+                                      std::uint64_t crash_site) noexcept {
+  ExperimentResult result;
+  result.outcome = Outcome::kCrash;
+  result.injected_error = tracer.injected_error();
+  result.output_error = std::numeric_limits<double>::infinity();
+  result.crash_site = crash_site;
+  return result;
+}
+
+}  // namespace
+
+CompressedGoldenTrace CompressedGoldenTrace::from(const GoldenRun& golden) {
+  CompressedGoldenTrace trace;
+  trace.payload_ = util::GorillaCodec::compress(golden.trace);
+  trace.sites_ = golden.trace.size();
+  trace.output_ = golden.output;
+  trace.tolerance_ = golden.tolerance;
+  return trace;
+}
+
+double CompressedGoldenTrace::value_at(std::uint64_t site) const {
+  assert(site < sites_);
+  util::GorillaCodec::Decoder cursor = decoder();
+  double value = 0.0;
+  for (std::uint64_t i = 0; i <= site; ++i) value = cursor.next();
+  return value;
+}
+
+ExperimentResult run_injected_lowmem(const Program& program,
+                                     const CompressedGoldenTrace& golden,
+                                     const Injection& injection) {
+  assert(injection.site < golden.sites());
+  Tracer tracer = Tracer::injector(injection);
+  try {
+    const std::vector<double> output = program.run(tracer);
+    return classify_lowmem(program, golden, tracer, output);
+  } catch (const CrashSignal& signal) {
+    return crash_result_lowmem(tracer, signal.site);
+  }
+}
+
+ExperimentResult run_injected_compare_lowmem(
+    const Program& program, const CompressedGoldenTrace& golden,
+    const Injection& injection, const StreamObserver& observe) {
+  assert(injection.site < golden.sites());
+
+  struct StreamState {
+    util::GorillaCodec::Decoder cursor;
+    const StreamObserver* observe;
+  };
+  StreamState state{golden.decoder(), &observe};
+
+  Tracer::StreamHooks hooks;
+  hooks.ctx = &state;
+  hooks.next_golden = [](void* ctx) {
+    return static_cast<StreamState*>(ctx)->cursor.next();
+  };
+  hooks.observe = [](void* ctx, std::uint64_t site, double error) {
+    auto* stream = static_cast<StreamState*>(ctx);
+    if (*stream->observe) (*stream->observe)(site, error);
+  };
+
+  Tracer tracer = Tracer::stream_comparator(injection, hooks);
+  try {
+    const std::vector<double> output = program.run(tracer);
+    return classify_lowmem(program, golden, tracer, output);
+  } catch (const CrashSignal& signal) {
+    return crash_result_lowmem(tracer, signal.site);
+  } catch (const std::runtime_error&) {
+    // Decoder exhausted: the faulty run executed more dynamic instructions
+    // than the golden one -- diverged control flow, classified as Crash
+    // (same rule as the step-count check in the standard executor).
+    return crash_result_lowmem(tracer, tracer.steps());
+  }
+}
+
+}  // namespace ftb::fi

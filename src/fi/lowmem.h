@@ -1,0 +1,85 @@
+// Low-memory analysis pipeline (the paper's Section 5 "Overhead" future
+// work).  The standard pipeline keeps the golden trace -- one double per
+// dynamic instruction -- resident for every comparison; at scale this is
+// the dominant memory cost the paper worries about.  This module replaces
+// it with
+//
+//   * CompressedGoldenTrace: the golden trace held Gorilla-compressed, with
+//     only the (small) output vector uncompressed, and
+//   * run_injected_compare_lowmem: a Compare-mode execution that decodes
+//     golden values sequentially and streams propagated errors straight
+//     into an observer (e.g. BoundaryAccumulator::record_masked_value),
+//     never materialising an O(D) buffer.
+//
+// Since an experiment's outcome is only known at the end, boundary
+// construction uses the two-pass recipe: classify first (cheap Inject
+// mode), then re-run masked experiments in streaming-compare mode.
+// bench/ablation_memory quantifies memory and runtime against the standard
+// pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fi/executor.h"
+#include "fi/program.h"
+#include "util/gorilla.h"
+
+namespace ftb::fi {
+
+class CompressedGoldenTrace {
+ public:
+  CompressedGoldenTrace() = default;
+
+  /// Compresses an existing golden run (the trace is dropped by the caller
+  /// afterwards; output/phases/tolerance stay uncompressed -- they are
+  /// O(output), not O(D)).
+  static CompressedGoldenTrace from(const GoldenRun& golden);
+
+  std::uint64_t sites() const noexcept { return sites_; }
+  std::uint64_t sample_space_size() const noexcept {
+    return sites_ * kBitsPerValue;
+  }
+  std::size_t compressed_bytes() const noexcept { return payload_.size(); }
+  std::size_t raw_bytes() const noexcept { return sites_ * sizeof(double); }
+  double compression_ratio() const noexcept {
+    return raw_bytes() ? static_cast<double>(compressed_bytes()) /
+                             static_cast<double>(raw_bytes())
+                       : 0.0;
+  }
+
+  const std::vector<double>& output() const noexcept { return output_; }
+  double tolerance() const noexcept { return tolerance_; }
+
+  /// Sequential decoder positioned at site 0.
+  util::GorillaCodec::Decoder decoder() const {
+    return {payload_, static_cast<std::size_t>(sites_)};
+  }
+
+  /// Golden value at one site (decodes the prefix; O(site), for spot use).
+  double value_at(std::uint64_t site) const;
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t sites_ = 0;
+  std::vector<double> output_;
+  double tolerance_ = 0.0;
+};
+
+/// Outcome-only experiment against a compressed golden trace (Inject mode
+/// needs no golden values; classification compares outputs only).
+ExperimentResult run_injected_lowmem(const Program& program,
+                                     const CompressedGoldenTrace& golden,
+                                     const Injection& injection);
+
+/// Streaming-compare experiment: `observe(site, error)` is called for every
+/// dynamic instruction at or after the injection site with the propagated
+/// absolute error (including zeros).  No O(D) buffer is allocated.
+using StreamObserver = std::function<void(std::uint64_t, double)>;
+
+ExperimentResult run_injected_compare_lowmem(
+    const Program& program, const CompressedGoldenTrace& golden,
+    const Injection& injection, const StreamObserver& observe);
+
+}  // namespace ftb::fi

@@ -1,0 +1,49 @@
+#include "fi/outcome.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ftb::fi {
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kMasked:
+      return "Masked";
+    case Outcome::kSdc:
+      return "SDC";
+    case Outcome::kCrash:
+      return "Crash";
+  }
+  return "?";
+}
+
+double OutputComparator::linf_distance(std::span<const double> output,
+                                       std::span<const double> golden) noexcept {
+  assert(output.size() == golden.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const double diff = std::fabs(output[i] - golden[i]);
+    if (std::isnan(diff)) return std::numeric_limits<double>::infinity();
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+double OutputComparator::threshold_for(
+    std::span<const double> golden) const noexcept {
+  double scale = 0.0;
+  for (double g : golden) scale = std::fmax(scale, std::fabs(g));
+  return atol + rtol * scale;
+}
+
+Outcome OutputComparator::classify(std::span<const double> output,
+                                   std::span<const double> golden) const noexcept {
+  for (double v : output) {
+    if (!std::isfinite(v)) return Outcome::kCrash;
+  }
+  const double distance = linf_distance(output, golden);
+  return distance <= threshold_for(golden) ? Outcome::kMasked : Outcome::kSdc;
+}
+
+}  // namespace ftb::fi

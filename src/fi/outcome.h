@@ -1,0 +1,54 @@
+// Outcome classification for fault-injection experiments (paper Section 2.1):
+// Masked, SDC, or Crash, decided by comparing the corrupted run's final
+// output against the golden run's output under an L-infinity tolerance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ftb::fi {
+
+enum class Outcome : std::uint8_t {
+  kMasked = 0,  // acceptable output (within tolerance of the golden run)
+  kSdc = 1,     // silently wrong output
+  kCrash = 2,   // "loud" failure: NaN/Inf in the injection, trace, or output
+};
+
+const char* to_string(Outcome outcome) noexcept;
+
+/// Acceptance test: L-inf(output - golden) <= atol + rtol * L-inf(golden).
+/// This is the paper's "acceptable tolerance level defined by the domain
+/// user"; each kernel configuration carries its own comparator.
+struct OutputComparator {
+  double atol = 1e-9;
+  double rtol = 1e-6;
+
+  /// Largest absolute elementwise difference; +inf when any element pair
+  /// contains a NaN (NaN output can never be acceptable).
+  static double linf_distance(std::span<const double> output,
+                              std::span<const double> golden) noexcept;
+
+  /// The absolute tolerance implied by a golden output.
+  double threshold_for(std::span<const double> golden) const noexcept;
+
+  /// Full classification.  Any non-finite value in `output` is a Crash.
+  Outcome classify(std::span<const double> output,
+                   std::span<const double> golden) const noexcept;
+};
+
+/// A single fault-injection experiment's result record.
+struct ExperimentResult {
+  Outcome outcome = Outcome::kMasked;
+  double injected_error = 0.0;  // |flip(x) - x| at the injection site
+  double output_error = 0.0;    // L-inf distance of final outputs
+
+  /// For Crash outcomes: the dynamic instruction at which the run
+  /// "trapped" (produced its first non-finite value), or the injection
+  /// site when the corrupted value itself was non-finite.  Undefined for
+  /// other outcomes.  crash_site - injection.site is the detection
+  /// latency in dynamic instructions.
+  std::uint64_t crash_site = 0;
+};
+
+}  // namespace ftb::fi

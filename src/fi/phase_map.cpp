@@ -1,0 +1,48 @@
+#include "fi/phase_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftb::fi {
+
+PhaseMap::PhaseMap(std::span<const PhaseMark> marks,
+                   std::uint64_t total_sites)
+    : total_sites_(total_sites) {
+  if (total_sites == 0) return;
+
+  if (marks.empty()) {
+    segments_.push_back({"(whole program)", 0, total_sites});
+    return;
+  }
+  if (marks.front().begin > 0) {
+    segments_.push_back({"(prelude)", 0, marks.front().begin});
+  }
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    assert(i == 0 || marks[i].begin >= marks[i - 1].begin);
+    const std::uint64_t begin = std::min(marks[i].begin, total_sites);
+    const std::uint64_t end =
+        i + 1 < marks.size() ? std::min(marks[i + 1].begin, total_sites)
+                             : total_sites;
+    if (begin >= end) continue;  // empty phase (e.g. back-to-back marks)
+    segments_.push_back({marks[i].name, begin, end});
+  }
+  if (segments_.empty()) {
+    segments_.push_back({"(whole program)", 0, total_sites});
+  }
+}
+
+std::size_t PhaseMap::segment_index_of(std::uint64_t site) const noexcept {
+  assert(site < total_sites_);
+  // First segment whose end exceeds the site.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), site,
+      [](std::uint64_t s, const Segment& segment) { return s < segment.end; });
+  assert(it != segments_.end());
+  return static_cast<std::size_t>(it - segments_.begin());
+}
+
+std::string_view PhaseMap::phase_of(std::uint64_t site) const noexcept {
+  return segments_[segment_index_of(site)].name;
+}
+
+}  // namespace ftb::fi

@@ -1,0 +1,53 @@
+// PhaseMap: resolves dynamic-instruction indices to the source-level phase
+// the kernel announced via Tracer::phase().  Reports use it to aggregate
+// per-region vulnerability the way the paper's Figure 4 discussion does
+// ("the first 80 dynamic instructions initialise floating point variables
+// to zero", "instructions 80 to 200 execute initialization", ...).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fi/tracer.h"
+
+namespace ftb::fi {
+
+class PhaseMap {
+ public:
+  /// A resolved phase: name + half-open dynamic-instruction range.
+  struct Segment {
+    std::string name;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t size() const noexcept { return end - begin; }
+  };
+
+  PhaseMap() = default;
+
+  /// Builds from phase announcements (sorted by construction, since the
+  /// tracer records them in execution order) and the total number of
+  /// dynamic instructions.  Instructions before the first mark (if any)
+  /// belong to an implicit "(prelude)" phase; a program that never calls
+  /// Tracer::phase() yields one "(whole program)" segment.
+  PhaseMap(std::span<const PhaseMark> marks, std::uint64_t total_sites);
+
+  std::span<const Segment> segments() const noexcept { return segments_; }
+  bool empty() const noexcept { return segments_.empty(); }
+  std::uint64_t total_sites() const noexcept { return total_sites_; }
+
+  /// Name of the phase containing `site` (binary search).
+  std::string_view phase_of(std::uint64_t site) const noexcept;
+
+  /// Index into segments() for `site`.
+  std::size_t segment_index_of(std::uint64_t site) const noexcept;
+
+ private:
+  std::vector<Segment> segments_;
+  std::uint64_t total_sites_ = 0;
+};
+
+}  // namespace ftb::fi

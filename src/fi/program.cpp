@@ -1,0 +1,3 @@
+#include "fi/program.h"
+
+namespace ftb::fi {}

@@ -1,0 +1,42 @@
+// The Program interface: a deterministic, instrumented computation whose
+// resiliency the library analyses.  Implementations (src/kernels) route
+// every produced floating-point data element through the Tracer and must
+// have no data-dependent control flow, so the dynamic-instruction sequence
+// is identical across fault-free and fault-injected runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fi/outcome.h"
+#include "fi/tracer.h"
+
+namespace ftb::fi {
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Human-readable kernel name ("cg", "lu", "fft", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes the computation, routing every produced FP data element
+  /// through `tracer`, and returns the final output vector that outcome
+  /// classification compares against the golden output.  May throw
+  /// CrashSignal (from the tracer) on simulated abnormal termination.
+  virtual std::vector<double> run(Tracer& tracer) const = 0;
+
+  /// The acceptance tolerance for this program's output (paper: the
+  /// "acceptable tolerance level defined by the domain user").
+  virtual OutputComparator comparator() const { return {}; }
+
+  /// A short string identifying the exact configuration (matrix size,
+  /// iterations, seeds...).  Used as part of ground-truth cache keys, so it
+  /// must change whenever run() behaviour changes.
+  virtual std::string config_key() const = 0;
+};
+
+using ProgramPtr = std::unique_ptr<Program>;
+
+}  // namespace ftb::fi

@@ -1,0 +1,5 @@
+// Tracer is header-only for inlining on the per-dynamic-instruction hot
+// path; this translation unit anchors the module in the static library.
+#include "fi/tracer.h"
+
+namespace ftb::fi {}

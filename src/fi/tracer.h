@@ -1,0 +1,266 @@
+// The dynamic-instruction tracer: this library's stand-in for the paper's
+// compiler-level instrumentation.  Kernels thread a Tracer through their
+// computation and pass every produced floating-point *data element* through
+// Tracer::step(), which
+//
+//   * numbers dynamic instructions 0, 1, 2, ... (the paper's injection
+//     sites),
+//   * in Record mode captures the golden trace,
+//   * in Inject mode applies a fault (bit flip or additive perturbation) at
+//     one chosen site,
+//   * in Compare mode additionally streams |x_i' - x_i| against a golden
+//     trace (the error-propagation data of paper Section 2.2),
+//   * simulates a "crash" by throwing CrashSignal the moment any produced
+//     value is non-finite (the NaN-exception termination of Section 2.1).
+//
+// Kernels must be deterministic and free of data-dependent control flow so
+// fault-free and faulty runs execute identical dynamic-instruction
+// sequences; the executor verifies the step counts match.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fi/fpbits.h"
+
+namespace ftb::fi {
+
+/// A named program phase starting at a dynamic-instruction index.  Kernels
+/// announce phases through Tracer::phase(); the golden run records them so
+/// reports can aggregate per source-level region ("setup", "iterations",
+/// ...) -- the paper's Figure 4 discussion is phrased entirely in these
+/// terms.
+struct PhaseMark {
+  std::uint64_t begin = 0;
+  std::string name;
+
+  friend bool operator==(const PhaseMark&, const PhaseMark&) = default;
+};
+
+/// Thrown by Tracer::step to abort an experiment run that produced a
+/// non-finite value, simulating an abnormal termination.  Executors catch
+/// it; it never escapes the library.
+struct CrashSignal {
+  std::uint64_t site = 0;  // dynamic instruction where the run "trapped"
+};
+
+/// Describes the fault applied at one dynamic instruction.
+struct Injection {
+  enum class Kind : std::uint8_t {
+    kBitFlip,   // flip `bit` of the produced value (the paper's fault model)
+    kAddDelta,  // add `operand` (used by the Section 5 monotonicity studies)
+    kSetValue,  // replace with `operand` (tests)
+    kXorMask,   // XOR the bit pattern with `mask` (multi-bit fault models)
+  };
+
+  std::uint64_t site = 0;
+  Kind kind = Kind::kBitFlip;
+  int bit = 0;
+  double operand = 0.0;
+  std::uint64_t mask = 0;
+
+  static Injection bit_flip(std::uint64_t site, int bit) noexcept {
+    return {site, Kind::kBitFlip, bit, 0.0, 0};
+  }
+  static Injection add_delta(std::uint64_t site, double delta) noexcept {
+    return {site, Kind::kAddDelta, 0, delta, 0};
+  }
+  static Injection set_value(std::uint64_t site, double value) noexcept {
+    return {site, Kind::kSetValue, 0, value, 0};
+  }
+  /// Generalised bit fault: flips every set bit of `mask` at once.  A
+  /// single-bit mask is identical to bit_flip; two set bits model the
+  /// double-bit upsets that ECC scrubbing can miss.
+  static Injection xor_mask(std::uint64_t site, std::uint64_t mask) noexcept {
+    return {site, Kind::kXorMask, 0, 0.0, mask};
+  }
+  static Injection double_bit_flip(std::uint64_t site, int bit_a,
+                                   int bit_b) noexcept {
+    return xor_mask(site, (std::uint64_t{1} << bit_a) |
+                              (std::uint64_t{1} << bit_b));
+  }
+
+  double apply(double v) const noexcept {
+    switch (kind) {
+      case Kind::kBitFlip:
+        return flip_bit(v, bit);
+      case Kind::kAddDelta:
+        return v + operand;
+      case Kind::kSetValue:
+        return operand;
+      case Kind::kXorMask:
+        return from_bits(to_bits(v) ^ mask);
+    }
+    return v;
+  }
+};
+
+class Tracer {
+ public:
+  /// Counts dynamic instructions only (used to size golden structures).
+  static Tracer counter() noexcept { return Tracer(Mode::kCount); }
+
+  /// Appends every produced value to `trace` (golden run).  When `phases`
+  /// is given, Tracer::phase() announcements are recorded into it.
+  static Tracer recorder(std::vector<double>& trace,
+                         std::vector<PhaseMark>* phases = nullptr) noexcept {
+    Tracer t(Mode::kRecord);
+    t.trace_out_ = &trace;
+    t.phases_out_ = phases;
+    return t;
+  }
+
+  /// Applies `injection` at its site; throws CrashSignal on non-finite
+  /// values from the injection site onward.
+  static Tracer injector(const Injection& injection) noexcept {
+    Tracer t(Mode::kInject);
+    t.injection_ = injection;
+    return t;
+  }
+
+  /// Like injector(), and additionally writes the propagated absolute error
+  /// |x_i' - x_i| into diffs[i] for every site i >= injection.site.  `diffs`
+  /// must have golden.size() elements and be zero-initialised by the caller.
+  static Tracer comparator(const Injection& injection,
+                           std::span<const double> golden,
+                           std::span<double> diffs) noexcept {
+    assert(diffs.size() == golden.size());
+    Tracer t(Mode::kCompare);
+    t.injection_ = injection;
+    t.golden_ = golden;
+    t.diffs_ = diffs;
+    return t;
+  }
+
+  /// Low-memory comparison (the paper's Section 5 "Overhead" direction):
+  /// instead of holding the golden trace in memory, the golden value for
+  /// each step is pulled from a sequential source and the propagated error
+  /// streamed to an observer, so no O(D) buffers exist.
+  ///
+  ///   next_golden(ctx) -> the golden value for the current step,
+  ///   observe(ctx, site, propagated_abs_error) for every site >= the
+  ///   injection site.
+  ///
+  /// Raw function pointers keep std::function off the hot path.
+  struct StreamHooks {
+    void* ctx = nullptr;
+    double (*next_golden)(void* ctx) = nullptr;
+    void (*observe)(void* ctx, std::uint64_t site, double error) = nullptr;
+  };
+
+  static Tracer stream_comparator(const Injection& injection,
+                                  StreamHooks hooks) noexcept {
+    assert(hooks.next_golden != nullptr);
+    Tracer t(Mode::kCompareStream);
+    t.injection_ = injection;
+    t.hooks_ = hooks;
+    return t;
+  }
+
+  /// The hot path: every kernel FP production flows through here.
+  double step(double v) {
+    const std::uint64_t idx = index_++;
+    switch (mode_) {
+      case Mode::kCount:
+        return v;
+      case Mode::kRecord:
+        trace_out_->push_back(v);
+        return v;
+      case Mode::kInject:
+        if (idx == injection_.site) {
+          v = fire(v, idx);
+        } else if (idx > injection_.site && !std::isfinite(v)) {
+          throw CrashSignal{idx};
+        }
+        return v;
+      case Mode::kCompare:
+        if (idx == injection_.site) {
+          v = fire(v, idx);
+        } else if (idx > injection_.site && !std::isfinite(v)) {
+          throw CrashSignal{idx};
+        }
+        if (idx >= injection_.site && idx < diffs_.size()) {
+          diffs_[idx] = std::fabs(v - golden_[idx]);
+        }
+        return v;
+      case Mode::kCompareStream: {
+        const double golden_value = hooks_.next_golden(hooks_.ctx);
+        if (idx == injection_.site) {
+          v = fire(v, idx);
+        } else if (idx > injection_.site && !std::isfinite(v)) {
+          throw CrashSignal{idx};
+        }
+        if (idx >= injection_.site && hooks_.observe != nullptr) {
+          hooks_.observe(hooks_.ctx, idx, std::fabs(v - golden_value));
+        }
+        return v;
+      }
+    }
+    return v;  // unreachable
+  }
+
+  /// Announces that the instructions from the current index onward belong
+  /// to the named program phase.  Free outside the recording golden run;
+  /// kernels may call it unconditionally.
+  void phase(std::string_view name) {
+    if (phases_out_ != nullptr) {
+      phases_out_->push_back({index_, std::string(name)});
+    }
+  }
+
+  /// Number of dynamic instructions seen so far.
+  std::uint64_t steps() const noexcept { return index_; }
+
+  /// True once the injection site has been reached.
+  bool fired() const noexcept { return fired_; }
+
+  /// |corrupted - original| at the injection site; +inf when the corrupted
+  /// value was non-finite.  Only meaningful after fired().
+  double injected_error() const noexcept { return injected_error_; }
+
+  /// Value originally produced at the injection site (pre-corruption).
+  double original_value() const noexcept { return original_value_; }
+
+ private:
+  enum class Mode : std::uint8_t {
+    kCount,
+    kRecord,
+    kInject,
+    kCompare,
+    kCompareStream,
+  };
+
+  explicit Tracer(Mode mode) noexcept : mode_(mode) {}
+
+  double fire(double v, std::uint64_t idx) {
+    fired_ = true;
+    original_value_ = v;
+    const double corrupted = injection_.apply(v);
+    if (!std::isfinite(corrupted)) {
+      injected_error_ = std::numeric_limits<double>::infinity();
+      throw CrashSignal{idx};
+    }
+    injected_error_ = std::fabs(corrupted - v);
+    return corrupted;
+  }
+
+  Mode mode_;
+  std::uint64_t index_ = 0;
+  Injection injection_{};
+  bool fired_ = false;
+  double injected_error_ = 0.0;
+  double original_value_ = 0.0;
+  std::vector<double>* trace_out_ = nullptr;
+  std::vector<PhaseMark>* phases_out_ = nullptr;
+  std::span<const double> golden_{};
+  std::span<double> diffs_{};
+  StreamHooks hooks_{};
+};
+
+}  // namespace ftb::fi

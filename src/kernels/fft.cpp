@@ -1,0 +1,155 @@
+#include "kernels/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ftb::kernels {
+
+namespace {
+
+[[maybe_unused]] bool is_power_of_two(std::size_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// In-place radix-2 DIT FFT over one contiguous row of a split complex
+/// array.  Every store is traced.  Twiddle angles are pure functions of the
+/// loop indices (program constants, like literal coefficients), so they are
+/// not injection sites themselves; the *results* of every butterfly are.
+void fft_row(fi::Tracer& t, double* re, double* im, std::size_t m) {
+  // Bit-reversal permutation (index-driven; the moved values are stores).
+  for (std::size_t i = 1, j = 0; i < m; ++i) {
+    std::size_t bit = m >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      const double tr = re[i];
+      const double ti = im[i];
+      re[i] = t.step(re[j]);
+      im[i] = t.step(im[j]);
+      re[j] = t.step(tr);
+      im[j] = t.step(ti);
+    }
+  }
+
+  for (std::size_t len = 2; len <= m; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::size_t half = len / 2;
+    for (std::size_t base = 0; base < m; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const double c = std::cos(angle * static_cast<double>(k));
+        const double s = std::sin(angle * static_cast<double>(k));
+        const std::size_t lo = base + k;
+        const std::size_t hi = lo + half;
+        const double ur = re[lo];
+        const double ui = im[lo];
+        const double vr = re[hi] * c - im[hi] * s;
+        const double vi = re[hi] * s + im[hi] * c;
+        re[lo] = t.step(ur + vr);
+        im[lo] = t.step(ui + vi);
+        re[hi] = t.step(ur - vr);
+        im[hi] = t.step(ui - vi);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FftConfig::key() const {
+  return util::format("fft:n1=%zu:n2=%zu:seed=%llu:atol=%g:rtol=%g", n1, n2,
+                      static_cast<unsigned long long>(signal_seed), atol, rtol);
+}
+
+FftProgram::FftProgram(FftConfig config) : config_(config) {
+  assert(is_power_of_two(config_.n1));
+  assert(is_power_of_two(config_.n2));
+}
+
+std::vector<double> FftProgram::run(fi::Tracer& t) const {
+  const std::size_t n1 = config_.n1;
+  const std::size_t n2 = config_.n2;
+  const std::size_t n = n1 * n2;
+
+  // Input signal (traced fill), viewed as an n1 x n2 row-major matrix.
+  t.phase("input");
+  util::Rng rng(config_.signal_seed);
+  std::vector<double> a_re(n), a_im(n);
+  for (std::size_t i = 0; i < n; ++i) a_re[i] = t.step(rng.next_double(-1.0, 1.0));
+  for (std::size_t i = 0; i < n; ++i) a_im[i] = t.step(rng.next_double(-1.0, 1.0));
+
+  // Twiddle table w_n^m for m in [0, n) (traced; SPLASH-2 precomputes the
+  // same "roots of unity" array).
+  t.phase("twiddle-table");
+  std::vector<double> tw_re(n), tw_im(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(m) / static_cast<double>(n);
+    tw_re[m] = t.step(std::cos(angle));
+    tw_im[m] = t.step(std::sin(angle));
+  }
+
+  // Step 1: transpose a (n1 x n2) -> b (n2 x n1).
+  t.phase("transpose-1");
+  std::vector<double> b_re(n), b_im(n);
+  for (std::size_t j2 = 0; j2 < n2; ++j2) {
+    for (std::size_t j1 = 0; j1 < n1; ++j1) {
+      b_re[j2 * n1 + j1] = t.step(a_re[j1 * n2 + j2]);
+      b_im[j2 * n1 + j1] = t.step(a_im[j1 * n2 + j2]);
+    }
+  }
+
+  // Step 2: n2 row FFTs of length n1.
+  t.phase("row-ffts-1");
+  for (std::size_t j2 = 0; j2 < n2; ++j2) {
+    fft_row(t, b_re.data() + j2 * n1, b_im.data() + j2 * n1, n1);
+  }
+
+  // Step 3: twiddle -- b[j2][k1] *= w_n^(j2 * k1).
+  t.phase("twiddle-multiply");
+  for (std::size_t j2 = 0; j2 < n2; ++j2) {
+    for (std::size_t k1 = 0; k1 < n1; ++k1) {
+      const std::size_t m = (j2 * k1) % n;
+      const double wr = tw_re[m];
+      const double wi = tw_im[m];
+      const std::size_t idx = j2 * n1 + k1;
+      const double xr = b_re[idx];
+      const double xi = b_im[idx];
+      b_re[idx] = t.step(xr * wr - xi * wi);
+      b_im[idx] = t.step(xr * wi + xi * wr);
+    }
+  }
+
+  // Step 4: transpose b (n2 x n1) -> c (n1 x n2).
+  t.phase("transpose-2");
+  std::vector<double> c_re(n), c_im(n);
+  for (std::size_t k1 = 0; k1 < n1; ++k1) {
+    for (std::size_t j2 = 0; j2 < n2; ++j2) {
+      c_re[k1 * n2 + j2] = t.step(b_re[j2 * n1 + k1]);
+      c_im[k1 * n2 + j2] = t.step(b_im[j2 * n1 + k1]);
+    }
+  }
+
+  // Step 5: n1 row FFTs of length n2.
+  t.phase("row-ffts-2");
+  for (std::size_t k1 = 0; k1 < n1; ++k1) {
+    fft_row(t, c_re.data() + k1 * n2, c_im.data() + k1 * n2, n2);
+  }
+
+  // Step 6: transpose into the natural-order spectrum: out[k2*n1 + k1].
+  t.phase("transpose-out");
+  std::vector<double> out(2 * n);
+  for (std::size_t k2 = 0; k2 < n2; ++k2) {
+    for (std::size_t k1 = 0; k1 < n1; ++k1) {
+      out[2 * (k2 * n1 + k1)] = t.step(c_re[k1 * n2 + k2]);
+      out[2 * (k2 * n1 + k1) + 1] = t.step(c_im[k1 * n2 + k2]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ftb::kernels

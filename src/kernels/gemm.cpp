@@ -1,0 +1,51 @@
+#include "kernels/gemm.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ftb::kernels {
+
+std::string GemmConfig::key() const {
+  return util::format("gemm:n=%zu:b=%zu:seed=%llu:atol=%g:rtol=%g", n, block,
+                      static_cast<unsigned long long>(seed), atol, rtol);
+}
+
+GemmProgram::GemmProgram(GemmConfig config) : config_(config) {
+  assert(config_.block > 0 && config_.n % config_.block == 0);
+}
+
+std::vector<double> GemmProgram::run(fi::Tracer& t) const {
+  const std::size_t n = config_.n;
+  const std::size_t nb = config_.block;
+
+  t.phase("fill-a");
+  util::Rng rng(config_.seed);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (double& v : a) v = t.step(rng.next_double(-1.0, 1.0));
+  t.phase("fill-b");
+  for (double& v : b) v = t.step(rng.next_double(-1.0, 1.0));
+
+  t.phase("multiply");
+  // Blocked i-k-j schedule: for each k tile, C tiles accumulate one rank-nb
+  // update; the store after each update is the traced data element.
+  for (std::size_t k0 = 0; k0 < n; k0 += nb) {
+    for (std::size_t i0 = 0; i0 < n; i0 += nb) {
+      for (std::size_t j0 = 0; j0 < n; j0 += nb) {
+        for (std::size_t i = i0; i < i0 + nb; ++i) {
+          for (std::size_t j = j0; j < j0 + nb; ++j) {
+            double sum = c[i * n + j];
+            for (std::size_t k = k0; k < k0 + nb; ++k) {
+              sum += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = t.step(sum);
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace ftb::kernels

@@ -1,0 +1,205 @@
+#include "kernels/registry.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "kernels/blas1.h"
+#include "kernels/cg.h"
+#include "kernels/fft.h"
+#include "kernels/gemm.h"
+#include "kernels/jacobi.h"
+#include "kernels/lu.h"
+#include "kernels/spmv.h"
+#include "kernels/stencil.h"
+
+namespace ftb::kernels {
+
+Preset preset_from_string(const std::string& text) {
+  if (text == "tiny") return Preset::kTiny;
+  if (text == "default" || text.empty()) return Preset::kDefault;
+  if (text == "paper") return Preset::kPaper;
+  throw std::invalid_argument("unknown preset: " + text);
+}
+
+const char* to_string(Preset preset) noexcept {
+  switch (preset) {
+    case Preset::kTiny:
+      return "tiny";
+    case Preset::kDefault:
+      return "default";
+    case Preset::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+std::vector<std::string> program_names() {
+  return {"cg", "lu", "fft", "stencil2d", "gemm", "jacobi", "spmv", "daxpy", "matvec"};
+}
+
+fi::ProgramPtr make_program(const std::string& name, Preset preset) {
+  if (name == "cg") {
+    CgConfig config;
+    // Iteration counts run the solver to (near) convergence: CG's
+    // self-correction is what produces the paper's high masking rates and
+    // the non-monotonic sites that motivate the Section 3.5 filter.
+    switch (preset) {
+      case Preset::kTiny:
+        config.nx = config.ny = 4;
+        config.iterations = 10;
+        break;
+      case Preset::kDefault:
+        config.nx = config.ny = 6;
+        config.iterations = 30;
+        break;
+      case Preset::kPaper:
+        // Comparable to the paper's MiniFE run: a sample space in the
+        // hundreds of thousands of experiments.
+        config.nx = config.ny = 8;
+        config.iterations = 50;
+        break;
+    }
+    return std::make_unique<CgProgram>(config);
+  }
+  if (name == "lu") {
+    LuConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.n = 8;
+        config.block = 4;
+        break;
+      case Preset::kDefault:
+        config.n = 16;
+        config.block = 8;
+        break;
+      case Preset::kPaper:
+        config.n = 32;   // the paper's exact configuration:
+        config.block = 16;  // 32x32 matrix, 16x16 blocks
+        break;
+    }
+    return std::make_unique<LuProgram>(config);
+  }
+  if (name == "fft") {
+    FftConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.n1 = config.n2 = 4;
+        break;
+      case Preset::kDefault:
+        config.n1 = config.n2 = 8;
+        break;
+      case Preset::kPaper:
+        config.n1 = config.n2 = 16;  // n = 256, six-step
+        break;
+    }
+    return std::make_unique<FftProgram>(config);
+  }
+  if (name == "stencil2d") {
+    StencilConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.nx = config.ny = 4;
+        config.iterations = 3;
+        break;
+      case Preset::kDefault:
+        config.nx = config.ny = 8;
+        config.iterations = 6;
+        break;
+      case Preset::kPaper:
+        config.nx = config.ny = 16;
+        config.iterations = 10;
+        break;
+    }
+    return std::make_unique<StencilProgram>(config);
+  }
+  if (name == "gemm") {
+    GemmConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.n = 6;
+        config.block = 2;
+        break;
+      case Preset::kDefault:
+        config.n = 12;
+        config.block = 4;
+        break;
+      case Preset::kPaper:
+        config.n = 24;
+        config.block = 8;
+        break;
+    }
+    return std::make_unique<GemmProgram>(config);
+  }
+  if (name == "jacobi") {
+    JacobiConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.nx = config.ny = 4;
+        config.sweeps = 25;
+        break;
+      case Preset::kDefault:
+        config.nx = config.ny = 6;
+        config.sweeps = 60;
+        break;
+      case Preset::kPaper:
+        config.nx = config.ny = 8;
+        config.sweeps = 120;
+        break;
+    }
+    return std::make_unique<JacobiProgram>(config);
+  }
+  if (name == "spmv") {
+    SpmvConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.nx = config.ny = 4;
+        config.repeats = 4;
+        break;
+      case Preset::kDefault:
+        config.nx = config.ny = 6;
+        config.repeats = 8;
+        break;
+      case Preset::kPaper:
+        config.nx = config.ny = 10;
+        config.repeats = 16;
+        break;
+    }
+    return std::make_unique<SpmvProgram>(config);
+  }
+  if (name == "daxpy") {
+    DaxpyConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.n = 16;
+        break;
+      case Preset::kDefault:
+        config.n = 64;
+        break;
+      case Preset::kPaper:
+        config.n = 256;
+        break;
+    }
+    return std::make_unique<DaxpyProgram>(config);
+  }
+  if (name == "matvec") {
+    MatvecConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.n = 6;
+        config.repeats = 2;
+        break;
+      case Preset::kDefault:
+        config.n = 16;
+        config.repeats = 4;
+        break;
+      case Preset::kPaper:
+        config.n = 32;
+        config.repeats = 8;
+        break;
+    }
+    return std::make_unique<MatvecProgram>(config);
+  }
+  throw std::invalid_argument("unknown program: " + name);
+}
+
+}  // namespace ftb::kernels

@@ -1,0 +1,27 @@
+// Name-based kernel factory used by benches and examples, with three size
+// presets: "tiny" (unit tests, sub-second exhaustive campaigns), "default"
+// (the bench binaries' out-of-the-box size), and "paper" (the evaluation
+// sizes from the PPoPP'21 paper, e.g. LU 32x32 with 16x16 blocks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fi/program.h"
+
+namespace ftb::kernels {
+
+enum class Preset { kTiny, kDefault, kPaper };
+
+Preset preset_from_string(const std::string& text);
+const char* to_string(Preset preset) noexcept;
+
+/// Names accepted by make_program: "cg", "lu", "fft", "stencil2d", "daxpy",
+/// "matvec".  The paper's three evaluation kernels come first.
+std::vector<std::string> program_names();
+
+/// Creates a configured program; throws std::invalid_argument for unknown
+/// names.
+fi::ProgramPtr make_program(const std::string& name, Preset preset);
+
+}  // namespace ftb::kernels

@@ -1,0 +1,49 @@
+// Chained sparse matrix-vector products y <- A * y on the 2-D Poisson
+// operator -- the "sparse ... matrix multiplication" case of the paper's
+// Section 5 monotonicity analysis (f(eps) = C * eps), and the computational
+// core of the iterative solvers whose resiliency the paper's Related Work
+// studies (Shantharam et al.: error growth across a series of SpMVs).
+//
+// Traced data elements: the matrix-value array, the input vector, and every
+// product element store per repetition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fi/program.h"
+
+namespace ftb::kernels {
+
+struct SpmvConfig {
+  std::size_t nx = 6;          // Poisson grid (matrix is (nx*ny)^2, 5-point)
+  std::size_t ny = 6;
+  std::size_t repeats = 8;     // chained products
+  std::uint64_t seed = 71;
+  double atol = 1e-9;
+  double rtol = 1e-6;
+
+  std::string key() const;
+};
+
+class SpmvProgram final : public fi::Program {
+ public:
+  explicit SpmvProgram(SpmvConfig config);
+
+  std::string name() const override { return "spmv"; }
+  std::string config_key() const override { return config_.key(); }
+  fi::OutputComparator comparator() const override {
+    return {config_.atol, config_.rtol};
+  }
+
+  /// Output: y after `repeats` products (scaled to keep magnitudes stable).
+  std::vector<double> run(fi::Tracer& tracer) const override;
+
+  const SpmvConfig& config() const noexcept { return config_; }
+
+ private:
+  SpmvConfig config_;
+};
+
+}  // namespace ftb::kernels

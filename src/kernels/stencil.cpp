@@ -1,0 +1,61 @@
+#include "kernels/stencil.h"
+
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ftb::kernels {
+
+std::string StencilConfig::key() const {
+  return util::format("stencil:nx=%zu:ny=%zu:it=%zu:seed=%llu:atol=%g:rtol=%g",
+                      nx, ny, iterations,
+                      static_cast<unsigned long long>(init_seed), atol, rtol);
+}
+
+StencilProgram::StencilProgram(StencilConfig config) : config_(config) {}
+
+std::vector<double> StencilProgram::run(fi::Tracer& t) const {
+  const std::size_t nx = config_.nx;
+  const std::size_t ny = config_.ny;
+  const std::size_t width = nx + 2;   // zero halo frame
+  const std::size_t height = ny + 2;
+
+  std::vector<double> grid(width * height, 0.0);
+  std::vector<double> next(width * height, 0.0);
+  const auto index = [width](std::size_t ix, std::size_t iy) {
+    return iy * width + ix;
+  };
+
+  // Traced initial interior fill.
+  t.phase("init");
+  util::Rng rng(config_.init_seed);
+  for (std::size_t iy = 1; iy <= ny; ++iy) {
+    for (std::size_t ix = 1; ix <= nx; ++ix) {
+      grid[index(ix, iy)] = t.step(rng.next_double(-1.0, 1.0));
+    }
+  }
+
+  for (std::size_t sweep = 0; sweep < config_.iterations; ++sweep) {
+    t.phase("sweep " + std::to_string(sweep));
+    for (std::size_t iy = 1; iy <= ny; ++iy) {
+      for (std::size_t ix = 1; ix <= nx; ++ix) {
+        const double sum = grid[index(ix, iy)] + grid[index(ix + 1, iy)] +
+                           grid[index(ix - 1, iy)] + grid[index(ix, iy + 1)] +
+                           grid[index(ix, iy - 1)];
+        next[index(ix, iy)] = t.step(0.2 * sum);
+      }
+    }
+    grid.swap(next);
+  }
+
+  // Output: the interior field.
+  std::vector<double> out;
+  out.reserve(nx * ny);
+  for (std::size_t iy = 1; iy <= ny; ++iy) {
+    for (std::size_t ix = 1; ix <= nx; ++ix) {
+      out.push_back(grid[index(ix, iy)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ftb::kernels

@@ -1,0 +1,49 @@
+#include "linalg/complexv.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace ftb::linalg {
+
+std::vector<double> ComplexVec::interleaved() const {
+  std::vector<double> out;
+  out.reserve(2 * size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.push_back(re[i]);
+    out.push_back(im[i]);
+  }
+  return out;
+}
+
+ComplexVec dft_reference(const ComplexVec& input) {
+  const std::size_t n = input.size();
+  ComplexVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum_re = 0.0;
+    double sum_im = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) / static_cast<double>(n);
+      const double c = std::cos(angle);
+      const double s = std::sin(angle);
+      sum_re += input.re[j] * c - input.im[j] * s;
+      sum_im += input.re[j] * s + input.im[j] * c;
+    }
+    out.re[k] = sum_re;
+    out.im[k] = sum_im;
+  }
+  return out;
+}
+
+double linf_distance(const ComplexVec& a, const ComplexVec& b) noexcept {
+  assert(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::fmax(worst, std::fabs(a.re[i] - b.re[i]));
+    worst = std::fmax(worst, std::fabs(a.im[i] - b.im[i]));
+  }
+  return worst;
+}
+
+}  // namespace ftb::linalg

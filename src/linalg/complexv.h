@@ -1,0 +1,33 @@
+// Split-layout complex vectors (separate real/imag arrays) and a reference
+// DFT.  The six-step FFT kernel uses the split layout because the tracer
+// instruments scalar doubles; std::complex would hide the two data elements
+// a bit flip can corrupt independently.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftb::linalg {
+
+struct ComplexVec {
+  std::vector<double> re;
+  std::vector<double> im;
+
+  ComplexVec() = default;
+  explicit ComplexVec(std::size_t n) : re(n, 0.0), im(n, 0.0) {}
+
+  std::size_t size() const noexcept { return re.size(); }
+
+  /// Interleaves into [re0, im0, re1, im1, ...] (used as program output).
+  std::vector<double> interleaved() const;
+};
+
+/// Naive O(n^2) reference DFT (forward, no normalisation) used by the tests
+/// to validate the six-step FFT kernel.
+ComplexVec dft_reference(const ComplexVec& input);
+
+/// max over elements of |a - b| treating re/im independently.
+double linf_distance(const ComplexVec& a, const ComplexVec& b) noexcept;
+
+}  // namespace ftb::linalg

@@ -1,0 +1,98 @@
+#include "linalg/csr.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ftb::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  assert(row_ptr_.size() == rows_ + 1);
+  assert(col_idx_.size() == values_.size());
+  assert(row_ptr_.back() == values_.size());
+}
+
+std::vector<double> CsrMatrix::multiply(std::span<const double> x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+CsrMatrix CsrMatrix::poisson5(std::size_t nx, std::size_t ny) {
+  assert(nx > 0 && ny > 0);
+  const std::size_t n = nx * ny;
+  std::vector<std::size_t> row_ptr(n + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(5 * n);
+  values.reserve(5 * n);
+
+  const auto index = [nx](std::size_t ix, std::size_t iy) {
+    return iy * nx + ix;
+  };
+
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t row = index(ix, iy);
+      // Columns emitted in ascending order: S, W, C, E, N.
+      if (iy > 0) {
+        col_idx.push_back(index(ix, iy - 1));
+        values.push_back(-1.0);
+      }
+      if (ix > 0) {
+        col_idx.push_back(index(ix - 1, iy));
+        values.push_back(-1.0);
+      }
+      col_idx.push_back(row);
+      values.push_back(4.0);
+      if (ix + 1 < nx) {
+        col_idx.push_back(index(ix + 1, iy));
+        values.push_back(-1.0);
+      }
+      if (iy + 1 < ny) {
+        col_idx.push_back(index(ix, iy + 1));
+        values.push_back(-1.0);
+      }
+      row_ptr[row + 1] = col_idx.size();
+    }
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      // Find (c, r).
+      double transposed = 0.0;
+      bool found = false;
+      for (std::size_t k2 = row_ptr_[c]; k2 < row_ptr_[c + 1]; ++k2) {
+        if (col_idx_[k2] == r) {
+          transposed = values_[k2];
+          found = true;
+          break;
+        }
+      }
+      if (!found || std::fabs(values_[k] - transposed) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ftb::linalg

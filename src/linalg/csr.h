@@ -1,0 +1,47 @@
+// Compressed sparse row matrices and the 2-D Poisson assembly that feeds the
+// CG kernel (our MiniFE stand-in assembles a 5-point finite-difference
+// operator the same way MiniFE assembles its finite-element operator).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftb::linalg {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplet lists already grouped by row (row_ptr prefix form).
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  std::span<const std::size_t> row_ptr() const noexcept { return row_ptr_; }
+  std::span<const std::size_t> col_idx() const noexcept { return col_idx_; }
+  std::span<const double> values() const noexcept { return values_; }
+
+  /// y = A * x (reference, un-instrumented).
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// The symmetric positive-definite 5-point Laplacian on an nx-by-ny grid
+  /// with Dirichlet boundaries: diagonal 4, neighbours -1.  This is the CG
+  /// benchmark's operator.
+  static CsrMatrix poisson5(std::size_t nx, std::size_t ny);
+
+  bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace ftb::linalg

@@ -1,0 +1,121 @@
+#include "linalg/dense.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ftb::linalg {
+
+DenseMatrix DenseMatrix::random_diagonally_dominant(std::size_t n,
+                                                    util::Rng& rng) {
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double off_diagonal_sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == r) continue;
+      const double v = rng.next_double(-1.0, 1.0);
+      a.at(r, c) = v;
+      off_diagonal_sum += std::fabs(v);
+    }
+    // Strictly dominant positive diagonal keeps all pivots healthy.
+    a.at(r, r) = off_diagonal_sum + 1.0 + rng.next_double();
+  }
+  return a;
+}
+
+DenseMatrix DenseMatrix::random_uniform(std::size_t rows, std::size_t cols,
+                                        util::Rng& rng, double lo, double hi) {
+  DenseMatrix a(rows, cols);
+  for (double& v : a.data()) v = rng.next_double(lo, hi);
+  return a;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) = 1.0;
+  return a;
+}
+
+DenseMatrix multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const DenseMatrix& a, std::span<const double> x) {
+  assert(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += a.at(i, j) * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+DenseMatrix lu_factor_reference(DenseMatrix a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = a.at(k, k);
+    assert(std::fabs(pivot) > 0.0);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a.at(i, k) / pivot;
+      a.at(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a.at(i, j) -= factor * a.at(k, j);
+      }
+    }
+  }
+  return a;
+}
+
+DenseMatrix lu_reconstruct(const DenseMatrix& lu) {
+  assert(lu.rows() == lu.cols());
+  const std::size_t n = lu.rows();
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      const std::size_t limit = std::min(i, j + 1);  // L has unit diagonal
+      for (std::size_t k = 0; k < limit; ++k) {
+        sum += lu.at(i, k) * lu.at(k, j);
+      }
+      if (i <= j) sum += lu.at(i, j);  // L(i,i) = 1 times U(i,j)
+      a.at(i, j) = sum;
+    }
+  }
+  return a;
+}
+
+double linf_distance(std::span<const double> a,
+                     std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::fmax(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double norm2(std::span<const double> x) noexcept {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace ftb::linalg

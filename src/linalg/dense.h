@@ -1,0 +1,77 @@
+// Row-major dense matrix and the un-instrumented reference operations the
+// tests compare kernels against.  The instrumented kernels in src/kernels
+// re-implement their math against the Tracer; this module is the plain
+// substrate (construction, reference solvers, norms).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ftb::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> data() noexcept { return data_; }
+  std::span<const double> data() const noexcept { return data_; }
+
+  /// Well-conditioned random test matrix: uniform entries in [-1, 1] with
+  /// the diagonal boosted to strict diagonal dominance, so non-pivoting LU
+  /// is stable (the SPLASH-2 LU benchmark has the same requirement).
+  static DenseMatrix random_diagonally_dominant(std::size_t n, util::Rng& rng);
+
+  /// Uniform random entries in [lo, hi].
+  static DenseMatrix random_uniform(std::size_t rows, std::size_t cols,
+                                    util::Rng& rng, double lo = -1.0,
+                                    double hi = 1.0);
+
+  static DenseMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B (reference implementation for tests).
+DenseMatrix multiply(const DenseMatrix& a, const DenseMatrix& b);
+
+/// y = A * x.
+std::vector<double> matvec(const DenseMatrix& a, std::span<const double> x);
+
+/// In-place, non-pivoting reference LU: returns unit-lower L strictly below
+/// the diagonal and U on/above it, packed into one matrix (as SPLASH-2 does).
+DenseMatrix lu_factor_reference(DenseMatrix a);
+
+/// Reconstructs A from a packed LU factor matrix (tests residual checks).
+DenseMatrix lu_reconstruct(const DenseMatrix& lu);
+
+/// max_i |a_i - b_i| over two equal-size spans.
+double linf_distance(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Euclidean norm.
+double norm2(std::span<const double> x) noexcept;
+
+/// Dot product.
+double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+}  // namespace ftb::linalg

@@ -1,0 +1,100 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ftb::util {
+
+namespace {
+
+/// Resamples a series to `width` points by averaging each destination cell's
+/// source window (simple box filter; good enough for terminal resolution).
+std::vector<double> resample(std::span<const double> values, std::size_t width) {
+  std::vector<double> out(width, std::numeric_limits<double>::quiet_NaN());
+  if (values.empty() || width == 0) return out;
+  const double scale = static_cast<double>(values.size()) / static_cast<double>(width);
+  for (std::size_t x = 0; x < width; ++x) {
+    const auto begin = static_cast<std::size_t>(std::floor(static_cast<double>(x) * scale));
+    auto end = static_cast<std::size_t>(std::ceil(static_cast<double>(x + 1) * scale));
+    end = std::min(std::max(end, begin + 1), values.size());
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = begin; i < end && i < values.size(); ++i) {
+      if (!std::isnan(values[i])) {
+        sum += values[i];
+        ++n;
+      }
+    }
+    if (n) out[x] = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string plot(std::span<const Series> series, const PlotOptions& options) {
+  const std::size_t width = std::max<std::size_t>(options.width, 8);
+  const std::size_t height = std::max<std::size_t>(options.height, 4);
+
+  double lo = options.y_min;
+  double hi = options.y_max;
+  if (!options.fix_y_range) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const auto& s : series) {
+      for (double v : s.values) {
+        if (std::isnan(v)) continue;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!std::isfinite(lo) || !std::isfinite(hi)) {
+      lo = 0.0;
+      hi = 1.0;
+    }
+    if (hi <= lo) hi = lo + 1.0;
+    const double pad = 0.05 * (hi - lo);
+    lo -= pad;
+    hi += pad;
+  }
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (const auto& s : series) {
+    const std::vector<double> r = resample(s.values, width);
+    for (std::size_t x = 0; x < width; ++x) {
+      if (std::isnan(r[x])) continue;
+      double t = (r[x] - lo) / (hi - lo);
+      t = std::clamp(t, 0.0, 1.0);
+      const auto row = static_cast<std::size_t>(
+          std::lround((1.0 - t) * static_cast<double>(height - 1)));
+      canvas[row][x] = s.glyph;
+    }
+  }
+
+  std::string out;
+  char label[64];
+  for (std::size_t row = 0; row < height; ++row) {
+    const double y =
+        hi - (hi - lo) * static_cast<double>(row) / static_cast<double>(height - 1);
+    std::snprintf(label, sizeof(label), "%10.4f |", y);
+    out += label;
+    out += canvas[row];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(width, '-') + "> " +
+         options.x_label + '\n';
+  out += "  legend: ";
+  for (const auto& s : series) {
+    out += '[';
+    out += s.glyph;
+    out += "] ";
+    out += s.label;
+    out += "  ";
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace ftb::util

@@ -1,0 +1,33 @@
+// Minimal terminal line plots for the figure-reproduction benches.  Each
+// series is down-sampled to the plot width and drawn with its own glyph so
+// "true vs predicted SDC ratio" overlays (Figure 4) are readable in a log.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ftb::util {
+
+struct Series {
+  std::string label;
+  std::vector<double> values;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  std::size_t width = 100;   // columns in the plot body
+  std::size_t height = 18;   // rows in the plot body
+  double y_min = 0.0;        // used when fix_y_range is true
+  double y_max = 1.0;
+  bool fix_y_range = false;  // otherwise auto-scaled to the data
+  std::string x_label = "index";
+  std::string y_label = "value";
+};
+
+/// Renders one or more series on a shared axis; series may have different
+/// lengths (each is stretched over the full x range).
+std::string plot(std::span<const Series> series, const PlotOptions& options = {});
+
+}  // namespace ftb::util

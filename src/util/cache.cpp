@@ -1,0 +1,167 @@
+#include "util/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace ftb::util {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4654422d43414348ull;  // "FTB-CACH"
+constexpr std::uint64_t kVersion = 1;
+
+}  // namespace
+
+void BinaryWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void BinaryWriter::put_bytes(const std::vector<std::uint8_t>& v) {
+  put_u64(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void BinaryWriter::put_f64_vec(const std::vector<double>& v) {
+  put_u64(v.size());
+  for (double x : v) put_f64(x);
+}
+
+void BinaryWriter::put_string(const std::string& s) {
+  put_u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    throw std::runtime_error("BinaryReader: truncated payload");
+  }
+}
+
+std::uint64_t BinaryReader::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double BinaryReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::get_bytes() {
+  const std::uint64_t n = get_u64();
+  need(n);
+  std::vector<std::uint8_t> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::vector<double> BinaryReader::get_f64_vec() {
+  const std::uint64_t n = get_u64();
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(get_f64());
+  return out;
+}
+
+std::string BinaryReader::get_string() {
+  const std::uint64_t n = get_u64();
+  need(n);
+  std::string out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char ch : text) {
+    hash ^= ch;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string cache_dir() {
+  const char* env = std::getenv("FTB_CACHE_DIR");
+  std::string dir = env ? env : ".ftb_cache";
+  if (dir == "off" || dir == "0" || dir.empty()) return {};
+  return dir;
+}
+
+namespace {
+
+std::string cache_path(const std::string& key) {
+  const std::string dir = cache_dir();
+  if (dir.empty()) return {};
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.bin",
+                static_cast<unsigned long long>(fnv1a(key)));
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> cache_load(const std::string& key) {
+  const std::string path = cache_path(key);
+  if (path.empty()) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  try {
+    BinaryReader reader(std::move(data));
+    if (reader.get_u64() != kMagic) return std::nullopt;
+    if (reader.get_u64() != kVersion) return std::nullopt;
+    if (reader.get_string() != key) return std::nullopt;  // hash collision
+    return reader.get_bytes();
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // corrupt or truncated file: treat as a miss
+  }
+}
+
+void cache_store(const std::string& key,
+                 const std::vector<std::uint8_t>& payload) {
+  const std::string path = cache_path(key);
+  if (path.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir(), ec);
+  if (ec) return;
+
+  BinaryWriter writer;
+  writer.put_u64(kMagic);
+  writer.put_u64(kVersion);
+  writer.put_string(key);
+  writer.put_bytes(payload);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(reinterpret_cast<const char*>(writer.buffer().data()),
+              static_cast<std::streamsize>(writer.buffer().size()));
+    if (!out) return;
+  }
+  std::filesystem::rename(tmp, path, ec);  // atomic on POSIX
+}
+
+}  // namespace ftb::util

@@ -1,0 +1,63 @@
+// Binary result cache.  Exhaustive ground-truth campaigns are by far the
+// most expensive step of the evaluation, and several bench binaries need the
+// same table, so campaigns can persist results keyed by a configuration
+// string.  The cache directory comes from FTB_CACHE_DIR (default
+// ".ftb_cache"); set FTB_CACHE_DIR=off to disable caching entirely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftb::util {
+
+/// Append-only little-endian binary encoder.
+class BinaryWriter {
+ public:
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  void put_bytes(const std::vector<std::uint8_t>& v);
+  void put_f64_vec(const std::vector<double>& v);
+  void put_string(const std::string& s);
+
+  const std::vector<std::uint8_t>& buffer() const noexcept { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Matching decoder; all getters throw std::runtime_error on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::uint8_t> data) : buf_(std::move(data)) {}
+
+  std::uint64_t get_u64();
+  double get_f64();
+  std::vector<std::uint8_t> get_bytes();
+  std::vector<double> get_f64_vec();
+  std::string get_string();
+
+  bool exhausted() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a of a string; used to derive cache file names from config keys.
+std::uint64_t fnv1a(const std::string& text) noexcept;
+
+/// The active cache directory, or empty if caching is disabled.
+std::string cache_dir();
+
+/// Loads the payload cached under `key`, verifying that the stored key
+/// matches (hash collisions fall back to a miss).  Returns nullopt on miss,
+/// disabled cache, or corrupt file.
+std::optional<std::vector<std::uint8_t>> cache_load(const std::string& key);
+
+/// Stores payload under `key` (atomic rename); no-op if caching is disabled.
+void cache_store(const std::string& key, const std::vector<std::uint8_t>& payload);
+
+}  // namespace ftb::util

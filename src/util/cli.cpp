@@ -1,0 +1,64 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftb::util {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // boolean switch
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "off";
+}
+
+void Cli::describe(const std::string& name, const std::string& text) {
+  help_.emplace_back(name, text);
+}
+
+void Cli::print_help(const std::string& program_summary) const {
+  std::printf("%s\n\n%s\n\nFlags:\n", program_.c_str(), program_summary.c_str());
+  for (const auto& [name, text] : help_) {
+    std::printf("  --%-24s %s\n", name.c_str(), text.c_str());
+  }
+}
+
+}  // namespace ftb::util

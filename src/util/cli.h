@@ -1,0 +1,36 @@
+// Tiny command-line flag parser shared by bench binaries and examples.
+// Supports --name=value and --name value forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftb::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = {}) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  /// Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Registers help text for a flag; print_help() lists all registered flags.
+  void describe(const std::string& name, const std::string& text);
+  void print_help(const std::string& program_summary) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> help_;
+  std::string program_;
+};
+
+}  // namespace ftb::util

@@ -1,0 +1,85 @@
+// Gorilla-style floating-point compression (Pelkonen et al., VLDB 2015):
+// XOR each value with its predecessor and encode the meaningful bits with a
+// leading/trailing-zero header.  HPC value streams -- and golden traces in
+// particular -- are locally smooth (iterates of the same variables), so the
+// XOR residuals carry few significant bits.
+//
+// This addresses the paper's "Overhead" discussion head-on: the analysis
+// must hold the golden run's entire dynamic state, "which can result in
+// substantial memory overhead for a large-scale application".  A compressed
+// golden trace with a sequential cursor gives the error-propagation
+// comparison everything it needs (it only ever reads forward) at a fraction
+// of the footprint; bench/ablation_memory quantifies the ratio per kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ftb::util {
+
+/// Bit-granular append-only writer (little-endian within bytes).
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value`, most-significant first.
+  void put(std::uint64_t value, int bits);
+
+  /// Number of complete bytes after flush-padding.
+  std::vector<std::uint8_t> finish();
+
+  std::size_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  int used_ = 0;  // bits used in current_
+  std::size_t bit_count_ = 0;
+};
+
+/// Matching sequential reader; throws std::runtime_error past the end.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t get(int bits);
+  bool get_bit() { return get(1) != 0; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;  // bit position
+};
+
+/// A compressed sequence of doubles with sequential decode.
+class GorillaCodec {
+ public:
+  /// Compresses the full sequence.
+  static std::vector<std::uint8_t> compress(std::span<const double> values);
+
+  /// Streaming decoder over a compressed buffer.
+  class Decoder {
+   public:
+    Decoder(std::span<const std::uint8_t> data, std::size_t count);
+
+    /// True while values remain.
+    bool has_next() const noexcept { return produced_ < count_; }
+
+    /// Next value in sequence order.
+    double next();
+
+    std::size_t produced() const noexcept { return produced_; }
+
+   private:
+    BitReader reader_;
+    std::size_t count_;
+    std::size_t produced_ = 0;
+    std::uint64_t previous_ = 0;
+    int leading_ = 0;
+    int meaningful_ = 0;
+  };
+
+  /// Decompresses everything (convenience / tests).
+  static std::vector<double> decompress(std::span<const std::uint8_t> data,
+                                        std::size_t count);
+};
+
+}  // namespace ftb::util

@@ -1,0 +1,103 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ftb::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), inv_width_(0.0), counts_(bins, 0) {
+  assert(bins > 0);
+  assert(hi > lo);
+  inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  if (std::isnan(value)) {
+    ++overflow_;  // NaN has no place on the axis; count it as out-of-range.
+    return;
+  }
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    // hi_ itself belongs to the last bin so a closed upper endpoint works.
+    if (value == hi_) {
+      ++counts_.back();
+    } else {
+      ++overflow_;
+    }
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) * inv_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard rounding at the edge
+  // The multiply can land a value one bin off its [bin_lo, bin_hi) interval
+  // when the edges themselves are not exactly representable; nudge so that
+  // bin_lo(b) always counts into bin b (half-open intervals stay exact).
+  if (value < bin_lo(bin) && bin > 0) {
+    --bin;
+  } else if (value >= bin_hi(bin) && bin + 1 < counts_.size()) {
+    ++bin;
+  }
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + static_cast<double>(bin) / inv_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return lo_ + static_cast<double>(bin + 1) / inv_width_;
+}
+
+double Histogram::bin_center(std::size_t bin) const noexcept {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+double Histogram::fraction(std::size_t bin) const noexcept {
+  return total_ ? static_cast<double>(counts_[bin]) / static_cast<double>(total_)
+                : 0.0;
+}
+
+std::string Histogram::render(std::size_t width, bool log_scale) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+
+  const double peak_scale =
+      log_scale ? std::log1p(static_cast<double>(peak))
+                : static_cast<double>(peak);
+
+  std::string out;
+  char line[256];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double magnitude =
+        log_scale ? std::log1p(static_cast<double>(counts_[b]))
+                  : static_cast<double>(counts_[b]);
+    const auto bar_len = static_cast<std::size_t>(
+        peak_scale > 0.0 ? magnitude / peak_scale * static_cast<double>(width)
+                         : 0.0);
+    std::snprintf(line, sizeof(line), "[%+9.3f, %+9.3f) %10llu |", bin_lo(b),
+                  bin_hi(b),
+                  static_cast<unsigned long long>(counts_[b]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  if (underflow_ || overflow_) {
+    std::snprintf(line, sizeof(line), "  (underflow %llu, overflow %llu)\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ftb::util

@@ -1,0 +1,49 @@
+// Fixed-bin histogram used to summarise per-site DeltaSDC values (Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ftb::util {
+
+/// Uniform-bin histogram over [lo, hi].  Values outside the range land in
+/// saturating underflow/overflow bins that are reported separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double bin_lo(std::size_t bin) const noexcept;
+  double bin_hi(std::size_t bin) const noexcept;
+  /// Centre of a bin (x coordinate when plotting).
+  double bin_center(std::size_t bin) const noexcept;
+
+  /// Fraction of all added values in [lo, hi) of the given bin.
+  double fraction(std::size_t bin) const noexcept;
+
+  /// Renders a vertical ASCII bar chart (log-scaled bar lengths optional,
+  /// since Figure 3 has a huge spike at zero next to small tails).
+  std::string render(std::size_t width = 60, bool log_scale = true) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ftb::util

@@ -1,0 +1,188 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace ftb::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // A pathological all-zero state cannot occur: splitmix64 outputs are a
+  // bijection of the counter and four consecutive zero outputs would need
+  // four distinct preimages mapping to zero.
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng Rng::split() noexcept { return Rng(next_u64()); }
+
+void Rng::long_jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x360fd5f2cf8d5d99ull, 0x9c6e6877736c46e3ull,
+      0xd2a98b26625eee7bull, 0xdddf9b1090aa7ac1ull};
+  std::uint64_t t[4] = {0, 0, 0, 0};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        t[0] ^= s_[0];
+        t[1] ^= s_[1];
+        t[2] ^= s_[2];
+        t[3] ^= s_[3];
+      }
+      next_u64();
+    }
+  }
+  s_[0] = t[0];
+  s_[1] = t[1];
+  s_[2] = t[2];
+  s_[3] = t[3];
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (weights.empty() || !(total > 0.0) || !std::isfinite(total)) return;
+
+  const std::size_t n = weights.size();
+  prob_.resize(n);
+  alias_.resize(n);
+
+  // Scaled probabilities; buckets with scaled < 1 are "small".
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Residuals are 1 up to floating-point error.
+  for (std::uint32_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (std::uint32_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+std::size_t AliasTable::sample(Rng& rng) const noexcept {
+  assert(!prob_.empty());
+  const std::size_t bucket = rng.next_below(prob_.size());
+  return rng.next_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+std::vector<std::uint64_t> sample_without_replacement(Rng& rng,
+                                                      std::uint64_t n,
+                                                      std::uint64_t k) {
+  assert(k <= n);
+  std::vector<std::uint64_t> picked;
+  if (k == 0) return picked;
+  picked.reserve(k);
+
+  // Sparse draws: Floyd's algorithm touches only O(k) memory.
+  if (k < n / 16) {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(k * 2);
+    for (std::uint64_t j = n - k; j < n; ++j) {
+      const std::uint64_t t = rng.next_below(j + 1);
+      if (!seen.insert(t).second) {
+        seen.insert(j);
+        picked.push_back(j);
+      } else {
+        picked.push_back(t);
+      }
+    }
+  } else {
+    // Dense draws: partial Fisher-Yates over an explicit index array.
+    std::vector<std::uint64_t> idx(n);
+    for (std::uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + rng.next_below(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    picked.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+void shuffle(Rng& rng, std::span<std::uint64_t> values) noexcept {
+  if (values.size() < 2) return;
+  for (std::size_t i = values.size() - 1; i > 0; --i) {
+    const std::uint64_t j = rng.next_below(i + 1);
+    std::swap(values[i], values[j]);
+  }
+}
+
+}  // namespace ftb::util

@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation for fault-injection campaigns.
+//
+// Everything in the library that needs randomness goes through ftb::util::Rng
+// (xoshiro256++), seeded explicitly so every campaign is reproducible
+// bit-for-bit across runs and platforms.  On top of the raw generator we
+// provide the sampling primitives the campaigns need:
+//
+//   * uniform integers in [0, n) without modulo bias (Lemire's method),
+//   * uniform doubles in [0, 1),
+//   * weighted discrete sampling via Walker's alias method (used by the
+//     information-biased sampler of paper Section 3.4),
+//   * uniform sampling of k distinct indices out of n (partial Fisher-Yates
+//     for dense draws, Floyd's algorithm for sparse draws).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftb::util {
+
+/// SplitMix64: used only to expand a single 64-bit seed into a full
+/// xoshiro256++ state.  Reference: Steele, Lea, Flood (2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full state from one 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept;
+
+  /// UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire 2019).
+  /// bound == 0 is undefined; callers must guard.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool next_bernoulli(double p) noexcept;
+
+  /// Derives an independent child generator (for per-thread streams).
+  /// Children seeded from distinct draws of this generator are
+  /// statistically independent for campaign purposes.
+  Rng split() noexcept;
+
+  /// 2^128 jump: advances the state as if 2^128 next_u64 calls were made.
+  /// Used to partition one seed into long non-overlapping subsequences.
+  void long_jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Walker alias method: O(n) construction, O(1) sampling from a fixed
+/// discrete distribution.  Used for the 1/S_i information-bias sampling of
+/// Section 3.4, where the weight table changes only between progressive
+/// rounds but is sampled from many times within a round.
+class AliasTable {
+ public:
+  /// Builds from non-negative weights; weights need not be normalised.
+  /// All-zero (or empty) weights yield an empty table (size() == 0).
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  bool empty() const noexcept { return prob_.empty(); }
+
+  /// Draws an index with probability proportional to its weight.
+  /// Must not be called on an empty table.
+  std::size_t sample(Rng& rng) const noexcept;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // alias target per bucket
+};
+
+/// Samples k distinct indices uniformly from [0, n), k <= n.
+/// Picks partial Fisher-Yates when k is a large fraction of n and Floyd's
+/// algorithm otherwise; the result is sorted ascending.
+std::vector<std::uint64_t> sample_without_replacement(Rng& rng,
+                                                      std::uint64_t n,
+                                                      std::uint64_t k);
+
+/// Fisher-Yates shuffle of an index span.
+void shuffle(Rng& rng, std::span<std::uint64_t> values) noexcept;
+
+}  // namespace ftb::util

@@ -1,0 +1,131 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ftb::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+MeanStd mean_std(std::span<const double> values) noexcept {
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  return {rs.mean(), rs.stddev()};
+}
+
+std::string format_percent_pm(MeanStd ms, int decimals) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f%% +- %.*f%%", decimals,
+                ms.mean * 100.0, decimals, ms.stddev * 100.0);
+  return buf;
+}
+
+double Confusion::precision() const noexcept {
+  const std::uint64_t pred = predicted_positive();
+  if (pred == 0) return 1.0;
+  return static_cast<double>(true_positive) / static_cast<double>(pred);
+}
+
+double Confusion::recall() const noexcept {
+  const std::uint64_t actual = actual_positive();
+  if (actual == 0) return 1.0;
+  return static_cast<double>(true_positive) / static_cast<double>(actual);
+}
+
+Confusion& Confusion::operator+=(const Confusion& o) noexcept {
+  true_positive += o.true_positive;
+  false_positive += o.false_positive;
+  false_negative += o.false_negative;
+  true_negative += o.true_negative;
+  return *this;
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  RunningStats sa, sb;
+  for (double v : a) sa.add(v);
+  for (double v : b) sb.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  const double denom = sa.stddev() * sb.stddev();
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+double mean_absolute_error(std::span<const double> a,
+                           std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+std::vector<double> group_means(std::span<const double> values,
+                                std::size_t group) {
+  assert(group > 0);
+  std::vector<double> out;
+  if (values.empty()) return out;
+  out.reserve((values.size() + group - 1) / group);
+  for (std::size_t start = 0; start < values.size(); start += group) {
+    const std::size_t end = std::min(start + group, values.size());
+    double sum = 0.0;
+    for (std::size_t i = start; i < end; ++i) sum += values[i];
+    out.push_back(sum / static_cast<double>(end - start));
+  }
+  return out;
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z) noexcept {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+}  // namespace ftb::util

@@ -1,0 +1,106 @@
+// Small statistics toolkit used by the evaluation harness: running
+// mean/stddev (Welford), summaries of repeated trials, and the confusion
+// counts behind the paper's precision / recall / uncertainty metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ftb::util {
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean and sample stddev of a data span (convenience for trial summaries).
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd mean_std(std::span<const double> values) noexcept;
+
+/// Formats "12.34% +- 0.56%" the way the paper's tables report trials.
+std::string format_percent_pm(MeanStd ms, int decimals = 2);
+
+/// Binary-classification confusion counts for "predicted masked" vs
+/// "actually masked" (paper Section 3.6).  Crash experiments are excluded
+/// before these counts are formed.
+struct Confusion {
+  std::uint64_t true_positive = 0;   // predicted masked, actually masked
+  std::uint64_t false_positive = 0;  // predicted masked, actually SDC
+  std::uint64_t false_negative = 0;  // predicted SDC, actually masked
+  std::uint64_t true_negative = 0;   // predicted SDC, actually SDC
+
+  std::uint64_t predicted_positive() const noexcept {
+    return true_positive + false_positive;
+  }
+  std::uint64_t actual_positive() const noexcept {
+    return true_positive + false_negative;
+  }
+  std::uint64_t total() const noexcept {
+    return true_positive + false_positive + false_negative + true_negative;
+  }
+
+  /// M_positive / M_predict; 1.0 when nothing was predicted positive
+  /// (vacuous precision, matching the paper's 100% FFT entries).
+  double precision() const noexcept;
+  /// M_positive / M_total; 1.0 when there are no actual positives.
+  double recall() const noexcept;
+
+  Confusion& operator+=(const Confusion& o) noexcept;
+};
+
+/// Pearson correlation of two equal-length series (used by tests to check
+/// that predicted per-site SDC profiles track the ground truth).
+double pearson_correlation(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Mean absolute error between two equal-length series.
+double mean_absolute_error(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Groups a series into consecutive buckets of `group` elements and returns
+/// per-bucket means — exactly how Figure 4 condenses millions of per-site
+/// values into plottable dots ("8 dynamic instructions in CG, 147 in LU...").
+std::vector<double> group_means(std::span<const double> values, std::size_t group);
+
+/// Wilson score interval for a binomial proportion — the statistical-fault-
+/// injection machinery (Leveugle et al., DATE'09, the paper's ref [18]):
+/// with `successes` SDC outcomes out of `trials` sampled experiments, the
+/// true SDC ratio lies in [lo, hi] at the confidence implied by `z`
+/// (z = 1.96 for 95%).  Robust near 0 and 1, unlike the normal
+/// approximation.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool contains(double p) const noexcept { return p >= lo && p <= hi; }
+  double width() const noexcept { return hi - lo; }
+};
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96) noexcept;
+
+}  // namespace ftb::util

@@ -1,0 +1,243 @@
+#include "util/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "util/table.h"
+
+namespace ftb::util {
+
+namespace {
+
+// A small colour-blind-safe cycle (Okabe-Ito).
+constexpr const char* kPalette[] = {"#0072b2", "#d55e00", "#009e73",
+                                    "#cc79a7", "#e69f00", "#56b4e9"};
+constexpr int kPaletteSize = 6;
+
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 34;
+constexpr int kMarginBottom = 46;
+
+struct Frame {
+  double x0, y0, plot_w, plot_h;  // plot area in px
+  double lo, hi;                  // y data range
+
+  double y_px(double value) const {
+    const double t = (value - lo) / (hi - lo);
+    return y0 + plot_h * (1.0 - std::clamp(t, 0.0, 1.0));
+  }
+};
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (char ch : text) {
+    switch (ch) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+void open_svg(std::string& svg, const SvgOptions& options) {
+  svg += format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"12\">\n",
+      options.width, options.height, options.width, options.height);
+  svg += format("<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n",
+                options.width, options.height);
+  if (!options.title.empty()) {
+    svg += format(
+        "<text x=\"%d\" y=\"20\" text-anchor=\"middle\" font-size=\"14\" "
+        "font-weight=\"bold\">%s</text>\n",
+        options.width / 2, escape_xml(options.title).c_str());
+  }
+}
+
+Frame draw_axes(std::string& svg, const SvgOptions& options, double lo,
+                double hi) {
+  Frame frame;
+  frame.x0 = kMarginLeft;
+  frame.y0 = kMarginTop;
+  frame.plot_w = options.width - kMarginLeft - kMarginRight;
+  frame.plot_h = options.height - kMarginTop - kMarginBottom;
+  if (hi <= lo) hi = lo + 1.0;
+  frame.lo = lo;
+  frame.hi = hi;
+
+  // Frame + horizontal gridlines with y tick labels.
+  svg += format(
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+      "fill=\"none\" stroke=\"#999\"/>\n",
+      frame.x0, frame.y0, frame.plot_w, frame.plot_h);
+  constexpr int kTicks = 5;
+  for (int i = 0; i <= kTicks; ++i) {
+    const double value =
+        lo + (hi - lo) * static_cast<double>(i) / kTicks;
+    const double y = frame.y_px(value);
+    if (i != 0 && i != kTicks) {
+      svg += format(
+          "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+          "stroke=\"#ddd\"/>\n",
+          frame.x0, y, frame.x0 + frame.plot_w, y);
+    }
+    svg += format(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%.3g</text>\n",
+        frame.x0 - 6.0, y + 4.0, value);
+  }
+  if (!options.x_label.empty()) {
+    svg += format(
+        "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s</text>\n",
+        frame.x0 + frame.plot_w / 2.0, options.height - 10,
+        escape_xml(options.x_label).c_str());
+  }
+  if (!options.y_label.empty()) {
+    svg += format(
+        "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" "
+        "transform=\"rotate(-90 14 %.1f)\">%s</text>\n",
+        frame.y0 + frame.plot_h / 2.0, frame.y0 + frame.plot_h / 2.0,
+        escape_xml(options.y_label).c_str());
+  }
+  return frame;
+}
+
+}  // namespace
+
+std::string svg_chart(std::span<const Series> series,
+                      const SvgOptions& options) {
+  // Data range.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  std::size_t longest = 1;
+  for (const Series& s : series) {
+    longest = std::max(longest, s.values.size());
+    for (double v : s.values) {
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (options.y_from_zero) lo = std::min(lo, 0.0);
+  const double pad = 0.05 * (hi - lo + 1e-300);
+  if (!options.y_from_zero) lo -= pad;
+  hi += pad;
+
+  std::string svg;
+  open_svg(svg, options);
+  const Frame frame = draw_axes(svg, options, lo, hi);
+
+  for (std::size_t index = 0; index < series.size(); ++index) {
+    const Series& s = series[index];
+    const char* colour = kPalette[index % kPaletteSize];
+    const std::size_t n = s.values.size();
+    if (n == 0) continue;
+
+    const auto x_px = [&](std::size_t i) {
+      return frame.x0 + frame.plot_w *
+                            (n > 1 ? static_cast<double>(i) /
+                                         static_cast<double>(n - 1)
+                                   : 0.5);
+    };
+
+    if (options.scatter || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::isnan(s.values[i])) continue;
+        svg += format(
+            "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.4\" fill=\"%s\"/>\n",
+            x_px(i), frame.y_px(s.values[i]), colour);
+      }
+    } else {
+      // Polyline segments broken at NaNs.
+      std::string points;
+      const auto flush = [&] {
+        if (!points.empty()) {
+          svg += format(
+              "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.6\" "
+              "points=\"%s\"/>\n",
+              colour, points.c_str());
+          points.clear();
+        }
+      };
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::isnan(s.values[i])) {
+          flush();
+          continue;
+        }
+        points += format("%.1f,%.1f ", x_px(i), frame.y_px(s.values[i]));
+      }
+      flush();
+    }
+    // Legend entry.
+    const double legend_y = kMarginTop + 14.0 * static_cast<double>(index);
+    svg += format(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"10\" height=\"10\" "
+        "fill=\"%s\"/>\n",
+        frame.x0 + frame.plot_w - 170.0, legend_y, colour);
+    svg += format("<text x=\"%.1f\" y=\"%.1f\">%s</text>\n",
+                  frame.x0 + frame.plot_w - 156.0, legend_y + 9.0,
+                  escape_xml(s.label).c_str());
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string svg_histogram(const Histogram& histogram,
+                          const SvgOptions& options) {
+  double peak = 1.0;
+  for (std::size_t b = 0; b < histogram.bin_count(); ++b) {
+    peak = std::max(peak, static_cast<double>(histogram.count(b)));
+  }
+
+  std::string svg;
+  open_svg(svg, options);
+  const Frame frame = draw_axes(svg, options, 0.0, peak * 1.05);
+
+  const double bar_w =
+      frame.plot_w / static_cast<double>(histogram.bin_count());
+  for (std::size_t b = 0; b < histogram.bin_count(); ++b) {
+    const auto count = static_cast<double>(histogram.count(b));
+    if (count == 0.0) continue;
+    const double y = frame.y_px(count);
+    svg += format(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+        "fill=\"%s\" stroke=\"white\" stroke-width=\"0.5\"/>\n",
+        frame.x0 + bar_w * static_cast<double>(b), y, bar_w,
+        frame.y0 + frame.plot_h - y, kPalette[0]);
+  }
+  // x tick labels at the edges and centre.
+  for (const std::size_t b :
+       {std::size_t{0}, histogram.bin_count() / 2,
+        histogram.bin_count() - 1}) {
+    svg += format(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%.3g</text>\n",
+        frame.x0 + bar_w * (static_cast<double>(b) + 0.5),
+        frame.y0 + frame.plot_h + 16.0, histogram.bin_center(b));
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+bool write_svg_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace ftb::util

@@ -1,0 +1,38 @@
+// Minimal SVG emission for the figure benches: line/scatter charts for the
+// Figure 4/5 series and bar charts for the Figure 3 histograms, written as
+// self-contained .svg files (no external assets, no JavaScript).  The
+// ASCII plots remain the terminal-first output; SVG is for reports.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/ascii_plot.h"  // reuses the Series type
+#include "util/histogram.h"
+
+namespace ftb::util {
+
+struct SvgOptions {
+  int width = 860;            // total canvas, px
+  int height = 420;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_from_zero = false;   // pin the y axis at 0 (ratios, counts)
+  bool scatter = false;       // draw points instead of connected lines
+};
+
+/// Renders one or more series as a line/scatter chart.  Series may have
+/// different lengths; each is stretched over the full x range (same
+/// convention as util::plot).  NaN values create gaps.
+std::string svg_chart(std::span<const Series> series,
+                      const SvgOptions& options = {});
+
+/// Renders a histogram as a bar chart (bar height = count).
+std::string svg_histogram(const Histogram& histogram,
+                          const SvgOptions& options = {});
+
+/// Writes content to path (returns false on I/O failure).
+bool write_svg_file(const std::string& path, const std::string& content);
+
+}  // namespace ftb::util

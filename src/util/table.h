@@ -1,0 +1,41 @@
+// Aligned ASCII tables + CSV emission for the experiment harness.  Every
+// bench binary prints its paper table both human-readable and as CSV so the
+// rows can be diffed against EXPERIMENTS.md or post-processed.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftb::util {
+
+/// A simple row/column string table with alignment-aware rendering.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders with column padding, a header separator, and an optional title.
+  std::string render(const std::string& title = {}) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience for building cells.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a ratio as a percentage string, e.g. 0.0820 -> "8.20%".
+std::string percent(double ratio, int decimals = 2);
+
+}  // namespace ftb::util

@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a deterministic parallel_for.  Fault-injection
+// campaigns are embarrassingly parallel (one experiment per task); work is
+// pre-partitioned into contiguous index blocks so results land at fixed
+// positions and campaigns are reproducible regardless of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ftb::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; tasks may not throw (campaigns report failures through
+  /// their result records, not exceptions).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs body(i) for i in [begin, end), split into `thread_count()*4`
+  /// contiguous blocks, and blocks until done.  body must be thread-safe
+  /// across distinct i.  Runs inline when the range is tiny or the pool has
+  /// one thread (keeps single-core runs overhead-free).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (constructed on first use, sized from
+/// FTB_THREADS env var if set, else hardware concurrency).
+ThreadPool& default_pool();
+
+}  // namespace ftb::util

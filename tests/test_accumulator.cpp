@@ -1,0 +1,151 @@
+#include "boundary/accumulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::boundary {
+namespace {
+
+using fi::Outcome;
+
+std::vector<double> diffs_at(std::size_t sites,
+                             std::initializer_list<std::pair<std::size_t, double>>
+                                 entries) {
+  std::vector<double> diffs(sites, 0.0);
+  for (const auto& [site, value] : entries) diffs[site] = value;
+  return diffs;
+}
+
+TEST(Accumulator, Algorithm1TakesPointwiseMax) {
+  BoundaryAccumulator accumulator(4);
+  accumulator.record_masked_propagation(diffs_at(4, {{1, 0.5}, {2, 2.0}}));
+  accumulator.record_masked_propagation(diffs_at(4, {{1, 1.5}, {3, 0.25}}));
+  const FaultToleranceBoundary boundary = accumulator.finalize();
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), 0.0);  // never touched
+  EXPECT_DOUBLE_EQ(boundary.threshold(1), 1.5);
+  EXPECT_DOUBLE_EQ(boundary.threshold(2), 2.0);
+  EXPECT_DOUBLE_EQ(boundary.threshold(3), 0.25);
+}
+
+TEST(Accumulator, MaskedInjectionIsEvidence) {
+  BoundaryAccumulator accumulator(2);
+  accumulator.record_injection(0, 5, Outcome::kMasked, 0.75);
+  const FaultToleranceBoundary boundary = accumulator.finalize();
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), 0.75);
+}
+
+TEST(Accumulator, CrashInjectionIsNeutral) {
+  BoundaryAccumulator accumulator(1);
+  accumulator.record_injection(0, 62, Outcome::kCrash, 1e300);
+  const FaultToleranceBoundary boundary = accumulator.finalize();
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), 0.0);
+}
+
+TEST(Accumulator, FilterRejectsValuesAboveSdcMinimum) {
+  BoundaryAccumulator unfiltered(2, {/*filter=*/false, 32});
+  BoundaryAccumulator filtered(2, {/*filter=*/true, 32});
+
+  for (auto* accumulator : {&unfiltered, &filtered}) {
+    // A known SDC case at site 1 with injected error 1.0.
+    accumulator->record_injection(1, 7, Outcome::kSdc, 1.0);
+    // Masked propagation claims site 1 tolerates 5.0 -- contradicted above.
+    accumulator->record_masked_propagation(diffs_at(2, {{1, 5.0}}));
+    accumulator->record_masked_propagation(diffs_at(2, {{1, 0.5}}));
+  }
+  EXPECT_DOUBLE_EQ(unfiltered.finalize().threshold(1), 5.0);  // Algorithm 1
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(1), 0.5);    // Section 3.5
+}
+
+TEST(Accumulator, FilterPrunesWhenSdcEvidenceArrivesLater) {
+  BoundaryAccumulator filtered(1, {/*filter=*/true, 32});
+  filtered.record_masked_propagation(diffs_at(1, {{0, 5.0}}));
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.5}}));
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(0), 5.0);
+  // SDC at 1.0 invalidates the 5.0 even though it was accepted earlier.
+  filtered.record_injection(0, 3, Outcome::kSdc, 1.0);
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(0), 0.5);
+}
+
+TEST(Accumulator, FilterRejectsEqualToSdcMinimum) {
+  BoundaryAccumulator filtered(1, {/*filter=*/true, 32});
+  filtered.record_injection(0, 3, Outcome::kSdc, 1.0);
+  filtered.record_masked_propagation(diffs_at(1, {{0, 1.0}}));  // == min SDC
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(0), 0.0);
+}
+
+TEST(Accumulator, MaskedInjectionAboveSdcMinIsFilteredToo) {
+  // Non-monotonic direct evidence: masked at 2.0 but SDC at 1.0.  The
+  // filtered boundary must not exceed the SDC minimum.
+  BoundaryAccumulator filtered(1, {/*filter=*/true, 32});
+  filtered.record_injection(0, 3, Outcome::kSdc, 1.0);
+  filtered.record_injection(0, 9, Outcome::kMasked, 2.0);
+  filtered.record_injection(0, 11, Outcome::kMasked, 0.25);
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(0), 0.25);
+}
+
+TEST(Accumulator, BufferEvictionStaysConservative) {
+  // Cap 2: inserting three surviving values keeps the largest two; the
+  // final threshold is still one of the surviving values (never larger
+  // than the true max).
+  BoundaryAccumulator filtered(1, {/*filter=*/true, 2});
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.1}}));
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.3}}));
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.2}}));
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(0), 0.3);
+  // SDC below the retained values: everything prunes; threshold falls to 0
+  // (conservative -- the 0.1 was evicted and cannot resurrect).
+  filtered.record_injection(0, 1, Outcome::kSdc, 0.15);
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(0), 0.0);
+}
+
+TEST(Accumulator, TestedBitsTracksDistinctBits) {
+  BoundaryAccumulator accumulator(1);
+  EXPECT_EQ(accumulator.tested_bits(0), 0u);
+  accumulator.record_injection(0, 5, Outcome::kMasked, 0.1);
+  accumulator.record_injection(0, 5, Outcome::kMasked, 0.1);  // same bit
+  accumulator.record_injection(0, 9, Outcome::kSdc, 2.0);
+  EXPECT_EQ(accumulator.tested_bits(0), 2u);
+}
+
+TEST(Accumulator, ExactSiteUsesExhaustiveRule) {
+  BoundaryAccumulator accumulator(1);
+  // Test all 64 bits: masked below 1.0, SDC at >= 1.0, plus one
+  // non-monotonic masked outlier at 8.0 which the exact rule must ignore.
+  for (int bit = 0; bit < 63; ++bit) {
+    const double error = 0.01 * (bit + 1);  // 0.01 .. 0.63
+    accumulator.record_injection(0, bit, Outcome::kMasked, error);
+  }
+  accumulator.record_injection(0, 63, Outcome::kSdc, 0.5);
+  const FaultToleranceBoundary boundary = accumulator.finalize();
+  EXPECT_TRUE(boundary.is_exact(0));
+  // Largest masked error strictly below the SDC minimum 0.5 is 0.49.
+  EXPECT_NEAR(boundary.threshold(0), 0.49, 1e-12);
+}
+
+TEST(Accumulator, ExactSiteIgnoresPropagationEvidence) {
+  BoundaryAccumulator accumulator(1);
+  accumulator.record_masked_propagation(diffs_at(1, {{0, 100.0}}));
+  for (int bit = 0; bit < 64; ++bit) {
+    accumulator.record_injection(0, bit, bit < 32 ? Outcome::kMasked
+                                                  : Outcome::kSdc,
+                                 bit < 32 ? 0.1 : 1.0);
+  }
+  const FaultToleranceBoundary boundary = accumulator.finalize();
+  EXPECT_TRUE(boundary.is_exact(0));
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), 0.1);  // not 100.0
+}
+
+TEST(Accumulator, NonPositiveAndNonFiniteDiffsIgnored) {
+  BoundaryAccumulator accumulator(3);
+  std::vector<double> diffs = {0.0, -1.0,
+                               std::numeric_limits<double>::infinity()};
+  accumulator.record_masked_propagation(diffs);
+  const FaultToleranceBoundary boundary = accumulator.finalize();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(boundary.threshold(i), 0.0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ftb::boundary

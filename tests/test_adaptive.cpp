@@ -1,0 +1,117 @@
+#include "campaign/adaptive.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "boundary/metrics.h"
+#include "boundary/predictor.h"
+#include "campaign/ground_truth.h"
+#include "kernels/registry.h"
+
+namespace ftb::campaign {
+namespace {
+
+struct Prepared {
+  explicit Prepared(const std::string& name)
+      : program(kernels::make_program(name, kernels::Preset::kTiny)),
+        golden(fi::run_golden(*program)),
+        pool(2) {}
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  util::ThreadPool pool;
+};
+
+AdaptiveOptions fast_options() {
+  AdaptiveOptions options;
+  options.round_fraction = 0.005;
+  options.min_round_samples = 16;
+  options.seed = 5;
+  return options;
+}
+
+TEST(Adaptive, TerminatesAndStaysWithinSpace) {
+  Prepared p("stencil2d");
+  const AdaptiveResult result =
+      infer_adaptive(*p.program, p.golden, fast_options(), p.pool);
+  EXPECT_GT(result.rounds.size(), 0u);
+  EXPECT_LE(result.sampled_ids.size(), result.space);
+  EXPECT_GT(result.sampled_ids.size(), 0u);
+  EXPECT_LE(result.sample_fraction(), 1.0);
+  EXPECT_EQ(result.records.size(), result.sampled_ids.size());
+}
+
+TEST(Adaptive, NeverRetestsAnExperiment) {
+  Prepared p("daxpy");
+  const AdaptiveResult result =
+      infer_adaptive(*p.program, p.golden, fast_options(), p.pool);
+  const std::set<ExperimentId> unique(result.sampled_ids.begin(),
+                                      result.sampled_ids.end());
+  EXPECT_EQ(unique.size(), result.sampled_ids.size());
+}
+
+TEST(Adaptive, CandidatePoolShrinksMonotonically) {
+  Prepared p("stencil2d");
+  const AdaptiveResult result =
+      infer_adaptive(*p.program, p.golden, fast_options(), p.pool);
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_LT(result.rounds[r].candidates_before,
+              result.rounds[r - 1].candidates_before)
+        << "round " << r;
+  }
+}
+
+TEST(Adaptive, DeterministicForSeed) {
+  Prepared p("daxpy");
+  const AdaptiveResult a =
+      infer_adaptive(*p.program, p.golden, fast_options(), p.pool);
+  const AdaptiveResult b =
+      infer_adaptive(*p.program, p.golden, fast_options(), p.pool);
+  EXPECT_EQ(a.sampled_ids, b.sampled_ids);
+  EXPECT_EQ(a.rounds.size(), b.rounds.size());
+}
+
+TEST(Adaptive, UsesFarFewerSamplesThanExhaustive) {
+  Prepared p("stencil2d");
+  const AdaptiveResult result =
+      infer_adaptive(*p.program, p.golden, fast_options(), p.pool);
+  EXPECT_LT(result.sample_fraction(), 0.6);
+}
+
+TEST(Adaptive, PredictedSdcTracksGroundTruth) {
+  Prepared p("stencil2d");
+  const GroundTruth truth =
+      GroundTruth::compute(*p.program, p.golden, p.pool, /*use_cache=*/false);
+  const AdaptiveResult result =
+      infer_adaptive(*p.program, p.golden, fast_options(), p.pool);
+  const double predicted =
+      boundary::predicted_overall_sdc(result.boundary, p.golden.trace);
+  // The boundary assumes unknown = SDC, so predicted >= truth - noise, and
+  // after adaptive refinement it should be within a handful of points.
+  EXPECT_NEAR(predicted, truth.overall_sdc_ratio(), 0.15);
+}
+
+TEST(Adaptive, StopCriterionRespectsMaskedShare) {
+  // With stop_sdc_fraction = 0 every round stops immediately after round 1
+  // (any masked share <= 1 satisfies the criterion).
+  Prepared p("daxpy");
+  AdaptiveOptions options = fast_options();
+  options.stop_sdc_fraction = 0.0;
+  const AdaptiveResult result =
+      infer_adaptive(*p.program, p.golden, options, p.pool);
+  EXPECT_EQ(result.rounds.size(), 1u);
+}
+
+TEST(Adaptive, MaxRoundsBounds) {
+  Prepared p("stencil2d");
+  AdaptiveOptions options = fast_options();
+  options.max_rounds = 2;
+  options.stop_sdc_fraction = 1.1;  // never satisfied -> rely on max_rounds
+  const AdaptiveResult result =
+      infer_adaptive(*p.program, p.golden, options, p.pool);
+  EXPECT_LE(result.rounds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ftb::campaign

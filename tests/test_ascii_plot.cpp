@@ -1,0 +1,84 @@
+#include "util/ascii_plot.h"
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::util {
+namespace {
+
+TEST(AsciiPlot, RendersGlyphsAndLegend) {
+  const Series series[] = {
+      {"rising", {0.0, 0.25, 0.5, 0.75, 1.0}, '*'},
+      {"flat", {0.5, 0.5, 0.5, 0.5, 0.5}, 'o'},
+  };
+  const std::string text = plot(series);
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+  EXPECT_NE(text.find("rising"), std::string::npos);
+  EXPECT_NE(text.find("flat"), std::string::npos);
+  EXPECT_NE(text.find("legend"), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedYRangeShowsEndpoints) {
+  PlotOptions options;
+  options.fix_y_range = true;
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  options.height = 5;
+  const Series series[] = {{"s", {0.0, 1.0}, '*'}};
+  const std::string text = plot(series, options);
+  EXPECT_NE(text.find("1.0000"), std::string::npos);
+  EXPECT_NE(text.find("0.0000"), std::string::npos);
+}
+
+TEST(AsciiPlot, RisingSeriesDescendsRows) {
+  // In terminal coordinates larger values print on earlier (higher) rows:
+  // the last column's glyph must appear above the first column's.
+  PlotOptions options;
+  options.width = 10;
+  options.height = 10;
+  options.fix_y_range = true;
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  const Series series[] = {{"s", {0.05, 0.95}, '*'}};
+  const std::string text = plot(series, options);
+  const std::size_t first_star = text.find('*');
+  const std::size_t last_star = text.rfind('*');
+  // Compute rows by counting newlines before each position.
+  const auto row_of = [&](std::size_t pos) {
+    return std::count(text.begin(), text.begin() + pos, '\n');
+  };
+  EXPECT_LT(row_of(first_star), row_of(last_star));
+}
+
+TEST(AsciiPlot, HandlesEmptyAndNanSeries) {
+  const Series empty[] = {{"empty", {}, '*'}};
+  EXPECT_FALSE(plot(empty).empty());
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Series with_nan[] = {{"nan", {nan, 1.0, nan}, '*'}};
+  const std::string text = plot(with_nan);
+  EXPECT_NE(text.find('*'), std::string::npos);  // the finite point plots
+}
+
+TEST(AsciiPlot, SeriesLongerThanWidthIsResampled) {
+  std::vector<double> long_series(1000);
+  for (std::size_t i = 0; i < long_series.size(); ++i) {
+    long_series[i] = static_cast<double>(i);
+  }
+  PlotOptions options;
+  options.width = 20;
+  const Series series[] = {{"long", long_series, '*'}};
+  const std::string text = plot(series, options);
+  // Every column should carry a glyph (dense series, no gaps).
+  std::size_t stars = 0;
+  for (char ch : text) {
+    if (ch == '*') ++stars;
+  }
+  EXPECT_GE(stars, 20u);
+}
+
+}  // namespace
+}  // namespace ftb::util

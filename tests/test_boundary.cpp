@@ -1,0 +1,61 @@
+#include "boundary/boundary.h"
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::boundary {
+namespace {
+
+TEST(Boundary, PredictMaskedIsInclusive) {
+  const FaultToleranceBoundary boundary({1.0, 0.0, 2.5});
+  EXPECT_TRUE(boundary.predict_masked(0, 1.0));   // <= threshold
+  EXPECT_TRUE(boundary.predict_masked(0, 0.999));
+  EXPECT_FALSE(boundary.predict_masked(0, 1.001));
+  // Unknown site (threshold 0): only zero-magnitude errors tolerated.
+  EXPECT_TRUE(boundary.predict_masked(1, 0.0));
+  EXPECT_FALSE(boundary.predict_masked(1, 1e-300));
+}
+
+TEST(Boundary, UnboundedSiteToleratesEverything) {
+  const FaultToleranceBoundary boundary(
+      {FaultToleranceBoundary::kUnbounded});
+  EXPECT_TRUE(
+      boundary.predict_masked(0, std::numeric_limits<double>::max()));
+}
+
+TEST(Boundary, ExactFlags) {
+  const FaultToleranceBoundary plain({1.0, 2.0});
+  EXPECT_FALSE(plain.is_exact(0));
+  const FaultToleranceBoundary flagged({1.0, 2.0}, {0, 1});
+  EXPECT_FALSE(flagged.is_exact(0));
+  EXPECT_TRUE(flagged.is_exact(1));
+}
+
+TEST(Boundary, InformedSites) {
+  const FaultToleranceBoundary boundary({0.0, 1.0, 0.0, 3.0});
+  EXPECT_EQ(boundary.informed_sites(), 2u);
+  EXPECT_EQ(boundary.sites(), 4u);
+}
+
+TEST(Boundary, MergeMaxTakesPointwiseMax) {
+  FaultToleranceBoundary a({1.0, 5.0, 0.0}, {1, 0, 0});
+  const FaultToleranceBoundary b({2.0, 3.0, 4.0}, {0, 1, 0});
+  a.merge_max(b);
+  EXPECT_DOUBLE_EQ(a.threshold(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.threshold(1), 5.0);
+  EXPECT_DOUBLE_EQ(a.threshold(2), 4.0);
+  EXPECT_TRUE(a.is_exact(0));
+  EXPECT_TRUE(a.is_exact(1));
+  EXPECT_FALSE(a.is_exact(2));
+}
+
+TEST(Boundary, DefaultIsEmpty) {
+  const FaultToleranceBoundary boundary;
+  EXPECT_EQ(boundary.sites(), 0u);
+  EXPECT_EQ(boundary.informed_sites(), 0u);
+}
+
+}  // namespace
+}  // namespace ftb::boundary

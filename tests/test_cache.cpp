@@ -1,0 +1,108 @@
+#include "util/cache.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ftb::util {
+namespace {
+
+TEST(BinaryCodec, RoundTrip) {
+  BinaryWriter writer;
+  writer.put_u64(0xdeadbeefcafef00dull);
+  writer.put_f64(-3.14159);
+  writer.put_bytes({1, 2, 3, 255});
+  writer.put_f64_vec({0.5, -0.25, 1e300});
+  writer.put_string("fault tolerance boundary");
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.get_u64(), 0xdeadbeefcafef00dull);
+  EXPECT_DOUBLE_EQ(reader.get_f64(), -3.14159);
+  EXPECT_EQ(reader.get_bytes(), (std::vector<std::uint8_t>{1, 2, 3, 255}));
+  EXPECT_EQ(reader.get_f64_vec(), (std::vector<double>{0.5, -0.25, 1e300}));
+  EXPECT_EQ(reader.get_string(), "fault tolerance boundary");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BinaryCodec, TruncationThrows) {
+  BinaryWriter writer;
+  writer.put_u64(7);
+  std::vector<std::uint8_t> cut = writer.buffer();
+  cut.pop_back();
+  BinaryReader reader(std::move(cut));
+  EXPECT_THROW(reader.get_u64(), std::runtime_error);
+}
+
+TEST(BinaryCodec, NonFiniteDoublesSurvive) {
+  BinaryWriter writer;
+  writer.put_f64(std::numeric_limits<double>::infinity());
+  writer.put_f64(std::numeric_limits<double>::quiet_NaN());
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(std::isinf(reader.get_f64()));
+  EXPECT_TRUE(std::isnan(reader.get_f64()));
+}
+
+TEST(Fnv1a, StableAndDistinct) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+class CacheDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ftb_cache_test_" + std::to_string(::getpid()));
+    ASSERT_EQ(setenv("FTB_CACHE_DIR", dir_.c_str(), 1), 0);
+  }
+  void TearDown() override {
+    ASSERT_EQ(setenv("FTB_CACHE_DIR", "off", 1), 0);
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CacheDirTest, StoreLoadRoundTrip) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+  cache_store("key-one", payload);
+  const auto loaded = cache_load("key-one");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+}
+
+TEST_F(CacheDirTest, MissForUnknownKey) {
+  EXPECT_FALSE(cache_load("never-stored").has_value());
+}
+
+TEST_F(CacheDirTest, OverwriteReplacesPayload) {
+  cache_store("key", {1});
+  cache_store("key", {2, 3});
+  const auto loaded = cache_load("key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, (std::vector<std::uint8_t>{2, 3}));
+}
+
+TEST_F(CacheDirTest, CorruptFileIsAMiss) {
+  cache_store("key", {1, 2, 3});
+  // Truncate the stored file behind the cache's back.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::filesystem::resize_file(entry.path(), 4);
+  }
+  EXPECT_FALSE(cache_load("key").has_value());
+}
+
+TEST(CacheDisabled, OffMeansNoop) {
+  ASSERT_EQ(setenv("FTB_CACHE_DIR", "off", 1), 0);
+  EXPECT_TRUE(cache_dir().empty());
+  cache_store("key", {1});                       // must not crash
+  EXPECT_FALSE(cache_load("key").has_value());   // and never hit
+}
+
+}  // namespace
+}  // namespace ftb::util

@@ -1,0 +1,115 @@
+#include "campaign/campaign.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/blas1.h"
+
+namespace ftb::campaign {
+namespace {
+
+struct Fixture {
+  Fixture() : program(make_config()), golden(fi::run_golden(program)) {}
+  static kernels::DaxpyConfig make_config() {
+    kernels::DaxpyConfig config;
+    config.n = 8;
+    return config;
+  }
+  kernels::DaxpyProgram program;
+  fi::GoldenRun golden;
+};
+
+TEST(Campaign, RecordsComeBackInInputOrder) {
+  Fixture f;
+  util::ThreadPool pool(4);
+  const std::vector<ExperimentId> ids = {encode(0, 0), encode(5, 10),
+                                         encode(23, 63), encode(1, 52)};
+  const std::vector<ExperimentRecord> records =
+      run_experiments(f.program, f.golden, ids, pool);
+  ASSERT_EQ(records.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(records[i].id, ids[i]);
+  }
+}
+
+TEST(Campaign, ResultsIndependentOfThreadCount) {
+  Fixture f;
+  std::vector<ExperimentId> ids;
+  for (ExperimentId id = 0; id < f.golden.sample_space_size(); id += 7) {
+    ids.push_back(id);
+  }
+  util::ThreadPool pool1(1), pool4(4);
+  const auto a = run_experiments(f.program, f.golden, ids, pool1);
+  const auto b = run_experiments(f.program, f.golden, ids, pool4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result.outcome, b[i].result.outcome) << i;
+    EXPECT_DOUBLE_EQ(a[i].result.injected_error, b[i].result.injected_error);
+  }
+}
+
+TEST(Campaign, CompareConsumerCalledOncePerExperiment) {
+  Fixture f;
+  util::ThreadPool pool(4);
+  std::vector<ExperimentId> ids;
+  for (ExperimentId id = 0; id < 100; ++id) ids.push_back(id);
+
+  std::set<ExperimentId> seen;
+  std::size_t calls = 0;
+  const auto records = run_experiments_compare(
+      f.program, f.golden, ids, pool,
+      [&](const ExperimentRecord& record, std::span<const double> diffs) {
+        // Serialised by contract: plain containers are safe here.
+        ++calls;
+        seen.insert(record.id);
+        EXPECT_EQ(diffs.size(), f.golden.trace.size());
+      });
+  EXPECT_EQ(calls, ids.size());
+  EXPECT_EQ(seen.size(), ids.size());
+  EXPECT_EQ(records.size(), ids.size());
+}
+
+TEST(Campaign, CompareAgreesWithPlainRunner) {
+  Fixture f;
+  util::ThreadPool pool(2);
+  std::vector<ExperimentId> ids;
+  for (ExperimentId id = 0; id < f.golden.sample_space_size(); id += 13) {
+    ids.push_back(id);
+  }
+  const auto plain = run_experiments(f.program, f.golden, ids, pool);
+  const auto compared =
+      run_experiments_compare(f.program, f.golden, ids, pool, nullptr);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(plain[i].result.outcome, compared[i].result.outcome) << i;
+  }
+}
+
+TEST(Campaign, CountOutcomesTallies) {
+  std::vector<ExperimentRecord> records(6);
+  records[0].result.outcome = fi::Outcome::kMasked;
+  records[1].result.outcome = fi::Outcome::kMasked;
+  records[2].result.outcome = fi::Outcome::kSdc;
+  records[3].result.outcome = fi::Outcome::kCrash;
+  records[4].result.outcome = fi::Outcome::kSdc;
+  records[5].result.outcome = fi::Outcome::kSdc;
+  const OutcomeCounts counts = count_outcomes(records);
+  EXPECT_EQ(counts.masked, 2u);
+  EXPECT_EQ(counts.sdc, 3u);
+  EXPECT_EQ(counts.crash, 1u);
+  EXPECT_EQ(counts.total(), 6u);
+  EXPECT_DOUBLE_EQ(counts.sdc_fraction(), 0.5);
+}
+
+TEST(Campaign, EmptyIdsYieldEmptyRecords) {
+  Fixture f;
+  util::ThreadPool pool(2);
+  EXPECT_TRUE(run_experiments(f.program, f.golden, {}, pool).empty());
+  const OutcomeCounts counts = count_outcomes({});
+  EXPECT_EQ(counts.total(), 0u);
+  EXPECT_DOUBLE_EQ(counts.sdc_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace ftb::campaign

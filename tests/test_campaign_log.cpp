@@ -1,0 +1,162 @@
+#include "campaign/log.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "campaign/inference.h"
+#include "campaign/sampler.h"
+#include "kernels/registry.h"
+#include "util/rng.h"
+
+namespace ftb::campaign {
+namespace {
+
+struct Prepared {
+  explicit Prepared(const char* name)
+      : program(kernels::make_program(name, kernels::Preset::kTiny)),
+        golden(fi::run_golden(*program)),
+        pool(1) {}
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  util::ThreadPool pool;
+};
+
+CampaignLog make_log(Prepared& p, std::uint64_t seed, std::uint64_t count) {
+  util::Rng rng(seed);
+  const std::vector<ExperimentId> ids =
+      sample_uniform(rng, p.golden.sample_space_size(), count);
+  CampaignLog log(p.program->config_key());
+  log.append(run_experiments(*p.program, p.golden, ids, p.pool));
+  return log;
+}
+
+TEST(CampaignLog, SerializeRoundTrip) {
+  Prepared p("daxpy");
+  const CampaignLog log = make_log(p, 1, 50);
+  const auto restored = CampaignLog::deserialize(log.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config_key(), log.config_key());
+  ASSERT_EQ(restored->size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(restored->records()[i].id, log.records()[i].id);
+    EXPECT_EQ(restored->records()[i].result.outcome,
+              log.records()[i].result.outcome);
+    EXPECT_DOUBLE_EQ(restored->records()[i].result.injected_error,
+                     log.records()[i].result.injected_error);
+  }
+}
+
+TEST(CampaignLog, CorruptPayloadRejected) {
+  Prepared p("daxpy");
+  std::string payload = make_log(p, 2, 10).serialize();
+  EXPECT_FALSE(CampaignLog::deserialize(payload.substr(0, 12)).has_value());
+  payload[0] ^= 0x40;
+  EXPECT_FALSE(CampaignLog::deserialize(payload).has_value());
+}
+
+TEST(CampaignLog, FileRoundTrip) {
+  Prepared p("daxpy");
+  const CampaignLog log = make_log(p, 3, 30);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ftb_log_" + std::to_string(::getpid()) + ".bin");
+  ASSERT_TRUE(log.save(path.string()));
+  const auto restored = CampaignLog::load(path.string());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), log.size());
+  std::filesystem::remove(path);
+  EXPECT_FALSE(CampaignLog::load(path.string()).has_value());
+}
+
+TEST(CampaignLog, MergeDedupesAndChecksKey) {
+  Prepared p("daxpy");
+  CampaignLog a = make_log(p, 4, 40);
+  const CampaignLog b = make_log(p, 5, 40);  // overlapping ids likely
+  const std::size_t union_upper_bound = a.size() + b.size();
+  a.merge(b);
+  EXPECT_LE(a.size(), union_upper_bound);
+  const std::vector<ExperimentId> ids = a.ids();
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_LT(ids[i - 1], ids[i]);  // sorted, no duplicates
+  }
+
+  CampaignLog wrong("some-other-config");
+  EXPECT_THROW(a.merge(wrong), std::invalid_argument);
+}
+
+TEST(CampaignLog, ResumedCampaignEqualsOneShot) {
+  // Running a campaign in two halves, logging both, must reconstruct the
+  // exact experiment set of the one-shot run.
+  Prepared p("stencil2d");
+  util::Rng rng(7);
+  const std::vector<ExperimentId> ids =
+      sample_uniform(rng, p.golden.sample_space_size(), 120);
+
+  CampaignLog log(p.program->config_key());
+  const std::span<const ExperimentId> first_half(ids.data(), 60);
+  const std::span<const ExperimentId> second_half(ids.data() + 60, 60);
+  log.append(run_experiments(*p.program, p.golden, first_half, p.pool));
+  // "Interruption": save + reload.
+  const auto reloaded = CampaignLog::deserialize(log.serialize());
+  ASSERT_TRUE(reloaded.has_value());
+  CampaignLog resumed = *reloaded;
+  resumed.append(run_experiments(*p.program, p.golden, second_half, p.pool));
+  resumed.dedupe();
+
+  std::vector<ExperimentId> sorted_ids = ids;
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  EXPECT_EQ(resumed.ids(), sorted_ids);
+}
+
+TEST(CampaignLog, BoundaryFromLogMatchesDirectInference) {
+  Prepared p("stencil2d");
+  InferenceOptions options;
+  options.sample_fraction = 0.03;
+  options.seed = 9;
+  options.filter = true;
+  const InferenceResult direct =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+
+  CampaignLog log(p.program->config_key());
+  log.append(direct.records);
+  const boundary::FaultToleranceBoundary rebuilt = boundary_from_log(
+      *p.program, p.golden, log, {options.filter, options.prop_buffer_cap},
+      p.pool);
+
+  ASSERT_EQ(rebuilt.sites(), direct.boundary.sites());
+  for (std::size_t i = 0; i < rebuilt.sites(); ++i) {
+    EXPECT_DOUBLE_EQ(rebuilt.threshold(i), direct.boundary.threshold(i)) << i;
+  }
+}
+
+TEST(CampaignLog, RebuildWithDifferentFilterSetting) {
+  // The log lets you change analysis settings post-hoc: rebuilding without
+  // the filter can only raise thresholds.
+  Prepared p("cg");
+  InferenceOptions options;
+  options.sample_fraction = 0.02;
+  options.filter = true;
+  const InferenceResult direct =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+  CampaignLog log(p.program->config_key());
+  log.append(direct.records);
+
+  const boundary::FaultToleranceBoundary unfiltered =
+      boundary_from_log(*p.program, p.golden, log, {false, 32}, p.pool);
+  for (std::size_t i = 0; i < unfiltered.sites(); ++i) {
+    EXPECT_GE(unfiltered.threshold(i) + 1e-300, direct.boundary.threshold(i))
+        << i;
+  }
+}
+
+TEST(CampaignLog, RejectsWrongProgram) {
+  Prepared p("daxpy");
+  CampaignLog log("not-this-program");
+  EXPECT_THROW(
+      boundary_from_log(*p.program, p.golden, log, {}, p.pool),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftb::campaign

@@ -1,0 +1,58 @@
+#include "util/cli.h"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+namespace ftb::util {
+namespace {
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()),
+             const_cast<char**>(args.data()));
+}
+
+TEST(Cli, EqualsForm) {
+  const Cli cli = make_cli({"--kernel=cg", "--fraction=0.5"});
+  EXPECT_TRUE(cli.has("kernel"));
+  EXPECT_EQ(cli.get("kernel"), "cg");
+  EXPECT_DOUBLE_EQ(cli.get_double("fraction", 0.0), 0.5);
+}
+
+TEST(Cli, SpaceForm) {
+  const Cli cli = make_cli({"--kernel", "lu", "--trials", "10"});
+  EXPECT_EQ(cli.get("kernel"), "lu");
+  EXPECT_EQ(cli.get_int("trials", 0), 10);
+}
+
+TEST(Cli, BooleanSwitch) {
+  const Cli cli = make_cli({"--verbose", "--flag=false"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.get_bool("flag", true));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+  EXPECT_TRUE(cli.get_bool("absent", true));
+}
+
+TEST(Cli, Positional) {
+  const Cli cli = make_cli({"first", "--k=v", "second"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "first");
+  EXPECT_EQ(cli.positional()[1], "second");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const Cli cli = make_cli({});
+  EXPECT_FALSE(cli.has("anything"));
+  EXPECT_EQ(cli.get("anything", "fallback"), "fallback");
+  EXPECT_EQ(cli.get_int("n", -3), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+}
+
+TEST(Cli, NegativeNumericValueViaEquals) {
+  const Cli cli = make_cli({"--offset=-7"});
+  EXPECT_EQ(cli.get_int("offset", 0), -7);
+}
+
+}  // namespace
+}  // namespace ftb::util

@@ -1,0 +1,129 @@
+#include "campaign/equivalence.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "boundary/metrics.h"
+#include "campaign/ground_truth.h"
+#include "kernels/registry.h"
+
+namespace ftb::campaign {
+namespace {
+
+struct Prepared {
+  explicit Prepared(const char* name)
+      : program(kernels::make_program(name, kernels::Preset::kTiny)),
+        golden(fi::run_golden(*program)),
+        pool(1) {}
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  util::ThreadPool pool;
+};
+
+TEST(EquivalenceClasses, PartitionCoversEverySiteExactlyOnce) {
+  Prepared p("cg");
+  const EquivalenceClasses classes(p.golden);
+  std::set<std::uint64_t> seen;
+  for (std::size_t cls = 0; cls < classes.class_count(); ++cls) {
+    for (const std::uint64_t site : classes.members(cls)) {
+      EXPECT_TRUE(seen.insert(site).second) << "site " << site << " repeated";
+      EXPECT_EQ(classes.class_of(site), cls);
+    }
+  }
+  EXPECT_EQ(seen.size(), p.golden.trace.size());
+  EXPECT_GT(classes.class_count(), 1u);
+  EXPECT_LT(classes.class_count(), p.golden.trace.size());
+}
+
+TEST(EquivalenceClasses, MembersShareSignAndRoughMagnitude) {
+  Prepared p("fft");
+  const EquivalenceClasses classes(p.golden, /*magnitude_bits_per_bucket=*/3);
+  for (std::size_t cls = 0; cls < classes.class_count(); ++cls) {
+    const auto members = classes.members(cls);
+    const double first = p.golden.trace[members[0]];
+    for (const std::uint64_t site : members) {
+      const double value = p.golden.trace[site];
+      EXPECT_EQ(std::signbit(value), std::signbit(first));
+      if (value != 0.0 && first != 0.0) {
+        // Same 8x-wide magnitude bucket.
+        EXPECT_EQ(std::ilogb(std::fabs(value)) / 3,
+                  std::ilogb(std::fabs(first)) / 3);
+      } else {
+        EXPECT_EQ(value == 0.0, first == 0.0);
+      }
+    }
+  }
+}
+
+TEST(EquivalenceClasses, CoarserBucketsGiveFewerClasses) {
+  Prepared p("lu");
+  const EquivalenceClasses fine(p.golden, 1);
+  const EquivalenceClasses coarse(p.golden, 8);
+  EXPECT_LE(coarse.class_count(), fine.class_count());
+  EXPECT_GE(coarse.mean_class_size(), fine.mean_class_size());
+}
+
+TEST(EquivalenceInference, RespectsBudgetAndIsDeterministic) {
+  Prepared p("stencil2d");
+  EquivalenceInferenceOptions options;
+  options.budget = 200;
+  options.seed = 3;
+  const EquivalenceInferenceResult a =
+      infer_with_equivalence(*p.program, p.golden, options, p.pool);
+  const EquivalenceInferenceResult b =
+      infer_with_equivalence(*p.program, p.golden, options, p.pool);
+  EXPECT_LE(a.sampled_ids.size(), 200u);
+  EXPECT_EQ(a.sampled_ids, b.sampled_ids);
+  EXPECT_EQ(a.counts.total(), a.sampled_ids.size());
+}
+
+TEST(EquivalenceInference, BroadcastReachesUntestedSites) {
+  Prepared p("cg");
+  EquivalenceInferenceOptions options;
+  options.budget = p.golden.sample_space_size() / 100;
+  const EquivalenceInferenceResult result =
+      infer_with_equivalence(*p.program, p.golden, options, p.pool);
+  // Far more sites end up informed than were directly sampled.
+  std::set<std::uint64_t> sampled_sites;
+  for (const ExperimentId id : result.sampled_ids) {
+    sampled_sites.insert(site_of(id));
+  }
+  EXPECT_GT(result.boundary.informed_sites(), sampled_sites.size());
+}
+
+TEST(EquivalenceInference, RecallBeatsUniformAtTinyBudgets) {
+  // The whole point of the combination: at very small budgets the pilot +
+  // broadcast scheme identifies more masked cases than uniform sampling.
+  Prepared p("fft");
+  const GroundTruth truth =
+      GroundTruth::compute(*p.program, p.golden, p.pool, /*use_cache=*/false);
+  const std::uint64_t budget = p.golden.sample_space_size() / 500;  // 0.2%
+
+  EquivalenceInferenceOptions equivalence_options;
+  equivalence_options.budget = budget;
+  equivalence_options.seed = 9;
+  const EquivalenceInferenceResult equivalence =
+      infer_with_equivalence(*p.program, p.golden, equivalence_options,
+                             p.pool);
+  const auto equivalence_metrics = boundary::evaluate_boundary(
+      equivalence.boundary, p.golden.trace, truth.outcomes(),
+      equivalence.sampled_ids);
+
+  InferenceOptions uniform_options;
+  uniform_options.sample_fraction =
+      static_cast<double>(budget) /
+      static_cast<double>(p.golden.sample_space_size());
+  uniform_options.seed = 9;
+  uniform_options.filter = true;
+  const InferenceResult uniform =
+      infer_uniform(*p.program, p.golden, uniform_options, p.pool);
+  const auto uniform_metrics = boundary::evaluate_boundary(
+      uniform.boundary, p.golden.trace, truth.outcomes(),
+      uniform.sampled_ids);
+
+  EXPECT_GT(equivalence_metrics.recall(), uniform_metrics.recall());
+}
+
+}  // namespace
+}  // namespace ftb::campaign

@@ -1,0 +1,123 @@
+#include "fi/executor.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "fi/fpbits.h"
+#include "kernels/blas1.h"
+
+namespace ftb::fi {
+namespace {
+
+kernels::DaxpyProgram small_daxpy() {
+  kernels::DaxpyConfig config;
+  config.n = 8;
+  return kernels::DaxpyProgram(config);
+}
+
+TEST(Executor, GoldenRunShape) {
+  const auto program = small_daxpy();
+  const GoldenRun golden = run_golden(program);
+  // daxpy: n x-fills + n y-fills + n updates.
+  EXPECT_EQ(golden.dynamic_instructions(), 24u);
+  EXPECT_EQ(golden.output.size(), 8u);
+  EXPECT_EQ(golden.sample_space_size(), 24u * 64u);
+  EXPECT_GT(golden.tolerance, 0.0);
+  for (double v : golden.trace) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Executor, CountMatchesGoldenTrace) {
+  const auto program = small_daxpy();
+  EXPECT_EQ(count_dynamic_instructions(program),
+            run_golden(program).dynamic_instructions());
+}
+
+TEST(Executor, GoldenRunIsDeterministic) {
+  const auto program = small_daxpy();
+  const GoldenRun a = run_golden(program);
+  const GoldenRun b = run_golden(program);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Executor, TinyFlipIsMasked) {
+  const auto program = small_daxpy();
+  const GoldenRun golden = run_golden(program);
+  // Flip the least-significant mantissa bit of the first x element: the
+  // perturbation is ~1 ulp, far below the program tolerance.
+  const ExperimentResult result =
+      run_injected(program, golden, Injection::bit_flip(0, 0));
+  EXPECT_EQ(result.outcome, Outcome::kMasked);
+  EXPECT_GT(result.injected_error, 0.0);
+  EXPECT_LE(result.output_error, golden.tolerance);
+}
+
+TEST(Executor, LargeFlipOnOutputElementIsSdc) {
+  const auto program = small_daxpy();
+  const GoldenRun golden = run_golden(program);
+  // The last n dynamic instructions are the y updates that become the
+  // output; flipping a high exponent bit of one of them (avoiding the
+  // nonfinite top bit) corrupts the output directly.
+  const std::uint64_t site = golden.dynamic_instructions() - 1;
+  const ExperimentResult result =
+      run_injected(program, golden, Injection::bit_flip(site, 55));
+  EXPECT_EQ(result.outcome, Outcome::kSdc);
+  EXPECT_GT(result.output_error, golden.tolerance);
+}
+
+TEST(Executor, NonFiniteInjectionIsCrash) {
+  const auto program = small_daxpy();
+  const GoldenRun golden = run_golden(program);
+  const ExperimentResult result = run_injected(
+      program, golden,
+      Injection::set_value(3, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(result.outcome, Outcome::kCrash);
+  EXPECT_TRUE(std::isinf(result.output_error));
+}
+
+TEST(Executor, CompareModeMatchesPlainOutcome) {
+  const auto program = small_daxpy();
+  const GoldenRun golden = run_golden(program);
+  std::vector<double> diffs(golden.trace.size());
+  for (std::uint64_t site : {0ull, 5ull, 16ull, 23ull}) {
+    for (int bit : {0, 30, 55, 63}) {
+      const Injection injection = Injection::bit_flip(site, bit);
+      const ExperimentResult plain = run_injected(program, golden, injection);
+      const ExperimentResult compared =
+          run_injected_compare(program, golden, injection, diffs);
+      EXPECT_EQ(plain.outcome, compared.outcome) << site << ":" << bit;
+      EXPECT_DOUBLE_EQ(plain.injected_error, compared.injected_error);
+      EXPECT_DOUBLE_EQ(plain.output_error, compared.output_error);
+    }
+  }
+}
+
+TEST(Executor, CompareDiffsZeroBeforeInjection) {
+  const auto program = small_daxpy();
+  const GoldenRun golden = run_golden(program);
+  std::vector<double> diffs(golden.trace.size(), 123.0);  // poisoned
+  const std::uint64_t site = 10;
+  (void)run_injected_compare(program, golden, Injection::bit_flip(site, 52),
+                             diffs);
+  for (std::uint64_t i = 0; i < site; ++i) {
+    EXPECT_EQ(diffs[i], 0.0) << i;
+  }
+  EXPECT_GT(diffs[site], 0.0);
+}
+
+TEST(Executor, PropagationReachesDependentInstruction) {
+  const auto program = small_daxpy();
+  const GoldenRun golden = run_golden(program);
+  std::vector<double> diffs(golden.trace.size());
+  // x[2] feeds only the update at site 16 + 2.
+  (void)run_injected_compare(program, golden, Injection::bit_flip(2, 51),
+                             diffs);
+  EXPECT_GT(diffs[2], 0.0);
+  EXPECT_GT(diffs[18], 0.0);   // y[2] update sees alpha * corrupted x[2]
+  EXPECT_EQ(diffs[17], 0.0);   // unrelated element untouched
+}
+
+}  // namespace
+}  // namespace ftb::fi

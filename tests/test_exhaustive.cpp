@@ -1,0 +1,115 @@
+#include "boundary/exhaustive.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+namespace {
+
+using fi::Outcome;
+
+/// Builds a one-site outcome table by classifying each bit flip of `value`
+/// with a rule on the injected error.
+template <typename Rule>
+std::vector<Outcome> one_site_outcomes(double value, Rule rule) {
+  std::vector<Outcome> outcomes(fi::kBitsPerValue, Outcome::kMasked);
+  for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+    if (fi::flip_is_nonfinite(value, bit)) {
+      outcomes[bit] = Outcome::kCrash;
+    } else {
+      outcomes[bit] = rule(fi::bit_flip_error(value, bit));
+    }
+  }
+  return outcomes;
+}
+
+TEST(Exhaustive, MonotoneSiteThresholdSitsAtTheKnee) {
+  // All errors <= 0.001 masked, everything larger SDC.
+  const double value = 1.0;
+  const auto outcomes = one_site_outcomes(value, [](double e) {
+    return e <= 1e-3 ? Outcome::kMasked : Outcome::kSdc;
+  });
+  const std::vector<double> trace = {value};
+  const FaultToleranceBoundary boundary = exhaustive_boundary(outcomes, trace);
+  ASSERT_EQ(boundary.sites(), 1u);
+  EXPECT_TRUE(boundary.is_exact(0));
+  // The threshold is the largest bit-flip error <= 1e-3 at value 1.0.
+  double expected = 0.0;
+  for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+    const double e = fi::bit_flip_error(value, bit);
+    if (std::isfinite(e) && e <= 1e-3 && e > expected) expected = e;
+  }
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), expected);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(Exhaustive, AllMaskedSiteGetsLargestFiniteError) {
+  const double value = 2.5;
+  const auto outcomes =
+      one_site_outcomes(value, [](double) { return Outcome::kMasked; });
+  const std::vector<double> trace = {value};
+  const FaultToleranceBoundary boundary = exhaustive_boundary(outcomes, trace);
+  double expected = 0.0;
+  for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+    if (!fi::flip_is_nonfinite(value, bit)) {
+      expected = std::max(expected, fi::bit_flip_error(value, bit));
+    }
+  }
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), expected);
+}
+
+TEST(Exhaustive, AllSdcSiteHasZeroThreshold) {
+  const double value = -1.75;
+  const auto outcomes =
+      one_site_outcomes(value, [](double) { return Outcome::kSdc; });
+  const std::vector<double> trace = {value};
+  const FaultToleranceBoundary boundary = exhaustive_boundary(outcomes, trace);
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), 0.0);
+}
+
+TEST(Exhaustive, NonMonotonicMaskedAboveSdcIsExcluded) {
+  // Masked for e <= 1e-6 and for e in (1.0, 100.0); SDC in between.  The
+  // paper's rule keeps only the masked region below the smallest SDC error.
+  const double value = 1.0;
+  const auto outcomes = one_site_outcomes(value, [](double e) {
+    if (e <= 1e-6) return Outcome::kMasked;
+    if (e > 1.0 && e < 100.0) return Outcome::kMasked;  // non-monotonic blob
+    return Outcome::kSdc;
+  });
+  const std::vector<double> trace = {value};
+  const FaultToleranceBoundary boundary = exhaustive_boundary(outcomes, trace);
+  EXPECT_LE(boundary.threshold(0), 1e-6);
+  EXPECT_GT(boundary.threshold(0), 0.0);
+}
+
+TEST(Exhaustive, CrashesNeverConstrainTheThreshold) {
+  // Crash everywhere except two masked mantissa flips.
+  const double value = 3.0;
+  std::vector<Outcome> outcomes(fi::kBitsPerValue, Outcome::kCrash);
+  outcomes[0] = Outcome::kMasked;
+  outcomes[10] = Outcome::kMasked;
+  const std::vector<double> trace = {value};
+  const FaultToleranceBoundary boundary = exhaustive_boundary(outcomes, trace);
+  EXPECT_DOUBLE_EQ(boundary.threshold(0),
+                   std::max(fi::bit_flip_error(value, 0),
+                            fi::bit_flip_error(value, 10)));
+}
+
+TEST(Exhaustive, MultiSiteIndependence) {
+  const std::vector<double> trace = {1.0, 4.0};
+  std::vector<Outcome> outcomes(2 * fi::kBitsPerValue, Outcome::kSdc);
+  // At each site only the LSB flip is masked -- its error is the smallest
+  // possible at that value, so it survives the strictly-below-min-SDC rule.
+  outcomes[0] = Outcome::kMasked;
+  outcomes[fi::kBitsPerValue + 0] = Outcome::kMasked;
+  const FaultToleranceBoundary boundary = exhaustive_boundary(outcomes, trace);
+  EXPECT_GT(boundary.threshold(0), 0.0);
+  EXPECT_GT(boundary.threshold(1), 0.0);
+  EXPECT_NE(boundary.threshold(0), boundary.threshold(1));
+}
+
+}  // namespace
+}  // namespace ftb::boundary

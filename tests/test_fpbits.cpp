@@ -1,0 +1,89 @@
+#include "fi/fpbits.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace ftb::fi {
+namespace {
+
+TEST(FpBits, RoundTrip) {
+  for (double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e300, -1e-300}) {
+    EXPECT_EQ(from_bits(to_bits(v)), v);
+  }
+}
+
+TEST(FpBits, FlipIsInvolution) {
+  const double v = 42.75;
+  for (int bit = 0; bit < kBitsPerValue; ++bit) {
+    EXPECT_EQ(flip_bit(flip_bit(v, bit), bit), v) << "bit " << bit;
+  }
+}
+
+TEST(FpBits, SignBitFlipNegates) {
+  EXPECT_EQ(flip_bit(2.5, kSignBit), -2.5);
+  EXPECT_EQ(flip_bit(-7.0, kSignBit), 7.0);
+}
+
+TEST(FpBits, MantissaLsbFlipIsOneUlp) {
+  const double v = 1.0;
+  const double flipped = flip_bit(v, 0);
+  EXPECT_EQ(flipped, std::nextafter(1.0, 2.0));
+  EXPECT_NEAR(bit_flip_error(v, 0), std::numeric_limits<double>::epsilon(),
+              1e-30);
+}
+
+TEST(FpBits, HighestExponentBitOfOneIsHuge) {
+  // 1.0 has exponent 0x3ff; flipping bit 62 gives exponent 0x7ff - ... a
+  // non-finite or huge value.  For 1.0 specifically the result is exactly
+  // the exponent pattern 0x7ff -> infinity-class, so the flip is
+  // non-finite.
+  EXPECT_TRUE(flip_is_nonfinite(1.0, 62));
+}
+
+TEST(FpBits, ZeroValueErrors) {
+  // Flipping bits of +0.0: mantissa bits give tiny denormals, the top
+  // exponent bit gives 2.0^... the paper notes the max perturbation of a
+  // zero 32-bit float is 2 (highest exponent bit); for binary64 flipping
+  // bit 62 of 0.0 yields 2^511-ish magnitude but still finite.
+  EXPECT_GT(bit_flip_error(0.0, 62), 1.0);
+  EXPECT_TRUE(std::isfinite(bit_flip_error(0.0, 62)));
+  EXPECT_LT(bit_flip_error(0.0, 51), 1e-300);  // top mantissa bit: denormal
+  // Sign flip of zero is -0.0: zero error.
+  EXPECT_EQ(bit_flip_error(0.0, kSignBit), 0.0);
+}
+
+TEST(FpBits, ExponentBitClassification) {
+  EXPECT_FALSE(is_exponent_bit(0));
+  EXPECT_FALSE(is_exponent_bit(51));
+  EXPECT_TRUE(is_exponent_bit(52));
+  EXPECT_TRUE(is_exponent_bit(62));
+  EXPECT_FALSE(is_exponent_bit(63));
+}
+
+TEST(FpBits, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(2.0, 2.0), 0.0);
+  EXPECT_NEAR(relative_error(2.0, 1.0), 0.5, 1e-15);
+  EXPECT_GT(relative_error(0.0, 1e-10), 0.0);
+}
+
+class FpBitsAllBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpBitsAllBits, ErrorMatchesDirectDifference) {
+  const int bit = GetParam();
+  for (double v : {1.25, -3.75, 1e-8, 123456.789}) {
+    const double flipped = flip_bit(v, bit);
+    if (std::isfinite(flipped)) {
+      EXPECT_DOUBLE_EQ(bit_flip_error(v, bit), std::fabs(flipped - v));
+    } else {
+      EXPECT_TRUE(flip_is_nonfinite(v, bit));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, FpBitsAllBits,
+                         ::testing::Range(0, kBitsPerValue));
+
+}  // namespace
+}  // namespace ftb::fi

@@ -1,0 +1,113 @@
+#include "campaign/ground_truth.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "kernels/blas1.h"
+#include "kernels/registry.h"
+
+namespace ftb::campaign {
+namespace {
+
+TEST(GroundTruthTable, MatchesPerExperimentRuns) {
+  kernels::DaxpyConfig config;
+  config.n = 4;
+  const kernels::DaxpyProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  util::ThreadPool pool(2);
+
+  const GroundTruth table =
+      GroundTruth::compute(program, golden, pool, /*use_cache=*/false);
+  EXPECT_EQ(table.sites(), golden.dynamic_instructions());
+  EXPECT_EQ(table.experiments(), golden.sample_space_size());
+
+  // Spot-check a sweep of ids against direct execution.
+  for (ExperimentId id = 0; id < table.experiments(); id += 11) {
+    const fi::ExperimentResult direct =
+        fi::run_injected(program, golden, injection_of(id));
+    EXPECT_EQ(table.outcome(id), direct.outcome) << "id " << id;
+  }
+}
+
+TEST(GroundTruthTable, CountsAndProfileConsistent) {
+  const fi::ProgramPtr program =
+      kernels::make_program("stencil2d", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  util::ThreadPool pool(2);
+  const GroundTruth table =
+      GroundTruth::compute(*program, golden, pool, /*use_cache=*/false);
+
+  const OutcomeCounts counts = table.counts();
+  EXPECT_EQ(counts.total(), table.experiments());
+  EXPECT_NEAR(table.overall_sdc_ratio(),
+              static_cast<double>(counts.sdc) /
+                  static_cast<double>(counts.total()),
+              1e-12);
+
+  const std::vector<double> profile = table.sdc_profile();
+  ASSERT_EQ(profile.size(), table.sites());
+  double mean = 0.0;
+  for (double p : profile) mean += p;
+  mean /= static_cast<double>(profile.size());
+  EXPECT_NEAR(mean, table.overall_sdc_ratio(), 1e-12);
+}
+
+TEST(GroundTruthTable, CacheRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ftb_gt_cache_" + std::to_string(::getpid()));
+  ASSERT_EQ(setenv("FTB_CACHE_DIR", dir.c_str(), 1), 0);
+
+  kernels::DaxpyConfig config;
+  config.n = 4;
+  const kernels::DaxpyProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  util::ThreadPool pool(2);
+
+  const GroundTruth fresh =
+      GroundTruth::compute(program, golden, pool, /*use_cache=*/true);
+  const GroundTruth cached =
+      GroundTruth::compute(program, golden, pool, /*use_cache=*/true);
+  ASSERT_EQ(fresh.experiments(), cached.experiments());
+  for (ExperimentId id = 0; id < fresh.experiments(); ++id) {
+    ASSERT_EQ(fresh.outcome(id), cached.outcome(id)) << id;
+  }
+
+  ASSERT_EQ(setenv("FTB_CACHE_DIR", "off", 1), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(SampledGroundTruthEstimate, ConvergesToExhaustiveRatio) {
+  const fi::ProgramPtr program =
+      kernels::make_program("daxpy", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  util::ThreadPool pool(2);
+
+  const GroundTruth exhaustive =
+      GroundTruth::compute(*program, golden, pool, /*use_cache=*/false);
+  const SampledGroundTruth sampled = estimate_ground_truth(
+      *program, golden, golden.sample_space_size() / 2, 7, pool);
+
+  EXPECT_EQ(sampled.records.size(), golden.sample_space_size() / 2);
+  EXPECT_NEAR(sampled.sdc_ratio(), exhaustive.overall_sdc_ratio(), 0.06);
+}
+
+TEST(SampledGroundTruthEstimate, FullProbeEqualsExhaustive) {
+  kernels::DaxpyConfig config;
+  config.n = 3;
+  const kernels::DaxpyProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  util::ThreadPool pool(2);
+
+  const GroundTruth exhaustive =
+      GroundTruth::compute(program, golden, pool, /*use_cache=*/false);
+  const SampledGroundTruth sampled = estimate_ground_truth(
+      program, golden, golden.sample_space_size() * 2, 7, pool);
+  EXPECT_EQ(sampled.records.size(), golden.sample_space_size());
+  EXPECT_DOUBLE_EQ(sampled.sdc_ratio(), exhaustive.overall_sdc_ratio());
+}
+
+}  // namespace
+}  // namespace ftb::campaign

@@ -1,0 +1,86 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::util {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(1.0);   // bin 1
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ClosedUpperEndpoint) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);  // exactly hi -> last bin, not overflow
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(-1.0, 1.0, 4);
+  h.add(-2.0);
+  h.add(2.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);  // NaN counts as out-of-range
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdgesAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+}
+
+TEST(Histogram, Fraction) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.8);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.fraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, AddAllAndRender) {
+  Histogram h(-0.5, 0.5, 5);
+  const std::vector<double> values = {0.0, 0.0, 0.0, -0.4, 0.4};
+  h.add_all(values);
+  EXPECT_EQ(h.total(), 5u);
+  const std::string text = h.render(30);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('3'), std::string::npos);  // the middle-bin count
+}
+
+class HistogramEdgeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramEdgeSweep, ValuesLandInTheirComputedBin) {
+  // Property: for any bin b, bin_lo(b) falls into bin b and a value just
+  // below bin_hi(b) falls into bin b as well.
+  const int bins = GetParam();
+  Histogram h(-3.0, 7.0, static_cast<std::size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    Histogram fresh(-3.0, 7.0, static_cast<std::size_t>(bins));
+    fresh.add(fresh.bin_lo(b));
+    fresh.add(std::nextafter(fresh.bin_hi(b), fresh.bin_lo(b)));
+    EXPECT_EQ(fresh.count(b), 2u) << "bins=" << bins << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, HistogramEdgeSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 33));
+
+}  // namespace
+}  // namespace ftb::util

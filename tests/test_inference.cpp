@@ -1,0 +1,149 @@
+#include "campaign/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "boundary/metrics.h"
+#include "boundary/predictor.h"
+#include "campaign/ground_truth.h"
+#include "kernels/registry.h"
+
+namespace ftb::campaign {
+namespace {
+
+struct Prepared {
+  explicit Prepared(const std::string& name)
+      : program(kernels::make_program(name, kernels::Preset::kTiny)),
+        golden(fi::run_golden(*program)),
+        pool(2) {}
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  util::ThreadPool pool;
+};
+
+TEST(Inference, RunsRequestedFraction) {
+  Prepared p("stencil2d");
+  InferenceOptions options;
+  options.sample_fraction = 0.05;
+  const InferenceResult result =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+  const auto expected = static_cast<std::uint64_t>(
+      0.05 * static_cast<double>(p.golden.sample_space_size()) + 0.5);
+  EXPECT_EQ(result.sampled_ids.size(), expected);
+  EXPECT_EQ(result.records.size(), expected);
+  EXPECT_EQ(result.counts.total(), expected);
+  EXPECT_EQ(result.boundary.sites(), p.golden.dynamic_instructions());
+}
+
+TEST(Inference, DeterministicForSeed) {
+  Prepared p("daxpy");
+  InferenceOptions options;
+  options.sample_fraction = 0.1;
+  options.seed = 99;
+  const InferenceResult a = infer_uniform(*p.program, p.golden, options, p.pool);
+  const InferenceResult b = infer_uniform(*p.program, p.golden, options, p.pool);
+  EXPECT_EQ(a.sampled_ids, b.sampled_ids);
+  for (std::size_t i = 0; i < a.boundary.sites(); ++i) {
+    EXPECT_DOUBLE_EQ(a.boundary.threshold(i), b.boundary.threshold(i)) << i;
+  }
+}
+
+TEST(Inference, TrainingSamplesAreSelfConsistent) {
+  // Every masked sample's own injected error must sit inside the boundary
+  // it helped build (Algorithm 1 aggregates a max): training recall is 1
+  // without the filter.
+  Prepared p("stencil2d");
+  InferenceOptions options;
+  options.sample_fraction = 0.03;
+  options.filter = false;
+  const InferenceResult result =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+  for (const ExperimentRecord& record : result.records) {
+    if (record.result.outcome != fi::Outcome::kMasked) continue;
+    const std::uint64_t site = site_of(record.id);
+    EXPECT_TRUE(
+        result.boundary.predict_masked(site, record.result.injected_error))
+        << "site " << site;
+  }
+}
+
+TEST(Inference, InformationCountsInjectionsAndPropagation) {
+  Prepared p("stencil2d");
+  InferenceOptions options;
+  options.sample_fraction = 0.05;
+  const InferenceResult result =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+  ASSERT_EQ(result.information.size(), p.golden.dynamic_instructions());
+  double total = 0.0;
+  for (double s : result.information) total += s;
+  // At minimum the significant injections themselves contribute, and in the
+  // stencil error spreads, so propagation touches must dominate samples.
+  EXPECT_GT(total, static_cast<double>(result.sampled_ids.size()));
+}
+
+TEST(Inference, FilterNeverLowersPrecision) {
+  Prepared p("cg");
+  const GroundTruth truth =
+      GroundTruth::compute(*p.program, p.golden, p.pool, /*use_cache=*/false);
+
+  InferenceOptions options;
+  options.sample_fraction = 0.05;
+  options.seed = 3;
+  options.filter = false;
+  const InferenceResult plain =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+  options.filter = true;
+  const InferenceResult filtered =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+
+  const auto plain_metrics = boundary::evaluate_boundary(
+      plain.boundary, p.golden.trace, truth.outcomes(), plain.sampled_ids);
+  const auto filtered_metrics =
+      boundary::evaluate_boundary(filtered.boundary, p.golden.trace,
+                                  truth.outcomes(), filtered.sampled_ids);
+  EXPECT_GE(filtered_metrics.precision() + 1e-12, plain_metrics.precision());
+  // And the filter can only shrink thresholds.
+  for (std::size_t i = 0; i < plain.boundary.sites(); ++i) {
+    EXPECT_LE(filtered.boundary.threshold(i),
+              plain.boundary.threshold(i) + 1e-300)
+        << i;
+  }
+}
+
+TEST(Inference, PrecisionHighOnMonotoneKernel) {
+  Prepared p("stencil2d");
+  const GroundTruth truth =
+      GroundTruth::compute(*p.program, p.golden, p.pool, /*use_cache=*/false);
+  InferenceOptions options;
+  options.sample_fraction = 0.02;
+  options.filter = true;
+  const InferenceResult result =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+  const auto metrics = boundary::evaluate_boundary(
+      result.boundary, p.golden.trace, truth.outcomes(), result.sampled_ids);
+  EXPECT_GT(metrics.precision(), 0.9);
+  EXPECT_GT(metrics.recall(), 0.2);  // even 2% sampling covers a lot
+  // Self-verification: uncertainty should sit close to the true precision.
+  EXPECT_NEAR(metrics.uncertainty(), metrics.precision(), 0.1);
+}
+
+TEST(Inference, ConfusionOnRecordsMatchesFullEvaluationOnSameIds) {
+  Prepared p("daxpy");
+  const GroundTruth truth =
+      GroundTruth::compute(*p.program, p.golden, p.pool, /*use_cache=*/false);
+  InferenceOptions options;
+  options.sample_fraction = 0.2;
+  const InferenceResult result =
+      infer_uniform(*p.program, p.golden, options, p.pool);
+
+  const util::Confusion on_records = confusion_on_records(
+      result.boundary, p.golden.trace, result.records);
+  const auto metrics = boundary::evaluate_boundary(
+      result.boundary, p.golden.trace, truth.outcomes(), result.sampled_ids);
+  EXPECT_EQ(on_records.true_positive, metrics.sampled.true_positive);
+  EXPECT_EQ(on_records.false_positive, metrics.sampled.false_positive);
+  EXPECT_EQ(on_records.false_negative, metrics.sampled.false_negative);
+  EXPECT_EQ(on_records.true_negative, metrics.sampled.true_negative);
+}
+
+}  // namespace
+}  // namespace ftb::campaign

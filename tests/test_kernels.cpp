@@ -1,0 +1,297 @@
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fi/executor.h"
+#include "kernels/blas1.h"
+#include "kernels/cg.h"
+#include "kernels/fft.h"
+#include "kernels/lu.h"
+#include "kernels/registry.h"
+#include "kernels/stencil.h"
+#include "linalg/complexv.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "util/rng.h"
+
+namespace ftb::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic contracts every registered kernel must satisfy.
+// ---------------------------------------------------------------------------
+
+class KernelContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelContract, GoldenRunIsDeterministic) {
+  const fi::ProgramPtr program = make_program(GetParam(), Preset::kTiny);
+  const fi::GoldenRun a = fi::run_golden(*program);
+  const fi::GoldenRun b = fi::run_golden(*program);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST_P(KernelContract, TraceIsFiniteAndNonEmpty) {
+  const fi::ProgramPtr program = make_program(GetParam(), Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  EXPECT_GT(golden.dynamic_instructions(), 0u);
+  EXPECT_GT(golden.output.size(), 0u);
+  for (double v : golden.trace) EXPECT_TRUE(std::isfinite(v));
+  for (double v : golden.output) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(KernelContract, InjectedRunKeepsInstructionCount) {
+  // No data-dependent control flow: a faulty run executes the same dynamic
+  // instruction sequence (unless it crashes).
+  const fi::ProgramPtr program = make_program(GetParam(), Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  const std::uint64_t d = golden.dynamic_instructions();
+  for (std::uint64_t site : {std::uint64_t{0}, d / 2, d - 1}) {
+    fi::Tracer tracer = fi::Tracer::injector(fi::Injection::bit_flip(site, 30));
+    try {
+      (void)program->run(tracer);
+      EXPECT_EQ(tracer.steps(), d) << "site " << site;
+    } catch (const fi::CrashSignal&) {
+      // Crash before completion is a legal outcome.
+    }
+  }
+}
+
+TEST_P(KernelContract, ZeroPerturbationIsMasked) {
+  // Injecting a zero-magnitude delta must always be Masked: the computation
+  // is bitwise identical to the golden run.
+  const fi::ProgramPtr program = make_program(GetParam(), Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  const fi::ExperimentResult result = fi::run_injected(
+      *program, golden, fi::Injection::add_delta(golden.trace.size() / 2, 0.0));
+  EXPECT_EQ(result.outcome, fi::Outcome::kMasked);
+  EXPECT_EQ(result.output_error, 0.0);
+}
+
+TEST_P(KernelContract, ConfigKeyIsStable) {
+  const fi::ProgramPtr a = make_program(GetParam(), Preset::kTiny);
+  const fi::ProgramPtr b = make_program(GetParam(), Preset::kTiny);
+  const fi::ProgramPtr c = make_program(GetParam(), Preset::kDefault);
+  EXPECT_EQ(a->config_key(), b->config_key());
+  EXPECT_NE(a->config_key(), c->config_key());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelContract,
+                         ::testing::ValuesIn(program_names()));
+
+TEST(Registry, RejectsUnknownNames) {
+  EXPECT_THROW(make_program("nope", Preset::kTiny), std::invalid_argument);
+  EXPECT_THROW(preset_from_string("huge"), std::invalid_argument);
+}
+
+TEST(Registry, PresetRoundTrip) {
+  EXPECT_EQ(preset_from_string("tiny"), Preset::kTiny);
+  EXPECT_EQ(preset_from_string("paper"), Preset::kPaper);
+  EXPECT_STREQ(to_string(Preset::kDefault), "default");
+}
+
+// ---------------------------------------------------------------------------
+// CG: the solver must actually solve the Poisson system.
+// ---------------------------------------------------------------------------
+
+TEST(CgKernel, SolvesThePoissonSystem) {
+  CgConfig config;
+  config.nx = config.ny = 5;
+  config.iterations = 25;  // enough for full convergence at n = 25
+  const CgProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  // Rebuild A and b exactly as the kernel does and check the residual.
+  const linalg::CsrMatrix a = linalg::CsrMatrix::poisson5(5, 5);
+  util::Rng rhs_rng(config.rhs_seed);
+  std::vector<double> b(25);
+  for (double& v : b) v = rhs_rng.next_double(-1.0, 1.0);
+  const std::vector<double> ax = a.multiply(golden.output);
+  EXPECT_LT(linalg::linf_distance(ax, b), 1e-8);
+}
+
+TEST(CgKernel, PhaseMarkersAreOrderedAndInRange) {
+  CgConfig config;
+  const CgProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const auto markers = program.phase_markers();
+  EXPECT_EQ(markers.zero_init, 0u);
+  EXPECT_LT(markers.setup, markers.iterations);
+  EXPECT_LT(markers.iterations, golden.dynamic_instructions());
+}
+
+TEST(CgKernel, FirstPhaseInitialisesZeros) {
+  CgConfig config;
+  const CgProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const auto markers = program.phase_markers();
+  for (std::uint64_t i = 0; i < markers.setup; ++i) {
+    EXPECT_EQ(golden.trace[i], 0.0) << "site " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LU: blocked result must equal the reference unblocked factorisation.
+// ---------------------------------------------------------------------------
+
+class LuBlockedSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(LuBlockedSweep, MatchesReferenceFactorisation) {
+  const auto [n, block] = GetParam();
+  LuConfig config;
+  config.n = n;
+  config.block = block;
+  const LuProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  util::Rng rng(config.matrix_seed);
+  const linalg::DenseMatrix source =
+      linalg::DenseMatrix::random_diagonally_dominant(n, rng);
+  const linalg::DenseMatrix reference = linalg::lu_factor_reference(source);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      worst = std::fmax(
+          worst, std::fabs(golden.output[i * n + j] - reference.at(i, j)));
+    }
+  }
+  EXPECT_LT(worst, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LuBlockedSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{12, 4},
+                      std::pair<std::size_t, std::size_t>{16, 8}));
+
+TEST(LuKernel, DynamicInstructionCountFormula) {
+  // init n^2 + factor updates: sum_k [(n-k-1) L writes + trailing writes].
+  LuConfig config;
+  config.n = 8;
+  config.block = 4;
+  const LuProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  // The blocked schedule writes each trailing element once per block step it
+  // participates in; the exact count is implementation-defined, but it must
+  // lie between the unblocked LU bound and the init + full-matrix bound.
+  const std::uint64_t n = config.n;
+  EXPECT_GT(golden.dynamic_instructions(), n * n);          // more than init
+  EXPECT_LT(golden.dynamic_instructions(), n * n + n * n * n);
+}
+
+// ---------------------------------------------------------------------------
+// FFT: six-step output must equal the reference DFT.
+// ---------------------------------------------------------------------------
+
+class FftShapeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(FftShapeSweep, MatchesReferenceDft) {
+  const auto [n1, n2] = GetParam();
+  FftConfig config;
+  config.n1 = n1;
+  config.n2 = n2;
+  const FftProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  // Reconstruct the input signal the kernel generated.
+  const std::size_t n = n1 * n2;
+  util::Rng rng(config.signal_seed);
+  linalg::ComplexVec input(n);
+  for (double& v : input.re) v = rng.next_double(-1.0, 1.0);
+  for (double& v : input.im) v = rng.next_double(-1.0, 1.0);
+  const linalg::ComplexVec expected = linalg::dft_reference(input);
+
+  ASSERT_EQ(golden.output.size(), 2 * n);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    worst = std::fmax(worst, std::fabs(golden.output[2 * k] - expected.re[k]));
+    worst =
+        std::fmax(worst, std::fabs(golden.output[2 * k + 1] - expected.im[k]));
+  }
+  EXPECT_LT(worst, 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FftShapeSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{4, 8},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{16, 8}));
+
+// ---------------------------------------------------------------------------
+// Stencil: averaging can never escape the initial value range.
+// ---------------------------------------------------------------------------
+
+TEST(StencilKernel, OutputBoundedByInitialRange) {
+  StencilConfig config;
+  const StencilProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  for (double v : golden.output) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(StencilKernel, SweepContractsTowardsZeroBoundary) {
+  // With a zero Dirichlet frame, repeated averaging must shrink the field's
+  // max magnitude monotonically.
+  StencilConfig few, many;
+  few.iterations = 2;
+  many.iterations = 12;
+  const fi::GoldenRun a = fi::run_golden(StencilProgram(few));
+  const fi::GoldenRun b = fi::run_golden(StencilProgram(many));
+  double max_a = 0.0, max_b = 0.0;
+  for (double v : a.output) max_a = std::fmax(max_a, std::fabs(v));
+  for (double v : b.output) max_b = std::fmax(max_b, std::fabs(v));
+  EXPECT_LT(max_b, max_a);
+}
+
+// ---------------------------------------------------------------------------
+// BLAS mini-kernels.
+// ---------------------------------------------------------------------------
+
+TEST(DaxpyKernel, MatchesDirectComputation) {
+  DaxpyConfig config;
+  config.n = 8;
+  const DaxpyProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  util::Rng rng(config.seed);
+  std::vector<double> x(8), y(8);
+  for (double& v : x) v = rng.next_double(-1.0, 1.0);
+  for (double& v : y) v = rng.next_double(-1.0, 1.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(golden.output[i], config.alpha * x[i] + y[i]);
+  }
+}
+
+TEST(MatvecKernel, OneRepeatMatchesDense) {
+  MatvecConfig config;
+  config.n = 5;
+  config.repeats = 1;
+  const MatvecProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  util::Rng rng(config.seed);
+  linalg::DenseMatrix a(5, 5);
+  for (double& v : a.data()) {
+    v = rng.next_double(-1.0, 1.0) / 5.0;
+  }
+  std::vector<double> y(5);
+  for (double& v : y) v = rng.next_double(-1.0, 1.0);
+  const std::vector<double> expected = linalg::matvec(a, y);
+  EXPECT_LT(linalg::linf_distance(golden.output, expected), 1e-14);
+}
+
+}  // namespace
+}  // namespace ftb::kernels

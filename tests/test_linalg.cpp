@@ -1,0 +1,180 @@
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/complexv.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "util/rng.h"
+
+namespace ftb::linalg {
+namespace {
+
+TEST(Dense, ConstructionAndAccess) {
+  DenseMatrix a(2, 3, 1.5);
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 1.5);
+  a.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(a.row(0)[1], -2.0);
+}
+
+TEST(Dense, IdentityMultiply) {
+  util::Rng rng(1);
+  const DenseMatrix a = DenseMatrix::random_uniform(4, 4, rng);
+  const DenseMatrix product = multiply(a, DenseMatrix::identity(4));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(product.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(Dense, MatvecAgainstManual) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const std::vector<double> x = {5.0, 6.0};
+  const std::vector<double> y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Dense, DiagonallyDominantIsDominant) {
+  util::Rng rng(9);
+  const DenseMatrix a = DenseMatrix::random_diagonally_dominant(12, rng);
+  for (std::size_t r = 0; r < 12; ++r) {
+    double off = 0.0;
+    for (std::size_t c = 0; c < 12; ++c) {
+      if (c != r) off += std::fabs(a.at(r, c));
+    }
+    EXPECT_GT(a.at(r, r), off) << "row " << r;
+  }
+}
+
+class LuReferenceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuReferenceSweep, FactorReconstructs) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  const DenseMatrix a = DenseMatrix::random_diagonally_dominant(n, rng);
+  const DenseMatrix lu = lu_factor_reference(a);
+  const DenseMatrix back = lu_reconstruct(lu);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      worst = std::fmax(worst, std::fabs(back.at(i, j) - a.at(i, j)));
+    }
+  }
+  EXPECT_LT(worst, 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuReferenceSweep,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 24u));
+
+TEST(VectorOps, NormsAndDot) {
+  const std::vector<double> a = {3.0, 4.0};
+  const std::vector<double> b = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), -1.0);
+  EXPECT_DOUBLE_EQ(linf_distance(a, b), 5.0);
+}
+
+TEST(Csr, Poisson5Structure) {
+  const CsrMatrix a = CsrMatrix::poisson5(3, 3);
+  EXPECT_EQ(a.rows(), 9u);
+  EXPECT_EQ(a.cols(), 9u);
+  // nnz = 5*interior + edges: 9 diag + 2*(horizontal links 6 + vertical 6).
+  EXPECT_EQ(a.nonzeros(), 9u + 2u * 12u);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(Csr, Poisson5MatchesDenseLaplacian) {
+  const std::size_t nx = 4, ny = 3, n = nx * ny;
+  const CsrMatrix sparse = CsrMatrix::poisson5(nx, ny);
+  // Build the same operator densely.
+  DenseMatrix dense(n, n);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t row = iy * nx + ix;
+      dense.at(row, row) = 4.0;
+      if (ix > 0) dense.at(row, row - 1) = -1.0;
+      if (ix + 1 < nx) dense.at(row, row + 1) = -1.0;
+      if (iy > 0) dense.at(row, row - nx) = -1.0;
+      if (iy + 1 < ny) dense.at(row, row + nx) = -1.0;
+    }
+  }
+  util::Rng rng(3);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.next_double(-1.0, 1.0);
+  const std::vector<double> ys = sparse.multiply(x);
+  const std::vector<double> yd = matvec(dense, x);
+  EXPECT_LT(linf_distance(ys, yd), 1e-14);
+}
+
+TEST(Csr, Poisson5IsPositiveDefiniteish) {
+  // x' A x > 0 for a handful of random nonzero x (Dirichlet Laplacian).
+  const CsrMatrix a = CsrMatrix::poisson5(5, 5);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(a.rows());
+    for (double& v : x) v = rng.next_double(-1.0, 1.0);
+    const std::vector<double> ax = a.multiply(x);
+    EXPECT_GT(dot(x, ax), 0.0);
+  }
+}
+
+TEST(ComplexVec, Interleaved) {
+  ComplexVec v(2);
+  v.re = {1.0, 3.0};
+  v.im = {2.0, 4.0};
+  EXPECT_EQ(v.interleaved(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Dft, DeltaHasFlatSpectrum) {
+  ComplexVec input(8);
+  input.re[0] = 1.0;
+  const ComplexVec spectrum = dft_reference(input);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(spectrum.re[k], 1.0, 1e-12);
+    EXPECT_NEAR(spectrum.im[k], 0.0, 1e-12);
+  }
+}
+
+TEST(Dft, ConstantConcentratesAtZero) {
+  ComplexVec input(8);
+  for (double& v : input.re) v = 1.0;
+  const ComplexVec spectrum = dft_reference(input);
+  EXPECT_NEAR(spectrum.re[0], 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(std::hypot(spectrum.re[k], spectrum.im[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Dft, SingleToneLandsInItsBin) {
+  const std::size_t n = 16;
+  ComplexVec input(n);
+  const std::size_t tone = 3;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double angle = 2.0 * std::numbers::pi *
+                         static_cast<double>(tone * j) / static_cast<double>(n);
+    input.re[j] = std::cos(angle);
+    input.im[j] = std::sin(angle);
+  }
+  const ComplexVec spectrum = dft_reference(input);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double magnitude = std::hypot(spectrum.re[k], spectrum.im[k]);
+    if (k == tone) {
+      EXPECT_NEAR(magnitude, static_cast<double>(n), 1e-10);
+    } else {
+      EXPECT_NEAR(magnitude, 0.0, 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftb::linalg

@@ -1,0 +1,139 @@
+#include "boundary/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boundary/exhaustive.h"
+#include "boundary/predictor.h"
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+namespace {
+
+using fi::Outcome;
+
+/// Ground-truth table where each bit flip of `value` at each site is
+/// classified by a per-site error threshold (monotone by construction).
+std::vector<Outcome> monotone_outcomes(std::span<const double> trace,
+                                       std::span<const double> knees) {
+  std::vector<Outcome> outcomes(trace.size() * fi::kBitsPerValue);
+  for (std::size_t site = 0; site < trace.size(); ++site) {
+    for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+      const std::size_t id = site * fi::kBitsPerValue + bit;
+      if (fi::flip_is_nonfinite(trace[site], bit)) {
+        outcomes[id] = Outcome::kCrash;
+      } else {
+        outcomes[id] = fi::bit_flip_error(trace[site], bit) <= knees[site]
+                           ? Outcome::kMasked
+                           : Outcome::kSdc;
+      }
+    }
+  }
+  return outcomes;
+}
+
+TEST(Metrics, PerfectBoundaryScoresPerfectly) {
+  const std::vector<double> trace = {1.0, -2.0, 0.5};
+  const std::vector<double> knees = {1e-3, 1e-6, 1e-1};
+  const auto outcomes = monotone_outcomes(trace, knees);
+  const FaultToleranceBoundary boundary = exhaustive_boundary(outcomes, trace);
+  const EvaluationMetrics metrics =
+      evaluate_boundary(boundary, trace, outcomes, {});
+  EXPECT_DOUBLE_EQ(metrics.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.recall(), 1.0);
+  EXPECT_EQ(metrics.full.false_positive, 0u);
+  EXPECT_EQ(metrics.full.false_negative, 0u);
+}
+
+TEST(Metrics, EmptyBoundaryHasVacuousPrecisionZeroRecall) {
+  const std::vector<double> trace = {1.0, -2.0};
+  const std::vector<double> knees = {1e-3, 1e-3};
+  const auto outcomes = monotone_outcomes(trace, knees);
+  const FaultToleranceBoundary empty(std::vector<double>(2, 0.0));
+  const EvaluationMetrics metrics =
+      evaluate_boundary(empty, trace, outcomes, {});
+  EXPECT_DOUBLE_EQ(metrics.precision(), 1.0);  // vacuous: nothing predicted
+  EXPECT_LT(metrics.recall(), 1.0);            // masked cases exist
+  EXPECT_GT(metrics.full.false_negative, 0u);
+}
+
+TEST(Metrics, OverclaimingBoundaryLosesPrecision) {
+  const std::vector<double> trace = {1.0};
+  const std::vector<double> knees = {1e-6};
+  const auto outcomes = monotone_outcomes(trace, knees);
+  const FaultToleranceBoundary overclaiming(
+      std::vector<double>{1e6});  // claims to tolerate nearly everything
+  const EvaluationMetrics metrics =
+      evaluate_boundary(overclaiming, trace, outcomes, {});
+  EXPECT_LT(metrics.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.recall(), 1.0);  // every masked case is covered
+}
+
+TEST(Metrics, UncertaintyUsesOnlySampledExperiments) {
+  const std::vector<double> trace = {1.0};
+  const std::vector<double> knees = {1e-6};
+  const auto outcomes = monotone_outcomes(trace, knees);
+  const FaultToleranceBoundary overclaiming(std::vector<double>{1e6});
+
+  // Sample only experiments that are actually masked: on the sampled set
+  // the overclaiming boundary looks perfect, revealing the gap between
+  // uncertainty (sampled) and precision (full space).
+  std::vector<std::uint64_t> sampled;
+  for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+    if (outcomes[bit] == Outcome::kMasked) sampled.push_back(bit);
+  }
+  ASSERT_FALSE(sampled.empty());
+  const EvaluationMetrics metrics =
+      evaluate_boundary(overclaiming, trace, outcomes, sampled);
+  EXPECT_DOUBLE_EQ(metrics.uncertainty(), 1.0);
+  EXPECT_LT(metrics.precision(), 1.0);
+}
+
+TEST(Metrics, TrueSdcProfileCounts) {
+  std::vector<Outcome> outcomes(2 * fi::kBitsPerValue, Outcome::kMasked);
+  for (int bit = 0; bit < 16; ++bit) outcomes[bit] = Outcome::kSdc;
+  for (int bit = 0; bit < 64; ++bit) {
+    outcomes[fi::kBitsPerValue + bit] = Outcome::kCrash;
+  }
+  const std::vector<double> profile = true_sdc_profile(outcomes, 2);
+  EXPECT_DOUBLE_EQ(profile[0], 0.25);
+  EXPECT_DOUBLE_EQ(profile[1], 0.0);  // crashes are not SDC
+  EXPECT_NEAR(overall_sdc_ratio(outcomes), 16.0 / 128.0, 1e-12);
+}
+
+TEST(Metrics, DeltaSdcProfile) {
+  const std::vector<double> golden = {0.5, 0.25};
+  const std::vector<double> predicted = {0.25, 0.5};
+  const std::vector<double> delta = delta_sdc_profile(golden, predicted);
+  EXPECT_DOUBLE_EQ(delta[0], 0.25);
+  EXPECT_DOUBLE_EQ(delta[1], -0.25);
+}
+
+TEST(Metrics, MonotonicityDetection) {
+  const std::vector<double> trace = {1.0, 1.0};
+  // Site 0: monotone knee.  Site 1: masked above an SDC (non-monotone).
+  std::vector<Outcome> outcomes = monotone_outcomes(trace, {{1e-3, 1e-3}});
+  // At site 1, make the largest finite-error flip masked even though
+  // smaller flips are SDC.
+  int largest_bit = -1;
+  double largest_error = 0.0;
+  for (int bit = 0; bit < fi::kBitsPerValue; ++bit) {
+    if (fi::flip_is_nonfinite(1.0, bit)) continue;
+    const double e = fi::bit_flip_error(1.0, bit);
+    if (e > largest_error) {
+      largest_error = e;
+      largest_bit = bit;
+    }
+  }
+  ASSERT_GE(largest_bit, 0);
+  outcomes[fi::kBitsPerValue + largest_bit] = Outcome::kMasked;
+
+  const MonotonicityReport report = analyze_monotonicity(outcomes, trace);
+  EXPECT_EQ(report.total_sites, 2u);
+  EXPECT_EQ(report.non_monotonic_sites, 1u);
+  EXPECT_DOUBLE_EQ(report.fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace ftb::boundary

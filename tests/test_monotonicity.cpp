@@ -1,0 +1,172 @@
+// Property tests for the paper's Section 5 analysis: for averaging stencils
+// and (repeated) matrix-vector products the output error is a *linear*
+// function of an injected perturbation, f(eps) = C * eps, hence monotone.
+// We verify linearity and monotonicity empirically through the executor,
+// which exercises the exact code path fault injection uses.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fi/executor.h"
+#include "kernels/blas1.h"
+#include "kernels/spmv.h"
+#include "kernels/stencil.h"
+
+namespace ftb::kernels {
+namespace {
+
+double output_error_for_delta(const fi::Program& program,
+                              const fi::GoldenRun& golden, std::uint64_t site,
+                              double delta) {
+  const fi::ExperimentResult result = fi::run_injected(
+      program, golden, fi::Injection::add_delta(site, delta));
+  return result.output_error;
+}
+
+class StencilLinearity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StencilLinearity, OutputErrorScalesLinearly) {
+  StencilConfig config;
+  config.nx = config.ny = 6;
+  config.iterations = 4;
+  const StencilProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const std::uint64_t site =
+      GetParam() % golden.dynamic_instructions();
+
+  const double e1 = output_error_for_delta(program, golden, site, 1e-4);
+  const double e2 = output_error_for_delta(program, golden, site, 2e-4);
+  const double e4 = output_error_for_delta(program, golden, site, 4e-4);
+  if (e1 == 0.0) {
+    // The perturbation died entirely (value overwritten before use): then
+    // scaling it must keep the error at zero.
+    EXPECT_EQ(e2, 0.0);
+    EXPECT_EQ(e4, 0.0);
+  } else {
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-6);
+    EXPECT_NEAR(e4 / e1, 4.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, StencilLinearity,
+                         ::testing::Values(0u, 7u, 36u, 77u, 120u, 159u));
+
+class MatvecLinearity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatvecLinearity, OutputErrorScalesLinearly) {
+  MatvecConfig config;
+  config.n = 8;
+  config.repeats = 3;
+  const MatvecProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const std::uint64_t site = GetParam() % golden.dynamic_instructions();
+
+  const double e1 = output_error_for_delta(program, golden, site, 1e-5);
+  const double e3 = output_error_for_delta(program, golden, site, 3e-5);
+  if (e1 == 0.0) {
+    EXPECT_EQ(e3, 0.0);
+  } else {
+    // Repeated products accumulate rounding; linearity holds to ~1e-3.
+    EXPECT_NEAR(e3 / e1, 3.0, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, MatvecLinearity,
+                         ::testing::Values(0u, 5u, 31u, 64u, 70u, 87u));
+
+TEST(Monotonicity, StencilErrorIsMonotoneInEpsilon) {
+  StencilConfig config;
+  config.nx = config.ny = 5;
+  config.iterations = 3;
+  const StencilProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  for (std::uint64_t site :
+       {std::uint64_t{3}, golden.dynamic_instructions() / 2,
+        golden.dynamic_instructions() - 2}) {
+    double previous = 0.0;
+    for (double eps : {1e-8, 1e-6, 1e-4, 1e-2, 1.0}) {
+      const double error = output_error_for_delta(program, golden, site, eps);
+      EXPECT_GE(error + 1e-15, previous)
+          << "site " << site << " eps " << eps;
+      previous = error;
+    }
+  }
+}
+
+TEST(Monotonicity, StencilConstantMatchesTheory) {
+  // One Jacobi sweep after the injected error spreads it with coefficient
+  // 0.2 to each neighbour; injecting into the *last* sweep's output leaves
+  // the error in exactly one output cell: f(eps) = eps (C = 1).
+  StencilConfig config;
+  config.nx = config.ny = 4;
+  config.iterations = 2;
+  const StencilProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const std::uint64_t last_site = golden.dynamic_instructions() - 1;
+  const double eps = 1e-3;
+  EXPECT_NEAR(output_error_for_delta(program, golden, last_site, eps), eps,
+              1e-12);
+}
+
+TEST(Monotonicity, StencilPenultimateSweepMatchesCoefficient) {
+  // Injecting into a cell produced by the second-to-last sweep: the final
+  // sweep averages it into its own cell with weight 0.2, so the L-inf
+  // output error is 0.2 * eps (the corrupted cell itself is overwritten).
+  StencilConfig config;
+  config.nx = config.ny = 4;
+  config.iterations = 2;
+  const StencilProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  // Sites: 16 init + 16 sweep1 + 16 sweep2.  Pick the middle of sweep 1.
+  const std::uint64_t site = 16 + 5;  // interior cell of sweep 1
+  const double eps = 1e-3;
+  EXPECT_NEAR(output_error_for_delta(program, golden, site, eps), 0.2 * eps,
+              1e-12);
+}
+
+
+class SpmvLinearity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpmvLinearity, OutputErrorScalesLinearly) {
+  // Section 5: sparse matrix-vector products have f(eps) = C * eps.
+  SpmvConfig config;
+  config.nx = config.ny = 4;
+  config.repeats = 5;
+  const SpmvProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const std::uint64_t site = GetParam() % golden.dynamic_instructions();
+
+  const double e1 = output_error_for_delta(program, golden, site, 1e-5);
+  const double e4 = output_error_for_delta(program, golden, site, 4e-5);
+  if (e1 == 0.0) {
+    EXPECT_EQ(e4, 0.0);
+  } else {
+    EXPECT_NEAR(e4 / e1, 4.0, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, SpmvLinearity,
+                         ::testing::Values(0u, 23u, 64u, 90u, 130u, 170u));
+
+TEST(Monotonicity, SpmvErrorIsMonotoneInEpsilon) {
+  SpmvConfig config;
+  config.nx = config.ny = 4;
+  config.repeats = 4;
+  const SpmvProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  for (std::uint64_t site :
+       {std::uint64_t{10}, golden.dynamic_instructions() / 2,
+        golden.dynamic_instructions() - 3}) {
+    double previous = 0.0;
+    for (double eps : {1e-8, 1e-5, 1e-2, 1.0}) {
+      const double error = output_error_for_delta(program, golden, site, eps);
+      EXPECT_GE(error + 1e-15, previous) << "site " << site;
+      previous = error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftb::kernels

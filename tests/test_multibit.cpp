@@ -1,0 +1,70 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fi/executor.h"
+#include "fi/fpbits.h"
+#include "fi/tracer.h"
+#include "kernels/blas1.h"
+
+namespace ftb::fi {
+namespace {
+
+TEST(XorMaskInjection, SingleBitMaskEqualsBitFlip) {
+  for (double v : {1.5, -42.0, 1e-10}) {
+    for (int bit : {0, 20, 52, 63}) {
+      const Injection mask = Injection::xor_mask(0, std::uint64_t{1} << bit);
+      const Injection flip = Injection::bit_flip(0, bit);
+      EXPECT_EQ(mask.apply(v), flip.apply(v)) << v << " bit " << bit;
+    }
+  }
+}
+
+TEST(XorMaskInjection, DoubleBitFlipsBothBits) {
+  const double v = 3.25;
+  const Injection injection = Injection::double_bit_flip(0, 3, 40);
+  const double corrupted = injection.apply(v);
+  EXPECT_EQ(to_bits(corrupted),
+            to_bits(v) ^ (std::uint64_t{1} << 3) ^ (std::uint64_t{1} << 40));
+  // Applying twice restores the value (XOR involution).
+  EXPECT_EQ(injection.apply(corrupted), v);
+}
+
+TEST(XorMaskInjection, ZeroMaskIsIdentity) {
+  const Injection injection = Injection::xor_mask(0, 0);
+  EXPECT_EQ(injection.apply(7.5), 7.5);
+}
+
+TEST(XorMaskInjection, RunsThroughTheExecutor) {
+  kernels::DaxpyConfig config;
+  config.n = 8;
+  const kernels::DaxpyProgram program(config);
+  const GoldenRun golden = run_golden(program);
+
+  // LSB double flip: tiny error, masked.
+  const ExperimentResult small = run_injected(
+      program, golden, Injection::double_bit_flip(0, 0, 1));
+  EXPECT_EQ(small.outcome, Outcome::kMasked);
+
+  // Sign + high exponent bit on an output element: macroscopic corruption.
+  const std::uint64_t out_site = golden.trace.size() - 1;
+  const ExperimentResult large = run_injected(
+      program, golden, Injection::double_bit_flip(out_site, 55, 63));
+  EXPECT_NE(large.outcome, Outcome::kMasked);
+  EXPECT_GT(large.injected_error, golden.tolerance);
+}
+
+TEST(XorMaskInjection, InjectedErrorIsMagnitudeOfPatternChange) {
+  kernels::DaxpyConfig config;
+  config.n = 4;
+  const kernels::DaxpyProgram program(config);
+  const GoldenRun golden = run_golden(program);
+  const Injection injection = Injection::double_bit_flip(2, 5, 17);
+  const ExperimentResult result = run_injected(program, golden, injection);
+  const double expected =
+      std::fabs(injection.apply(golden.trace[2]) - golden.trace[2]);
+  EXPECT_DOUBLE_EQ(result.injected_error, expected);
+}
+
+}  // namespace
+}  // namespace ftb::fi

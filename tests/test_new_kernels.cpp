@@ -1,0 +1,163 @@
+// Correctness + resiliency-character tests for the GEMM and Jacobi kernels.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fi/executor.h"
+#include "kernels/gemm.h"
+#include "kernels/jacobi.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "util/rng.h"
+
+namespace ftb::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+class GemmShapeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(GemmShapeSweep, MatchesReferenceMultiply) {
+  const auto [n, block] = GetParam();
+  GemmConfig config;
+  config.n = n;
+  config.block = block;
+  const GemmProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  util::Rng rng(config.seed);
+  linalg::DenseMatrix a(n, n), b(n, n);
+  for (double& v : a.data()) v = rng.next_double(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.next_double(-1.0, 1.0);
+  const linalg::DenseMatrix expected = linalg::multiply(a, b);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      worst = std::fmax(
+          worst, std::fabs(golden.output[i * n + j] - expected.at(i, j)));
+    }
+  }
+  EXPECT_LT(worst, 1e-12 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{6, 3},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{12, 4}));
+
+TEST(GemmKernel, DynamicInstructionCount) {
+  GemmConfig config;
+  config.n = 8;
+  config.block = 4;
+  const GemmProgram program(config);
+  // 2 * n^2 fills + (n / block) rank-block updates per C element.
+  const std::uint64_t expected = 2 * 64 + (8 / 4) * 64;
+  EXPECT_EQ(fi::count_dynamic_instructions(program), expected);
+}
+
+class GemmLinearity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GemmLinearity, OutputErrorIsLinearInInjectedError) {
+  // Section 5: matrix products have f(eps) = C * eps.
+  GemmConfig config;
+  config.n = 6;
+  config.block = 2;
+  const GemmProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const std::uint64_t site = GetParam() % golden.trace.size();
+
+  const auto error_at = [&](double eps) {
+    return fi::run_injected(program, golden, fi::Injection::add_delta(site, eps))
+        .output_error;
+  };
+  const double e1 = error_at(1e-6);
+  const double e5 = error_at(5e-6);
+  if (e1 == 0.0) {
+    EXPECT_EQ(e5, 0.0);
+  } else {
+    EXPECT_NEAR(e5 / e1, 5.0, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, GemmLinearity,
+                         ::testing::Values(0u, 17u, 40u, 71u, 90u, 143u));
+
+// ---------------------------------------------------------------------------
+// Jacobi
+// ---------------------------------------------------------------------------
+
+TEST(JacobiKernel, SolvesThePoissonSystem) {
+  JacobiConfig config;
+  config.nx = config.ny = 5;
+  config.sweeps = 400;  // Jacobi converges slowly; be generous
+  const JacobiProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  const linalg::CsrMatrix a = linalg::CsrMatrix::poisson5(5, 5);
+  util::Rng rng(config.rhs_seed);
+  std::vector<double> b(25);
+  for (double& v : b) v = rng.next_double(-1.0, 1.0);
+  const std::vector<double> ax = a.multiply(golden.output);
+  EXPECT_LT(linalg::linf_distance(ax, b), 1e-7);
+}
+
+TEST(JacobiKernel, StationaryErrorContraction) {
+  // Inject a mid-run state error and verify extra sweeps shrink its effect
+  // -- the self-healing character that distinguishes Jacobi from CG's
+  // recursive residual.
+  JacobiConfig few, many;
+  few.nx = few.ny = many.nx = many.ny = 4;
+  few.sweeps = 30;
+  many.sweeps = 90;
+  const JacobiProgram program_few(few);
+  const JacobiProgram program_many(many);
+  const fi::GoldenRun golden_few = fi::run_golden(program_few);
+  const fi::GoldenRun golden_many = fi::run_golden(program_many);
+
+  // Same absolute position in the sweep schedule: end of sweep 10.
+  const std::uint64_t setup = 16 + 16;  // b fill + x0 fill
+  const std::uint64_t site = setup + 10 * 16 + 7;
+  const double eps = 1e-2;
+  const double error_few =
+      fi::run_injected(program_few, golden_few,
+                       fi::Injection::add_delta(site, eps))
+          .output_error;
+  const double error_many =
+      fi::run_injected(program_many, golden_many,
+                       fi::Injection::add_delta(site, eps))
+          .output_error;
+  EXPECT_GT(error_few, 0.0);
+  EXPECT_LT(error_many, error_few * 1e-3);
+}
+
+TEST(JacobiKernel, MoreResilientThanItsOwnTail) {
+  // Early injections have more healing sweeps left: output error decreases
+  // with injection depth for a fixed perturbation.
+  JacobiConfig config;
+  config.nx = config.ny = 4;
+  config.sweeps = 40;
+  const JacobiProgram program(config);
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const std::uint64_t setup = 32;
+  const double eps = 1e-3;
+  const double early =
+      fi::run_injected(program, golden,
+                       fi::Injection::add_delta(setup + 5 * 16 + 3, eps))
+          .output_error;
+  const double late =
+      fi::run_injected(program, golden,
+                       fi::Injection::add_delta(setup + 35 * 16 + 3, eps))
+          .output_error;
+  EXPECT_LT(early, late);
+}
+
+}  // namespace
+}  // namespace ftb::kernels

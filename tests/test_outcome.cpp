@@ -1,0 +1,87 @@
+#include "fi/outcome.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::fi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(Outcome, ToString) {
+  EXPECT_STREQ(to_string(Outcome::kMasked), "Masked");
+  EXPECT_STREQ(to_string(Outcome::kSdc), "SDC");
+  EXPECT_STREQ(to_string(Outcome::kCrash), "Crash");
+}
+
+TEST(OutputComparator, LinfDistance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.5, 2.0};
+  EXPECT_DOUBLE_EQ(OutputComparator::linf_distance(a, b), 1.0);
+}
+
+TEST(OutputComparator, LinfWithNanIsInfinite) {
+  const std::vector<double> a = {1.0, kNan};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_TRUE(std::isinf(OutputComparator::linf_distance(a, b)));
+}
+
+TEST(OutputComparator, ThresholdScalesWithOutput) {
+  const OutputComparator cmp{1e-9, 1e-6};
+  const std::vector<double> small = {0.5, -0.25};
+  const std::vector<double> large = {1e6, -2e6};
+  EXPECT_NEAR(cmp.threshold_for(small), 1e-9 + 0.5e-6, 1e-18);
+  EXPECT_NEAR(cmp.threshold_for(large), 1e-9 + 2.0, 1e-9);
+}
+
+TEST(OutputComparator, ClassifyMasked) {
+  const OutputComparator cmp{1e-6, 1e-6};
+  const std::vector<double> golden = {1.0, 2.0};
+  const std::vector<double> close = {1.0 + 1e-9, 2.0};
+  EXPECT_EQ(cmp.classify(close, golden), Outcome::kMasked);
+  EXPECT_EQ(cmp.classify(golden, golden), Outcome::kMasked);
+}
+
+TEST(OutputComparator, ClassifySdc) {
+  const OutputComparator cmp{1e-9, 1e-9};
+  const std::vector<double> golden = {1.0, 2.0};
+  const std::vector<double> wrong = {1.0, 2.1};
+  EXPECT_EQ(cmp.classify(wrong, golden), Outcome::kSdc);
+}
+
+TEST(OutputComparator, ClassifyCrashOnNonFinite) {
+  const OutputComparator cmp{};
+  const std::vector<double> golden = {1.0, 2.0};
+  EXPECT_EQ(cmp.classify(std::vector<double>{1.0, kInf}, golden), Outcome::kCrash);
+  EXPECT_EQ(cmp.classify(std::vector<double>{kNan, 2.0}, golden), Outcome::kCrash);
+}
+
+class ToleranceBoundarySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ToleranceBoundarySweep, ErrorsAtToleranceAreMasked) {
+  // Property: an output exactly at the acceptance threshold is Masked,
+  // just above it is SDC.
+  const double rtol = GetParam();
+  const OutputComparator cmp{0.0, rtol};
+  const std::vector<double> golden = {2.0, -1.0};
+  // Perturb by clearly-below / clearly-above fractions of the threshold so
+  // the rounding of 2.0 + delta (up to half an ulp of 2.0) cannot move the
+  // perturbation across the acceptance line.
+  const double threshold = cmp.threshold_for(golden);
+  EXPECT_EQ(
+      cmp.classify(std::vector<double>{2.0 + 0.5 * threshold, -1.0}, golden),
+      Outcome::kMasked);
+  EXPECT_EQ(
+      cmp.classify(std::vector<double>{2.0 + 1.5 * threshold, -1.0}, golden),
+      Outcome::kSdc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtols, ToleranceBoundarySweep,
+                         ::testing::Values(1e-3, 1e-6, 1e-9, 1e-12));
+
+}  // namespace
+}  // namespace ftb::fi

@@ -1,0 +1,130 @@
+#include "fi/phase_map.h"
+
+#include <gtest/gtest.h>
+
+#include "boundary/report.h"
+#include "fi/executor.h"
+#include "kernels/registry.h"
+
+namespace ftb::fi {
+namespace {
+
+TEST(PhaseMap, NoMarksYieldsWholeProgram) {
+  const PhaseMap map({}, 10);
+  ASSERT_EQ(map.segments().size(), 1u);
+  EXPECT_EQ(map.segments()[0].name, "(whole program)");
+  EXPECT_EQ(map.segments()[0].begin, 0u);
+  EXPECT_EQ(map.segments()[0].end, 10u);
+  EXPECT_EQ(map.phase_of(7), "(whole program)");
+}
+
+TEST(PhaseMap, MarksPartitionTheRange) {
+  const std::vector<PhaseMark> marks = {{0, "a"}, {4, "b"}, {7, "c"}};
+  const PhaseMap map(marks, 10);
+  ASSERT_EQ(map.segments().size(), 3u);
+  EXPECT_EQ(map.phase_of(0), "a");
+  EXPECT_EQ(map.phase_of(3), "a");
+  EXPECT_EQ(map.phase_of(4), "b");
+  EXPECT_EQ(map.phase_of(6), "b");
+  EXPECT_EQ(map.phase_of(7), "c");
+  EXPECT_EQ(map.phase_of(9), "c");
+  EXPECT_EQ(map.segment_index_of(5), 1u);
+}
+
+TEST(PhaseMap, ImplicitPrelude) {
+  const std::vector<PhaseMark> marks = {{3, "late"}};
+  const PhaseMap map(marks, 6);
+  ASSERT_EQ(map.segments().size(), 2u);
+  EXPECT_EQ(map.phase_of(0), "(prelude)");
+  EXPECT_EQ(map.phase_of(2), "(prelude)");
+  EXPECT_EQ(map.phase_of(3), "late");
+}
+
+TEST(PhaseMap, BackToBackMarksDropEmptyPhase) {
+  const std::vector<PhaseMark> marks = {{0, "a"}, {0, "b"}, {2, "c"}};
+  const PhaseMap map(marks, 4);
+  ASSERT_EQ(map.segments().size(), 2u);
+  EXPECT_EQ(map.segments()[0].name, "b");  // "a" was empty
+  EXPECT_EQ(map.segments()[1].name, "c");
+}
+
+TEST(PhaseMap, EmptyProgram) {
+  const PhaseMap map({}, 0);
+  EXPECT_TRUE(map.empty());
+}
+
+class KernelPhases : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelPhases, GoldenRunRecordsOrderedCoveringPhases) {
+  const ProgramPtr program =
+      kernels::make_program(GetParam(), kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  ASSERT_FALSE(golden.phases.empty())
+      << GetParam() << " should announce phases";
+  EXPECT_EQ(golden.phases.front().begin, 0u);
+  for (std::size_t i = 1; i < golden.phases.size(); ++i) {
+    EXPECT_LE(golden.phases[i - 1].begin, golden.phases[i].begin);
+  }
+  const PhaseMap map(golden.phases, golden.trace.size());
+  // Segments must tile [0, D).
+  std::uint64_t cursor = 0;
+  for (const auto& segment : map.segments()) {
+    EXPECT_EQ(segment.begin, cursor);
+    cursor = segment.end;
+  }
+  EXPECT_EQ(cursor, golden.trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(InstrumentedKernels, KernelPhases,
+                         ::testing::Values("cg", "lu", "fft", "stencil2d"));
+
+TEST(KernelPhasesDetail, CgPhasesMatchLegacyMarkers) {
+  const ProgramPtr program =
+      kernels::make_program("cg", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  ASSERT_EQ(golden.phases.size(), 3u);
+  EXPECT_EQ(golden.phases[0].name, "zero-init");
+  EXPECT_EQ(golden.phases[1].name, "setup");
+  EXPECT_EQ(golden.phases[2].name, "iterations");
+}
+
+TEST(PhaseReportRender, ProducesRowsPerPhase) {
+  const ProgramPtr program =
+      kernels::make_program("fft", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  const PhaseMap map(golden.phases, golden.trace.size());
+  const boundary::FaultToleranceBoundary boundary(
+      std::vector<double>(golden.trace.size(), 1e-6));
+  const auto report =
+      boundary::phase_report(map, boundary, golden.trace);
+  EXPECT_EQ(report.size(), map.segments().size());
+  for (const auto& row : report) {
+    EXPECT_GT(row.sites(), 0u);
+    EXPECT_DOUBLE_EQ(row.informed_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(row.median_threshold, 1e-6);
+    EXPECT_FALSE(row.mean_true_sdc.has_value());
+  }
+  const std::string text = boundary::render_phase_report(report);
+  EXPECT_NE(text.find("row-ffts-1"), std::string::npos);
+  EXPECT_NE(text.find("transpose-out"), std::string::npos);
+}
+
+TEST(PhaseReportRender, IncludesTruthColumnWhenProvided) {
+  const ProgramPtr program =
+      kernels::make_program("stencil2d", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  const PhaseMap map(golden.phases, golden.trace.size());
+  const boundary::FaultToleranceBoundary boundary(
+      std::vector<double>(golden.trace.size(), 0.0));
+  const std::vector<double> truth(golden.trace.size(), 0.25);
+  const auto report = boundary::phase_report(map, boundary, golden.trace, truth);
+  for (const auto& row : report) {
+    ASSERT_TRUE(row.mean_true_sdc.has_value());
+    EXPECT_DOUBLE_EQ(*row.mean_true_sdc, 0.25);
+  }
+  EXPECT_NE(boundary::render_phase_report(report).find("true SDC"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftb::fi

@@ -1,0 +1,99 @@
+#include "boundary/predictor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+namespace {
+
+TEST(Predictor, NonFiniteFlipPredictsCrash) {
+  const FaultToleranceBoundary boundary({1e9});
+  // Bit 62 of 1.0 flips the exponent to the inf/nan class.
+  EXPECT_EQ(predict_flip(boundary, 0, 1.0, 62), fi::Outcome::kCrash);
+}
+
+TEST(Predictor, ThresholdSplitsMaskedFromSdc) {
+  const double value = 1.0;
+  // Pick a threshold between the bit-10 and bit-40 flip errors.
+  const double small = fi::bit_flip_error(value, 10);
+  const double large = fi::bit_flip_error(value, 40);
+  ASSERT_LT(small, large);
+  const FaultToleranceBoundary boundary({0.5 * (small + large)});
+  EXPECT_EQ(predict_flip(boundary, 0, value, 10), fi::Outcome::kMasked);
+  EXPECT_EQ(predict_flip(boundary, 0, value, 40), fi::Outcome::kSdc);
+}
+
+TEST(Predictor, UnknownSitePredictsSdcForEveryRealError) {
+  const FaultToleranceBoundary boundary({0.0});
+  const SitePrediction prediction = predict_site(boundary, 0, 1.0);
+  // value 1.0: sign-bit flip gives error 2.0 (SDC), mantissa flips give
+  // positive errors (SDC)...  Only nonfinite flips predict Crash.  Nothing
+  // can be masked except zero-error flips, which 1.0 does not have.
+  EXPECT_EQ(prediction.masked, 0u);
+  EXPECT_GT(prediction.sdc, 0u);
+  EXPECT_EQ(prediction.masked + prediction.sdc + prediction.crash,
+            static_cast<std::uint32_t>(fi::kBitsPerValue));
+}
+
+TEST(Predictor, ZeroGoldenValueSignFlipIsMasked) {
+  // flip(0.0, sign) = -0.0: zero injected error is within any threshold.
+  const FaultToleranceBoundary boundary({0.0});
+  EXPECT_EQ(predict_flip(boundary, 0, 0.0, fi::kSignBit),
+            fi::Outcome::kMasked);
+}
+
+TEST(Predictor, UnboundedSiteMasksAllFiniteFlips) {
+  const FaultToleranceBoundary boundary(
+      {FaultToleranceBoundary::kUnbounded});
+  const SitePrediction prediction = predict_site(boundary, 0, 1.0);
+  EXPECT_EQ(prediction.sdc, 0u);
+  EXPECT_EQ(prediction.masked + prediction.crash,
+            static_cast<std::uint32_t>(fi::kBitsPerValue));
+}
+
+TEST(Predictor, SdcRatioDenominatorIs64) {
+  SitePrediction prediction;
+  prediction.sdc = 16;
+  EXPECT_DOUBLE_EQ(prediction.sdc_ratio(), 0.25);
+}
+
+TEST(Predictor, ProfileAndOverallAgree) {
+  const std::vector<double> trace = {1.0, 2.0, 0.5};
+  const FaultToleranceBoundary boundary({0.0, 1e300, 1e-3});
+  const std::vector<double> profile = predicted_sdc_profile(boundary, trace);
+  ASSERT_EQ(profile.size(), 3u);
+  double mean = 0.0;
+  for (double p : profile) mean += p;
+  mean /= 3.0;
+  EXPECT_NEAR(predicted_overall_sdc(boundary, trace), mean, 1e-12);
+  // Site 1 has an (effectively) unbounded threshold: no predicted SDC.
+  EXPECT_DOUBLE_EQ(profile[1], 0.0);
+  // Site 0 is unknown: maximal predicted SDC among the three.
+  EXPECT_GE(profile[0], profile[2]);
+}
+
+class PredictorThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredictorThresholdSweep, MonotoneInThreshold) {
+  // Property: raising the threshold can only move bits from SDC to Masked.
+  const double value = 3.14159;
+  const int bit = GetParam();
+  if (fi::flip_is_nonfinite(value, bit)) GTEST_SKIP();
+  const double error = fi::bit_flip_error(value, bit);
+  const FaultToleranceBoundary below({std::nextafter(error, 0.0)});
+  const FaultToleranceBoundary at({error});
+  EXPECT_EQ(predict_flip(at, 0, value, bit), fi::Outcome::kMasked);
+  if (error > 0.0) {
+    EXPECT_EQ(predict_flip(below, 0, value, bit), fi::Outcome::kSdc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PredictorThresholdSweep,
+                         ::testing::Values(0, 13, 26, 39, 51, 52, 55, 63));
+
+}  // namespace
+}  // namespace ftb::boundary

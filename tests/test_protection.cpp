@@ -1,0 +1,113 @@
+#include "boundary/protection.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boundary/predictor.h"
+#include "fi/fpbits.h"
+
+namespace ftb::boundary {
+namespace {
+
+/// Three-site setup with distinct, known vulnerability levels:
+///   site 0: unknown boundary (threshold 0) -> many predicted-SDC bits,
+///   site 1: generous threshold            -> few predicted-SDC bits,
+///   site 2: effectively unbounded         -> zero predicted-SDC bits.
+struct Fixture {
+  std::vector<double> trace = {1.0, 1.0, 1.0};
+  FaultToleranceBoundary boundary{
+      std::vector<double>{0.0, 0.5, FaultToleranceBoundary::kUnbounded}};
+
+  std::uint32_t sdc_bits(std::size_t site) const {
+    return predict_site(boundary, site, trace[site]).sdc;
+  }
+};
+
+TEST(ProtectionBudget, PicksHighestContributorsFirst) {
+  Fixture s;
+  const ProtectionPlan plan = plan_with_budget(s.boundary, s.trace, 0.34);
+  ASSERT_EQ(plan.sites.size(), 1u);
+  EXPECT_EQ(plan.sites[0], 0u);  // the unknown site dominates
+  EXPECT_LT(plan.sdc_after, plan.sdc_before);
+  EXPECT_NEAR(plan.cost_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ProtectionBudget, ZeroBudgetProtectsNothing) {
+  Fixture s;
+  const ProtectionPlan plan = plan_with_budget(s.boundary, s.trace, 0.0);
+  EXPECT_TRUE(plan.sites.empty());
+  EXPECT_DOUBLE_EQ(plan.sdc_after, plan.sdc_before);
+  EXPECT_DOUBLE_EQ(plan.coverage(), 0.0);
+}
+
+TEST(ProtectionBudget, FullBudgetRemovesEverything) {
+  Fixture s;
+  const ProtectionPlan plan = plan_with_budget(s.boundary, s.trace, 1.0);
+  EXPECT_DOUBLE_EQ(plan.sdc_after, 0.0);
+  EXPECT_DOUBLE_EQ(plan.coverage(), 1.0);
+  // Site 2 contributes nothing, so it is never listed.
+  EXPECT_EQ(std::count(plan.sites.begin(), plan.sites.end(), 2u), 0);
+}
+
+TEST(ProtectionBudget, AccountingMatchesPredictor) {
+  Fixture s;
+  const ProtectionPlan plan = plan_with_budget(s.boundary, s.trace, 1.0);
+  const double denom = 3.0 * fi::kBitsPerValue;
+  const double expected_before =
+      (s.sdc_bits(0) + s.sdc_bits(1) + s.sdc_bits(2)) / denom;
+  EXPECT_NEAR(plan.sdc_before, expected_before, 1e-12);
+  EXPECT_NEAR(plan.sdc_before,
+              predicted_overall_sdc(s.boundary, s.trace), 1e-12);
+}
+
+TEST(ProtectionTarget, StopsAsSoonAsTargetIsMet) {
+  Fixture s;
+  // Target: everything below what removing site 0 alone achieves.
+  const double denom = 3.0 * fi::kBitsPerValue;
+  const double after_site0 = (s.sdc_bits(1) + s.sdc_bits(2)) / denom;
+  const ProtectionPlan plan =
+      plan_to_target(s.boundary, s.trace, after_site0 + 1e-9);
+  ASSERT_EQ(plan.sites.size(), 1u);
+  EXPECT_EQ(plan.sites[0], 0u);
+  EXPECT_LE(plan.sdc_after, after_site0 + 1e-9);
+}
+
+TEST(ProtectionTarget, UnreachableTargetProtectsAllContributors) {
+  Fixture s;
+  const ProtectionPlan plan = plan_to_target(s.boundary, s.trace, 0.0);
+  EXPECT_DOUBLE_EQ(plan.sdc_after, 0.0);
+  EXPECT_EQ(plan.sites.size(), 2u);  // sites 0 and 1; site 2 contributes 0
+}
+
+TEST(ProtectionTarget, AlreadyMetTargetNeedsNoProtection) {
+  Fixture s;
+  const ProtectionPlan plan = plan_to_target(s.boundary, s.trace, 1.0);
+  EXPECT_TRUE(plan.sites.empty());
+}
+
+class ProtectionCoverageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProtectionCoverageSweep, CoverageMonotoneInBudget) {
+  // Property: more budget never reduces coverage.
+  std::vector<double> trace(64, 1.0);
+  std::vector<double> thresholds(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    thresholds[i] = i % 7 == 0 ? 0.0 : 1e-3 * static_cast<double>(i);
+  }
+  const FaultToleranceBoundary boundary(std::move(thresholds));
+
+  const double budget = GetParam();
+  const ProtectionPlan smaller = plan_with_budget(boundary, trace, budget);
+  const ProtectionPlan larger =
+      plan_with_budget(boundary, trace, std::min(1.0, budget + 0.2));
+  EXPECT_GE(larger.coverage() + 1e-12, smaller.coverage());
+  EXPECT_GE(larger.sites.size(), smaller.sites.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ProtectionCoverageSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.8));
+
+}  // namespace
+}  // namespace ftb::boundary

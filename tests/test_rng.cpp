@@ -1,0 +1,171 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  for (std::uint64_t c = 0; c < kBound; ++c) {
+    EXPECT_NEAR(counts[c], kDraws / kBound, 0.05 * kDraws / kBound)
+        << "bucket " << c;
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgesAndRate) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.next_bernoulli(0.0));
+  EXPECT_TRUE(rng.next_bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(42);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, LongJumpChangesSequence) {
+  Rng a(3), b(3);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(AliasTable, EmptyOnDegenerateWeights) {
+  EXPECT_TRUE(AliasTable(std::vector<double>{}).empty());
+  const std::vector<double> zeros(4, 0.0);
+  EXPECT_TRUE(AliasTable(zeros).empty());
+}
+
+TEST(AliasTable, UniformWeights) {
+  const std::vector<double> weights(8, 1.0);
+  AliasTable table(weights);
+  ASSERT_EQ(table.size(), 8u);
+  Rng rng(17);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 8, 0.06 * kDraws / 8);
+}
+
+TEST(AliasTable, SkewedWeightsMatchProportions) {
+  const std::vector<double> weights = {1.0, 2.0, 4.0, 8.0, 0.0};
+  AliasTable table(weights);
+  Rng rng(23);
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kDraws = 150000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  EXPECT_EQ(counts[4], 0);  // zero weight never drawn
+  const double total = 15.0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const double expected = kDraws * weights[c] / total;
+    EXPECT_NEAR(counts[c], expected, 0.05 * kDraws) << "bucket " << c;
+  }
+}
+
+class SampleWithoutReplacement
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(SampleWithoutReplacement, DistinctSortedInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(31 + n + k);
+  const std::vector<std::uint64_t> picked =
+      sample_without_replacement(rng, n, k);
+  ASSERT_EQ(picked.size(), k);
+  EXPECT_TRUE(std::is_sorted(picked.begin(), picked.end()));
+  const std::set<std::uint64_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), k);
+  for (std::uint64_t v : picked) EXPECT_LT(v, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothAlgorithms, SampleWithoutReplacement,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{1000, 5},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 10},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 500},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 1000},
+                      std::pair<std::uint64_t, std::uint64_t>{64, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+
+TEST(SampleWithoutReplacementCoverage, EveryElementReachable) {
+  // Sparse (Floyd) branch: over many draws of k=2 from n=64 every index
+  // should appear.
+  Rng rng(57);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4000; ++i) {
+    for (std::uint64_t v : sample_without_replacement(rng, 64, 2)) {
+      seen.insert(v);
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Shuffle, IsPermutation) {
+  std::vector<std::uint64_t> values(100);
+  for (std::uint64_t i = 0; i < 100; ++i) values[i] = i;
+  Rng rng(61);
+  shuffle(rng, values);
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+}  // namespace
+}  // namespace ftb::util

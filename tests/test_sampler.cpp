@@ -1,0 +1,105 @@
+#include "campaign/sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::campaign {
+namespace {
+
+TEST(SampleUniform, DistinctSortedInRange) {
+  util::Rng rng(1);
+  const std::vector<ExperimentId> picked = sample_uniform(rng, 1000, 100);
+  ASSERT_EQ(picked.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(picked.begin(), picked.end()));
+  const std::set<ExperimentId> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (ExperimentId id : picked) EXPECT_LT(id, 1000u);
+}
+
+TEST(SampleUniform, ClampsToSpace) {
+  util::Rng rng(2);
+  EXPECT_EQ(sample_uniform(rng, 10, 50).size(), 10u);
+}
+
+TEST(SampleBiased, ReturnsAllWhenKCoversCandidates) {
+  util::Rng rng(3);
+  const std::vector<ExperimentId> candidates = {5, 7, 9};
+  const std::vector<double> info(1, 0.0);  // site 0 only (ids < 64)
+  const std::vector<ExperimentId> picked =
+      sample_biased(rng, candidates, info, 10);
+  EXPECT_EQ(picked, candidates);
+}
+
+TEST(SampleBiased, DistinctAndFromCandidateSet) {
+  util::Rng rng(4);
+  std::vector<ExperimentId> candidates;
+  for (ExperimentId id = 0; id < 640; id += 2) candidates.push_back(id);
+  const std::vector<double> info(10, 1.0);  // sites 0..9
+  const std::vector<ExperimentId> picked =
+      sample_biased(rng, candidates, info, 50);
+  ASSERT_EQ(picked.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(picked.begin(), picked.end()));
+  const std::set<ExperimentId> candidate_set(candidates.begin(),
+                                             candidates.end());
+  const std::set<ExperimentId> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (ExperimentId id : picked) EXPECT_TRUE(candidate_set.count(id));
+}
+
+TEST(SampleBiased, PrefersLowInformationSites) {
+  // Site 0 has huge information, site 1 none: the 1/(1+S) bias must pull
+  // nearly all picks to site 1.
+  std::vector<ExperimentId> candidates;
+  for (ExperimentId id = 0; id < 128; ++id) candidates.push_back(id);
+  std::vector<double> info = {999.0, 0.0};
+
+  std::size_t site1_picks = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(100 + seed);
+    for (ExperimentId id : sample_biased(rng, candidates, info, 16)) {
+      ++total;
+      if (site_of(id) == 1) ++site1_picks;
+    }
+  }
+  EXPECT_GT(static_cast<double>(site1_picks) / static_cast<double>(total),
+            0.95);
+}
+
+TEST(SampleBiased, UniformWhenInformationIsEqual) {
+  std::vector<ExperimentId> candidates;
+  for (ExperimentId id = 0; id < 64 * 4; ++id) candidates.push_back(id);
+  const std::vector<double> info(4, 5.0);
+
+  std::map<std::uint64_t, int> per_site;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    for (ExperimentId id : sample_biased(rng, candidates, info, 32)) {
+      ++per_site[site_of(id)];
+    }
+  }
+  const double expected = 50.0 * 32.0 / 4.0;
+  for (const auto& [site, count] : per_site) {
+    EXPECT_NEAR(count, expected, 0.25 * expected) << "site " << site;
+  }
+}
+
+TEST(SampleSpace, EncodeDecodeRoundTrip) {
+  for (std::uint64_t site : {0ull, 1ull, 999ull}) {
+    for (int bit : {0, 1, 31, 63}) {
+      const ExperimentId id = encode(site, bit);
+      EXPECT_EQ(site_of(id), site);
+      EXPECT_EQ(bit_of(id), bit);
+      const fi::Injection injection = injection_of(id);
+      EXPECT_EQ(injection.site, site);
+      EXPECT_EQ(injection.bit, bit);
+      EXPECT_EQ(injection.kind, fi::Injection::Kind::kBitFlip);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftb::campaign

@@ -1,0 +1,69 @@
+#include "boundary/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace ftb::boundary {
+namespace {
+
+FaultToleranceBoundary sample_boundary() {
+  return FaultToleranceBoundary({0.0, 1.5e-7, 42.0,
+                                 std::numeric_limits<double>::infinity()},
+                                {0, 1, 0, 1});
+}
+
+TEST(Serialize, RoundTrip) {
+  const FaultToleranceBoundary original = sample_boundary();
+  const std::string payload = serialize(original, "cg:test-config");
+  const auto restored = deserialize(payload, "cg:test-config");
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->sites(), original.sites());
+  for (std::size_t i = 0; i < original.sites(); ++i) {
+    EXPECT_EQ(restored->threshold(i), original.threshold(i)) << i;
+    EXPECT_EQ(restored->is_exact(i), original.is_exact(i)) << i;
+  }
+}
+
+TEST(Serialize, ConfigMismatchRejected) {
+  const std::string payload = serialize(sample_boundary(), "cg:A");
+  EXPECT_FALSE(deserialize(payload, "cg:B").has_value());
+  // No expectation: accepted regardless of the embedded key.
+  EXPECT_TRUE(deserialize(payload).has_value());
+}
+
+TEST(Serialize, CorruptPayloadRejected) {
+  std::string payload = serialize(sample_boundary(), "cfg");
+  EXPECT_FALSE(deserialize(payload.substr(0, payload.size() / 2)).has_value());
+  payload[0] ^= 0x5a;  // break the magic
+  EXPECT_FALSE(deserialize(payload).has_value());
+  EXPECT_FALSE(deserialize("").has_value());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ftb_boundary_" + std::to_string(::getpid()) + ".bin");
+  const FaultToleranceBoundary original = sample_boundary();
+  ASSERT_TRUE(save_to_file(original, "cfg", path.string()));
+  const auto restored = load_from_file(path.string(), "cfg");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->sites(), original.sites());
+  EXPECT_DOUBLE_EQ(restored->threshold(2), 42.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_from_file("/nonexistent/ftb.bin").has_value());
+}
+
+TEST(Serialize, EmptyBoundary) {
+  const FaultToleranceBoundary empty;
+  const auto restored = deserialize(serialize(empty, "k"), "k");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->sites(), 0u);
+}
+
+}  // namespace
+}  // namespace ftb::boundary

@@ -1,0 +1,171 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ftb::util {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats rs;
+  const std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : data) rs.add(v);
+  EXPECT_EQ(rs.count(), data.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+class RunningStatsMerge : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RunningStatsMerge, MergeEqualsSequential) {
+  // Property: splitting a stream at any point and merging gives the same
+  // moments as processing it sequentially.
+  Rng rng(77);
+  std::vector<double> data(200);
+  for (double& v : data) v = rng.next_double(-10.0, 10.0);
+
+  RunningStats sequential;
+  for (double v : data) sequential.add(v);
+
+  const std::size_t split = GetParam();
+  RunningStats left, right;
+  for (std::size_t i = 0; i < split; ++i) left.add(data[i]);
+  for (std::size_t i = split; i < data.size(); ++i) right.add(data[i]);
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitPoints, RunningStatsMerge,
+                         ::testing::Values(0u, 1u, 50u, 100u, 199u, 200u));
+
+TEST(MeanStd, Basics) {
+  const std::vector<double> data = {1.0, 2.0, 3.0};
+  const MeanStd ms = mean_std(data);
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_NEAR(ms.stddev, 1.0, 1e-12);
+}
+
+TEST(FormatPercentPm, Renders) {
+  EXPECT_EQ(format_percent_pm({0.9864, 0.002}), "98.64% +- 0.20%");
+  EXPECT_EQ(format_percent_pm({1.0, 0.0}, 1), "100.0% +- 0.0%");
+}
+
+TEST(Confusion, PrecisionRecall) {
+  Confusion c;
+  c.true_positive = 90;
+  c.false_positive = 10;
+  c.false_negative = 30;
+  c.true_negative = 70;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.9);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.75);
+  EXPECT_EQ(c.total(), 200u);
+}
+
+TEST(Confusion, VacuousCases) {
+  Confusion none;
+  EXPECT_DOUBLE_EQ(none.precision(), 1.0);  // nothing predicted positive
+  EXPECT_DOUBLE_EQ(none.recall(), 1.0);     // nothing actually positive
+}
+
+TEST(Confusion, Accumulate) {
+  Confusion a, b;
+  a.true_positive = 1;
+  b.true_positive = 2;
+  b.false_negative = 3;
+  a += b;
+  EXPECT_EQ(a.true_positive, 3u);
+  EXPECT_EQ(a.false_negative, 3u);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, neg), -1.0, 1e-12);
+  const std::vector<double> flat = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, flat), 0.0);  // zero variance
+}
+
+TEST(MeanAbsoluteError, Basics) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
+}
+
+TEST(GroupMeans, GroupsAndRemainder) {
+  const std::vector<double> data = {1.0, 3.0, 5.0, 7.0, 9.0};
+  const std::vector<double> grouped = group_means(data, 2);
+  ASSERT_EQ(grouped.size(), 3u);
+  EXPECT_DOUBLE_EQ(grouped[0], 2.0);
+  EXPECT_DOUBLE_EQ(grouped[1], 6.0);
+  EXPECT_DOUBLE_EQ(grouped[2], 9.0);  // remainder group of one
+}
+
+TEST(GroupMeans, GroupLargerThanData) {
+  const std::vector<double> data = {4.0, 6.0};
+  const std::vector<double> grouped = group_means(data, 10);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_DOUBLE_EQ(grouped[0], 5.0);
+}
+
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const Interval ci = wilson_interval(82, 1000);
+  EXPECT_TRUE(ci.contains(0.082));
+  EXPECT_GT(ci.lo, 0.06);
+  EXPECT_LT(ci.hi, 0.11);
+}
+
+TEST(WilsonInterval, NarrowsWithSampleSize) {
+  const Interval small = wilson_interval(10, 100);
+  const Interval large = wilson_interval(1000, 10000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(WilsonInterval, EdgeProportions) {
+  const Interval zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);   // zero observed successes still allow p > 0
+  EXPECT_LT(zero.hi, 0.15);
+  const Interval all = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.85);
+  const Interval empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(WilsonInterval, HigherConfidenceIsWider) {
+  const Interval z95 = wilson_interval(30, 200, 1.96);
+  const Interval z99 = wilson_interval(30, 200, 2.576);
+  EXPECT_LT(z95.width(), z99.width());
+  EXPECT_LE(z99.lo, z95.lo);
+  EXPECT_GE(z99.hi, z95.hi);
+}
+
+}  // namespace
+}  // namespace ftb::util

@@ -1,0 +1,45 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ftb::util {
+namespace {
+
+TEST(Table, RenderAlignsColumns) {
+  Table table({"Name", "SDC"});
+  table.add_row({"cg", "8.2%"});
+  table.add_row({"lu-long-name", "35.89%"});
+  const std::string text = table.render("Table 1");
+  EXPECT_NE(text.find("Table 1"), std::string::npos);
+  EXPECT_NE(text.find("| cg"), std::string::npos);
+  EXPECT_NE(text.find("lu-long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("|--"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"with\"quote", "multi\nline"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(Format, Printf) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Percent, Formats) {
+  EXPECT_EQ(percent(0.082), "8.20%");
+  EXPECT_EQ(percent(0.3589, 1), "35.9%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace ftb::util

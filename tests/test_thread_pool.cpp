@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftb::util {
+namespace {
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(0, touched.size(),
+                    [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSubrange) {
+  ThreadPool pool(3);
+  std::vector<int> touched(100, 0);
+  pool.parallel_for(10, 20, [&](std::size_t i) { touched[i] = 1; });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], (i >= 10 && i < 20) ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  pool.parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(0, 1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // The campaign contract: identical output regardless of parallelism.
+  const std::size_t n = 500;
+  auto run = [n](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(n, 0.0);
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ThreadPool, DefaultPoolSingleton) {
+  ThreadPool& a = default_pool();
+  ThreadPool& b = default_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ManySmallParallelForCalls) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 40, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 40u);
+}
+
+}  // namespace
+}  // namespace ftb::util

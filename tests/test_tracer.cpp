@@ -1,0 +1,144 @@
+#include "fi/tracer.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fi/fpbits.h"
+
+namespace ftb::fi {
+namespace {
+
+/// Pushes a fixed little computation through a tracer.
+std::vector<double> drive(Tracer& tracer, std::size_t steps = 8) {
+  std::vector<double> produced;
+  double accumulator = 1.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    accumulator = tracer.step(accumulator * 1.5 + 0.25);
+    produced.push_back(accumulator);
+  }
+  return produced;
+}
+
+TEST(Tracer, CounterCounts) {
+  Tracer tracer = Tracer::counter();
+  drive(tracer, 13);
+  EXPECT_EQ(tracer.steps(), 13u);
+}
+
+TEST(Tracer, RecorderCapturesGoldenTrace) {
+  std::vector<double> trace;
+  Tracer tracer = Tracer::recorder(trace);
+  const std::vector<double> produced = drive(tracer);
+  EXPECT_EQ(trace, produced);
+}
+
+TEST(Tracer, InjectorFlipsExactlyOneStep) {
+  std::vector<double> golden;
+  {
+    Tracer recorder = Tracer::recorder(golden);
+    drive(recorder);
+  }
+  const std::uint64_t site = 3;
+  Tracer injector = Tracer::injector(Injection::bit_flip(site, 1));
+  const std::vector<double> faulty = drive(injector);
+
+  EXPECT_TRUE(injector.fired());
+  EXPECT_DOUBLE_EQ(injector.original_value(), golden[site]);
+  EXPECT_DOUBLE_EQ(faulty[site], flip_bit(golden[site], 1));
+  EXPECT_DOUBLE_EQ(injector.injected_error(),
+                   std::fabs(flip_bit(golden[site], 1) - golden[site]));
+  // Before the site everything is bitwise identical.
+  for (std::uint64_t i = 0; i < site; ++i) {
+    EXPECT_EQ(faulty[i], golden[i]) << i;
+  }
+  // The corruption propagates through the dependent computation.
+  EXPECT_NE(faulty[site + 1], golden[site + 1]);
+}
+
+TEST(Tracer, AddDeltaInjection) {
+  std::vector<double> golden;
+  {
+    Tracer recorder = Tracer::recorder(golden);
+    drive(recorder);
+  }
+  Tracer injector = Tracer::injector(Injection::add_delta(2, 0.125));
+  const std::vector<double> faulty = drive(injector);
+  EXPECT_DOUBLE_EQ(faulty[2], golden[2] + 0.125);
+  EXPECT_DOUBLE_EQ(injector.injected_error(), 0.125);
+}
+
+TEST(Tracer, SetValueInjection) {
+  Tracer injector = Tracer::injector(Injection::set_value(0, 42.0));
+  const std::vector<double> faulty = drive(injector);
+  EXPECT_DOUBLE_EQ(faulty[0], 42.0);
+}
+
+TEST(Tracer, NonFiniteInjectionThrowsCrashSignal) {
+  Tracer injector = Tracer::injector(
+      Injection::set_value(1, std::numeric_limits<double>::infinity()));
+  EXPECT_THROW(drive(injector), CrashSignal);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_TRUE(std::isinf(injector.injected_error()));
+}
+
+TEST(Tracer, PropagatedNonFiniteThrowsCrashSignal) {
+  // Drive a computation that divides by the traced value: corrupting it to
+  // zero produces inf downstream, which must crash the run.
+  auto divide_chain = [](Tracer& tracer) {
+    double v = tracer.step(2.0);
+    v = tracer.step(1.0 / v);      // inf if v was corrupted to 0
+    v = tracer.step(v + 1.0);
+    return v;
+  };
+  Tracer injector = Tracer::injector(Injection::set_value(0, 0.0));
+  EXPECT_THROW(divide_chain(injector), CrashSignal);
+}
+
+TEST(Tracer, ComparatorRecordsPropagationDiffs) {
+  std::vector<double> golden;
+  {
+    Tracer recorder = Tracer::recorder(golden);
+    drive(recorder);
+  }
+  const std::uint64_t site = 2;
+  std::vector<double> diffs(golden.size(), 0.0);
+  Tracer comparator =
+      Tracer::comparator(Injection::bit_flip(site, 40), golden, diffs);
+  const std::vector<double> faulty = drive(comparator);
+
+  for (std::uint64_t i = 0; i < golden.size(); ++i) {
+    if (i < site) {
+      EXPECT_EQ(diffs[i], 0.0) << "pre-injection site " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(diffs[i], std::fabs(faulty[i] - golden[i])) << i;
+    }
+  }
+  // diffs at the site equals the injected error.
+  EXPECT_DOUBLE_EQ(diffs[site], comparator.injected_error());
+}
+
+TEST(Tracer, ZeroErrorInjectionLeavesTraceIdentical) {
+  // Flipping the sign bit of 0.0 gives -0.0: zero injected error, and the
+  // run must classify exactly like the golden one.
+  auto with_zero = [](Tracer& tracer) {
+    std::vector<double> out;
+    out.push_back(tracer.step(0.0));
+    out.push_back(tracer.step(out.back() + 1.0));
+    return out;
+  };
+  std::vector<double> golden;
+  {
+    Tracer recorder = Tracer::recorder(golden);
+    with_zero(recorder);
+  }
+  Tracer injector = Tracer::injector(Injection::bit_flip(0, kSignBit));
+  const std::vector<double> faulty = with_zero(injector);
+  EXPECT_DOUBLE_EQ(injector.injected_error(), 0.0);
+  EXPECT_DOUBLE_EQ(faulty[1], golden[1]);
+}
+
+}  // namespace
+}  // namespace ftb::fi

@@ -1,0 +1,138 @@
+// Edge coverage for tracer modes added after the core suite: phase
+// announcements across modes and the streaming comparator used by the
+// low-memory pipeline.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fi/tracer.h"
+
+namespace ftb::fi {
+namespace {
+
+std::vector<double> drive(Tracer& tracer, std::size_t steps = 6) {
+  std::vector<double> produced;
+  double accumulator = 0.5;
+  for (std::size_t i = 0; i < steps; ++i) {
+    tracer.phase(i == 0 ? "head" : "body");  // phases legal in any mode
+    accumulator = tracer.step(accumulator * 1.25 + 0.125);
+    produced.push_back(accumulator);
+  }
+  return produced;
+}
+
+TEST(TracerPhases, RecordedOnlyWhenSinkProvided) {
+  std::vector<double> trace;
+  std::vector<PhaseMark> phases;
+  Tracer with_sink = Tracer::recorder(trace, &phases);
+  drive(with_sink);
+  ASSERT_EQ(phases.size(), 6u);  // one announcement per step in drive()
+  EXPECT_EQ(phases[0].name, "head");
+  EXPECT_EQ(phases[0].begin, 0u);
+  EXPECT_EQ(phases[3].name, "body");
+  EXPECT_EQ(phases[3].begin, 3u);
+
+  // No sink: announcements are free no-ops in every mode.
+  trace.clear();
+  Tracer no_sink = Tracer::recorder(trace);
+  drive(no_sink);
+  Tracer counting = Tracer::counter();
+  drive(counting);
+  Tracer injecting = Tracer::injector(Injection::bit_flip(2, 1));
+  drive(injecting);
+  SUCCEED();
+}
+
+TEST(TracerStream, MatchesBufferedComparatorExactly) {
+  std::vector<double> golden;
+  {
+    Tracer recorder = Tracer::recorder(golden);
+    drive(recorder);
+  }
+  const Injection injection = Injection::bit_flip(2, 30);
+
+  std::vector<double> buffered(golden.size(), 0.0);
+  {
+    Tracer comparator = Tracer::comparator(injection, golden, buffered);
+    drive(comparator);
+  }
+
+  struct StreamState {
+    const std::vector<double>* golden;
+    std::size_t cursor = 0;
+    std::vector<double> observed;
+  };
+  StreamState state{&golden, 0, std::vector<double>(golden.size(), 0.0)};
+  Tracer::StreamHooks hooks;
+  hooks.ctx = &state;
+  hooks.next_golden = [](void* ctx) {
+    auto* s = static_cast<StreamState*>(ctx);
+    return (*s->golden)[s->cursor++];
+  };
+  hooks.observe = [](void* ctx, std::uint64_t site, double error) {
+    static_cast<StreamState*>(ctx)->observed[site] = error;
+  };
+  Tracer streaming = Tracer::stream_comparator(injection, hooks);
+  drive(streaming);
+
+  EXPECT_EQ(state.cursor, golden.size());  // pulled exactly one per step
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_DOUBLE_EQ(state.observed[i], buffered[i]) << i;
+  }
+}
+
+TEST(TracerStream, ObserverOnlyCalledFromInjectionSiteOn) {
+  std::vector<double> golden;
+  {
+    Tracer recorder = Tracer::recorder(golden);
+    drive(recorder);
+  }
+  struct StreamState {
+    const std::vector<double>* golden;
+    std::size_t cursor = 0;
+    std::uint64_t first_observed = ~std::uint64_t{0};
+  };
+  StreamState state{&golden};
+  Tracer::StreamHooks hooks;
+  hooks.ctx = &state;
+  hooks.next_golden = [](void* ctx) {
+    auto* s = static_cast<StreamState*>(ctx);
+    return (*s->golden)[s->cursor++];
+  };
+  hooks.observe = [](void* ctx, std::uint64_t site, double) {
+    auto* s = static_cast<StreamState*>(ctx);
+    if (site < s->first_observed) s->first_observed = site;
+  };
+  const std::uint64_t injection_site = 3;
+  Tracer streaming =
+      Tracer::stream_comparator(Injection::bit_flip(injection_site, 5), hooks);
+  drive(streaming);
+  EXPECT_EQ(state.first_observed, injection_site);
+}
+
+TEST(TracerStream, NullObserverIsLegal) {
+  std::vector<double> golden;
+  {
+    Tracer recorder = Tracer::recorder(golden);
+    drive(recorder);
+  }
+  struct StreamState {
+    const std::vector<double>* golden;
+    std::size_t cursor = 0;
+  };
+  StreamState state{&golden};
+  Tracer::StreamHooks hooks;
+  hooks.ctx = &state;
+  hooks.next_golden = [](void* ctx) {
+    auto* s = static_cast<StreamState*>(ctx);
+    return (*s->golden)[s->cursor++];
+  };
+  hooks.observe = nullptr;
+  Tracer streaming =
+      Tracer::stream_comparator(Injection::bit_flip(1, 4), hooks);
+  drive(streaming);
+  EXPECT_TRUE(streaming.fired());
+}
+
+}  // namespace
+}  // namespace ftb::fi

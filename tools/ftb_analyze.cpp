@@ -1,0 +1,317 @@
+// ftb_analyze: the command-line driver for the whole library -- run
+// campaigns, build/save/load boundaries, print reports and protection
+// plans without writing C++.
+//
+// Subcommands (first positional argument):
+//   list                          known kernels and presets
+//   golden   --kernel K           golden-run statistics and phase table
+//   infer    --kernel K           build a boundary (uniform or adaptive
+//            [--strategy uniform|adaptive] [--fraction F] [--filter 0|1]
+//            [--save FILE]        sampling) and report self-verified stats
+//   exhaustive --kernel K         ground-truth campaign + exact boundary
+//            [--save FILE]        (slow; honours FTB_CACHE_DIR)
+//   report   --kernel K --load FILE   per-phase vulnerability report
+//   protect  --kernel K --load FILE   selective-protection plan
+//            [--budget F | --target R]
+//
+// Common flags: --preset tiny|default|paper, --seed S.
+#include <cstdio>
+#include <string>
+
+#include "boundary/exhaustive.h"
+#include "boundary/predictor.h"
+#include "boundary/protection.h"
+#include "boundary/report.h"
+#include "boundary/serialize.h"
+#include "campaign/adaptive.h"
+#include "campaign/ground_truth.h"
+#include "campaign/inference.h"
+#include "campaign/log.h"
+#include "campaign/sampler.h"
+#include "util/rng.h"
+#include "fi/executor.h"
+#include "fi/phase_map.h"
+#include "kernels/registry.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ftb;
+
+int cmd_list() {
+  std::printf("kernels:\n");
+  for (const std::string& name : kernels::program_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("presets: tiny, default, paper\n");
+  return 0;
+}
+
+struct Loaded {
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+};
+
+Loaded load_kernel(const util::Cli& cli) {
+  const std::string name = cli.get("kernel", "cg");
+  const kernels::Preset preset =
+      kernels::preset_from_string(cli.get("preset", "default"));
+  Loaded loaded;
+  loaded.program = kernels::make_program(name, preset);
+  loaded.golden = fi::run_golden(*loaded.program);
+  return loaded;
+}
+
+int cmd_golden(const util::Cli& cli) {
+  const Loaded k = load_kernel(cli);
+  std::printf("kernel        : %s\n", k.program->name().c_str());
+  std::printf("config        : %s\n", k.program->config_key().c_str());
+  std::printf("dyn. instrs   : %llu\n",
+              static_cast<unsigned long long>(k.golden.dynamic_instructions()));
+  std::printf("sample space  : %llu experiments\n",
+              static_cast<unsigned long long>(k.golden.sample_space_size()));
+  std::printf("output size   : %zu values, tolerance %.3g\n",
+              k.golden.output.size(), k.golden.tolerance);
+  const fi::PhaseMap phases(k.golden.phases, k.golden.trace.size());
+  util::Table table({"phase", "instructions", "share"});
+  for (const auto& segment : phases.segments()) {
+    table.add_row(
+        {segment.name,
+         util::format("[%llu, %llu)",
+                      static_cast<unsigned long long>(segment.begin),
+                      static_cast<unsigned long long>(segment.end)),
+         util::percent(static_cast<double>(segment.size()) /
+                       static_cast<double>(k.golden.trace.size()))});
+  }
+  std::fputs(table.render("\nphases").c_str(), stdout);
+  return 0;
+}
+
+void describe_boundary(const boundary::FaultToleranceBoundary& built,
+                       const Loaded& k) {
+  std::printf("informed sites    : %zu of %zu\n", built.informed_sites(),
+              built.sites());
+  std::printf("predicted SDC     : %s\n",
+              util::percent(
+                  boundary::predicted_overall_sdc(built, k.golden.trace))
+                  .c_str());
+}
+
+int save_if_requested(const util::Cli& cli,
+                      const boundary::FaultToleranceBoundary& built,
+                      const Loaded& k) {
+  const std::string path = cli.get("save");
+  if (path.empty()) return 0;
+  if (!boundary::save_to_file(built, k.program->config_key(), path)) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("boundary saved to %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_infer(const util::Cli& cli) {
+  const Loaded k = load_kernel(cli);
+  const std::string strategy = cli.get("strategy", "uniform");
+  util::ThreadPool& pool = util::default_pool();
+
+  boundary::FaultToleranceBoundary built;
+  if (strategy == "adaptive") {
+    campaign::AdaptiveOptions options;
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    options.filter = cli.get_bool("filter", true);
+    const campaign::AdaptiveResult result =
+        campaign::infer_adaptive(*k.program, k.golden, options, pool);
+    std::printf("adaptive sampling : %zu experiments (%.2f%% of space), "
+                "%zu rounds\n",
+                result.sampled_ids.size(), 100.0 * result.sample_fraction(),
+                result.rounds.size());
+    built = result.boundary;
+  } else if (strategy == "uniform") {
+    campaign::InferenceOptions options;
+    options.sample_fraction = cli.get_double("fraction", 0.01);
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    options.filter = cli.get_bool("filter", true);
+    const campaign::InferenceResult result =
+        campaign::infer_uniform(*k.program, k.golden, options, pool);
+    const util::Confusion self = campaign::confusion_on_records(
+        result.boundary, k.golden.trace, result.records);
+    std::printf("uniform sampling  : %zu experiments (%.2f%% of space)\n",
+                result.sampled_ids.size(), 100.0 * options.sample_fraction);
+    std::printf("outcomes          : masked %llu / sdc %llu / crash %llu\n",
+                static_cast<unsigned long long>(result.counts.masked),
+                static_cast<unsigned long long>(result.counts.sdc),
+                static_cast<unsigned long long>(result.counts.crash));
+    std::printf("uncertainty       : %s (self-verified precision)\n",
+                util::percent(self.precision()).c_str());
+    built = result.boundary;
+  } else {
+    std::fprintf(stderr, "error: unknown --strategy %s\n", strategy.c_str());
+    return 1;
+  }
+  describe_boundary(built, k);
+  return save_if_requested(cli, built, k);
+}
+
+/// Runs (or extends) a persistent campaign log, then rebuilds the boundary
+/// from everything logged so far -- the resumable-campaign workflow.
+int cmd_campaign(const util::Cli& cli) {
+  const Loaded k = load_kernel(cli);
+  const std::string path = cli.get("log");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --log FILE is required\n");
+    return 1;
+  }
+  util::ThreadPool& pool = util::default_pool();
+
+  campaign::CampaignLog log(k.program->config_key());
+  if (auto existing = campaign::CampaignLog::load(path)) {
+    if (existing->config_key() != k.program->config_key()) {
+      std::fprintf(stderr, "error: %s holds a different configuration\n",
+                   path.c_str());
+      return 1;
+    }
+    log = std::move(*existing);
+    std::printf("resuming: %zu experiments already logged\n", log.size());
+  }
+
+  const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)) +
+                log.size());
+  const std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
+      rng, k.golden.sample_space_size(), batch);
+  log.append(campaign::run_experiments(*k.program, k.golden, ids, pool));
+  log.dedupe();
+  if (!log.save(path)) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("logged %zu distinct experiments -> %s\n", log.size(),
+              path.c_str());
+
+  const boundary::FaultToleranceBoundary built = campaign::boundary_from_log(
+      *k.program, k.golden, log,
+      {cli.get_bool("filter", true), 32}, pool);
+  describe_boundary(built, k);
+  return save_if_requested(cli, built, k);
+}
+
+int cmd_exhaustive(const util::Cli& cli) {
+  const Loaded k = load_kernel(cli);
+  util::ThreadPool& pool = util::default_pool();
+  const campaign::GroundTruth truth = campaign::GroundTruth::compute(
+      *k.program, k.golden, pool, !cli.get_bool("no-cache", false));
+  const boundary::FaultToleranceBoundary built =
+      boundary::exhaustive_boundary(truth.outcomes(), k.golden.trace);
+  std::printf("experiments       : %llu\n",
+              static_cast<unsigned long long>(truth.experiments()));
+  std::printf("golden SDC ratio  : %s\n",
+              util::percent(truth.overall_sdc_ratio()).c_str());
+  describe_boundary(built, k);
+  return save_if_requested(cli, built, k);
+}
+
+boundary::FaultToleranceBoundary load_boundary(const util::Cli& cli,
+                                               const Loaded& k, int& status) {
+  const std::string path = cli.get("load");
+  status = 0;
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --load FILE is required\n");
+    status = 1;
+    return {};
+  }
+  auto loaded = boundary::load_from_file(path, k.program->config_key());
+  if (!loaded) {
+    std::fprintf(stderr,
+                 "error: %s does not hold a boundary for config '%s'\n",
+                 path.c_str(), k.program->config_key().c_str());
+    status = 1;
+    return {};
+  }
+  return std::move(*loaded);
+}
+
+int cmd_report(const util::Cli& cli) {
+  const Loaded k = load_kernel(cli);
+  int status = 0;
+  const boundary::FaultToleranceBoundary built = load_boundary(cli, k, status);
+  if (status != 0) return status;
+  const fi::PhaseMap phases(k.golden.phases, k.golden.trace.size());
+  const auto rows = boundary::phase_report(phases, built, k.golden.trace);
+  std::fputs(boundary::render_phase_report(rows).c_str(), stdout);
+  describe_boundary(built, k);
+  return 0;
+}
+
+int cmd_protect(const util::Cli& cli) {
+  const Loaded k = load_kernel(cli);
+  int status = 0;
+  const boundary::FaultToleranceBoundary built = load_boundary(cli, k, status);
+  if (status != 0) return status;
+
+  boundary::ProtectionPlan plan;
+  if (cli.has("target")) {
+    plan = boundary::plan_to_target(built, k.golden.trace,
+                                    cli.get_double("target", 0.01));
+  } else {
+    plan = boundary::plan_with_budget(built, k.golden.trace,
+                                      cli.get_double("budget", 0.05));
+  }
+  std::printf("predicted SDC     : %s -> %s\n",
+              util::percent(plan.sdc_before).c_str(),
+              util::percent(plan.sdc_after).c_str());
+  std::printf("coverage          : %s of predicted SDC removed\n",
+              util::percent(plan.coverage()).c_str());
+  std::printf("cost              : protect %zu of %zu dynamic instructions "
+              "(%s)\n",
+              plan.sites.size(), built.sites(),
+              util::percent(plan.cost_fraction).c_str());
+  const fi::PhaseMap phases(k.golden.phases, k.golden.trace.size());
+  std::printf("first sites to protect:");
+  for (std::size_t i = 0; i < plan.sites.size() && i < 10; ++i) {
+    std::printf(" %llu(%.*s)",
+                static_cast<unsigned long long>(plan.sites[i]), 24,
+                std::string(phases.phase_of(plan.sites[i])).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string command =
+      cli.positional().empty() ? "help" : cli.positional().front();
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "golden") return cmd_golden(cli);
+    if (command == "infer") return cmd_infer(cli);
+    if (command == "exhaustive") return cmd_exhaustive(cli);
+    if (command == "campaign") return cmd_campaign(cli);
+    if (command == "report") return cmd_report(cli);
+    if (command == "protect") return cmd_protect(cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  std::printf(
+      "ftb_analyze -- fault tolerance boundary toolbox\n\n"
+      "usage: ftb_analyze <command> [flags]\n\n"
+      "commands:\n"
+      "  list        known kernels and presets\n"
+      "  golden      golden-run statistics and phase table\n"
+      "  infer       build a boundary by sampling (--strategy uniform|adaptive,\n"
+      "              --fraction F, --filter 0|1, --save FILE)\n"
+      "  exhaustive  ground-truth campaign and exact boundary (--save FILE)\n"
+      "  campaign    resumable logged campaign: run --batch more experiments,\n"
+      "              append to --log FILE, rebuild the boundary\n"
+      "  report      per-phase vulnerability report (--load FILE)\n"
+      "  protect     selective-protection plan (--load FILE, --budget F or\n"
+      "              --target R)\n\n"
+      "common flags: --kernel K  --preset tiny|default|paper  --seed S\n");
+  return command == "help" ? 0 : 1;
+}
