@@ -74,6 +74,9 @@ int main(int argc, char** argv) {
         case fi::Outcome::kCrash:
           ++counts.crash;
           break;
+        case fi::Outcome::kHang:  // in-process runs cannot hang-classify
+          ++counts.hang;
+          break;
       }
 
       // Boundary prediction from the corruption *magnitude*.

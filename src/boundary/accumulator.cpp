@@ -42,8 +42,9 @@ void BoundaryAccumulator::record_injection(std::size_t site, int bit,
       }
       break;
     case fi::Outcome::kCrash:
-      // Crashes are detectable, not silent; they neither support nor
-      // constrain the boundary (the bit still counts as tested).
+    case fi::Outcome::kHang:
+      // Crashes and hangs are detectable, not silent; they neither support
+      // nor constrain the boundary (the bit still counts as tested).
       break;
   }
 }

@@ -31,6 +31,7 @@ SitePrediction predict_site(const FaultToleranceBoundary& boundary,
         ++prediction.sdc;
         break;
       case fi::Outcome::kCrash:
+      case fi::Outcome::kHang:  // predict_flip never returns kHang
         ++prediction.crash;
         break;
     }

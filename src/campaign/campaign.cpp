@@ -41,6 +41,25 @@ std::vector<ExperimentRecord> run_experiments_compare(
   return records;
 }
 
+std::vector<ExperimentRecord> run_experiments_sandboxed(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, const fi::SandboxOptions& options,
+    fi::SandboxStats* stats) {
+  std::vector<fi::Injection> injections;
+  injections.reserve(ids.size());
+  for (const ExperimentId id : ids) injections.push_back(injection_of(id));
+
+  const std::vector<fi::ExperimentResult> results =
+      fi::run_injected_sandboxed(program, golden, injections, options, stats);
+
+  std::vector<ExperimentRecord> records(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    records[i].id = ids[i];
+    records[i].result = results[i];
+  }
+  return records;
+}
+
 OutcomeCounts count_outcomes(
     std::span<const ExperimentRecord> records) noexcept {
   OutcomeCounts counts;
@@ -55,9 +74,45 @@ OutcomeCounts count_outcomes(
       case fi::Outcome::kCrash:
         ++counts.crash;
         break;
+      case fi::Outcome::kHang:
+        ++counts.hang;
+        break;
     }
   }
   return counts;
+}
+
+std::uint64_t CrashReasonCounts::isolation_crashes() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kReasons; ++i) {
+    if (fi::is_isolation_reason(static_cast<fi::CrashReason>(i))) {
+      total += by_reason[i];
+    }
+  }
+  return total;
+}
+
+CrashReasonCounts count_crash_reasons(
+    std::span<const ExperimentRecord> records) noexcept {
+  CrashReasonCounts counts;
+  for (const ExperimentRecord& record : records) {
+    if (record.result.outcome != fi::Outcome::kCrash) continue;
+    const auto index = static_cast<std::size_t>(record.result.crash_reason);
+    if (index < CrashReasonCounts::kReasons) ++counts.by_reason[index];
+  }
+  return counts;
+}
+
+std::string describe_crash_reasons(const CrashReasonCounts& counts) {
+  std::string out;
+  for (std::size_t i = 0; i < CrashReasonCounts::kReasons; ++i) {
+    if (counts.by_reason[i] == 0) continue;
+    if (!out.empty()) out += " / ";
+    out += fi::to_string(static_cast<fi::CrashReason>(i));
+    out += ' ';
+    out += std::to_string(counts.by_reason[i]);
+  }
+  return out;
 }
 
 }  // namespace ftb::campaign

@@ -7,11 +7,13 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "campaign/sample_space.h"
 #include "fi/executor.h"
 #include "fi/program.h"
+#include "fi/sandbox.h"
 #include "util/thread_pool.h"
 
 namespace ftb::campaign {
@@ -41,13 +43,26 @@ std::vector<ExperimentRecord> run_experiments_compare(
     std::span<const ExperimentId> ids, util::ThreadPool& pool,
     const CompareConsumer& consume);
 
+/// Runs each listed experiment inside the process-isolation layer
+/// (fi/sandbox.h): experiments execute in forked child batches, so flips
+/// that segfault, trap, or hang are classified (Crash with a signal-derived
+/// CrashReason, or Hang via the watchdog) instead of taking down the
+/// campaign.  Single-threaded by design -- fork() and worker threads mix
+/// poorly; the per-experiment cost already dwarfs the lost parallelism for
+/// the hazard workloads this exists for.  Records are in `ids` order.
+std::vector<ExperimentRecord> run_experiments_sandboxed(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, const fi::SandboxOptions& options = {},
+    fi::SandboxStats* stats = nullptr);
+
 /// Outcome tallies over a record batch.
 struct OutcomeCounts {
   std::uint64_t masked = 0;
   std::uint64_t sdc = 0;
   std::uint64_t crash = 0;
+  std::uint64_t hang = 0;
 
-  std::uint64_t total() const noexcept { return masked + sdc + crash; }
+  std::uint64_t total() const noexcept { return masked + sdc + crash + hang; }
   double sdc_fraction() const noexcept {
     return total() ? static_cast<double>(sdc) / static_cast<double>(total())
                    : 0.0;
@@ -55,5 +70,27 @@ struct OutcomeCounts {
 };
 
 OutcomeCounts count_outcomes(std::span<const ExperimentRecord> records) noexcept;
+
+/// Crash-reason tallies over a record batch (Crash outcomes only; Hang
+/// records carry CrashReason::kNone and are not counted here).  Indexed by
+/// static_cast<size_t>(fi::CrashReason).
+struct CrashReasonCounts {
+  static constexpr std::size_t kReasons =
+      static_cast<std::size_t>(fi::CrashReason::kAbnormalExit) + 1;
+  std::uint64_t by_reason[kReasons] = {};
+
+  std::uint64_t of(fi::CrashReason reason) const noexcept {
+    return by_reason[static_cast<std::size_t>(reason)];
+  }
+  /// Crashes only the isolation layer can observe (signals, bad exits).
+  std::uint64_t isolation_crashes() const noexcept;
+};
+
+CrashReasonCounts count_crash_reasons(
+    std::span<const ExperimentRecord> records) noexcept;
+
+/// One line per nonzero reason, e.g. "non-finite 12 / SIGSEGV 3"; empty
+/// string when there are no crashes.
+std::string describe_crash_reasons(const CrashReasonCounts& counts);
 
 }  // namespace ftb::campaign

@@ -1,0 +1,98 @@
+#include "campaign/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ftb::campaign {
+
+CheckpointRunResult run_campaign_checkpointed(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, const CheckpointOptions& options) {
+  if (options.path.empty()) {
+    throw std::invalid_argument(
+        "run_campaign_checkpointed: journal path is empty");
+  }
+  const std::size_t flush_every = std::max<std::size_t>(1, options.flush_every);
+  const std::string config_key = program.config_key();
+
+  CheckpointRunResult result;
+  std::error_code ec;
+  if (std::filesystem::exists(options.path, ec)) {
+    std::string error;
+    auto journal = CampaignLog::load(options.path, &error);
+    if (!journal) {
+      // A journal that exists but does not parse is not a resumable state;
+      // refusing beats silently redoing (or worse, double-counting) work.
+      throw std::runtime_error("run_campaign_checkpointed: " + error);
+    }
+    if (journal->config_key() != config_key) {
+      throw std::invalid_argument(
+          "run_campaign_checkpointed: journal '" + options.path +
+          "' belongs to configuration '" + journal->config_key() +
+          "', not '" + config_key + "'");
+    }
+    result.log = std::move(*journal);
+    result.resumed = true;
+  } else {
+    result.log = CampaignLog(config_key);
+  }
+
+  // Set-difference: the ids still owed after what the journal already holds.
+  std::unordered_set<ExperimentId> done;
+  done.reserve(result.log.size());
+  for (const ExperimentRecord& record : result.log.records()) {
+    done.insert(record.id);
+  }
+  std::vector<ExperimentId> remaining;
+  remaining.reserve(ids.size());
+  for (ExperimentId id : ids) {
+    if (done.count(id) == 0) remaining.push_back(id);
+  }
+  result.skipped = ids.size() - remaining.size();
+
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::default_pool();
+
+  const auto flush = [&] {
+    if (!result.log.save(options.path)) {
+      throw std::runtime_error(
+          "run_campaign_checkpointed: cannot write journal '" + options.path +
+          "'");
+    }
+    ++result.flushes;
+  };
+
+  for (std::size_t begin = 0; begin < remaining.size(); begin += flush_every) {
+    const std::size_t end = std::min(begin + flush_every, remaining.size());
+    const std::span<const ExperimentId> chunk(remaining.data() + begin,
+                                              end - begin);
+    std::vector<ExperimentRecord> batch;
+    if (options.use_sandbox) {
+      // run_injected_sandboxed resets its stats output per batch, so
+      // accumulate chunk stats by hand.
+      fi::SandboxStats chunk_stats;
+      batch = run_experiments_sandboxed(program, golden, chunk, options.sandbox,
+                                        &chunk_stats);
+      result.sandbox_stats.children_spawned += chunk_stats.children_spawned;
+      result.sandbox_stats.signal_deaths += chunk_stats.signal_deaths;
+      result.sandbox_stats.watchdog_kills += chunk_stats.watchdog_kills;
+      result.sandbox_stats.abnormal_exits += chunk_stats.abnormal_exits;
+      result.sandbox_stats.spawn_retries += chunk_stats.spawn_retries;
+      result.sandbox_stats.fallback_experiments +=
+          chunk_stats.fallback_experiments;
+    } else {
+      batch = run_experiments(program, golden, chunk, pool);
+    }
+    result.log.append(batch);
+    result.executed += batch.size();
+    flush();
+  }
+
+  result.log.dedupe();
+  flush();  // final flush persists the deduped, complete journal
+  return result;
+}
+
+}  // namespace ftb::campaign

@@ -1,0 +1,60 @@
+// Checkpointed campaign execution.
+//
+// A campaign over a hazard kernel can be killed at any moment -- by the
+// sandbox watchdog's host-side twin (CI timeouts), by the machine, or by the
+// user.  This runner makes that survivable: it executes experiments in
+// chunks and flushes the accumulated CampaignLog journal to disk after each
+// chunk (atomic tmp+rename, CRC-framed -- see campaign/log.h), so a
+// re-invocation with the same journal path resumes from the last flush
+// instead of starting over.  Already-logged experiment ids are skipped; the
+// final log, after dedupe, is identical to what an uninterrupted run would
+// have produced (experiment outcomes are deterministic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "campaign/log.h"
+#include "campaign/sample_space.h"
+#include "fi/program.h"
+#include "fi/sandbox.h"
+#include "util/thread_pool.h"
+
+namespace ftb::campaign {
+
+struct CheckpointOptions {
+  /// Journal file path.  Must be non-empty; if the file exists it is loaded
+  /// and its experiments are skipped (resume).
+  std::string path;
+  /// Experiments per chunk; the journal is flushed after every chunk.
+  std::size_t flush_every = 512;
+  /// Run chunks through the process-isolation layer (fi/sandbox.h) so
+  /// signal-crashes and hangs are classified instead of fatal.  Required for
+  /// hazard kernels.
+  bool use_sandbox = false;
+  fi::SandboxOptions sandbox;
+  /// Thread pool for the non-sandbox path; util::default_pool() when null.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct CheckpointRunResult {
+  CampaignLog log;              ///< deduped, includes resumed records
+  bool resumed = false;         ///< true if an existing journal was loaded
+  std::uint64_t skipped = 0;    ///< experiments satisfied by the journal
+  std::uint64_t executed = 0;   ///< experiments actually run this invocation
+  std::uint64_t flushes = 0;    ///< journal writes (including the final one)
+  fi::SandboxStats sandbox_stats;  ///< populated when use_sandbox
+};
+
+/// Runs (or resumes) the listed experiments with periodic journal flushes.
+/// Throws std::invalid_argument if options.path is empty or an existing
+/// journal belongs to a different program configuration, and
+/// std::runtime_error if the journal exists but is corrupt or a flush
+/// cannot be written.
+CheckpointRunResult run_campaign_checkpointed(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, const CheckpointOptions& options);
+
+}  // namespace ftb::campaign

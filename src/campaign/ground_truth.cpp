@@ -30,7 +30,7 @@ GroundTruth GroundTruth::compute(const fi::Program& program,
         std::vector<fi::Outcome> outcomes(total);
         for (std::uint64_t i = 0; i < total; ++i) {
           const std::uint8_t raw = (*payload)[i];
-          if (raw > static_cast<std::uint8_t>(fi::Outcome::kCrash)) {
+          if (raw > static_cast<std::uint8_t>(fi::Outcome::kHang)) {
             outcomes.clear();
             break;
           }
@@ -78,6 +78,9 @@ OutcomeCounts GroundTruth::counts() const noexcept {
         break;
       case fi::Outcome::kCrash:
         ++counts.crash;
+        break;
+      case fi::Outcome::kHang:
+        ++counts.hang;
         break;
     }
   }

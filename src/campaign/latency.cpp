@@ -49,6 +49,9 @@ LatencyReport measure_latency(const fi::Program& program,
       }
       case fi::Outcome::kMasked:
         break;
+      case fi::Outcome::kHang:
+        // Sandbox-only outcome; no trap site or propagation data exists.
+        break;
     }
   };
 

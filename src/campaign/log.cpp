@@ -12,7 +12,13 @@ namespace ftb::campaign {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4654422d434c4f47ull;  // "FTB-CLOG"
-constexpr std::uint64_t kVersion = 1;
+// v2: adds a per-record crash_reason byte and a trailing CRC-32 frame check.
+constexpr std::uint64_t kVersion = 2;
+
+std::optional<CampaignLog> fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return std::nullopt;
+}
 
 }  // namespace
 
@@ -60,20 +66,51 @@ std::string CampaignLog::serialize() const {
   for (const ExperimentRecord& record : records_) {
     writer.put_u64(record.id);
     writer.put_u64(static_cast<std::uint64_t>(record.result.outcome));
+    writer.put_u64(static_cast<std::uint64_t>(record.result.crash_reason));
     writer.put_f64(record.result.injected_error);
     writer.put_f64(record.result.output_error);
     writer.put_u64(record.result.crash_site);
   }
+  // Trailing CRC-32 of everything written so far, stored as a u64 so the
+  // whole file stays 8-byte framed.
+  const std::uint32_t crc =
+      util::crc32(writer.buffer().data(), writer.buffer().size());
+  writer.put_u64(crc);
   return {writer.buffer().begin(), writer.buffer().end()};
 }
 
-std::optional<CampaignLog> CampaignLog::deserialize(
-    const std::string& payload) {
+std::optional<CampaignLog> CampaignLog::deserialize(const std::string& payload,
+                                                    std::string* error) {
+  // The CRC is checked up front: a frame that fails it is corrupt, and any
+  // decode error past this point would only describe a symptom of that.
+  if (payload.size() < 4 * 8) {
+    return fail(error, "campaign log truncated: " +
+                           std::to_string(payload.size()) +
+                           " bytes is smaller than the fixed header");
+  }
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(payload.data());
+  const std::size_t body = payload.size() - 8;
+  std::uint64_t stored_crc = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored_crc |= static_cast<std::uint64_t>(bytes[body + i]) << (8 * i);
+  }
+  const std::uint32_t actual_crc = util::crc32(bytes, body);
   try {
-    util::BinaryReader reader(
-        std::vector<std::uint8_t>(payload.begin(), payload.end()));
-    if (reader.get_u64() != kMagic) return std::nullopt;
-    if (reader.get_u64() != kVersion) return std::nullopt;
+    util::BinaryReader reader(std::vector<std::uint8_t>(bytes, bytes + body));
+    if (reader.get_u64() != kMagic) {
+      return fail(error, "campaign log has bad magic (not an FTB-CLOG file)");
+    }
+    const std::uint64_t version = reader.get_u64();
+    if (version != kVersion) {
+      return fail(error, "campaign log has unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersion) + ")");
+    }
+    if (stored_crc != actual_crc) {
+      return fail(error,
+                  "campaign log CRC mismatch (file is corrupt or was "
+                  "truncated mid-write)");
+    }
     CampaignLog log(reader.get_string());
     const std::uint64_t count = reader.get_u64();
     log.records_.reserve(count);
@@ -81,18 +118,26 @@ std::optional<CampaignLog> CampaignLog::deserialize(
       ExperimentRecord record;
       record.id = reader.get_u64();
       const std::uint64_t raw = reader.get_u64();
-      if (raw > static_cast<std::uint64_t>(fi::Outcome::kCrash)) {
-        return std::nullopt;
+      if (raw > static_cast<std::uint64_t>(fi::Outcome::kHang)) {
+        return fail(error, "campaign log record " + std::to_string(i) +
+                               " has invalid outcome " + std::to_string(raw));
       }
       record.result.outcome = static_cast<fi::Outcome>(raw);
+      const std::uint64_t reason = reader.get_u64();
+      if (reason > static_cast<std::uint64_t>(fi::CrashReason::kAbnormalExit)) {
+        return fail(error, "campaign log record " + std::to_string(i) +
+                               " has invalid crash reason " +
+                               std::to_string(reason));
+      }
+      record.result.crash_reason = static_cast<fi::CrashReason>(reason);
       record.result.injected_error = reader.get_f64();
       record.result.output_error = reader.get_f64();
       record.result.crash_site = reader.get_u64();
       log.records_.push_back(record);
     }
     return log;
-  } catch (const std::runtime_error&) {
-    return std::nullopt;
+  } catch (const std::runtime_error& e) {
+    return fail(error, std::string("campaign log truncated: ") + e.what());
   }
 }
 
@@ -110,12 +155,16 @@ bool CampaignLog::save(const std::string& path) const {
   return !ec;
 }
 
-std::optional<CampaignLog> CampaignLog::load(const std::string& path) {
+std::optional<CampaignLog> CampaignLog::load(const std::string& path,
+                                             std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return fail(error, "cannot open campaign log '" + path + "'");
   const std::string payload{std::istreambuf_iterator<char>(in),
                             std::istreambuf_iterator<char>()};
-  return deserialize(payload);
+  std::string detail;
+  auto log = deserialize(payload, &detail);
+  if (!log) return fail(error, "'" + path + "': " + detail);
+  return log;
 }
 
 boundary::FaultToleranceBoundary boundary_from_log(

@@ -51,11 +51,18 @@ class CampaignLog {
   /// Experiment ids in the log, sorted (after dedupe()).
   std::vector<ExperimentId> ids() const;
 
-  /// Binary (de)serialisation.
+  /// Binary (de)serialisation.  Format v2 frames the payload with a magic
+  /// number, a version word and a trailing CRC-32 of everything before it,
+  /// so torn writes and bit rot are detected instead of silently yielding a
+  /// short or garbled log.  On failure deserialize()/load() return nullopt
+  /// and, when `error` is non-null, store a one-line diagnosis there
+  /// (bad magic / unsupported version / CRC mismatch / truncated / ...).
   std::string serialize() const;
-  static std::optional<CampaignLog> deserialize(const std::string& payload);
+  static std::optional<CampaignLog> deserialize(const std::string& payload,
+                                                std::string* error = nullptr);
   bool save(const std::string& path) const;
-  static std::optional<CampaignLog> load(const std::string& path);
+  static std::optional<CampaignLog> load(const std::string& path,
+                                         std::string* error = nullptr);
 
  private:
   std::string config_key_;

@@ -23,11 +23,15 @@ ExperimentResult classify(const Program& program, const GoldenRun& golden,
   result.injected_error = tracer.injected_error();
   if (!step_count_matches(tracer, golden)) {
     result.outcome = Outcome::kCrash;
+    result.crash_reason = CrashReason::kControlFlow;
     result.output_error = std::numeric_limits<double>::infinity();
     return result;
   }
   result.output_error = OutputComparator::linf_distance(output, golden.output);
   result.outcome = program.comparator().classify(output, golden.output);
+  if (result.outcome == Outcome::kCrash) {
+    result.crash_reason = CrashReason::kNonFinite;
+  }
   return result;
 }
 
@@ -35,6 +39,7 @@ ExperimentResult crash_result(const Tracer& tracer,
                                std::uint64_t crash_site) noexcept {
   ExperimentResult result;
   result.outcome = Outcome::kCrash;
+  result.crash_reason = CrashReason::kNonFinite;
   result.injected_error = tracer.injected_error();
   result.output_error = std::numeric_limits<double>::infinity();
   result.crash_site = crash_site;

@@ -16,12 +16,16 @@ ExperimentResult classify_lowmem(const Program& program,
   result.injected_error = tracer.injected_error();
   if (tracer.steps() != golden.sites()) {
     result.outcome = Outcome::kCrash;
+    result.crash_reason = CrashReason::kControlFlow;
     result.output_error = std::numeric_limits<double>::infinity();
     return result;
   }
   result.output_error =
       OutputComparator::linf_distance(output, golden.output());
   result.outcome = program.comparator().classify(output, golden.output());
+  if (result.outcome == Outcome::kCrash) {
+    result.crash_reason = CrashReason::kNonFinite;
+  }
   return result;
 }
 
@@ -29,6 +33,7 @@ ExperimentResult crash_result_lowmem(const Tracer& tracer,
                                       std::uint64_t crash_site) noexcept {
   ExperimentResult result;
   result.outcome = Outcome::kCrash;
+  result.crash_reason = CrashReason::kNonFinite;
   result.injected_error = tracer.injected_error();
   result.output_error = std::numeric_limits<double>::infinity();
   result.crash_site = crash_site;
@@ -98,7 +103,9 @@ ExperimentResult run_injected_compare_lowmem(
     // Decoder exhausted: the faulty run executed more dynamic instructions
     // than the golden one -- diverged control flow, classified as Crash
     // (same rule as the step-count check in the standard executor).
-    return crash_result_lowmem(tracer, tracer.steps());
+    ExperimentResult result = crash_result_lowmem(tracer, tracer.steps());
+    result.crash_reason = CrashReason::kControlFlow;
+    return result;
   }
 }
 

@@ -14,8 +14,54 @@ const char* to_string(Outcome outcome) noexcept {
       return "SDC";
     case Outcome::kCrash:
       return "Crash";
+    case Outcome::kHang:
+      return "Hang";
   }
   return "?";
+}
+
+const char* to_string(CrashReason reason) noexcept {
+  switch (reason) {
+    case CrashReason::kNone:
+      return "none";
+    case CrashReason::kNonFinite:
+      return "non-finite";
+    case CrashReason::kControlFlow:
+      return "control-flow";
+    case CrashReason::kSigSegv:
+      return "SIGSEGV";
+    case CrashReason::kSigFpe:
+      return "SIGFPE";
+    case CrashReason::kSigAbrt:
+      return "SIGABRT";
+    case CrashReason::kSigBus:
+      return "SIGBUS";
+    case CrashReason::kSigIll:
+      return "SIGILL";
+    case CrashReason::kOtherSignal:
+      return "signal";
+    case CrashReason::kAbnormalExit:
+      return "abnormal-exit";
+  }
+  return "?";
+}
+
+bool is_isolation_reason(CrashReason reason) noexcept {
+  switch (reason) {
+    case CrashReason::kSigSegv:
+    case CrashReason::kSigFpe:
+    case CrashReason::kSigAbrt:
+    case CrashReason::kSigBus:
+    case CrashReason::kSigIll:
+    case CrashReason::kOtherSignal:
+    case CrashReason::kAbnormalExit:
+      return true;
+    case CrashReason::kNone:
+    case CrashReason::kNonFinite:
+    case CrashReason::kControlFlow:
+      return false;
+  }
+  return false;
 }
 
 double OutputComparator::linf_distance(std::span<const double> output,

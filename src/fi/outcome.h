@@ -12,10 +12,33 @@ namespace ftb::fi {
 enum class Outcome : std::uint8_t {
   kMasked = 0,  // acceptable output (within tolerance of the golden run)
   kSdc = 1,     // silently wrong output
-  kCrash = 2,   // "loud" failure: NaN/Inf in the injection, trace, or output
+  kCrash = 2,   // "loud" failure: NaN/Inf, fatal signal, or diverged run
+  kHang = 3,    // watchdog killed a runaway experiment (sandbox only)
 };
 
 const char* to_string(Outcome outcome) noexcept;
+
+/// Why a Crash (or Hang) experiment terminated.  The in-process executor can
+/// only observe the first two; the remaining reasons require the sandboxed
+/// executor (fi/sandbox.h), which classifies real child-process deaths.
+enum class CrashReason : std::uint8_t {
+  kNone = 0,          // not a crash (Masked/SDC), or a Hang (no crash signal)
+  kNonFinite = 1,     // NaN/Inf produced in the trace or output (CrashSignal)
+  kControlFlow = 2,   // dynamic-instruction count diverged from the golden run
+  kSigSegv = 3,       // child died with SIGSEGV
+  kSigFpe = 4,        // child died with SIGFPE
+  kSigAbrt = 5,       // child died with SIGABRT
+  kSigBus = 6,        // child died with SIGBUS
+  kSigIll = 7,        // child died with SIGILL
+  kOtherSignal = 8,   // child died with some other fatal signal
+  kAbnormalExit = 9,  // child exited nonzero without finishing the experiment
+};
+
+const char* to_string(CrashReason reason) noexcept;
+
+/// True for reasons only the process-isolation layer can produce (a child
+/// that was killed by a signal or exited abnormally).
+bool is_isolation_reason(CrashReason reason) noexcept;
 
 /// Acceptance test: L-inf(output - golden) <= atol + rtol * L-inf(golden).
 /// This is the paper's "acceptable tolerance level defined by the domain
@@ -40,6 +63,7 @@ struct OutputComparator {
 /// A single fault-injection experiment's result record.
 struct ExperimentResult {
   Outcome outcome = Outcome::kMasked;
+  CrashReason crash_reason = CrashReason::kNone;  // set for Crash outcomes
   double injected_error = 0.0;  // |flip(x) - x| at the injection site
   double output_error = 0.0;    // L-inf distance of final outputs
 

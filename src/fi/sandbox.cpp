@@ -1,0 +1,354 @@
+#include "fi/sandbox.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FTB_SANDBOX_POSIX 1
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define FTB_SANDBOX_POSIX 0
+#endif
+
+namespace ftb::fi {
+
+#if FTB_SANDBOX_POSIX
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ExperimentResult isolation_result(Outcome outcome, CrashReason reason) {
+  ExperimentResult result;
+  result.outcome = outcome;
+  result.crash_reason = reason;
+  result.injected_error = kInf;
+  result.output_error = kInf;
+  result.crash_site = 0;
+  return result;
+}
+
+// Plain-old-data mirror of ExperimentResult living in the shared block.
+struct ResultSlot {
+  std::uint8_t outcome = 0;
+  std::uint8_t crash_reason = 0;
+  double injected_error = 0.0;
+  double output_error = 0.0;
+  std::uint64_t crash_site = 0;
+};
+
+// Progress header.  `started` holds 1 + the index of the experiment the
+// child is currently executing; `done` the count of completed experiments.
+// Both are absolute over the whole batch.  Lock-free atomics are required
+// for cross-process progress reads; binary64 platforms all satisfy this.
+struct ShmHeader {
+  std::atomic<std::uint64_t> started;
+  std::atomic<std::uint64_t> done;
+};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "sandbox progress counters must be lock-free");
+
+struct SharedBlock {
+  ShmHeader* header = nullptr;
+  ResultSlot* slots = nullptr;
+  void* base = nullptr;
+  std::size_t bytes = 0;
+
+  bool map(std::size_t count) {
+    bytes = sizeof(ShmHeader) + count * sizeof(ResultSlot);
+    base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) {
+      base = nullptr;
+      return false;
+    }
+    header = new (base) ShmHeader{};
+    slots = reinterpret_cast<ResultSlot*>(static_cast<char*>(base) +
+                                          sizeof(ShmHeader));
+    return true;
+  }
+
+  ~SharedBlock() {
+    if (base != nullptr) ::munmap(base, bytes);
+  }
+};
+
+void encode_slot(ResultSlot& slot, const ExperimentResult& result) {
+  slot.outcome = static_cast<std::uint8_t>(result.outcome);
+  slot.crash_reason = static_cast<std::uint8_t>(result.crash_reason);
+  slot.injected_error = result.injected_error;
+  slot.output_error = result.output_error;
+  slot.crash_site = result.crash_site;
+}
+
+ExperimentResult decode_slot(const ResultSlot& slot) {
+  ExperimentResult result;
+  result.outcome = static_cast<Outcome>(slot.outcome);
+  result.crash_reason = static_cast<CrashReason>(slot.crash_reason);
+  result.injected_error = slot.injected_error;
+  result.output_error = slot.output_error;
+  result.crash_site = slot.crash_site;
+  return result;
+}
+
+CrashReason crash_reason_from_signal(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV:
+      return CrashReason::kSigSegv;
+    case SIGFPE:
+      return CrashReason::kSigFpe;
+    case SIGABRT:
+      return CrashReason::kSigAbrt;
+    case SIGBUS:
+      return CrashReason::kSigBus;
+    case SIGILL:
+      return CrashReason::kSigIll;
+    default:
+      return CrashReason::kOtherSignal;
+  }
+}
+
+/// Child body: run experiments [next, count) sequentially, publishing each
+/// result before advancing.  Never returns.
+[[noreturn]] void child_run(const Program& program, const GoldenRun& golden,
+                            std::span<const Injection> injections,
+                            SharedBlock& block, std::size_t next) {
+  for (std::size_t i = next; i < injections.size(); ++i) {
+    block.header->started.store(i + 1, std::memory_order_release);
+    try {
+      const ExperimentResult result =
+          run_injected(program, golden, injections[i]);
+      encode_slot(block.slots[i], result);
+    } catch (...) {
+      // An exception other than the handled CrashSignal (e.g. bad_alloc
+      // from a corrupted allocation size): die loudly, the parent converts
+      // this into a kAbnormalExit crash for experiment i.
+      ::_exit(2);
+    }
+    block.header->done.store(i + 1, std::memory_order_release);
+  }
+  ::_exit(0);
+}
+
+enum class ChildEnd { kFinished, kKilledBySignal, kTimedOut, kExitedNonZero };
+
+struct ChildOutcome {
+  ChildEnd end = ChildEnd::kFinished;
+  int signal = 0;
+  std::uint64_t started = 0;  // header snapshot after death
+  std::uint64_t done = 0;
+};
+
+/// Supervises one child until it exits, is killed by a fault, or trips the
+/// watchdog.  Progress is "the child started or finished an experiment".
+ChildOutcome supervise(pid_t pid, const SharedBlock& block,
+                       std::size_t batch_size, const SandboxOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  auto last_progress = Clock::now();
+  std::uint64_t last_seen =
+      block.header->started.load(std::memory_order_acquire) +
+      block.header->done.load(std::memory_order_acquire);
+
+  ChildOutcome outcome;
+  for (;;) {
+    int status = 0;
+    const pid_t waited = ::waitpid(pid, &status, WNOHANG);
+    if (waited == pid) {
+      outcome.started = block.header->started.load(std::memory_order_acquire);
+      outcome.done = block.header->done.load(std::memory_order_acquire);
+      if (WIFSIGNALED(status)) {
+        outcome.end = ChildEnd::kKilledBySignal;
+        outcome.signal = WTERMSIG(status);
+      } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        outcome.end = ChildEnd::kExitedNonZero;
+      } else {
+        outcome.end = ChildEnd::kFinished;
+      }
+      return outcome;
+    }
+
+    const std::uint64_t done =
+        block.header->done.load(std::memory_order_acquire);
+    const std::uint64_t seen =
+        block.header->started.load(std::memory_order_acquire) + done;
+    if (seen != last_seen) {
+      last_seen = seen;
+      last_progress = Clock::now();
+    }
+    if (done >= batch_size) {
+      // All results published; let the child finish exiting.
+      ::waitpid(pid, &status, 0);
+      outcome.started = block.header->started.load(std::memory_order_acquire);
+      outcome.done = done;
+      outcome.end = ChildEnd::kFinished;
+      return outcome;
+    }
+    if (options.timeout_ms != 0 &&
+        Clock::now() - last_progress >
+            std::chrono::milliseconds(options.timeout_ms)) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      outcome.started = block.header->started.load(std::memory_order_acquire);
+      outcome.done = block.header->done.load(std::memory_order_acquire);
+      outcome.end = ChildEnd::kTimedOut;
+      return outcome;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options.poll_interval_us));
+  }
+}
+
+}  // namespace
+
+bool sandbox_supported() noexcept { return true; }
+
+std::vector<ExperimentResult> run_injected_sandboxed(
+    const Program& program, const GoldenRun& golden,
+    std::span<const Injection> injections, const SandboxOptions& options,
+    SandboxStats* stats) {
+  SandboxStats local_stats;
+  SandboxStats& s = stats != nullptr ? *stats : local_stats;
+  s = SandboxStats{};
+
+  std::vector<ExperimentResult> results(injections.size());
+  if (injections.empty()) return results;
+
+  const std::size_t count = injections.size();
+  SharedBlock block;
+
+  // The shared block and each fork are retried with exponential backoff;
+  // both fail only under transient resource pressure.
+  auto with_retries = [&](auto&& attempt) -> bool {
+    std::uint32_t backoff_ms = options.retry_backoff_ms;
+    for (int tries = 0;; ++tries) {
+      if (attempt()) return true;
+      if (tries >= options.max_spawn_retries) return false;
+      ++s.spawn_retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+  };
+
+  auto fallback_from = [&](std::size_t next) {
+    if (!options.allow_in_process_fallback) {
+      throw std::runtime_error(
+          "sandbox: could not isolate experiments and in-process fallback "
+          "is disabled");
+    }
+    for (std::size_t i = next; i < count; ++i) {
+      results[i] = run_injected(program, golden, injections[i]);
+      ++s.fallback_experiments;
+    }
+  };
+
+  if (!with_retries([&] { return block.map(count); })) {
+    fallback_from(0);
+    return results;
+  }
+
+  std::size_t next = 0;
+  while (next < count) {
+    block.header->started.store(next, std::memory_order_release);
+    block.header->done.store(next, std::memory_order_release);
+
+    pid_t pid = -1;
+    const bool spawned = with_retries([&] {
+      pid = ::fork();
+      return pid >= 0;
+    });
+    if (!spawned) {
+      fallback_from(next);
+      return results;
+    }
+    if (pid == 0) {
+      child_run(program, golden, injections, block, next);  // never returns
+    }
+    ++s.children_spawned;
+
+    const ChildOutcome child = supervise(pid, block, count, options);
+
+    // Results completed by this child are valid regardless of how it died.
+    for (std::size_t i = next; i < child.done && i < count; ++i) {
+      results[i] = decode_slot(block.slots[i]);
+    }
+    next = child.done;
+
+    if (child.end == ChildEnd::kFinished) {
+      if (child.done >= count) break;
+      // Exited cleanly mid-batch: should not happen; treat the next
+      // experiment as the culprit so the loop always makes progress.
+      results[next] = isolation_result(Outcome::kCrash,
+                                       CrashReason::kAbnormalExit);
+      ++s.abnormal_exits;
+      ++next;
+      continue;
+    }
+
+    // Abnormal death.  The culprit is the experiment the child had started
+    // but not finished; if it died *between* experiments (started == done),
+    // the environment -- not an experiment -- is at fault.
+    const bool has_culprit = child.started > child.done;
+    if (!has_culprit) {
+      fallback_from(next);
+      return results;
+    }
+    const std::size_t culprit = static_cast<std::size_t>(child.started - 1);
+    switch (child.end) {
+      case ChildEnd::kTimedOut:
+        results[culprit] =
+            isolation_result(Outcome::kHang, CrashReason::kNone);
+        ++s.watchdog_kills;
+        break;
+      case ChildEnd::kKilledBySignal:
+        results[culprit] = isolation_result(
+            Outcome::kCrash, crash_reason_from_signal(child.signal));
+        ++s.signal_deaths;
+        break;
+      case ChildEnd::kExitedNonZero:
+      case ChildEnd::kFinished:  // unreachable here
+        results[culprit] =
+            isolation_result(Outcome::kCrash, CrashReason::kAbnormalExit);
+        ++s.abnormal_exits;
+        break;
+    }
+    next = culprit + 1;
+  }
+  return results;
+}
+
+#else  // !FTB_SANDBOX_POSIX
+
+bool sandbox_supported() noexcept { return false; }
+
+std::vector<ExperimentResult> run_injected_sandboxed(
+    const Program& program, const GoldenRun& golden,
+    std::span<const Injection> injections, const SandboxOptions& options,
+    SandboxStats* stats) {
+  SandboxStats local_stats;
+  SandboxStats& s = stats != nullptr ? *stats : local_stats;
+  s = SandboxStats{};
+  if (!options.allow_in_process_fallback) {
+    throw std::runtime_error(
+        "sandbox: process isolation is unavailable on this platform and "
+        "in-process fallback is disabled");
+  }
+  std::vector<ExperimentResult> results(injections.size());
+  for (std::size_t i = 0; i < injections.size(); ++i) {
+    results[i] = run_injected(program, golden, injections[i]);
+    ++s.fallback_experiments;
+  }
+  return results;
+}
+
+#endif  // FTB_SANDBOX_POSIX
+
+}  // namespace ftb::fi

@@ -1,0 +1,150 @@
+#include "kernels/hazard.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ftb::kernels {
+
+namespace {
+
+// Defined double -> size_t conversion that preserves "hugeness": negatives
+// and NaN collapse to 0, anything above ~9e18 clamps just below 2^63 so the
+// cast stays in range.  A corrupted exponent therefore becomes an enormous
+// (but well-defined) trip count or array offset.
+std::size_t fold_index(double v) noexcept {
+  if (!(v >= 0.0)) return 0;
+  constexpr double kCap = 9.0e18;
+  if (v >= kCap) return static_cast<std::size_t>(kCap);
+  return static_cast<std::size_t>(v);
+}
+
+// Defined double -> long conversion for the divisor hazard; clamps to a
+// safe range so LONG_MIN / -1 overflow cannot occur.  Values in (-1, 1)
+// collapse to 0 -- the SIGFPE trigger.
+long fold_long(double v) noexcept {
+  if (std::isnan(v)) return 0;
+  constexpr double kCap = 1.0e15;
+  if (v >= kCap) return static_cast<long>(kCap);
+  if (v <= -kCap) return static_cast<long>(-kCap);
+  return static_cast<long>(v);
+}
+
+}  // namespace
+
+std::string HazardConfig::key() const {
+  return util::format("hazard:n=%zu:rounds=%zu:seed=%llu:atol=%g:rtol=%g", n,
+                      rounds, static_cast<unsigned long long>(seed), atol,
+                      rtol);
+}
+
+HazardProgram::HazardProgram(HazardConfig config) : config_(config) {}
+
+// Dynamic-instruction layout per round r (after the n setup fills):
+//   base(r) = n + r * (n + 4)
+//   base + 0             trip count control value
+//   base + 1 .. base + n traced accumulations inside the trip loop
+//   base + n + 1         offset control value
+//   base + n + 2         divisor control value
+//   base + n + 3         round output write
+std::uint64_t HazardProgram::trip_site(std::size_t round) const noexcept {
+  return config_.n + round * (config_.n + 4);
+}
+std::uint64_t HazardProgram::offset_site(std::size_t round) const noexcept {
+  return trip_site(round) + config_.n + 1;
+}
+std::uint64_t HazardProgram::divisor_site(std::size_t round) const noexcept {
+  return trip_site(round) + config_.n + 2;
+}
+
+std::vector<double> HazardProgram::run(fi::Tracer& t) const {
+  const std::size_t n = config_.n;
+  const std::size_t mask = n - 1;  // n is a power of two
+  util::Rng rng(config_.seed);
+
+  t.phase("setup");
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = t.step(rng.next_double(0.5, 1.5));
+  }
+
+  t.phase("rounds");
+  std::vector<double> out(n, 0.0);
+  const double* raw = data.data();
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    // Hazard 1: the loop trip count is a traced value.  Golden: exactly n
+    // (a power of two, so low-mantissa flips cannot move the floor).  An
+    // exponent-up flip makes ~9e18 trips -- a genuine hang; small shifts
+    // change the dynamic-instruction count -- a control-flow crash.
+    const double trips_f = t.step(static_cast<double>(n));
+    const std::size_t trips = fold_index(trips_f);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < trips; ++k) {
+      acc = t.step(acc + raw[k & mask] * 0.25);
+    }
+
+    // Hazard 2: a raw, unchecked array offset from a traced value.  Golden:
+    // a small in-range integer.  An exponent-up flip reads ~9e18 doubles
+    // past the allocation -- SIGSEGV territory.
+    const double offset_f =
+        t.step(static_cast<double>((r * 5) & mask));
+    const std::size_t offset = fold_index(offset_f);
+    acc += raw[offset];
+
+    // Hazard 3: an integer divisor from a traced value.  Golden: 8.0.  A
+    // flip that shrinks the exponent collapses it into (-1, 1) -> 0 ->
+    // integer division by zero -> SIGFPE.
+    const double divisor_f = t.step(8.0);
+    const long divisor = fold_long(divisor_f);
+    const long quotient = static_cast<long>(1000003 + r) / divisor;
+
+    out[r & mask] =
+        t.step(acc + static_cast<double>(quotient) * 1.0e-7);
+  }
+
+  t.phase("output");
+  std::vector<double> result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result[i] = t.step(out[i] + data[i]);
+  }
+  return result;
+}
+
+std::string HazardSpinConfig::key() const {
+  return util::format("hazard_spin:n=%zu:target=%g:guard=%llu:atol=%g:rtol=%g",
+                      n, target, static_cast<unsigned long long>(spin_guard),
+                      atol, rtol);
+}
+
+HazardSpinProgram::HazardSpinProgram(HazardSpinConfig config)
+    : config_(config) {}
+
+std::vector<double> HazardSpinProgram::run(fi::Tracer& t) const {
+  t.phase("setup");
+  double residual = t.step(1.0);        // site 0
+  const double decay = t.step(0.5);     // site kDecaySite: exponent LSB flip
+                                        // turns this into exactly 1.0
+
+  t.phase("spin");
+  std::uint64_t spins = 0;
+  while (residual > config_.target) {
+    residual = t.step(residual * decay);
+    if (++spins > config_.spin_guard) {
+      // Unreachable in practice (the guard is astronomically large); turns
+      // an in-process fallback hang into a loud non-finite crash instead of
+      // spinning until the heat death of the universe.
+      residual = t.step(std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+
+  t.phase("output");
+  std::vector<double> out(config_.n);
+  for (std::size_t i = 0; i < config_.n; ++i) {
+    out[i] = t.step(residual * static_cast<double>(i + 1));
+  }
+  return out;
+}
+
+}  // namespace ftb::kernels

@@ -7,6 +7,7 @@
 #include "kernels/cg.h"
 #include "kernels/fft.h"
 #include "kernels/gemm.h"
+#include "kernels/hazard.h"
 #include "kernels/jacobi.h"
 #include "kernels/lu.h"
 #include "kernels/spmv.h"
@@ -34,7 +35,8 @@ const char* to_string(Preset preset) noexcept {
 }
 
 std::vector<std::string> program_names() {
-  return {"cg", "lu", "fft", "stencil2d", "gemm", "jacobi", "spmv", "daxpy", "matvec"};
+  return {"cg",   "lu",     "fft",  "stencil2d", "gemm",   "jacobi",
+          "spmv", "daxpy",  "matvec", "hazard",  "hazard_spin"};
 }
 
 fi::ProgramPtr make_program(const std::string& name, Preset preset) {
@@ -198,6 +200,42 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
         break;
     }
     return std::make_unique<MatvecProgram>(config);
+  }
+  if (name == "hazard") {
+    HazardConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.n = 8;
+        config.rounds = 2;
+        break;
+      case Preset::kDefault:
+        config.n = 16;
+        config.rounds = 2;
+        break;
+      case Preset::kPaper:
+        config.n = 32;
+        config.rounds = 4;
+        break;
+    }
+    return std::make_unique<HazardProgram>(config);
+  }
+  if (name == "hazard_spin") {
+    HazardSpinConfig config;
+    switch (preset) {
+      case Preset::kTiny:
+        config.n = 4;
+        config.target = 1e-4;
+        break;
+      case Preset::kDefault:
+        config.n = 8;
+        config.target = 1e-6;
+        break;
+      case Preset::kPaper:
+        config.n = 16;
+        config.target = 1e-9;
+        break;
+    }
+    return std::make_unique<HazardSpinProgram>(config);
   }
   throw std::invalid_argument("unknown program: " + name);
 }

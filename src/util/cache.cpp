@@ -101,6 +101,22 @@ std::uint64_t fnv1a(const std::string& text) noexcept {
   return hash;
 }
 
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
+  // Nibble-wise table: 16 entries, computed once, no 1 KB static table.
+  static constexpr std::uint32_t kTable[16] = {
+      0x00000000u, 0x1db71064u, 0x3b6e20c8u, 0x26d930acu,
+      0x76dc4190u, 0x6b6b51f4u, 0x4db26158u, 0x5005713cu,
+      0xedb88320u, 0xf00f9344u, 0xd6d6a3e8u, 0xcb61b38cu,
+      0x9b64c2b0u, 0x86d3d2d4u, 0xa00ae278u, 0xbdbdf21cu};
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    crc = (crc >> 4) ^ kTable[crc & 0x0f];
+    crc = (crc >> 4) ^ kTable[crc & 0x0f];
+  }
+  return crc ^ 0xffffffffu;
+}
+
 std::string cache_dir() {
   const char* env = std::getenv("FTB_CACHE_DIR");
   std::string dir = env ? env : ".ftb_cache";

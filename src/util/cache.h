@@ -49,6 +49,11 @@ class BinaryReader {
 /// FNV-1a of a string; used to derive cache file names from config keys.
 std::uint64_t fnv1a(const std::string& text) noexcept;
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range; used to
+/// guard persistent journals (campaign logs) against torn or bit-rotted
+/// writes.  crc32(...) of an empty range is 0.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept;
+
 /// The active cache directory, or empty if caching is disabled.
 std::string cache_dir();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 namespace ftb::util {
 
@@ -36,6 +37,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr rethrow = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(rethrow);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -73,9 +79,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (thrown && !first_exception_) first_exception_ = thrown;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -25,17 +26,23 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task; tasks may not throw (campaigns report failures through
-  /// their result records, not exceptions).
+  /// Enqueues a task.  Tasks should not throw (campaigns report failures
+  /// through their result records), but an exception that does escape is
+  /// caught rather than terminating the process: the *first* one is captured
+  /// and rethrown from the next wait_idle() call, later ones are dropped.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished.  If any task threw
+  /// since the last wait_idle(), rethrows the first captured exception
+  /// (after the queue has drained, so the pool stays usable).
   void wait_idle();
 
   /// Runs body(i) for i in [begin, end), split into `thread_count()*4`
   /// contiguous blocks, and blocks until done.  body must be thread-safe
   /// across distinct i.  Runs inline when the range is tiny or the pool has
-  /// one thread (keeps single-core runs overhead-free).
+  /// one thread (keeps single-core runs overhead-free).  A throwing body
+  /// surfaces via the wait_idle() rethrow (or directly, when inline);
+  /// remaining indices in other blocks may or may not have run.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
@@ -48,6 +55,7 @@ class ThreadPool {
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_exception_;  // first task throw since wait_idle
   bool stop_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "campaign/log.h"
 
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -54,6 +55,76 @@ TEST(CampaignLog, CorruptPayloadRejected) {
   EXPECT_FALSE(CampaignLog::deserialize(payload.substr(0, 12)).has_value());
   payload[0] ^= 0x40;
   EXPECT_FALSE(CampaignLog::deserialize(payload).has_value());
+}
+
+TEST(CampaignLog, LoadErrorsAreDiagnosed) {
+  Prepared p("daxpy");
+  const std::string payload = make_log(p, 11, 10).serialize();
+  std::string error;
+
+  // Truncated mid-write: drop the tail (including the CRC frame).
+  EXPECT_FALSE(
+      CampaignLog::deserialize(payload.substr(0, payload.size() / 2), &error)
+          .has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  // Single bit of rot in the record area: caught by the CRC.
+  std::string rotted = payload;
+  rotted[payload.size() / 2] ^= 0x01;
+  EXPECT_FALSE(CampaignLog::deserialize(rotted, &error).has_value());
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+
+  // Wrong magic: not mistaken for corruption.
+  std::string not_a_log(payload.size(), 'x');
+  EXPECT_FALSE(CampaignLog::deserialize(not_a_log, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  // Wrong version word (byte 8 is the version's low byte).
+  std::string wrong_version = payload;
+  wrong_version[8] ^= 0x70;
+  EXPECT_FALSE(CampaignLog::deserialize(wrong_version, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(CampaignLog, TruncatedFileReportsPath) {
+  Prepared p("daxpy");
+  const CampaignLog log = make_log(p, 12, 20);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ftb_trunc_" + std::to_string(::getpid()) + ".bin");
+  const std::string payload = log.serialize();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size() - 16));
+  }
+  std::string error;
+  EXPECT_FALSE(CampaignLog::load(path.string(), &error).has_value());
+  EXPECT_NE(error.find(path.string()), std::string::npos) << error;
+  std::filesystem::remove(path);
+}
+
+TEST(CampaignLog, CrashReasonSurvivesRoundTrip) {
+  CampaignLog log("reason-round-trip");
+  ExperimentRecord record;
+  record.id = 42;
+  record.result.outcome = fi::Outcome::kCrash;
+  record.result.crash_reason = fi::CrashReason::kSigSegv;
+  record.result.injected_error = 1.5;
+  record.result.output_error = 2.5;
+  record.result.crash_site = 7;
+  ExperimentRecord hang;
+  hang.id = 43;
+  hang.result.outcome = fi::Outcome::kHang;
+  const ExperimentRecord batch[] = {record, hang};
+  log.append(batch);
+
+  const auto restored = CampaignLog::deserialize(log.serialize());
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->records()[0].result.crash_reason,
+            fi::CrashReason::kSigSegv);
+  EXPECT_EQ(restored->records()[1].result.outcome, fi::Outcome::kHang);
+  EXPECT_EQ(restored->records()[1].result.crash_reason, fi::CrashReason::kNone);
 }
 
 TEST(CampaignLog, FileRoundTrip) {

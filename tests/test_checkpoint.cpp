@@ -1,0 +1,207 @@
+#include "campaign/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "campaign/sampler.h"
+#include "kernels/hazard.h"
+#include "kernels/registry.h"
+#include "util/rng.h"
+
+namespace ftb::campaign {
+namespace {
+
+std::string temp_journal(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("ftb_ckpt_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+           ".bin"))
+      .string();
+}
+
+struct Prepared {
+  explicit Prepared(const char* name)
+      : program(kernels::make_program(name, kernels::Preset::kTiny)),
+        golden(fi::run_golden(*program)),
+        pool(2) {}
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  util::ThreadPool pool;
+};
+
+TEST(Checkpoint, FreshRunJournalsEverything) {
+  Prepared p("daxpy");
+  util::Rng rng(31);
+  const std::vector<ExperimentId> ids =
+      sample_uniform(rng, p.golden.sample_space_size(), 90);
+
+  CheckpointOptions options;
+  options.path = temp_journal("fresh");
+  options.flush_every = 25;
+  options.pool = &p.pool;
+  const CheckpointRunResult run =
+      run_campaign_checkpointed(*p.program, p.golden, ids, options);
+
+  EXPECT_FALSE(run.resumed);
+  EXPECT_EQ(run.skipped, 0u);
+  EXPECT_EQ(run.executed, ids.size());
+  // ceil(90/25) = 4 chunk flushes + 1 final flush.
+  EXPECT_EQ(run.flushes, 5u);
+
+  std::vector<ExperimentId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(run.log.ids(), sorted);
+
+  // The journal on disk holds the same final state.
+  const auto reloaded = CampaignLog::load(options.path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->ids(), sorted);
+  std::filesystem::remove(options.path);
+}
+
+TEST(Checkpoint, ResumedRunMatchesOneShot) {
+  // The ISSUE acceptance scenario: interrupt a campaign after a partial
+  // run, resume it, and the final journal must equal the uninterrupted
+  // one after dedupe.
+  Prepared p("stencil2d");
+  util::Rng rng(32);
+  const std::vector<ExperimentId> ids =
+      sample_uniform(rng, p.golden.sample_space_size(), 120);
+
+  // Uninterrupted reference run.
+  CheckpointOptions reference;
+  reference.path = temp_journal("oneshot");
+  reference.flush_every = 1000;
+  reference.pool = &p.pool;
+  const CheckpointRunResult one_shot =
+      run_campaign_checkpointed(*p.program, p.golden, ids, reference);
+
+  // "Interrupted" run: only the first half of the ids is attempted, so the
+  // journal ends mid-campaign exactly as a killed process would leave it
+  // (the journal is flushed after every chunk).
+  CheckpointOptions options;
+  options.path = temp_journal("resume");
+  options.flush_every = 30;
+  options.pool = &p.pool;
+  const std::span<const ExperimentId> first_half(ids.data(), 60);
+  const CheckpointRunResult partial =
+      run_campaign_checkpointed(*p.program, p.golden, first_half, options);
+  EXPECT_FALSE(partial.resumed);
+  EXPECT_EQ(partial.executed, 60u);
+
+  // Resume with the full id set: only the remainder executes.
+  const CheckpointRunResult resumed =
+      run_campaign_checkpointed(*p.program, p.golden, ids, options);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.skipped + resumed.executed, ids.size());
+  EXPECT_LE(resumed.executed, 60u);  // nothing from the first half re-ran
+
+  ASSERT_EQ(resumed.log.size(), one_shot.log.size());
+  for (std::size_t i = 0; i < one_shot.log.size(); ++i) {
+    const ExperimentRecord& a = one_shot.log.records()[i];
+    const ExperimentRecord& b = resumed.log.records()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.result.outcome, b.result.outcome) << a.id;
+    EXPECT_EQ(a.result.crash_reason, b.result.crash_reason) << a.id;
+    EXPECT_DOUBLE_EQ(a.result.injected_error, b.result.injected_error) << a.id;
+    EXPECT_DOUBLE_EQ(a.result.output_error, b.result.output_error) << a.id;
+  }
+  std::filesystem::remove(reference.path);
+  std::filesystem::remove(options.path);
+}
+
+TEST(Checkpoint, SandboxedChunksWork) {
+  Prepared p("daxpy");
+  util::Rng rng(33);
+  const std::vector<ExperimentId> ids =
+      sample_uniform(rng, p.golden.sample_space_size(), 40);
+
+  CheckpointOptions options;
+  options.path = temp_journal("sandboxed");
+  options.flush_every = 15;
+  options.use_sandbox = true;
+  const CheckpointRunResult run =
+      run_campaign_checkpointed(*p.program, p.golden, ids, options);
+  EXPECT_EQ(run.executed, ids.size());
+  EXPECT_GE(run.sandbox_stats.children_spawned, 3u);  // one per chunk
+  EXPECT_EQ(run.sandbox_stats.fallback_experiments, 0u);
+  std::filesystem::remove(options.path);
+}
+
+TEST(Checkpoint, ResumeAcrossLethalExperiments) {
+  // A hazard campaign interrupted after the journal saw a signal-crash
+  // resumes cleanly and keeps the crash record.
+  const kernels::HazardProgram program{kernels::HazardConfig{}};
+  const fi::GoldenRun golden = fi::run_golden(program);
+  const auto id = [](std::uint64_t site, int bit) {
+    return site * static_cast<std::uint64_t>(fi::kBitsPerValue) +
+           static_cast<std::uint64_t>(bit);
+  };
+  const std::vector<ExperimentId> ids = {
+      id(0, 1),
+      id(program.divisor_site(0), 62),  // SIGFPE in the child
+      id(1, 2),
+      id(2, 3),
+  };
+
+  CheckpointOptions options;
+  options.path = temp_journal("lethal");
+  options.flush_every = 2;
+  options.use_sandbox = true;
+  const std::span<const ExperimentId> first(ids.data(), 2);
+  (void)run_campaign_checkpointed(program, golden, first, options);
+
+  const CheckpointRunResult resumed =
+      run_campaign_checkpointed(program, golden, ids, options);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.skipped, 2u);
+  const CrashReasonCounts reasons =
+      count_crash_reasons(resumed.log.records());
+  EXPECT_GE(reasons.isolation_crashes(), 1u);
+  std::filesystem::remove(options.path);
+}
+
+TEST(Checkpoint, RejectsForeignJournal) {
+  Prepared daxpy("daxpy");
+  util::Rng rng(34);
+  const std::vector<ExperimentId> ids =
+      sample_uniform(rng, daxpy.golden.sample_space_size(), 10);
+  CheckpointOptions options;
+  options.path = temp_journal("foreign");
+  options.pool = &daxpy.pool;
+  (void)run_campaign_checkpointed(*daxpy.program, daxpy.golden, ids, options);
+
+  Prepared cg("cg");
+  EXPECT_THROW(
+      run_campaign_checkpointed(*cg.program, cg.golden, ids, options),
+      std::invalid_argument);
+  std::filesystem::remove(options.path);
+}
+
+TEST(Checkpoint, RejectsCorruptJournal) {
+  Prepared p("daxpy");
+  CheckpointOptions options;
+  options.path = temp_journal("corrupt");
+  options.pool = &p.pool;
+  {
+    std::ofstream out(options.path, std::ios::binary | std::ios::trunc);
+    out << "this is not a campaign log, it only plays one on disk........";
+  }
+  const std::vector<ExperimentId> ids = {0, 1, 2};
+  EXPECT_THROW(run_campaign_checkpointed(*p.program, p.golden, ids, options),
+               std::runtime_error);
+  std::filesystem::remove(options.path);
+}
+
+TEST(Checkpoint, RejectsEmptyPath) {
+  Prepared p("daxpy");
+  const std::vector<ExperimentId> ids = {0};
+  EXPECT_THROW(run_campaign_checkpointed(*p.program, p.golden, ids, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftb::campaign

@@ -1,0 +1,114 @@
+// crash_site detection-latency semantics: the site recorded for a Crash is
+// where the run first *produced* a non-finite value, which is the injection
+// site when the corrupted value itself is non-finite, and strictly later
+// when a finite-but-huge corruption only overflows after propagating.
+#include "fi/executor.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "fi/program.h"
+#include "fi/tracer.h"
+#include "kernels/hazard.h"
+
+namespace ftb::fi {
+namespace {
+
+/// d steps of x <- x * x starting from 1.0.  Golden trace is all ones, so
+/// any injected magnitude e produces e^(2^k) after k further steps: a huge
+/// finite corruption overflows to +inf a predictable number of steps later.
+class SquaringChain final : public Program {
+ public:
+  explicit SquaringChain(std::uint64_t depth) : depth_(depth) {}
+
+  std::string name() const override { return "squaring_chain"; }
+  std::string config_key() const override {
+    return "squaring_chain:d=" + std::to_string(depth_);
+  }
+  OutputComparator comparator() const override { return {1e-9, 1e-6}; }
+
+  std::vector<double> run(Tracer& t) const override {
+    double x = t.step(1.0);
+    for (std::uint64_t i = 1; i < depth_; ++i) {
+      x = t.step(x * x);
+    }
+    return {x};
+  }
+
+ private:
+  std::uint64_t depth_;
+};
+
+TEST(CrashLatency, NonFiniteInjectionTrapsAtTheSite) {
+  const SquaringChain program(10);
+  const GoldenRun golden = run_golden(program);
+  for (const std::uint64_t site : {std::uint64_t{2}, std::uint64_t{7}}) {
+    const ExperimentResult nan_result = run_injected(
+        program, golden,
+        Injection::set_value(site, std::numeric_limits<double>::quiet_NaN()));
+    EXPECT_EQ(nan_result.outcome, Outcome::kCrash);
+    EXPECT_EQ(nan_result.crash_reason, CrashReason::kNonFinite);
+    EXPECT_EQ(nan_result.crash_site, site);  // zero detection latency
+    EXPECT_TRUE(std::isinf(nan_result.injected_error));
+
+    const ExperimentResult inf_result = run_injected(
+        program, golden,
+        Injection::set_value(site, std::numeric_limits<double>::infinity()));
+    EXPECT_EQ(inf_result.crash_site, site);
+  }
+}
+
+TEST(CrashLatency, ExponentFlipToInfinityTrapsAtTheSite) {
+  // A real single-bit fault with the same zero-latency behaviour: flipping
+  // bit 62 of 1.0 (0x3FF exponent) lands on 0x7FF -- +infinity.
+  const SquaringChain program(10);
+  const GoldenRun golden = run_golden(program);
+  const ExperimentResult result =
+      run_injected(program, golden, Injection::bit_flip(4, 62));
+  EXPECT_EQ(result.outcome, Outcome::kCrash);
+  EXPECT_EQ(result.crash_reason, CrashReason::kNonFinite);
+  EXPECT_EQ(result.crash_site, 4u);
+}
+
+TEST(CrashLatency, PropagationInducedOverflowTrapsLater) {
+  // Injecting a finite 1e100 at `site`: the value at site+1 is 1e200 (still
+  // finite), and the squaring at site+2 overflows -- detection latency of
+  // exactly 2 dynamic instructions.
+  const SquaringChain program(10);
+  const GoldenRun golden = run_golden(program);
+  const std::uint64_t site = 3;
+  const ExperimentResult result =
+      run_injected(program, golden, Injection::set_value(site, 1e100));
+  EXPECT_EQ(result.outcome, Outcome::kCrash);
+  EXPECT_EQ(result.crash_reason, CrashReason::kNonFinite);
+  EXPECT_EQ(result.crash_site, site + 2);
+  EXPECT_DOUBLE_EQ(result.injected_error, 1e100 - 1.0);
+
+  // A smaller magnitude needs more squarings before it overflows: 1e20 ->
+  // 1e40 -> 1e80 -> 1e160 -> overflow at the fourth step.
+  const ExperimentResult slow =
+      run_injected(program, golden, Injection::set_value(site, 1e20));
+  EXPECT_EQ(slow.outcome, Outcome::kCrash);
+  EXPECT_EQ(slow.crash_site, site + 4);
+  EXPECT_GT(slow.crash_site, result.crash_site);
+}
+
+TEST(CrashLatency, ControlFlowDivergenceClassified) {
+  // In-process, a *small* trip-count shift on the hazard kernel is safe to
+  // run (no segfault, no hang) but executes a different number of dynamic
+  // instructions -- classified as Crash with the control-flow reason.
+  const kernels::HazardProgram program{kernels::HazardConfig{}};
+  const GoldenRun golden = run_golden(program);
+  // Golden trip count is 16.0; exponent LSB flip makes it 32.0 -> 16 extra
+  // traced steps, still finite and fast.
+  ASSERT_DOUBLE_EQ(golden.trace[program.trip_site(0)], 16.0);
+  const ExperimentResult result = run_injected(
+      program, golden, Injection::bit_flip(program.trip_site(0), 52));
+  EXPECT_EQ(result.outcome, Outcome::kCrash);
+  EXPECT_EQ(result.crash_reason, CrashReason::kControlFlow);
+}
+
+}  // namespace
+}  // namespace ftb::fi

@@ -1,0 +1,170 @@
+// Tests for the process-isolation layer.  The hazard kernels are the only
+// programs whose flips genuinely segfault, trap, or spin, so they anchor the
+// signal-classification and watchdog assertions.  Signal identity is
+// asserted via is_isolation_reason()/isolation_crashes() rather than exact
+// signals: under ASan/UBSan a child's segfault becomes a sanitizer report
+// and a nonzero exit (kAbnormalExit), which is still an isolation-layer
+// crash.
+#include "fi/sandbox.h"
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "campaign/sample_space.h"
+#include "campaign/sampler.h"
+#include "kernels/hazard.h"
+#include "kernels/registry.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ftb::fi {
+namespace {
+
+TEST(Sandbox, SupportedOnThisPlatform) {
+  // The test suite only runs on POSIX platforms (fork is available).
+  EXPECT_TRUE(sandbox_supported());
+}
+
+TEST(Sandbox, MatchesInProcessOnWellBehavedKernel) {
+  const ProgramPtr program = kernels::make_program("daxpy", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  util::Rng rng(21);
+  const std::vector<campaign::ExperimentId> ids =
+      campaign::sample_uniform(rng, golden.sample_space_size(), 60);
+
+  util::ThreadPool pool(2);
+  const std::vector<campaign::ExperimentRecord> direct =
+      campaign::run_experiments(*program, golden, ids, pool);
+  SandboxStats stats;
+  const std::vector<campaign::ExperimentRecord> sandboxed =
+      campaign::run_experiments_sandboxed(*program, golden, ids, {}, &stats);
+
+  ASSERT_EQ(sandboxed.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(sandboxed[i].id, direct[i].id);
+    EXPECT_EQ(sandboxed[i].result.outcome, direct[i].result.outcome) << i;
+    EXPECT_EQ(sandboxed[i].result.crash_reason, direct[i].result.crash_reason)
+        << i;
+    EXPECT_DOUBLE_EQ(sandboxed[i].result.injected_error,
+                     direct[i].result.injected_error)
+        << i;
+    EXPECT_DOUBLE_EQ(sandboxed[i].result.output_error,
+                     direct[i].result.output_error)
+        << i;
+  }
+  // A well-behaved batch needs exactly one child and no interventions.
+  EXPECT_EQ(stats.children_spawned, 1u);
+  EXPECT_EQ(stats.signal_deaths, 0u);
+  EXPECT_EQ(stats.watchdog_kills, 0u);
+  EXPECT_EQ(stats.fallback_experiments, 0u);
+}
+
+TEST(Sandbox, ClassifiesSignalDeathsAndPreservesNeighbours) {
+  const kernels::HazardProgram program{kernels::HazardConfig{}};
+  const GoldenRun golden = run_golden(program);
+
+  // Sanity-check the documented control values before weaponising them.
+  ASSERT_DOUBLE_EQ(golden.trace[program.offset_site(1)], 5.0);
+  ASSERT_DOUBLE_EQ(golden.trace[program.divisor_site(0)], 8.0);
+
+  const std::vector<Injection> injections = {
+      Injection::bit_flip(0, 1),                       // benign mantissa flip
+      Injection::bit_flip(program.offset_site(1), 61), // ~2^514 offset: SIGSEGV
+      Injection::bit_flip(0, 2),                       // benign
+      Injection::bit_flip(program.divisor_site(0), 62),// denormal -> /0: SIGFPE
+      Injection::bit_flip(0, 3),                       // benign
+  };
+  SandboxStats stats;
+  const std::vector<ExperimentResult> results =
+      run_injected_sandboxed(program, golden, injections, {}, &stats);
+
+  ASSERT_EQ(results.size(), injections.size());
+  EXPECT_TRUE(is_isolation_reason(results[1].crash_reason))
+      << to_string(results[1].crash_reason);
+  EXPECT_EQ(results[1].outcome, Outcome::kCrash);
+  EXPECT_TRUE(is_isolation_reason(results[3].crash_reason))
+      << to_string(results[3].crash_reason);
+  EXPECT_EQ(results[3].outcome, Outcome::kCrash);
+  // The benign experiments around the lethal ones were completed normally
+  // (each lethal flip kills one child; the batch resumes in a fresh one).
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    EXPECT_NE(results[i].outcome, Outcome::kHang) << i;
+    EXPECT_FALSE(is_isolation_reason(results[i].crash_reason)) << i;
+  }
+  EXPECT_EQ(stats.signal_deaths + stats.abnormal_exits, 2u);
+  EXPECT_GE(stats.children_spawned, 3u);
+  EXPECT_EQ(stats.fallback_experiments, 0u);
+}
+
+TEST(Sandbox, WatchdogConvertsSpinIntoHang) {
+  const kernels::HazardSpinProgram program{kernels::HazardSpinConfig{}};
+  const GoldenRun golden = run_golden(program);
+  ASSERT_DOUBLE_EQ(golden.trace[kernels::HazardSpinProgram::kDecaySite], 0.5);
+
+  SandboxOptions options;
+  options.timeout_ms = 250;
+  const std::vector<Injection> injections = {
+      // Exponent LSB of 0.5 -> exactly 1.0: the residual never shrinks.
+      Injection::bit_flip(kernels::HazardSpinProgram::kDecaySite, 52),
+      Injection::bit_flip(0, 0),  // benign; proves the batch resumes
+  };
+  SandboxStats stats;
+  const std::vector<ExperimentResult> results =
+      run_injected_sandboxed(program, golden, injections, options, &stats);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].outcome, Outcome::kHang);
+  EXPECT_EQ(results[0].crash_reason, CrashReason::kNone);
+  EXPECT_NE(results[1].outcome, Outcome::kHang);
+  EXPECT_FALSE(is_isolation_reason(results[1].crash_reason));
+  EXPECT_EQ(stats.watchdog_kills, 1u);
+}
+
+TEST(Sandbox, HazardCampaignYieldsSignalCrashesAndHangs) {
+  // The ISSUE acceptance scenario: a campaign over a hazard kernel, run
+  // under the sandbox, completes with nonzero Crash-by-signal and Hang
+  // tallies -- and every other experiment still gets a normal outcome.
+  const kernels::HazardProgram program{kernels::HazardConfig{}};
+  const GoldenRun golden = run_golden(program);
+  ASSERT_DOUBLE_EQ(golden.trace[program.trip_site(0)], 16.0);
+
+  const auto id = [](std::uint64_t site, int bit) {
+    return site * static_cast<std::uint64_t>(kBitsPerValue) +
+           static_cast<std::uint64_t>(bit);
+  };
+  const std::vector<campaign::ExperimentId> ids = {
+      id(0, 1),                           // benign
+      id(program.offset_site(1), 61),     // SIGSEGV
+      id(1, 2),                           // benign
+      id(program.divisor_site(0), 62),    // SIGFPE
+      id(program.trip_site(0), 61),       // ~9e18 loop trips: hang
+      id(2, 3),                           // benign
+  };
+  fi::SandboxOptions options;
+  options.timeout_ms = 250;
+  fi::SandboxStats stats;
+  const std::vector<campaign::ExperimentRecord> records =
+      campaign::run_experiments_sandboxed(program, golden, ids, options,
+                                          &stats);
+
+  const campaign::OutcomeCounts counts = campaign::count_outcomes(records);
+  EXPECT_EQ(counts.total(), ids.size());
+  EXPECT_GE(counts.crash, 2u);
+  EXPECT_GE(counts.hang, 1u);
+  const campaign::CrashReasonCounts reasons =
+      campaign::count_crash_reasons(records);
+  EXPECT_GE(reasons.isolation_crashes(), 2u);
+  EXPECT_FALSE(campaign::describe_crash_reasons(reasons).empty());
+  EXPECT_EQ(stats.watchdog_kills, 1u);
+}
+
+TEST(Sandbox, EmptyBatch) {
+  const ProgramPtr program = kernels::make_program("daxpy", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  const std::vector<ExperimentResult> results =
+      run_injected_sandboxed(*program, golden, {});
+  EXPECT_TRUE(results.empty());
+}
+
+}  // namespace
+}  // namespace ftb::fi

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -72,6 +74,43 @@ TEST(ThreadPool, DefaultPoolSingleton) {
   ThreadPool& b = default_pool();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.thread_count(), 1u);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The exception is consumed: the pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, FirstTaskExceptionWins) {
+  ThreadPool pool(1);  // serial worker => deterministic throw order
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([i] { throw std::runtime_error("task " + std::to_string(i)); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 0");
+  }
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotPoisonLaterWork) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::logic_error("first batch"); });
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  EXPECT_EQ(ran.load(), 32);  // queue drained despite the throw
+  pool.parallel_for(0, 8, [&ran](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 40);
 }
 
 TEST(ThreadPool, ManySmallParallelForCalls) {

@@ -24,6 +24,7 @@
 #include "boundary/report.h"
 #include "boundary/serialize.h"
 #include "campaign/adaptive.h"
+#include "campaign/checkpoint.h"
 #include "campaign/ground_truth.h"
 #include "campaign/inference.h"
 #include "campaign/log.h"
@@ -141,10 +142,12 @@ int cmd_infer(const util::Cli& cli) {
         result.boundary, k.golden.trace, result.records);
     std::printf("uniform sampling  : %zu experiments (%.2f%% of space)\n",
                 result.sampled_ids.size(), 100.0 * options.sample_fraction);
-    std::printf("outcomes          : masked %llu / sdc %llu / crash %llu\n",
+    std::printf("outcomes          : masked %llu / sdc %llu / crash %llu / "
+                "hang %llu\n",
                 static_cast<unsigned long long>(result.counts.masked),
                 static_cast<unsigned long long>(result.counts.sdc),
-                static_cast<unsigned long long>(result.counts.crash));
+                static_cast<unsigned long long>(result.counts.crash),
+                static_cast<unsigned long long>(result.counts.hang));
     std::printf("uncertainty       : %s (self-verified precision)\n",
                 util::percent(self.precision()).c_str());
     built = result.boundary;
@@ -156,19 +159,85 @@ int cmd_infer(const util::Cli& cli) {
   return save_if_requested(cli, built, k);
 }
 
+void print_outcomes(std::span<const campaign::ExperimentRecord> records) {
+  const campaign::OutcomeCounts counts = campaign::count_outcomes(records);
+  std::printf("outcomes          : masked %llu / sdc %llu / crash %llu / "
+              "hang %llu\n",
+              static_cast<unsigned long long>(counts.masked),
+              static_cast<unsigned long long>(counts.sdc),
+              static_cast<unsigned long long>(counts.crash),
+              static_cast<unsigned long long>(counts.hang));
+  const std::string reasons =
+      campaign::describe_crash_reasons(campaign::count_crash_reasons(records));
+  if (!reasons.empty()) {
+    std::printf("crash reasons     : %s\n", reasons.c_str());
+  }
+}
+
+/// Checkpointed campaign: run the sampled experiment set through the
+/// journalled runner, flushing every --flush-every experiments so an
+/// interrupted invocation resumes from the last flush.  --timeout-ms (or
+/// --sandbox 1) routes experiments through the fork-based isolation layer,
+/// which is the only way hazard kernels can be campaigned safely.
+int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
+                        const std::string& path) {
+  campaign::CheckpointOptions options;
+  options.path = path;
+  options.flush_every =
+      static_cast<std::size_t>(cli.get_int("flush-every", 512));
+  options.use_sandbox = cli.get_bool("sandbox", cli.has("timeout-ms"));
+  options.sandbox.timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("timeout-ms", 2000));
+
+  // The id set must be a pure function of the seed: a resumed invocation
+  // has to aim at the same experiments as the interrupted one.
+  const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
+      rng, k.golden.sample_space_size(), batch);
+
+  const campaign::CheckpointRunResult run =
+      campaign::run_campaign_checkpointed(*k.program, k.golden, ids, options);
+  if (run.resumed) {
+    std::printf("resumed           : %llu of %llu experiments from %s\n",
+                static_cast<unsigned long long>(run.skipped),
+                static_cast<unsigned long long>(ids.size()), path.c_str());
+  }
+  std::printf("executed          : %llu experiments, %llu journal flushes\n",
+              static_cast<unsigned long long>(run.executed),
+              static_cast<unsigned long long>(run.flushes));
+  if (options.use_sandbox) {
+    std::printf("sandbox           : %llu children, %llu signal deaths, "
+                "%llu watchdog kills, %llu fallback\n",
+                static_cast<unsigned long long>(run.sandbox_stats.children_spawned),
+                static_cast<unsigned long long>(run.sandbox_stats.signal_deaths),
+                static_cast<unsigned long long>(run.sandbox_stats.watchdog_kills),
+                static_cast<unsigned long long>(
+                    run.sandbox_stats.fallback_experiments));
+  }
+  std::printf("logged %zu distinct experiments -> %s\n", run.log.size(),
+              path.c_str());
+  print_outcomes(run.log.records());
+  return 0;
+}
+
 /// Runs (or extends) a persistent campaign log, then rebuilds the boundary
 /// from everything logged so far -- the resumable-campaign workflow.
 int cmd_campaign(const util::Cli& cli) {
   const Loaded k = load_kernel(cli);
+  const std::string resume = cli.get("resume");
+  if (!resume.empty()) return cmd_campaign_resume(cli, k, resume);
+
   const std::string path = cli.get("log");
   if (path.empty()) {
-    std::fprintf(stderr, "error: --log FILE is required\n");
+    std::fprintf(stderr, "error: --log FILE (or --resume FILE) is required\n");
     return 1;
   }
   util::ThreadPool& pool = util::default_pool();
 
   campaign::CampaignLog log(k.program->config_key());
-  if (auto existing = campaign::CampaignLog::load(path)) {
+  std::string load_error;
+  if (auto existing = campaign::CampaignLog::load(path, &load_error)) {
     if (existing->config_key() != k.program->config_key()) {
       std::fprintf(stderr, "error: %s holds a different configuration\n",
                    path.c_str());
@@ -176,6 +245,10 @@ int cmd_campaign(const util::Cli& cli) {
     }
     log = std::move(*existing);
     std::printf("resuming: %zu experiments already logged\n", log.size());
+  } else if (load_error.find("cannot open") == std::string::npos) {
+    // Missing file = fresh campaign; anything else is real corruption.
+    std::fprintf(stderr, "error: %s\n", load_error.c_str());
+    return 1;
   }
 
   const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
@@ -191,6 +264,7 @@ int cmd_campaign(const util::Cli& cli) {
   }
   std::printf("logged %zu distinct experiments -> %s\n", log.size(),
               path.c_str());
+  print_outcomes(log.records());
 
   const boundary::FaultToleranceBoundary built = campaign::boundary_from_log(
       *k.program, k.golden, log,
@@ -308,7 +382,10 @@ int main(int argc, char** argv) {
       "              --fraction F, --filter 0|1, --save FILE)\n"
       "  exhaustive  ground-truth campaign and exact boundary (--save FILE)\n"
       "  campaign    resumable logged campaign: run --batch more experiments,\n"
-      "              append to --log FILE, rebuild the boundary\n"
+      "              append to --log FILE, rebuild the boundary; or\n"
+      "              --resume FILE for the checkpointed runner (--flush-every N,\n"
+      "              --sandbox 0|1, --timeout-ms MS watchdog; sandboxing is\n"
+      "              required for hazard kernels)\n"
       "  report      per-phase vulnerability report (--load FILE)\n"
       "  protect     selective-protection plan (--load FILE, --budget F or\n"
       "              --target R)\n\n"
