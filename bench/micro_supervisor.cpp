@@ -1,0 +1,99 @@
+// Microbenchmarks comparing the two process-isolation strategies on the CG
+// kernel: the per-batch sandbox (fork one child per batch of experiments,
+// fi/sandbox.h run_injected_sandboxed via run_experiments_sandboxed) versus
+// the persistent worker pool behind the campaign supervisor
+// (campaign/supervisor.h), which forks once and streams chunks to long-lived
+// workers.  The supervisor's pitch is that amortising the fork across the
+// whole campaign makes isolation affordable, so the persistent pool must be
+// no slower than per-batch forking on a healthy (non-hazard) workload.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/sample_space.h"
+#include "campaign/supervisor.h"
+#include "fi/executor.h"
+#include "fi/sandbox.h"
+#include "kernels/registry.h"
+
+namespace {
+
+using namespace ftb;
+
+struct CgFixture {
+  CgFixture()
+      : program(kernels::make_program("cg", kernels::Preset::kTiny)),
+        golden(fi::run_golden(*program)) {
+    // A fixed, striped sample over the space: identical work for both
+    // strategies, spread across the whole trace.
+    const std::uint64_t space = golden.sample_space_size();
+    for (std::uint64_t i = 0; i < kExperiments; ++i) {
+      ids.push_back((i * 9973) % space);
+    }
+  }
+  static constexpr std::uint64_t kExperiments = 256;
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  std::vector<campaign::ExperimentId> ids;
+};
+
+CgFixture& fixture() {
+  static CgFixture f;
+  return f;
+}
+
+void BM_CgPerBatchSandbox(benchmark::State& state) {
+  CgFixture& f = fixture();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const fi::SandboxOptions options;
+  for (auto _ : state) {
+    // One run_injected_sandboxed call -- and thus (at least) one fork() --
+    // per batch of experiments, as RunCampaign did before the supervisor.
+    for (std::size_t begin = 0; begin < f.ids.size(); begin += batch) {
+      const std::size_t count = std::min(batch, f.ids.size() - begin);
+      benchmark::DoNotOptimize(campaign::run_experiments_sandboxed(
+          *f.program, f.golden,
+          std::span<const campaign::ExperimentId>(f.ids.data() + begin,
+                                                  count),
+          options));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.ids.size()));
+}
+BENCHMARK(BM_CgPerBatchSandbox)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CgSupervisorPool(benchmark::State& state) {
+  CgFixture& f = fixture();
+  campaign::SupervisorOptions options;
+  options.pool.workers = static_cast<int>(state.range(0));
+  options.chunk_size = 16;
+  // The pool (and its one-time fork cost) lives across iterations, exactly
+  // as it lives across rounds in a real campaign.
+  campaign::CampaignSupervisor supervisor(*f.program, f.golden, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(supervisor.run(f.ids));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.ids.size()));
+}
+BENCHMARK(BM_CgSupervisorPool)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CgSupervisorColdStart(benchmark::State& state) {
+  // Includes pool construction + shutdown per iteration: the worst case for
+  // the persistent pool, bounding what a short campaign pays up front.
+  CgFixture& f = fixture();
+  campaign::SupervisorOptions options;
+  options.pool.workers = 4;
+  options.chunk_size = 16;
+  for (auto _ : state) {
+    campaign::CampaignSupervisor supervisor(*f.program, f.golden, options);
+    benchmark::DoNotOptimize(supervisor.run(f.ids));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.ids.size()));
+}
+BENCHMARK(BM_CgSupervisorColdStart)->Unit(benchmark::kMillisecond);
+
+}  // namespace

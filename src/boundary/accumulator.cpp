@@ -69,7 +69,16 @@ void BoundaryAccumulator::record_masked_propagation(
 
 void BoundaryAccumulator::record_masked_value(std::size_t site, double value) {
   assert(site < site_count_);
-  if (value <= 0.0 || !std::isfinite(value)) return;
+  if (!std::isfinite(value)) {
+    // |x' - x| can overflow to +inf even when both trace values are finite
+    // (1.7e308 - (-1.7e308), say), and a NaN diff survives no comparison
+    // meaningfully; either would poison the site's pointwise max forever.
+    // Skip it, but keep count -- a nonzero tally in the report tells the
+    // user their masked runs carry overflowing intermediate corruption.
+    ++nonfinite_skipped_;
+    return;
+  }
+  if (value <= 0.0) return;
   SiteState& state = states_[site];
   if (options_.filter) {
     insert_filtered(state, value);

@@ -66,6 +66,14 @@ class BoundaryAccumulator {
   /// Per-site count of tested bits (64 -> the site is exact).
   std::uint32_t tested_bits(std::size_t site) const noexcept;
 
+  /// Masked propagation values dropped because they were NaN/Inf (an
+  /// |x' - x| diff can overflow to +inf even between finite trace values).
+  /// Surfaced by boundary::render_build_health; nonzero means some masked
+  /// runs carried overflowing intermediate corruption.
+  std::uint64_t nonfinite_skipped() const noexcept {
+    return nonfinite_skipped_;
+  }
+
   /// Builds the boundary from everything recorded so far.  Can be called
   /// repeatedly (the progressive sampler rebuilds every round).
   FaultToleranceBoundary finalize() const;
@@ -94,6 +102,7 @@ class BoundaryAccumulator {
   std::size_t site_count_;
   AccumulatorOptions options_;
   std::vector<SiteState> states_;
+  std::uint64_t nonfinite_skipped_ = 0;
 };
 
 }  // namespace ftb::boundary

@@ -73,4 +73,11 @@ std::string render_phase_report(std::span<const PhaseReport> report) {
   return table.render();
 }
 
+std::string render_build_health(std::uint64_t nonfinite_skipped) {
+  if (nonfinite_skipped == 0) return "";
+  return "warning: skipped " + std::to_string(nonfinite_skipped) +
+         " non-finite masked propagation value(s) while building the "
+         "boundary (overflowing intermediate corruption)\n";
+}
+
 }  // namespace ftb::boundary

@@ -36,4 +36,10 @@ std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
 /// Renders the report as an aligned text table (one line per phase).
 std::string render_phase_report(std::span<const PhaseReport> report);
 
+/// One-line health note about the boundary build itself: how many masked
+/// propagation values were skipped for being NaN/Inf (see
+/// BoundaryAccumulator::nonfinite_skipped).  Empty string when zero, so
+/// callers can append it unconditionally.
+std::string render_build_health(std::uint64_t nonfinite_skipped);
+
 }  // namespace ftb::boundary

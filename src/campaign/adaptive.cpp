@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "boundary/accumulator.h"
 #include "boundary/predictor.h"
@@ -35,6 +36,14 @@ AdaptiveResult infer_adaptive(const fi::Program& program,
   util::Rng rng(options.seed);
   const double max_masked_share = 1.0 - options.stop_sdc_fraction;
 
+  // The supervisor (and its forked workers) persists across rounds, so the
+  // quarantine ledger keeps protecting later rounds from lethal flips
+  // rediscovered by the bias.
+  std::optional<CampaignSupervisor> supervisor;
+  if (options.use_supervisor) {
+    supervisor.emplace(program, golden, options.supervisor);
+  }
+
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     if (candidates.empty()) break;
 
@@ -45,9 +54,14 @@ AdaptiveResult infer_adaptive(const fi::Program& program,
     const std::vector<ExperimentId> picked = sample_biased(
         rng, candidates, result.information, round_size);
 
-    const std::vector<ExperimentRecord> records = run_and_accumulate(
-        program, golden, picked, pool, accumulator, result.information,
-        options.significance_rel_error);
+    const std::vector<ExperimentRecord> records =
+        supervisor ? run_and_accumulate_supervised(
+                         program, golden, picked, pool, *supervisor,
+                         accumulator, result.information,
+                         options.significance_rel_error)
+                   : run_and_accumulate(program, golden, picked, pool,
+                                        accumulator, result.information,
+                                        options.significance_rel_error);
     round_stats.counts = count_outcomes(records);
     result.rounds.push_back(round_stats);
     result.sampled_ids.insert(result.sampled_ids.end(), picked.begin(),
@@ -83,6 +97,8 @@ AdaptiveResult infer_adaptive(const fi::Program& program,
 
   result.boundary = accumulator.finalize();
   std::sort(result.sampled_ids.begin(), result.sampled_ids.end());
+  if (supervisor) result.supervisor_stats = supervisor->stats();
+  result.nonfinite_skipped = accumulator.nonfinite_skipped();
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "boundary/boundary.h"
 #include "campaign/campaign.h"
 #include "campaign/inference.h"
+#include "campaign/supervisor.h"
 #include "fi/executor.h"
 #include "fi/program.h"
 #include "util/thread_pool.h"
@@ -29,6 +30,11 @@ struct AdaptiveOptions {
   bool filter = true;                 // Section 3.5 filter stays on here
   std::size_t prop_buffer_cap = 32;
   double significance_rel_error = 1e-8;
+  /// Route each round's experiments through a persistent CampaignSupervisor
+  /// (campaign/supervisor.h) so hazard programs cannot take down the
+  /// sampler; see run_and_accumulate_supervised for the evidence rules.
+  bool use_supervisor = false;
+  SupervisorOptions supervisor;
 };
 
 struct AdaptiveRound {
@@ -43,6 +49,8 @@ struct AdaptiveResult {
   std::vector<AdaptiveRound> rounds;
   std::vector<double> information;        // final S_i per site
   std::uint64_t space = 0;
+  SupervisorStats supervisor_stats;       // populated when use_supervisor
+  std::uint64_t nonfinite_skipped = 0;    // NaN/Inf propagation values dropped
 
   double sample_fraction() const noexcept {
     return space ? static_cast<double>(sampled_ids.size()) /

@@ -76,7 +76,7 @@ OutcomeCounts count_outcomes(std::span<const ExperimentRecord> records) noexcept
 /// static_cast<size_t>(fi::CrashReason).
 struct CrashReasonCounts {
   static constexpr std::size_t kReasons =
-      static_cast<std::size_t>(fi::CrashReason::kAbnormalExit) + 1;
+      static_cast<std::size_t>(fi::CrashReason::kQuarantined) + 1;
   std::uint64_t by_reason[kReasons] = {};
 
   std::uint64_t of(fi::CrashReason reason) const noexcept {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -55,6 +56,13 @@ CheckpointRunResult run_campaign_checkpointed(
   util::ThreadPool& pool =
       options.pool != nullptr ? *options.pool : util::default_pool();
 
+  // One supervisor for the whole invocation: the worker pool is forked
+  // once, and the quarantine ledger accumulates across chunks.
+  std::optional<CampaignSupervisor> supervisor;
+  if (options.use_supervisor) {
+    supervisor.emplace(program, golden, options.supervisor);
+  }
+
   const auto flush = [&] {
     if (!result.log.save(options.path)) {
       throw std::runtime_error(
@@ -69,7 +77,9 @@ CheckpointRunResult run_campaign_checkpointed(
     const std::span<const ExperimentId> chunk(remaining.data() + begin,
                                               end - begin);
     std::vector<ExperimentRecord> batch;
-    if (options.use_sandbox) {
+    if (supervisor) {
+      batch = supervisor->run(chunk);
+    } else if (options.use_sandbox) {
       // run_injected_sandboxed resets its stats output per batch, so
       // accumulate chunk stats by hand.
       fi::SandboxStats chunk_stats;
@@ -92,6 +102,7 @@ CheckpointRunResult run_campaign_checkpointed(
 
   result.log.dedupe();
   flush();  // final flush persists the deduped, complete journal
+  if (supervisor) result.supervisor_stats = supervisor->stats();
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "campaign/campaign.h"
 #include "campaign/log.h"
 #include "campaign/sample_space.h"
+#include "campaign/supervisor.h"
 #include "fi/program.h"
 #include "fi/sandbox.h"
 #include "util/thread_pool.h"
@@ -35,6 +36,14 @@ struct CheckpointOptions {
   /// hazard kernels.
   bool use_sandbox = false;
   fi::SandboxOptions sandbox;
+  /// Run chunks through one long-lived CampaignSupervisor instead: a
+  /// persistent worker pool with heartbeats, respawn, and site quarantine
+  /// (campaign/supervisor.h).  Takes precedence over use_sandbox.  The
+  /// supervisor -- and with it the quarantine ledger and the workers --
+  /// lives across all chunks of the invocation; a resumed invocation
+  /// rebuilds the ledger and converges to the same journal bytes.
+  bool use_supervisor = false;
+  SupervisorOptions supervisor;
   /// Thread pool for the non-sandbox path; util::default_pool() when null.
   util::ThreadPool* pool = nullptr;
 };
@@ -46,6 +55,7 @@ struct CheckpointRunResult {
   std::uint64_t executed = 0;   ///< experiments actually run this invocation
   std::uint64_t flushes = 0;    ///< journal writes (including the final one)
   fi::SandboxStats sandbox_stats;  ///< populated when use_sandbox
+  SupervisorStats supervisor_stats;  ///< populated when use_supervisor
 };
 
 /// Runs (or resumes) the listed experiments with periodic journal flushes.

@@ -44,6 +44,44 @@ std::vector<ExperimentRecord> run_and_accumulate(
   return run_experiments_compare(program, golden, ids, pool, consume);
 }
 
+std::vector<ExperimentRecord> run_and_accumulate_supervised(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, util::ThreadPool& pool,
+    CampaignSupervisor& supervisor,
+    boundary::BoundaryAccumulator& accumulator,
+    std::vector<double>& site_information, double significance_rel_error) {
+  assert(site_information.size() == golden.trace.size());
+
+  // Pass 1, isolated: classify every experiment behind the worker pool.
+  std::vector<ExperimentRecord> records = supervisor.run(ids);
+
+  // Pass 2, in-process: experiments a worker ran to completion are safe to
+  // repeat here (outcomes are deterministic), which is the only way to get
+  // their propagation diffs.  Everything that killed or hung a worker --
+  // or was quarantined -- must never execute in this process.
+  std::vector<ExperimentId> safe;
+  safe.reserve(records.size());
+  for (const ExperimentRecord& record : records) {
+    const bool unsafe =
+        record.result.outcome == fi::Outcome::kHang ||
+        fi::is_isolation_reason(record.result.crash_reason);
+    if (!unsafe) {
+      safe.push_back(record.id);
+      continue;
+    }
+    const std::uint64_t site = site_of(record.id);
+    accumulator.record_injection(site, bit_of(record.id),
+                                 record.result.outcome,
+                                 record.result.injected_error);
+    // A flip that takes down a process is self-evidently significant at
+    // its injection site; its downstream propagation is unobservable.
+    site_information[site] += 1.0;
+  }
+  run_and_accumulate(program, golden, safe, pool, accumulator,
+                     site_information, significance_rel_error);
+  return records;
+}
+
 InferenceResult infer_uniform(const fi::Program& program,
                               const fi::GoldenRun& golden,
                               const InferenceOptions& options,
@@ -65,6 +103,7 @@ InferenceResult infer_uniform(const fi::Program& program,
                          options.significance_rel_error);
   result.counts = count_outcomes(result.records);
   result.boundary = accumulator.finalize();
+  result.nonfinite_skipped = accumulator.nonfinite_skipped();
   return result;
 }
 

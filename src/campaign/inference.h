@@ -12,6 +12,7 @@
 #include "boundary/accumulator.h"
 #include "boundary/boundary.h"
 #include "campaign/campaign.h"
+#include "campaign/supervisor.h"
 #include "fi/executor.h"
 #include "fi/program.h"
 #include "util/stats.h"
@@ -33,6 +34,7 @@ struct InferenceResult {
   OutcomeCounts counts;                   // outcomes of those experiments
   std::vector<double> information;        // S_i per site (impact measure)
   std::vector<ExperimentRecord> records;  // per-experiment outcomes
+  std::uint64_t nonfinite_skipped = 0;    // NaN/Inf propagation values dropped
 };
 
 /// Uniform Monte-Carlo sampling at options.sample_fraction of the space.
@@ -48,6 +50,21 @@ InferenceResult infer_uniform(const fi::Program& program,
 std::vector<ExperimentRecord> run_and_accumulate(
     const fi::Program& program, const fi::GoldenRun& golden,
     std::span<const ExperimentId> ids, util::ThreadPool& pool,
+    boundary::BoundaryAccumulator& accumulator,
+    std::vector<double>& site_information, double significance_rel_error);
+
+/// Supervisor-backed variant for hazard programs whose corrupted runs can
+/// kill or hang the process: outcomes come from the isolated worker pool
+/// first; experiments that provably completed inside a worker (not Hang,
+/// not an isolation-reason Crash) are then re-run in-process in Compare
+/// mode to collect propagation and information -- identical evidence to
+/// run_and_accumulate for those ids.  Worker-killing experiments
+/// contribute their injection record and one unit of information at the
+/// injection site, but are never re-run in this process.
+std::vector<ExperimentRecord> run_and_accumulate_supervised(
+    const fi::Program& program, const fi::GoldenRun& golden,
+    std::span<const ExperimentId> ids, util::ThreadPool& pool,
+    CampaignSupervisor& supervisor,
     boundary::BoundaryAccumulator& accumulator,
     std::vector<double>& site_information, double significance_rel_error);
 

@@ -124,7 +124,7 @@ std::optional<CampaignLog> CampaignLog::deserialize(const std::string& payload,
       }
       record.result.outcome = static_cast<fi::Outcome>(raw);
       const std::uint64_t reason = reader.get_u64();
-      if (reason > static_cast<std::uint64_t>(fi::CrashReason::kAbnormalExit)) {
+      if (reason > static_cast<std::uint64_t>(fi::CrashReason::kQuarantined)) {
         return fail(error, "campaign log record " + std::to_string(i) +
                                " has invalid crash reason " +
                                std::to_string(reason));

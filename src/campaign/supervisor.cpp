@@ -1,0 +1,191 @@
+#include "campaign/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace ftb::campaign {
+
+namespace {
+
+fi::ExperimentResult quarantine_result() {
+  fi::ExperimentResult result;
+  result.outcome = fi::Outcome::kCrash;
+  result.crash_reason = fi::CrashReason::kQuarantined;
+  result.injected_error = std::numeric_limits<double>::infinity();
+  result.output_error = std::numeric_limits<double>::infinity();
+  result.crash_site = 0;
+  return result;
+}
+
+}  // namespace
+
+CampaignSupervisor::CampaignSupervisor(const fi::Program& program,
+                                       const fi::GoldenRun& golden,
+                                       SupervisorOptions options)
+    : program_(program),
+      golden_(golden),
+      options_(std::move(options)),
+      pool_(program, golden,
+            [&] {
+              fi::WorkerPoolOptions pool_options = options_.pool;
+              // A chunk must fit the worker-side slot arrays.
+              pool_options.chunk_capacity = std::max(
+                  pool_options.chunk_capacity, options_.chunk_size);
+              return pool_options;
+            }()) {
+  if (options_.chunk_size == 0) options_.chunk_size = 1;
+  if (options_.quarantine_after < 1) options_.quarantine_after = 1;
+}
+
+CampaignSupervisor::~CampaignSupervisor() = default;
+
+int CampaignSupervisor::kill_count(ExperimentId id) const noexcept {
+  const auto it = ledger_.find(id);
+  return it != ledger_.end() ? it->second : 0;
+}
+
+SupervisorStats CampaignSupervisor::stats() const {
+  SupervisorStats s = stats_;
+  s.pool = pool_.stats();
+  return s;
+}
+
+std::vector<ExperimentRecord> CampaignSupervisor::run(
+    std::span<const ExperimentId> ids) {
+  std::vector<ExperimentRecord> records(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) records[i].id = ids[i];
+  if (ids.empty()) return records;
+
+  const int quarantine_after = options_.quarantine_after;
+
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < ids.size(); ++i) pending.push_back(i);
+
+  // Chunk entries dispatched to each worker slot, by position in `ids`.
+  // Sized generously: slot indices are stable even after the pool shrinks.
+  std::vector<std::vector<std::size_t>> assigned(
+      static_cast<std::size_t>(std::max(options_.pool.workers, 1)));
+  std::size_t outstanding = 0;  // dispatched, not yet resolved by an event
+
+  const auto record_quarantined = [&](std::size_t index) {
+    records[index].result = quarantine_result();
+    ++stats_.quarantined;
+  };
+
+  while (!pending.empty() || outstanding > 0) {
+    // Degradation endpoint: every worker slot abandoned.  Deaths always
+    // requeue their chunk before the count can drop, so nothing is
+    // outstanding here.
+    if (pool_.worker_count() == 0 && outstanding == 0) {
+      if (!options_.allow_in_process_fallback) {
+        throw std::runtime_error(
+            "campaign supervisor: worker pool is empty and in-process "
+            "fallback is disabled");
+      }
+      while (!pending.empty()) {
+        const std::size_t index = pending.front();
+        pending.pop_front();
+        const ExperimentId id = ids[index];
+        if (kill_count(id) > 0) {
+          // This experiment has killed a worker before; running it without
+          // isolation could take the whole campaign down.
+          record_quarantined(index);
+        } else {
+          records[index].result =
+              fi::run_injected(program_, golden_, injection_of(id));
+          ++stats_.fallback_experiments;
+        }
+      }
+      break;
+    }
+
+    // Dispatch chunks to every idle worker.
+    bool dispatched = false;
+    while (!pending.empty() && pool_.worker_count() > 0) {
+      std::vector<std::size_t> chunk_indices;
+      std::vector<fi::Injection> chunk;
+      while (!pending.empty() && chunk_indices.size() < options_.chunk_size) {
+        const std::size_t index = pending.front();
+        if (kill_count(ids[index]) >= quarantine_after) {
+          pending.pop_front();
+          record_quarantined(index);
+          continue;
+        }
+        pending.pop_front();
+        chunk_indices.push_back(index);
+        chunk.push_back(injection_of(ids[index]));
+      }
+      if (chunk_indices.empty()) break;
+      const int worker = pool_.try_dispatch(chunk);
+      if (worker < 0) {
+        // All workers busy (or the pool just emptied): put the chunk back
+        // in order and wait for events.
+        for (auto it = chunk_indices.rbegin(); it != chunk_indices.rend();
+             ++it) {
+          pending.push_front(*it);
+        }
+        break;
+      }
+      assigned[static_cast<std::size_t>(worker)] = std::move(chunk_indices);
+      outstanding += assigned[static_cast<std::size_t>(worker)].size();
+      ++stats_.chunks_dispatched;
+      dispatched = true;
+    }
+
+    const std::vector<fi::WorkerEvent> events = pool_.poll();
+    for (const fi::WorkerEvent& event : events) {
+      std::vector<std::size_t>& chunk =
+          assigned[static_cast<std::size_t>(event.worker)];
+      // Results the worker published before finishing/dying are valid
+      // regardless of how it ended.
+      for (std::size_t pos = 0; pos < event.done && pos < chunk.size();
+           ++pos) {
+        records[chunk[pos]].result = event.results[pos];
+      }
+
+      if (event.kind != fi::WorkerEvent::Kind::kChunkDone) {
+        if (event.kind == fi::WorkerEvent::Kind::kWorkerDeath) {
+          ++stats_.worker_deaths;
+        } else {
+          ++stats_.worker_hangs;
+        }
+        // The culprit (in-flight experiment, if any) is charged on the
+        // ledger: quarantined at K kills, retried below that.  Everything
+        // after it never ran and is requeued uncharged.
+        std::size_t requeue_from = event.done;
+        if (event.culprit != fi::WorkerEvent::kNoCulprit &&
+            event.culprit < chunk.size()) {
+          const std::size_t culprit_index = chunk[event.culprit];
+          const int kills = ++ledger_[ids[culprit_index]];
+          if (kills >= quarantine_after) {
+            record_quarantined(culprit_index);
+          } else {
+            pending.push_back(culprit_index);
+            ++stats_.experiments_requeued;
+          }
+          requeue_from = event.culprit + 1;
+        }
+        for (std::size_t pos = requeue_from; pos < chunk.size(); ++pos) {
+          pending.push_back(chunk[pos]);
+          ++stats_.experiments_requeued;
+        }
+      }
+
+      outstanding -= chunk.size();
+      chunk.clear();
+    }
+
+    if (events.empty() && !dispatched && (!pending.empty() || outstanding > 0)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.poll_interval_us));
+    }
+  }
+
+  return records;
+}
+
+}  // namespace ftb::campaign

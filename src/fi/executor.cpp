@@ -28,10 +28,10 @@ ExperimentResult classify(const Program& program, const GoldenRun& golden,
     return result;
   }
   result.output_error = OutputComparator::linf_distance(output, golden.output);
+  // A non-finite final output classifies as SDC here: the run finished
+  // without trapping (the tracer's CrashSignal path handles mid-run
+  // non-finites), so the corruption is silent by definition.
   result.outcome = program.comparator().classify(output, golden.output);
-  if (result.outcome == Outcome::kCrash) {
-    result.crash_reason = CrashReason::kNonFinite;
-  }
   return result;
 }
 

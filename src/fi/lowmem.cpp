@@ -22,10 +22,9 @@ ExperimentResult classify_lowmem(const Program& program,
   }
   result.output_error =
       OutputComparator::linf_distance(output, golden.output());
+  // Non-finite final outputs are SDC (silent), never Crash; see
+  // OutputComparator::classify.
   result.outcome = program.comparator().classify(output, golden.output());
-  if (result.outcome == Outcome::kCrash) {
-    result.crash_reason = CrashReason::kNonFinite;
-  }
   return result;
 }
 

@@ -42,6 +42,8 @@ const char* to_string(CrashReason reason) noexcept {
       return "signal";
     case CrashReason::kAbnormalExit:
       return "abnormal-exit";
+    case CrashReason::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }
@@ -55,6 +57,7 @@ bool is_isolation_reason(CrashReason reason) noexcept {
     case CrashReason::kSigIll:
     case CrashReason::kOtherSignal:
     case CrashReason::kAbnormalExit:
+    case CrashReason::kQuarantined:
       return true;
     case CrashReason::kNone:
     case CrashReason::kNonFinite:
@@ -85,8 +88,11 @@ double OutputComparator::threshold_for(
 
 Outcome OutputComparator::classify(std::span<const double> output,
                                    std::span<const double> golden) const noexcept {
+  // A run that *finished* with NaN/Inf in its output never trapped, so the
+  // corruption is silent: always SDC, never Masked (and not Crash -- crashes
+  // are loud by definition; the mid-run CrashSignal path covers those).
   for (double v : output) {
-    if (!std::isfinite(v)) return Outcome::kCrash;
+    if (!std::isfinite(v)) return Outcome::kSdc;
   }
   const double distance = linf_distance(output, golden);
   return distance <= threshold_for(golden) ? Outcome::kMasked : Outcome::kSdc;

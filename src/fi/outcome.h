@@ -11,8 +11,10 @@ namespace ftb::fi {
 
 enum class Outcome : std::uint8_t {
   kMasked = 0,  // acceptable output (within tolerance of the golden run)
-  kSdc = 1,     // silently wrong output
-  kCrash = 2,   // "loud" failure: NaN/Inf, fatal signal, or diverged run
+  kSdc = 1,     // silently wrong output (includes a non-finite final output
+                // that was produced without tripping a CrashSignal: the
+                // program did not trap, so the corruption is silent)
+  kCrash = 2,   // "loud" failure: NaN/Inf trap, fatal signal, diverged run
   kHang = 3,    // watchdog killed a runaway experiment (sandbox only)
 };
 
@@ -32,6 +34,8 @@ enum class CrashReason : std::uint8_t {
   kSigIll = 7,        // child died with SIGILL
   kOtherSignal = 8,   // child died with some other fatal signal
   kAbnormalExit = 9,  // child exited nonzero without finishing the experiment
+  kQuarantined = 10,  // (site, bit) killed >= K workers; supervisor stopped
+                      // retrying it (campaign/supervisor.h quarantine ledger)
 };
 
 const char* to_string(CrashReason reason) noexcept;
@@ -55,7 +59,12 @@ struct OutputComparator {
   /// The absolute tolerance implied by a golden output.
   double threshold_for(std::span<const double> golden) const noexcept;
 
-  /// Full classification.  Any non-finite value in `output` is a Crash.
+  /// Full classification.  Deterministic rule: any non-finite value in a
+  /// *final* output is always SDC, never Masked -- the run completed without
+  /// trapping, so nothing would alert the user, yet NaN/Inf output data can
+  /// never be acceptable.  (A non-finite value produced *mid-run* trips the
+  /// tracer's CrashSignal and is classified Crash by the executor instead;
+  /// this rule only governs runs that finished.)
   Outcome classify(std::span<const double> output,
                    std::span<const double> golden) const noexcept;
 };

@@ -1,20 +1,29 @@
 #include "fi/sandbox.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <new>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
+
+#include "util/retry.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FTB_SANDBOX_POSIX 1
+#include <errno.h>
 #include <signal.h>
 #include <sys/mman.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
 #else
 #define FTB_SANDBOX_POSIX 0
 #endif
@@ -225,17 +234,20 @@ std::vector<ExperimentResult> run_injected_sandboxed(
   const std::size_t count = injections.size();
   SharedBlock block;
 
-  // The shared block and each fork are retried with exponential backoff;
-  // both fail only under transient resource pressure.
-  auto with_retries = [&](auto&& attempt) -> bool {
-    std::uint32_t backoff_ms = options.retry_backoff_ms;
-    for (int tries = 0;; ++tries) {
-      if (attempt()) return true;
-      if (tries >= options.max_spawn_retries) return false;
-      ++s.spawn_retries;
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms *= 2;
+  // The shared block and each fork are retried with jittered exponential
+  // backoff (util/retry.h); both fail only under transient resource
+  // pressure.
+  util::RetryOptions retry_options;
+  retry_options.max_retries = options.max_spawn_retries;
+  retry_options.initial_backoff_ms = options.retry_backoff_ms;
+  auto with_retries = [&](const std::function<bool()>& attempt) -> bool {
+    util::RetryStats retry_stats;
+    const bool ok = util::retry_with_backoff(retry_options, attempt,
+                                             &retry_stats);
+    if (retry_stats.attempts > 1) {
+      s.spawn_retries += static_cast<std::uint64_t>(retry_stats.attempts - 1);
     }
+    return ok;
   };
 
   auto fallback_from = [&](std::size_t next) {
@@ -325,6 +337,478 @@ std::vector<ExperimentResult> run_injected_sandboxed(
   return results;
 }
 
+// ---------------------------------------------------------------------------
+// WorkerPool (POSIX implementation)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+static_assert(std::is_trivially_copyable_v<Injection>,
+              "injections are copied byte-wise into shared memory");
+
+/// Written by the parent to a worker's command pipe to ask it to exit (EOF
+/// works too; the sentinel exists so shutdown() can be explicit even while
+/// other fds alias the pipe).
+constexpr std::uint32_t kShutdownCommand = 0xffffffffu;
+
+/// Per-worker shared region header.  `heartbeat` is a monotonic liveness
+/// counter (bumped at chunk pickup and every experiment start/finish);
+/// `started`/`done` are chunk-relative progress counters with the same
+/// semantics as the per-batch ShmHeader.
+struct PoolShmHeader {
+  std::atomic<std::uint64_t> heartbeat;
+  std::atomic<std::uint64_t> started;
+  std::atomic<std::uint64_t> done;
+};
+
+/// One worker's shared mapping: header + injection slots + result slots.
+/// Mapped once per pool slot and reused across respawns (a fresh fork of
+/// the parent inherits the same MAP_SHARED pages).
+struct PoolShm {
+  PoolShmHeader* header = nullptr;
+  Injection* injections = nullptr;
+  ResultSlot* slots = nullptr;
+  void* base = nullptr;
+  std::size_t bytes = 0;
+
+  PoolShm() = default;
+  PoolShm(const PoolShm&) = delete;
+  PoolShm& operator=(const PoolShm&) = delete;
+
+  bool map(std::size_t capacity) {
+    bytes = sizeof(PoolShmHeader) + capacity * sizeof(Injection) +
+            capacity * sizeof(ResultSlot);
+    base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) {
+      base = nullptr;
+      return false;
+    }
+    header = new (base) PoolShmHeader{};
+    injections = reinterpret_cast<Injection*>(static_cast<char*>(base) +
+                                              sizeof(PoolShmHeader));
+    slots = reinterpret_cast<ResultSlot*>(injections + capacity);
+    return true;
+  }
+
+  ~PoolShm() {
+    if (base != nullptr) ::munmap(base, bytes);
+  }
+};
+
+/// read() the full buffer, retrying on EINTR.  False on EOF or error.
+bool read_full(int fd, void* buffer, std::size_t bytes) {
+  char* out = static_cast<char*>(buffer);
+  while (bytes > 0) {
+    const ssize_t got = ::read(fd, out, bytes);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    out += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// write() the full buffer with SIGPIPE suppressed (a worker that died
+/// holding the read end must not kill the supervisor).  False on error.
+bool write_full_nosigpipe(int fd, const void* buffer, std::size_t bytes) {
+  struct sigaction ignore {};
+  struct sigaction saved {};
+  ignore.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &ignore, &saved);
+  const char* in = static_cast<const char*>(buffer);
+  bool ok = true;
+  while (bytes > 0) {
+    const ssize_t put = ::write(fd, in, bytes);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    in += put;
+    bytes -= static_cast<std::size_t>(put);
+  }
+  ::sigaction(SIGPIPE, &saved, nullptr);
+  return ok;
+}
+
+/// Worker body: block on the command pipe, run the announced chunk out of
+/// shared memory, repeat.  Exits 0 on EOF/shutdown, 2 on an unexpected
+/// exception (the parent classifies that as kAbnormalExit).  Never returns.
+[[noreturn]] void pool_worker_main(const Program& program,
+                                   const GoldenRun& golden, PoolShm& shm,
+                                   int command_fd, std::size_t capacity) {
+#if defined(__linux__)
+  // Die with the supervisor: a SIGKILLed campaign must not leak workers
+  // spinning on hazard experiments.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) ::_exit(0);  // parent already gone before prctl
+#endif
+  for (;;) {
+    std::uint32_t count = 0;
+    if (!read_full(command_fd, &count, sizeof(count))) ::_exit(0);
+    if (count == kShutdownCommand || count == 0 || count > capacity) {
+      ::_exit(0);
+    }
+    shm.header->heartbeat.fetch_add(1, std::memory_order_release);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      shm.header->started.store(i + 1, std::memory_order_release);
+      shm.header->heartbeat.fetch_add(1, std::memory_order_release);
+      try {
+        const ExperimentResult result =
+            run_injected(program, golden, shm.injections[i]);
+        encode_slot(shm.slots[i], result);
+      } catch (...) {
+        ::_exit(2);
+      }
+      shm.header->done.store(i + 1, std::memory_order_release);
+      shm.header->heartbeat.fetch_add(1, std::memory_order_release);
+    }
+    // The final done-store above is the worker's last shared write before
+    // it blocks on read() again, so once the parent has observed
+    // done == count it may safely reset the counters and write the next
+    // chunk's injections.
+  }
+}
+
+}  // namespace
+
+struct WorkerPool::Impl {
+  struct Slot {
+    // Atomic because worker_pid() is documented safe to call from other
+    // threads (tests kill/stop workers externally mid-campaign) while the
+    // supervisor thread respawns slots.  pid == -1 <=> slot not live.
+    std::atomic<pid_t> pid{-1};
+    int command_write = -1;  // parent's write end of the command pipe
+    PoolShm shm;
+    bool live = false;
+    bool abandoned = false;  // respawn failed terminally; never retried
+    bool busy = false;
+    std::uint32_t chunk_count = 0;
+    std::uint64_t last_heartbeat = 0;
+    std::chrono::steady_clock::time_point last_beat_time;
+  };
+
+  const Program& program;
+  const GoldenRun& golden;
+  WorkerPoolOptions options;
+  WorkerPoolStats stats;
+  std::vector<Slot> slots;
+  bool shut_down = false;
+
+  Impl(const Program& program_in, const GoldenRun& golden_in,
+       WorkerPoolOptions options_in)
+      : program(program_in),
+        golden(golden_in),
+        options(std::move(options_in)) {
+    if (options.workers < 0) options.workers = 0;
+    if (options.chunk_capacity == 0) options.chunk_capacity = 1;
+    slots = std::vector<Slot>(static_cast<std::size_t>(options.workers));
+    for (Slot& slot : slots) {
+      if (!spawn(slot, /*is_respawn=*/false)) {
+        slot.abandoned = true;
+        ++stats.shrinks;
+      }
+    }
+  }
+
+  ~Impl() { shutdown(); }
+
+  /// One fork attempt (no retry).  The testing seams fail the first
+  /// simulate_spawn_failures attempts (any kind) and the first
+  /// simulate_respawn_failures replacement attempts as if fork() hit EAGAIN.
+  bool try_fork(Slot& slot, bool is_respawn) {
+    if (is_respawn && options.simulate_respawn_failures > 0) {
+      --options.simulate_respawn_failures;
+      return false;
+    }
+    if (options.simulate_spawn_failures > 0) {
+      --options.simulate_spawn_failures;
+      return false;
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: keep only this slot's read end.  Closing every sibling
+      // write end matters -- a pipe delivers EOF only once *all* write fds
+      // are gone, so an inherited duplicate would keep a sibling alive
+      // past shutdown().
+      ::close(fds[1]);
+      for (const Slot& other : slots) {
+        if (other.command_write >= 0) ::close(other.command_write);
+      }
+      pool_worker_main(program, golden, slot.shm, fds[0],
+                       options.chunk_capacity);  // never returns
+    }
+    ::close(fds[0]);
+    slot.pid = pid;
+    slot.command_write = fds[1];
+    slot.live = true;
+    slot.busy = false;
+    slot.last_heartbeat =
+        slot.shm.header->heartbeat.load(std::memory_order_acquire);
+    slot.last_beat_time = std::chrono::steady_clock::now();
+    ++stats.workers_spawned;
+    return true;
+  }
+
+  /// Spawn (or respawn) with the configured backoff.  The shm region is
+  /// mapped lazily on first success path and kept across respawns.
+  bool spawn(Slot& slot, bool is_respawn) {
+    util::RetryStats retry_stats;
+    const bool ok = util::retry_with_backoff(
+        options.spawn_retry,
+        [&] {
+          if (slot.shm.base == nullptr &&
+              !slot.shm.map(options.chunk_capacity)) {
+            return false;
+          }
+          return try_fork(slot, is_respawn);
+        },
+        &retry_stats);
+    if (retry_stats.attempts > 1) {
+      stats.spawn_retries +=
+          static_cast<std::uint64_t>(retry_stats.attempts - 1);
+    }
+    if (ok && is_respawn) ++stats.respawns;
+    return ok;
+  }
+
+  void drop(Slot& slot) {
+    if (slot.command_write >= 0) {
+      ::close(slot.command_write);
+      slot.command_write = -1;
+    }
+    slot.pid = -1;
+    slot.live = false;
+    slot.busy = false;
+  }
+
+  /// Replace a dead worker; on terminal failure the pool shrinks.
+  void respawn(Slot& slot) {
+    drop(slot);
+    if (!spawn(slot, /*is_respawn=*/true)) {
+      slot.abandoned = true;
+      ++stats.shrinks;
+    }
+  }
+
+  int worker_count() const noexcept {
+    int count = 0;
+    for (const Slot& slot : slots) {
+      if (slot.live) ++count;
+    }
+    return count;
+  }
+
+  bool busy() const noexcept {
+    for (const Slot& slot : slots) {
+      if (slot.live && slot.busy) return true;
+    }
+    return false;
+  }
+
+  int try_dispatch(std::span<const Injection> chunk) {
+    if (chunk.empty() || chunk.size() > options.chunk_capacity) return -1;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (!slot.live || slot.busy) continue;
+      // The worker is blocked in read() between chunks (its last shared
+      // write was the previous chunk's final done-store), so resetting the
+      // counters and rewriting the injection slots here is race-free.
+      slot.shm.header->started.store(0, std::memory_order_release);
+      slot.shm.header->done.store(0, std::memory_order_release);
+      std::memcpy(slot.shm.injections, chunk.data(),
+                  chunk.size() * sizeof(Injection));
+      const auto count = static_cast<std::uint32_t>(chunk.size());
+      if (!write_full_nosigpipe(slot.command_write, &count, sizeof(count))) {
+        // The worker died while idle (its read end is gone).  Reap it and
+        // try the next slot; poll() would otherwise find it anyway.
+        ::kill(slot.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(slot.pid, &status, 0);
+        respawn(slot);
+        if (!slot.live || slot.busy) continue;
+        if (!write_full_nosigpipe(slot.command_write, &count,
+                                  sizeof(count))) {
+          continue;
+        }
+      }
+      slot.chunk_count = count;
+      slot.last_heartbeat =
+          slot.shm.header->heartbeat.load(std::memory_order_acquire);
+      slot.last_beat_time = std::chrono::steady_clock::now();
+      slot.busy = true;
+      return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  WorkerEvent harvest(int index, Slot& slot, WorkerEvent::Kind kind) {
+    WorkerEvent event;
+    event.kind = kind;
+    event.worker = index;
+    const std::uint64_t done =
+        slot.shm.header->done.load(std::memory_order_acquire);
+    const std::uint64_t started =
+        slot.shm.header->started.load(std::memory_order_acquire);
+    event.done = std::min<std::uint64_t>(done, slot.chunk_count);
+    event.results.resize(slot.chunk_count);
+    for (std::size_t i = 0; i < event.done; ++i) {
+      event.results[i] = decode_slot(slot.shm.slots[i]);
+    }
+    if (kind != WorkerEvent::Kind::kChunkDone && started > done) {
+      event.culprit = static_cast<std::size_t>(started - 1);
+    }
+    return event;
+  }
+
+  std::vector<WorkerEvent> poll() {
+    std::vector<WorkerEvent> events;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (!slot.live) continue;
+
+      int status = 0;
+      const pid_t waited = ::waitpid(slot.pid, &status, WNOHANG);
+      if (waited == slot.pid) {
+        const std::uint64_t done =
+            slot.shm.header->done.load(std::memory_order_acquire);
+        if (slot.busy && done >= slot.chunk_count) {
+          // Died *after* publishing the whole chunk (e.g. an external kill
+          // between chunks): the results are all valid, nothing is lost.
+          events.push_back(harvest(static_cast<int>(i), slot,
+                                   WorkerEvent::Kind::kChunkDone));
+          slot.busy = false;
+        } else if (slot.busy) {
+          WorkerEvent event = harvest(static_cast<int>(i), slot,
+                                      WorkerEvent::Kind::kWorkerDeath);
+          if (WIFSIGNALED(status)) {
+            event.reason = crash_reason_from_signal(WTERMSIG(status));
+            ++stats.signal_deaths;
+          } else {
+            event.reason = CrashReason::kAbnormalExit;
+            ++stats.abnormal_exits;
+          }
+          events.push_back(std::move(event));
+          slot.busy = false;
+        } else if (WIFSIGNALED(status)) {
+          ++stats.signal_deaths;  // idle worker killed externally: no event
+        } else {
+          ++stats.abnormal_exits;
+        }
+        respawn(slot);
+        continue;
+      }
+
+      if (!slot.busy) continue;
+
+      const std::uint64_t done =
+          slot.shm.header->done.load(std::memory_order_acquire);
+      if (done >= slot.chunk_count) {
+        events.push_back(harvest(static_cast<int>(i), slot,
+                                 WorkerEvent::Kind::kChunkDone));
+        slot.busy = false;
+        continue;
+      }
+
+      const std::uint64_t beat =
+          slot.shm.header->heartbeat.load(std::memory_order_acquire);
+      if (beat != slot.last_heartbeat) {
+        slot.last_heartbeat = beat;
+        slot.last_beat_time = now;
+      } else if (options.heartbeat_timeout_ms != 0 &&
+                 now - slot.last_beat_time > std::chrono::milliseconds(
+                                                 options.heartbeat_timeout_ms)) {
+        ::kill(slot.pid, SIGKILL);
+        ::waitpid(slot.pid, &status, 0);
+        events.push_back(harvest(static_cast<int>(i), slot,
+                                 WorkerEvent::Kind::kWorkerHang));
+        slot.busy = false;
+        ++stats.hang_kills;
+        respawn(slot);
+      }
+    }
+    return events;
+  }
+
+  void shutdown() {
+    if (shut_down) return;
+    shut_down = true;
+    // Ask politely: EOF on every command pipe.
+    for (Slot& slot : slots) {
+      if (slot.command_write >= 0) {
+        const std::uint32_t sentinel = kShutdownCommand;
+        write_full_nosigpipe(slot.command_write, &sentinel, sizeof(sentinel));
+        ::close(slot.command_write);
+        slot.command_write = -1;
+      }
+    }
+    // Grace period, then SIGKILL stragglers.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+    for (Slot& slot : slots) {
+      if (!slot.live) continue;
+      int status = 0;
+      for (;;) {
+        const pid_t waited = ::waitpid(slot.pid, &status, WNOHANG);
+        if (waited == slot.pid) break;
+        if (std::chrono::steady_clock::now() >= deadline) {
+          ::kill(slot.pid, SIGKILL);
+          ::waitpid(slot.pid, &status, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      slot.pid = -1;
+      slot.live = false;
+      slot.busy = false;
+    }
+  }
+};
+
+WorkerPool::WorkerPool(const Program& program, const GoldenRun& golden,
+                       WorkerPoolOptions options)
+    : impl_(std::make_unique<Impl>(program, golden, std::move(options))) {}
+
+WorkerPool::~WorkerPool() = default;
+
+int WorkerPool::worker_count() const noexcept { return impl_->worker_count(); }
+
+int WorkerPool::try_dispatch(std::span<const Injection> chunk) {
+  return impl_->try_dispatch(chunk);
+}
+
+std::vector<WorkerEvent> WorkerPool::poll() { return impl_->poll(); }
+
+bool WorkerPool::busy() const noexcept { return impl_->busy(); }
+
+std::int64_t WorkerPool::worker_pid(int slot) const noexcept {
+  if (slot < 0 || static_cast<std::size_t>(slot) >= impl_->slots.size()) {
+    return -1;
+  }
+  const Impl::Slot& s = impl_->slots[static_cast<std::size_t>(slot)];
+  // Only the pid is read: `live` belongs to the supervisor thread, and
+  // pid == -1 already encodes "slot not live".
+  return static_cast<std::int64_t>(s.pid.load(std::memory_order_relaxed));
+}
+
+void WorkerPool::shutdown() { impl_->shutdown(); }
+
+const WorkerPoolStats& WorkerPool::stats() const noexcept {
+  return impl_->stats;
+}
+
 #else  // !FTB_SANDBOX_POSIX
 
 bool sandbox_supported() noexcept { return false; }
@@ -347,6 +831,33 @@ std::vector<ExperimentResult> run_injected_sandboxed(
     ++s.fallback_experiments;
   }
   return results;
+}
+
+// WorkerPool stub: no process isolation, so the pool is permanently empty
+// and callers take their in-process fallback path.
+struct WorkerPool::Impl {
+  WorkerPoolStats stats;
+};
+
+WorkerPool::WorkerPool(const Program&, const GoldenRun&, WorkerPoolOptions)
+    : impl_(std::make_unique<Impl>()) {}
+
+WorkerPool::~WorkerPool() = default;
+
+int WorkerPool::worker_count() const noexcept { return 0; }
+
+int WorkerPool::try_dispatch(std::span<const Injection>) { return -1; }
+
+std::vector<WorkerEvent> WorkerPool::poll() { return {}; }
+
+bool WorkerPool::busy() const noexcept { return false; }
+
+std::int64_t WorkerPool::worker_pid(int) const noexcept { return -1; }
+
+void WorkerPool::shutdown() {}
+
+const WorkerPoolStats& WorkerPool::stats() const noexcept {
+  return impl_->stats;
 }
 
 #endif  // FTB_SANDBOX_POSIX

@@ -31,12 +31,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "fi/executor.h"
 #include "fi/outcome.h"
 #include "fi/program.h"
+#include "util/retry.h"
 
 namespace ftb::fi {
 
@@ -85,5 +87,144 @@ std::vector<ExperimentResult> run_injected_sandboxed(
     const Program& program, const GoldenRun& golden,
     std::span<const Injection> injections, const SandboxOptions& options = {},
     SandboxStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool.
+//
+// run_injected_sandboxed() pays one fork() per batch *and* one per abnormal
+// death; a campaign over a hazard kernel with thousands of lethal flips
+// spends most of its wall clock spawning children.  WorkerPool instead
+// pre-forks N long-lived workers at construction.  Each worker owns
+//
+//   * a private shared-memory region: a heartbeat counter the worker bumps
+//     on every chunk pickup and experiment start/finish, started/done
+//     progress counters, and fixed-capacity injection/result slot arrays;
+//   * a command pipe: the parent copies a chunk of injections into the
+//     region and writes the chunk size (u32) to the pipe; the worker blocks
+//     in read() between chunks, so an idle pool costs nothing.
+//
+// The parent polls: a worker whose pid waits (signal death / abnormal exit)
+// or whose heartbeat stalls past heartbeat_timeout_ms (SIGKILLed) yields a
+// WorkerEvent carrying every result the worker published before dying plus
+// the index of the in-flight culprit experiment, classified through the
+// same CrashReason taxonomy as the per-batch sandbox.  Dead workers are
+// respawned with exponential backoff (util/retry.h); when a respawn fails
+// terminally the pool *shrinks* instead of erroring, down to a floor of
+// zero -- callers watch worker_count() and fall back in-process (see
+// campaign/supervisor.h, which layers work-queue accounting, quarantine,
+// and checkpoint integration on top of this class).
+//
+// Single-threaded, like the rest of this file: construct, dispatch, and
+// poll from one thread while any worker threads are idle.
+// ---------------------------------------------------------------------------
+
+struct WorkerPoolOptions {
+  /// Target number of persistent workers.  The pool starts with as many as
+  /// it can actually spawn (degrading quietly under resource pressure).
+  int workers = 4;
+
+  /// Capacity of each worker's injection/result slot arrays: the largest
+  /// chunk one try_dispatch() call may carry.
+  std::size_t chunk_capacity = 64;
+
+  /// A busy worker whose heartbeat does not change for this long is
+  /// presumed hung, SIGKILLed, and reported as a kWorkerHang event.  The
+  /// heartbeat advances when a chunk is picked up and when an experiment
+  /// starts or finishes, so the budget is per experiment, not per chunk.
+  /// 0 disables hang detection.
+  std::uint32_t heartbeat_timeout_ms = 2000;
+
+  /// Backoff policy for fork/mmap, applied per spawn or respawn attempt.
+  util::RetryOptions spawn_retry;
+
+  /// Testing seam: the first N fork attempts fail as if fork() returned
+  /// EAGAIN, without forking.  Lets tests drive the degradation path
+  /// (shrink, then empty pool) deterministically.
+  int simulate_spawn_failures = 0;
+
+  /// Testing seam: like simulate_spawn_failures, but only *respawn*
+  /// attempts (replacements for dead workers) fail.  Initial spawns
+  /// succeed, so tests can build a healthy pool and then force it to
+  /// shrink the first time a worker dies.
+  int simulate_respawn_failures = 0;
+};
+
+/// Observability counters over the pool's lifetime.
+struct WorkerPoolStats {
+  std::uint64_t workers_spawned = 0;   // successful fork()s, incl. respawns
+  std::uint64_t respawns = 0;          // replacements for dead workers
+  std::uint64_t signal_deaths = 0;     // workers killed by a fault's signal
+  std::uint64_t hang_kills = 0;        // workers SIGKILLed on heartbeat stall
+  std::uint64_t abnormal_exits = 0;    // workers that exited nonzero
+  std::uint64_t spawn_retries = 0;     // fork/mmap failures retried
+  std::uint64_t shrinks = 0;           // worker slots permanently abandoned
+};
+
+/// What the pool observed about one worker during poll().
+struct WorkerEvent {
+  enum class Kind : std::uint8_t {
+    kChunkDone,    // all experiments of the chunk completed; results valid
+    kWorkerDeath,  // worker died on a signal / abnormal exit mid-chunk
+    kWorkerHang,   // heartbeat stalled; worker SIGKILLed mid-chunk
+  };
+
+  static constexpr std::size_t kNoCulprit = ~std::size_t{0};
+
+  Kind kind = Kind::kChunkDone;
+  int worker = -1;           // slot index, stable across respawns
+  std::size_t done = 0;      // results[0, done) were published and are valid
+  std::vector<ExperimentResult> results;  // sized to the dispatched chunk
+
+  /// Chunk index of the experiment the worker was executing when it died or
+  /// hung; kNoCulprit when it died between experiments (environmental
+  /// failure, no experiment to blame).  Always kNoCulprit for kChunkDone.
+  std::size_t culprit = kNoCulprit;
+
+  /// Signal-derived classification for kWorkerDeath (kAbnormalExit for a
+  /// nonzero exit); kNone otherwise.
+  CrashReason reason = CrashReason::kNone;
+};
+
+class WorkerPool {
+ public:
+  /// Spawns the initial workers immediately (as many as resources permit).
+  /// `program` and `golden` must outlive the pool.
+  WorkerPool(const Program& program, const GoldenRun& golden,
+             WorkerPoolOptions options = {});
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Live workers right now.  0 means isolation is unavailable (all spawns
+  /// failed, or a non-POSIX platform) -- run work in-process instead.
+  int worker_count() const noexcept;
+
+  /// Hands `chunk` (size <= chunk_capacity, non-empty) to an idle worker
+  /// and returns its slot index, or -1 when every live worker is busy.
+  int try_dispatch(std::span<const Injection> chunk);
+
+  /// Harvests completed chunks, deaths, and hangs; respawns dead workers
+  /// (shrinking the pool when respawn fails).  Returns the events observed,
+  /// possibly none.  Call in a loop interleaved with try_dispatch().
+  std::vector<WorkerEvent> poll();
+
+  /// True while any dispatched chunk has not yet been reported via poll().
+  bool busy() const noexcept;
+
+  /// OS pid of the worker in `slot`, or -1 if the slot is not live.  For
+  /// tests that kill workers externally; unlike the rest of this class it
+  /// is safe to call from another thread while the pool runs.
+  std::int64_t worker_pid(int slot) const noexcept;
+
+  /// Asks every worker to exit (EOF on its command pipe), reaps them, and
+  /// SIGKILLs stragglers.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  const WorkerPoolStats& stats() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ftb::fi

@@ -1,0 +1,57 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace ftb::util {
+
+bool retry_with_backoff(const RetryOptions& options,
+                        const std::function<bool()>& attempt,
+                        RetryStats* stats,
+                        const std::function<void(std::uint32_t)>& sleeper) {
+  RetryStats local;
+  RetryStats& s = stats != nullptr ? *stats : local;
+  s = RetryStats{};
+
+  Rng jitter_rng(options.jitter_seed);
+  double backoff_ms = static_cast<double>(options.initial_backoff_ms);
+
+  for (int tries = 0;; ++tries) {
+    ++s.attempts;
+    if (attempt()) return true;
+    if (tries >= options.max_retries) return false;
+
+    double sleep_ms = backoff_ms;
+    if (options.jitter > 0.0) {
+      sleep_ms *= jitter_rng.next_double(1.0 - options.jitter,
+                                         1.0 + options.jitter);
+    }
+    auto rounded = static_cast<std::uint32_t>(
+        std::llround(std::max(sleep_ms, 0.0)));
+    if (options.max_total_sleep_ms != 0) {
+      const std::uint32_t budget_left =
+          options.max_total_sleep_ms - std::min(options.max_total_sleep_ms,
+                                                s.total_sleep_ms);
+      if (budget_left == 0) {
+        s.deadline_hit = true;
+        return false;
+      }
+      rounded = std::min(rounded, budget_left);
+    }
+    if (rounded > 0) {
+      if (sleeper) {
+        sleeper(rounded);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(rounded));
+      }
+      s.total_sleep_ms += rounded;
+    }
+    backoff_ms *= options.multiplier;
+  }
+}
+
+}  // namespace ftb::util

@@ -1,0 +1,59 @@
+// Retry with exponential backoff, jitter, and a deadline cap.
+//
+// Transient resource failures -- fork() returning EAGAIN, mmap() hitting a
+// momentary ENOMEM, a filesystem briefly refusing a rename -- usually clear
+// within milliseconds, so the cheap fix is to try again after a short sleep.
+// This header centralises the policy every such site in the library shares:
+//
+//   * exponential backoff (initial_backoff_ms doubled -- or scaled by
+//     `multiplier` -- per failed attempt),
+//   * deterministic jitter (+/- `jitter` fraction of each sleep, driven by
+//     util::Rng so campaigns stay reproducible) to de-synchronise retry
+//     storms when many processes fail together,
+//   * a deadline cap (`max_total_sleep_ms`): retrying stops once the summed
+//     sleep budget is exhausted, even if attempts remain -- a caller waiting
+//     on a respawn must not stall a campaign for seconds.
+//
+// The callable is attempted once before any sleeping, so `max_retries = 0`
+// means "try exactly once".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ftb::util {
+
+struct RetryOptions {
+  /// Additional attempts after the first failure.
+  int max_retries = 3;
+  /// Sleep before the first retry; scaled by `multiplier` per retry.
+  std::uint32_t initial_backoff_ms = 5;
+  /// Backoff growth factor (2.0 = classic exponential doubling).
+  double multiplier = 2.0;
+  /// Each sleep is perturbed by a uniform factor in [1-jitter, 1+jitter].
+  /// 0 disables jitter entirely.
+  double jitter = 0.25;
+  /// Hard cap on the *summed* sleep time across all retries; when the next
+  /// sleep would exceed the remaining budget it is clamped to it, and once
+  /// the budget reaches zero no further retries happen.  0 disables the cap.
+  std::uint32_t max_total_sleep_ms = 2000;
+  /// Seed for the jitter stream (kept explicit for reproducibility).
+  std::uint64_t jitter_seed = 0x5eedbeefu;
+};
+
+/// Observability for one retry_with_backoff call.
+struct RetryStats {
+  int attempts = 0;                 ///< total calls of the attempt functor
+  std::uint32_t total_sleep_ms = 0; ///< summed (jittered, capped) sleeps
+  bool deadline_hit = false;        ///< stopped early because of the cap
+};
+
+/// Calls `attempt` until it returns true or the policy is exhausted.
+/// Returns the final attempt's verdict.  `sleeper` exists for tests; the
+/// default really sleeps via std::this_thread::sleep_for.
+bool retry_with_backoff(const RetryOptions& options,
+                        const std::function<bool()>& attempt,
+                        RetryStats* stats = nullptr,
+                        const std::function<void(std::uint32_t)>& sleeper = {});
+
+}  // namespace ftb::util

@@ -42,6 +42,40 @@ TEST(Adaptive, TerminatesAndStaysWithinSpace) {
   EXPECT_EQ(result.records.size(), result.sampled_ids.size());
 }
 
+TEST(Adaptive, SupervisedSurvivesHazardKernel) {
+  // With use_supervisor, adaptive inference survives a kernel whose flips
+  // segfault, trap, or spin -- running this in-process would kill or hang
+  // the test binary.  The supervisor persists across rounds, so a lethal
+  // site quarantined in an early round stays quarantined later.
+  const fi::ProgramPtr program =
+      kernels::make_program("hazard", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  util::ThreadPool pool(2);
+
+  AdaptiveOptions options;
+  options.round_fraction = 0.02;
+  options.min_round_samples = 32;
+  options.seed = 5;
+  options.use_supervisor = true;
+  options.supervisor.pool.workers = 2;
+  options.supervisor.quarantine_after = 2;
+  options.supervisor.pool.heartbeat_timeout_ms = 300;
+  const AdaptiveResult result =
+      infer_adaptive(*program, golden, options, pool);
+
+  EXPECT_GT(result.rounds.size(), 0u);
+  EXPECT_EQ(result.records.size(), result.sampled_ids.size());
+  // Still alive: every sampled experiment got exactly one record, and any
+  // lethal flip the sampler found ended up quarantined, not fatal.
+  EXPECT_EQ(result.supervisor_stats.quarantined,
+            static_cast<std::uint64_t>(
+                std::count_if(result.records.begin(), result.records.end(),
+                              [](const ExperimentRecord& r) {
+                                return r.result.crash_reason ==
+                                       fi::CrashReason::kQuarantined;
+                              })));
+}
+
 TEST(Adaptive, NeverRetestsAnExperiment) {
   Prepared p("daxpy");
   const AdaptiveResult result =

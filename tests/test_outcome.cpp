@@ -53,11 +53,35 @@ TEST(OutputComparator, ClassifySdc) {
   EXPECT_EQ(cmp.classify(wrong, golden), Outcome::kSdc);
 }
 
-TEST(OutputComparator, ClassifyCrashOnNonFinite) {
+TEST(OutputComparator, ClassifySdcOnNonFinite) {
+  // Deterministic rule: a run that *finished* with NaN/Inf in its output
+  // never trapped, so the corruption is silent -- always SDC, never Masked
+  // and never Crash (crashes are loud; the CrashSignal path covers them).
   const OutputComparator cmp{};
   const std::vector<double> golden = {1.0, 2.0};
-  EXPECT_EQ(cmp.classify(std::vector<double>{1.0, kInf}, golden), Outcome::kCrash);
-  EXPECT_EQ(cmp.classify(std::vector<double>{kNan, 2.0}, golden), Outcome::kCrash);
+  EXPECT_EQ(cmp.classify(std::vector<double>{1.0, kInf}, golden),
+            Outcome::kSdc);
+  EXPECT_EQ(cmp.classify(std::vector<double>{kNan, 2.0}, golden),
+            Outcome::kSdc);
+  EXPECT_EQ(cmp.classify(std::vector<double>{1.0, -kInf}, golden),
+            Outcome::kSdc);
+}
+
+TEST(OutputComparator, NonFiniteOutputNeverMasked) {
+  // Even under an absurdly permissive tolerance a non-finite output must
+  // not classify as Masked.
+  const OutputComparator cmp{1e300, 1e300};
+  const std::vector<double> golden = {1.0, 2.0};
+  EXPECT_EQ(cmp.classify(std::vector<double>{kInf, 2.0}, golden),
+            Outcome::kSdc);
+  EXPECT_EQ(cmp.classify(std::vector<double>{1.0, kNan}, golden),
+            Outcome::kSdc);
+}
+
+TEST(CrashReasonTaxonomy, QuarantinedIsIsolationReason) {
+  EXPECT_STREQ(to_string(CrashReason::kQuarantined), "quarantined");
+  EXPECT_TRUE(is_isolation_reason(CrashReason::kQuarantined));
+  EXPECT_FALSE(is_isolation_reason(CrashReason::kNonFinite));
 }
 
 class ToleranceBoundarySweep : public ::testing::TestWithParam<double> {};

@@ -1,0 +1,132 @@
+// Tests for util/retry.h: attempt counting, jittered exponential backoff,
+// and the deadline cap.  All sleeping goes through the injectable sleeper,
+// so these tests take no wall-clock time.
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftb::util {
+namespace {
+
+TEST(Retry, FirstAttemptSuccessSleepsNever) {
+  RetryStats stats;
+  std::vector<std::uint32_t> sleeps;
+  const bool ok = retry_with_backoff(
+      {}, [] { return true; }, &stats,
+      [&](std::uint32_t ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.total_sleep_ms, 0u);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_FALSE(stats.deadline_hit);
+}
+
+TEST(Retry, ZeroRetriesMeansExactlyOneAttempt) {
+  RetryOptions options;
+  options.max_retries = 0;
+  RetryStats stats;
+  int calls = 0;
+  const bool ok = retry_with_backoff(
+      options,
+      [&] {
+        ++calls;
+        return false;
+      },
+      &stats, [](std::uint32_t) {});
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.attempts, 1);
+}
+
+TEST(Retry, SucceedsAfterTransientFailures) {
+  RetryOptions options;
+  options.max_retries = 5;
+  RetryStats stats;
+  int calls = 0;
+  const bool ok = retry_with_backoff(
+      options,
+      [&] {
+        ++calls;
+        return calls >= 3;
+      },
+      &stats, [](std::uint32_t) {});
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+}
+
+TEST(Retry, BackoffGrowsExponentiallyWithinJitterBand) {
+  RetryOptions options;
+  options.max_retries = 4;
+  options.initial_backoff_ms = 100;
+  options.multiplier = 2.0;
+  options.jitter = 0.25;
+  options.max_total_sleep_ms = 0;  // no cap for this test
+  std::vector<std::uint32_t> sleeps;
+  retry_with_backoff(
+      options, [] { return false; }, nullptr,
+      [&](std::uint32_t ms) { sleeps.push_back(ms); });
+  ASSERT_EQ(sleeps.size(), 4u);
+  double nominal = 100.0;
+  for (const std::uint32_t ms : sleeps) {
+    EXPECT_GE(ms, static_cast<std::uint32_t>(0.75 * nominal) - 1);
+    EXPECT_LE(ms, static_cast<std::uint32_t>(1.25 * nominal) + 1);
+    nominal *= 2.0;
+  }
+}
+
+TEST(Retry, JitterIsDeterministicPerSeed) {
+  RetryOptions options;
+  options.max_retries = 3;
+  options.max_total_sleep_ms = 0;
+  const auto run = [&](std::uint64_t seed) {
+    options.jitter_seed = seed;
+    std::vector<std::uint32_t> sleeps;
+    retry_with_backoff(
+        options, [] { return false; }, nullptr,
+        [&](std::uint32_t ms) { sleeps.push_back(ms); });
+    return sleeps;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Retry, DeadlineCapClampsAndStops) {
+  RetryOptions options;
+  options.max_retries = 1000;
+  options.initial_backoff_ms = 64;
+  options.jitter = 0.0;
+  options.max_total_sleep_ms = 100;
+  RetryStats stats;
+  std::vector<std::uint32_t> sleeps;
+  const bool ok = retry_with_backoff(
+      options, [] { return false; }, &stats,
+      [&](std::uint32_t ms) { sleeps.push_back(ms); });
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(stats.deadline_hit);
+  // Summed sleeps never exceed the budget; the last one is clamped to it.
+  EXPECT_LE(stats.total_sleep_ms, 100u);
+  std::uint32_t total = 0;
+  for (const std::uint32_t ms : sleeps) total += ms;
+  EXPECT_EQ(total, stats.total_sleep_ms);
+  // Far fewer than max_retries attempts: the budget stopped the loop.
+  EXPECT_LT(stats.attempts, 10);
+}
+
+TEST(Retry, StatsResetBetweenCalls) {
+  RetryOptions options;
+  options.max_retries = 2;
+  RetryStats stats;
+  retry_with_backoff(
+      options, [] { return false; }, &stats, [](std::uint32_t) {});
+  const int first_attempts = stats.attempts;
+  retry_with_backoff(
+      options, [] { return true; }, &stats, [](std::uint32_t) {});
+  EXPECT_EQ(first_attempts, 3);
+  EXPECT_EQ(stats.attempts, 1);
+}
+
+}  // namespace
+}  // namespace ftb::util

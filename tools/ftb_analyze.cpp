@@ -124,12 +124,33 @@ int cmd_infer(const util::Cli& cli) {
     campaign::AdaptiveOptions options;
     options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     options.filter = cli.get_bool("filter", true);
+    // --workers N routes every round through the persistent worker-pool
+    // supervisor -- the only safe way to run adaptive inference on the
+    // hazard kernels, whose lethal flips would kill this process.
+    options.use_supervisor =
+        cli.has("workers") || cli.has("quarantine-after");
+    options.supervisor.pool.workers = cli.get_int("workers", 4);
+    options.supervisor.quarantine_after = cli.get_int("quarantine-after", 3);
     const campaign::AdaptiveResult result =
         campaign::infer_adaptive(*k.program, k.golden, options, pool);
     std::printf("adaptive sampling : %zu experiments (%.2f%% of space), "
                 "%zu rounds\n",
                 result.sampled_ids.size(), 100.0 * result.sample_fraction(),
                 result.rounds.size());
+    if (options.use_supervisor) {
+      std::printf("supervisor        : %llu workers spawned, %llu deaths, "
+                  "%llu hangs, %llu quarantined\n",
+                  static_cast<unsigned long long>(
+                      result.supervisor_stats.pool.workers_spawned),
+                  static_cast<unsigned long long>(
+                      result.supervisor_stats.worker_deaths),
+                  static_cast<unsigned long long>(
+                      result.supervisor_stats.worker_hangs),
+                  static_cast<unsigned long long>(
+                      result.supervisor_stats.quarantined));
+    }
+    std::fputs(boundary::render_build_health(result.nonfinite_skipped).c_str(),
+               stdout);
     built = result.boundary;
   } else if (strategy == "uniform") {
     campaign::InferenceOptions options;
@@ -150,6 +171,8 @@ int cmd_infer(const util::Cli& cli) {
                 static_cast<unsigned long long>(result.counts.hang));
     std::printf("uncertainty       : %s (self-verified precision)\n",
                 util::percent(self.precision()).c_str());
+    std::fputs(boundary::render_build_health(result.nonfinite_skipped).c_str(),
+               stdout);
     built = result.boundary;
   } else {
     std::fprintf(stderr, "error: unknown --strategy %s\n", strategy.c_str());
@@ -177,8 +200,10 @@ void print_outcomes(std::span<const campaign::ExperimentRecord> records) {
 /// Checkpointed campaign: run the sampled experiment set through the
 /// journalled runner, flushing every --flush-every experiments so an
 /// interrupted invocation resumes from the last flush.  --timeout-ms (or
-/// --sandbox 1) routes experiments through the fork-based isolation layer,
-/// which is the only way hazard kernels can be campaigned safely.
+/// --sandbox 1) routes experiments through the fork-based isolation layer;
+/// --workers N upgrades that to the persistent worker-pool supervisor
+/// (heartbeats, respawn with backoff, --quarantine-after K site
+/// quarantine), which is the cheapest way to campaign hazard kernels.
 int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
                         const std::string& path) {
   campaign::CheckpointOptions options;
@@ -188,6 +213,10 @@ int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
   options.use_sandbox = cli.get_bool("sandbox", cli.has("timeout-ms"));
   options.sandbox.timeout_ms =
       static_cast<std::uint32_t>(cli.get_int("timeout-ms", 2000));
+  options.use_supervisor = cli.has("workers") || cli.has("quarantine-after");
+  options.supervisor.pool.workers = cli.get_int("workers", 4);
+  options.supervisor.pool.heartbeat_timeout_ms = options.sandbox.timeout_ms;
+  options.supervisor.quarantine_after = cli.get_int("quarantine-after", 3);
 
   // The id set must be a pure function of the seed: a resumed invocation
   // has to aim at the same experiments as the interrupted one.
@@ -206,7 +235,21 @@ int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
   std::printf("executed          : %llu experiments, %llu journal flushes\n",
               static_cast<unsigned long long>(run.executed),
               static_cast<unsigned long long>(run.flushes));
-  if (options.use_sandbox) {
+  if (options.use_supervisor) {
+    const campaign::SupervisorStats& sup = run.supervisor_stats;
+    std::printf("supervisor        : %llu workers spawned, %llu deaths, "
+                "%llu hangs, %llu respawns\n",
+                static_cast<unsigned long long>(sup.pool.workers_spawned),
+                static_cast<unsigned long long>(sup.worker_deaths),
+                static_cast<unsigned long long>(sup.worker_hangs),
+                static_cast<unsigned long long>(sup.pool.respawns));
+    std::printf("work accounting   : %llu chunks, %llu requeued, "
+                "%llu quarantined, %llu fallback\n",
+                static_cast<unsigned long long>(sup.chunks_dispatched),
+                static_cast<unsigned long long>(sup.experiments_requeued),
+                static_cast<unsigned long long>(sup.quarantined),
+                static_cast<unsigned long long>(sup.fallback_experiments));
+  } else if (options.use_sandbox) {
     std::printf("sandbox           : %llu children, %llu signal deaths, "
                 "%llu watchdog kills, %llu fallback\n",
                 static_cast<unsigned long long>(run.sandbox_stats.children_spawned),
@@ -379,13 +422,17 @@ int main(int argc, char** argv) {
       "  list        known kernels and presets\n"
       "  golden      golden-run statistics and phase table\n"
       "  infer       build a boundary by sampling (--strategy uniform|adaptive,\n"
-      "              --fraction F, --filter 0|1, --save FILE)\n"
+      "              --fraction F, --filter 0|1, --save FILE; with adaptive,\n"
+      "              --workers N / --quarantine-after K run rounds through the\n"
+      "              crash-safe supervisor -- required for hazard kernels)\n"
       "  exhaustive  ground-truth campaign and exact boundary (--save FILE)\n"
       "  campaign    resumable logged campaign: run --batch more experiments,\n"
       "              append to --log FILE, rebuild the boundary; or\n"
       "              --resume FILE for the checkpointed runner (--flush-every N,\n"
       "              --sandbox 0|1, --timeout-ms MS watchdog; sandboxing is\n"
-      "              required for hazard kernels)\n"
+      "              required for hazard kernels).  --workers N runs the\n"
+      "              persistent worker-pool supervisor instead (heartbeats,\n"
+      "              respawn, --quarantine-after K site quarantine)\n"
       "  report      per-phase vulnerability report (--load FILE)\n"
       "  protect     selective-protection plan (--load FILE, --budget F or\n"
       "              --target R)\n\n"
