@@ -25,10 +25,27 @@ void BoundaryAccumulator::record_injection(std::size_t site, int bit,
 
   switch (outcome) {
     case fi::Outcome::kMasked:
+      if (!std::isfinite(injected_error)) {
+        // An exponent flip can push |x' - x| to +inf even when the run ends
+        // masked.  Folding that into masked_inj_max makes the unfiltered
+        // threshold max(prop_max, inf) = inf -- the site then predicts
+        // *every* fault masked.  Skip the magnitude (the bit still counts
+        // as tested) and tally it like record_masked_value does.
+        ++nonfinite_skipped_;
+        break;
+      }
       state.masked_inj_max = std::max(state.masked_inj_max, injected_error);
       state.masked_inj.push_back(injected_error);
       break;
     case fi::Outcome::kSdc:
+      if (!std::isfinite(injected_error)) {
+        // An infinite (or NaN) injected error that still flips the output
+        // carries no usable magnitude: it cannot tighten min_sdc_inj (the
+        // old code's `inf < inf` was silently false; NaN compares false on
+        // everything).  Count it so reports surface the loss.
+        ++nonfinite_skipped_;
+        break;
+      }
       if (injected_error < state.min_sdc_inj) {
         state.min_sdc_inj = injected_error;
         // New SDC evidence can invalidate previously accepted propagation
@@ -37,6 +54,7 @@ void BoundaryAccumulator::record_injection(std::size_t site, int bit,
           while (!state.prop_buffer.empty() &&
                  state.prop_buffer.back() >= state.min_sdc_inj) {
             state.prop_buffer.pop_back();
+            ++filter_rejected_;
           }
         }
       }
@@ -50,12 +68,16 @@ void BoundaryAccumulator::record_injection(std::size_t site, int bit,
 }
 
 void BoundaryAccumulator::insert_filtered(SiteState& state, double value) {
-  if (value >= state.min_sdc_inj) return;  // Section 3.5 rejection
+  if (value >= state.min_sdc_inj) {  // Section 3.5 rejection
+    ++filter_rejected_;
+    return;
+  }
   auto pos = std::lower_bound(state.prop_buffer.begin(),
                               state.prop_buffer.end(), value);
   state.prop_buffer.insert(pos, value);
   if (state.prop_buffer.size() > options_.prop_buffer_cap) {
     state.prop_buffer.erase(state.prop_buffer.begin());  // drop the smallest
+    ++prop_evicted_;
   }
 }
 

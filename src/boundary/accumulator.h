@@ -74,6 +74,15 @@ class BoundaryAccumulator {
     return nonfinite_skipped_;
   }
 
+  /// Filtered mode: propagation values rejected by the Section 3.5 filter,
+  /// either at insert time (value >= the site's current SDC minimum) or
+  /// pruned later when new SDC evidence lowered that minimum.
+  std::uint64_t filter_rejected() const noexcept { return filter_rejected_; }
+
+  /// Filtered mode: values evicted from a full per-site buffer (the
+  /// smallest is dropped once prop_buffer_cap is exceeded).
+  std::uint64_t prop_evicted() const noexcept { return prop_evicted_; }
+
   /// Builds the boundary from everything recorded so far.  Can be called
   /// repeatedly (the progressive sampler rebuilds every round).
   FaultToleranceBoundary finalize() const;
@@ -103,6 +112,8 @@ class BoundaryAccumulator {
   AccumulatorOptions options_;
   std::vector<SiteState> states_;
   std::uint64_t nonfinite_skipped_ = 0;
+  std::uint64_t filter_rejected_ = 0;
+  std::uint64_t prop_evicted_ = 0;
 };
 
 }  // namespace ftb::boundary

@@ -7,9 +7,19 @@
 #include "boundary/accumulator.h"
 #include "boundary/predictor.h"
 #include "campaign/sampler.h"
+#include "telemetry/events.h"
 #include "util/rng.h"
 
 namespace ftb::campaign {
+
+bool adaptive_should_stop(const OutcomeCounts& counts,
+                          double stop_sdc_fraction) noexcept {
+  const std::uint64_t silent = counts.masked + counts.sdc;
+  if (silent == 0) return false;  // no silent evidence -> keep sampling
+  const double masked_share =
+      static_cast<double>(counts.masked) / static_cast<double>(silent);
+  return masked_share <= 1.0 - stop_sdc_fraction;
+}
 
 AdaptiveResult infer_adaptive(const fi::Program& program,
                               const fi::GoldenRun& golden,
@@ -34,18 +44,25 @@ AdaptiveResult infer_adaptive(const fi::Program& program,
   for (std::uint64_t id = 0; id < space; ++id) candidates[id] = id;
 
   util::Rng rng(options.seed);
-  const double max_masked_share = 1.0 - options.stop_sdc_fraction;
 
   // The supervisor (and its forked workers) persists across rounds, so the
   // quarantine ledger keeps protecting later rounds from lethal flips
   // rediscovered by the bias.
   std::optional<CampaignSupervisor> supervisor;
   if (options.use_supervisor) {
-    supervisor.emplace(program, golden, options.supervisor);
+    SupervisorOptions supervisor_options = options.supervisor;
+    if (supervisor_options.telemetry == nullptr) {
+      supervisor_options.telemetry = options.telemetry;
+    }
+    supervisor.emplace(program, golden, supervisor_options);
   }
 
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     if (candidates.empty()) break;
+
+    telemetry::SpanScope round_span(options.telemetry, "adaptive.round",
+                                    "campaign");
+    round_span.arg("round", static_cast<double>(round));
 
     AdaptiveRound round_stats;
     round_stats.candidates_before = candidates.size();
@@ -58,10 +75,11 @@ AdaptiveResult infer_adaptive(const fi::Program& program,
         supervisor ? run_and_accumulate_supervised(
                          program, golden, picked, pool, *supervisor,
                          accumulator, result.information,
-                         options.significance_rel_error)
+                         options.significance_rel_error, options.telemetry)
                    : run_and_accumulate(program, golden, picked, pool,
                                         accumulator, result.information,
-                                        options.significance_rel_error);
+                                        options.significance_rel_error,
+                                        options.telemetry);
     round_stats.counts = count_outcomes(records);
     result.rounds.push_back(round_stats);
     result.sampled_ids.insert(result.sampled_ids.end(), picked.begin(),
@@ -86,19 +104,35 @@ AdaptiveResult infer_adaptive(const fi::Program& program,
     }
     candidates.swap(next_pool);
 
-    // Stop once a round yields (almost) no new masked cases.
-    const double masked_share =
-        round_stats.counts.total()
-            ? static_cast<double>(round_stats.counts.masked) /
-                  static_cast<double>(round_stats.counts.total())
-            : 0.0;
-    if (masked_share <= max_masked_share) break;
+    if (telemetry::active(options.telemetry)) {
+      round_span.arg("picked", static_cast<double>(picked.size()));
+      round_span.arg("masked", static_cast<double>(round_stats.counts.masked));
+      round_span.arg("sdc", static_cast<double>(round_stats.counts.sdc));
+      round_span.arg("crash", static_cast<double>(round_stats.counts.crash));
+      round_span.arg("hang", static_cast<double>(round_stats.counts.hang));
+      round_span.arg("candidates_before",
+                     static_cast<double>(round_stats.candidates_before));
+      round_span.arg("candidates_after",
+                     static_cast<double>(candidates.size()));
+      options.telemetry->metrics()
+          .gauge("adaptive.candidate_pool")
+          .set(static_cast<double>(candidates.size()));
+      options.telemetry->metrics().counter("adaptive.rounds").add();
+    }
+
+    // Stop once a round yields (almost) no new masked cases among its
+    // silent outcomes (see adaptive_should_stop for the Section 3.4
+    // alignment: crashes/hangs are excluded from the denominator).
+    if (adaptive_should_stop(round_stats.counts, options.stop_sdc_fraction)) {
+      break;
+    }
   }
 
   result.boundary = accumulator.finalize();
   std::sort(result.sampled_ids.begin(), result.sampled_ids.end());
   if (supervisor) result.supervisor_stats = supervisor->stats();
   result.nonfinite_skipped = accumulator.nonfinite_skipped();
+  publish_accumulator_metrics(options.telemetry, accumulator);
   return result;
 }
 

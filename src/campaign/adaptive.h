@@ -35,6 +35,12 @@ struct AdaptiveOptions {
   /// sampler; see run_and_accumulate_supervised for the evidence rules.
   bool use_supervisor = false;
   SupervisorOptions supervisor;
+
+  /// Optional telemetry sink (telemetry/events.h): adaptive.round spans
+  /// (with outcome counts and pool shrinkage args), the campaign.* batch
+  /// metrics, and -- when use_supervisor is set and supervisor.telemetry is
+  /// unset -- the supervisor/pool instrumentation too.  Never owned.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct AdaptiveRound {
@@ -58,6 +64,17 @@ struct AdaptiveResult {
                  : 0.0;
   }
 };
+
+/// Section 3.4 stop rule: stop once masked samples are <= (1 - stop_sdc
+/// fraction) of the round's *silent* outcomes (masked + SDC).  The paper's
+/// "95% of the new samples are SDC" speaks about the masked/SDC split only;
+/// crashes, hangs, and quarantined experiments are detectable outcomes that
+/// say nothing about how much masked space is left, so they are excluded
+/// from the denominator -- a crash-heavy round must not end sampling while
+/// the masked share among silent outcomes is still high.  A round with no
+/// silent outcomes at all never stops the loop.
+bool adaptive_should_stop(const OutcomeCounts& counts,
+                          double stop_sdc_fraction) noexcept;
 
 AdaptiveResult infer_adaptive(const fi::Program& program,
                               const fi::GoldenRun& golden,

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "telemetry/events.h"
+
 namespace ftb::campaign {
 
 CheckpointRunResult run_campaign_checkpointed(
@@ -60,22 +62,35 @@ CheckpointRunResult run_campaign_checkpointed(
   // once, and the quarantine ledger accumulates across chunks.
   std::optional<CampaignSupervisor> supervisor;
   if (options.use_supervisor) {
-    supervisor.emplace(program, golden, options.supervisor);
+    SupervisorOptions supervisor_options = options.supervisor;
+    if (supervisor_options.telemetry == nullptr) {
+      supervisor_options.telemetry = options.telemetry;
+    }
+    supervisor.emplace(program, golden, supervisor_options);
   }
 
   const auto flush = [&] {
+    telemetry::SpanScope span(options.telemetry, "checkpoint.flush",
+                              "checkpoint");
+    span.arg("records", static_cast<double>(result.log.size()));
     if (!result.log.save(options.path)) {
       throw std::runtime_error(
           "run_campaign_checkpointed: cannot write journal '" + options.path +
           "'");
     }
     ++result.flushes;
+    if (telemetry::active(options.telemetry)) {
+      options.telemetry->metrics().counter("checkpoint.flushes").add();
+    }
   };
 
   for (std::size_t begin = 0; begin < remaining.size(); begin += flush_every) {
     const std::size_t end = std::min(begin + flush_every, remaining.size());
     const std::span<const ExperimentId> chunk(remaining.data() + begin,
                                               end - begin);
+    telemetry::SpanScope chunk_span(options.telemetry, "checkpoint.chunk",
+                                    "checkpoint");
+    chunk_span.arg("experiments", static_cast<double>(chunk.size()));
     std::vector<ExperimentRecord> batch;
     if (supervisor) {
       batch = supervisor->run(chunk);
@@ -97,6 +112,11 @@ CheckpointRunResult run_campaign_checkpointed(
     }
     result.log.append(batch);
     result.executed += batch.size();
+    if (telemetry::active(options.telemetry)) {
+      options.telemetry->metrics()
+          .counter("checkpoint.experiments")
+          .add(batch.size());
+    }
     flush();
   }
 

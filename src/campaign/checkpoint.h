@@ -46,6 +46,12 @@ struct CheckpointOptions {
   SupervisorOptions supervisor;
   /// Thread pool for the non-sandbox path; util::default_pool() when null.
   util::ThreadPool* pool = nullptr;
+
+  /// Optional telemetry sink (telemetry/events.h): checkpoint.chunk and
+  /// checkpoint.flush spans plus checkpoint.* counters; forwarded to the
+  /// supervisor (and through it the pool) when supervisor.telemetry is
+  /// unset.  Never owned; must outlive the call.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct CheckpointRunResult {

@@ -7,16 +7,36 @@
 #include "boundary/predictor.h"
 #include "campaign/sampler.h"
 #include "fi/fpbits.h"
+#include "telemetry/events.h"
 #include "util/rng.h"
 
 namespace ftb::campaign {
+
+void publish_accumulator_metrics(
+    telemetry::Telemetry* telemetry,
+    const boundary::BoundaryAccumulator& accumulator) {
+  if (!telemetry::active(telemetry)) return;
+  auto& metrics = telemetry->metrics();
+  metrics.gauge("boundary.nonfinite_skipped")
+      .set(static_cast<double>(accumulator.nonfinite_skipped()));
+  metrics.gauge("boundary.filter_rejected")
+      .set(static_cast<double>(accumulator.filter_rejected()));
+  metrics.gauge("boundary.prop_evicted")
+      .set(static_cast<double>(accumulator.prop_evicted()));
+}
 
 std::vector<ExperimentRecord> run_and_accumulate(
     const fi::Program& program, const fi::GoldenRun& golden,
     std::span<const ExperimentId> ids, util::ThreadPool& pool,
     boundary::BoundaryAccumulator& accumulator,
-    std::vector<double>& site_information, double significance_rel_error) {
+    std::vector<double>& site_information, double significance_rel_error,
+    telemetry::Telemetry* telemetry) {
   assert(site_information.size() == golden.trace.size());
+
+  telemetry::SpanScope span(telemetry, "campaign.batch", "campaign");
+  span.arg("experiments", static_cast<double>(ids.size()));
+  const std::uint64_t batch_start_ns =
+      telemetry::active(telemetry) ? telemetry->now_ns() : 0;
 
   const auto consume = [&](const ExperimentRecord& record,
                            std::span<const double> diffs) {
@@ -41,7 +61,22 @@ std::vector<ExperimentRecord> run_and_accumulate(
     }
   };
 
-  return run_experiments_compare(program, golden, ids, pool, consume);
+  std::vector<ExperimentRecord> records =
+      run_experiments_compare(program, golden, ids, pool, consume);
+
+  if (telemetry::active(telemetry)) {
+    auto& metrics = telemetry->metrics();
+    metrics.counter("campaign.experiments").add(ids.size());
+    const std::uint64_t elapsed_ns = telemetry->now_ns() - batch_start_ns;
+    metrics.histogram("campaign.batch_ns").record(elapsed_ns);
+    if (elapsed_ns > 0) {
+      metrics.gauge("campaign.experiments_per_s")
+          .set(static_cast<double>(ids.size()) * 1e9 /
+               static_cast<double>(elapsed_ns));
+    }
+    publish_accumulator_metrics(telemetry, accumulator);
+  }
+  return records;
 }
 
 std::vector<ExperimentRecord> run_and_accumulate_supervised(
@@ -49,7 +84,8 @@ std::vector<ExperimentRecord> run_and_accumulate_supervised(
     std::span<const ExperimentId> ids, util::ThreadPool& pool,
     CampaignSupervisor& supervisor,
     boundary::BoundaryAccumulator& accumulator,
-    std::vector<double>& site_information, double significance_rel_error) {
+    std::vector<double>& site_information, double significance_rel_error,
+    telemetry::Telemetry* telemetry) {
   assert(site_information.size() == golden.trace.size());
 
   // Pass 1, isolated: classify every experiment behind the worker pool.
@@ -78,7 +114,7 @@ std::vector<ExperimentRecord> run_and_accumulate_supervised(
     site_information[site] += 1.0;
   }
   run_and_accumulate(program, golden, safe, pool, accumulator,
-                     site_information, significance_rel_error);
+                     site_information, significance_rel_error, telemetry);
   return records;
 }
 
@@ -97,13 +133,18 @@ InferenceResult infer_uniform(const fi::Program& program,
 
   boundary::BoundaryAccumulator accumulator(
       golden.trace.size(), {options.filter, options.prop_buffer_cap});
-  result.records =
-      run_and_accumulate(program, golden, result.sampled_ids, pool,
-                         accumulator, result.information,
-                         options.significance_rel_error);
+  {
+    telemetry::SpanScope span(options.telemetry, "infer.uniform", "campaign");
+    span.arg("experiments", static_cast<double>(result.sampled_ids.size()));
+    result.records =
+        run_and_accumulate(program, golden, result.sampled_ids, pool,
+                           accumulator, result.information,
+                           options.significance_rel_error, options.telemetry);
+  }
   result.counts = count_outcomes(result.records);
   result.boundary = accumulator.finalize();
   result.nonfinite_skipped = accumulator.nonfinite_skipped();
+  publish_accumulator_metrics(options.telemetry, accumulator);
   return result;
 }
 

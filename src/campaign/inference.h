@@ -26,6 +26,11 @@ struct InferenceOptions {
   bool filter = false;                 // Section 3.5 filter operation
   std::size_t prop_buffer_cap = 32;
   double significance_rel_error = 1e-8;  // Figure 4 row 2 significance cut
+
+  /// Optional telemetry sink (telemetry/events.h): campaign.batch spans,
+  /// campaign.experiments counter, experiments/s gauge, and the boundary
+  /// accumulator health gauges.  Never owned; must outlive the call.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct InferenceResult {
@@ -51,7 +56,8 @@ std::vector<ExperimentRecord> run_and_accumulate(
     const fi::Program& program, const fi::GoldenRun& golden,
     std::span<const ExperimentId> ids, util::ThreadPool& pool,
     boundary::BoundaryAccumulator& accumulator,
-    std::vector<double>& site_information, double significance_rel_error);
+    std::vector<double>& site_information, double significance_rel_error,
+    telemetry::Telemetry* telemetry = nullptr);
 
 /// Supervisor-backed variant for hazard programs whose corrupted runs can
 /// kill or hang the process: outcomes come from the isolated worker pool
@@ -66,7 +72,14 @@ std::vector<ExperimentRecord> run_and_accumulate_supervised(
     std::span<const ExperimentId> ids, util::ThreadPool& pool,
     CampaignSupervisor& supervisor,
     boundary::BoundaryAccumulator& accumulator,
-    std::vector<double>& site_information, double significance_rel_error);
+    std::vector<double>& site_information, double significance_rel_error,
+    telemetry::Telemetry* telemetry = nullptr);
+
+/// Publishes the accumulator's health counters (non-finite skips, filter
+/// rejections, prop-buffer evictions) as boundary.* gauges.  No-op on a
+/// null/disabled sink; safe to call repeatedly (gauges are set, not added).
+void publish_accumulator_metrics(telemetry::Telemetry* telemetry,
+                                 const boundary::BoundaryAccumulator& accumulator);
 
 /// Confusion of boundary predictions against a batch of known-outcome
 /// records (used when only a sampled ground truth exists, e.g. Table 4's

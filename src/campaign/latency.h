@@ -36,7 +36,26 @@ struct LatencyReport {
   std::uint64_t experiments = 0;
   std::uint64_t crashes = 0;
   std::uint64_t sdcs = 0;
+
+  /// Crash experiments excluded from crash_latency because they carry no
+  /// valid trap site: control-flow divergence, sandboxed signal deaths,
+  /// hang kills, and quarantined experiments all report crash_site = 0
+  /// (no non-finite value ever hit the trace).  Charging those would
+  /// compute crash_site - site on unrelated numbers -- in release builds
+  /// that underflows to a huge uint64 and wrecks the latency table.
+  std::uint64_t crashes_without_trap_site = 0;
 };
+
+/// Folds one experiment record (plus its propagation diffs, empty for
+/// non-SDC outcomes) into `report`.  Exposed separately from
+/// measure_latency so tests can feed synthetic records; only crash records
+/// whose crash_reason is kNonFinite with crash_site >= injection site
+/// contribute to crash_latency, everything else lands in
+/// crashes_without_trap_site.
+void accumulate_latency(LatencyReport& report, const fi::GoldenRun& golden,
+                        const ExperimentRecord& record,
+                        std::span<const double> diffs,
+                        double significance_rel_error);
 
 /// Runs `ids` with propagation capture and aggregates the latency report.
 /// `significance_rel_error` matches the paper's 1e-8 significance cut.

@@ -18,7 +18,13 @@ std::vector<ExperimentId> sample_biased(
   k = std::min<std::uint64_t>(k, candidates.size());
   if (k == 0) return {};
   if (k == candidates.size()) {
-    return {candidates.begin(), candidates.end()};
+    // Full-pool round.  Callers rely on the sorted postcondition (see
+    // sampler.h) -- infer_adaptive binary-searches the result -- and
+    // `candidates` arrives in whatever order the caller built it, so this
+    // fast path must sort just like the reservoir path below.
+    std::vector<ExperimentId> all(candidates.begin(), candidates.end());
+    std::sort(all.begin(), all.end());
+    return all;
   }
 
   // Efraimidis-Spirakis: each candidate draws key u^(1/w); keep the k

@@ -24,7 +24,12 @@ std::vector<ExperimentId> sample_uniform(util::Rng& rng, std::uint64_t space,
 
 /// k distinct experiments from `candidates`, where each candidate's weight
 /// is 1 / (1 + S_site) with S taken from `site_information` (indexed by
-/// site).  Returns sorted ids; k is clamped to candidates.size().
+/// site).  k is clamped to candidates.size().
+///
+/// Postcondition: the result is sorted ascending on every path, including
+/// the k == candidates.size() full-pool round -- callers (infer_adaptive)
+/// binary-search the returned vector, and `candidates` itself carries no
+/// ordering guarantee.
 std::vector<ExperimentId> sample_biased(util::Rng& rng,
                                         std::span<const ExperimentId> candidates,
                                         std::span<const double> site_information,

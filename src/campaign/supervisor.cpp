@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/events.h"
+
 namespace ftb::campaign {
 
 namespace {
@@ -35,6 +37,9 @@ CampaignSupervisor::CampaignSupervisor(const fi::Program& program,
               // A chunk must fit the worker-side slot arrays.
               pool_options.chunk_capacity = std::max(
                   pool_options.chunk_capacity, options_.chunk_size);
+              if (pool_options.telemetry == nullptr) {
+                pool_options.telemetry = options_.telemetry;
+              }
               return pool_options;
             }()) {
   if (options_.chunk_size == 0) options_.chunk_size = 1;
@@ -60,6 +65,10 @@ std::vector<ExperimentRecord> CampaignSupervisor::run(
   for (std::size_t i = 0; i < ids.size(); ++i) records[i].id = ids[i];
   if (ids.empty()) return records;
 
+  telemetry::Telemetry* const tele = options_.telemetry;
+  telemetry::SpanScope run_span(tele, "supervisor.run", "supervisor");
+  run_span.arg("experiments", static_cast<double>(ids.size()));
+
   const int quarantine_after = options_.quarantine_after;
 
   std::deque<std::size_t> pending;
@@ -74,6 +83,24 @@ std::vector<ExperimentRecord> CampaignSupervisor::run(
   const auto record_quarantined = [&](std::size_t index) {
     records[index].result = quarantine_result();
     ++stats_.quarantined;
+    if (telemetry::active(tele)) {
+      const ExperimentId id = ids[index];
+      tele->instant("supervisor.quarantine", "supervisor",
+                    {{"site", static_cast<double>(site_of(id))},
+                     {"bit", static_cast<double>(bit_of(id))}});
+      tele->metrics().counter("supervisor.quarantines").add();
+    }
+  };
+
+  const auto note_requeue = [&](std::size_t index) {
+    ++stats_.experiments_requeued;
+    if (telemetry::active(tele)) {
+      const ExperimentId id = ids[index];
+      tele->instant("supervisor.requeue", "supervisor",
+                    {{"site", static_cast<double>(site_of(id))},
+                     {"bit", static_cast<double>(bit_of(id))}});
+      tele->metrics().counter("supervisor.requeues").add();
+    }
   };
 
   while (!pending.empty() || outstanding > 0) {
@@ -98,6 +125,9 @@ std::vector<ExperimentRecord> CampaignSupervisor::run(
           records[index].result =
               fi::run_injected(program_, golden_, injection_of(id));
           ++stats_.fallback_experiments;
+          if (telemetry::active(tele)) {
+            tele->metrics().counter("supervisor.fallback_experiments").add();
+          }
         }
       }
       break;
@@ -165,18 +195,26 @@ std::vector<ExperimentRecord> CampaignSupervisor::run(
             record_quarantined(culprit_index);
           } else {
             pending.push_back(culprit_index);
-            ++stats_.experiments_requeued;
+            note_requeue(culprit_index);
           }
           requeue_from = event.culprit + 1;
         }
         for (std::size_t pos = requeue_from; pos < chunk.size(); ++pos) {
           pending.push_back(chunk[pos]);
-          ++stats_.experiments_requeued;
+          note_requeue(chunk[pos]);
         }
       }
 
       outstanding -= chunk.size();
       chunk.clear();
+    }
+
+    if (telemetry::active(tele)) {
+      auto& metrics = tele->metrics();
+      metrics.gauge("supervisor.queue_depth")
+          .set(static_cast<double>(pending.size() + outstanding));
+      metrics.gauge("pool.workers")
+          .set(static_cast<double>(pool_.worker_count()));
     }
 
     if (events.empty() && !dispatched && (!pending.empty() || outstanding > 0)) {

@@ -69,6 +69,12 @@ struct SupervisorOptions {
   /// experiments in-process (quarantining anything with a kill on its
   /// ledger).  Disable to get a std::runtime_error instead.
   bool allow_in_process_fallback = true;
+
+  /// Optional telemetry sink (telemetry/events.h), forwarded to the worker
+  /// pool when pool.telemetry is unset.  Emits supervisor.run spans,
+  /// requeue/quarantine instants, queue-depth gauge, and supervisor.*
+  /// counters.  Never owned; must outlive the supervisor.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Observability counters over the supervisor's lifetime.

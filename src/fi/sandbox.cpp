@@ -11,6 +11,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "telemetry/events.h"
 #include "util/retry.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -490,6 +491,9 @@ struct WorkerPool::Impl {
     std::uint32_t chunk_count = 0;
     std::uint64_t last_heartbeat = 0;
     std::chrono::steady_clock::time_point last_beat_time;
+    // Telemetry timestamps (Clock-driven, 0 when telemetry is off).
+    std::uint64_t dispatch_ns = 0;
+    std::uint64_t last_beat_tele_ns = 0;
   };
 
   const Program& program;
@@ -564,6 +568,10 @@ struct WorkerPool::Impl {
   /// Spawn (or respawn) with the configured backoff.  The shm region is
   /// mapped lazily on first success path and kept across respawns.
   bool spawn(Slot& slot, bool is_respawn) {
+    telemetry::SpanScope span(options.telemetry,
+                              is_respawn ? "worker.respawn" : "worker.spawn",
+                              "pool");
+    span.arg("slot", static_cast<double>(&slot - slots.data()));
     util::RetryStats retry_stats;
     const bool ok = util::retry_with_backoff(
         options.spawn_retry,
@@ -580,6 +588,15 @@ struct WorkerPool::Impl {
           static_cast<std::uint64_t>(retry_stats.attempts - 1);
     }
     if (ok && is_respawn) ++stats.respawns;
+    if (telemetry::active(options.telemetry)) {
+      span.arg("ok", ok ? 1.0 : 0.0);
+      auto& metrics = options.telemetry->metrics();
+      if (ok) {
+        metrics.counter(is_respawn ? "pool.respawns" : "pool.spawns").add();
+      } else {
+        metrics.counter("pool.spawn_failures").add();
+      }
+    }
     return ok;
   }
 
@@ -648,9 +665,37 @@ struct WorkerPool::Impl {
           slot.shm.header->heartbeat.load(std::memory_order_acquire);
       slot.last_beat_time = std::chrono::steady_clock::now();
       slot.busy = true;
+      if (telemetry::active(options.telemetry)) {
+        slot.dispatch_ns = options.telemetry->now_ns();
+        slot.last_beat_tele_ns = slot.dispatch_ns;
+        options.telemetry->metrics()
+            .counter("pool.chunks_dispatched")
+            .add();
+      }
       return static_cast<int>(i);
     }
     return -1;
+  }
+
+  /// Telemetry hooks; all no-ops when the sink is null or disabled.
+  void tele_chunk_done(Slot& slot) {
+    if (!telemetry::active(options.telemetry)) return;
+    auto& metrics = options.telemetry->metrics();
+    metrics.counter("pool.chunks_done").add();
+    if (slot.dispatch_ns != 0) {
+      metrics.histogram("pool.chunk_round_trip_ns")
+          .record(options.telemetry->now_ns() - slot.dispatch_ns);
+    }
+  }
+
+  void tele_worker_lost(const char* event_name, const char* counter_name,
+                        std::size_t slot_index, CrashReason reason) {
+    if (!telemetry::active(options.telemetry)) return;
+    options.telemetry->instant(
+        event_name, "pool",
+        {{"slot", static_cast<double>(slot_index)},
+         {"reason", static_cast<double>(static_cast<int>(reason))}});
+    options.telemetry->metrics().counter(counter_name).add();
   }
 
   WorkerEvent harvest(int index, Slot& slot, WorkerEvent::Kind kind) {
@@ -689,6 +734,7 @@ struct WorkerPool::Impl {
           // between chunks): the results are all valid, nothing is lost.
           events.push_back(harvest(static_cast<int>(i), slot,
                                    WorkerEvent::Kind::kChunkDone));
+          tele_chunk_done(slot);
           slot.busy = false;
         } else if (slot.busy) {
           WorkerEvent event = harvest(static_cast<int>(i), slot,
@@ -700,6 +746,8 @@ struct WorkerPool::Impl {
             event.reason = CrashReason::kAbnormalExit;
             ++stats.abnormal_exits;
           }
+          tele_worker_lost("worker.death", "pool.worker_deaths", i,
+                           event.reason);
           events.push_back(std::move(event));
           slot.busy = false;
         } else if (WIFSIGNALED(status)) {
@@ -718,6 +766,7 @@ struct WorkerPool::Impl {
       if (done >= slot.chunk_count) {
         events.push_back(harvest(static_cast<int>(i), slot,
                                  WorkerEvent::Kind::kChunkDone));
+        tele_chunk_done(slot);
         slot.busy = false;
         continue;
       }
@@ -727,6 +776,15 @@ struct WorkerPool::Impl {
       if (beat != slot.last_heartbeat) {
         slot.last_heartbeat = beat;
         slot.last_beat_time = now;
+        if (telemetry::active(options.telemetry)) {
+          const std::uint64_t tele_now = options.telemetry->now_ns();
+          if (slot.last_beat_tele_ns != 0) {
+            options.telemetry->metrics()
+                .histogram("pool.heartbeat_gap_ns")
+                .record(tele_now - slot.last_beat_tele_ns);
+          }
+          slot.last_beat_tele_ns = tele_now;
+        }
       } else if (options.heartbeat_timeout_ms != 0 &&
                  now - slot.last_beat_time > std::chrono::milliseconds(
                                                  options.heartbeat_timeout_ms)) {
@@ -736,6 +794,8 @@ struct WorkerPool::Impl {
                                  WorkerEvent::Kind::kWorkerHang));
         slot.busy = false;
         ++stats.hang_kills;
+        tele_worker_lost("worker.hang", "pool.worker_hangs", i,
+                         CrashReason::kNone);
         respawn(slot);
       }
     }

@@ -40,6 +40,10 @@
 #include "fi/program.h"
 #include "util/retry.h"
 
+namespace ftb::telemetry {
+class Telemetry;
+}
+
 namespace ftb::fi {
 
 struct SandboxOptions {
@@ -147,6 +151,14 @@ struct WorkerPoolOptions {
   /// succeed, so tests can build a healthy pool and then force it to
   /// shrink the first time a worker dies.
   int simulate_respawn_failures = 0;
+
+  /// Optional telemetry sink (telemetry/events.h).  When non-null and
+  /// enabled, the pool emits worker.spawn / worker.respawn spans,
+  /// worker.death / worker.hang instants, and pool.* counters plus
+  /// heartbeat-gap and chunk-round-trip histograms.  Never owned; must
+  /// outlive the pool.  nullptr (the default) costs one pointer test per
+  /// instrumentation point.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Observability counters over the pool's lifetime.

@@ -1,0 +1,164 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ftb::telemetry {
+namespace {
+
+// Doubles in the export are almost always integral counts; print those
+// exactly, and fall back to shortest-round-trip-ish %.17g otherwise.
+std::string format_double(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<std::int64_t>(value));
+    return buf;
+  }
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void append_args(std::ostringstream& out,
+                 const std::vector<std::pair<std::string, double>>& args) {
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(key) << "\":" << format_double(value);
+  }
+  out << "}";
+}
+
+void append_event_json(std::ostringstream& out, const TraceEvent& event) {
+  const bool span = event.kind == TraceEvent::Kind::kSpan;
+  out << "{\"kind\":\"" << (span ? "span" : "instant") << "\",\"name\":\""
+      << json_escape(event.name) << "\",\"cat\":\"" << json_escape(event.category)
+      << "\",\"ts_ns\":" << event.start_ns;
+  if (span) out << ",\"dur_ns\":" << event.duration_ns;
+  out << ",\"tid\":" << event.tid << ",\"args\":";
+  append_args(out, event.args);
+  out << "}";
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"ftb.telemetry.metrics/1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << format_double(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& hist : snapshot.histograms) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(hist.name)
+        << "\": {\"count\": " << hist.count << ", \"sum\": " << hist.sum
+        << ", \"min\": " << hist.min << ", \"max\": " << hist.max
+        << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [floor, count] : hist.buckets) {
+      out << (first_bucket ? "" : ", ") << "[" << floor << ", " << count << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string events_to_jsonl(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  for (const TraceEvent& event : events) {
+    append_event_json(out, event);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string events_to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    const bool span = event.kind == TraceEvent::Kind::kSpan;
+    out << (first ? "" : ",") << "\n{\"name\":\"" << json_escape(event.name)
+        << "\",\"cat\":\"" << json_escape(event.category) << "\",\"ph\":\""
+        << (span ? "X" : "i") << "\",\"pid\":1,\"tid\":" << event.tid
+        << ",\"ts\":" << event.start_ns / 1000 << "."
+        << (event.start_ns % 1000) / 100;
+    if (span) {
+      out << ",\"dur\":" << event.duration_ns / 1000 << "."
+          << (event.duration_ns % 1000) / 100;
+    } else {
+      out << ",\"s\":\"g\"";
+    }
+    out << ",\"args\":";
+    std::ostringstream args;
+    append_args(args, event.args);
+    out << args.str() << "}";
+    first = false;
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool write_metrics_json(const Telemetry& telemetry, const std::string& path) {
+  return write_text(path, metrics_to_json(telemetry.metrics().snapshot()));
+}
+
+bool write_events_jsonl(const Telemetry& telemetry, const std::string& path) {
+  return write_text(path, events_to_jsonl(telemetry.events()));
+}
+
+bool write_chrome_trace(const Telemetry& telemetry, const std::string& path) {
+  return write_text(path, events_to_chrome_trace(telemetry.events()));
+}
+
+}  // namespace ftb::telemetry

@@ -1,0 +1,34 @@
+#pragma once
+
+// Exporters for telemetry data:
+//  - metrics_to_json: end-of-run metrics snapshot (schema "ftb.telemetry.metrics/1")
+//  - events_to_jsonl: one JSON object per event, append-friendly
+//  - events_to_chrome_trace: Chrome trace_event format ("traceEvents" array of
+//    ph:"X" spans and ph:"i" instants, microsecond timestamps) that loads
+//    directly in chrome://tracing and Perfetto.
+//
+// All exporters are deterministic given the same telemetry contents (metric
+// names sorted, events in insertion order), so tests can compare against
+// golden strings when driven by a ManualClock.
+
+#include <string>
+
+#include "telemetry/events.h"
+#include "telemetry/registry.h"
+
+namespace ftb::telemetry {
+
+// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(std::string_view text);
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+std::string events_to_jsonl(const std::vector<TraceEvent>& events);
+std::string events_to_chrome_trace(const std::vector<TraceEvent>& events);
+
+// Convenience wrappers writing straight from a Telemetry sink.  Return false
+// (and leave no partial file guarantees) when the file cannot be opened.
+bool write_metrics_json(const Telemetry& telemetry, const std::string& path);
+bool write_events_jsonl(const Telemetry& telemetry, const std::string& path);
+bool write_chrome_trace(const Telemetry& telemetry, const std::string& path);
+
+}  // namespace ftb::telemetry

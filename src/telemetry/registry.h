@@ -1,0 +1,114 @@
+#pragma once
+
+// Low-overhead metrics registry: counters, gauges, and log-scaled latency
+// histograms.  All mutation paths are lock-free atomics; registration (name
+// lookup) takes a mutex but callers are expected to resolve metrics once and
+// keep the reference -- std::map nodes are stable, so references returned by
+// the registry stay valid for its lifetime.
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftb::telemetry {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins scalar (queue depth, pool size, rate...).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket log2 histogram for non-negative integer samples (typically
+// nanoseconds).  Bucket 0 holds the value 0; bucket b >= 1 holds values with
+// bit_width b, i.e. the half-open range [2^(b-1), 2^b).  64-bit values fit in
+// 65 buckets, so recording never allocates.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  // Bucket index for a sample: 0 -> 0, otherwise std::bit_width(value).
+  static constexpr std::size_t bucket_of(std::uint64_t value) {
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  // Smallest value that lands in `bucket` (inclusive lower edge): bucket 0
+  // holds only the value 0, bucket b >= 1 starts at 2^(b-1).
+  static constexpr std::uint64_t bucket_floor(std::size_t bucket) {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;  // UINT64_MAX when empty
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Point-in-time copies used by the exporters.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when empty
+  std::uint64_t max = 0;
+  // Sparse (bucket_floor, count) pairs for non-empty buckets, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+// Name -> metric map.  Lookups are mutex-protected; the returned references
+// are stable and their hot-path operations are atomic.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  // Deterministic (name-sorted) copy of every registered metric.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+};
+
+}  // namespace ftb::telemetry

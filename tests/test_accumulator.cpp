@@ -1,5 +1,7 @@
 #include "boundary/accumulator.h"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -134,6 +136,50 @@ TEST(Accumulator, ExactSiteIgnoresPropagationEvidence) {
   const FaultToleranceBoundary boundary = accumulator.finalize();
   EXPECT_TRUE(boundary.is_exact(0));
   EXPECT_DOUBLE_EQ(boundary.threshold(0), 0.1);  // not 100.0
+}
+
+TEST(Accumulator, NonFiniteMaskedInjectionDoesNotPoisonBoundary) {
+  // Regression: a masked outcome whose injected error |x' - x| overflowed
+  // to +inf (exponent flip on a large value) used to enter the pointwise
+  // max and pin the site's threshold at inf -- the boundary then predicted
+  // every later fault at that site masked.
+  BoundaryAccumulator accumulator(1);
+  accumulator.record_injection(0, 5, Outcome::kMasked, 0.75);
+  accumulator.record_injection(0, 60, Outcome::kMasked,
+                               std::numeric_limits<double>::infinity());
+  accumulator.record_injection(0, 61, Outcome::kMasked,
+                               std::numeric_limits<double>::quiet_NaN());
+  const FaultToleranceBoundary boundary = accumulator.finalize();
+  EXPECT_TRUE(std::isfinite(boundary.threshold(0)));
+  EXPECT_DOUBLE_EQ(boundary.threshold(0), 0.75);
+  EXPECT_EQ(accumulator.nonfinite_skipped(), 2u);
+  // The skipped bits still count as tested -- the flip did run.
+  EXPECT_EQ(accumulator.tested_bits(0), 3u);
+}
+
+TEST(Accumulator, NonFiniteSdcInjectionLeavesSdcMinimumAlone) {
+  // A NaN injected error on an SDC outcome carries no usable magnitude:
+  // it must not disturb min_sdc_inj (NaN compares false against
+  // everything, so the old code silently ignored it -- now it is counted).
+  BoundaryAccumulator filtered(1, {/*filter=*/true, 32});
+  filtered.record_injection(0, 3, Outcome::kSdc,
+                            std::numeric_limits<double>::quiet_NaN());
+  filtered.record_injection(0, 4, Outcome::kSdc, 1.0);
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.5}}));
+  filtered.record_masked_propagation(diffs_at(1, {{0, 2.0}}));  // >= min SDC
+  EXPECT_DOUBLE_EQ(filtered.finalize().threshold(0), 0.5);
+  EXPECT_EQ(filtered.nonfinite_skipped(), 1u);
+}
+
+TEST(Accumulator, CountsFilterRejectionsAndEvictions) {
+  BoundaryAccumulator filtered(1, {/*filter=*/true, 2});
+  filtered.record_injection(0, 3, Outcome::kSdc, 1.0);
+  filtered.record_masked_propagation(diffs_at(1, {{0, 5.0}}));  // rejected
+  EXPECT_EQ(filtered.filter_rejected(), 1u);
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.1}}));
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.3}}));
+  filtered.record_masked_propagation(diffs_at(1, {{0, 0.2}}));  // evicts 0.1
+  EXPECT_EQ(filtered.prop_evicted(), 1u);
 }
 
 TEST(Accumulator, NonPositiveAndNonFiniteDiffsIgnored) {

@@ -137,6 +137,37 @@ TEST(Adaptive, StopCriterionRespectsMaskedShare) {
   EXPECT_EQ(result.rounds.size(), 1u);
 }
 
+TEST(Adaptive, StopRuleCountsSilentOutcomesOnly) {
+  // Section 3.4's "95% of the new samples are SDC" speaks about the
+  // masked/SDC split; crashes and hangs are detectable outcomes and must
+  // not dilute the denominator.  The old rule counted them, so a
+  // crash-heavy round could end sampling while the masked share among
+  // silent outcomes was still high.
+  OutcomeCounts counts;
+  counts.masked = 20;
+  counts.sdc = 80;
+  counts.crash = 900;  // would have pushed masked share to 0.02 under the
+  counts.hang = 10;    // old total()-based denominator -> premature stop
+  EXPECT_FALSE(adaptive_should_stop(counts, 0.95));  // 20/100 = 0.2 > 0.05
+
+  OutcomeCounts mostly_sdc;
+  mostly_sdc.masked = 5;
+  mostly_sdc.sdc = 95;
+  EXPECT_TRUE(adaptive_should_stop(mostly_sdc, 0.95));  // 0.05 <= 0.05
+
+  OutcomeCounts detectable_only;
+  detectable_only.crash = 50;
+  detectable_only.hang = 3;
+  // No silent evidence at all: the round says nothing about the masked
+  // space, so sampling must continue.
+  EXPECT_FALSE(adaptive_should_stop(detectable_only, 0.95));
+
+  OutcomeCounts all_masked;
+  all_masked.masked = 10;
+  EXPECT_FALSE(adaptive_should_stop(all_masked, 0.95));  // share 1 > 0.05
+  EXPECT_TRUE(adaptive_should_stop(all_masked, 0.0));    // 1 <= 1
+}
+
 TEST(Adaptive, MaxRoundsBounds) {
   Prepared p("stencil2d");
   AdaptiveOptions options = fast_options();

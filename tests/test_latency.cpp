@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "campaign/sampler.h"
+#include "kernels/hazard.h"
 #include "kernels/registry.h"
 #include "util/rng.h"
 
@@ -66,10 +67,67 @@ TEST(LatencyReport, AggregatesOverSamples) {
   // Touched fractions are proper fractions.
   EXPECT_GT(report.sdc_touched_fraction.mean(), 0.0);
   EXPECT_LE(report.sdc_touched_fraction.max(), 1.0);
-  if (report.crashes > 0) {
-    EXPECT_EQ(report.crash_latency.count(), report.crashes);
+  // Every crash is either charged to crash_latency (valid trap site) or
+  // counted as lacking one -- never dropped, never double-counted.
+  EXPECT_EQ(report.crash_latency.count() + report.crashes_without_trap_site,
+            report.crashes);
+  if (report.crash_latency.count() > 0) {
     EXPECT_GE(report.crash_latency.min(), 0.0);
   }
+}
+
+TEST(LatencyReport, CrashWithoutTrapSiteIsCountedNotCharged) {
+  // Regression: a Crash record with crash_site = 0 (control-flow
+  // divergence, sandboxed signal deaths, quarantined experiments) used to
+  // feed crash_site - site into crash_latency guarded only by a debug
+  // assert; in release builds the subtraction underflowed to ~2^64 and
+  // wrecked the latency statistics.
+  const fi::ProgramPtr program =
+      kernels::make_program("daxpy", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+
+  LatencyReport report;
+  ExperimentRecord record;
+  record.id = encode(10, 3);
+  record.result.outcome = fi::Outcome::kCrash;
+  record.result.crash_reason = fi::CrashReason::kControlFlow;
+  record.result.crash_site = 0;
+  accumulate_latency(report, golden, record, {}, 1e-8);
+  EXPECT_EQ(report.crashes, 1u);
+  EXPECT_EQ(report.crash_latency.count(), 0u);
+  EXPECT_EQ(report.crashes_without_trap_site, 1u);
+
+  // Isolation deaths (sandbox signal kills, quarantine) have no trap
+  // site either, whatever crash_site claims.
+  record.result.crash_reason = fi::CrashReason::kQuarantined;
+  record.result.crash_site = 0;
+  accumulate_latency(report, golden, record, {}, 1e-8);
+  EXPECT_EQ(report.crashes_without_trap_site, 2u);
+
+  // A genuine non-finite trap downstream of the injection is still charged.
+  record.result.crash_reason = fi::CrashReason::kNonFinite;
+  record.result.crash_site = 60;
+  accumulate_latency(report, golden, record, {}, 1e-8);
+  EXPECT_EQ(report.crashes, 3u);
+  EXPECT_EQ(report.crash_latency.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.crash_latency.max(), 50.0);
+  EXPECT_EQ(report.crashes_without_trap_site, 2u);
+}
+
+TEST(LatencyReport, ControlFlowCrashEndToEndSkipsLatency) {
+  // End to end: a trip-count flip on the hazard kernel is safe in-process
+  // but diverges control flow -- Crash with crash_site = 0.  The report
+  // must route it to crashes_without_trap_site instead of crash_latency.
+  const kernels::HazardProgram program{kernels::HazardConfig{}};
+  const fi::GoldenRun golden = fi::run_golden(program);
+  ASSERT_DOUBLE_EQ(golden.trace[program.trip_site(0)], 16.0);
+  util::ThreadPool pool(2);
+
+  const std::vector<ExperimentId> ids = {encode(program.trip_site(0), 52)};
+  const LatencyReport report = measure_latency(program, golden, ids, pool);
+  EXPECT_EQ(report.crashes, 1u);
+  EXPECT_EQ(report.crash_latency.count(), 0u);
+  EXPECT_EQ(report.crashes_without_trap_site, 1u);
 }
 
 TEST(LatencyReport, JacobiSpreadsWiderThanDaxpy) {

@@ -34,6 +34,19 @@ TEST(SampleBiased, ReturnsAllWhenKCoversCandidates) {
   EXPECT_EQ(picked, candidates);
 }
 
+TEST(SampleBiased, FullPoolRoundReturnsSortedIds) {
+  // Regression: when k covered the whole candidate pool, the early-return
+  // path handed back the candidates in their original order, breaking the
+  // sorted-ascending postcondition that infer_adaptive's binary_search
+  // over "just tested" ids relies on.
+  util::Rng rng(5);
+  const std::vector<ExperimentId> candidates = {9, 5, 7};
+  const std::vector<double> info(1, 0.0);  // site 0 only (ids < 64)
+  const std::vector<ExperimentId> picked =
+      sample_biased(rng, candidates, info, 3);
+  EXPECT_EQ(picked, (std::vector<ExperimentId>{5, 7, 9}));
+}
+
 TEST(SampleBiased, DistinctAndFromCandidateSet) {
   util::Rng rng(4);
   std::vector<ExperimentId> candidates;

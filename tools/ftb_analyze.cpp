@@ -29,6 +29,9 @@
 #include "campaign/inference.h"
 #include "campaign/log.h"
 #include "campaign/sampler.h"
+#include "campaign/supervisor.h"
+#include "telemetry/events.h"
+#include "telemetry/export.h"
 #include "util/rng.h"
 #include "fi/executor.h"
 #include "fi/phase_map.h"
@@ -56,13 +59,64 @@ struct Loaded {
   fi::GoldenRun golden;
 };
 
-Loaded load_kernel(const util::Cli& cli) {
+// One process-wide telemetry sink, enabled only when an export flag asks
+// for it (off = null sink, zero work in the instrumented layers).
+telemetry::Telemetry& global_telemetry() {
+  static telemetry::Telemetry instance;
+  return instance;
+}
+
+/// Enables telemetry iff --metrics-out / --trace-out / --events-out was
+/// passed; returns the sink to thread through options, or nullptr.
+telemetry::Telemetry* setup_telemetry(const util::Cli& cli) {
+  if (!cli.has("metrics-out") && !cli.has("trace-out") &&
+      !cli.has("events-out")) {
+    return nullptr;
+  }
+  telemetry::Telemetry& telemetry = global_telemetry();
+  telemetry.set_enabled(true);
+  return &telemetry;
+}
+
+/// Writes whichever exports were requested.  Returns nonzero on I/O error.
+int export_telemetry(const util::Cli& cli) {
+  const telemetry::Telemetry& telemetry = global_telemetry();
+  if (!telemetry.enabled()) return 0;
+  struct Export {
+    const char* flag;
+    bool (*write)(const telemetry::Telemetry&, const std::string&);
+  };
+  static constexpr Export kExports[] = {
+      {"metrics-out", &telemetry::write_metrics_json},
+      {"trace-out", &telemetry::write_chrome_trace},
+      {"events-out", &telemetry::write_events_jsonl},
+  };
+  for (const Export& exp : kExports) {
+    const std::string path = cli.get(exp.flag);
+    if (path.empty()) continue;
+    if (!exp.write(telemetry, path)) {
+      std::fprintf(stderr, "error: could not write --%s %s\n", exp.flag,
+                   path.c_str());
+      return 1;
+    }
+    std::printf("telemetry         : --%s -> %s\n", exp.flag, path.c_str());
+  }
+  return 0;
+}
+
+Loaded load_kernel(const util::Cli& cli,
+                   telemetry::Telemetry* telemetry = nullptr) {
   const std::string name = cli.get("kernel", "cg");
   const kernels::Preset preset =
       kernels::preset_from_string(cli.get("preset", "default"));
   Loaded loaded;
   loaded.program = kernels::make_program(name, preset);
-  loaded.golden = fi::run_golden(*loaded.program);
+  {
+    telemetry::SpanScope span(telemetry, "golden_run", "campaign");
+    loaded.golden = fi::run_golden(*loaded.program);
+    span.arg("dynamic_instructions",
+             static_cast<double>(loaded.golden.dynamic_instructions()));
+  }
   return loaded;
 }
 
@@ -115,7 +169,8 @@ int save_if_requested(const util::Cli& cli,
 }
 
 int cmd_infer(const util::Cli& cli) {
-  const Loaded k = load_kernel(cli);
+  telemetry::Telemetry* const tele = setup_telemetry(cli);
+  const Loaded k = load_kernel(cli, tele);
   const std::string strategy = cli.get("strategy", "uniform");
   util::ThreadPool& pool = util::default_pool();
 
@@ -131,6 +186,7 @@ int cmd_infer(const util::Cli& cli) {
         cli.has("workers") || cli.has("quarantine-after");
     options.supervisor.pool.workers = cli.get_int("workers", 4);
     options.supervisor.quarantine_after = cli.get_int("quarantine-after", 3);
+    options.telemetry = tele;
     const campaign::AdaptiveResult result =
         campaign::infer_adaptive(*k.program, k.golden, options, pool);
     std::printf("adaptive sampling : %zu experiments (%.2f%% of space), "
@@ -157,6 +213,7 @@ int cmd_infer(const util::Cli& cli) {
     options.sample_fraction = cli.get_double("fraction", 0.01);
     options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     options.filter = cli.get_bool("filter", true);
+    options.telemetry = tele;
     const campaign::InferenceResult result =
         campaign::infer_uniform(*k.program, k.golden, options, pool);
     const util::Confusion self = campaign::confusion_on_records(
@@ -179,7 +236,9 @@ int cmd_infer(const util::Cli& cli) {
     return 1;
   }
   describe_boundary(built, k);
-  return save_if_requested(cli, built, k);
+  const int saved = save_if_requested(cli, built, k);
+  const int exported = export_telemetry(cli);
+  return saved != 0 ? saved : exported;
 }
 
 void print_outcomes(std::span<const campaign::ExperimentRecord> records) {
@@ -205,8 +264,10 @@ void print_outcomes(std::span<const campaign::ExperimentRecord> records) {
 /// (heartbeats, respawn with backoff, --quarantine-after K site
 /// quarantine), which is the cheapest way to campaign hazard kernels.
 int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
-                        const std::string& path) {
+                        const std::string& path,
+                        telemetry::Telemetry* tele) {
   campaign::CheckpointOptions options;
+  options.telemetry = tele;
   options.path = path;
   options.flush_every =
       static_cast<std::size_t>(cli.get_int("flush-every", 512));
@@ -261,20 +322,90 @@ int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
   std::printf("logged %zu distinct experiments -> %s\n", run.log.size(),
               path.c_str());
   print_outcomes(run.log.records());
-  return 0;
+  return export_telemetry(cli);
+}
+
+/// Journal-less one-shot campaign: sample --batch experiments and classify
+/// them in chunks, through the persistent worker-pool supervisor
+/// (--workers N), the per-batch sandbox (--sandbox / --timeout-ms), or
+/// in-process.  Nothing is written except the telemetry exports -- this is
+/// the quickest way to profile a campaign configuration.
+int cmd_campaign_oneshot(const util::Cli& cli, const Loaded& k,
+                         telemetry::Telemetry* tele) {
+  util::ThreadPool& pool = util::default_pool();
+  const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
+      rng, k.golden.sample_space_size(), batch);
+
+  const auto chunk_size = static_cast<std::size_t>(cli.get_int("chunk", 256));
+  const auto timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("timeout-ms", 2000));
+  const bool use_sandbox = cli.get_bool("sandbox", cli.has("timeout-ms"));
+
+  std::optional<campaign::CampaignSupervisor> supervisor;
+  if (cli.has("workers")) {
+    campaign::SupervisorOptions options;
+    options.pool.workers = static_cast<int>(cli.get_int("workers", 4));
+    options.pool.heartbeat_timeout_ms = timeout_ms;
+    options.quarantine_after =
+        static_cast<int>(cli.get_int("quarantine-after", 3));
+    options.telemetry = tele;
+    supervisor.emplace(*k.program, k.golden, options);
+  }
+  fi::SandboxOptions sandbox_options;
+  sandbox_options.timeout_ms = timeout_ms;
+
+  std::vector<campaign::ExperimentRecord> records;
+  records.reserve(ids.size());
+  std::size_t chunks = 0;
+  for (std::size_t begin = 0; begin < ids.size(); begin += chunk_size) {
+    const std::size_t end = std::min(begin + chunk_size, ids.size());
+    const std::span<const campaign::ExperimentId> chunk(ids.data() + begin,
+                                                        end - begin);
+    telemetry::SpanScope span(tele, "campaign.chunk", "campaign");
+    span.arg("experiments", static_cast<double>(chunk.size()));
+    std::vector<campaign::ExperimentRecord> chunk_records;
+    if (supervisor) {
+      chunk_records = supervisor->run(chunk);
+    } else if (use_sandbox) {
+      chunk_records = campaign::run_experiments_sandboxed(
+          *k.program, k.golden, chunk, sandbox_options);
+    } else {
+      chunk_records =
+          campaign::run_experiments(*k.program, k.golden, chunk, pool);
+    }
+    records.insert(records.end(), chunk_records.begin(), chunk_records.end());
+    ++chunks;
+  }
+
+  std::printf("executed          : %zu experiments in %zu chunks\n",
+              records.size(), chunks);
+  if (supervisor) {
+    const campaign::SupervisorStats sup = supervisor->stats();
+    std::printf("supervisor        : %llu workers spawned, %llu deaths, "
+                "%llu hangs, %llu quarantined\n",
+                static_cast<unsigned long long>(sup.pool.workers_spawned),
+                static_cast<unsigned long long>(sup.worker_deaths),
+                static_cast<unsigned long long>(sup.worker_hangs),
+                static_cast<unsigned long long>(sup.quarantined));
+  }
+  print_outcomes(records);
+  return export_telemetry(cli);
 }
 
 /// Runs (or extends) a persistent campaign log, then rebuilds the boundary
 /// from everything logged so far -- the resumable-campaign workflow.
 int cmd_campaign(const util::Cli& cli) {
-  const Loaded k = load_kernel(cli);
+  telemetry::Telemetry* const tele = setup_telemetry(cli);
+  const Loaded k = load_kernel(cli, tele);
   const std::string resume = cli.get("resume");
-  if (!resume.empty()) return cmd_campaign_resume(cli, k, resume);
+  if (!resume.empty()) return cmd_campaign_resume(cli, k, resume, tele);
 
   const std::string path = cli.get("log");
   if (path.empty()) {
-    std::fprintf(stderr, "error: --log FILE (or --resume FILE) is required\n");
-    return 1;
+    // No journal requested: run the one-shot (ephemeral) campaign.
+    return cmd_campaign_oneshot(cli, k, tele);
   }
   util::ThreadPool& pool = util::default_pool();
 
@@ -313,7 +444,9 @@ int cmd_campaign(const util::Cli& cli) {
       *k.program, k.golden, log,
       {cli.get_bool("filter", true), 32}, pool);
   describe_boundary(built, k);
-  return save_if_requested(cli, built, k);
+  const int saved = save_if_requested(cli, built, k);
+  const int exported = export_telemetry(cli);
+  return saved != 0 ? saved : exported;
 }
 
 int cmd_exhaustive(const util::Cli& cli) {
@@ -432,10 +565,17 @@ int main(int argc, char** argv) {
       "              --sandbox 0|1, --timeout-ms MS watchdog; sandboxing is\n"
       "              required for hazard kernels).  --workers N runs the\n"
       "              persistent worker-pool supervisor instead (heartbeats,\n"
-      "              respawn, --quarantine-after K site quarantine)\n"
+      "              respawn, --quarantine-after K site quarantine).\n"
+      "              Without --log/--resume: one-shot campaign, nothing\n"
+      "              persisted (--batch N, --chunk N, same isolation flags)\n"
       "  report      per-phase vulnerability report (--load FILE)\n"
       "  protect     selective-protection plan (--load FILE, --budget F or\n"
       "              --target R)\n\n"
-      "common flags: --kernel K  --preset tiny|default|paper  --seed S\n");
+      "common flags: --kernel K  --preset tiny|default|paper  --seed S\n"
+      "telemetry   : --metrics-out FILE (metrics JSON)  --trace-out FILE\n"
+      "              (Chrome trace_event JSON for chrome://tracing/Perfetto)\n"
+      "              --events-out FILE (JSONL event log); any of these flags\n"
+      "              enables the otherwise-null telemetry sink on infer and\n"
+      "              campaign runs\n");
   return command == "help" ? 0 : 1;
 }
