@@ -1,0 +1,321 @@
+// Multi-connection load generator for ftb_served's query plane.
+//
+// Spawns an in-process Server + Service pair on an ephemeral loopback port
+// (or targets an external daemon via --port), warms the store with
+// published boundaries, and hammers PredictFlip from N client threads.
+// Two measured phases:
+//
+//   idle      -- queries only
+//   campaign  -- the same load while a campaign job runs on the server
+//
+// Reported per phase: request count, QPS, p50/p99 latency.  The ISSUE
+// acceptance bar is >= 10k predict QPS warm and a campaign-phase p99 below
+// 2x the idle-phase p99.
+//
+//   loadgen_service --connections 4 --duration-ms 2000
+//                   --campaign-batch 20000 [--host H --port P]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "kernels/registry.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/service.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PhaseResult {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+
+  double qps() const { return seconds > 0 ? requests / seconds : 0.0; }
+};
+
+double percentile_us(std::vector<std::uint64_t>& ns, double q) {
+  if (ns.empty()) return 0.0;
+  std::sort(ns.begin(), ns.end());
+  const std::size_t index = std::min(
+      ns.size() - 1, static_cast<std::size_t>(q * static_cast<double>(ns.size())));
+  return static_cast<double>(ns[index]) / 1e3;
+}
+
+/// One measurement phase: `connections` threads each run a dedicated
+/// client in a closed loop of PredictFlip calls for `duration_ms`.
+PhaseResult run_phase(const std::string& name, const std::string& host,
+                      std::uint16_t port, int connections,
+                      std::uint32_t duration_ms,
+                      const std::vector<std::string>& keys,
+                      std::uint64_t sites) {
+  std::vector<std::vector<std::uint64_t>> latencies(connections);
+  std::vector<std::uint64_t> errors(connections, 0);
+  std::vector<std::thread> threads;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      ftb::net::ClientOptions options;
+      options.host = host;
+      options.port = port;
+      ftb::net::Client client(options);
+      std::string error;
+      if (!client.connect(&error)) {
+        ++errors[t];
+        return;
+      }
+      latencies[t].reserve(1 << 18);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const auto deadline =
+          Clock::now() + std::chrono::milliseconds(duration_ms);
+      std::uint64_t i = static_cast<std::uint64_t>(t) * 7919;
+      while (Clock::now() < deadline) {
+        ftb::service::PredictFlipReq req;
+        req.key = keys[i % keys.size()];
+        req.site = (i * 2654435761u) % sites;
+        req.bit = static_cast<std::uint32_t>(i % 64);
+        ++i;
+        const auto begin = Clock::now();
+        const auto reply =
+            client.call(ftb::service::make_predict_flip(req), &error);
+        const auto end = Clock::now();
+        if (!reply.has_value() ||
+            !ftb::service::parse_predict_flip_ok(*reply).has_value()) {
+          ++errors[t];
+          continue;
+        }
+        latencies[t].push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+                .count()));
+      }
+    });
+  }
+  const auto begin = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+  const auto end = Clock::now();
+
+  PhaseResult result;
+  result.name = name;
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - begin)
+          .count();
+  std::vector<std::uint64_t> merged;
+  for (int t = 0; t < connections; ++t) {
+    result.requests += latencies[t].size();
+    result.errors += errors[t];
+    merged.insert(merged.end(), latencies[t].begin(), latencies[t].end());
+  }
+  result.p50_us = percentile_us(merged, 0.50);
+  result.p99_us = percentile_us(merged, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+
+  util::Cli cli(argc, argv);
+  cli.describe("connections", "client connections / threads (default 4)");
+  cli.describe("duration-ms", "measured time per phase (default 2000)");
+  cli.describe("campaign-batch",
+               "experiments in the concurrent campaign (0 disables; "
+               "default 20000)");
+  cli.describe("campaign-workers", "sandbox workers for the campaign (2)");
+  cli.describe("campaign-kernel", "kernel for the campaign (daxpy)");
+  cli.describe("campaign-preset", "preset for the campaign (default)");
+  cli.describe("host", "target an external daemon instead (with --port)");
+  cli.describe("port", "external daemon port (0 = spawn in-process)");
+  if (cli.has("help")) {
+    cli.print_help("ftb_served query-plane load generator");
+    return 0;
+  }
+
+  const int connections =
+      static_cast<int>(std::max<std::int64_t>(1, cli.get_int("connections", 4)));
+  const auto duration_ms =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(
+          100, cli.get_int("duration-ms", 2000)));
+  const auto campaign_batch =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, cli.get_int("campaign-batch", 20000)));
+  const std::string host = cli.get("host", "127.0.0.1");
+  auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+
+  if (!net::net_supported()) {
+    std::fprintf(stderr, "loadgen_service: no socket support on this platform\n");
+    return 1;
+  }
+
+  // Spawn an in-process server unless an external one was named.
+  std::unique_ptr<service::Service> svc;
+  std::unique_ptr<net::Server> server;
+  std::thread loop;
+  std::filesystem::path store_dir;
+  const bool in_process = port == 0;
+  if (in_process) {
+    service::ServiceOptions options;
+    // Fresh per-run store: a stale journal from a previous run would let
+    // the concurrent campaign resume-and-finish instantly.
+    store_dir = std::filesystem::temp_directory_path() /
+                ("ftb_loadgen_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(store_dir);
+    options.store_dir = store_dir.string();
+    svc = std::make_unique<service::Service>(options);
+    server = std::make_unique<net::Server>(*svc);
+    svc->attach(server.get());
+    loop = std::thread([&] { server->run(); });
+    port = server->port();
+  }
+
+  // Warm store: a few published daxpy boundaries keyed by seed.
+  const fi::ProgramPtr program =
+      kernels::make_program("daxpy", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  const std::uint64_t sites = golden.dynamic_instructions();
+  std::vector<std::string> keys;
+  if (in_process) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const boundary::FaultToleranceBoundary boundary(
+          std::vector<double>(sites, 1e-6));
+      std::string error;
+      if (!svc->store().publish({"daxpy", "tiny", seed}, boundary, &error)) {
+        std::fprintf(stderr, "loadgen_service: publish failed: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      keys.push_back("daxpy@tiny@" + std::to_string(seed));
+    }
+  } else {
+    // Against an external daemon, query whatever it has loaded.
+    net::ClientOptions options;
+    options.host = host;
+    options.port = port;
+    net::Client client(options);
+    std::string error;
+    const auto reply = client.call(service::make_list_boundaries(), &error);
+    const auto list = reply.has_value()
+                          ? service::parse_boundary_list_ok(*reply, &error)
+                          : std::nullopt;
+    if (!list.has_value() || list->entries.empty()) {
+      std::fprintf(stderr, "loadgen_service: no boundaries on %s:%u (%s)\n",
+                   host.c_str(), port, error.c_str());
+      return 1;
+    }
+    for (const auto& info : list->entries) keys.push_back(info.key);
+  }
+
+  std::printf("loadgen_service: %d connections, %u ms per phase, %zu warm "
+              "keys on %s:%u\n",
+              connections, duration_ms, keys.size(), host.c_str(), port);
+
+  const PhaseResult idle = run_phase("idle", host, port, connections,
+                                     duration_ms, keys, sites);
+
+  // Campaign phase: submit a job on its own connection, measure while it
+  // runs, then wait for CampaignDone so the server ends quiesced.
+  PhaseResult busy;
+  bool campaign_finished_early = false;
+  if (campaign_batch > 0) {
+    net::ClientOptions options;
+    options.host = host;
+    options.port = port;
+    net::Client submitter(options);
+    std::string error;
+    service::SubmitCampaignReq req;
+    req.kernel = cli.get("campaign-kernel", "daxpy");
+    req.preset = cli.get("campaign-preset", "default");
+    req.seed = 99;
+    req.batch = campaign_batch;
+    req.workers = static_cast<std::uint32_t>(std::max<std::int64_t>(
+        1, cli.get_int("campaign-workers", 2)));
+    req.flush_every = 128;
+    if (!submitter.connect(&error) ||
+        !submitter.send(service::make_submit_campaign(req), &error)) {
+      std::fprintf(stderr, "loadgen_service: submit failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    const auto accepted = submitter.recv(&error, 30000);
+    if (!accepted.has_value() ||
+        !service::parse_campaign_accepted(*accepted).has_value()) {
+      std::fprintf(stderr, "loadgen_service: campaign not accepted: %s\n",
+                   error.c_str());
+      return 1;
+    }
+
+    busy = run_phase("campaign", host, port, connections, duration_ms, keys,
+                     sites);
+
+    // Drain the progress stream to completion.  If the whole drain is
+    // near-instant the campaign had already finished inside the measured
+    // window, which weakens the "under concurrent campaign" claim.
+    const auto drain_begin = Clock::now();
+    for (;;) {
+      const auto frame = submitter.recv(&error, 120000);
+      if (!frame.has_value()) {
+        std::fprintf(stderr, "loadgen_service: lost campaign stream: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      if (const auto done = service::parse_campaign_done(*frame)) {
+        if (!done->ok && !done->stopped) {
+          std::fprintf(stderr, "loadgen_service: campaign failed: %s\n",
+                       done->error.c_str());
+          return 1;
+        }
+        break;
+      }
+    }
+    campaign_finished_early = (Clock::now() - drain_begin) <
+                              std::chrono::milliseconds(50);
+  }
+
+  util::Table table({"phase", "requests", "errors", "qps", "p50_us", "p99_us"});
+  table.add_row({idle.name, util::format("%llu", (unsigned long long)idle.requests),
+                 util::format("%llu", (unsigned long long)idle.errors),
+                 util::format("%.0f", idle.qps()),
+                 util::format("%.1f", idle.p50_us),
+                 util::format("%.1f", idle.p99_us)});
+  if (campaign_batch > 0) {
+    table.add_row({busy.name,
+                   util::format("%llu", (unsigned long long)busy.requests),
+                   util::format("%llu", (unsigned long long)busy.errors),
+                   util::format("%.0f", busy.qps()),
+                   util::format("%.1f", busy.p50_us),
+                   util::format("%.1f", busy.p99_us)});
+  }
+  std::fputs(table.render("query-plane load").c_str(), stdout);
+  if (campaign_batch > 0 && idle.p99_us > 0) {
+    std::printf("p99 ratio (campaign/idle): %.2fx%s\n",
+                busy.p99_us / idle.p99_us,
+                campaign_finished_early
+                    ? "  (campaign finished inside the measured window; "
+                      "raise --campaign-batch)"
+                    : "");
+  }
+
+  if (in_process) {
+    svc->request_shutdown();
+    loop.join();
+    std::filesystem::remove_all(store_dir);
+  }
+  return 0;
+}

@@ -12,7 +12,42 @@ namespace ftb::boundary {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4654422d424e4452ull;  // "FTB-BNDR"
-constexpr std::uint64_t kVersion = 1;
+// v1: magic, version, body, no integrity check.
+// v2: magic, version, body, trailing CRC-32 stored as a u64 (the campaign
+//     log's framing discipline), so torn writes and bit rot are rejected
+//     instead of silently producing a wrong boundary.
+constexpr std::uint64_t kVersionLegacy = 1;
+constexpr std::uint64_t kVersion = 2;
+
+std::optional<BoundaryArtifact> fail(std::string* error,
+                                     const std::string& what) {
+  if (error != nullptr) *error = what;
+  return std::nullopt;
+}
+
+/// Decodes the body shared by v1 and v2: config key, thresholds, exact
+/// flags.  Throws std::runtime_error on truncation (BinaryReader).
+BoundaryArtifact decode_body(util::BinaryReader& reader,
+                             std::uint64_t version) {
+  BoundaryArtifact artifact;
+  artifact.version = version;
+  artifact.config_key = reader.get_string();
+  const std::uint64_t sites = reader.get_u64();
+  std::vector<double> thresholds;
+  thresholds.reserve(sites);
+  for (std::uint64_t i = 0; i < sites; ++i) {
+    thresholds.push_back(reader.get_f64());
+  }
+  std::vector<std::uint8_t> exact = reader.get_bytes();
+  if (exact.size() != sites) {
+    throw std::runtime_error("exact-flag vector has " +
+                             std::to_string(exact.size()) + " entries for " +
+                             std::to_string(sites) + " sites");
+  }
+  artifact.boundary =
+      FaultToleranceBoundary(std::move(thresholds), std::move(exact));
+  return artifact;
+}
 
 }  // namespace
 
@@ -31,32 +66,81 @@ std::string serialize(const FaultToleranceBoundary& boundary,
     exact[i] = boundary.is_exact(i) ? 1 : 0;
   }
   writer.put_bytes(exact);
+  const std::uint32_t crc =
+      util::crc32(writer.buffer().data(), writer.buffer().size());
+  writer.put_u64(crc);
   return {writer.buffer().begin(), writer.buffer().end()};
 }
 
-std::optional<FaultToleranceBoundary> deserialize(
-    const std::string& payload, const std::string& expect_config) {
-  try {
-    util::BinaryReader reader(
-        std::vector<std::uint8_t>(payload.begin(), payload.end()));
-    if (reader.get_u64() != kMagic) return std::nullopt;
-    if (reader.get_u64() != kVersion) return std::nullopt;
-    const std::string config = reader.get_string();
-    if (!expect_config.empty() && config != expect_config) {
-      return std::nullopt;
-    }
-    const std::uint64_t sites = reader.get_u64();
-    std::vector<double> thresholds;
-    thresholds.reserve(sites);
-    for (std::uint64_t i = 0; i < sites; ++i) {
-      thresholds.push_back(reader.get_f64());
-    }
-    std::vector<std::uint8_t> exact = reader.get_bytes();
-    if (exact.size() != sites) return std::nullopt;
-    return FaultToleranceBoundary(std::move(thresholds), std::move(exact));
-  } catch (const std::runtime_error&) {
-    return std::nullopt;
+std::optional<BoundaryArtifact> deserialize_artifact(
+    const std::string& payload, const std::string& expect_config,
+    std::string* error) {
+  if (payload.size() < 2 * 8) {
+    return fail(error, "boundary artifact truncated: " +
+                           std::to_string(payload.size()) +
+                           " bytes is smaller than the fixed header");
   }
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(payload.data());
+  try {
+    std::uint64_t magic = 0, version = 0;
+    for (int i = 0; i < 8; ++i) {
+      magic |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+      version |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+    }
+    if (magic != kMagic) {
+      return fail(error,
+                  "boundary artifact has bad magic (not an FTB-BNDR file)");
+    }
+    if (version != kVersionLegacy && version != kVersion) {
+      return fail(error, "boundary artifact has unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersionLegacy) + " or " +
+                             std::to_string(kVersion) + ")");
+    }
+    std::size_t body = payload.size();
+    if (version == kVersion) {
+      if (payload.size() < 3 * 8) {
+        return fail(error,
+                    "boundary artifact truncated: no room for the CRC frame");
+      }
+      body -= 8;
+      std::uint64_t stored_crc = 0;
+      for (int i = 0; i < 8; ++i) {
+        stored_crc |= static_cast<std::uint64_t>(bytes[body + i]) << (8 * i);
+      }
+      if (stored_crc != util::crc32(bytes, body)) {
+        return fail(error,
+                    "boundary artifact CRC mismatch (file is corrupt or was "
+                    "truncated mid-write)");
+      }
+    }
+    util::BinaryReader reader(
+        std::vector<std::uint8_t>(bytes + 16, bytes + body));
+    BoundaryArtifact artifact = decode_body(reader, version);
+    if (!reader.exhausted()) {
+      // A v2 file whose version word rotted to 1 lands here: the legacy
+      // parse leaves the CRC frame behind as unexplained trailing bytes.
+      return fail(error, "boundary artifact has trailing garbage after the "
+                         "encoded boundary");
+    }
+    if (!expect_config.empty() && artifact.config_key != expect_config) {
+      return fail(error, "boundary artifact was built for config '" +
+                             artifact.config_key + "', not '" + expect_config +
+                             "'");
+    }
+    return artifact;
+  } catch (const std::runtime_error& e) {
+    return fail(error,
+                std::string("boundary artifact is corrupt: ") + e.what());
+  }
+}
+
+std::optional<FaultToleranceBoundary> deserialize(
+    const std::string& payload, const std::string& expect_config,
+    std::string* error) {
+  auto artifact = deserialize_artifact(payload, expect_config, error);
+  if (!artifact.has_value()) return std::nullopt;
+  return std::move(artifact->boundary);
 }
 
 bool save_to_file(const FaultToleranceBoundary& boundary,
@@ -74,13 +158,25 @@ bool save_to_file(const FaultToleranceBoundary& boundary,
   return !ec;
 }
 
-std::optional<FaultToleranceBoundary> load_from_file(
-    const std::string& path, const std::string& expect_config) {
+std::optional<BoundaryArtifact> load_artifact_from_file(
+    const std::string& path, const std::string& expect_config,
+    std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for reading";
+    return std::nullopt;
+  }
   const std::string payload{std::istreambuf_iterator<char>(in),
                             std::istreambuf_iterator<char>()};
-  return deserialize(payload, expect_config);
+  return deserialize_artifact(payload, expect_config, error);
+}
+
+std::optional<FaultToleranceBoundary> load_from_file(
+    const std::string& path, const std::string& expect_config,
+    std::string* error) {
+  auto artifact = load_artifact_from_file(path, expect_config, error);
+  if (!artifact.has_value()) return std::nullopt;
+  return std::move(artifact->boundary);
 }
 
 }  // namespace ftb::boundary

@@ -1,9 +1,14 @@
 // Boundary (de)serialisation: an inferred fault tolerance boundary is the
 // expensive artefact of a campaign, so downstream tooling (vulnerability
-// reports, protection planners, CI checks) can persist it and reload it
-// without rerunning experiments.  The format embeds the program's
-// config_key so a boundary cannot be applied to a different configuration
-// silently.
+// reports, protection planners, CI checks, the ftb_served boundary store)
+// can persist it and reload it without rerunning experiments.  The format
+// embeds the program's config_key so a boundary cannot be applied to a
+// different configuration silently.
+//
+// Since v2 the file is framed like the campaign log: magic, version, body,
+// then a trailing CRC-32 (stored as a u64 to keep the file 8-byte framed)
+// over everything before it.  Old v1 files -- same magic, version 1, no
+// CRC -- still load; new files are always written as v2.
 #pragma once
 
 #include <optional>
@@ -13,20 +18,40 @@
 
 namespace ftb::boundary {
 
+/// A fully decoded artifact: the boundary plus the metadata the frame
+/// carried.  `version` is the on-disk format version the payload used.
+struct BoundaryArtifact {
+  FaultToleranceBoundary boundary;
+  std::string config_key;
+  std::uint64_t version = 0;
+};
+
 /// Serialises the boundary together with the program configuration key it
-/// was built for.
+/// was built for (always the current v2 CRC-framed format).
 std::string serialize(const FaultToleranceBoundary& boundary,
                       const std::string& config_key);
 
-/// Deserialises; returns nullopt on corrupt input or when `expect_config`
-/// is non-empty and does not match the embedded key.
+/// Deserialises with full metadata.  Returns nullopt (with a one-line
+/// diagnostic in `error`) on corrupt input -- bad magic, unsupported
+/// version, CRC mismatch, truncation, trailing garbage -- or when
+/// `expect_config` is non-empty and does not match the embedded key.
+std::optional<BoundaryArtifact> deserialize_artifact(
+    const std::string& payload, const std::string& expect_config = {},
+    std::string* error = nullptr);
+
+/// Boundary-only convenience wrapper over deserialize_artifact.
 std::optional<FaultToleranceBoundary> deserialize(
-    const std::string& payload, const std::string& expect_config = {});
+    const std::string& payload, const std::string& expect_config = {},
+    std::string* error = nullptr);
 
 /// Convenience file helpers (binary, atomic-ish write via temp + rename).
 bool save_to_file(const FaultToleranceBoundary& boundary,
                   const std::string& config_key, const std::string& path);
 std::optional<FaultToleranceBoundary> load_from_file(
-    const std::string& path, const std::string& expect_config = {});
+    const std::string& path, const std::string& expect_config = {},
+    std::string* error = nullptr);
+std::optional<BoundaryArtifact> load_artifact_from_file(
+    const std::string& path, const std::string& expect_config = {},
+    std::string* error = nullptr);
 
 }  // namespace ftb::boundary

@@ -84,7 +84,26 @@ CheckpointRunResult run_campaign_checkpointed(
     }
   };
 
+  const auto report = [&](std::span<const ExperimentRecord> chunk) {
+    if (!options.on_progress) return;
+    CheckpointProgress progress;
+    progress.executed = result.executed;
+    progress.total = remaining.size();
+    progress.logged = result.log.size();
+    progress.chunk = chunk;
+    SupervisorStats stats_copy;
+    if (supervisor) {
+      stats_copy = supervisor->stats();
+      progress.supervisor = &stats_copy;
+    }
+    options.on_progress(progress);
+  };
+
   for (std::size_t begin = 0; begin < remaining.size(); begin += flush_every) {
+    if (options.should_stop && options.should_stop()) {
+      result.stopped = true;
+      break;
+    }
     const std::size_t end = std::min(begin + flush_every, remaining.size());
     const std::span<const ExperimentId> chunk(remaining.data() + begin,
                                               end - begin);
@@ -118,10 +137,12 @@ CheckpointRunResult run_campaign_checkpointed(
           .add(batch.size());
     }
     flush();
+    report(batch);
   }
 
   result.log.dedupe();
-  flush();  // final flush persists the deduped, complete journal
+  flush();  // final flush persists the deduped journal (complete or drained)
+  report({});
   if (supervisor) result.supervisor_stats = supervisor->stats();
   return result;
 }

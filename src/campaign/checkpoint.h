@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -24,6 +25,19 @@
 #include "util/thread_pool.h"
 
 namespace ftb::campaign {
+
+/// Snapshot handed to CheckpointOptions::on_progress after every journal
+/// flush.  `chunk` is the batch of records appended by the chunk that just
+/// finished (empty for the final dedupe flush); `supervisor` is non-null
+/// only on the supervisor path and points at a stats copy valid for the
+/// duration of the callback.
+struct CheckpointProgress {
+  std::uint64_t executed = 0;  ///< experiments run so far this invocation
+  std::uint64_t total = 0;     ///< experiments owed this invocation
+  std::uint64_t logged = 0;    ///< journal records after this flush
+  std::span<const ExperimentRecord> chunk;
+  const SupervisorStats* supervisor = nullptr;
+};
 
 struct CheckpointOptions {
   /// Journal file path.  Must be non-empty; if the file exists it is loaded
@@ -52,6 +66,15 @@ struct CheckpointOptions {
   /// supervisor (and through it the pool) when supervisor.telemetry is
   /// unset.  Never owned; must outlive the call.
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Invoked after every journal flush (so everything it reports is already
+  /// durable on disk).  ftb_served streams these to the submitting client.
+  std::function<void(const CheckpointProgress&)> on_progress;
+
+  /// Polled before each chunk; returning true stops the run after the
+  /// journal has been flushed, leaving a resumable journal and setting
+  /// CheckpointRunResult::stopped.  ftb_served's drain path uses this.
+  std::function<bool()> should_stop;
 };
 
 struct CheckpointRunResult {
@@ -60,6 +83,7 @@ struct CheckpointRunResult {
   std::uint64_t skipped = 0;    ///< experiments satisfied by the journal
   std::uint64_t executed = 0;   ///< experiments actually run this invocation
   std::uint64_t flushes = 0;    ///< journal writes (including the final one)
+  bool stopped = false;         ///< should_stop fired; journal is resumable
   fi::SandboxStats sandbox_stats;  ///< populated when use_sandbox
   SupervisorStats supervisor_stats;  ///< populated when use_supervisor
 };

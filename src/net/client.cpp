@@ -1,0 +1,91 @@
+#include "net/client.h"
+
+namespace ftb::net {
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), decoder_({options_.max_frame_payload}) {}
+
+Client::~Client() = default;
+
+bool Client::connect(std::string* error) {
+  if (fd_.valid()) return true;
+  std::string last_error = "connect was never attempted";
+  const bool ok = util::retry_with_backoff(options_.connect_retry, [&] {
+    fd_ = connect_tcp(options_.host, options_.port, &last_error);
+    return fd_.valid();
+  });
+  if (!ok && error != nullptr) *error = last_error;
+  if (ok) decoder_ = FrameDecoder({options_.max_frame_payload});
+  return ok;
+}
+
+void Client::close() {
+  fd_.reset();
+  decoder_ = FrameDecoder({options_.max_frame_payload});
+}
+
+bool Client::send(const Frame& frame, std::string* error) {
+  if (!fd_.valid()) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  if (!send_all(fd_.get(), bytes.data(), bytes.size(), error)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<Frame> Client::recv(std::string* error,
+                                  std::uint32_t timeout_ms) {
+  if (!fd_.valid()) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  if (timeout_ms == 0) timeout_ms = options_.recv_timeout_ms;
+  Frame frame;
+  for (;;) {
+    std::string pop_error;
+    switch (decoder_.pop(&frame, &pop_error)) {
+      case FrameDecoder::Status::kFrame:
+        return frame;
+      case FrameDecoder::Status::kError:
+        if (error != nullptr) *error = pop_error;
+        close();
+        return std::nullopt;
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    std::uint8_t buf[16384];
+    const long n = recv_some(fd_.get(), buf, sizeof(buf), timeout_ms, error);
+    if (n < 0) return std::nullopt;  // timeout or error, diagnosed
+    if (n == 0) {
+      if (error != nullptr) *error = "server closed the connection";
+      close();
+      return std::nullopt;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<Frame> Client::call(const Frame& request, std::string* error) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::string step_error;
+    if (!connect(&step_error)) {
+      if (error != nullptr) *error = step_error;
+      return std::nullopt;
+    }
+    if (!send(request, &step_error)) {
+      if (error != nullptr) *error = step_error;
+      continue;  // connection was torn down; reconnect once
+    }
+    auto reply = recv(&step_error);
+    if (reply.has_value()) return reply;
+    if (error != nullptr) *error = step_error;
+    if (connected()) return std::nullopt;  // timeout, not a lost connection
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftb::net

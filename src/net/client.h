@@ -1,0 +1,65 @@
+// Blocking frame client for ftb_served.
+//
+// Connections are established through util::retry_with_backoff (jittered
+// exponential backoff with a deadline cap), so a client racing a server
+// start -- the CI smoke test, a supervisor restarting the daemon -- settles
+// without hand-rolled sleep loops.  call() adds one transparent
+// reconnect-and-retry when the server dropped the connection between
+// requests (e.g. it was restarted), which is safe for the service's
+// idempotent query plane; campaign submissions stream many frames and use
+// send()/recv() directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/retry.h"
+
+namespace ftb::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Receive timeout per recv() call.  Campaign submissions pass their own
+  /// larger budget to recv(); this is the query-plane default.
+  std::uint32_t recv_timeout_ms = 30000;
+  /// Backoff policy for connect attempts (and call()'s one reconnect).
+  util::RetryOptions connect_retry;
+  std::size_t max_frame_payload = 16u << 20;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (with retry/backoff).  Idempotent; true when connected.
+  bool connect(std::string* error = nullptr);
+  bool connected() const noexcept { return fd_.valid(); }
+  void close();
+
+  /// Sends one frame.  False (with diagnostic) on I/O failure.
+  bool send(const Frame& frame, std::string* error = nullptr);
+
+  /// Receives the next frame; `timeout_ms` 0 uses options.recv_timeout_ms.
+  /// nullopt on timeout, peer close, or a corrupt stream (diagnosed).
+  std::optional<Frame> recv(std::string* error = nullptr,
+                            std::uint32_t timeout_ms = 0);
+
+  /// send + recv, with one reconnect-and-retry if the connection was lost.
+  std::optional<Frame> call(const Frame& request,
+                            std::string* error = nullptr);
+
+ private:
+  ClientOptions options_;
+  Fd fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace ftb::net

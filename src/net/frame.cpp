@@ -1,0 +1,128 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/cache.h"
+
+namespace ftb::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame_wire_size(frame.payload.size()));
+  put_u32(out, kFrameMagic);
+  put_u32(out, kFrameVersion);
+  put_u32(out, frame.type);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  put_u32(out, util::crc32(out.data(), out.size()));
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned_) return;  // stream is already lost; don't buffer more
+  // Compact the consumed prefix before appending, so a long-lived
+  // connection's buffer does not grow without bound.
+  if (pos_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameDecoder::Status FrameDecoder::fail(std::string* error, std::string what) {
+  poisoned_ = true;
+  poison_reason_ = std::move(what);
+  if (error != nullptr) *error = poison_reason_;
+  return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::pop(Frame* out, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = poison_reason_;
+    return Status::kError;
+  }
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < kFrameHeaderSize) return Status::kNeedMore;
+  const std::uint8_t* head = buffer_.data() + pos_;
+
+  const std::uint32_t magic = read_u32(head);
+  if (magic != kFrameMagic) {
+    return fail(error, "frame has bad magic (not an FTBP stream)");
+  }
+  const std::uint32_t version = read_u32(head + 4);
+  if (version != kFrameVersion) {
+    return fail(error, "frame has unsupported protocol version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kFrameVersion) + ")");
+  }
+  const std::uint32_t payload_len = read_u32(head + 12);
+  if (payload_len > limits_.max_payload) {
+    return fail(error, "frame declares oversized payload (" +
+                           std::to_string(payload_len) + " bytes > cap " +
+                           std::to_string(limits_.max_payload) + ")");
+  }
+  const std::size_t total = frame_wire_size(payload_len);
+  if (avail < total) return Status::kNeedMore;
+
+  const std::size_t body = kFrameHeaderSize + payload_len;
+  const std::uint32_t stored_crc = read_u32(head + body);
+  const std::uint32_t actual_crc = util::crc32(head, body);
+  if (stored_crc != actual_crc) {
+    return fail(error,
+                "frame CRC mismatch (stream is corrupt or was truncated)");
+  }
+  if (out != nullptr) {
+    out->type = read_u32(head + 8);
+    out->payload.assign(head + kFrameHeaderSize, head + body);
+  }
+  pos_ += total;
+  return Status::kFrame;
+}
+
+std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes,
+                                  std::string* error, FrameLimits limits) {
+  FrameDecoder decoder(limits);
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  switch (decoder.pop(&frame, error)) {
+    case FrameDecoder::Status::kFrame:
+      break;
+    case FrameDecoder::Status::kNeedMore:
+      if (error != nullptr) {
+        *error = "frame truncated: " + std::to_string(bytes.size()) +
+                 " bytes do not hold a complete frame";
+      }
+      return std::nullopt;
+    case FrameDecoder::Status::kError:
+      return std::nullopt;
+  }
+  if (decoder.buffered() != 0) {
+    if (error != nullptr) {
+      *error = "trailing garbage after frame (" +
+               std::to_string(decoder.buffered()) + " bytes)";
+    }
+    return std::nullopt;
+  }
+  return frame;
+}
+
+}  // namespace ftb::net

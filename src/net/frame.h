@@ -1,0 +1,96 @@
+// Wire framing for the ftb_served protocol.
+//
+// Every message on a connection travels inside one frame:
+//
+//   | magic u32 | version u32 | type u32 | payload_len u32 | payload ... | crc32 u32 |
+//
+// all little-endian.  The trailing CRC-32 covers the header and the payload,
+// so the same corruption-rejection discipline as CampaignLog applies on the
+// wire: a torn, truncated, or bit-flipped frame is rejected with a one-line
+// diagnostic, never decoded into garbage.  The length prefix is capped
+// (FrameLimits::max_payload) so a corrupted length cannot make a peer buffer
+// unbounded input; anything past the cap is rejected before the payload is
+// even read.
+//
+// FrameDecoder is incremental: feed() raw bytes as they arrive from a
+// non-blocking socket, then pop() complete frames.  After the first error
+// the decoder is poisoned -- framing is lost and the connection should be
+// closed (the server does).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftb::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x50425446u;  // "FTBP"
+inline constexpr std::uint32_t kFrameVersion = 1;
+/// Fixed bytes before the payload: magic, version, type, payload_len.
+inline constexpr std::size_t kFrameHeaderSize = 16;
+/// Trailing CRC-32.
+inline constexpr std::size_t kFrameTrailerSize = 4;
+
+/// One decoded message: a type tag plus an opaque payload (the service
+/// layer, src/service/protocol.h, gives payloads meaning).
+struct Frame {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+struct FrameLimits {
+  /// Frames whose declared payload exceeds this are rejected outright.
+  std::size_t max_payload = 16u << 20;
+};
+
+/// Encodes a frame, including header and trailing CRC.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Total wire size of a frame with `payload_len` payload bytes.
+inline constexpr std::size_t frame_wire_size(std::size_t payload_len) {
+  return kFrameHeaderSize + payload_len + kFrameTrailerSize;
+}
+
+/// Incremental decoder over a byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameLimits limits = {}) : limits_(limits) {}
+
+  enum class Status {
+    kFrame,     ///< a complete, CRC-verified frame was produced
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< stream is corrupt; connection should be dropped
+  };
+
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Pops the next complete frame.  On kError, `error` (when non-null)
+  /// receives a one-line diagnostic; the decoder stays poisoned and every
+  /// further pop() returns kError.
+  Status pop(Frame* out, std::string* error = nullptr);
+
+  /// Bytes buffered but not yet consumed by pop().
+  std::size_t buffered() const noexcept { return buffer_.size() - pos_; }
+  bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  Status fail(std::string* error, std::string what);
+
+  FrameLimits limits_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+/// Decodes exactly one frame from a complete buffer (convenience for tests
+/// and blocking clients).  Returns nullopt and a diagnostic on any
+/// corruption, truncation, or trailing garbage.
+std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes,
+                                  std::string* error = nullptr,
+                                  FrameLimits limits = {});
+
+}  // namespace ftb::net

@@ -1,0 +1,543 @@
+#include "net/server.h"
+
+#include <stdexcept>
+
+#include "net/socket.h"
+#include "telemetry/events.h"
+
+#if defined(__linux__)
+#define FTB_NET_POSIX 1
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
+#include <vector>
+#endif
+
+namespace ftb::net {
+
+#if FTB_NET_POSIX
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+struct Server::Impl {
+  struct Conn {
+    ConnId id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+    std::uint64_t last_activity_ns = 0;
+    bool closing = false;       // flush pending bytes, then close
+    bool want_write = false;    // EPOLLOUT currently armed
+
+    std::size_t pending() const { return out.size() - out_pos; }
+  };
+
+  struct Command {
+    enum class Kind { kSend, kClose };
+    Kind kind = Kind::kSend;
+    ConnId conn = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  Handler& handler;
+  ServerOptions options;
+  Fd listen_fd;
+  Fd epoll_fd;
+  Fd wake_fd;
+  std::uint16_t bound_port = 0;
+  bool listening = true;
+
+  std::unordered_map<int, Conn> conns;          // by socket fd
+  std::unordered_map<ConnId, int> conn_fds;     // id -> fd
+  ConnId next_id = 1;
+
+  std::mutex queue_mutex;
+  std::deque<Command> queue;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> stop_when_flushed{false};
+  std::atomic<bool> drain{false};
+  std::atomic<bool> running{false};
+  std::thread::id loop_thread;
+
+  explicit Impl(Handler& h, ServerOptions opts)
+      : handler(h), options(std::move(opts)) {}
+
+  telemetry::Telemetry* tele() const {
+    return telemetry::active(options.telemetry) ? options.telemetry : nullptr;
+  }
+  void count(const char* name, std::uint64_t delta = 1) {
+    if (auto* t = tele()) t->metrics().counter(name).add(delta);
+  }
+  void set_gauge(const char* name, double value) {
+    if (auto* t = tele()) t->metrics().gauge(name).set(value);
+  }
+
+  bool on_loop_thread() const {
+    return running.load(std::memory_order_acquire) &&
+           std::this_thread::get_id() == loop_thread;
+  }
+
+  void epoll_update(Conn& conn) {
+    const bool want = conn.pending() > 0;
+    if (want == conn.want_write) return;
+    epoll_event ev{};
+    ev.data.fd = conn.fd;
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    if (conn.closing) ev.events &= ~static_cast<std::uint32_t>(EPOLLIN);
+    ::epoll_ctl(epoll_fd.get(), EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.want_write = want;
+  }
+
+  void close_conn(int fd, const char* why) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    const ConnId id = it->second.id;
+    ::epoll_ctl(epoll_fd.get(), EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conn_fds.erase(id);
+    conns.erase(it);
+    count("server.disconnects");
+    set_gauge("server.connections", static_cast<double>(conns.size()));
+    if (auto* t = tele()) {
+      t->instant("server.disconnect", "net",
+                 {{"conn", static_cast<double>(id)}});
+    }
+    (void)why;
+    handler.on_disconnect(id);
+  }
+
+  void queue_bytes(Conn& conn, const std::uint8_t* data, std::size_t size) {
+    // Compact the flushed prefix before growing the buffer.
+    if (conn.out_pos > 0) {
+      conn.out.erase(conn.out.begin(),
+                     conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
+      conn.out_pos = 0;
+    }
+    conn.out.insert(conn.out.end(), data, data + size);
+  }
+
+  /// Writes as much of conn.out as the socket accepts.  Returns false when
+  /// the connection died (already closed here).
+  bool flush_conn(Conn& conn) {
+    while (conn.pending() > 0) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.out_pos, conn.pending(),
+                 MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(conn.fd, "send error");
+        return false;
+      }
+      conn.out_pos += static_cast<std::size_t>(n);
+    }
+    if (conn.pending() == 0 && conn.closing) {
+      close_conn(conn.fd, "closed after flush");
+      return false;
+    }
+    epoll_update(conn);
+    return true;
+  }
+
+  void send_to(ConnId id, std::vector<std::uint8_t> bytes) {
+    auto fd_it = conn_fds.find(id);
+    if (fd_it == conn_fds.end()) {
+      count("server.dropped_frames");
+      return;
+    }
+    Conn& conn = conns.at(fd_it->second);
+    if (conn.closing) {
+      count("server.dropped_frames");
+      return;
+    }
+    queue_bytes(conn, bytes.data(), bytes.size());
+    count("server.frames_out");
+    flush_conn(conn);
+  }
+
+  void begin_close(ConnId id) {
+    auto fd_it = conn_fds.find(id);
+    if (fd_it == conn_fds.end()) return;
+    Conn& conn = conns.at(fd_it->second);
+    conn.closing = true;
+    if (conn.pending() == 0) {
+      close_conn(conn.fd, "closed");
+    } else {
+      // Stop reading; keep EPOLLOUT armed until the buffer drains.
+      epoll_event ev{};
+      ev.data.fd = conn.fd;
+      ev.events = EPOLLOUT;
+      ::epoll_ctl(epoll_fd.get(), EPOLL_CTL_MOD, conn.fd, &ev);
+      conn.want_write = true;
+    }
+  }
+
+  void drain_queue() {
+    std::deque<Command> pending;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      pending.swap(queue);
+    }
+    for (Command& cmd : pending) {
+      switch (cmd.kind) {
+        case Command::Kind::kSend:
+          send_to(cmd.conn, std::move(cmd.bytes));
+          break;
+        case Command::Kind::kClose:
+          begin_close(cmd.conn);
+          break;
+      }
+    }
+  }
+
+  void stop_accepting() {
+    if (!listening) return;
+    ::epoll_ctl(epoll_fd.get(), EPOLL_CTL_DEL, listen_fd.get(), nullptr);
+    listening = false;
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd.get(), nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or a transient accept error: try again next wake
+      }
+      if (drain.load(std::memory_order_relaxed) ||
+          conns.size() >= options.max_connections) {
+        ::close(fd);
+        count("server.rejected_accepts");
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Conn conn;
+      conn.id = next_id++;
+      conn.fd = fd;
+      conn.decoder = FrameDecoder({options.max_frame_payload});
+      conn.last_activity_ns = steady_now_ns();
+      epoll_event ev{};
+      ev.data.fd = fd;
+      ev.events = EPOLLIN;
+      if (::epoll_ctl(epoll_fd.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+        ::close(fd);
+        continue;
+      }
+      conn_fds.emplace(conn.id, fd);
+      count("server.accepts");
+      if (auto* t = tele()) {
+        t->instant("server.accept", "net",
+                   {{"conn", static_cast<double>(conn.id)}});
+      }
+      conns.emplace(fd, std::move(conn));
+      set_gauge("server.connections", static_cast<double>(conns.size()));
+    }
+  }
+
+  void read_ready(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    std::uint8_t buf[16384];
+    bool peer_closed = false;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(fd, "recv error");
+        return;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      it->second.last_activity_ns = steady_now_ns();
+      it->second.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+    }
+
+    // Dispatch every complete frame buffered so far.
+    const ConnId id = it->second.id;
+    for (;;) {
+      // Re-find each round: the handler may have closed this connection.
+      auto conn_it = conns.find(fd);
+      if (conn_it == conns.end() || conn_it->second.id != id ||
+          conn_it->second.closing) {
+        return;
+      }
+      Frame frame;
+      std::string error;
+      const FrameDecoder::Status status =
+          conn_it->second.decoder.pop(&frame, &error);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        count("server.decode_errors");
+        if (auto* t = tele()) {
+          t->instant("server.decode_error", "net",
+                     {{"conn", static_cast<double>(id)}});
+        }
+        handler.on_decode_error(id, error);
+        begin_close(id);
+        return;
+      }
+      count("server.frames_in");
+      handler.on_frame(id, std::move(frame));
+    }
+
+    if (peer_closed) close_conn(fd, "peer closed");
+  }
+
+  void sweep_idle(std::uint64_t now_ns) {
+    if (options.idle_timeout_ms == 0) return;
+    const std::uint64_t budget_ns =
+        static_cast<std::uint64_t>(options.idle_timeout_ms) * 1'000'000ull;
+    std::vector<int> idle;
+    for (const auto& [fd, conn] : conns) {
+      if (!conn.closing && now_ns - conn.last_activity_ns > budget_ns) {
+        idle.push_back(fd);
+      }
+    }
+    for (int fd : idle) {
+      count("server.idle_closes");
+      if (auto* t = tele()) {
+        t->instant("server.idle_close", "net",
+                   {{"conn", static_cast<double>(conns.at(fd).id)}});
+      }
+      close_conn(fd, "idle timeout");
+    }
+  }
+
+  bool all_flushed() {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    if (!queue.empty()) return false;
+    for (const auto& [fd, conn] : conns) {
+      if (conn.pending() > 0) return false;
+    }
+    return true;
+  }
+
+  int wait_timeout_ms() const {
+    int timeout = 500;  // on_tick cadence backstop
+    if (options.idle_timeout_ms != 0 && !conns.empty()) {
+      timeout = std::min<int>(
+          timeout, static_cast<int>(std::min<std::uint32_t>(
+                       options.idle_timeout_ms, 500)));
+    }
+    return timeout;
+  }
+
+  void run() {
+    loop_thread = std::this_thread::get_id();
+    running.store(true, std::memory_order_release);
+    epoll_event events[64];
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (drain.load(std::memory_order_relaxed)) stop_accepting();
+      drain_queue();
+      if (stop_when_flushed.load(std::memory_order_relaxed) && all_flushed()) {
+        break;
+      }
+
+      const int n =
+          ::epoll_wait(epoll_fd.get(), events, 64, wait_timeout_ms());
+      if (n < 0 && errno != EINTR) break;
+      for (int i = 0; i < std::max(n, 0); ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd.get()) {
+          std::uint64_t junk = 0;
+          while (::read(wake_fd.get(), &junk, sizeof(junk)) > 0) {
+          }
+          continue;
+        }
+        if (fd == listen_fd.get()) {
+          accept_ready();
+          continue;
+        }
+        if (conns.find(fd) == conns.end()) continue;  // closed this batch
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          close_conn(fd, "hangup");
+          continue;
+        }
+        if (events[i].events & EPOLLIN) read_ready(fd);
+        if (conns.find(fd) == conns.end()) continue;
+        if (events[i].events & EPOLLOUT) flush_conn(conns.at(fd));
+      }
+
+      sweep_idle(steady_now_ns());
+      drain_queue();
+      handler.on_tick();
+    }
+    running.store(false, std::memory_order_release);
+  }
+};
+
+#else  // !FTB_NET_POSIX
+
+struct Server::Impl {
+  Handler& handler;
+  ServerOptions options;
+  std::uint16_t bound_port = 0;
+  explicit Impl(Handler& h, ServerOptions opts)
+      : handler(h), options(std::move(opts)) {}
+};
+
+#endif
+
+Server::Server(Handler& handler, ServerOptions options)
+    : impl_(std::make_unique<Impl>(handler, std::move(options))) {
+#if FTB_NET_POSIX
+  std::string error;
+  impl_->listen_fd = listen_tcp(impl_->options.bind_addr, impl_->options.port,
+                                &impl_->bound_port, &error);
+  if (!impl_->listen_fd.valid()) {
+    throw std::runtime_error("net::Server: " + error);
+  }
+  if (!set_nonblocking(impl_->listen_fd.get())) {
+    throw std::runtime_error("net::Server: cannot make listen socket "
+                             "non-blocking");
+  }
+  impl_->epoll_fd.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!impl_->epoll_fd.valid()) {
+    throw std::runtime_error("net::Server: epoll_create1 failed");
+  }
+  impl_->wake_fd.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!impl_->wake_fd.valid()) {
+    throw std::runtime_error("net::Server: eventfd failed");
+  }
+  epoll_event ev{};
+  ev.data.fd = impl_->listen_fd.get();
+  ev.events = EPOLLIN;
+  ::epoll_ctl(impl_->epoll_fd.get(), EPOLL_CTL_ADD, impl_->listen_fd.get(),
+              &ev);
+  ev.data.fd = impl_->wake_fd.get();
+  ::epoll_ctl(impl_->epoll_fd.get(), EPOLL_CTL_ADD, impl_->wake_fd.get(), &ev);
+#else
+  throw std::runtime_error(
+      "net::Server: networking is not supported on this platform");
+#endif
+}
+
+Server::~Server() {
+#if FTB_NET_POSIX
+  for (auto& [fd, conn] : impl_->conns) {
+    ::close(fd);
+    (void)conn;
+  }
+#endif
+}
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+void Server::run() {
+#if FTB_NET_POSIX
+  impl_->run();
+#endif
+}
+
+void Server::send(ConnId conn, const Frame& frame) {
+#if FTB_NET_POSIX
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  if (impl_->on_loop_thread()) {
+    impl_->send_to(conn, std::move(bytes));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->queue.push_back(
+        {Impl::Command::Kind::kSend, conn, std::move(bytes)});
+  }
+  wake();
+#else
+  (void)conn;
+  (void)frame;
+#endif
+}
+
+void Server::close_connection(ConnId conn) {
+#if FTB_NET_POSIX
+  if (impl_->on_loop_thread()) {
+    impl_->begin_close(conn);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->queue.push_back({Impl::Command::Kind::kClose, conn, {}});
+  }
+  wake();
+#else
+  (void)conn;
+#endif
+}
+
+void Server::request_drain() {
+#if FTB_NET_POSIX
+  impl_->drain.store(true, std::memory_order_relaxed);
+  wake();
+#endif
+}
+
+bool Server::draining() const noexcept {
+#if FTB_NET_POSIX
+  return impl_->drain.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void Server::request_stop_when_flushed() {
+#if FTB_NET_POSIX
+  impl_->drain.store(true, std::memory_order_relaxed);
+  impl_->stop_when_flushed.store(true, std::memory_order_relaxed);
+  wake();
+#endif
+}
+
+void Server::request_stop() {
+#if FTB_NET_POSIX
+  impl_->stop.store(true, std::memory_order_relaxed);
+  wake();
+#endif
+}
+
+void Server::wake() noexcept {
+#if FTB_NET_POSIX
+  const std::uint64_t one = 1;
+  // Best-effort and async-signal-safe: a full eventfd counter already
+  // guarantees the loop will wake.
+  [[maybe_unused]] const ssize_t n =
+      ::write(impl_->wake_fd.get(), &one, sizeof(one));
+#endif
+}
+
+std::size_t Server::connection_count() const noexcept {
+#if FTB_NET_POSIX
+  return impl_->conns.size();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ftb::net

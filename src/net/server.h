@@ -1,0 +1,126 @@
+// Non-blocking, epoll-based frame server.
+//
+// One thread runs run(): it accepts loopback TCP connections, reassembles
+// CRC-framed messages (net/frame.h) per connection, and hands each complete
+// frame to a Handler.  Design points:
+//
+//   * the event loop owns every socket; other threads talk to it only
+//     through the thread-safe send()/close_connection()/wake() entry points
+//     (a mutex-protected command queue drained after an eventfd wake), so a
+//     campaign worker thread can stream progress frames to a client without
+//     touching connection state;
+//   * a corrupt frame poisons only its own connection: the decoder error is
+//     surfaced (best-effort error frame, then close), the stream is dropped,
+//     and every other connection is untouched;
+//   * per-connection idle timeout: a peer that sends a partial frame and
+//     stalls (slow loris) is closed after idle_timeout_ms, so half-open
+//     connections cannot pin buffers forever;
+//   * graceful drain: request_drain() stops accepting and lets in-flight
+//     requests finish; request_stop_when_flushed() ends the loop once every
+//     write buffer has been flushed; request_stop() ends it immediately.
+//     The service layer sequences these around campaign checkpointing.
+//
+// wake() is async-signal-safe (one write() to an eventfd), so signal
+// handlers may call it to get the loop's attention; the actual signal
+// reaction runs in Handler::on_tick() on the loop thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/frame.h"
+
+namespace ftb::telemetry {
+class Telemetry;
+}
+
+namespace ftb::net {
+
+struct ServerOptions {
+  std::string bind_addr = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port().
+  std::uint16_t port = 0;
+  /// Connections with no complete frame activity for this long are closed
+  /// (slow-loris defence).  0 disables the timeout.
+  std::uint32_t idle_timeout_ms = 30000;
+  /// Frame payload cap, enforced by the per-connection decoder.
+  std::size_t max_frame_payload = 16u << 20;
+  /// Accept backstop: beyond this many live connections, new accepts are
+  /// closed immediately.
+  std::size_t max_connections = 1024;
+  /// Optional telemetry sink: server.accepts / server.disconnects /
+  /// server.frames counters, server.connections gauge, accept/idle-close
+  /// instants.  Never owned; must outlive the server.
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+class Server {
+ public:
+  using ConnId = std::uint64_t;
+
+  /// Frame sink.  All methods run on the loop thread.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    /// A complete, CRC-verified frame arrived on `conn`.
+    virtual void on_frame(ConnId conn, Frame frame) = 0;
+    /// `conn` closed (peer hangup, decode error, idle timeout, or
+    /// close_connection()).  Pending sends to it are dropped silently.
+    virtual void on_disconnect(ConnId conn) { (void)conn; }
+    /// `conn`'s byte stream failed frame decoding.  Called once with the
+    /// decoder's diagnostic just before the connection is closed; the
+    /// handler may queue a best-effort error frame (it is flushed first).
+    virtual void on_decode_error(ConnId conn, const std::string& error) {
+      (void)conn;
+      (void)error;
+    }
+    /// Called once per loop iteration, after events are processed -- the
+    /// hook where the service layer reacts to signals and drain progress.
+    virtual void on_tick() {}
+  };
+
+  /// Binds and listens immediately; throws std::runtime_error with a
+  /// diagnostic when the socket cannot be set up.
+  Server(Handler& handler, ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with options.port = 0).
+  std::uint16_t port() const noexcept;
+
+  /// Runs the event loop until request_stop() (or a flushed drain).
+  void run();
+
+  /// Queues a frame for `conn`.  Thread-safe; frames to connections that no
+  /// longer exist are counted (server.dropped_frames) and dropped --
+  /// a client that disconnected mid-campaign must not fail the job.
+  void send(ConnId conn, const Frame& frame);
+
+  /// Closes `conn` after flushing anything already queued.  Thread-safe.
+  void close_connection(ConnId conn);
+
+  /// Stops accepting new connections.  Thread-safe and idempotent.
+  void request_drain();
+  bool draining() const noexcept;
+
+  /// Ends run() once every connection's write buffer is flushed (implies
+  /// request_drain()).  Thread-safe.
+  void request_stop_when_flushed();
+
+  /// Ends run() at the next loop iteration, flushed or not.  Thread-safe.
+  void request_stop();
+
+  /// Nudges the loop out of epoll_wait.  Async-signal-safe.
+  void wake() noexcept;
+
+  /// Live connection count (loop thread's view; racy from elsewhere).
+  std::size_t connection_count() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ftb::net

@@ -1,0 +1,205 @@
+#include "net/socket.h"
+
+#if defined(__linux__)
+#define FTB_NET_POSIX 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace ftb::net {
+
+namespace {
+
+#if FTB_NET_POSIX
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+#else
+constexpr const char* kUnsupported =
+    "networking is not supported on this platform (ftb_net requires Linux)";
+#endif
+
+void set_error(std::string* error, std::string what) {
+  if (error != nullptr) *error = std::move(what);
+}
+
+}  // namespace
+
+void Fd::reset(int fd) noexcept {
+#if FTB_NET_POSIX
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = fd;
+}
+
+bool net_supported() noexcept {
+#if FTB_NET_POSIX
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool set_nonblocking(int fd) noexcept {
+#if FTB_NET_POSIX
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  const int fdflags = ::fcntl(fd, F_GETFD, 0);
+  return fdflags >= 0 && ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) >= 0;
+#else
+  (void)fd;
+  return false;
+#endif
+}
+
+Fd listen_tcp(const std::string& bind_addr, std::uint16_t port,
+              std::uint16_t* actual_port, std::string* error) {
+#if FTB_NET_POSIX
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, errno_string("socket"));
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    set_error(error, "invalid bind address '" + bind_addr + "'");
+    return {};
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    set_error(error, errno_string(("bind " + bind_addr + ":" +
+                                   std::to_string(port)).c_str()));
+    return {};
+  }
+  if (::listen(fd.get(), 128) < 0) {
+    set_error(error, errno_string("listen"));
+    return {};
+  }
+  if (actual_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      set_error(error, errno_string("getsockname"));
+      return {};
+    }
+    *actual_port = ntohs(bound.sin_port);
+  }
+  return fd;
+#else
+  (void)bind_addr;
+  (void)port;
+  (void)actual_port;
+  set_error(error, kUnsupported);
+  return {};
+#endif
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               std::string* error) {
+#if FTB_NET_POSIX
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, errno_string("socket"));
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    set_error(error, "invalid host address '" + host +
+                         "' (ftb_client takes a numeric IPv4 address)");
+    return {};
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    set_error(error, errno_string(("connect " + host + ":" +
+                                   std::to_string(port)).c_str()));
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+#else
+  (void)host;
+  (void)port;
+  set_error(error, kUnsupported);
+  return {};
+#endif
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size,
+              std::string* error) {
+#if FTB_NET_POSIX
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, errno_string("send"));
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+#else
+  (void)fd;
+  (void)data;
+  (void)size;
+  set_error(error, kUnsupported);
+  return false;
+#endif
+}
+
+long recv_some(int fd, std::uint8_t* data, std::size_t size,
+               std::uint32_t timeout_ms, std::string* error) {
+#if FTB_NET_POSIX
+  pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    set_error(error, errno_string("poll"));
+    return -1;
+  }
+  if (rc == 0) {
+    set_error(error, "timed out after " + std::to_string(timeout_ms) +
+                         " ms waiting for the server");
+    return -1;
+  }
+  ssize_t n;
+  do {
+    n = ::recv(fd, data, size, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    set_error(error, errno_string("recv"));
+    return -1;
+  }
+  return static_cast<long>(n);
+#else
+  (void)fd;
+  (void)data;
+  (void)size;
+  (void)timeout_ms;
+  set_error(error, kUnsupported);
+  return -1;
+#endif
+}
+
+}  // namespace ftb::net

@@ -1,0 +1,68 @@
+// Thin POSIX socket helpers shared by the epoll server and the blocking
+// client: an RAII fd wrapper plus loopback TCP listen/connect.  Everything
+// here reports failure through std::string diagnostics rather than errno
+// spelunking at the call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace ftb::net {
+
+/// Owns a file descriptor; closes it on destruction.  -1 means "none".
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// True when this build/platform has the POSIX socket + epoll machinery the
+/// service layer needs (Linux).  All other entry points below fail with a
+/// diagnostic when this is false.
+bool net_supported() noexcept;
+
+/// Marks `fd` non-blocking (and close-on-exec).  Returns false on failure.
+bool set_nonblocking(int fd) noexcept;
+
+/// Binds and listens on `bind_addr:port` (TCP, SO_REUSEADDR).  `port` 0
+/// picks an ephemeral port; `*actual_port` receives the bound port.  Returns
+/// an invalid Fd and a diagnostic in `error` on failure.
+Fd listen_tcp(const std::string& bind_addr, std::uint16_t port,
+              std::uint16_t* actual_port, std::string* error);
+
+/// Blocking TCP connect to `host:port`.  One attempt, no retry -- the
+/// client layer wraps this in util::retry_with_backoff.
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               std::string* error);
+
+/// Blocking send of the whole buffer (handles short writes / EINTR).
+bool send_all(int fd, const std::uint8_t* data, std::size_t size,
+              std::string* error);
+
+/// Blocking recv of up to `size` bytes with a poll() timeout.  Returns the
+/// byte count, 0 on orderly peer close, or -1 on error/timeout (with a
+/// diagnostic).
+long recv_some(int fd, std::uint8_t* data, std::size_t size,
+               std::uint32_t timeout_ms, std::string* error);
+
+}  // namespace ftb::net

@@ -1,0 +1,228 @@
+#include "service/jobs.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "boundary/serialize.h"
+#include "campaign/checkpoint.h"
+#include "campaign/log.h"
+#include "campaign/sampler.h"
+#include "kernels/registry.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ftb::service {
+
+JobRunner::JobRunner(BoundaryStore* store, JobRunnerOptions options,
+                     JobCallbacks callbacks)
+    : store_(store),
+      options_(std::move(options)),
+      callbacks_(std::move(callbacks)) {
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+JobRunner::~JobRunner() {
+  request_drain();
+  join();
+}
+
+bool JobRunner::submit(CampaignJob job, std::uint32_t* queue_depth,
+                       std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_ || stop_) {
+    if (error != nullptr) *error = "server is draining; try again later";
+    return false;
+  }
+  if (queue_.size() >= options_.max_queue) {
+    if (error != nullptr) {
+      *error = "campaign queue is full (" + std::to_string(queue_.size()) +
+               " jobs waiting)";
+    }
+    return false;
+  }
+  queue_.push_back(std::move(job));
+  if (queue_depth != nullptr) {
+    *queue_depth =
+        static_cast<std::uint32_t>(queue_.size() - 1 + (running_ ? 1 : 0));
+  }
+  if (telemetry::active(options_.telemetry)) {
+    options_.telemetry->metrics().counter("jobs.submitted").add();
+    options_.telemetry->metrics().gauge("jobs.queue_depth").set(
+        static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void JobRunner::request_drain() {
+  std::deque<CampaignJob> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) return;
+    draining_ = true;
+    stop_ = true;
+    abandoned.swap(queue_);
+    cv_.notify_all();
+  }
+  // Queued-but-never-started jobs are failed here, on the caller's thread;
+  // the running job (if any) finishes its chunk, flushes, and reports a
+  // stopped CampaignDone from the runner thread.
+  for (const CampaignJob& job : abandoned) {
+    CampaignDone done;
+    done.job = job.id;
+    done.ok = false;
+    done.error = "server drained before the job started";
+    if (callbacks_.on_done) callbacks_.on_done(job, done);
+  }
+}
+
+void JobRunner::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+bool JobRunner::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty() && !running_;
+}
+
+std::size_t JobRunner::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + (running_ ? 1 : 0);
+}
+
+void JobRunner::run_loop() {
+  for (;;) {
+    CampaignJob job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_ = true;
+      if (telemetry::active(options_.telemetry)) {
+        options_.telemetry->metrics().gauge("jobs.queue_depth").set(
+            static_cast<double>(queue_.size()));
+      }
+    }
+    execute(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_ = false;
+    }
+  }
+}
+
+void JobRunner::execute(const CampaignJob& job) {
+  telemetry::SpanScope span(options_.telemetry, "jobs.run", "service");
+  span.arg("job", static_cast<double>(job.id));
+  const StoreKey key{job.req.kernel, job.req.preset, job.req.seed};
+  CampaignDone done;
+  done.job = job.id;
+  try {
+    const fi::ProgramPtr program = kernels::make_program(
+        job.req.kernel, kernels::preset_from_string(job.req.preset));
+    const fi::GoldenRun golden = fi::run_golden(*program);
+
+    // Same id set as `ftb_analyze campaign --resume --seed N --batch K`:
+    // the journal this job leaves behind must be finishable by the CLI.
+    util::Rng rng(job.req.seed);
+    const std::vector<campaign::ExperimentId> ids =
+        campaign::sample_uniform(rng, golden.sample_space_size(), job.req.batch);
+
+    campaign::CheckpointOptions options;
+    options.telemetry = options_.telemetry;
+    options.path = options_.store_dir + "/" + key.str() + ".clog";
+    options.flush_every = std::max<std::uint32_t>(1, job.req.flush_every);
+    options.use_supervisor = true;
+    options.supervisor.pool.workers =
+        static_cast<int>(std::clamp<std::uint32_t>(job.req.workers, 1, 16));
+    options.supervisor.pool.heartbeat_timeout_ms = job.req.timeout_ms;
+    options.supervisor.quarantine_after =
+        static_cast<int>(job.req.quarantine_after);
+    options.supervisor.telemetry = options_.telemetry;
+    // Never run injected experiments on the daemon's own thread: a hazard
+    // flip that escapes isolation could hang or kill the whole service.  If
+    // the pool degrades to nothing, fail this one job instead.
+    options.supervisor.allow_in_process_fallback = false;
+
+    campaign::OutcomeCounts tally;
+    campaign::SupervisorStats last_stats;
+    options.on_progress = [&](const campaign::CheckpointProgress& p) {
+      const campaign::OutcomeCounts chunk = campaign::count_outcomes(p.chunk);
+      tally.masked += chunk.masked;
+      tally.sdc += chunk.sdc;
+      tally.crash += chunk.crash;
+      tally.hang += chunk.hang;
+      if (p.supervisor != nullptr) last_stats = *p.supervisor;
+      if (p.chunk.empty()) return;  // final dedupe flush; CampaignDone covers it
+      CampaignProgress progress;
+      progress.job = job.id;
+      progress.done = p.executed;
+      progress.total = p.total;
+      progress.logged = p.logged;
+      progress.masked = tally.masked;
+      progress.sdc = tally.sdc;
+      progress.crash = tally.crash;
+      progress.hang = tally.hang;
+      progress.worker_deaths = last_stats.worker_deaths;
+      progress.worker_hangs = last_stats.worker_hangs;
+      progress.requeued = last_stats.experiments_requeued;
+      progress.quarantined = last_stats.quarantined;
+      if (callbacks_.on_progress) callbacks_.on_progress(job, progress);
+    };
+    options.should_stop = [this] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return stop_;
+    };
+
+    const campaign::CheckpointRunResult run =
+        campaign::run_campaign_checkpointed(*program, golden, ids, options);
+    done.executed = run.executed;
+    done.skipped = run.skipped;
+    done.flushes = run.flushes;
+    const campaign::OutcomeCounts counts =
+        campaign::count_outcomes(run.log.records());
+    done.masked = counts.masked;
+    done.sdc = counts.sdc;
+    done.crash = counts.crash;
+    done.hang = counts.hang;
+    done.worker_deaths = run.supervisor_stats.worker_deaths;
+    done.worker_hangs = run.supervisor_stats.worker_hangs;
+    done.quarantined = run.supervisor_stats.quarantined;
+
+    if (run.stopped) {
+      done.stopped = true;
+      done.error = "server drained; journal '" + options.path +
+                   "' holds " + std::to_string(run.log.size()) +
+                   " experiments and is resumable";
+    } else {
+      const boundary::FaultToleranceBoundary built = campaign::boundary_from_log(
+          *program, golden, run.log, {true, 32}, util::default_pool());
+      const std::string artifact =
+          options_.store_dir + "/" + key.str() + ".boundary";
+      if (!boundary::save_to_file(built, program->config_key(), artifact)) {
+        throw std::runtime_error("cannot write boundary artifact '" +
+                                 artifact + "'");
+      }
+      std::string publish_error;
+      if (!store_->publish(key, built, &publish_error)) {
+        throw std::runtime_error("cannot publish boundary: " + publish_error);
+      }
+      done.ok = true;
+      done.store_key = key.str();
+    }
+  } catch (const std::exception& e) {
+    done.ok = false;
+    done.error = e.what();
+  }
+  if (telemetry::active(options_.telemetry)) {
+    const char* counter = done.ok ? "jobs.completed"
+                         : done.stopped ? "jobs.stopped"
+                                        : "jobs.failed";
+    options_.telemetry->metrics().counter(counter).add();
+  }
+  if (callbacks_.on_done) callbacks_.on_done(job, done);
+}
+
+}  // namespace ftb::service

@@ -1,0 +1,102 @@
+// Campaign plane for ftb_served: a bounded FIFO of campaign jobs drained by
+// one runner thread.
+//
+// Each job runs the checkpointed campaign pipeline (campaign/checkpoint.h)
+// through the resilient supervisor (persistent worker pool, heartbeats,
+// quarantine), journalling to "<store-dir>/<key>.clog".  Progress snapshots
+// are emitted after every journal flush -- so everything a client sees is
+// already durable -- and a finished job infers the boundary from the full
+// journal, writes "<key>.boundary" next to it, and publishes the entry into
+// the BoundaryStore, where the query plane can see it immediately.
+//
+// Jobs sample their experiment ids exactly like `ftb_analyze campaign
+// --resume` does (Rng(seed), sample_uniform over the golden sample space),
+// so a journal left behind by a drained daemon can be finished -- byte for
+// byte -- by the CLI, and vice versa.
+//
+// Drain semantics: request_drain() stops accepting new jobs, asks the
+// running job to stop at the next chunk edge (after its flush), and fails
+// queued jobs with a "draining" CampaignDone.  The runner thread exits once
+// the running job has checkpointed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/protocol.h"
+#include "service/store.h"
+#include "telemetry/events.h"
+
+namespace ftb::service {
+
+struct CampaignJob {
+  std::uint64_t id = 0;
+  std::uint64_t client = 0;  ///< net::ConnId of the submitting connection
+  SubmitCampaignReq req;
+};
+
+struct JobRunnerOptions {
+  /// Directory for journals ("<key>.clog") and artifacts ("<key>.boundary").
+  std::string store_dir = ".";
+  /// Jobs waiting in the queue (the running job is not counted).
+  std::size_t max_queue = 8;
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// Event sinks, invoked from the runner thread (never concurrently).
+struct JobCallbacks {
+  std::function<void(const CampaignJob&, const CampaignProgress&)> on_progress;
+  std::function<void(const CampaignJob&, const CampaignDone&)> on_done;
+};
+
+class JobRunner {
+ public:
+  JobRunner(BoundaryStore* store, JobRunnerOptions options,
+            JobCallbacks callbacks);
+  ~JobRunner();
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// Enqueues a job.  On success fills `queue_depth` with the number of
+  /// jobs ahead of it (including the running one).  False when the queue
+  /// is full or the runner is draining (diagnostic in `error`).
+  bool submit(CampaignJob job, std::uint32_t* queue_depth = nullptr,
+              std::string* error = nullptr);
+
+  /// Stops accepting jobs, stops the running job at its next chunk edge
+  /// (journal stays resumable), and fails queued jobs.  Does not block.
+  void request_drain();
+
+  /// Blocks until the runner thread has exited (call request_drain first,
+  /// or wait for natural idleness forever).
+  void join();
+
+  /// True when no job is running and the queue is empty.
+  bool idle() const;
+
+  /// Queued plus running.
+  std::size_t depth() const;
+
+ private:
+  void run_loop();
+  void execute(const CampaignJob& job);
+
+  BoundaryStore* store_;
+  JobRunnerOptions options_;
+  JobCallbacks callbacks_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<CampaignJob> queue_;
+  bool running_ = false;   ///< a job is executing right now
+  bool draining_ = false;
+  bool stop_ = false;      ///< runner thread should exit when idle
+  std::thread thread_;
+};
+
+}  // namespace ftb::service

@@ -1,0 +1,448 @@
+#include "service/protocol.h"
+
+#include <stdexcept>
+
+#include "util/cache.h"
+
+namespace ftb::service {
+
+namespace {
+
+net::Frame finish(MsgType type, const util::BinaryWriter& writer) {
+  net::Frame frame;
+  frame.type = static_cast<std::uint32_t>(type);
+  frame.payload = writer.buffer();
+  return frame;
+}
+
+net::Frame empty_frame(MsgType type) {
+  net::Frame frame;
+  frame.type = static_cast<std::uint32_t>(type);
+  return frame;
+}
+
+void put_bool(util::BinaryWriter& writer, bool value) {
+  writer.put_u64(value ? 1 : 0);
+}
+
+bool get_bool(util::BinaryReader& reader) { return reader.get_u64() != 0; }
+
+/// Runs `decode` over the frame payload with the usual guards: the frame
+/// must carry `expected`, the payload must parse to the end, and decoder
+/// exceptions become diagnostics instead of escaping to the event loop.
+template <typename T, typename Decode>
+std::optional<T> parse(const net::Frame& frame, MsgType expected,
+                       std::string* error, Decode decode) {
+  if (frame.type != static_cast<std::uint32_t>(expected)) {
+    if (error != nullptr) {
+      *error = std::string("frame is not a ") + to_string(expected) +
+               " message (type " + std::to_string(frame.type) + ")";
+    }
+    return std::nullopt;
+  }
+  try {
+    util::BinaryReader reader(frame.payload);
+    T value = decode(reader);
+    if (!reader.exhausted()) {
+      if (error != nullptr) {
+        *error = std::string(to_string(expected)) +
+                 " payload has trailing garbage";
+      }
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::runtime_error& e) {
+    if (error != nullptr) {
+      *error = std::string(to_string(expected)) +
+               " payload truncated: " + e.what();
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kError: return "Error";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kPredictFlip: return "PredictFlip";
+    case MsgType::kPredictFlipOk: return "PredictFlipOk";
+    case MsgType::kPredictSite: return "PredictSite";
+    case MsgType::kPredictSiteOk: return "PredictSiteOk";
+    case MsgType::kPhaseReport: return "PhaseReport";
+    case MsgType::kPhaseReportOk: return "PhaseReportOk";
+    case MsgType::kListBoundaries: return "ListBoundaries";
+    case MsgType::kBoundaryListOk: return "BoundaryListOk";
+    case MsgType::kStats: return "Stats";
+    case MsgType::kStatsOk: return "StatsOk";
+    case MsgType::kSubmitCampaign: return "SubmitCampaign";
+    case MsgType::kCampaignAccepted: return "CampaignAccepted";
+    case MsgType::kCampaignProgress: return "CampaignProgress";
+    case MsgType::kCampaignDone: return "CampaignDone";
+    case MsgType::kShutdown: return "Shutdown";
+    case MsgType::kShutdownOk: return "ShutdownOk";
+  }
+  return "Unknown";
+}
+
+net::Frame make_error(const std::string& message) {
+  util::BinaryWriter writer;
+  writer.put_string(message);
+  return finish(MsgType::kError, writer);
+}
+
+net::Frame make_ping() { return empty_frame(MsgType::kPing); }
+net::Frame make_pong() { return empty_frame(MsgType::kPong); }
+net::Frame make_list_boundaries() {
+  return empty_frame(MsgType::kListBoundaries);
+}
+net::Frame make_stats() { return empty_frame(MsgType::kStats); }
+net::Frame make_shutdown() { return empty_frame(MsgType::kShutdown); }
+net::Frame make_shutdown_ok() { return empty_frame(MsgType::kShutdownOk); }
+
+net::Frame make_predict_flip(const PredictFlipReq& req) {
+  util::BinaryWriter writer;
+  writer.put_string(req.key);
+  writer.put_u64(req.site);
+  writer.put_u64(req.bit);
+  return finish(MsgType::kPredictFlip, writer);
+}
+
+net::Frame make_predict_flip_ok(const PredictFlipOk& ok) {
+  util::BinaryWriter writer;
+  writer.put_u64(ok.outcome);
+  writer.put_f64(ok.threshold);
+  writer.put_f64(ok.injected_error);
+  return finish(MsgType::kPredictFlipOk, writer);
+}
+
+net::Frame make_predict_site(const PredictSiteReq& req) {
+  util::BinaryWriter writer;
+  writer.put_string(req.key);
+  writer.put_u64(req.site);
+  return finish(MsgType::kPredictSite, writer);
+}
+
+net::Frame make_predict_site_ok(const PredictSiteOk& ok) {
+  util::BinaryWriter writer;
+  writer.put_u64(ok.masked);
+  writer.put_u64(ok.sdc);
+  writer.put_u64(ok.crash);
+  writer.put_f64(ok.sdc_ratio);
+  writer.put_f64(ok.threshold);
+  writer.put_f64(ok.golden_value);
+  return finish(MsgType::kPredictSiteOk, writer);
+}
+
+net::Frame make_phase_report(const PhaseReportReq& req) {
+  util::BinaryWriter writer;
+  writer.put_string(req.key);
+  return finish(MsgType::kPhaseReport, writer);
+}
+
+net::Frame make_phase_report_ok(const PhaseReportOk& ok) {
+  util::BinaryWriter writer;
+  writer.put_u64(ok.rows.size());
+  for (const boundary::PhaseReport& row : ok.rows) {
+    writer.put_string(row.name);
+    writer.put_u64(row.begin);
+    writer.put_u64(row.end);
+    writer.put_f64(row.mean_predicted_sdc);
+    writer.put_f64(row.median_threshold);
+    writer.put_f64(row.informed_fraction);
+    put_bool(writer, row.mean_true_sdc.has_value());
+    writer.put_f64(row.mean_true_sdc.value_or(0.0));
+  }
+  return finish(MsgType::kPhaseReportOk, writer);
+}
+
+net::Frame make_boundary_list_ok(const BoundaryListOk& ok) {
+  util::BinaryWriter writer;
+  writer.put_u64(ok.entries.size());
+  for (const BoundaryInfo& info : ok.entries) {
+    writer.put_string(info.key);
+    writer.put_string(info.config_key);
+    writer.put_u64(info.sites);
+    writer.put_u64(info.informed_sites);
+  }
+  return finish(MsgType::kBoundaryListOk, writer);
+}
+
+net::Frame make_stats_ok(const StatsOk& ok) {
+  util::BinaryWriter writer;
+  writer.put_string(ok.metrics_json);
+  return finish(MsgType::kStatsOk, writer);
+}
+
+net::Frame make_submit_campaign(const SubmitCampaignReq& req) {
+  util::BinaryWriter writer;
+  writer.put_string(req.kernel);
+  writer.put_string(req.preset);
+  writer.put_u64(req.seed);
+  writer.put_u64(req.batch);
+  writer.put_u64(req.workers);
+  writer.put_u64(req.flush_every);
+  writer.put_u64(req.timeout_ms);
+  writer.put_u64(req.quarantine_after);
+  return finish(MsgType::kSubmitCampaign, writer);
+}
+
+net::Frame make_campaign_accepted(const CampaignAccepted& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.job);
+  writer.put_u64(msg.queue_depth);
+  return finish(MsgType::kCampaignAccepted, writer);
+}
+
+net::Frame make_campaign_progress(const CampaignProgress& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.job);
+  writer.put_u64(msg.done);
+  writer.put_u64(msg.total);
+  writer.put_u64(msg.logged);
+  writer.put_u64(msg.masked);
+  writer.put_u64(msg.sdc);
+  writer.put_u64(msg.crash);
+  writer.put_u64(msg.hang);
+  writer.put_u64(msg.worker_deaths);
+  writer.put_u64(msg.worker_hangs);
+  writer.put_u64(msg.requeued);
+  writer.put_u64(msg.quarantined);
+  return finish(MsgType::kCampaignProgress, writer);
+}
+
+net::Frame make_campaign_done(const CampaignDone& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.job);
+  put_bool(writer, msg.ok);
+  put_bool(writer, msg.stopped);
+  writer.put_string(msg.error);
+  writer.put_string(msg.store_key);
+  writer.put_u64(msg.executed);
+  writer.put_u64(msg.skipped);
+  writer.put_u64(msg.flushes);
+  writer.put_u64(msg.masked);
+  writer.put_u64(msg.sdc);
+  writer.put_u64(msg.crash);
+  writer.put_u64(msg.hang);
+  writer.put_u64(msg.worker_deaths);
+  writer.put_u64(msg.worker_hangs);
+  writer.put_u64(msg.quarantined);
+  return finish(MsgType::kCampaignDone, writer);
+}
+
+std::optional<ErrorMsg> parse_error(const net::Frame& frame,
+                                    std::string* error) {
+  return parse<ErrorMsg>(frame, MsgType::kError, error,
+                         [](util::BinaryReader& reader) {
+                           ErrorMsg msg;
+                           msg.message = reader.get_string();
+                           return msg;
+                         });
+}
+
+std::optional<PredictFlipReq> parse_predict_flip(const net::Frame& frame,
+                                                 std::string* error) {
+  auto req = parse<PredictFlipReq>(frame, MsgType::kPredictFlip, error,
+                                   [](util::BinaryReader& reader) {
+                                     PredictFlipReq msg;
+                                     msg.key = reader.get_string();
+                                     msg.site = reader.get_u64();
+                                     msg.bit = static_cast<std::uint32_t>(
+                                         reader.get_u64());
+                                     return msg;
+                                   });
+  if (req.has_value() && req->bit >= 64) {
+    if (error != nullptr) {
+      *error = "PredictFlip bit " + std::to_string(req->bit) +
+               " is out of range [0, 64)";
+    }
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::optional<PredictFlipOk> parse_predict_flip_ok(const net::Frame& frame,
+                                                   std::string* error) {
+  return parse<PredictFlipOk>(
+      frame, MsgType::kPredictFlipOk, error, [](util::BinaryReader& reader) {
+        PredictFlipOk msg;
+        msg.outcome = static_cast<std::uint32_t>(reader.get_u64());
+        msg.threshold = reader.get_f64();
+        msg.injected_error = reader.get_f64();
+        return msg;
+      });
+}
+
+std::optional<PredictSiteReq> parse_predict_site(const net::Frame& frame,
+                                                 std::string* error) {
+  return parse<PredictSiteReq>(frame, MsgType::kPredictSite, error,
+                               [](util::BinaryReader& reader) {
+                                 PredictSiteReq msg;
+                                 msg.key = reader.get_string();
+                                 msg.site = reader.get_u64();
+                                 return msg;
+                               });
+}
+
+std::optional<PredictSiteOk> parse_predict_site_ok(const net::Frame& frame,
+                                                   std::string* error) {
+  return parse<PredictSiteOk>(
+      frame, MsgType::kPredictSiteOk, error, [](util::BinaryReader& reader) {
+        PredictSiteOk msg;
+        msg.masked = static_cast<std::uint32_t>(reader.get_u64());
+        msg.sdc = static_cast<std::uint32_t>(reader.get_u64());
+        msg.crash = static_cast<std::uint32_t>(reader.get_u64());
+        msg.sdc_ratio = reader.get_f64();
+        msg.threshold = reader.get_f64();
+        msg.golden_value = reader.get_f64();
+        return msg;
+      });
+}
+
+std::optional<PhaseReportReq> parse_phase_report(const net::Frame& frame,
+                                                 std::string* error) {
+  return parse<PhaseReportReq>(frame, MsgType::kPhaseReport, error,
+                               [](util::BinaryReader& reader) {
+                                 PhaseReportReq msg;
+                                 msg.key = reader.get_string();
+                                 return msg;
+                               });
+}
+
+std::optional<PhaseReportOk> parse_phase_report_ok(const net::Frame& frame,
+                                                   std::string* error) {
+  return parse<PhaseReportOk>(
+      frame, MsgType::kPhaseReportOk, error, [](util::BinaryReader& reader) {
+        PhaseReportOk msg;
+        const std::uint64_t rows = reader.get_u64();
+        msg.rows.reserve(rows);
+        for (std::uint64_t i = 0; i < rows; ++i) {
+          boundary::PhaseReport row;
+          row.name = reader.get_string();
+          row.begin = reader.get_u64();
+          row.end = reader.get_u64();
+          row.mean_predicted_sdc = reader.get_f64();
+          row.median_threshold = reader.get_f64();
+          row.informed_fraction = reader.get_f64();
+          const bool has_true = get_bool(reader);
+          const double true_sdc = reader.get_f64();
+          if (has_true) row.mean_true_sdc = true_sdc;
+          msg.rows.push_back(std::move(row));
+        }
+        return msg;
+      });
+}
+
+std::optional<BoundaryListOk> parse_boundary_list_ok(const net::Frame& frame,
+                                                     std::string* error) {
+  return parse<BoundaryListOk>(
+      frame, MsgType::kBoundaryListOk, error, [](util::BinaryReader& reader) {
+        BoundaryListOk msg;
+        const std::uint64_t count = reader.get_u64();
+        msg.entries.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          BoundaryInfo info;
+          info.key = reader.get_string();
+          info.config_key = reader.get_string();
+          info.sites = reader.get_u64();
+          info.informed_sites = reader.get_u64();
+          msg.entries.push_back(std::move(info));
+        }
+        return msg;
+      });
+}
+
+std::optional<StatsOk> parse_stats_ok(const net::Frame& frame,
+                                      std::string* error) {
+  return parse<StatsOk>(frame, MsgType::kStatsOk, error,
+                        [](util::BinaryReader& reader) {
+                          StatsOk msg;
+                          msg.metrics_json = reader.get_string();
+                          return msg;
+                        });
+}
+
+std::optional<SubmitCampaignReq> parse_submit_campaign(const net::Frame& frame,
+                                                       std::string* error) {
+  auto req = parse<SubmitCampaignReq>(
+      frame, MsgType::kSubmitCampaign, error, [](util::BinaryReader& reader) {
+        SubmitCampaignReq msg;
+        msg.kernel = reader.get_string();
+        msg.preset = reader.get_string();
+        msg.seed = reader.get_u64();
+        msg.batch = reader.get_u64();
+        msg.workers = static_cast<std::uint32_t>(reader.get_u64());
+        msg.flush_every = static_cast<std::uint32_t>(reader.get_u64());
+        msg.timeout_ms = static_cast<std::uint32_t>(reader.get_u64());
+        msg.quarantine_after = static_cast<std::uint32_t>(reader.get_u64());
+        return msg;
+      });
+  if (req.has_value() && req->batch == 0) {
+    if (error != nullptr) *error = "SubmitCampaign batch must be nonzero";
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::optional<CampaignAccepted> parse_campaign_accepted(
+    const net::Frame& frame, std::string* error) {
+  return parse<CampaignAccepted>(
+      frame, MsgType::kCampaignAccepted, error,
+      [](util::BinaryReader& reader) {
+        CampaignAccepted msg;
+        msg.job = reader.get_u64();
+        msg.queue_depth = static_cast<std::uint32_t>(reader.get_u64());
+        return msg;
+      });
+}
+
+std::optional<CampaignProgress> parse_campaign_progress(
+    const net::Frame& frame, std::string* error) {
+  return parse<CampaignProgress>(
+      frame, MsgType::kCampaignProgress, error,
+      [](util::BinaryReader& reader) {
+        CampaignProgress msg;
+        msg.job = reader.get_u64();
+        msg.done = reader.get_u64();
+        msg.total = reader.get_u64();
+        msg.logged = reader.get_u64();
+        msg.masked = reader.get_u64();
+        msg.sdc = reader.get_u64();
+        msg.crash = reader.get_u64();
+        msg.hang = reader.get_u64();
+        msg.worker_deaths = reader.get_u64();
+        msg.worker_hangs = reader.get_u64();
+        msg.requeued = reader.get_u64();
+        msg.quarantined = reader.get_u64();
+        return msg;
+      });
+}
+
+std::optional<CampaignDone> parse_campaign_done(const net::Frame& frame,
+                                                std::string* error) {
+  return parse<CampaignDone>(
+      frame, MsgType::kCampaignDone, error, [](util::BinaryReader& reader) {
+        CampaignDone msg;
+        msg.job = reader.get_u64();
+        msg.ok = get_bool(reader);
+        msg.stopped = get_bool(reader);
+        msg.error = reader.get_string();
+        msg.store_key = reader.get_string();
+        msg.executed = reader.get_u64();
+        msg.skipped = reader.get_u64();
+        msg.flushes = reader.get_u64();
+        msg.masked = reader.get_u64();
+        msg.sdc = reader.get_u64();
+        msg.crash = reader.get_u64();
+        msg.hang = reader.get_u64();
+        msg.worker_deaths = reader.get_u64();
+        msg.worker_hangs = reader.get_u64();
+        msg.quarantined = reader.get_u64();
+        return msg;
+      });
+}
+
+}  // namespace ftb::service

@@ -1,0 +1,210 @@
+// Message catalogue for the ftb_served protocol.
+//
+// Frames (net/frame.h) carry a type tag and an opaque payload; this header
+// gives both meaning.  Payloads are encoded with util::BinaryWriter /
+// BinaryReader (the same little-endian primitives as the CampaignLog and
+// boundary artifacts), and every decode returns nullopt with a one-line
+// diagnostic instead of throwing across the network boundary.
+//
+// The protocol has two planes:
+//
+//   * query plane (request -> single response): Ping, PredictFlip,
+//     PredictSite, PhaseReport, ListBoundaries, Stats, Shutdown;
+//   * campaign plane (request -> response stream): SubmitCampaign is
+//     answered by CampaignAccepted, then zero or more CampaignProgress
+//     frames as checkpoint chunks land, then exactly one CampaignDone.
+//
+// Any request can instead be answered by an Error frame carrying a
+// human-readable message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boundary/report.h"
+#include "net/frame.h"
+
+namespace ftb::service {
+
+enum class MsgType : std::uint32_t {
+  kError = 0,
+  kPing = 1,
+  kPong = 2,
+  kPredictFlip = 3,
+  kPredictFlipOk = 4,
+  kPredictSite = 5,
+  kPredictSiteOk = 6,
+  kPhaseReport = 7,
+  kPhaseReportOk = 8,
+  kListBoundaries = 9,
+  kBoundaryListOk = 10,
+  kStats = 11,
+  kStatsOk = 12,
+  kSubmitCampaign = 13,
+  kCampaignAccepted = 14,
+  kCampaignProgress = 15,
+  kCampaignDone = 16,
+  kShutdown = 17,
+  kShutdownOk = 18,
+};
+
+/// The largest type value the dispatcher accepts; anything above is an
+/// unknown message.
+inline constexpr std::uint32_t kMaxMsgType =
+    static_cast<std::uint32_t>(MsgType::kShutdownOk);
+
+const char* to_string(MsgType type) noexcept;
+
+struct ErrorMsg {
+  std::string message;
+};
+
+struct PredictFlipReq {
+  std::string key;  // boundary store key, e.g. "cg@tiny@1"
+  std::uint64_t site = 0;
+  std::uint32_t bit = 0;
+};
+
+struct PredictFlipOk {
+  std::uint32_t outcome = 0;  // fi::Outcome
+  double threshold = 0.0;
+  double injected_error = 0.0;
+};
+
+struct PredictSiteReq {
+  std::string key;
+  std::uint64_t site = 0;
+};
+
+struct PredictSiteOk {
+  std::uint32_t masked = 0;
+  std::uint32_t sdc = 0;
+  std::uint32_t crash = 0;
+  double sdc_ratio = 0.0;
+  double threshold = 0.0;
+  double golden_value = 0.0;
+};
+
+struct PhaseReportReq {
+  std::string key;
+};
+
+struct PhaseReportOk {
+  std::vector<boundary::PhaseReport> rows;
+};
+
+struct BoundaryInfo {
+  std::string key;
+  std::string config_key;
+  std::uint64_t sites = 0;
+  std::uint64_t informed_sites = 0;
+};
+
+struct BoundaryListOk {
+  std::vector<BoundaryInfo> entries;
+};
+
+struct StatsOk {
+  std::string metrics_json;  // schema ftb.telemetry.metrics/1
+};
+
+struct SubmitCampaignReq {
+  std::string kernel;
+  std::string preset = "tiny";
+  std::uint64_t seed = 1;
+  std::uint64_t batch = 1000;
+  std::uint32_t workers = 2;        // supervisor pool size
+  std::uint32_t flush_every = 512;  // checkpoint chunk / journal flush cadence
+  std::uint32_t timeout_ms = 2000;  // worker heartbeat budget
+  std::uint32_t quarantine_after = 3;
+};
+
+struct CampaignAccepted {
+  std::uint64_t job = 0;
+  std::uint32_t queue_depth = 0;  // jobs ahead of this one, including running
+};
+
+struct CampaignProgress {
+  std::uint64_t job = 0;
+  std::uint64_t done = 0;   // executed this invocation
+  std::uint64_t total = 0;  // owed this invocation (after resume skip)
+  std::uint64_t logged = 0; // journal records so far
+  std::uint64_t masked = 0, sdc = 0, crash = 0, hang = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t worker_hangs = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t quarantined = 0;
+};
+
+struct CampaignDone {
+  std::uint64_t job = 0;
+  bool ok = false;
+  bool stopped = false;  // drained mid-flight; journal is resumable
+  std::string error;     // when !ok (or a drain note when stopped)
+  std::string store_key; // published boundary key when ok
+  std::uint64_t executed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t masked = 0, sdc = 0, crash = 0, hang = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t worker_hangs = 0;
+  std::uint64_t quarantined = 0;
+};
+
+// --- frame builders -------------------------------------------------------
+
+net::Frame make_error(const std::string& message);
+net::Frame make_ping();
+net::Frame make_pong();
+net::Frame make_predict_flip(const PredictFlipReq& req);
+net::Frame make_predict_flip_ok(const PredictFlipOk& ok);
+net::Frame make_predict_site(const PredictSiteReq& req);
+net::Frame make_predict_site_ok(const PredictSiteOk& ok);
+net::Frame make_phase_report(const PhaseReportReq& req);
+net::Frame make_phase_report_ok(const PhaseReportOk& ok);
+net::Frame make_list_boundaries();
+net::Frame make_boundary_list_ok(const BoundaryListOk& ok);
+net::Frame make_stats();
+net::Frame make_stats_ok(const StatsOk& ok);
+net::Frame make_submit_campaign(const SubmitCampaignReq& req);
+net::Frame make_campaign_accepted(const CampaignAccepted& msg);
+net::Frame make_campaign_progress(const CampaignProgress& msg);
+net::Frame make_campaign_done(const CampaignDone& msg);
+net::Frame make_shutdown();
+net::Frame make_shutdown_ok();
+
+// --- payload decoders -----------------------------------------------------
+//
+// Each returns nullopt (with a diagnostic in `error`) when the payload is
+// truncated, has trailing garbage, or carries out-of-range values.
+
+std::optional<ErrorMsg> parse_error(const net::Frame& frame,
+                                    std::string* error = nullptr);
+std::optional<PredictFlipReq> parse_predict_flip(const net::Frame& frame,
+                                                 std::string* error = nullptr);
+std::optional<PredictFlipOk> parse_predict_flip_ok(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<PredictSiteReq> parse_predict_site(const net::Frame& frame,
+                                                 std::string* error = nullptr);
+std::optional<PredictSiteOk> parse_predict_site_ok(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<PhaseReportReq> parse_phase_report(const net::Frame& frame,
+                                                 std::string* error = nullptr);
+std::optional<PhaseReportOk> parse_phase_report_ok(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<BoundaryListOk> parse_boundary_list_ok(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<StatsOk> parse_stats_ok(const net::Frame& frame,
+                                      std::string* error = nullptr);
+std::optional<SubmitCampaignReq> parse_submit_campaign(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<CampaignAccepted> parse_campaign_accepted(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<CampaignProgress> parse_campaign_progress(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<CampaignDone> parse_campaign_done(const net::Frame& frame,
+                                                std::string* error = nullptr);
+
+}  // namespace ftb::service

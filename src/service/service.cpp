@@ -1,0 +1,278 @@
+#include "service/service.h"
+
+#include <limits>
+#include <utility>
+
+#include "boundary/predictor.h"
+#include "boundary/report.h"
+#include "fi/fpbits.h"
+#include "telemetry/export.h"
+
+namespace ftb::service {
+
+namespace {
+
+/// Records one query-plane request latency under "service.<name>_ns".
+class RequestTimer {
+ public:
+  RequestTimer(telemetry::Telemetry* telemetry, const char* name)
+      : telemetry_(telemetry::active(telemetry) ? telemetry : nullptr),
+        name_(name) {
+    if (telemetry_ != nullptr) start_ns_ = telemetry_->now_ns();
+  }
+  ~RequestTimer() {
+    if (telemetry_ == nullptr) return;
+    telemetry_->metrics()
+        .histogram(std::string("service.") + name_ + "_ns")
+        .record(telemetry_->now_ns() - start_ns_);
+  }
+
+ private:
+  telemetry::Telemetry* telemetry_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), store_(options_.telemetry) {
+  JobRunnerOptions job_options;
+  job_options.store_dir = options_.store_dir;
+  job_options.max_queue = options_.max_queue;
+  job_options.telemetry = options_.telemetry;
+  JobCallbacks callbacks;
+  callbacks.on_progress = [this](const CampaignJob& job,
+                                 const CampaignProgress& progress) {
+    if (server_ != nullptr) {
+      server_->send(job.client, make_campaign_progress(progress));
+    }
+  };
+  callbacks.on_done = [this](const CampaignJob& job, const CampaignDone& done) {
+    if (server_ != nullptr) {
+      server_->send(job.client, make_campaign_done(done));
+      server_->wake();  // drain progress may now be complete
+    }
+  };
+  jobs_ = std::make_unique<JobRunner>(&store_, std::move(job_options),
+                                      std::move(callbacks));
+}
+
+Service::~Service() = default;
+
+std::size_t Service::load_store(std::vector<std::string>* diagnostics) {
+  return store_.load_directory(options_.store_dir, diagnostics);
+}
+
+void Service::request_shutdown() noexcept {
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  if (server_ != nullptr) server_->wake();
+}
+
+void Service::reply(net::Server::ConnId conn, const net::Frame& frame) {
+  if (server_ != nullptr) server_->send(conn, frame);
+}
+
+void Service::on_frame(net::Server::ConnId conn, net::Frame frame) {
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kPing:
+      reply(conn, make_pong());
+      return;
+    case MsgType::kPredictFlip:
+      handle_predict_flip(conn, frame);
+      return;
+    case MsgType::kPredictSite:
+      handle_predict_site(conn, frame);
+      return;
+    case MsgType::kPhaseReport:
+      handle_phase_report(conn, frame);
+      return;
+    case MsgType::kListBoundaries:
+      handle_list(conn);
+      return;
+    case MsgType::kStats:
+      handle_stats(conn);
+      return;
+    case MsgType::kSubmitCampaign:
+      handle_submit(conn, frame);
+      return;
+    case MsgType::kShutdown:
+      reply(conn, make_shutdown_ok());
+      shutdown_requested_.store(true, std::memory_order_relaxed);
+      return;
+    default:
+      reply(conn, make_error("unexpected message type " +
+                             std::to_string(frame.type) + " (" +
+                             to_string(static_cast<MsgType>(frame.type)) +
+                             ")"));
+      return;
+  }
+}
+
+void Service::on_decode_error(net::Server::ConnId conn,
+                              const std::string& error) {
+  // Best-effort: the server flushes this before closing the poisoned
+  // connection, so a well-behaved client learns why it was dropped.
+  reply(conn, make_error(error));
+}
+
+void Service::on_tick() {
+  if (tick_hook_) tick_hook_();
+  if (shutdown_requested_.load(std::memory_order_relaxed) && !draining_) {
+    begin_drain();
+  }
+  if (draining_ && jobs_->idle()) {
+    server_->request_stop_when_flushed();
+  }
+}
+
+void Service::begin_drain() {
+  draining_ = true;
+  if (server_ != nullptr) server_->request_drain();
+  // Fails queued jobs and stops the running one at its next checkpoint;
+  // its CampaignDone (stopped=true) frame still reaches the client.
+  jobs_->request_drain();
+  if (telemetry::active(options_.telemetry)) {
+    options_.telemetry->instant("service.drain", "service");
+  }
+}
+
+void Service::handle_predict_flip(net::Server::ConnId conn,
+                                  const net::Frame& frame) {
+  RequestTimer timer(options_.telemetry, "predict_flip");
+  std::string error;
+  const auto req = parse_predict_flip(frame, &error);
+  if (!req.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  const auto entry = store_.find(req->key);
+  if (entry == nullptr) {
+    reply(conn, make_error("no boundary for key '" + req->key + "'"));
+    return;
+  }
+  if (req->site >= entry->boundary.sites()) {
+    reply(conn, make_error("site " + std::to_string(req->site) +
+                           " is out of range; '" + req->key + "' has " +
+                           std::to_string(entry->boundary.sites()) +
+                           " sites"));
+    return;
+  }
+  const double golden = entry->golden.trace[req->site];
+  PredictFlipOk ok;
+  ok.outcome = static_cast<std::uint32_t>(
+      boundary::predict_flip(entry->boundary, req->site, golden,
+                             static_cast<int>(req->bit)));
+  ok.threshold = entry->boundary.threshold(req->site);
+  ok.injected_error = fi::flip_is_nonfinite(golden, static_cast<int>(req->bit))
+                          ? std::numeric_limits<double>::infinity()
+                          : fi::bit_flip_error(golden, static_cast<int>(req->bit));
+  reply(conn, make_predict_flip_ok(ok));
+}
+
+void Service::handle_predict_site(net::Server::ConnId conn,
+                                  const net::Frame& frame) {
+  RequestTimer timer(options_.telemetry, "predict_site");
+  std::string error;
+  const auto req = parse_predict_site(frame, &error);
+  if (!req.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  const auto entry = store_.find(req->key);
+  if (entry == nullptr) {
+    reply(conn, make_error("no boundary for key '" + req->key + "'"));
+    return;
+  }
+  if (req->site >= entry->boundary.sites()) {
+    reply(conn, make_error("site " + std::to_string(req->site) +
+                           " is out of range; '" + req->key + "' has " +
+                           std::to_string(entry->boundary.sites()) +
+                           " sites"));
+    return;
+  }
+  const double golden = entry->golden.trace[req->site];
+  const boundary::SitePrediction prediction =
+      boundary::predict_site(entry->boundary, req->site, golden);
+  PredictSiteOk ok;
+  ok.masked = prediction.masked;
+  ok.sdc = prediction.sdc;
+  ok.crash = prediction.crash;
+  ok.sdc_ratio = prediction.sdc_ratio();
+  ok.threshold = entry->boundary.threshold(req->site);
+  ok.golden_value = golden;
+  reply(conn, make_predict_site_ok(ok));
+}
+
+void Service::handle_phase_report(net::Server::ConnId conn,
+                                  const net::Frame& frame) {
+  RequestTimer timer(options_.telemetry, "phase_report");
+  std::string error;
+  const auto req = parse_phase_report(frame, &error);
+  if (!req.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  const auto entry = store_.find(req->key);
+  if (entry == nullptr) {
+    reply(conn, make_error("no boundary for key '" + req->key + "'"));
+    return;
+  }
+  PhaseReportOk ok;
+  ok.rows = boundary::phase_report(entry->phases, entry->boundary,
+                                   entry->golden.trace);
+  reply(conn, make_phase_report_ok(ok));
+}
+
+void Service::handle_list(net::Server::ConnId conn) {
+  RequestTimer timer(options_.telemetry, "list");
+  BoundaryListOk ok;
+  for (const auto& entry : store_.list()) {
+    BoundaryInfo info;
+    info.key = entry->key.str();
+    info.config_key = entry->config_key;
+    info.sites = entry->boundary.sites();
+    info.informed_sites = entry->boundary.informed_sites();
+    ok.entries.push_back(std::move(info));
+  }
+  reply(conn, make_boundary_list_ok(ok));
+}
+
+void Service::handle_stats(net::Server::ConnId conn) {
+  RequestTimer timer(options_.telemetry, "stats");
+  StatsOk ok;
+  if (options_.telemetry != nullptr) {
+    ok.metrics_json =
+        telemetry::metrics_to_json(options_.telemetry->metrics().snapshot());
+  } else {
+    ok.metrics_json = "{\"schema\":\"ftb.telemetry.metrics/1\",\"counters\":{},"
+                      "\"gauges\":{},\"histograms\":{}}";
+  }
+  reply(conn, make_stats_ok(ok));
+}
+
+void Service::handle_submit(net::Server::ConnId conn, const net::Frame& frame) {
+  RequestTimer timer(options_.telemetry, "submit");
+  std::string error;
+  const auto req = parse_submit_campaign(frame, &error);
+  if (!req.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  static std::atomic<std::uint64_t> next_job{1};
+  CampaignJob job;
+  job.id = next_job.fetch_add(1, std::memory_order_relaxed);
+  job.client = conn;
+  job.req = *req;
+  std::uint32_t queue_depth = 0;
+  if (!jobs_->submit(job, &queue_depth, &error)) {
+    reply(conn, make_error(error));
+    return;
+  }
+  CampaignAccepted accepted;
+  accepted.job = job.id;
+  accepted.queue_depth = queue_depth;
+  reply(conn, make_campaign_accepted(accepted));
+}
+
+}  // namespace ftb::service

@@ -1,0 +1,93 @@
+// ftb_served's brain: the net::Server::Handler that wires the protocol to
+// the boundary store and the campaign job runner.
+//
+// Two planes share one connection:
+//
+//   * query plane -- Ping, PredictFlip, PredictSite, PhaseReport,
+//     ListBoundaries, Stats answer synchronously on the event-loop thread
+//     from immutable store snapshots, so a long campaign never blocks a
+//     predict;
+//   * campaign plane -- SubmitCampaign enqueues a job with the runner; the
+//     accept/progress/done frames flow back through the server's
+//     thread-safe send(), which silently drops frames to connections that
+//     disconnected mid-campaign (the job keeps running and still publishes
+//     its boundary -- a client hangup must not waste the work).
+//
+// Shutdown: request_shutdown() (async-signal-safe flag + wake) or a
+// Shutdown frame starts the drain -- stop accepting connections, stop
+// accepting jobs, stop the running job at its next checkpoint -- and
+// on_tick() ends the event loop once the job runner is idle and every
+// write buffer has been flushed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/server.h"
+#include "service/jobs.h"
+#include "service/protocol.h"
+#include "service/store.h"
+#include "telemetry/events.h"
+
+namespace ftb::service {
+
+struct ServiceOptions {
+  /// Directory of boundary artifacts and campaign journals.
+  std::string store_dir = ".";
+  /// Campaign jobs that may wait in the queue.
+  std::size_t max_queue = 8;
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+class Service : public net::Server::Handler {
+ public:
+  explicit Service(ServiceOptions options);
+  ~Service() override;
+
+  /// Loads the store directory; returns the number of boundaries loaded and
+  /// appends one diagnostic per rejected artifact.
+  std::size_t load_store(std::vector<std::string>* diagnostics = nullptr);
+
+  /// The server must be attached before run(); the Service does not own it.
+  void attach(net::Server* server) { server_ = server; }
+
+  BoundaryStore& store() { return store_; }
+  JobRunner& jobs() { return *jobs_; }
+
+  /// Async-signal-safe shutdown trigger: flips a flag and wakes the loop;
+  /// the drain itself runs in on_tick() on the loop thread.
+  void request_shutdown() noexcept;
+
+  /// Extra work run on every loop tick (after drain bookkeeping), on the
+  /// loop thread.  ftb_served uses this for its SIGUSR1 metrics dump.
+  void set_tick_hook(std::function<void()> hook) { tick_hook_ = std::move(hook); }
+
+  // net::Server::Handler
+  void on_frame(net::Server::ConnId conn, net::Frame frame) override;
+  void on_decode_error(net::Server::ConnId conn,
+                       const std::string& error) override;
+  void on_tick() override;
+
+ private:
+  void reply(net::Server::ConnId conn, const net::Frame& frame);
+  void begin_drain();
+
+  void handle_predict_flip(net::Server::ConnId conn, const net::Frame& frame);
+  void handle_predict_site(net::Server::ConnId conn, const net::Frame& frame);
+  void handle_phase_report(net::Server::ConnId conn, const net::Frame& frame);
+  void handle_list(net::Server::ConnId conn);
+  void handle_stats(net::Server::ConnId conn);
+  void handle_submit(net::Server::ConnId conn, const net::Frame& frame);
+
+  ServiceOptions options_;
+  BoundaryStore store_;
+  std::unique_ptr<JobRunner> jobs_;
+  net::Server* server_ = nullptr;
+  std::atomic<bool> shutdown_requested_{false};
+  bool draining_ = false;
+  std::function<void()> tick_hook_;
+};
+
+}  // namespace ftb::service

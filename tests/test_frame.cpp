@@ -1,0 +1,169 @@
+// Frame codec fuzz suite: the wire framing must reject -- with a
+// diagnostic, and without crashing or hanging -- every 1-byte corruption
+// and every truncation of a valid frame, plus arbitrary garbage.  This is
+// the same discipline test_campaign_log.cpp applies to the journal format.
+#include "net/frame.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ftb::net {
+namespace {
+
+Frame sample_frame() {
+  Frame frame;
+  frame.type = 7;
+  for (int i = 0; i < 41; ++i) {
+    frame.payload.push_back(static_cast<std::uint8_t>(i * 13 + 5));
+  }
+  return frame;
+}
+
+TEST(Frame, RoundTrip) {
+  const Frame original = sample_frame();
+  const std::vector<std::uint8_t> bytes = encode_frame(original);
+  EXPECT_EQ(bytes.size(), frame_wire_size(original.payload.size()));
+  std::string error;
+  const auto decoded = decode_frame(bytes, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(Frame, EmptyPayloadRoundTrip) {
+  Frame frame;
+  frame.type = 1;
+  const auto decoded = decode_frame(encode_frame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+}
+
+TEST(Frame, DecoderReassemblesByteAtATime) {
+  const Frame a = sample_frame();
+  Frame b;
+  b.type = 2;
+  b.payload = {0xff, 0x00, 0x7f};
+  std::vector<std::uint8_t> stream = encode_frame(a);
+  const std::vector<std::uint8_t> second = encode_frame(b);
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  std::vector<Frame> got;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(&byte, 1);
+    Frame frame;
+    std::string error;
+    while (decoder.pop(&frame, &error) == FrameDecoder::Status::kFrame) {
+      got.push_back(frame);
+    }
+    EXPECT_FALSE(decoder.poisoned()) << error;
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], a);
+  EXPECT_EQ(got[1], b);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, EveryByteCorruptionRejected) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> rotted = bytes;
+    rotted[i] ^= 0x5a;
+    // One-shot decode: must reject with a diagnostic.
+    std::string error;
+    const auto decoded = decode_frame(rotted, &error);
+    EXPECT_FALSE(decoded.has_value()) << "byte " << i << " xor 0x5a accepted";
+    EXPECT_FALSE(error.empty()) << "byte " << i << ": no diagnostic";
+
+    // Incremental decode: must never yield a frame (a corrupted length
+    // field may legitimately leave the decoder waiting for more bytes, but
+    // it must not hand out a wrong frame or crash).
+    FrameDecoder decoder;
+    decoder.feed(rotted.data(), rotted.size());
+    Frame frame;
+    std::string pop_error;
+    EXPECT_NE(decoder.pop(&frame, &pop_error), FrameDecoder::Status::kFrame)
+        << "byte " << i;
+  }
+}
+
+TEST(Frame, EveryTruncationRejected) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    const auto decoded = decode_frame(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + len), &error);
+    EXPECT_FALSE(decoded.has_value()) << "prefix of " << len << " accepted";
+    EXPECT_FALSE(error.empty()) << "prefix of " << len << ": no diagnostic";
+  }
+}
+
+TEST(Frame, TrailingGarbageRejected) {
+  std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  bytes.push_back(0x00);
+  std::string error;
+  EXPECT_FALSE(decode_frame(bytes, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Frame, RandomGarbageNeverYieldsFrames) {
+  util::Rng rng(20260806);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<std::uint8_t> garbage(256);
+    for (std::uint8_t& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng() & 0xff);
+    }
+    FrameDecoder decoder;
+    decoder.feed(garbage.data(), garbage.size());
+    Frame frame;
+    std::string error;
+    const auto status = decoder.pop(&frame, &error);
+    EXPECT_NE(status, FrameDecoder::Status::kFrame) << "round " << round;
+    if (status == FrameDecoder::Status::kError) {
+      EXPECT_FALSE(error.empty());
+      EXPECT_TRUE(decoder.poisoned());
+    }
+  }
+}
+
+TEST(Frame, PoisonedDecoderStaysPoisoned) {
+  std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  bytes[0] ^= 0xff;  // break the magic
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.pop(&frame), FrameDecoder::Status::kError);
+  // Even after feeding a pristine frame, the stream stays dead: framing
+  // was lost, so resynchronising would risk decoding mid-stream garbage.
+  const std::vector<std::uint8_t> good = encode_frame(sample_frame());
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.pop(&frame), FrameDecoder::Status::kError);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(Frame, OversizePayloadRejectedBeforeBuffering) {
+  Frame big;
+  big.type = 3;
+  big.payload.assign(1024, 0xab);
+  std::vector<std::uint8_t> bytes = encode_frame(big);
+  FrameLimits limits;
+  limits.max_payload = 512;  // below the declared length
+  std::string error;
+  EXPECT_FALSE(decode_frame(bytes, &error, limits).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // The incremental decoder must reject from the header alone, without
+  // waiting for max_payload bytes to arrive.
+  FrameDecoder decoder(limits);
+  decoder.feed(bytes.data(), kFrameHeaderSize);
+  Frame frame;
+  std::string pop_error;
+  EXPECT_EQ(decoder.pop(&frame, &pop_error), FrameDecoder::Status::kError);
+  EXPECT_FALSE(pop_error.empty());
+}
+
+}  // namespace
+}  // namespace ftb::net

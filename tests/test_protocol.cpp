@@ -1,0 +1,259 @@
+// Protocol payload codecs: every message round-trips, and every decoder
+// rejects truncation, trailing garbage, wrong frame types, and
+// out-of-range values with a diagnostic.
+#include "service/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ftb::service {
+namespace {
+
+/// Appends then strips bytes to check the decoder's framing discipline:
+/// every proper prefix of the payload must be rejected, as must one extra
+/// byte, all with non-empty diagnostics.
+template <typename Parse>
+void expect_framing_discipline(const net::Frame& frame, Parse parse) {
+  for (std::size_t len = 0; len < frame.payload.size(); ++len) {
+    net::Frame truncated;
+    truncated.type = frame.type;
+    truncated.payload.assign(frame.payload.begin(),
+                             frame.payload.begin() + len);
+    std::string error;
+    EXPECT_FALSE(parse(truncated, &error).has_value()) << "prefix " << len;
+    EXPECT_FALSE(error.empty()) << "prefix " << len;
+  }
+  net::Frame padded = frame;
+  padded.payload.push_back(0);
+  std::string error;
+  EXPECT_FALSE(parse(padded, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  net::Frame wrong_type = frame;
+  wrong_type.type += 1;
+  error.clear();
+  EXPECT_FALSE(parse(wrong_type, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  const net::Frame frame = make_error("boom: detail");
+  const auto msg = parse_error(frame);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->message, "boom: detail");
+  expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
+    return parse_error(f, e);
+  });
+}
+
+TEST(Protocol, PingPongHaveEmptyPayloads) {
+  EXPECT_TRUE(make_ping().payload.empty());
+  EXPECT_TRUE(make_pong().payload.empty());
+  EXPECT_TRUE(make_shutdown().payload.empty());
+  EXPECT_TRUE(make_shutdown_ok().payload.empty());
+  EXPECT_TRUE(make_stats().payload.empty());
+  EXPECT_TRUE(make_list_boundaries().payload.empty());
+}
+
+TEST(Protocol, PredictFlipRoundTrip) {
+  PredictFlipReq req;
+  req.key = "cg@tiny@1";
+  req.site = 1234567;
+  req.bit = 52;
+  const net::Frame frame = make_predict_flip(req);
+  const auto decoded = parse_predict_flip(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, req.key);
+  EXPECT_EQ(decoded->site, req.site);
+  EXPECT_EQ(decoded->bit, req.bit);
+  expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
+    return parse_predict_flip(f, e);
+  });
+}
+
+TEST(Protocol, PredictFlipRejectsOutOfRangeBit) {
+  PredictFlipReq req;
+  req.key = "k";
+  req.bit = 64;
+  std::string error;
+  EXPECT_FALSE(parse_predict_flip(make_predict_flip(req), &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(Protocol, PredictFlipOkRoundTrip) {
+  PredictFlipOk ok;
+  ok.outcome = 1;
+  ok.threshold = 1.5e-7;
+  ok.injected_error = 0.25;
+  const auto decoded = parse_predict_flip_ok(make_predict_flip_ok(ok));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->outcome, 1u);
+  EXPECT_DOUBLE_EQ(decoded->threshold, 1.5e-7);
+  EXPECT_DOUBLE_EQ(decoded->injected_error, 0.25);
+}
+
+TEST(Protocol, PredictSiteRoundTrip) {
+  PredictSiteReq req;
+  req.key = "lu@paper@3";
+  req.site = 99;
+  const auto decoded = parse_predict_site(make_predict_site(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, req.key);
+  EXPECT_EQ(decoded->site, req.site);
+
+  PredictSiteOk ok;
+  ok.masked = 23;
+  ok.sdc = 40;
+  ok.crash = 1;
+  ok.sdc_ratio = 40.0 / 64.0;
+  ok.threshold = 9.3e-10;
+  ok.golden_value = -1.0;
+  const auto decoded_ok = parse_predict_site_ok(make_predict_site_ok(ok));
+  ASSERT_TRUE(decoded_ok.has_value());
+  EXPECT_EQ(decoded_ok->masked, 23u);
+  EXPECT_EQ(decoded_ok->sdc, 40u);
+  EXPECT_EQ(decoded_ok->crash, 1u);
+  EXPECT_DOUBLE_EQ(decoded_ok->golden_value, -1.0);
+}
+
+TEST(Protocol, PhaseReportRoundTrip) {
+  PhaseReportOk ok;
+  boundary::PhaseReport row;
+  row.name = "iterations";
+  row.begin = 193;
+  row.end = 873;
+  row.mean_predicted_sdc = 0.23;
+  row.median_threshold = 5.2e-5;
+  row.informed_fraction = 1.0;
+  row.mean_true_sdc = 0.25;
+  ok.rows.push_back(row);
+  row.name = "(prelude)";
+  row.mean_true_sdc.reset();
+  ok.rows.push_back(row);
+
+  const net::Frame frame = make_phase_report_ok(ok);
+  const auto decoded = parse_phase_report_ok(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  EXPECT_EQ(decoded->rows[0].name, "iterations");
+  ASSERT_TRUE(decoded->rows[0].mean_true_sdc.has_value());
+  EXPECT_DOUBLE_EQ(*decoded->rows[0].mean_true_sdc, 0.25);
+  EXPECT_FALSE(decoded->rows[1].mean_true_sdc.has_value());
+  expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
+    return parse_phase_report_ok(f, e);
+  });
+}
+
+TEST(Protocol, BoundaryListRoundTrip) {
+  BoundaryListOk ok;
+  BoundaryInfo info;
+  info.key = "cg@tiny@1";
+  info.config_key = "cg:nx=4";
+  info.sites = 873;
+  info.informed_sites = 856;
+  ok.entries.push_back(info);
+  const net::Frame frame = make_boundary_list_ok(ok);
+  const auto decoded = parse_boundary_list_ok(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->entries.size(), 1u);
+  EXPECT_EQ(decoded->entries[0].key, "cg@tiny@1");
+  EXPECT_EQ(decoded->entries[0].informed_sites, 856u);
+  expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
+    return parse_boundary_list_ok(f, e);
+  });
+}
+
+TEST(Protocol, SubmitCampaignRoundTrip) {
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.preset = "tiny";
+  req.seed = 9;
+  req.batch = 500;
+  req.workers = 3;
+  req.flush_every = 128;
+  req.timeout_ms = 1500;
+  req.quarantine_after = 2;
+  const net::Frame frame = make_submit_campaign(req);
+  const auto decoded = parse_submit_campaign(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kernel, "daxpy");
+  EXPECT_EQ(decoded->preset, "tiny");
+  EXPECT_EQ(decoded->seed, 9u);
+  EXPECT_EQ(decoded->batch, 500u);
+  EXPECT_EQ(decoded->workers, 3u);
+  EXPECT_EQ(decoded->flush_every, 128u);
+  EXPECT_EQ(decoded->timeout_ms, 1500u);
+  EXPECT_EQ(decoded->quarantine_after, 2u);
+  expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
+    return parse_submit_campaign(f, e);
+  });
+}
+
+TEST(Protocol, SubmitCampaignRejectsZeroBatch) {
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.batch = 0;
+  std::string error;
+  EXPECT_FALSE(
+      parse_submit_campaign(make_submit_campaign(req), &error).has_value());
+  EXPECT_NE(error.find("batch"), std::string::npos) << error;
+}
+
+TEST(Protocol, CampaignStreamRoundTrip) {
+  CampaignAccepted accepted;
+  accepted.job = 42;
+  accepted.queue_depth = 3;
+  const auto decoded_accepted =
+      parse_campaign_accepted(make_campaign_accepted(accepted));
+  ASSERT_TRUE(decoded_accepted.has_value());
+  EXPECT_EQ(decoded_accepted->job, 42u);
+  EXPECT_EQ(decoded_accepted->queue_depth, 3u);
+
+  CampaignProgress progress;
+  progress.job = 42;
+  progress.done = 128;
+  progress.total = 400;
+  progress.logged = 128;
+  progress.masked = 60;
+  progress.sdc = 67;
+  progress.crash = 1;
+  progress.worker_deaths = 2;
+  progress.requeued = 5;
+  const net::Frame pframe = make_campaign_progress(progress);
+  const auto decoded_progress = parse_campaign_progress(pframe);
+  ASSERT_TRUE(decoded_progress.has_value());
+  EXPECT_EQ(decoded_progress->done, 128u);
+  EXPECT_EQ(decoded_progress->worker_deaths, 2u);
+  EXPECT_EQ(decoded_progress->requeued, 5u);
+  expect_framing_discipline(pframe, [](const net::Frame& f, std::string* e) {
+    return parse_campaign_progress(f, e);
+  });
+
+  CampaignDone done;
+  done.job = 42;
+  done.ok = true;
+  done.store_key = "daxpy@tiny@1";
+  done.executed = 400;
+  done.flushes = 5;
+  done.masked = 206;
+  const net::Frame dframe = make_campaign_done(done);
+  const auto decoded_done = parse_campaign_done(dframe);
+  ASSERT_TRUE(decoded_done.has_value());
+  EXPECT_TRUE(decoded_done->ok);
+  EXPECT_FALSE(decoded_done->stopped);
+  EXPECT_EQ(decoded_done->store_key, "daxpy@tiny@1");
+  EXPECT_EQ(decoded_done->executed, 400u);
+  expect_framing_discipline(dframe, [](const net::Frame& f, std::string* e) {
+    return parse_campaign_done(f, e);
+  });
+}
+
+TEST(Protocol, TypeNamesAreStable) {
+  EXPECT_STREQ(to_string(MsgType::kPing), "Ping");
+  EXPECT_STREQ(to_string(MsgType::kSubmitCampaign), "SubmitCampaign");
+  EXPECT_STREQ(to_string(MsgType::kShutdownOk), "ShutdownOk");
+}
+
+}  // namespace
+}  // namespace ftb::service

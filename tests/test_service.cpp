@@ -1,0 +1,414 @@
+// End-to-end ftb_served tests: an in-process Server + Service pair on an
+// ephemeral loopback port, driven by the real net::Client.  Covers the
+// query plane, the campaign plane (submit -> progress stream -> done ->
+// immediately queryable), hazard campaigns whose worker deaths must stay
+// invisible to the client, the slow-loris idle timeout, decode-error
+// diagnostics, and drain-with-resumable-journal semantics.
+#include "service/service.h"
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/checkpoint.h"
+#include "campaign/log.h"
+#include "campaign/sampler.h"
+#include "kernels/registry.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "util/rng.h"
+
+namespace ftb::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!net::net_supported()) GTEST_SKIP() << "no socket support";
+    dir_ = fs::temp_directory_path() /
+           ("ftb_service_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    stop();
+    fs::remove_all(dir_);
+  }
+
+  void start(std::uint32_t idle_timeout_ms = 30000,
+             std::size_t max_queue = 8) {
+    ServiceOptions options;
+    options.store_dir = dir_.string();
+    options.max_queue = max_queue;
+    options.telemetry = &telemetry_;
+    telemetry_.set_enabled(true);
+    service_ = std::make_unique<Service>(options);
+    net::ServerOptions server_options;
+    server_options.idle_timeout_ms = idle_timeout_ms;
+    server_options.telemetry = &telemetry_;
+    server_ = std::make_unique<net::Server>(*service_, server_options);
+    service_->attach(server_.get());
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (server_ == nullptr) return;
+    service_->request_shutdown();
+    if (loop_.joinable()) loop_.join();
+    server_.reset();
+    service_.reset();
+  }
+
+  net::Client make_client(std::uint32_t recv_timeout_ms = 30000) {
+    net::ClientOptions options;
+    options.port = server_->port();
+    options.recv_timeout_ms = recv_timeout_ms;
+    return net::Client(options);
+  }
+
+  /// Publishes a trivially-known boundary for daxpy@tiny@<seed>.
+  void publish_daxpy(std::uint64_t seed, double threshold = 1.0) {
+    const fi::ProgramPtr program =
+        kernels::make_program("daxpy", kernels::Preset::kTiny);
+    const fi::GoldenRun golden = fi::run_golden(*program);
+    const boundary::FaultToleranceBoundary built(
+        std::vector<double>(golden.dynamic_instructions(), threshold));
+    std::string error;
+    ASSERT_TRUE(service_->store().publish({"daxpy", "tiny", seed}, built,
+                                          &error))
+        << error;
+  }
+
+  /// Drives one submit and collects the whole stream.
+  struct SubmitOutcome {
+    std::optional<CampaignAccepted> accepted;
+    std::vector<CampaignProgress> progress;
+    std::optional<CampaignDone> done;
+    std::string error;
+  };
+
+  SubmitOutcome submit_and_wait(net::Client& client,
+                                const SubmitCampaignReq& req,
+                                int stop_after_progress = -1) {
+    SubmitOutcome outcome;
+    if (!client.connect(&outcome.error)) return outcome;
+    if (!client.send(make_submit_campaign(req), &outcome.error)) {
+      return outcome;
+    }
+    const auto accepted_frame = client.recv(&outcome.error, 60000);
+    if (!accepted_frame.has_value()) return outcome;
+    outcome.accepted = parse_campaign_accepted(*accepted_frame);
+    if (!outcome.accepted.has_value()) {
+      if (const auto err = parse_error(*accepted_frame)) {
+        outcome.error = err->message;
+      }
+      return outcome;
+    }
+    for (;;) {
+      const auto frame = client.recv(&outcome.error, 120000);
+      if (!frame.has_value()) return outcome;
+      if (const auto progress = parse_campaign_progress(*frame)) {
+        outcome.progress.push_back(*progress);
+        if (stop_after_progress >= 0 &&
+            static_cast<int>(outcome.progress.size()) >= stop_after_progress) {
+          service_->request_shutdown();
+          stop_after_progress = -1;  // only once
+        }
+        continue;
+      }
+      outcome.done = parse_campaign_done(*frame);
+      return outcome;
+    }
+  }
+
+  telemetry::Telemetry telemetry_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<net::Server> server_;
+  std::thread loop_;
+  fs::path dir_;
+};
+
+TEST_F(ServiceTest, PingQueryPlaneAndErrors) {
+  start();
+  publish_daxpy(1);
+  net::Client client = make_client();
+
+  std::string error;
+  auto reply = client.call(make_ping(), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_EQ(reply->type, static_cast<std::uint32_t>(MsgType::kPong));
+
+  // list
+  reply = client.call(make_list_boundaries(), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto list = parse_boundary_list_ok(*reply, &error);
+  ASSERT_TRUE(list.has_value()) << error;
+  ASSERT_EQ(list->entries.size(), 1u);
+  EXPECT_EQ(list->entries[0].key, "daxpy@tiny@1");
+
+  // predict_flip on a known-threshold boundary
+  PredictFlipReq flip;
+  flip.key = "daxpy@tiny@1";
+  flip.site = 3;
+  flip.bit = 0;
+  reply = client.call(make_predict_flip(flip), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto flip_ok = parse_predict_flip_ok(*reply, &error);
+  ASSERT_TRUE(flip_ok.has_value()) << error;
+  EXPECT_DOUBLE_EQ(flip_ok->threshold, 1.0);
+
+  // predict_site
+  PredictSiteReq site;
+  site.key = "daxpy@tiny@1";
+  site.site = 3;
+  reply = client.call(make_predict_site(site), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto site_ok = parse_predict_site_ok(*reply, &error);
+  ASSERT_TRUE(site_ok.has_value()) << error;
+  EXPECT_EQ(site_ok->masked + site_ok->sdc + site_ok->crash, 64u);
+
+  // phase report
+  PhaseReportReq report;
+  report.key = "daxpy@tiny@1";
+  reply = client.call(make_phase_report(report), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto report_ok = parse_phase_report_ok(*reply, &error);
+  ASSERT_TRUE(report_ok.has_value()) << error;
+  EXPECT_FALSE(report_ok->rows.empty());
+
+  // stats is valid JSON-ish and mentions the schema
+  reply = client.call(make_stats(), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto stats = parse_stats_ok(*reply, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_NE(stats->metrics_json.find("ftb.telemetry.metrics/1"),
+            std::string::npos);
+
+  // unknown key and out-of-range site produce Error frames
+  flip.key = "nope@tiny@1";
+  reply = client.call(make_predict_flip(flip), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  ASSERT_TRUE(parse_error(*reply).has_value());
+  flip.key = "daxpy@tiny@1";
+  flip.site = 1u << 20;
+  reply = client.call(make_predict_flip(flip), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto range_error = parse_error(*reply);
+  ASSERT_TRUE(range_error.has_value());
+  EXPECT_NE(range_error->message.find("out of range"), std::string::npos);
+}
+
+TEST_F(ServiceTest, SubmitRunsPublishesAndIsImmediatelyQueryable) {
+  start();
+  net::Client client = make_client();
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.preset = "tiny";
+  req.seed = 1;
+  req.batch = 300;
+  req.workers = 1;
+  req.flush_every = 100;
+  const SubmitOutcome outcome = submit_and_wait(client, req);
+  ASSERT_TRUE(outcome.accepted.has_value()) << outcome.error;
+  ASSERT_TRUE(outcome.done.has_value()) << outcome.error;
+  EXPECT_TRUE(outcome.done->ok) << outcome.done->error;
+  EXPECT_FALSE(outcome.progress.empty());
+  EXPECT_EQ(outcome.done->store_key, "daxpy@tiny@1");
+  EXPECT_EQ(outcome.done->executed, 300u);
+  // Progress is monotonic and pre-done totals line up.
+  for (std::size_t i = 1; i < outcome.progress.size(); ++i) {
+    EXPECT_GE(outcome.progress[i].done, outcome.progress[i - 1].done);
+  }
+
+  // The published boundary is immediately visible on the same connection.
+  std::string error;
+  PredictSiteReq site;
+  site.key = "daxpy@tiny@1";
+  site.site = 0;
+  const auto reply = client.call(make_predict_site(site), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_TRUE(parse_predict_site_ok(*reply).has_value());
+
+  // The journal and artifact are on disk next to each other.
+  EXPECT_TRUE(fs::exists(dir_ / "daxpy@tiny@1.clog"));
+  EXPECT_TRUE(fs::exists(dir_ / "daxpy@tiny@1.boundary"));
+}
+
+// A campaign over the hazard kernel kills sandbox workers (signal deaths,
+// heartbeat hangs) as a matter of course.  None of that mortality may
+// surface to the client as a failure -- only as telemetry-style counts in
+// the stream.
+TEST_F(ServiceTest, HazardWorkerDeathsAreInvisibleToTheClient) {
+  start();
+  net::Client client = make_client();
+  SubmitCampaignReq req;
+  req.kernel = "hazard";
+  req.preset = "tiny";
+  req.seed = 3;
+  req.batch = 200;
+  req.workers = 2;
+  req.flush_every = 64;
+  req.timeout_ms = 1000;
+  const SubmitOutcome outcome = submit_and_wait(client, req);
+  ASSERT_TRUE(outcome.accepted.has_value()) << outcome.error;
+  ASSERT_TRUE(outcome.done.has_value()) << outcome.error;
+  EXPECT_TRUE(outcome.done->ok) << outcome.done->error;
+  EXPECT_EQ(outcome.done->executed + outcome.done->skipped, 200u);
+  EXPECT_EQ(outcome.done->store_key, "hazard@tiny@3");
+  // The campaign must actually have drawn blood -- otherwise this test
+  // proves nothing.  Deaths/hangs/crashes appear only as counts in the
+  // stream; the job itself completed and published.
+  EXPECT_GT(outcome.done->crash + outcome.done->hang +
+                outcome.done->worker_deaths + outcome.done->worker_hangs,
+            0u);
+}
+
+TEST_F(ServiceTest, SubmitUnknownKernelFailsTheJobNotTheConnection) {
+  start();
+  net::Client client = make_client();
+  SubmitCampaignReq req;
+  req.kernel = "nosuchkernel";
+  req.batch = 10;
+  const SubmitOutcome outcome = submit_and_wait(client, req);
+  ASSERT_TRUE(outcome.accepted.has_value()) << outcome.error;
+  ASSERT_TRUE(outcome.done.has_value()) << outcome.error;
+  EXPECT_FALSE(outcome.done->ok);
+  EXPECT_FALSE(outcome.done->error.empty());
+  // The connection survives: the query plane still answers.
+  std::string error;
+  const auto reply = client.call(make_ping(), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_EQ(reply->type, static_cast<std::uint32_t>(MsgType::kPong));
+}
+
+TEST_F(ServiceTest, FullQueueRejectsSubmission) {
+  start(30000, /*max_queue=*/0);
+  net::Client client = make_client();
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.batch = 10;
+  ASSERT_TRUE(client.send(make_submit_campaign(req), &error)) << error;
+  const auto reply = client.recv(&error, 30000);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto rejected = parse_error(*reply);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_NE(rejected->message.find("queue is full"), std::string::npos)
+      << rejected->message;
+}
+
+// A peer that sends half a frame header and stalls must be disconnected by
+// the idle timeout, not pin a connection slot forever.
+TEST_F(ServiceTest, SlowLorisIsClosedByIdleTimeout) {
+  start(/*idle_timeout_ms=*/200);
+  std::string error;
+  net::Fd fd = net::connect_tcp("127.0.0.1", server_->port(), &error);
+  ASSERT_TRUE(fd.valid()) << error;
+  const std::uint8_t partial[6] = {0x46, 0x54, 0x42, 0x50, 0x01, 0x00};
+  ASSERT_TRUE(net::send_all(fd.get(), partial, sizeof(partial), &error))
+      << error;
+  // The server should close us within the timeout plus a couple of sweep
+  // periods; recv returning 0 means orderly close.
+  std::uint8_t buf[64];
+  const long n = net::recv_some(fd.get(), buf, sizeof(buf), 5000, &error);
+  EXPECT_EQ(n, 0) << "server did not close the idle connection: " << error;
+}
+
+TEST_F(ServiceTest, GarbageBytesGetDiagnosticThenClose) {
+  start();
+  std::string error;
+  net::Fd fd = net::connect_tcp("127.0.0.1", server_->port(), &error);
+  ASSERT_TRUE(fd.valid()) << error;
+  std::vector<std::uint8_t> garbage(64, 0xee);
+  ASSERT_TRUE(net::send_all(fd.get(), garbage.data(), garbage.size(), &error))
+      << error;
+  // Expect one Error frame with a diagnostic, then EOF.
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  bool got_error_frame = false;
+  bool closed = false;
+  for (int i = 0; i < 50 && !closed; ++i) {
+    std::uint8_t buf[1024];
+    const long n = net::recv_some(fd.get(), buf, sizeof(buf), 5000, &error);
+    if (n <= 0) {
+      closed = (n == 0);
+      break;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    while (decoder.pop(&frame) == net::FrameDecoder::Status::kFrame) {
+      const auto err = parse_error(frame);
+      ASSERT_TRUE(err.has_value());
+      EXPECT_FALSE(err->message.empty());
+      got_error_frame = true;
+    }
+  }
+  EXPECT_TRUE(got_error_frame);
+  EXPECT_TRUE(closed);
+}
+
+// Drain mid-campaign: the client gets a stopped CampaignDone, the journal
+// on disk is resumable, and finishing it off-line converges to the exact
+// bytes an uninterrupted campaign produces.
+TEST_F(ServiceTest, DrainLeavesResumableJournalThatConvergesByteIdentically) {
+  start();
+  net::Client client = make_client();
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.preset = "tiny";
+  req.seed = 1;
+  req.batch = 2000;
+  req.workers = 1;
+  req.flush_every = 50;  // many chunk edges to stop at
+  const SubmitOutcome outcome =
+      submit_and_wait(client, req, /*stop_after_progress=*/1);
+  ASSERT_TRUE(outcome.accepted.has_value()) << outcome.error;
+  ASSERT_TRUE(outcome.done.has_value()) << outcome.error;
+
+  if (loop_.joinable()) loop_.join();  // drain finishes the server loop
+
+  const std::string journal = (dir_ / "daxpy@tiny@1.clog").string();
+  ASSERT_TRUE(fs::exists(journal));
+
+  // The drain may have raced job completion; both terminal states must be
+  // coherent.  The interesting branch is stopped=true.
+  if (outcome.done->ok) {
+    GTEST_SKIP() << "job finished before the drain hit a chunk edge";
+  }
+  ASSERT_TRUE(outcome.done->stopped) << outcome.done->error;
+  EXPECT_NE(outcome.done->error.find("resumable"), std::string::npos);
+
+  // Resume exactly the way ftb_analyze campaign --resume samples.
+  const fi::ProgramPtr program =
+      kernels::make_program("daxpy", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  util::Rng rng(req.seed);
+  const auto ids =
+      campaign::sample_uniform(rng, golden.sample_space_size(), req.batch);
+
+  campaign::CheckpointOptions resume;
+  resume.path = journal;
+  resume.flush_every = req.flush_every;
+  const auto resumed =
+      campaign::run_campaign_checkpointed(*program, golden, ids, resume);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_GT(resumed.skipped, 0u);
+
+  // Reference: the same campaign uninterrupted, fresh journal.
+  campaign::CheckpointOptions fresh;
+  fresh.path = (dir_ / "reference.clog").string();
+  fresh.flush_every = req.flush_every;
+  const auto reference =
+      campaign::run_campaign_checkpointed(*program, golden, ids, fresh);
+  EXPECT_EQ(resumed.log.serialize(), reference.log.serialize());
+}
+
+}  // namespace
+}  // namespace ftb::service

@@ -548,6 +548,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
+  if (command != "help") {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+  }
   std::printf(
       "ftb_analyze -- fault tolerance boundary toolbox\n\n"
       "usage: ftb_analyze <command> [flags]\n\n"

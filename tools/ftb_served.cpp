@@ -1,0 +1,131 @@
+// ftb_served: boundary-query and campaign-dispatch daemon.
+//
+// Serves the CRC-framed binary protocol (src/service/protocol.h) over
+// loopback TCP.  The query plane answers boundary predictions out of an
+// in-memory store loaded from --store-dir; the campaign plane runs
+// submitted fault-injection campaigns through the resilient supervisor,
+// journalling to the same directory and publishing finished boundaries
+// back into the store.
+//
+// SIGTERM/SIGINT starts a graceful drain: no new connections, no new jobs,
+// the running campaign stops at its next checkpoint (journal resumable by
+// `ftb_analyze campaign --resume`), buffered replies are flushed, and the
+// process exits 0.  SIGUSR1 dumps metrics to --metrics-out.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/service.h"
+#include "telemetry/events.h"
+#include "telemetry/export.h"
+#include "util/cli.h"
+
+namespace {
+
+ftb::service::Service* g_service = nullptr;
+volatile std::sig_atomic_t g_dump_metrics = 0;
+
+void handle_terminate(int) {
+  if (g_service != nullptr) g_service->request_shutdown();
+}
+
+void handle_usr1(int) {
+  // Consumed by the loop's tick hook; the loop ticks at least every 500ms,
+  // so no wake is needed from signal context.
+  g_dump_metrics = 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+
+  util::Cli cli(argc, argv);
+  cli.describe("port", "TCP port to listen on (default 0 = ephemeral)");
+  cli.describe("store-dir",
+               "directory of *.boundary artifacts and campaign journals "
+               "(default '.')");
+  cli.describe("queue", "max queued campaign jobs (default 8)");
+  cli.describe("idle-timeout-ms",
+               "close connections idle this long (default 30000, 0 = never)");
+  cli.describe("max-connections", "accept backstop (default 1024)");
+  cli.describe("metrics-out",
+               "write a metrics JSON snapshot here on SIGUSR1 and at exit");
+  if (cli.get_bool("help")) {
+    cli.print_help("ftb_served: boundary-query / campaign-dispatch daemon");
+    return 0;
+  }
+  if (!net::net_supported()) {
+    std::fprintf(stderr, "error: this platform has no socket support\n");
+    return 1;
+  }
+
+  telemetry::Telemetry telemetry;
+  telemetry.set_enabled(true);
+
+  service::ServiceOptions service_options;
+  service_options.store_dir = cli.get("store-dir", ".");
+  service_options.max_queue =
+      static_cast<std::size_t>(cli.get_int("queue", 8));
+  service_options.telemetry = &telemetry;
+  service::Service service(service_options);
+
+  std::vector<std::string> diagnostics;
+  const std::size_t loaded = service.load_store(&diagnostics);
+  for (const std::string& line : diagnostics) {
+    std::fprintf(stderr, "store: %s\n", line.c_str());
+  }
+  std::fprintf(stderr, "store: %zu boundaries loaded from %s\n", loaded,
+               service_options.store_dir.c_str());
+
+  net::ServerOptions server_options;
+  server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  server_options.idle_timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("idle-timeout-ms", 30000));
+  server_options.max_connections =
+      static_cast<std::size_t>(cli.get_int("max-connections", 1024));
+  server_options.telemetry = &telemetry;
+
+  const std::string metrics_out = cli.get("metrics-out");
+
+  try {
+    net::Server server(service, server_options);
+    service.attach(&server);
+    g_service = &service;
+    std::signal(SIGTERM, handle_terminate);
+    std::signal(SIGINT, handle_terminate);
+    std::signal(SIGUSR1, handle_usr1);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // The smoke tests and the load generator scrape this line for the port.
+    std::printf("listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    // SIGUSR1 metrics dump, consumed on the loop thread via the tick hook.
+    service.set_tick_hook([&] {
+      if (g_dump_metrics == 0) return;
+      g_dump_metrics = 0;
+      if (!metrics_out.empty() &&
+          telemetry::write_metrics_json(telemetry, metrics_out)) {
+        std::fprintf(stderr, "metrics -> %s\n", metrics_out.c_str());
+      }
+    });
+
+    server.run();
+    g_service = nullptr;
+
+    if (!metrics_out.empty()) {
+      telemetry::write_metrics_json(telemetry, metrics_out);
+    }
+    std::fprintf(stderr, "drained; %zu boundaries in store\n",
+                 service.store().size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
