@@ -8,12 +8,19 @@
 //   idle      -- queries only
 //   campaign  -- the same load while a campaign job runs on the server
 //
-// Reported per phase: request count, QPS, p50/p99 latency.  The ISSUE
-// acceptance bar is >= 10k predict QPS warm and a campaign-phase p99 below
-// 2x the idle-phase p99.
+// Reported per phase: request count, Busy replies, QPS, p50/p99 latency of
+// admitted requests.  Clients back off on Busy (honouring the server's
+// retry-after hint with multiplicative growth), so the generator doubles as
+// a well-behaved overload client.  --overload spawns the in-process server
+// with deliberately tiny admission caps and asserts the shedding contract:
+// Busy frames are emitted, and the p99 of *admitted* requests stays bounded
+// (no silent queue growth).  --json-out writes the phase table as JSON
+// (schema ftb.bench.service/1) for the committed BENCH_service.json.
 //
 //   loadgen_service --connections 4 --duration-ms 2000
 //                   --campaign-batch 20000 [--host H --port P]
+//                   [--deadline-ms D] [--json-out BENCH_service.json]
+//   loadgen_service --overload --connections 8 --duration-ms 1000
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -39,7 +46,8 @@ using Clock = std::chrono::steady_clock;
 
 struct PhaseResult {
   std::string name;
-  std::uint64_t requests = 0;
+  std::uint64_t requests = 0;  // admitted (answered) requests
+  std::uint64_t busy = 0;      // Busy replies (shed + retried after backoff)
   std::uint64_t errors = 0;
   double seconds = 0.0;
   double p50_us = 0.0;
@@ -62,9 +70,10 @@ PhaseResult run_phase(const std::string& name, const std::string& host,
                       std::uint16_t port, int connections,
                       std::uint32_t duration_ms,
                       const std::vector<std::string>& keys,
-                      std::uint64_t sites) {
+                      std::uint64_t sites, std::uint32_t deadline_ms = 0) {
   std::vector<std::vector<std::uint64_t>> latencies(connections);
   std::vector<std::uint64_t> errors(connections, 0);
+  std::vector<std::uint64_t> busies(connections, 0);
   std::vector<std::thread> threads;
   std::atomic<bool> go{false};
   for (int t = 0; t < connections; ++t) {
@@ -72,6 +81,7 @@ PhaseResult run_phase(const std::string& name, const std::string& host,
       ftb::net::ClientOptions options;
       options.host = host;
       options.port = port;
+      options.deadline_ms = deadline_ms;
       ftb::net::Client client(options);
       std::string error;
       if (!client.connect(&error)) {
@@ -85,6 +95,7 @@ PhaseResult run_phase(const std::string& name, const std::string& host,
       const auto deadline =
           Clock::now() + std::chrono::milliseconds(duration_ms);
       std::uint64_t i = static_cast<std::uint64_t>(t) * 7919;
+      std::uint64_t backoff_ms = 0;  // grows while consecutive Busys arrive
       while (Clock::now() < deadline) {
         ftb::service::PredictFlipReq req;
         req.key = keys[i % keys.size()];
@@ -95,8 +106,23 @@ PhaseResult run_phase(const std::string& name, const std::string& host,
         const auto reply =
             client.call(ftb::service::make_predict_flip(req), &error);
         const auto end = Clock::now();
-        if (!reply.has_value() ||
-            !ftb::service::parse_predict_flip_ok(*reply).has_value()) {
+        if (!reply.has_value()) {
+          ++errors[t];
+          continue;
+        }
+        // Shed: back off as the server asks, doubling while it keeps
+        // saying Busy, and do not count the attempt as admitted.
+        if (const auto busy = ftb::service::parse_busy(*reply)) {
+          ++busies[t];
+          backoff_ms = std::min<std::uint64_t>(
+              std::max<std::uint64_t>(busy->retry_after_ms,
+                                      backoff_ms == 0 ? 1 : backoff_ms * 2),
+              100);
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          continue;
+        }
+        backoff_ms = 0;
+        if (!ftb::service::parse_predict_flip_ok(*reply).has_value()) {
           ++errors[t];
           continue;
         }
@@ -120,11 +146,42 @@ PhaseResult run_phase(const std::string& name, const std::string& host,
   for (int t = 0; t < connections; ++t) {
     result.requests += latencies[t].size();
     result.errors += errors[t];
+    result.busy += busies[t];
     merged.insert(merged.end(), latencies[t].begin(), latencies[t].end());
   }
   result.p50_us = percentile_us(merged, 0.50);
   result.p99_us = percentile_us(merged, 0.99);
   return result;
+}
+
+/// Serialises the measured phases as JSON so CI can commit the trajectory.
+bool write_json(const std::string& path, int connections,
+                std::uint32_t duration_ms,
+                const std::vector<PhaseResult>& phases) {
+  std::string out = "{\n  \"schema\": \"ftb.bench.service/1\",\n";
+  out += "  \"connections\": " + std::to_string(connections) + ",\n";
+  out += "  \"duration_ms\": " + std::to_string(duration_ms) + ",\n";
+  out += "  \"phases\": {";
+  bool first = true;
+  char buf[256];
+  for (const PhaseResult& phase : phases) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    \"%s\": {\"requests\": %llu, \"busy\": %llu, "
+                  "\"errors\": %llu, \"qps\": %.0f, \"p50_us\": %.1f, "
+                  "\"p99_us\": %.1f}",
+                  first ? "" : ",", phase.name.c_str(),
+                  (unsigned long long)phase.requests,
+                  (unsigned long long)phase.busy,
+                  (unsigned long long)phase.errors, phase.qps(),
+                  phase.p50_us, phase.p99_us);
+    out += buf;
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  return std::fclose(file) == 0 && ok;
 }
 
 }  // namespace
@@ -143,6 +200,13 @@ int main(int argc, char** argv) {
   cli.describe("campaign-preset", "preset for the campaign (default)");
   cli.describe("host", "target an external daemon instead (with --port)");
   cli.describe("port", "external daemon port (0 = spawn in-process)");
+  cli.describe("deadline-ms", "per-request deadline stamped in frames (0)");
+  cli.describe("json-out", "write phase results as JSON here");
+  cli.describe("overload",
+               "overload mode: tiny admission caps on the in-process "
+               "server; asserts Busy shedding and a bounded admitted p99");
+  cli.describe("overload-p99-ms",
+               "admitted-request p99 ceiling for --overload (default 250)");
   if (cli.has("help")) {
     cli.print_help("ftb_served query-plane load generator");
     return 0;
@@ -158,9 +222,18 @@ int main(int argc, char** argv) {
           0, cli.get_int("campaign-batch", 20000)));
   const std::string host = cli.get("host", "127.0.0.1");
   auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  const auto deadline_ms =
+      static_cast<std::uint32_t>(cli.get_int("deadline-ms", 0));
+  const std::string json_out = cli.get("json-out");
+  const bool overload = cli.get_bool("overload");
 
   if (!net::net_supported()) {
     std::fprintf(stderr, "loadgen_service: no socket support on this platform\n");
+    return 1;
+  }
+  if (overload && port != 0) {
+    std::fprintf(stderr,
+                 "loadgen_service: --overload needs the in-process server\n");
     return 1;
   }
 
@@ -172,6 +245,14 @@ int main(int argc, char** argv) {
   const bool in_process = port == 0;
   if (in_process) {
     service::ServiceOptions options;
+    if (overload) {
+      // Deliberately starved admission plane: a handful of slots against
+      // N closed-loop connections guarantees shedding.
+      options.admission_queue_max = 4;
+      options.per_conn_inflight_max = 2;
+      options.admission_batch = 1;
+      options.busy_retry_ms = 1;
+    }
     // Fresh per-run store: a stale journal from a previous run would let
     // the concurrent campaign resume-and-finish instantly.
     store_dir = std::filesystem::temp_directory_path() /
@@ -223,11 +304,62 @@ int main(int argc, char** argv) {
   }
 
   std::printf("loadgen_service: %d connections, %u ms per phase, %zu warm "
-              "keys on %s:%u\n",
-              connections, duration_ms, keys.size(), host.c_str(), port);
+              "keys on %s:%u%s\n",
+              connections, duration_ms, keys.size(), host.c_str(), port,
+              overload ? " (overload mode)" : "");
+
+  // Overload mode is its own experiment: saturate the starved admission
+  // plane, then check the shedding contract and leave.
+  if (overload) {
+    const PhaseResult shed = run_phase("overload", host, port, connections,
+                                       duration_ms, keys, sites, deadline_ms);
+    util::Table table(
+        {"phase", "requests", "busy", "errors", "qps", "p50_us", "p99_us"});
+    table.add_row({shed.name,
+                   util::format("%llu", (unsigned long long)shed.requests),
+                   util::format("%llu", (unsigned long long)shed.busy),
+                   util::format("%llu", (unsigned long long)shed.errors),
+                   util::format("%.0f", shed.qps()),
+                   util::format("%.1f", shed.p50_us),
+                   util::format("%.1f", shed.p99_us)});
+    std::fputs(table.render("query-plane overload").c_str(), stdout);
+    if (!json_out.empty() &&
+        !write_json(json_out, connections, duration_ms, {shed})) {
+      std::fprintf(stderr, "loadgen_service: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    int rc = 0;
+    if (shed.busy == 0) {
+      std::fprintf(stderr,
+                   "loadgen_service: FAIL: no Busy frames under overload -- "
+                   "the admission queue is not shedding\n");
+      rc = 2;
+    }
+    const double p99_ceiling_us =
+        static_cast<double>(cli.get_int("overload-p99-ms", 250)) * 1000.0;
+    if (shed.requests == 0 || shed.p99_us > p99_ceiling_us) {
+      std::fprintf(stderr,
+                   "loadgen_service: FAIL: admitted p99 %.1f us exceeds the "
+                   "%.0f us ceiling (queue growth is not bounded)\n",
+                   shed.p99_us, p99_ceiling_us);
+      rc = 2;
+    }
+    if (rc == 0) {
+      std::printf("overload contract held: %llu Busy sheds, admitted p99 "
+                  "%.1f us\n",
+                  (unsigned long long)shed.busy, shed.p99_us);
+    }
+    if (in_process) {
+      svc->request_shutdown();
+      loop.join();
+      std::filesystem::remove_all(store_dir);
+    }
+    return rc;
+  }
 
   const PhaseResult idle = run_phase("idle", host, port, connections,
-                                     duration_ms, keys, sites);
+                                     duration_ms, keys, sites, deadline_ms);
 
   // Campaign phase: submit a job on its own connection, measure while it
   // runs, then wait for CampaignDone so the server ends quiesced.
@@ -262,7 +394,7 @@ int main(int argc, char** argv) {
     }
 
     busy = run_phase("campaign", host, port, connections, duration_ms, keys,
-                     sites);
+                     sites, deadline_ms);
 
     // Drain the progress stream to completion.  If the whole drain is
     // near-instant the campaign had already finished inside the measured
@@ -288,8 +420,10 @@ int main(int argc, char** argv) {
                               std::chrono::milliseconds(50);
   }
 
-  util::Table table({"phase", "requests", "errors", "qps", "p50_us", "p99_us"});
+  util::Table table(
+      {"phase", "requests", "busy", "errors", "qps", "p50_us", "p99_us"});
   table.add_row({idle.name, util::format("%llu", (unsigned long long)idle.requests),
+                 util::format("%llu", (unsigned long long)idle.busy),
                  util::format("%llu", (unsigned long long)idle.errors),
                  util::format("%.0f", idle.qps()),
                  util::format("%.1f", idle.p50_us),
@@ -297,12 +431,23 @@ int main(int argc, char** argv) {
   if (campaign_batch > 0) {
     table.add_row({busy.name,
                    util::format("%llu", (unsigned long long)busy.requests),
+                   util::format("%llu", (unsigned long long)busy.busy),
                    util::format("%llu", (unsigned long long)busy.errors),
                    util::format("%.0f", busy.qps()),
                    util::format("%.1f", busy.p50_us),
                    util::format("%.1f", busy.p99_us)});
   }
   std::fputs(table.render("query-plane load").c_str(), stdout);
+  if (!json_out.empty()) {
+    std::vector<PhaseResult> phases{idle};
+    if (campaign_batch > 0) phases.push_back(busy);
+    if (!write_json(json_out, connections, duration_ms, phases)) {
+      std::fprintf(stderr, "loadgen_service: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::printf("results -> %s\n", json_out.c_str());
+  }
   if (campaign_batch > 0 && idle.p99_us > 0) {
     std::printf("p99 ratio (campaign/idle): %.2fx%s\n",
                 busy.p99_us / idle.p99_us,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/cache.h"
+#include "util/durable_file.h"
 
 namespace ftb::boundary {
 
@@ -145,17 +146,10 @@ std::optional<FaultToleranceBoundary> deserialize(
 
 bool save_to_file(const FaultToleranceBoundary& boundary,
                   const std::string& config_key, const std::string& path) {
-  const std::string payload = serialize(boundary, config_key);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!out) return false;
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  // Durable publish (tmp + fsync + rename + parent-dir fsync): the store
+  // serves whatever *.boundary files exist, so a published artifact must
+  // never be a rename that a crash can un-write.
+  return util::write_file_durable(path, serialize(boundary, config_key));
 }
 
 std::optional<BoundaryArtifact> load_artifact_from_file(

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/cache.h"
+#include "util/durable_file.h"
 
 namespace ftb::campaign {
 
@@ -142,17 +143,10 @@ std::optional<CampaignLog> CampaignLog::deserialize(const std::string& payload,
 }
 
 bool CampaignLog::save(const std::string& path) const {
-  const std::string payload = serialize();
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!out) return false;
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  // Durable publish (tmp + fsync + rename + parent-dir fsync): a journal
+  // flush is the checkpoint the resume path trusts, so it must survive a
+  // crash, not just a concurrent reader.
+  return util::write_file_durable(path, serialize());
 }
 
 std::optional<CampaignLog> CampaignLog::load(const std::string& path,

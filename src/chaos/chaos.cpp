@@ -1,0 +1,263 @@
+#include "chaos/chaos.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FTB_CHAOS_POSIX 1
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace ftb::chaos {
+
+namespace {
+
+struct State {
+  std::mutex mutex;
+  ChaosOptions options;
+  std::uint64_t rng = 0;
+  ChaosStats stats;
+};
+
+// Fast-path gate: a single relaxed load when chaos is off.
+std::atomic<bool> g_enabled{false};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// splitmix64: tiny, seedable, and good enough to decorrelate fault rolls.
+std::uint64_t next_u64(State& s) {
+  std::uint64_t z = (s.rng += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double next_unit(State& s) {
+  return static_cast<double>(next_u64(s) >> 11) * 0x1.0p-53;
+}
+
+enum class Fault { kNone, kEintr, kShort, kWriteError, kFsyncError };
+
+/// One locked roll deciding the fate of an I/O call.  `count` is clamped in
+/// place for short I/O.  `is_file_write` additionally arms write_error.
+Fault roll_io(std::size_t* count, bool is_read, bool is_file_write) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.options.enabled) return Fault::kNone;
+  if (s.options.eintr > 0 && next_unit(s) < s.options.eintr) {
+    ++s.stats.eintr_faults;
+    return Fault::kEintr;
+  }
+  if (is_file_write && s.options.write_error > 0 &&
+      next_unit(s) < s.options.write_error) {
+    ++s.stats.write_errors;
+    return Fault::kWriteError;
+  }
+  if (*count > 1 && s.options.short_io > 0 &&
+      next_unit(s) < s.options.short_io) {
+    (is_read ? s.stats.short_reads : s.stats.short_writes) += 1;
+    *count = 1 + static_cast<std::size_t>(next_u64(s) % (*count - 1));
+    return Fault::kShort;
+  }
+  return Fault::kNone;
+}
+
+Fault roll_fsync() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.options.enabled) return Fault::kNone;
+  if (s.options.fsync_error > 0 && next_unit(s) < s.options.fsync_error) {
+    ++s.stats.fsync_errors;
+    return Fault::kFsyncError;
+  }
+  return Fault::kNone;
+}
+
+}  // namespace
+
+void configure(const ChaosOptions& options) {
+  State& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.options = options;
+    s.rng = options.seed;
+  }
+  g_enabled.store(options.enabled, std::memory_order_release);
+}
+
+void disable() {
+  State& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.options.enabled = false;
+  }
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+ChaosOptions current_options() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.options;
+}
+
+bool configure_from_env(std::string* summary) {
+  const char* raw = std::getenv("FTB_CHAOS");
+  if (raw == nullptr || raw[0] == '\0' || std::string(raw) == "off") {
+    disable();  // "off" means off even if chaos was armed earlier
+    return false;
+  }
+  ChaosOptions options;
+  options.enabled = true;
+  std::string spec(raw);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    char* tail = nullptr;
+    const double parsed = std::strtod(value.c_str(), &tail);
+    if (tail == value.c_str()) continue;  // not a number: ignore the knob
+    if (key == "seed") {
+      options.seed = static_cast<std::uint64_t>(parsed);
+    } else if (key == "short_io") {
+      options.short_io = parsed;
+    } else if (key == "eintr") {
+      options.eintr = parsed;
+    } else if (key == "write_error") {
+      options.write_error = parsed;
+    } else if (key == "fsync_error") {
+      options.fsync_error = parsed;
+    }
+    // Unknown keys are ignored for forward compatibility.
+  }
+  configure(options);
+  if (summary != nullptr) {
+    *summary = "enabled (seed=" + std::to_string(options.seed) +
+               ", short_io=" + std::to_string(options.short_io) +
+               ", eintr=" + std::to_string(options.eintr) +
+               ", write_error=" + std::to_string(options.write_error) +
+               ", fsync_error=" + std::to_string(options.fsync_error) + ")";
+  }
+  return true;
+}
+
+ChaosStats stats() noexcept {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.stats;
+}
+
+void reset_stats() noexcept {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.stats = ChaosStats{};
+}
+
+#if FTB_CHAOS_POSIX
+
+ssize_t read(int fd, void* buf, std::size_t count) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    switch (roll_io(&count, /*is_read=*/true, /*is_file_write=*/false)) {
+      case Fault::kEintr:
+        errno = EINTR;
+        return -1;
+      default:
+        break;
+    }
+  }
+  return ::read(fd, buf, count);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    switch (roll_io(&count, /*is_read=*/false, /*is_file_write=*/true)) {
+      case Fault::kEintr:
+        errno = EINTR;
+        return -1;
+      case Fault::kWriteError:
+        // Alternate the two classic hard write errors via the seed stream.
+        errno = (stats().write_errors % 2 == 0) ? ENOSPC : EIO;
+        return -1;
+      default:
+        break;
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+ssize_t send(int fd, const void* buf, std::size_t count, int flags) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    switch (roll_io(&count, /*is_read=*/false, /*is_file_write=*/false)) {
+      case Fault::kEintr:
+        errno = EINTR;
+        return -1;
+      default:
+        break;
+    }
+  }
+  return ::send(fd, buf, count, flags);
+}
+
+ssize_t recv(int fd, void* buf, std::size_t count, int flags) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    switch (roll_io(&count, /*is_read=*/true, /*is_file_write=*/false)) {
+      case Fault::kEintr:
+        errno = EINTR;
+        return -1;
+      default:
+        break;
+    }
+  }
+  return ::recv(fd, buf, count, flags);
+}
+
+int fsync(int fd) {
+  if (g_enabled.load(std::memory_order_relaxed) &&
+      roll_fsync() == Fault::kFsyncError) {
+    errno = EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+#else  // !FTB_CHAOS_POSIX
+
+ssize_t read(int, void*, std::size_t) {
+  errno = ENOSYS;
+  return -1;
+}
+ssize_t write(int, const void*, std::size_t) {
+  errno = ENOSYS;
+  return -1;
+}
+ssize_t send(int, const void*, std::size_t, int) {
+  errno = ENOSYS;
+  return -1;
+}
+ssize_t recv(int, void*, std::size_t, int) {
+  errno = ENOSYS;
+  return -1;
+}
+int fsync(int) {
+  errno = ENOSYS;
+  return -1;
+}
+
+#endif
+
+}  // namespace ftb::chaos

@@ -1,0 +1,86 @@
+// Seeded, deterministic fault injection at the syscall boundary.
+//
+// The paper's thesis is that resiliency has to be measured under injected
+// faults; this layer turns that discipline on the serving stack itself.
+// net and storage code route their I/O through the veneers below instead of
+// calling read()/write()/send()/recv()/fsync() directly.  With chaos
+// disabled (the default) each veneer is a relaxed atomic load plus the real
+// syscall; with chaos enabled a mutex-protected splitmix64 stream decides,
+// per call, whether to deliver the fault classes production actually sees:
+//
+//   * EINTR before the syscall runs (signal storms),
+//   * short reads/writes (torn frame delivery, partial file writes),
+//   * ENOSPC/EIO on file writes (disk full, dying media),
+//   * EIO on fsync (the failure mode that silently breaks "durable" code).
+//
+// The stream is seeded, so a failing chaos run replays exactly.  Faults are
+// injected *before* the real syscall, never after: a call that reports
+// success really did its (possibly shortened) I/O, so invariants about
+// on-disk state stay checkable.
+//
+// chaos is a leaf library (no ftb dependencies); util and net link it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+namespace ftb::chaos {
+
+struct ChaosOptions {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  /// P(clamp an I/O to a random shorter length), per read/write/send/recv.
+  double short_io = 0.0;
+  /// P(fail with EINTR instead of doing anything), per I/O call.
+  double eintr = 0.0;
+  /// P(fail a file write with ENOSPC/EIO), per chaos::write call.
+  double write_error = 0.0;
+  /// P(fail fsync with EIO), per chaos::fsync call.
+  double fsync_error = 0.0;
+};
+
+/// Installs `options` and reseeds the fault stream.  Thread-safe.
+void configure(const ChaosOptions& options);
+
+/// Turns injection off (veneers become pass-throughs).  Stats survive.
+void disable();
+
+bool enabled() noexcept;
+ChaosOptions current_options();
+
+/// Reads FTB_CHAOS ("seed=7,short_io=0.2,eintr=0.1,write_error=0.01,
+/// fsync_error=0.05"; unset, empty, or "off" disables).  Unknown keys are
+/// ignored so old daemons tolerate new knobs.  Returns true when chaos was
+/// enabled; `summary` (optional) gets a printable description.
+bool configure_from_env(std::string* summary = nullptr);
+
+/// Cumulative injected-fault counts since the last reset.
+struct ChaosStats {
+  std::uint64_t short_reads = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t eintr_faults = 0;
+  std::uint64_t write_errors = 0;
+  std::uint64_t fsync_errors = 0;
+
+  std::uint64_t total() const noexcept {
+    return short_reads + short_writes + eintr_faults + write_errors +
+           fsync_errors;
+  }
+};
+ChaosStats stats() noexcept;
+void reset_stats() noexcept;
+
+// Syscall veneers.  Identical semantics to the raw syscalls (return value
+// and errno), with faults injected when chaos is enabled.  write_error only
+// applies to write() (file plane); the socket veneers see short I/O and
+// EINTR, which is what a lossy kernel boundary actually delivers to them.
+ssize_t read(int fd, void* buf, std::size_t count);
+ssize_t write(int fd, const void* buf, std::size_t count);
+ssize_t send(int fd, const void* buf, std::size_t count, int flags);
+ssize_t recv(int fd, void* buf, std::size_t count, int flags);
+int fsync(int fd);
+
+}  // namespace ftb::chaos

@@ -1,5 +1,9 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace ftb::net {
 
 Client::Client(ClientOptions options)
@@ -29,7 +33,15 @@ bool Client::send(const Frame& frame, std::string* error) {
     if (error != nullptr) *error = "not connected";
     return false;
   }
-  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  // Frames that carry no deadline of their own inherit the client-wide one.
+  const Frame* to_send = &frame;
+  Frame stamped;
+  if (frame.deadline_ms == 0 && options_.deadline_ms != 0) {
+    stamped = frame;
+    stamped.deadline_ms = options_.deadline_ms;
+    to_send = &stamped;
+  }
+  const std::vector<std::uint8_t> bytes = encode_frame(*to_send);
   if (!send_all(fd_.get(), bytes.data(), bytes.size(), error)) {
     close();
     return false;
@@ -86,6 +98,42 @@ std::optional<Frame> Client::call(const Frame& request, std::string* error) {
     if (connected()) return std::nullopt;  // timeout, not a lost connection
   }
   return std::nullopt;
+}
+
+std::optional<Frame> Client::call_backoff(
+    const Frame& request,
+    const std::function<std::optional<std::uint64_t>(const Frame&)>&
+        retry_hint,
+    const util::RetryOptions& retry, std::string* error) {
+  std::optional<Frame> last = call(request, error);
+  if (!last.has_value()) return std::nullopt;
+  std::optional<std::uint64_t> hint = retry_hint(*last);
+  if (!hint.has_value()) return last;
+
+  // The server told us when to come back; honour the hint before the first
+  // retry, then let it seed the (growing, jittered) backoff so a stampede
+  // of shed clients does not return in lockstep.
+  util::RetryOptions policy = retry;
+  if (*hint > 0) {
+    policy.initial_backoff_ms = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(*hint, 60'000));
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(policy.initial_backoff_ms));
+  bool transport_failed = false;
+  util::retry_with_backoff(policy, [&] {
+    std::string step_error;
+    std::optional<Frame> reply = call(request, &step_error);
+    if (!reply.has_value()) {
+      if (error != nullptr) *error = step_error;
+      transport_failed = true;
+      return true;  // stop: transport is gone, backoff will not help
+    }
+    last = std::move(reply);
+    return !retry_hint(*last).has_value();  // stop once the reply is final
+  });
+  if (transport_failed) return std::nullopt;
+  return last;
 }
 
 }  // namespace ftb::net

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +31,10 @@ struct ClientOptions {
   /// Backoff policy for connect attempts (and call()'s one reconnect).
   util::RetryOptions connect_retry;
   std::size_t max_frame_payload = 16u << 20;
+  /// Deadline stamped into the header of every outgoing frame whose own
+  /// deadline_ms is 0.  The server sheds requests that outwait it.  0
+  /// stamps nothing (no deadline).
+  std::uint32_t deadline_ms = 0;
 };
 
 class Client {
@@ -55,6 +60,19 @@ class Client {
   /// send + recv, with one reconnect-and-retry if the connection was lost.
   std::optional<Frame> call(const Frame& request,
                             std::string* error = nullptr);
+
+  /// call() with retry-on-busy: after each reply, `retry_hint` inspects it
+  /// and returns the server's retry-after hint in milliseconds when the
+  /// reply says "try again later" (service::parse_busy), or nullopt when
+  /// the reply is final.  Retries follow `retry` (jittered exponential
+  /// backoff seeded from the first hint), and the last reply is returned
+  /// even if it is still a Busy -- the caller decides how to report it.
+  /// nullopt only on transport failure.
+  std::optional<Frame> call_backoff(
+      const Frame& request,
+      const std::function<std::optional<std::uint64_t>(const Frame&)>&
+          retry_hint,
+      const util::RetryOptions& retry, std::string* error = nullptr);
 
  private:
   ClientOptions options_;

@@ -30,6 +30,7 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   put_u32(out, kFrameMagic);
   put_u32(out, kFrameVersion);
   put_u32(out, frame.type);
+  put_u32(out, frame.deadline_ms);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   put_u32(out, util::crc32(out.data(), out.size()));
@@ -72,9 +73,10 @@ FrameDecoder::Status FrameDecoder::pop(Frame* out, std::string* error) {
   if (version != kFrameVersion) {
     return fail(error, "frame has unsupported protocol version " +
                            std::to_string(version) + " (expected " +
-                           std::to_string(kFrameVersion) + ")");
+                           std::to_string(kFrameVersion) +
+                           "; the peer is likely running an older build)");
   }
-  const std::uint32_t payload_len = read_u32(head + 12);
+  const std::uint32_t payload_len = read_u32(head + 16);
   if (payload_len > limits_.max_payload) {
     return fail(error, "frame declares oversized payload (" +
                            std::to_string(payload_len) + " bytes > cap " +
@@ -92,6 +94,7 @@ FrameDecoder::Status FrameDecoder::pop(Frame* out, std::string* error) {
   }
   if (out != nullptr) {
     out->type = read_u32(head + 8);
+    out->deadline_ms = read_u32(head + 12);
     out->payload.assign(head + kFrameHeaderSize, head + body);
   }
   pos_ += total;

@@ -2,9 +2,13 @@
 //
 // Every message on a connection travels inside one frame:
 //
-//   | magic u32 | version u32 | type u32 | payload_len u32 | payload ... | crc32 u32 |
+//   | magic u32 | version u32 | type u32 | deadline_ms u32 | payload_len u32 | payload ... | crc32 u32 |
 //
-// all little-endian.  The trailing CRC-32 covers the header and the payload,
+// all little-endian.  `deadline_ms` (v2) is the requester's patience budget:
+// how long, from submission, the reply is still worth computing.  Zero means
+// "no deadline".  Carrying it in the header lets an overloaded server shed
+// queued requests whose answer nobody is waiting for anymore, without
+// decoding the payload.  The trailing CRC-32 covers the header and the payload,
 // so the same corruption-rejection discipline as CampaignLog applies on the
 // wire: a torn, truncated, or bit-flipped frame is rejected with a one-line
 // diagnostic, never decoded into garbage.  The length prefix is capped
@@ -26,9 +30,12 @@
 namespace ftb::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x50425446u;  // "FTBP"
-inline constexpr std::uint32_t kFrameVersion = 1;
-/// Fixed bytes before the payload: magic, version, type, payload_len.
-inline constexpr std::size_t kFrameHeaderSize = 16;
+// v1: magic, version, type, payload_len.
+// v2: inserts deadline_ms between type and payload_len.
+inline constexpr std::uint32_t kFrameVersion = 2;
+/// Fixed bytes before the payload: magic, version, type, deadline_ms,
+/// payload_len.
+inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Trailing CRC-32.
 inline constexpr std::size_t kFrameTrailerSize = 4;
 
@@ -36,6 +43,8 @@ inline constexpr std::size_t kFrameTrailerSize = 4;
 /// layer, src/service/protocol.h, gives payloads meaning).
 struct Frame {
   std::uint32_t type = 0;
+  /// Requester's patience budget in milliseconds; 0 means no deadline.
+  std::uint32_t deadline_ms = 0;
   std::vector<std::uint8_t> payload;
 
   bool operator==(const Frame&) const = default;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "chaos/chaos.h"
 #include "net/socket.h"
 #include "telemetry/events.h"
 
@@ -144,8 +145,8 @@ struct Server::Impl {
   bool flush_conn(Conn& conn) {
     while (conn.pending() > 0) {
       const ssize_t n =
-          ::send(conn.fd, conn.out.data() + conn.out_pos, conn.pending(),
-                 MSG_NOSIGNAL);
+          chaos::send(conn.fd, conn.out.data() + conn.out_pos, conn.pending(),
+                      MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -264,7 +265,7 @@ struct Server::Impl {
     std::uint8_t buf[16384];
     bool peer_closed = false;
     for (;;) {
-      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      const ssize_t n = chaos::recv(fd, buf, sizeof(buf), 0);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;

@@ -1,5 +1,7 @@
 #include "net/socket.h"
 
+#include "chaos/chaos.h"
+
 #if defined(__linux__)
 #define FTB_NET_POSIX 1
 #include <arpa/inet.h>
@@ -148,7 +150,9 @@ bool send_all(int fd, const std::uint8_t* data, std::size_t size,
 #if FTB_NET_POSIX
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    // chaos::send is a transparent passthrough unless fault injection is
+    // armed; this loop already absorbs the short writes and EINTRs it cooks.
+    const ssize_t n = chaos::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       set_error(error, errno_string("send"));
@@ -185,7 +189,7 @@ long recv_some(int fd, std::uint8_t* data, std::size_t size,
   }
   ssize_t n;
   do {
-    n = ::recv(fd, data, size, 0);
+    n = chaos::recv(fd, data, size, 0);
   } while (n < 0 && errno == EINTR);
   if (n < 0) {
     set_error(error, errno_string("recv"));

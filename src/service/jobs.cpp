@@ -18,6 +18,30 @@ JobRunner::JobRunner(BoundaryStore* store, JobRunnerOptions options,
     : store_(store),
       options_(std::move(options)),
       callbacks_(std::move(callbacks)) {
+  // Replay the write-ahead ledger BEFORE the runner thread exists: every
+  // job acked before the last crash that never reached done/failed comes
+  // back as if it had just been submitted, and resumes from its journal.
+  if (!ledger_.open(options_.store_dir + "/jobs.ledger", &replay_,
+                    &ledger_error_)) {
+    // The daemon still serves queries; submissions are rejected until the
+    // store directory is writable again (we cannot ack what we cannot log).
+  }
+  next_job_id_ = replay_.next_job_id;
+  for (const LedgerJob& pending : replay_.pending) {
+    CampaignJob job;
+    job.id = pending.id;
+    job.client = 0;  // the submitter's connection died with the old process
+    job.req = pending.req;
+    queue_.push_back(std::move(job));
+  }
+  if (telemetry::active(options_.telemetry)) {
+    options_.telemetry->metrics().counter("jobs.replayed")
+        .add(replay_.pending.size());
+    options_.telemetry->metrics().counter("ledger.records_replayed")
+        .add(replay_.records);
+    options_.telemetry->metrics().counter("ledger.torn_records")
+        .add(replay_.torn_records);
+  }
   thread_ = std::thread([this] { run_loop(); });
 }
 
@@ -26,20 +50,52 @@ JobRunner::~JobRunner() {
   join();
 }
 
-bool JobRunner::submit(CampaignJob job, std::uint32_t* queue_depth,
-                       std::string* error) {
+JobRunner::Submit JobRunner::submit(std::uint64_t client,
+                                    const SubmitCampaignReq& req,
+                                    std::uint64_t* job_id,
+                                    std::uint32_t* queue_depth,
+                                    std::string* error) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (draining_ || stop_) {
     if (error != nullptr) *error = "server is draining; try again later";
-    return false;
+    return Submit::kRejected;
+  }
+  if (!ledger_.valid()) {
+    if (error != nullptr) {
+      *error = "job ledger is unavailable (" + ledger_error_ +
+               "); refusing to ack a submission the server could not make "
+               "durable";
+    }
+    return Submit::kRejected;
   }
   if (queue_.size() >= options_.max_queue) {
     if (error != nullptr) {
       *error = "campaign queue is full (" + std::to_string(queue_.size()) +
                " jobs waiting)";
     }
-    return false;
+    return Submit::kQueueFull;
   }
+  CampaignJob job;
+  job.id = next_job_id_++;
+  job.client = client;
+  job.req = req;
+  {
+    // fsync-before-ack: the submit record must be on disk before the
+    // CampaignAccepted frame is even constructed.
+    std::lock_guard<std::mutex> ledger_lock(ledger_mutex_);
+    std::string ledger_error;
+    if (!ledger_.append_submitted(job.id, job.req, &ledger_error)) {
+      if (telemetry::active(options_.telemetry)) {
+        options_.telemetry->metrics().counter("ledger.append_failures").add();
+      }
+      if (error != nullptr) {
+        *error = "cannot write-ahead log the submission (" + ledger_error +
+                 "); job not accepted";
+      }
+      return Submit::kRejected;
+    }
+  }
+  if (job_id != nullptr) *job_id = job.id;
   queue_.push_back(std::move(job));
   if (queue_depth != nullptr) {
     *queue_depth =
@@ -51,7 +107,22 @@ bool JobRunner::submit(CampaignJob job, std::uint32_t* queue_depth,
         static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
-  return true;
+  return Submit::kAccepted;
+}
+
+void JobRunner::ledger_transition(std::uint64_t job, JobState state,
+                                  const std::string& note) {
+  std::lock_guard<std::mutex> lock(ledger_mutex_);
+  if (!ledger_.valid()) return;
+  std::string error;
+  if (!ledger_.append_state(job, state, note, &error)) {
+    // A failed transition record degrades durability, not correctness: on
+    // restart the job replays as pending and runs again (idempotent -- the
+    // journal dedupes), so count it and carry on.
+    if (telemetry::active(options_.telemetry)) {
+      options_.telemetry->metrics().counter("ledger.append_failures").add();
+    }
+  }
 }
 
 void JobRunner::request_drain() {
@@ -66,12 +137,15 @@ void JobRunner::request_drain() {
   }
   // Queued-but-never-started jobs are failed here, on the caller's thread;
   // the running job (if any) finishes its chunk, flushes, and reports a
-  // stopped CampaignDone from the runner thread.
+  // stopped CampaignDone from the runner thread.  Neither gets a terminal
+  // ledger record: they stay pending and replay when the daemon restarts.
   for (const CampaignJob& job : abandoned) {
     CampaignDone done;
     done.job = job.id;
     done.ok = false;
-    done.error = "server drained before the job started";
+    done.stopped = true;
+    done.error = "server drained before the job started; it remains "
+                 "journalled and will resume when the daemon restarts";
     if (callbacks_.on_done) callbacks_.on_done(job, done);
   }
 }
@@ -116,6 +190,7 @@ void JobRunner::run_loop() {
 void JobRunner::execute(const CampaignJob& job) {
   telemetry::SpanScope span(options_.telemetry, "jobs.run", "service");
   span.arg("job", static_cast<double>(job.id));
+  ledger_transition(job.id, JobState::kRunning, {});
   const StoreKey key{job.req.kernel, job.req.preset, job.req.seed};
   CampaignDone done;
   done.job = job.id;
@@ -215,6 +290,13 @@ void JobRunner::execute(const CampaignJob& job) {
   } catch (const std::exception& e) {
     done.ok = false;
     done.error = e.what();
+  }
+  // Terminal states are recorded; a stopped (drained) job is NOT terminal
+  // -- it stays pending in the ledger so the next startup resumes it.
+  if (done.ok) {
+    ledger_transition(job.id, JobState::kDone, done.store_key);
+  } else if (!done.stopped) {
+    ledger_transition(job.id, JobState::kFailed, done.error);
   }
   if (telemetry::active(options_.telemetry)) {
     const char* counter = done.ok ? "jobs.completed"

@@ -1,5 +1,12 @@
-// Campaign plane for ftb_served: a bounded FIFO of campaign jobs drained by
-// one runner thread.
+// Campaign plane for ftb_served: a crash-durable FIFO of campaign jobs
+// drained by one runner thread.
+//
+// Submissions are write-ahead logged to "<store-dir>/jobs.ledger"
+// (service/ledger.h) and fsynced BEFORE they are acked, so an acked job
+// survives kill -9.  On construction the runner replays the ledger and
+// re-enqueues every job that never reached a terminal state; those jobs
+// resume from their chunk-edge checkpoint journals exactly like the CLI
+// --resume path, so a crash mid-campaign loses at most one unflushed chunk.
 //
 // Each job runs the checkpointed campaign pipeline (campaign/checkpoint.h)
 // through the resilient supervisor (persistent worker pool, heartbeats,
@@ -16,8 +23,9 @@
 //
 // Drain semantics: request_drain() stops accepting new jobs, asks the
 // running job to stop at the next chunk edge (after its flush), and fails
-// queued jobs with a "draining" CampaignDone.  The runner thread exits once
-// the running job has checkpointed.
+// queued jobs with a "draining" CampaignDone.  Neither the stopped job nor
+// the abandoned ones get a terminal ledger record, so they all come back as
+// pending when the daemon restarts.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +36,7 @@
 #include <string>
 #include <thread>
 
+#include "service/ledger.h"
 #include "service/protocol.h"
 #include "service/store.h"
 #include "telemetry/events.h"
@@ -36,12 +45,13 @@ namespace ftb::service {
 
 struct CampaignJob {
   std::uint64_t id = 0;
-  std::uint64_t client = 0;  ///< net::ConnId of the submitting connection
+  std::uint64_t client = 0;  ///< net::ConnId of the submitter; 0 == recovered
   SubmitCampaignReq req;
 };
 
 struct JobRunnerOptions {
-  /// Directory for journals ("<key>.clog") and artifacts ("<key>.boundary").
+  /// Directory for journals ("<key>.clog"), artifacts ("<key>.boundary"),
+  /// and the write-ahead job ledger ("jobs.ledger").
   std::string store_dir = ".";
   /// Jobs waiting in the queue (the running job is not counted).
   std::size_t max_queue = 8;
@@ -56,17 +66,25 @@ struct JobCallbacks {
 
 class JobRunner {
  public:
+  /// Why a submission was not accepted.  kQueueFull is the retryable case
+  /// (the service answers it with Busy); kRejected is terminal for this
+  /// request (draining, or the ledger cannot ack durably).
+  enum class Submit { kAccepted, kQueueFull, kRejected };
+
   JobRunner(BoundaryStore* store, JobRunnerOptions options,
             JobCallbacks callbacks);
   ~JobRunner();
   JobRunner(const JobRunner&) = delete;
   JobRunner& operator=(const JobRunner&) = delete;
 
-  /// Enqueues a job.  On success fills `queue_depth` with the number of
-  /// jobs ahead of it (including the running one).  False when the queue
-  /// is full or the runner is draining (diagnostic in `error`).
-  bool submit(CampaignJob job, std::uint32_t* queue_depth = nullptr,
-              std::string* error = nullptr);
+  /// Allocates a job id, write-ahead logs the submission (fsynced), and
+  /// enqueues it.  On kAccepted fills `job_id` and `queue_depth` (jobs
+  /// ahead of this one, including the running one); otherwise leaves a
+  /// diagnostic in `error`.
+  Submit submit(std::uint64_t client, const SubmitCampaignReq& req,
+                std::uint64_t* job_id = nullptr,
+                std::uint32_t* queue_depth = nullptr,
+                std::string* error = nullptr);
 
   /// Stops accepting jobs, stops the running job at its next chunk edge
   /// (journal stays resumable), and fails queued jobs.  Does not block.
@@ -82,17 +100,34 @@ class JobRunner {
   /// Queued plus running.
   std::size_t depth() const;
 
+  /// What the ledger replay found at construction time.
+  const JobLedger::ReplayResult& replay() const noexcept { return replay_; }
+
+  /// False when the ledger could not be opened; submissions are rejected.
+  bool ledger_ok() const noexcept { return ledger_.valid(); }
+
  private:
   void run_loop();
   void execute(const CampaignJob& job);
+  void ledger_transition(std::uint64_t job, JobState state,
+                         const std::string& note);
 
   BoundaryStore* store_;
   JobRunnerOptions options_;
   JobCallbacks callbacks_;
 
+  /// Serialises ledger appends (submit runs on the event-loop thread,
+  /// state transitions on the runner thread).  Always acquired after
+  /// mutex_ when both are held.
+  std::mutex ledger_mutex_;
+  JobLedger ledger_;
+  JobLedger::ReplayResult replay_;
+  std::string ledger_error_;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<CampaignJob> queue_;
+  std::uint64_t next_job_id_ = 1;
   bool running_ = false;   ///< a job is executing right now
   bool draining_ = false;
   bool stop_ = false;      ///< runner thread should exit when idle

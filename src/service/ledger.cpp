@@ -1,0 +1,272 @@
+#include "service/ledger.h"
+
+#include <cstddef>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/cache.h"
+
+namespace ftb::service {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4654422d4a4c4447ull;  // "FTB-JLDG"
+constexpr std::uint64_t kVersion = 1;
+constexpr std::size_t kPreambleSize = 16;
+/// A submit record is a few hundred bytes; anything claiming more than this
+/// is a torn length word, not a real record.
+constexpr std::uint32_t kMaxRecordLen = 1u << 20;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> encode_payload(std::uint64_t job, JobState state,
+                                         const SubmitCampaignReq* req,
+                                         const std::string& note) {
+  util::BinaryWriter writer;
+  writer.put_u64(job);
+  writer.put_u64(static_cast<std::uint64_t>(state));
+  if (state == JobState::kSubmitted) {
+    writer.put_string(req->kernel);
+    writer.put_string(req->preset);
+    writer.put_u64(req->seed);
+    writer.put_u64(req->batch);
+    writer.put_u64(req->workers);
+    writer.put_u64(req->flush_every);
+    writer.put_u64(req->timeout_ms);
+    writer.put_u64(req->quarantine_after);
+  } else {
+    writer.put_string(note);
+  }
+  return writer.buffer();
+}
+
+std::vector<std::uint8_t> frame_record(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, util::crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kSubmitted: return "submitted";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+JobLedger::ReplayResult JobLedger::replay_file(const std::string& path) {
+  ReplayResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // missing ledger: fresh daemon, nothing pending
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  } catch (const std::exception& e) {
+    // e.g. the path is a directory; treat as unreadable, not fatal -- the
+    // caller decides whether an unusable ledger blocks submissions.
+    ++result.torn_records;
+    result.diagnostics.push_back("ledger is unreadable (" +
+                                 std::string(e.what()) + ")");
+    return result;
+  }
+  if (bytes.empty()) return result;
+  if (bytes.size() < kPreambleSize) {
+    ++result.torn_records;
+    result.diagnostics.push_back("ledger preamble is truncated (" +
+                                 std::to_string(bytes.size()) + " bytes)");
+    return result;
+  }
+  std::uint64_t magic = 0, version = 0;
+  for (int i = 0; i < 8; ++i) {
+    magic |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    version |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+  }
+  if (magic != kMagic) {
+    ++result.torn_records;
+    result.diagnostics.push_back(
+        "ledger has bad magic (not an FTB-JLDG file); ignoring it");
+    return result;
+  }
+  if (version != kVersion) {
+    ++result.torn_records;
+    result.diagnostics.push_back("ledger has unsupported version " +
+                                 std::to_string(version) + " (expected " +
+                                 std::to_string(kVersion) + "); ignoring it");
+    return result;
+  }
+
+  // Jobs in submit order, updated in place as state records arrive.
+  std::vector<LedgerJob> jobs;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+
+  std::size_t pos = kPreambleSize;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      ++result.torn_records;
+      result.diagnostics.push_back(
+          "ledger tail is torn mid-record-header; dropping it");
+      break;
+    }
+    const std::uint32_t len = read_u32(bytes.data() + pos);
+    const std::uint32_t stored_crc = read_u32(bytes.data() + pos + 4);
+    if (len > kMaxRecordLen) {
+      ++result.torn_records;
+      result.diagnostics.push_back(
+          "ledger record at offset " + std::to_string(pos) +
+          " declares an absurd length (" + std::to_string(len) +
+          " bytes); dropping the tail");
+      break;
+    }
+    if (bytes.size() - pos - 8 < len) {
+      ++result.torn_records;
+      result.diagnostics.push_back(
+          "ledger tail is torn mid-record; dropping it");
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 8;
+    if (stored_crc != util::crc32(payload, len)) {
+      ++result.torn_records;
+      result.diagnostics.push_back(
+          "ledger record at offset " + std::to_string(pos) +
+          " fails its CRC; dropping the tail");
+      break;
+    }
+    try {
+      util::BinaryReader reader(
+          std::vector<std::uint8_t>(payload, payload + len));
+      const std::uint64_t job = reader.get_u64();
+      const std::uint64_t raw_state = reader.get_u64();
+      if (raw_state > static_cast<std::uint64_t>(JobState::kFailed)) {
+        throw std::runtime_error("invalid state " + std::to_string(raw_state));
+      }
+      const JobState state = static_cast<JobState>(raw_state);
+      if (state == JobState::kSubmitted) {
+        LedgerJob entry;
+        entry.id = job;
+        entry.state = state;
+        entry.req.kernel = reader.get_string();
+        entry.req.preset = reader.get_string();
+        entry.req.seed = reader.get_u64();
+        entry.req.batch = reader.get_u64();
+        entry.req.workers = static_cast<std::uint32_t>(reader.get_u64());
+        entry.req.flush_every = static_cast<std::uint32_t>(reader.get_u64());
+        entry.req.timeout_ms = static_cast<std::uint32_t>(reader.get_u64());
+        entry.req.quarantine_after =
+            static_cast<std::uint32_t>(reader.get_u64());
+        if (!reader.exhausted()) {
+          throw std::runtime_error("trailing garbage in submit record");
+        }
+        index[job] = jobs.size();
+        jobs.push_back(std::move(entry));
+      } else {
+        const std::string note = reader.get_string();
+        if (!reader.exhausted()) {
+          throw std::runtime_error("trailing garbage in state record");
+        }
+        auto it = index.find(job);
+        if (it == index.end()) {
+          result.diagnostics.push_back(
+              "ledger has a " + std::string(to_string(state)) +
+              " record for unknown job " + std::to_string(job) +
+              " (its submit record was compacted away?); ignoring it");
+        } else {
+          jobs[it->second].state = state;
+          jobs[it->second].note = note;
+        }
+      }
+      if (job >= result.next_job_id) result.next_job_id = job + 1;
+      ++result.records;
+    } catch (const std::runtime_error& e) {
+      ++result.torn_records;
+      result.diagnostics.push_back("ledger record at offset " +
+                                   std::to_string(pos) +
+                                   " is malformed (" + e.what() +
+                                   "); dropping the tail");
+      break;
+    }
+    pos += 8 + len;
+  }
+
+  for (LedgerJob& job : jobs) {
+    if (job.state == JobState::kDone || job.state == JobState::kFailed) {
+      ++result.terminal;
+      result.terminal_jobs.push_back(std::move(job));
+    } else {
+      result.pending.push_back(std::move(job));
+    }
+  }
+  return result;
+}
+
+bool JobLedger::open(const std::string& path, ReplayResult* replay,
+                     std::string* error) {
+  path_ = path;
+  ReplayResult local = replay_file(path);
+
+  // Compact: rewrite the file with only the pending jobs, durably, so
+  // terminal history and any torn tail are gone before we start appending.
+  // A pending job that was already kRunning gets both its submit record and
+  // a running record back, preserving what replay would report.
+  std::vector<std::uint8_t> compacted;
+  {
+    util::BinaryWriter preamble;
+    preamble.put_u64(kMagic);
+    preamble.put_u64(kVersion);
+    compacted = preamble.buffer();
+  }
+  for (const LedgerJob& job : local.pending) {
+    const auto submit = frame_record(
+        encode_payload(job.id, JobState::kSubmitted, &job.req, {}));
+    compacted.insert(compacted.end(), submit.begin(), submit.end());
+    if (job.state == JobState::kRunning) {
+      const auto running = frame_record(
+          encode_payload(job.id, JobState::kRunning, nullptr, job.note));
+      compacted.insert(compacted.end(), running.begin(), running.end());
+    }
+  }
+  if (replay != nullptr) *replay = std::move(local);
+
+  if (!util::write_file_durable(path_, compacted, error)) {
+    if (error != nullptr) *error = "ledger compaction failed: " + *error;
+    return false;
+  }
+  return log_.open(path_, error);
+}
+
+bool JobLedger::append_submitted(std::uint64_t job,
+                                 const SubmitCampaignReq& req,
+                                 std::string* error) {
+  const auto record =
+      frame_record(encode_payload(job, JobState::kSubmitted, &req, {}));
+  return log_.append(record.data(), record.size(), error);
+}
+
+bool JobLedger::append_state(std::uint64_t job, JobState state,
+                             const std::string& note, std::string* error) {
+  const auto record = frame_record(encode_payload(job, state, nullptr, note));
+  return log_.append(record.data(), record.size(), error);
+}
+
+}  // namespace ftb::service

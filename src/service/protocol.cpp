@@ -83,6 +83,7 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kCampaignDone: return "CampaignDone";
     case MsgType::kShutdown: return "Shutdown";
     case MsgType::kShutdownOk: return "ShutdownOk";
+    case MsgType::kBusy: return "Busy";
   }
   return "Unknown";
 }
@@ -91,6 +92,14 @@ net::Frame make_error(const std::string& message) {
   util::BinaryWriter writer;
   writer.put_string(message);
   return finish(MsgType::kError, writer);
+}
+
+net::Frame make_busy(const std::string& message,
+                     std::uint64_t retry_after_ms) {
+  util::BinaryWriter writer;
+  writer.put_string(message);
+  writer.put_u64(retry_after_ms);
+  return finish(MsgType::kBusy, writer);
 }
 
 net::Frame make_ping() { return empty_frame(MsgType::kPing); }
@@ -241,6 +250,17 @@ std::optional<ErrorMsg> parse_error(const net::Frame& frame,
                            msg.message = reader.get_string();
                            return msg;
                          });
+}
+
+std::optional<BusyMsg> parse_busy(const net::Frame& frame,
+                                  std::string* error) {
+  return parse<BusyMsg>(frame, MsgType::kBusy, error,
+                        [](util::BinaryReader& reader) {
+                          BusyMsg msg;
+                          msg.message = reader.get_string();
+                          msg.retry_after_ms = reader.get_u64();
+                          return msg;
+                        });
 }
 
 std::optional<PredictFlipReq> parse_predict_flip(const net::Frame& frame,

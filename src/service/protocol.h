@@ -48,17 +48,27 @@ enum class MsgType : std::uint32_t {
   kCampaignDone = 16,
   kShutdown = 17,
   kShutdownOk = 18,
+  kBusy = 19,
 };
 
 /// The largest type value the dispatcher accepts; anything above is an
 /// unknown message.
 inline constexpr std::uint32_t kMaxMsgType =
-    static_cast<std::uint32_t>(MsgType::kShutdownOk);
+    static_cast<std::uint32_t>(MsgType::kBusy);
 
 const char* to_string(MsgType type) noexcept;
 
 struct ErrorMsg {
   std::string message;
+};
+
+/// Load-shed reply: the server is healthy but refuses this request right
+/// now (admission queue full, per-connection cap hit, or the request's
+/// deadline expired while it waited).  Unlike Error, Busy is retryable;
+/// `retry_after_ms` is the server's backoff hint.
+struct BusyMsg {
+  std::string message;
+  std::uint64_t retry_after_ms = 0;
 };
 
 struct PredictFlipReq {
@@ -156,6 +166,7 @@ struct CampaignDone {
 // --- frame builders -------------------------------------------------------
 
 net::Frame make_error(const std::string& message);
+net::Frame make_busy(const std::string& message, std::uint64_t retry_after_ms);
 net::Frame make_ping();
 net::Frame make_pong();
 net::Frame make_predict_flip(const PredictFlipReq& req);
@@ -182,6 +193,8 @@ net::Frame make_shutdown_ok();
 
 std::optional<ErrorMsg> parse_error(const net::Frame& frame,
                                     std::string* error = nullptr);
+std::optional<BusyMsg> parse_busy(const net::Frame& frame,
+                                  std::string* error = nullptr);
 std::optional<PredictFlipReq> parse_predict_flip(const net::Frame& frame,
                                                  std::string* error = nullptr);
 std::optional<PredictFlipOk> parse_predict_flip_ok(

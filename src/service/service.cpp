@@ -1,16 +1,25 @@
 #include "service/service.h"
 
+#include <chrono>
 #include <limits>
 #include <utility>
 
 #include "boundary/predictor.h"
 #include "boundary/report.h"
+#include "chaos/chaos.h"
 #include "fi/fpbits.h"
 #include "telemetry/export.h"
 
 namespace ftb::service {
 
 namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Records one query-plane request latency under "service.<name>_ns".
 class RequestTimer {
@@ -44,14 +53,18 @@ Service::Service(ServiceOptions options)
   JobCallbacks callbacks;
   callbacks.on_progress = [this](const CampaignJob& job,
                                  const CampaignProgress& progress) {
-    if (server_ != nullptr) {
-      server_->send(job.client, make_campaign_progress(progress));
+    // job.client == 0 marks a ledger-recovered job: its submitter died with
+    // the previous process, so there is no connection to stream to.
+    net::Server* server = server_.load(std::memory_order_acquire);
+    if (server != nullptr && job.client != 0) {
+      server->send(job.client, make_campaign_progress(progress));
     }
   };
   callbacks.on_done = [this](const CampaignJob& job, const CampaignDone& done) {
-    if (server_ != nullptr) {
-      server_->send(job.client, make_campaign_done(done));
-      server_->wake();  // drain progress may now be complete
+    net::Server* server = server_.load(std::memory_order_acquire);
+    if (server != nullptr) {
+      if (job.client != 0) server->send(job.client, make_campaign_done(done));
+      server->wake();  // drain progress may now be complete
     }
   };
   jobs_ = std::make_unique<JobRunner>(&store_, std::move(job_options),
@@ -66,14 +79,132 @@ std::size_t Service::load_store(std::vector<std::string>* diagnostics) {
 
 void Service::request_shutdown() noexcept {
   shutdown_requested_.store(true, std::memory_order_relaxed);
-  if (server_ != nullptr) server_->wake();
+  net::Server* server = server_.load(std::memory_order_acquire);
+  if (server != nullptr) server->wake();
 }
 
 void Service::reply(net::Server::ConnId conn, const net::Frame& frame) {
-  if (server_ != nullptr) server_->send(conn, frame);
+  net::Server* server = server_.load(std::memory_order_acquire);
+  if (server != nullptr) server->send(conn, frame);
+}
+
+void Service::busy(net::Server::ConnId conn, const std::string& message,
+                   const char* shed_counter) {
+  if (telemetry::active(options_.telemetry)) {
+    options_.telemetry->metrics().counter("service.busy_sent").add();
+    options_.telemetry->metrics().counter(shed_counter).add();
+  }
+  reply(conn, make_busy(message, options_.busy_retry_ms));
 }
 
 void Service::on_frame(net::Server::ConnId conn, net::Frame frame) {
+  switch (static_cast<MsgType>(frame.type)) {
+    // Query plane: through the bounded admission queue, drained on the
+    // tick that follows (the loop drains its queue before sleeping, so an
+    // uncontended request still answers in the same iteration).
+    case MsgType::kPing:
+    case MsgType::kPredictFlip:
+    case MsgType::kPredictSite:
+    case MsgType::kPhaseReport:
+    case MsgType::kListBoundaries:
+    case MsgType::kStats:
+      admit(conn, std::move(frame));
+      return;
+    case MsgType::kSubmitCampaign:
+      handle_submit(conn, frame);
+      return;
+    case MsgType::kShutdown:
+      reply(conn, make_shutdown_ok());
+      shutdown_requested_.store(true, std::memory_order_relaxed);
+      return;
+    default:
+      reply(conn, make_error("unexpected message type " +
+                             std::to_string(frame.type) + " (" +
+                             to_string(static_cast<MsgType>(frame.type)) +
+                             ")"));
+      return;
+  }
+}
+
+void Service::on_disconnect(net::Server::ConnId conn) {
+  // Forget the connection's in-flight count; its queued requests still
+  // drain (replies to a dead connection are silently dropped), and the
+  // erase here keeps a reconnecting client from inheriting a stale cap.
+  inflight_.erase(conn);
+}
+
+void Service::admit(net::Server::ConnId conn, net::Frame frame) {
+  if (pending_.size() >= options_.admission_queue_max) {
+    busy(conn,
+         "admission queue is full (" + std::to_string(pending_.size()) +
+             " requests waiting)",
+         "service.shed_queue_full");
+    return;
+  }
+  std::size_t& inflight = inflight_[conn];
+  if (inflight >= options_.per_conn_inflight_max) {
+    busy(conn,
+         "connection has " + std::to_string(inflight) +
+             " requests in flight (cap " +
+             std::to_string(options_.per_conn_inflight_max) + ")",
+         "service.shed_conn_cap");
+    return;
+  }
+  ++inflight;
+  PendingQuery entry;
+  entry.conn = conn;
+  entry.frame = std::move(frame);
+  entry.arrival_ns = steady_now_ns();
+  pending_.push_back(std::move(entry));
+  if (telemetry::active(options_.telemetry)) {
+    options_.telemetry->metrics().gauge("service.admission_depth").set(
+        static_cast<double>(pending_.size()));
+  }
+}
+
+void Service::drain_admission() {
+  if (pending_.empty()) return;
+  const std::uint64_t now = steady_now_ns();
+  std::size_t budget = options_.admission_batch;
+  while (budget-- > 0 && !pending_.empty()) {
+    PendingQuery entry = std::move(pending_.front());
+    pending_.pop_front();
+    auto it = inflight_.find(entry.conn);
+    if (it != inflight_.end() && it->second > 0) {
+      if (--it->second == 0) inflight_.erase(it);
+    }
+    const std::uint64_t waited = now - entry.arrival_ns;
+    if (entry.frame.deadline_ms > 0 &&
+        waited > std::uint64_t{entry.frame.deadline_ms} * 1'000'000ull) {
+      // Nobody is waiting for this answer anymore; shed it instead of
+      // burning the tick on dead work.
+      busy(entry.conn,
+           "request waited " + std::to_string(waited / 1'000'000ull) +
+               " ms, past its " + std::to_string(entry.frame.deadline_ms) +
+               " ms deadline",
+           "service.shed_deadline");
+      continue;
+    }
+    if (telemetry::active(options_.telemetry)) {
+      options_.telemetry->metrics().histogram("service.queue_wait_ns")
+          .record(waited);
+    }
+    dispatch_query(entry.conn, entry.frame);
+  }
+  if (telemetry::active(options_.telemetry)) {
+    options_.telemetry->metrics().gauge("service.admission_depth").set(
+        static_cast<double>(pending_.size()));
+  }
+  if (!pending_.empty()) {
+    // Out of batch budget: wake the loop so the next tick runs promptly
+    // instead of waiting out the epoll timeout.
+    net::Server* server = server_.load(std::memory_order_acquire);
+    if (server != nullptr) server->wake();
+  }
+}
+
+void Service::dispatch_query(net::Server::ConnId conn,
+                             const net::Frame& frame) {
   switch (static_cast<MsgType>(frame.type)) {
     case MsgType::kPing:
       reply(conn, make_pong());
@@ -93,19 +224,8 @@ void Service::on_frame(net::Server::ConnId conn, net::Frame frame) {
     case MsgType::kStats:
       handle_stats(conn);
       return;
-    case MsgType::kSubmitCampaign:
-      handle_submit(conn, frame);
-      return;
-    case MsgType::kShutdown:
-      reply(conn, make_shutdown_ok());
-      shutdown_requested_.store(true, std::memory_order_relaxed);
-      return;
     default:
-      reply(conn, make_error("unexpected message type " +
-                             std::to_string(frame.type) + " (" +
-                             to_string(static_cast<MsgType>(frame.type)) +
-                             ")"));
-      return;
+      return;  // unreachable: admit() only queues the cases above
   }
 }
 
@@ -118,17 +238,20 @@ void Service::on_decode_error(net::Server::ConnId conn,
 
 void Service::on_tick() {
   if (tick_hook_) tick_hook_();
+  drain_admission();
   if (shutdown_requested_.load(std::memory_order_relaxed) && !draining_) {
     begin_drain();
   }
-  if (draining_ && jobs_->idle()) {
-    server_->request_stop_when_flushed();
+  if (draining_ && pending_.empty() && jobs_->idle()) {
+    net::Server* server = server_.load(std::memory_order_acquire);
+    if (server != nullptr) server->request_stop_when_flushed();
   }
 }
 
 void Service::begin_drain() {
   draining_ = true;
-  if (server_ != nullptr) server_->request_drain();
+  net::Server* server = server_.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_drain();
   // Fails queued jobs and stops the running one at its next checkpoint;
   // its CampaignDone (stopped=true) frame still reaches the client.
   jobs_->request_drain();
@@ -238,8 +361,24 @@ void Service::handle_list(net::Server::ConnId conn) {
   reply(conn, make_boundary_list_ok(ok));
 }
 
+void Service::publish_chaos_stats() {
+  if (!chaos::enabled() || !telemetry::active(options_.telemetry)) return;
+  const chaos::ChaosStats stats = chaos::stats();
+  auto& metrics = options_.telemetry->metrics();
+  metrics.gauge("chaos.short_reads").set(static_cast<double>(stats.short_reads));
+  metrics.gauge("chaos.short_writes")
+      .set(static_cast<double>(stats.short_writes));
+  metrics.gauge("chaos.eintr_faults")
+      .set(static_cast<double>(stats.eintr_faults));
+  metrics.gauge("chaos.write_errors")
+      .set(static_cast<double>(stats.write_errors));
+  metrics.gauge("chaos.fsync_errors")
+      .set(static_cast<double>(stats.fsync_errors));
+}
+
 void Service::handle_stats(net::Server::ConnId conn) {
   RequestTimer timer(options_.telemetry, "stats");
+  publish_chaos_stats();
   StatsOk ok;
   if (options_.telemetry != nullptr) {
     ok.metrics_json =
@@ -259,18 +398,21 @@ void Service::handle_submit(net::Server::ConnId conn, const net::Frame& frame) {
     reply(conn, make_error(error));
     return;
   }
-  static std::atomic<std::uint64_t> next_job{1};
-  CampaignJob job;
-  job.id = next_job.fetch_add(1, std::memory_order_relaxed);
-  job.client = conn;
-  job.req = *req;
+  std::uint64_t job_id = 0;
   std::uint32_t queue_depth = 0;
-  if (!jobs_->submit(job, &queue_depth, &error)) {
-    reply(conn, make_error(error));
-    return;
+  switch (jobs_->submit(conn, *req, &job_id, &queue_depth, &error)) {
+    case JobRunner::Submit::kAccepted:
+      break;
+    case JobRunner::Submit::kQueueFull:
+      // Retryable by definition: the queue drains as jobs finish.
+      busy(conn, error, "service.shed_queue_full");
+      return;
+    case JobRunner::Submit::kRejected:
+      reply(conn, make_error(error));
+      return;
   }
   CampaignAccepted accepted;
-  accepted.job = job.id;
+  accepted.job = job_id;
   accepted.queue_depth = queue_depth;
   reply(conn, make_campaign_accepted(accepted));
 }

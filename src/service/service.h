@@ -16,14 +16,24 @@
 // Shutdown: request_shutdown() (async-signal-safe flag + wake) or a
 // Shutdown frame starts the drain -- stop accepting connections, stop
 // accepting jobs, stop the running job at its next checkpoint -- and
-// on_tick() ends the event loop once the job runner is idle and every
-// write buffer has been flushed.
+// on_tick() ends the event loop once the admission queue is empty, the job
+// runner is idle, and every write buffer has been flushed.
+//
+// Overload protection: query-plane requests pass through a bounded
+// admission queue drained on the loop tick.  When the queue is full, a
+// connection exceeds its in-flight cap, or a request's deadline (frame
+// header deadline_ms) expires while it waits, the server answers with a
+// Busy frame carrying a retry-after hint instead of queueing unboundedly
+// or silently stalling.  SubmitCampaign gets the same treatment when the
+// job queue is full: Busy, because "try again" is the right answer.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "net/server.h"
 #include "service/jobs.h"
@@ -34,10 +44,18 @@
 namespace ftb::service {
 
 struct ServiceOptions {
-  /// Directory of boundary artifacts and campaign journals.
+  /// Directory of boundary artifacts, campaign journals, and the job ledger.
   std::string store_dir = ".";
   /// Campaign jobs that may wait in the queue.
   std::size_t max_queue = 8;
+  /// Query-plane requests that may wait for admission before Busy is shed.
+  std::size_t admission_queue_max = 1024;
+  /// Queued requests one connection may have before it is shed.
+  std::size_t per_conn_inflight_max = 64;
+  /// Queued requests answered per loop tick (bounds per-tick latency).
+  std::size_t admission_batch = 256;
+  /// Retry-after hint carried in Busy replies, in milliseconds.
+  std::uint64_t busy_retry_ms = 50;
   telemetry::Telemetry* telemetry = nullptr;
 };
 
@@ -51,7 +69,11 @@ class Service : public net::Server::Handler {
   std::size_t load_store(std::vector<std::string>* diagnostics = nullptr);
 
   /// The server must be attached before run(); the Service does not own it.
-  void attach(net::Server* server) { server_ = server; }
+  /// (Atomic because recovered jobs' callbacks can fire from the runner
+  /// thread before or while attach() runs.)
+  void attach(net::Server* server) {
+    server_.store(server, std::memory_order_release);
+  }
 
   BoundaryStore& store() { return store_; }
   JobRunner& jobs() { return *jobs_; }
@@ -66,13 +88,27 @@ class Service : public net::Server::Handler {
 
   // net::Server::Handler
   void on_frame(net::Server::ConnId conn, net::Frame frame) override;
+  void on_disconnect(net::Server::ConnId conn) override;
   void on_decode_error(net::Server::ConnId conn,
                        const std::string& error) override;
   void on_tick() override;
 
  private:
+  /// A query waiting for admission; arrival_ns anchors its deadline.
+  struct PendingQuery {
+    net::Server::ConnId conn = 0;
+    net::Frame frame;
+    std::uint64_t arrival_ns = 0;
+  };
+
   void reply(net::Server::ConnId conn, const net::Frame& frame);
+  void busy(net::Server::ConnId conn, const std::string& message,
+            const char* shed_counter);
   void begin_drain();
+  void admit(net::Server::ConnId conn, net::Frame frame);
+  void drain_admission();
+  void dispatch_query(net::Server::ConnId conn, const net::Frame& frame);
+  void publish_chaos_stats();
 
   void handle_predict_flip(net::Server::ConnId conn, const net::Frame& frame);
   void handle_predict_site(net::Server::ConnId conn, const net::Frame& frame);
@@ -84,10 +120,14 @@ class Service : public net::Server::Handler {
   ServiceOptions options_;
   BoundaryStore store_;
   std::unique_ptr<JobRunner> jobs_;
-  net::Server* server_ = nullptr;
+  std::atomic<net::Server*> server_{nullptr};
   std::atomic<bool> shutdown_requested_{false};
   bool draining_ = false;
   std::function<void()> tick_hook_;
+
+  // Admission state; touched only on the event-loop thread.
+  std::deque<PendingQuery> pending_;
+  std::unordered_map<net::Server::ConnId, std::size_t> inflight_;
 };
 
 }  // namespace ftb::service

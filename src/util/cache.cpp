@@ -7,6 +7,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/durable_file.h"
+
 namespace ftb::util {
 
 namespace {
@@ -169,15 +171,8 @@ void cache_store(const std::string& key,
   writer.put_string(key);
   writer.put_bytes(payload);
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return;
-    out.write(reinterpret_cast<const char*>(writer.buffer().data()),
-              static_cast<std::streamsize>(writer.buffer().size()));
-    if (!out) return;
-  }
-  std::filesystem::rename(tmp, path, ec);  // atomic on POSIX
+  // Best-effort durable publish; a failed write degrades to a cache miss.
+  write_file_durable(path, writer.buffer());
 }
 
 }  // namespace ftb::util

@@ -1,0 +1,259 @@
+// Job ledger tests: replay order, torn-tail and CRC handling, compaction,
+// next-id continuity, and the fsync-before-ack contract under injected
+// fsync failure.
+#include "service/ledger.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/chaos.h"
+#include "util/cache.h"
+
+namespace ftb::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ftb_ledger_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "jobs.ledger").string();
+  }
+
+  void TearDown() override {
+    chaos::disable();
+    fs::remove_all(dir_);
+  }
+
+  static SubmitCampaignReq request(std::uint64_t seed) {
+    SubmitCampaignReq req;
+    req.kernel = "daxpy";
+    req.preset = "tiny";
+    req.seed = seed;
+    req.batch = 123;
+    req.workers = 3;
+    req.flush_every = 17;
+    req.timeout_ms = 999;
+    req.quarantine_after = 5;
+    return req;
+  }
+
+  /// Appends raw bytes to the ledger file, bypassing the API (simulating
+  /// the torn tail a crash leaves behind).
+  void append_raw(const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// A well-formed state record for `job`, framed the way the ledger does.
+  std::vector<std::uint8_t> state_record(std::uint64_t job, JobState state,
+                                         const std::string& note) {
+    util::BinaryWriter payload;
+    payload.put_u64(job);
+    payload.put_u64(static_cast<std::uint64_t>(state));
+    payload.put_string(note);
+    std::vector<std::uint8_t> out;
+    const auto& body = payload.buffer();
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(body.size() >> (8 * i)));
+    }
+    const std::uint32_t crc = util::crc32(body.data(), body.size());
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(LedgerTest, MissingFileIsAnEmptyLedger) {
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_TRUE(replay.pending.empty());
+  EXPECT_EQ(replay.next_job_id, 1u);
+  EXPECT_EQ(replay.records, 0u);
+  EXPECT_EQ(replay.torn_records, 0u);
+}
+
+TEST_F(LedgerTest, ReplayPreservesSubmitOrderAndStates) {
+  {
+    JobLedger ledger;
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+    ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+    ASSERT_TRUE(ledger.append_submitted(2, request(2)));
+    ASSERT_TRUE(ledger.append_submitted(3, request(3)));
+    ASSERT_TRUE(ledger.append_state(1, JobState::kRunning, ""));
+    ASSERT_TRUE(ledger.append_state(2, JobState::kRunning, ""));
+    ASSERT_TRUE(ledger.append_state(2, JobState::kDone, "daxpy@tiny@2"));
+  }
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_EQ(replay.records, 6u);
+  EXPECT_EQ(replay.torn_records, 0u);
+  EXPECT_EQ(replay.next_job_id, 4u);
+  ASSERT_EQ(replay.pending.size(), 2u);
+  EXPECT_EQ(replay.pending[0].id, 1u);
+  EXPECT_EQ(replay.pending[0].state, JobState::kRunning);
+  EXPECT_EQ(replay.pending[1].id, 3u);
+  EXPECT_EQ(replay.pending[1].state, JobState::kSubmitted);
+  ASSERT_EQ(replay.terminal_jobs.size(), 1u);
+  EXPECT_EQ(replay.terminal_jobs[0].id, 2u);
+  EXPECT_EQ(replay.terminal_jobs[0].state, JobState::kDone);
+  EXPECT_EQ(replay.terminal_jobs[0].note, "daxpy@tiny@2");
+
+  // The request fields round-trip exactly (they re-enqueue the job).
+  const SubmitCampaignReq want = request(3);
+  const SubmitCampaignReq& got = replay.pending[1].req;
+  EXPECT_EQ(got.kernel, want.kernel);
+  EXPECT_EQ(got.preset, want.preset);
+  EXPECT_EQ(got.seed, want.seed);
+  EXPECT_EQ(got.batch, want.batch);
+  EXPECT_EQ(got.workers, want.workers);
+  EXPECT_EQ(got.flush_every, want.flush_every);
+  EXPECT_EQ(got.timeout_ms, want.timeout_ms);
+  EXPECT_EQ(got.quarantine_after, want.quarantine_after);
+}
+
+TEST_F(LedgerTest, TornTailIsDroppedNotTrusted) {
+  {
+    JobLedger ledger;
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+    ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+  }
+  // A crash mid-append: a record header that promises more bytes than
+  // exist.
+  append_raw({0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02});
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_EQ(replay.records, 1u);
+  EXPECT_EQ(replay.torn_records, 1u);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].id, 1u);
+  EXPECT_FALSE(replay.diagnostics.empty());
+}
+
+TEST_F(LedgerTest, CrcCorruptionDropsTheTail) {
+  {
+    JobLedger ledger;
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+    ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+    ASSERT_TRUE(ledger.append_submitted(2, request(2)));
+  }
+  // Flip one payload byte of the last record.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(-1, std::ios::end);
+  file.put(static_cast<char>(0xff));
+  file.close();
+
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_EQ(replay.torn_records, 1u);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].id, 1u);
+}
+
+TEST_F(LedgerTest, StateRecordForUnknownJobIsDiagnosedAndIgnored) {
+  {
+    JobLedger ledger;
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+    ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+  }
+  append_raw(state_record(99, JobState::kDone, "ghost"));
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_EQ(replay.torn_records, 0u);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_TRUE(replay.terminal_jobs.empty());
+  // next_job_id still advances past the ghost so ids never collide.
+  EXPECT_EQ(replay.next_job_id, 100u);
+  bool mentioned = false;
+  for (const auto& line : replay.diagnostics) {
+    mentioned = mentioned || line.find("unknown job 99") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(LedgerTest, OpenCompactsAwayTerminalHistoryAndTornTails) {
+  {
+    JobLedger ledger;
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+    ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+    ASSERT_TRUE(ledger.append_state(1, JobState::kDone, "daxpy@tiny@1"));
+    ASSERT_TRUE(ledger.append_submitted(2, request(2)));
+    ASSERT_TRUE(ledger.append_state(2, JobState::kRunning, ""));
+  }
+  append_raw({0x11, 0x22, 0x33});  // torn tail
+
+  JobLedger::ReplayResult replay;
+  JobLedger ledger;
+  ASSERT_TRUE(ledger.open(path_, &replay));
+  EXPECT_EQ(replay.terminal, 1u);
+  EXPECT_EQ(replay.torn_records, 1u);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].id, 2u);
+  ASSERT_TRUE(ledger.append_submitted(3, request(3)));
+  ledger.close();
+
+  // The compacted file replays clean: job 2 (still running) and job 3,
+  // nothing terminal, no torn bytes.
+  const auto after = JobLedger::replay_file(path_);
+  EXPECT_EQ(after.torn_records, 0u);
+  EXPECT_EQ(after.terminal, 0u);
+  ASSERT_EQ(after.pending.size(), 2u);
+  EXPECT_EQ(after.pending[0].id, 2u);
+  EXPECT_EQ(after.pending[0].state, JobState::kRunning);
+  EXPECT_EQ(after.pending[1].id, 3u);
+}
+
+TEST_F(LedgerTest, GarbageFileIsRejectedThenRecoveredByCompaction) {
+  append_raw({'n', 'o', 't', ' ', 'a', ' ', 'l', 'e', 'd', 'g', 'e', 'r',
+              '!', '!', '!', '!', '!'});
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_EQ(replay.torn_records, 1u);
+  EXPECT_TRUE(replay.pending.empty());
+
+  JobLedger ledger;
+  ASSERT_TRUE(ledger.open(path_, nullptr));
+  ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+  ledger.close();
+  const auto after = JobLedger::replay_file(path_);
+  EXPECT_EQ(after.torn_records, 0u);
+  ASSERT_EQ(after.pending.size(), 1u);
+}
+
+// The fsync-before-ack contract: when the fsync fails, the append reports
+// failure -- the caller must NOT ack the submission.
+TEST_F(LedgerTest, AppendFailsWhenFsyncFails) {
+  JobLedger ledger;
+  ASSERT_TRUE(ledger.open(path_, nullptr));
+  ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+
+  chaos::ChaosOptions options;
+  options.enabled = true;
+  options.seed = 5;
+  options.fsync_error = 1.0;
+  chaos::configure(options);
+  std::string error;
+  EXPECT_FALSE(ledger.append_submitted(2, request(2), &error));
+  EXPECT_FALSE(error.empty());
+  chaos::disable();
+  ledger.close();
+
+  // The doomed append rolled back: only job 1 replays.
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_EQ(replay.torn_records, 0u);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].id, 1u);
+}
+
+}  // namespace
+}  // namespace ftb::service

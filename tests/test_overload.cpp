@@ -1,0 +1,198 @@
+// Overload-protection tests: the admission queue and in-flight caps must
+// shed with Busy (never stall or drop), deadlines must expire waiting
+// requests, the retry-after hint must reach the client, and the
+// call_backoff helper must honour it.
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/service.h"
+#include "telemetry/events.h"
+
+namespace ftb::service {
+namespace {
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!net::net_supported()) GTEST_SKIP() << "no socket support";
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ftb_overload_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    stop();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void start(ServiceOptions options) {
+    options.store_dir = dir_.string();
+    options.telemetry = &telemetry_;
+    telemetry_.set_enabled(true);
+    service_ = std::make_unique<Service>(options);
+    net::ServerOptions server_options;
+    server_options.telemetry = &telemetry_;
+    server_ = std::make_unique<net::Server>(*service_, server_options);
+    service_->attach(server_.get());
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (server_ == nullptr) return;
+    service_->request_shutdown();
+    if (loop_.joinable()) loop_.join();
+    server_.reset();
+    service_.reset();
+  }
+
+  net::Client make_client(std::uint32_t deadline_ms = 0) {
+    net::ClientOptions options;
+    options.port = server_->port();
+    options.deadline_ms = deadline_ms;
+    return net::Client(options);
+  }
+
+  telemetry::Telemetry telemetry_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<net::Server> server_;
+  std::thread loop_;
+  std::filesystem::path dir_;
+};
+
+// Pipeline a burst far beyond the per-connection cap: every frame gets an
+// answer (Pong or Busy with the configured hint), nothing is dropped, and
+// the shed counters move.
+TEST_F(OverloadTest, BurstBeyondTheCapsShedsWithBusy) {
+  ServiceOptions options;
+  options.per_conn_inflight_max = 2;
+  options.admission_queue_max = 4;
+  options.busy_retry_ms = 7;
+  start(options);
+
+  net::Client client = make_client();
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  constexpr int kBurst = 32;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.send(make_ping(), &error)) << error;
+  }
+  int pongs = 0, busies = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto reply = client.recv(&error, 30000);
+    ASSERT_TRUE(reply.has_value()) << error << " (reply " << i << ")";
+    if (reply->type == static_cast<std::uint32_t>(MsgType::kPong)) {
+      ++pongs;
+    } else {
+      const auto busy = parse_busy(*reply, &error);
+      ASSERT_TRUE(busy.has_value())
+          << "unexpected reply type " << reply->type << ": " << error;
+      EXPECT_EQ(busy->retry_after_ms, 7u);
+      ++busies;
+    }
+  }
+  EXPECT_EQ(pongs + busies, kBurst);
+  EXPECT_GT(pongs, 0);
+  // A burst this size against a cap of 2 cannot fit in one admission
+  // window unless the loop drained between sends; either way every reply
+  // arrived.  When sheds happened, the telemetry must say so.
+  const auto stats_reply = client.call(make_stats(), &error);
+  ASSERT_TRUE(stats_reply.has_value()) << error;
+  const auto stats = parse_stats_ok(*stats_reply, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  if (busies > 0) {
+    EXPECT_NE(stats->metrics_json.find("service.busy_sent"),
+              std::string::npos);
+  }
+  EXPECT_NE(stats->metrics_json.find("service.admission_depth"),
+            std::string::npos);
+}
+
+// A saturated job queue answers SubmitCampaign with Busy (not Error), so
+// clients know to retry rather than give up.
+TEST_F(OverloadTest, SaturatedJobQueueAnswersBusyWithHint) {
+  ServiceOptions options;
+  options.max_queue = 0;  // every submission is one too many
+  options.busy_retry_ms = 13;
+  start(options);
+
+  net::Client client = make_client();
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  ASSERT_TRUE(client.send(make_submit_campaign(req), &error)) << error;
+  const auto reply = client.recv(&error, 30000);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto busy = parse_busy(*reply, &error);
+  ASSERT_TRUE(busy.has_value()) << "want Busy, got type " << reply->type;
+  EXPECT_NE(busy->message.find("queue is full"), std::string::npos);
+  EXPECT_EQ(busy->retry_after_ms, 13u);
+}
+
+// call_backoff retries on Busy and hands back the final verdict when the
+// retries run out -- the reply itself, never a transport error.
+TEST_F(OverloadTest, CallBackoffReturnsTheFinalBusyWhenRetriesExhaust) {
+  ServiceOptions options;
+  options.max_queue = 0;
+  options.busy_retry_ms = 1;
+  start(options);
+
+  net::Client client = make_client();
+  util::RetryOptions retry;
+  retry.max_retries = 2;
+  retry.initial_backoff_ms = 1;
+  retry.max_total_sleep_ms = 50;
+  std::string error;
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  const auto reply = client.call_backoff(
+      make_submit_campaign(req),
+      [](const net::Frame& frame) -> std::optional<std::uint64_t> {
+        if (const auto busy = parse_busy(frame)) return busy->retry_after_ms;
+        return std::nullopt;
+      },
+      retry, &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_TRUE(parse_busy(*reply).has_value());
+}
+
+// Deadline shedding: when the loop tick is slow, a request with a 1 ms
+// deadline expires in the queue and gets Busy, while an undeadlined
+// request on the same server still gets its answer.
+TEST_F(OverloadTest, ExpiredDeadlinesAreShedWhileUndeadlinedWork) {
+  ServiceOptions options;
+  start(options);
+  // Every tick stalls long enough that any queued request has waited past
+  // a 1 ms deadline by the time it is considered for dispatch.
+  service_->set_tick_hook(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+
+  net::Client deadlined = make_client(/*deadline_ms=*/1);
+  std::string error;
+  const auto shed = deadlined.call(make_ping(), &error);
+  ASSERT_TRUE(shed.has_value()) << error;
+  const auto busy = parse_busy(*shed, &error);
+  ASSERT_TRUE(busy.has_value()) << "want Busy, got type " << shed->type;
+  EXPECT_NE(busy->message.find("deadline"), std::string::npos);
+
+  net::Client patient = make_client(/*deadline_ms=*/0);
+  const auto pong = patient.call(make_ping(), &error);
+  ASSERT_TRUE(pong.has_value()) << error;
+  EXPECT_EQ(pong->type, static_cast<std::uint32_t>(MsgType::kPong));
+}
+
+}  // namespace
+}  // namespace ftb::service

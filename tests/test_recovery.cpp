@@ -1,0 +1,159 @@
+// Crash-recovery tests for the job plane: a drained (or killed) service
+// incarnation leaves acked-but-unfinished jobs in the ledger; the next
+// incarnation must replay them, resume their journals, finish the work,
+// and publish the boundary -- without the client resubmitting anything.
+// Also pins the refuse-to-ack contract when the ledger itself is broken.
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/ledger.h"
+#include "service/service.h"
+#include "telemetry/events.h"
+
+namespace ftb::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!net::net_supported()) GTEST_SKIP() << "no socket support";
+    dir_ = fs::temp_directory_path() /
+           ("ftb_recovery_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    stop();
+    fs::remove_all(dir_);
+  }
+
+  void start() {
+    ServiceOptions options;
+    options.store_dir = dir_.string();
+    options.telemetry = &telemetry_;
+    telemetry_.set_enabled(true);
+    service_ = std::make_unique<Service>(options);
+    net::ServerOptions server_options;
+    server_options.telemetry = &telemetry_;
+    server_ = std::make_unique<net::Server>(*service_, server_options);
+    service_->attach(server_.get());
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (server_ == nullptr) return;
+    service_->request_shutdown();
+    if (loop_.joinable()) loop_.join();
+    server_.reset();
+    service_.reset();
+  }
+
+  telemetry::Telemetry telemetry_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<net::Server> server_;
+  std::thread loop_;
+  fs::path dir_;
+};
+
+TEST_F(RecoveryTest, InterruptedJobResumesInTheNextIncarnationAndPublishes) {
+  // Incarnation one: submit, then drain at the first checkpoint so the job
+  // is acked, journalled, and NOT finished.
+  start();
+  {
+    net::ClientOptions copts;
+    copts.port = server_->port();
+    net::Client client(copts);
+    SubmitCampaignReq req;
+    req.kernel = "daxpy";
+    req.preset = "tiny";
+    req.seed = 1;
+    req.batch = 2000;
+    req.workers = 1;
+    req.flush_every = 50;
+    std::string error;
+    ASSERT_TRUE(client.connect(&error)) << error;
+    ASSERT_TRUE(client.send(make_submit_campaign(req), &error)) << error;
+    const auto accepted_frame = client.recv(&error, 60000);
+    ASSERT_TRUE(accepted_frame.has_value()) << error;
+    ASSERT_TRUE(parse_campaign_accepted(*accepted_frame).has_value());
+    // First progress frame == first durable checkpoint; drain now.
+    const auto progress_frame = client.recv(&error, 120000);
+    ASSERT_TRUE(progress_frame.has_value()) << error;
+    service_->request_shutdown();
+  }
+  stop();
+
+  // The ledger knows about the interrupted job; the journal is on disk.
+  const std::string ledger_path = (dir_ / "jobs.ledger").string();
+  const auto between = JobLedger::replay_file(ledger_path);
+  if (between.pending.empty()) {
+    GTEST_SKIP() << "job finished before the drain hit a chunk edge";
+  }
+  ASSERT_EQ(between.pending.size(), 1u);
+  EXPECT_EQ(between.pending[0].req.kernel, "daxpy");
+  ASSERT_TRUE(fs::exists(dir_ / "daxpy@tiny@1.clog"));
+  ASSERT_FALSE(fs::exists(dir_ / "daxpy@tiny@1.boundary"));
+
+  // Incarnation two: the constructor replays the ledger and re-enqueues;
+  // the job resumes from the journal and publishes without any client.
+  start();
+  EXPECT_EQ(service_->jobs().replay().pending.size(), 1u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (service_->store().find("daxpy@tiny@1") == nullptr) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "recovered job did not publish in time";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(fs::exists(dir_ / "daxpy@tiny@1.boundary"));
+  stop();
+
+  // After the graceful stop, nothing is pending any more.
+  const auto after = JobLedger::replay_file(ledger_path);
+  EXPECT_TRUE(after.pending.empty());
+}
+
+// "fsync-before-ack" has a contrapositive: when the ledger cannot be
+// written at all, the server must refuse the submission rather than ack
+// work it would forget in a crash.
+TEST_F(RecoveryTest, UnwritableLedgerRefusesSubmissionsButServesQueries) {
+  // A directory squatting on the ledger path makes open() fail.
+  fs::create_directories(dir_ / "jobs.ledger");
+  start();
+  EXPECT_FALSE(service_->jobs().ledger_ok());
+
+  net::ClientOptions copts;
+  copts.port = server_->port();
+  net::Client client(copts);
+  std::string error;
+
+  // The query plane is unaffected.
+  const auto pong = client.call(make_ping(), &error);
+  ASSERT_TRUE(pong.has_value()) << error;
+  EXPECT_EQ(pong->type, static_cast<std::uint32_t>(MsgType::kPong));
+
+  // Submissions are refused with a hard Error (not Busy: retrying will not
+  // help until an operator fixes the store).
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  const auto reply = client.call(make_submit_campaign(req), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto err = parse_error(*reply, &error);
+  ASSERT_TRUE(err.has_value()) << "want Error, got type " << reply->type;
+  EXPECT_NE(err->message.find("ledger"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftb::service

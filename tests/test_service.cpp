@@ -288,7 +288,7 @@ TEST_F(ServiceTest, SubmitUnknownKernelFailsTheJobNotTheConnection) {
   EXPECT_EQ(reply->type, static_cast<std::uint32_t>(MsgType::kPong));
 }
 
-TEST_F(ServiceTest, FullQueueRejectsSubmission) {
+TEST_F(ServiceTest, FullQueueAnswersSubmissionWithBusy) {
   start(30000, /*max_queue=*/0);
   net::Client client = make_client();
   std::string error;
@@ -299,10 +299,13 @@ TEST_F(ServiceTest, FullQueueRejectsSubmission) {
   ASSERT_TRUE(client.send(make_submit_campaign(req), &error)) << error;
   const auto reply = client.recv(&error, 30000);
   ASSERT_TRUE(reply.has_value()) << error;
-  const auto rejected = parse_error(*reply);
-  ASSERT_TRUE(rejected.has_value());
+  // A full queue is a load condition, not a protocol error: the reply is
+  // Busy (retryable, with a retry-after hint), not Error.
+  const auto rejected = parse_busy(*reply, &error);
+  ASSERT_TRUE(rejected.has_value()) << error;
   EXPECT_NE(rejected->message.find("queue is full"), std::string::npos)
       << rejected->message;
+  EXPECT_GT(rejected->retry_after_ms, 0u);
 }
 
 // A peer that sends half a frame header and stalls must be disconnected by

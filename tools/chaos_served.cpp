@@ -1,0 +1,466 @@
+// chaos_served: crash-recovery harness for ftb_served.
+//
+// Repeatedly spawns the real daemon binary, submits campaign jobs, waits a
+// random (seeded) delay, and SIGKILLs the process -- most rounds with the
+// FTB_CHAOS syscall-fault layer armed so short reads/writes and EINTR hit
+// the network and journal paths while the axe falls.  After every kill it
+// audits the store directory:
+//
+//   * no acked job is lost: every CampaignAccepted job id, plus every job
+//     that was pending before the incarnation started, appears in the job
+//     ledger's replay (pending or terminal);
+//   * no torn artifact is loadable as valid: every *.boundary and *.clog
+//     present parses cleanly (the atomic tmp+rename discipline means a file
+//     either exists whole or not at all);
+//   * the ledger replay itself never fails catastrophically (a torn tail is
+//     reported and dropped, never trusted).
+//
+// A final clean incarnation then proves recovery end-to-end: all interrupted
+// jobs resume from their journals and finish, every acked key is published
+// and queryable, a graceful drain leaves the ledger empty of pending work,
+// and the seed-1 journal is byte-identical to an uninterrupted reference
+// campaign -- the same convergence contract `ftb_analyze campaign --resume`
+// makes.
+//
+// Exit 0 when every invariant held across all kills; exit 1 with a FAIL
+// line otherwise.  Used by the service_chaos_smoke ctest (few kills) and
+// the CI chaos job (50 kills, the acceptance bar).
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "boundary/serialize.h"
+#include "campaign/checkpoint.h"
+#include "campaign/log.h"
+#include "campaign/sampler.h"
+#include "kernels/registry.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "service/ledger.h"
+#include "service/protocol.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ftb;
+
+struct Daemon {
+  pid_t pid = -1;
+  int stdout_fd = -1;
+  std::uint16_t port = 0;
+};
+
+[[noreturn]] void fail(const Daemon* daemon, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "FAIL: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+  if (daemon != nullptr && daemon->pid > 0) {
+    ::kill(daemon->pid, SIGKILL);
+    ::waitpid(daemon->pid, nullptr, 0);
+  }
+  std::exit(1);
+}
+
+/// Forks and execs the daemon, scraping the ephemeral port off its stdout.
+/// `chaos_spec` non-empty arms FTB_CHAOS in the child's environment.
+std::optional<Daemon> spawn_daemon(const std::string& served,
+                                   const std::string& store_dir,
+                                   const std::string& chaos_spec) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return std::nullopt;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    if (chaos_spec.empty()) {
+      ::unsetenv("FTB_CHAOS");
+    } else {
+      ::setenv("FTB_CHAOS", chaos_spec.c_str(), 1);
+    }
+    ::execl(served.c_str(), served.c_str(), "--port", "0", "--store-dir",
+            store_dir.c_str(), "--queue", "64", static_cast<char*>(nullptr));
+    std::fprintf(stderr, "exec %s failed: %s\n", served.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+
+  // Scrape "listening on 127.0.0.1:<port>" with a startup deadline.
+  Daemon daemon;
+  daemon.pid = pid;
+  daemon.stdout_fd = pipe_fds[0];
+  std::string buffer;
+  const char* needle = "listening on 127.0.0.1:";
+  for (int waited_ms = 0; waited_ms < 30000;) {
+    struct pollfd pfd{daemon.stdout_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    waited_ms += 100;
+    if (ready <= 0) continue;
+    char chunk[256];
+    const ssize_t got = ::read(daemon.stdout_fd, chunk, sizeof(chunk));
+    if (got <= 0) break;  // EOF: the child died before listening
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    const auto pos = buffer.find(needle);
+    if (pos != std::string::npos &&
+        buffer.find('\n', pos) != std::string::npos) {
+      daemon.port = static_cast<std::uint16_t>(
+          std::strtoul(buffer.c_str() + pos + std::strlen(needle), nullptr,
+                       10));
+      return daemon;
+    }
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  ::close(daemon.stdout_fd);
+  return std::nullopt;
+}
+
+void kill_hard(Daemon& daemon) {
+  ::kill(daemon.pid, SIGKILL);
+  ::waitpid(daemon.pid, nullptr, 0);
+  ::close(daemon.stdout_fd);
+  daemon.pid = -1;
+}
+
+/// SIGTERM + bounded wait; true when the daemon drained and exited 0.
+bool stop_graceful(Daemon& daemon) {
+  ::kill(daemon.pid, SIGTERM);
+  int status = 0;
+  for (int waited_ms = 0; waited_ms < 120000; waited_ms += 50) {
+    const pid_t done = ::waitpid(daemon.pid, &status, WNOHANG);
+    if (done == daemon.pid) {
+      ::close(daemon.stdout_fd);
+      daemon.pid = -1;
+      return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+    ::usleep(50 * 1000);
+  }
+  kill_hard(daemon);
+  return false;
+}
+
+/// Crude counter extraction from the ftb.telemetry.metrics/1 JSON.
+std::optional<std::uint64_t> json_counter(const std::string& json,
+                                          const std::string& name) {
+  const std::string needle = "\"" + name + "\": ";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+/// Validates that every artifact the store holds parses cleanly.  A crash
+/// can leave *.tmp staging files behind (harmless, ignored); it must never
+/// leave a torn *.boundary or *.clog, because those are published by
+/// atomic rename only.
+void audit_store_files(const std::string& store_dir, const Daemon* daemon) {
+  for (const auto& entry : fs::directory_iterator(store_dir)) {
+    const std::string path = entry.path().string();
+    const std::string ext = entry.path().extension().string();
+    std::string error;
+    if (ext == ".boundary") {
+      if (!boundary::load_artifact_from_file(path, {}, &error).has_value()) {
+        fail(daemon, "torn boundary artifact survived a kill: %s (%s)",
+             path.c_str(), error.c_str());
+      }
+    } else if (ext == ".clog") {
+      if (!campaign::CampaignLog::load(path, &error).has_value()) {
+        fail(daemon, "torn campaign journal survived a kill: %s (%s)",
+             path.c_str(), error.c_str());
+      }
+    }
+  }
+}
+
+std::string key_for_seed(std::uint64_t seed) {
+  return "daxpy@tiny@" + std::to_string(seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("served", "path to the ftb_served binary (default ./ftb_served)");
+  cli.describe("kills", "SIGKILL rounds to run (default 50)");
+  cli.describe("seed", "harness RNG seed (default 1)");
+  cli.describe("store-dir",
+               "store directory, wiped at start (default chaos_store)");
+  cli.describe("keys", "distinct campaign seeds to cycle through (default 6)");
+  cli.describe("batch", "experiments per campaign job (default 400)");
+  cli.describe("max-delay-ms",
+               "max random delay between submit and SIGKILL (default 400)");
+  if (cli.get_bool("help")) {
+    cli.print_help("chaos_served: kill/recover harness for ftb_served");
+    return 0;
+  }
+  if (!net::net_supported()) {
+    std::fprintf(stderr, "skipped: this platform has no socket support\n");
+    return 0;
+  }
+
+  const std::string served = cli.get("served", "./ftb_served");
+  const int kills = static_cast<int>(cli.get_int("kills", 50));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string store_dir = cli.get("store-dir", "chaos_store");
+  const std::uint64_t keys = static_cast<std::uint64_t>(cli.get_int("keys", 6));
+  const std::uint64_t batch =
+      static_cast<std::uint64_t>(cli.get_int("batch", 400));
+  const std::uint64_t max_delay_ms =
+      static_cast<std::uint64_t>(cli.get_int("max-delay-ms", 400));
+
+  std::signal(SIGPIPE, SIG_IGN);
+  fs::remove_all(store_dir);
+  fs::create_directories(store_dir);
+  const std::string ledger_path = store_dir + "/jobs.ledger";
+
+  std::mt19937_64 rng(seed);
+  std::set<std::string> acked_keys;        // every key the server said yes to
+  std::set<std::uint64_t> prev_pending;    // ledger backlog entering the round
+  std::uint64_t submit_counter = 0;
+  std::uint64_t total_acked = 0, total_busy = 0, total_lost_submits = 0;
+
+  for (int round = 0; round < kills; ++round) {
+    // Three in four rounds run with network faults injected; the rest are
+    // clean so recovery also gets exercised without interference.
+    std::string chaos_spec;
+    if (round % 4 != 3) {
+      chaos_spec = "seed=" + std::to_string(seed + round) +
+                   ",short_io=0.25,eintr=0.15";
+    }
+    auto spawned = spawn_daemon(served, store_dir, chaos_spec);
+    if (!spawned.has_value()) {
+      fail(nullptr, "round %d: daemon failed to start listening", round);
+    }
+    Daemon daemon = *spawned;
+
+    // Submit one or two jobs, recording only what the server actually acked.
+    std::set<std::uint64_t> acked_this_round;
+    const int submissions = 1 + static_cast<int>(rng() % 2);
+    {
+      net::ClientOptions copts;
+      copts.port = daemon.port;
+      copts.recv_timeout_ms = 15000;
+      net::Client client(copts);
+      for (int j = 0; j < submissions; ++j) {
+        service::SubmitCampaignReq req;
+        req.kernel = "daxpy";
+        req.preset = "tiny";
+        req.seed = 1 + (submit_counter % keys);
+        req.batch = batch;
+        req.workers = 1;
+        req.flush_every = 16;
+        ++submit_counter;
+        std::string error;
+        if (!client.connect(&error) ||
+            !client.send(service::make_submit_campaign(req), &error)) {
+          ++total_lost_submits;
+          break;
+        }
+        // The campaign stream interleaves progress frames from earlier jobs
+        // on this connection; skip them until this submit's verdict.
+        bool answered = false;
+        for (int hops = 0; hops < 64 && !answered; ++hops) {
+          const auto reply = client.recv(&error, 15000);
+          if (!reply.has_value()) {
+            ++total_lost_submits;
+            break;
+          }
+          switch (static_cast<service::MsgType>(reply->type)) {
+            case service::MsgType::kCampaignAccepted: {
+              const auto accepted = service::parse_campaign_accepted(*reply);
+              if (!accepted.has_value()) {
+                fail(&daemon, "round %d: malformed CampaignAccepted", round);
+              }
+              acked_this_round.insert(accepted->job);
+              acked_keys.insert(key_for_seed(req.seed));
+              ++total_acked;
+              answered = true;
+              break;
+            }
+            case service::MsgType::kBusy:
+              ++total_busy;
+              answered = true;
+              break;
+            case service::MsgType::kError: {
+              const auto err = service::parse_error(*reply);
+              fail(&daemon, "round %d: submission rejected: %s", round,
+                   err.has_value() ? err->message.c_str() : "unparseable");
+            }
+            case service::MsgType::kCampaignProgress:
+            case service::MsgType::kCampaignDone:
+              break;  // stream traffic from a previous job; keep reading
+            default:
+              fail(&daemon, "round %d: unexpected reply type %u", round,
+                   reply->type);
+          }
+        }
+        if (!answered) break;
+      }
+    }
+
+    if (max_delay_ms > 0) {
+      ::usleep(static_cast<useconds_t>((rng() % max_delay_ms) * 1000));
+    }
+    kill_hard(daemon);
+
+    // Post-mortem: nothing acked may be lost, nothing torn may parse.
+    audit_store_files(store_dir, nullptr);
+    const auto replay = service::JobLedger::replay_file(ledger_path);
+    std::set<std::uint64_t> present;
+    for (const auto& job : replay.pending) present.insert(job.id);
+    for (const auto& job : replay.terminal_jobs) present.insert(job.id);
+    for (const std::uint64_t id : acked_this_round) {
+      if (present.count(id) == 0) {
+        fail(nullptr, "round %d: acked job %llu missing from the ledger",
+             round, static_cast<unsigned long long>(id));
+      }
+    }
+    for (const std::uint64_t id : prev_pending) {
+      if (present.count(id) == 0) {
+        fail(nullptr,
+             "round %d: previously pending job %llu vanished from the ledger",
+             round, static_cast<unsigned long long>(id));
+      }
+    }
+    prev_pending.clear();
+    for (const auto& job : replay.pending) prev_pending.insert(job.id);
+    std::fprintf(stderr,
+                 "round %d/%d: %s, %zu acked, %zu pending after kill\n",
+                 round + 1, kills, chaos_spec.empty() ? "clean" : "chaotic",
+                 acked_this_round.size(), prev_pending.size());
+  }
+
+  // Final clean incarnation: every interrupted job resumes and finishes,
+  // every acked key becomes queryable, and a graceful drain empties the
+  // backlog.
+  const std::size_t backlog = prev_pending.size();
+  auto spawned = spawn_daemon(served, store_dir, /*chaos_spec=*/{});
+  if (!spawned.has_value()) {
+    fail(nullptr, "recovery daemon failed to start listening");
+  }
+  Daemon daemon = *spawned;
+  {
+    net::ClientOptions copts;
+    copts.port = daemon.port;
+    copts.recv_timeout_ms = 15000;
+    net::Client client(copts);
+    std::string error;
+    bool recovered = false;
+    for (int waited_ms = 0; waited_ms < 300000; waited_ms += 250) {
+      const auto stats = client.call(service::make_stats(), &error);
+      if (stats.has_value()) {
+        if (const auto ok = service::parse_stats_ok(*stats)) {
+          const std::uint64_t completed =
+              json_counter(ok->metrics_json, "jobs.completed").value_or(0);
+          const std::uint64_t failed =
+              json_counter(ok->metrics_json, "jobs.failed").value_or(0);
+          if (failed > 0) {
+            fail(&daemon, "recovery: %llu resumed jobs failed",
+                 static_cast<unsigned long long>(failed));
+          }
+          if (completed >= backlog) {
+            recovered = true;
+            break;
+          }
+        }
+      }
+      ::usleep(250 * 1000);
+    }
+    if (!recovered) {
+      fail(&daemon, "recovery: %zu interrupted jobs did not finish in time",
+           backlog);
+    }
+    const auto listing = client.call(service::make_list_boundaries(), &error);
+    if (!listing.has_value()) {
+      fail(&daemon, "recovery: list failed: %s", error.c_str());
+    }
+    const auto entries = service::parse_boundary_list_ok(*listing);
+    if (!entries.has_value()) {
+      fail(&daemon, "recovery: malformed boundary list");
+    }
+    std::set<std::string> published;
+    for (const auto& info : entries->entries) published.insert(info.key);
+    for (const std::string& key : acked_keys) {
+      if (published.count(key) == 0) {
+        fail(&daemon, "recovery: acked key %s was never published",
+             key.c_str());
+      }
+    }
+  }
+  if (!stop_graceful(daemon)) {
+    fail(nullptr, "recovery daemon did not drain cleanly on SIGTERM");
+  }
+  const auto final_replay = service::JobLedger::replay_file(ledger_path);
+  if (!final_replay.pending.empty()) {
+    fail(nullptr, "after the final drain, %zu jobs are still pending",
+         final_replay.pending.size());
+  }
+  for (const auto& job : final_replay.terminal_jobs) {
+    if (job.state != service::JobState::kDone) {
+      fail(nullptr, "job %llu ended %s (%s)",
+           static_cast<unsigned long long>(job.id),
+           service::to_string(job.state), job.note.c_str());
+    }
+  }
+
+  // Byte-identity: the seed-1 journal, finished across however many
+  // kill/resume cycles it lived through, must equal an uninterrupted
+  // reference campaign -- the same check the drain test makes in-process.
+  const std::string journal = store_dir + "/" + key_for_seed(1) + ".clog";
+  if (fs::exists(journal)) {
+    const fi::ProgramPtr program =
+        kernels::make_program("daxpy", kernels::Preset::kTiny);
+    const fi::GoldenRun golden = fi::run_golden(*program);
+    util::Rng sample_rng(1);
+    const auto ids =
+        campaign::sample_uniform(sample_rng, golden.sample_space_size(), batch);
+    campaign::CheckpointOptions resume;
+    resume.path = journal;
+    resume.flush_every = 16;
+    const auto resumed =
+        campaign::run_campaign_checkpointed(*program, golden, ids, resume);
+    campaign::CheckpointOptions fresh;
+    fresh.path = store_dir + "/chaos_reference.clog";
+    fresh.flush_every = 16;
+    const auto reference =
+        campaign::run_campaign_checkpointed(*program, golden, ids, fresh);
+    if (resumed.log.serialize() != reference.log.serialize()) {
+      fail(nullptr, "resumed journal %s diverged from the reference bytes",
+           journal.c_str());
+    }
+    fs::remove(fresh.path);
+  }
+
+  std::printf(
+      "chaos_served: %d kills survived; %llu acked (%llu busy, %llu lost "
+      "submits), %zu keys published, backlog drained, journal byte-identical\n",
+      kills, static_cast<unsigned long long>(total_acked),
+      static_cast<unsigned long long>(total_busy),
+      static_cast<unsigned long long>(total_lost_submits), acked_keys.size());
+  return 0;
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# CLI error-path smoke for ftb_client against a live ftb_served:
+#   * a query for an unknown boundary key must exit non-zero (1) and print
+#     the server's error detail on stderr;
+#   * a submission to a daemon with a zero-length job queue must surface the
+#     Busy frame as exit code 3 once the retries are exhausted;
+#   * a healthy ping must still exit 0.
+# Usage: client_error_smoke.sh <ftb_served> <ftb_client>
+set -u
+
+SERVED="$1"
+CLIENT="$2"
+STORE="client_error_smoke_store"
+rm -rf "$STORE"
+mkdir -p "$STORE"
+
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -TERM "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# --queue 0 so every submission is answered with Busy (queue full).
+"$SERVED" --port 0 --store-dir "$STORE" --queue 0 > served_stdout.txt 2> served_stderr.txt &
+DAEMON_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' served_stdout.txt 2>/dev/null)
+  [ -n "$PORT" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup: $(cat served_stderr.txt)"
+  sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "could not scrape the daemon port"
+
+# Healthy ping: exit 0.
+"$CLIENT" ping --port "$PORT" || fail "ping against a healthy daemon exited $?"
+
+# Unknown key: server Error frame -> exit 1 with the detail on stderr.
+DETAIL=$("$CLIENT" predict --port "$PORT" --key no-such-kernel@tiny@1 --site 0 --bit 0 2>&1 >/dev/null)
+RC=$?
+[ "$RC" -eq 1 ] || fail "unknown-key predict exited $RC (want 1)"
+echo "$DETAIL" | grep -qi "no-such-kernel" || fail "error detail missing the key: $DETAIL"
+
+# Zero-length queue: Busy survives the retries -> exit 3.
+BUSY=$("$CLIENT" submit --port "$PORT" --kernel daxpy --preset tiny --batch 50 --busy-retries 1 2>&1 >/dev/null)
+RC=$?
+[ "$RC" -eq 3 ] || fail "submit against a full queue exited $RC (want 3): $BUSY"
+echo "$BUSY" | grep -qi "busy" || fail "busy detail missing: $BUSY"
+
+echo "client_error_smoke: ping=0, unknown key=1 with detail, busy submit=3"
+exit 0

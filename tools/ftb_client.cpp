@@ -16,29 +16,60 @@
 // submit streams CampaignProgress lines until CampaignDone unless
 // --no-wait, in which case it returns after CampaignAccepted (the job
 // still runs; its boundary is published server-side).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "fi/outcome.h"
 #include "net/client.h"
 #include "service/protocol.h"
 #include "util/cli.h"
+#include "util/retry.h"
 
 namespace {
 
 using namespace ftb;
+
+/// Backoff policy for Busy replies; --busy-retries sets max_retries.
+util::RetryOptions g_busy_retry;
 
 int fail(const std::string& what) {
   std::fprintf(stderr, "error: %s\n", what.c_str());
   return 1;
 }
 
-/// Prints a server Error frame (or a decode diagnostic) and returns 1.
+/// Prints the server's reply when it is not the expected success type.
+/// Busy (load shed; retries already exhausted) exits 3 so scripts can tell
+/// "try later" from a real error's exit 1.
 int fail_reply(const net::Frame& frame) {
+  if (const auto busy = service::parse_busy(frame)) {
+    std::fprintf(stderr, "server busy: %s (retry after %llu ms)\n",
+                 busy->message.c_str(),
+                 static_cast<unsigned long long>(busy->retry_after_ms));
+    return 3;
+  }
   if (const auto error = service::parse_error(frame)) {
     return fail(error->message);
   }
   return fail("unexpected reply type " + std::to_string(frame.type));
+}
+
+/// call() with jittered backoff on Busy replies, honouring the server's
+/// retry-after hint.  Returns the final reply (possibly still Busy).
+std::optional<net::Frame> call_retry(net::Client& client,
+                                     const net::Frame& request,
+                                     std::string* error) {
+  return client.call_backoff(
+      request,
+      [](const net::Frame& reply) -> std::optional<std::uint64_t> {
+        if (const auto busy = service::parse_busy(reply)) {
+          return busy->retry_after_ms;
+        }
+        return std::nullopt;
+      },
+      g_busy_retry, error);
 }
 
 const char* outcome_name(std::uint32_t outcome) {
@@ -53,7 +84,7 @@ const char* outcome_name(std::uint32_t outcome) {
 
 int cmd_ping(net::Client& client) {
   std::string error;
-  const auto reply = client.call(service::make_ping(), &error);
+  const auto reply = call_retry(client, service::make_ping(), &error);
   if (!reply.has_value()) return fail(error);
   if (reply->type != static_cast<std::uint32_t>(service::MsgType::kPong)) {
     return fail_reply(*reply);
@@ -64,7 +95,7 @@ int cmd_ping(net::Client& client) {
 
 int cmd_list(net::Client& client) {
   std::string error;
-  const auto reply = client.call(service::make_list_boundaries(), &error);
+  const auto reply = call_retry(client, service::make_list_boundaries(), &error);
   if (!reply.has_value()) return fail(error);
   const auto list = service::parse_boundary_list_ok(*reply, &error);
   if (!list.has_value()) return fail_reply(*reply);
@@ -85,7 +116,7 @@ int cmd_predict(net::Client& client, const util::Cli& cli) {
   req.bit = static_cast<std::uint32_t>(cli.get_int("bit", 0));
   if (req.key.empty()) return fail("--key is required");
   std::string error;
-  const auto reply = client.call(service::make_predict_flip(req), &error);
+  const auto reply = call_retry(client, service::make_predict_flip(req), &error);
   if (!reply.has_value()) return fail(error);
   const auto ok = service::parse_predict_flip_ok(*reply, &error);
   if (!ok.has_value()) return fail_reply(*reply);
@@ -101,7 +132,7 @@ int cmd_site(net::Client& client, const util::Cli& cli) {
   req.site = static_cast<std::uint64_t>(cli.get_int("site", 0));
   if (req.key.empty()) return fail("--key is required");
   std::string error;
-  const auto reply = client.call(service::make_predict_site(req), &error);
+  const auto reply = call_retry(client, service::make_predict_site(req), &error);
   if (!reply.has_value()) return fail(error);
   const auto ok = service::parse_predict_site_ok(*reply, &error);
   if (!ok.has_value()) return fail_reply(*reply);
@@ -117,7 +148,7 @@ int cmd_report(net::Client& client, const util::Cli& cli) {
   req.key = cli.get("key");
   if (req.key.empty()) return fail("--key is required");
   std::string error;
-  const auto reply = client.call(service::make_phase_report(req), &error);
+  const auto reply = call_retry(client, service::make_phase_report(req), &error);
   if (!reply.has_value()) return fail(error);
   const auto ok = service::parse_phase_report_ok(*reply, &error);
   if (!ok.has_value()) return fail_reply(*reply);
@@ -135,7 +166,7 @@ int cmd_report(net::Client& client, const util::Cli& cli) {
 
 int cmd_stats(net::Client& client) {
   std::string error;
-  const auto reply = client.call(service::make_stats(), &error);
+  const auto reply = call_retry(client, service::make_stats(), &error);
   if (!reply.has_value()) return fail(error);
   const auto ok = service::parse_stats_ok(*reply, &error);
   if (!ok.has_value()) return fail_reply(*reply);
@@ -172,11 +203,30 @@ int cmd_submit(net::Client& client, const util::Cli& cli) {
 
   std::string error;
   if (!client.connect(&error)) return fail(error);
-  if (!client.send(service::make_submit_campaign(req), &error)) {
-    return fail(error);
+  // Submit with retry-on-Busy: a full job queue answers Busy, and it drains
+  // as jobs finish, so waiting out the server's hint usually succeeds.
+  std::optional<net::Frame> accepted_frame;
+  std::uint32_t backoff_ms = g_busy_retry.initial_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    if (!client.send(service::make_submit_campaign(req), &error)) {
+      return fail(error);
+    }
+    accepted_frame = client.recv(&error);
+    if (!accepted_frame.has_value()) return fail(error);
+    const auto busy = service::parse_busy(*accepted_frame);
+    if (!busy.has_value()) break;
+    if (attempt >= g_busy_retry.max_retries) {
+      return fail_reply(*accepted_frame);  // still busy; exit 3
+    }
+    const std::uint64_t sleep_ms =
+        std::max<std::uint64_t>(busy->retry_after_ms, backoff_ms);
+    std::fprintf(stderr, "busy: %s; retrying in %llu ms\n",
+                 busy->message.c_str(),
+                 static_cast<unsigned long long>(sleep_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(std::uint64_t{backoff_ms} * 2, 60'000));
   }
-  const auto accepted_frame = client.recv(&error);
-  if (!accepted_frame.has_value()) return fail(error);
   const auto accepted = service::parse_campaign_accepted(*accepted_frame);
   if (!accepted.has_value()) return fail_reply(*accepted_frame);
   std::printf("accepted: job %llu (%u ahead in queue)\n",
@@ -244,6 +294,10 @@ int main(int argc, char** argv) {
   options.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
   options.recv_timeout_ms =
       static_cast<std::uint32_t>(cli.get_int("timeout", 30000));
+  options.deadline_ms =
+      static_cast<std::uint32_t>(cli.get_int("deadline-ms", 0));
+  g_busy_retry.max_retries =
+      static_cast<int>(cli.get_int("busy-retries", 4));
   if (options.port == 0 && !command.empty() && command != "help") {
     return fail("--port is required");
   }
@@ -269,6 +323,9 @@ int main(int argc, char** argv) {
                "  report:  --key K\n"
                "  submit:  --kernel NAME [--preset tiny] [--seed 1] "
                "[--batch 1000]\n"
-               "           [--workers 2] [--flush-every 512] [--no-wait]\n");
+               "           [--workers 2] [--flush-every 512] [--no-wait]\n"
+               "  common:  [--deadline-ms 0] (server sheds overdue queries)\n"
+               "           [--busy-retries 4] (backoff on Busy; exit 3 when "
+               "still busy)\n");
   return command == "help" ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "service/service.h"
@@ -49,6 +50,10 @@ int main(int argc, char** argv) {
                "directory of *.boundary artifacts and campaign journals "
                "(default '.')");
   cli.describe("queue", "max queued campaign jobs (default 8)");
+  cli.describe("admission-queue",
+               "max queued query-plane requests before Busy (default 1024)");
+  cli.describe("busy-retry-ms",
+               "retry-after hint in Busy replies (default 50)");
   cli.describe("idle-timeout-ms",
                "close connections idle this long (default 30000, 0 = never)");
   cli.describe("max-connections", "accept backstop (default 1024)");
@@ -66,12 +71,46 @@ int main(int argc, char** argv) {
   telemetry::Telemetry telemetry;
   telemetry.set_enabled(true);
 
+  // Fault injection for the chaos harness: FTB_CHAOS=seed=7,short_io=0.2,...
+  // arms the seeded syscall-fault layer; unset/off leaves it dormant.
+  {
+    std::string chaos_summary;
+    if (chaos::configure_from_env(&chaos_summary)) {
+      std::fprintf(stderr, "chaos: %s\n", chaos_summary.c_str());
+    }
+  }
+
   service::ServiceOptions service_options;
   service_options.store_dir = cli.get("store-dir", ".");
   service_options.max_queue =
       static_cast<std::size_t>(cli.get_int("queue", 8));
+  service_options.admission_queue_max =
+      static_cast<std::size_t>(cli.get_int("admission-queue", 1024));
+  service_options.busy_retry_ms =
+      static_cast<std::uint64_t>(cli.get_int("busy-retry-ms", 50));
   service_options.telemetry = &telemetry;
   service::Service service(service_options);
+
+  // Report what the write-ahead job ledger found: jobs acked by a previous
+  // incarnation that never finished resume now, from their journals.
+  const auto& replay = service.jobs().replay();
+  for (const std::string& line : replay.diagnostics) {
+    std::fprintf(stderr, "ledger: %s\n", line.c_str());
+  }
+  if (!service.jobs().ledger_ok()) {
+    std::fprintf(stderr,
+                 "ledger: UNAVAILABLE; submissions will be refused until "
+                 "%s/jobs.ledger is writable\n",
+                 service_options.store_dir.c_str());
+  } else if (replay.records > 0 || replay.torn_records > 0) {
+    std::fprintf(stderr,
+                 "ledger: replayed %llu records (%llu terminal, %llu torn); "
+                 "%zu interrupted jobs resume\n",
+                 static_cast<unsigned long long>(replay.records),
+                 static_cast<unsigned long long>(replay.terminal),
+                 static_cast<unsigned long long>(replay.torn_records),
+                 replay.pending.size());
+  }
 
   std::vector<std::string> diagnostics;
   const std::size_t loaded = service.load_store(&diagnostics);
