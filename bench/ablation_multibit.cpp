@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
         case fi::Outcome::kHang:  // in-process runs cannot hang-classify
           ++counts.hang;
           break;
+        case fi::Outcome::kDetected:  // plain kernels carry no detector
+          ++counts.detected;
+          break;
       }
 
       // Boundary prediction from the corruption *magnitude*.

@@ -15,7 +15,8 @@
 // with deliberately tiny admission caps and asserts the shedding contract:
 // Busy frames are emitted, and the p99 of *admitted* requests stays bounded
 // (no silent queue growth).  --json-out writes the phase table as JSON
-// (schema ftb.bench.service/1) for the committed BENCH_service.json.
+// (schema ftb.bench.service/2, self-describing: --run-ts stamp, campaign
+// kernel/preset, warmed boundary keys) for the committed BENCH_service.json.
 //
 //   loadgen_service --connections 4 --duration-ms 2000
 //                   --campaign-batch 20000 [--host H --port P]
@@ -154,11 +155,30 @@ PhaseResult run_phase(const std::string& name, const std::string& host,
   return result;
 }
 
+/// Everything that makes a committed JSON entry self-describing across
+/// PRs: which run produced it (a caller-supplied stamp, e.g. the commit
+/// SHA -- never wall-clock, so reruns stay byte-identical) and which
+/// kernel/preset pairs it exercised.
+struct JsonMeta {
+  std::string run_ts;                      // --run-ts, verbatim
+  std::string campaign_kernel;
+  std::string campaign_preset;
+  std::vector<std::string> boundary_keys;  // warmed store keys queried
+};
+
 /// Serialises the measured phases as JSON so CI can commit the trajectory.
 bool write_json(const std::string& path, int connections,
-                std::uint32_t duration_ms,
+                std::uint32_t duration_ms, const JsonMeta& meta,
                 const std::vector<PhaseResult>& phases) {
-  std::string out = "{\n  \"schema\": \"ftb.bench.service/1\",\n";
+  std::string out = "{\n  \"schema\": \"ftb.bench.service/2\",\n";
+  out += "  \"run_ts\": \"" + meta.run_ts + "\",\n";
+  out += "  \"campaign\": {\"kernel\": \"" + meta.campaign_kernel +
+         "\", \"preset\": \"" + meta.campaign_preset + "\"},\n";
+  out += "  \"boundary_keys\": [";
+  for (std::size_t i = 0; i < meta.boundary_keys.size(); ++i) {
+    out += (i ? ", \"" : "\"") + meta.boundary_keys[i] + "\"";
+  }
+  out += "],\n";
   out += "  \"connections\": " + std::to_string(connections) + ",\n";
   out += "  \"duration_ms\": " + std::to_string(duration_ms) + ",\n";
   out += "  \"phases\": {";
@@ -202,6 +222,10 @@ int main(int argc, char** argv) {
   cli.describe("port", "external daemon port (0 = spawn in-process)");
   cli.describe("deadline-ms", "per-request deadline stamped in frames (0)");
   cli.describe("json-out", "write phase results as JSON here");
+  cli.describe("run-ts",
+               "run identifier stamped into the JSON (pass the commit SHA "
+               "or build id -- not wall-clock -- so reruns stay "
+               "byte-identical)");
   cli.describe("overload",
                "overload mode: tiny admission caps on the in-process "
                "server; asserts Busy shedding and a bounded admitted p99");
@@ -303,6 +327,12 @@ int main(int argc, char** argv) {
     for (const auto& info : list->entries) keys.push_back(info.key);
   }
 
+  JsonMeta meta;
+  meta.run_ts = cli.get("run-ts", "unset");
+  meta.campaign_kernel = cli.get("campaign-kernel", "daxpy");
+  meta.campaign_preset = cli.get("campaign-preset", "default");
+  meta.boundary_keys = keys;
+
   std::printf("loadgen_service: %d connections, %u ms per phase, %zu warm "
               "keys on %s:%u%s\n",
               connections, duration_ms, keys.size(), host.c_str(), port,
@@ -324,7 +354,7 @@ int main(int argc, char** argv) {
                    util::format("%.1f", shed.p99_us)});
     std::fputs(table.render("query-plane overload").c_str(), stdout);
     if (!json_out.empty() &&
-        !write_json(json_out, connections, duration_ms, {shed})) {
+        !write_json(json_out, connections, duration_ms, meta, {shed})) {
       std::fprintf(stderr, "loadgen_service: cannot write %s\n",
                    json_out.c_str());
       return 1;
@@ -441,7 +471,7 @@ int main(int argc, char** argv) {
   if (!json_out.empty()) {
     std::vector<PhaseResult> phases{idle};
     if (campaign_batch > 0) phases.push_back(busy);
-    if (!write_json(json_out, connections, duration_ms, phases)) {
+    if (!write_json(json_out, connections, duration_ms, meta, phases)) {
       std::fprintf(stderr, "loadgen_service: cannot write %s\n",
                    json_out.c_str());
       return 1;

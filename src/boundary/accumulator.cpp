@@ -38,6 +38,7 @@ void BoundaryAccumulator::record_injection(std::size_t site, int bit,
       state.masked_inj.push_back(injected_error);
       break;
     case fi::Outcome::kSdc:
+      ++state.sdc;
       if (!std::isfinite(injected_error)) {
         // An infinite (or NaN) injected error that still flips the output
         // carries no usable magnitude: it cannot tighten min_sdc_inj (the
@@ -58,6 +59,12 @@ void BoundaryAccumulator::record_injection(std::size_t site, int bit,
           }
         }
       }
+      break;
+    case fi::Outcome::kDetected:
+      // A detector-caught corruption is loud like a crash, so it neither
+      // supports nor constrains the *silent*-corruption boundary -- but it
+      // is the numerator of the per-site coverage metric.
+      ++state.detected;
       break;
     case fi::Outcome::kCrash:
     case fi::Outcome::kHang:
@@ -112,6 +119,26 @@ void BoundaryAccumulator::record_masked_value(std::size_t site, double value) {
 std::uint32_t BoundaryAccumulator::tested_bits(std::size_t site) const noexcept {
   return static_cast<std::uint32_t>(
       std::popcount(states_[site].tested_mask));
+}
+
+std::uint64_t BoundaryAccumulator::total_detected() const noexcept {
+  std::uint64_t total = 0;
+  for (const SiteState& state : states_) total += state.detected;
+  return total;
+}
+
+std::uint64_t BoundaryAccumulator::total_sdc() const noexcept {
+  std::uint64_t total = 0;
+  for (const SiteState& state : states_) total += state.sdc;
+  return total;
+}
+
+std::vector<double> BoundaryAccumulator::coverage_profile() const {
+  std::vector<double> profile(site_count_, 0.0);
+  for (std::size_t i = 0; i < site_count_; ++i) {
+    profile[i] = detected_coverage(i);
+  }
+  return profile;
 }
 
 FaultToleranceBoundary BoundaryAccumulator::finalize() const {

@@ -66,6 +66,34 @@ class BoundaryAccumulator {
   /// Per-site count of tested bits (64 -> the site is exact).
   std::uint32_t tested_bits(std::size_t site) const noexcept;
 
+  /// Per-site detector evidence: direct injections at `site` that were
+  /// classified Detected / SDC respectively.
+  std::uint32_t detected_count(std::size_t site) const noexcept {
+    return states_[site].detected;
+  }
+  std::uint32_t sdc_count(std::size_t site) const noexcept {
+    return states_[site].sdc;
+  }
+
+  /// Detector coverage at `site`: detected / (detected + sdc), the share of
+  /// wrong outputs originating here that the detector caught.  0 with no
+  /// evidence (conservative: an untested site claims no coverage).
+  double detected_coverage(std::size_t site) const noexcept {
+    const std::uint64_t wrong = std::uint64_t{states_[site].detected} +
+                                std::uint64_t{states_[site].sdc};
+    return wrong ? static_cast<double>(states_[site].detected) /
+                       static_cast<double>(wrong)
+                 : 0.0;
+  }
+
+  /// Totals over all sites (the campaign-level detector summary).
+  std::uint64_t total_detected() const noexcept;
+  std::uint64_t total_sdc() const noexcept;
+
+  /// Per-site detected_coverage() as a dense vector, for the phase report
+  /// (boundary/report.h) and figure emitters.
+  std::vector<double> coverage_profile() const;
+
   /// Masked propagation values dropped because they were NaN/Inf (an
   /// |x' - x| diff can overflow to +inf even between finite trace values).
   /// Surfaced by boundary::render_build_health; nonzero means some masked
@@ -101,6 +129,9 @@ class BoundaryAccumulator {
     // Propagation evidence (Algorithm 1).
     double prop_max = 0.0;               // unfiltered running max
     std::vector<double> prop_buffer;     // filtered mode: top values kept
+    // Detector evidence (fi/detector.h): coverage = detected/(detected+sdc).
+    std::uint32_t detected = 0;          // injections classified kDetected
+    std::uint32_t sdc = 0;               // injections classified kSdc
   };
 
   // +inf: no SDC evidence seen yet at a site.

@@ -31,7 +31,8 @@ SitePrediction predict_site(const FaultToleranceBoundary& boundary,
         ++prediction.sdc;
         break;
       case fi::Outcome::kCrash:
-      case fi::Outcome::kHang:  // predict_flip never returns kHang
+      case fi::Outcome::kHang:      // predict_flip never returns kHang...
+      case fi::Outcome::kDetected:  // ...nor kDetected (no detector model)
         ++prediction.crash;
         break;
     }

@@ -11,9 +11,12 @@ namespace ftb::boundary {
 std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
                                       const FaultToleranceBoundary& boundary,
                                       std::span<const double> golden_trace,
-                                      std::span<const double> true_profile) {
+                                      std::span<const double> true_profile,
+                                      std::span<const double> coverage_profile) {
   assert(boundary.sites() == golden_trace.size());
   assert(true_profile.empty() || true_profile.size() == golden_trace.size());
+  assert(coverage_profile.empty() ||
+         coverage_profile.size() == golden_trace.size());
   assert(phases.total_sites() == golden_trace.size());
 
   std::vector<PhaseReport> report;
@@ -26,6 +29,7 @@ std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
 
     double predicted_sum = 0.0;
     double true_sum = 0.0;
+    double coverage_sum = 0.0;
     std::uint64_t informed = 0;
     std::vector<double> thresholds;
     thresholds.reserve(segment.size());
@@ -33,6 +37,7 @@ std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
       predicted_sum +=
           predict_site(boundary, site, golden_trace[site]).sdc_ratio();
       if (!true_profile.empty()) true_sum += true_profile[site];
+      if (!coverage_profile.empty()) coverage_sum += coverage_profile[site];
       if (boundary.threshold(site) > 0.0) ++informed;
       thresholds.push_back(boundary.threshold(site));
     }
@@ -44,6 +49,7 @@ std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
                      thresholds.end());
     row.median_threshold = thresholds[thresholds.size() / 2];
     if (!true_profile.empty()) row.mean_true_sdc = true_sum / n;
+    if (!coverage_profile.empty()) row.mean_detected_coverage = coverage_sum / n;
     report.push_back(std::move(row));
   }
   return report;
@@ -52,10 +58,13 @@ std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
 std::string render_phase_report(std::span<const PhaseReport> report) {
   const bool with_truth =
       !report.empty() && report.front().mean_true_sdc.has_value();
+  const bool with_coverage =
+      !report.empty() && report.front().mean_detected_coverage.has_value();
   std::vector<std::string> header = {"phase", "instructions",
                                      "predicted SDC", "median threshold",
                                      "informed"};
   if (with_truth) header.insert(header.begin() + 3, "true SDC");
+  if (with_coverage) header.push_back("det coverage");
   util::Table table(std::move(header));
   for (const PhaseReport& row : report) {
     std::vector<std::string> cells = {
@@ -67,6 +76,9 @@ std::string render_phase_report(std::span<const PhaseReport> report) {
         util::percent(row.informed_fraction)};
     if (with_truth) {
       cells.insert(cells.begin() + 3, util::percent(*row.mean_true_sdc));
+    }
+    if (with_coverage) {
+      cells.push_back(util::percent(row.mean_detected_coverage.value_or(0.0)));
     }
     table.add_row(std::move(cells));
   }

@@ -22,16 +22,22 @@ struct PhaseReport {
   double median_threshold = 0.0;      // median tolerance threshold
   double informed_fraction = 0.0;     // sites with any boundary information
   std::optional<double> mean_true_sdc;  // when ground truth is supplied
+  // Mean per-site detector coverage (detected / (detected + sdc)) when the
+  // campaign ran with an ABFT detector (fi/detector.h); nullopt otherwise.
+  std::optional<double> mean_detected_coverage;
 
   std::uint64_t sites() const noexcept { return end - begin; }
 };
 
 /// Builds one report row per phase.  `true_profile` (per-site golden SDC
-/// ratios) is optional; pass an empty span when no ground truth exists.
+/// ratios) and `coverage_profile` (per-site detector coverage, see
+/// BoundaryAccumulator::coverage_profile) are optional; pass empty spans
+/// when no ground truth / no detector exists.
 std::vector<PhaseReport> phase_report(const fi::PhaseMap& phases,
                                       const FaultToleranceBoundary& boundary,
                                       std::span<const double> golden_trace,
-                                      std::span<const double> true_profile = {});
+                                      std::span<const double> true_profile = {},
+                                      std::span<const double> coverage_profile = {});
 
 /// Renders the report as an aligned text table (one line per phase).
 std::string render_phase_report(std::span<const PhaseReport> report);

@@ -77,6 +77,9 @@ OutcomeCounts count_outcomes(
       case fi::Outcome::kHang:
         ++counts.hang;
         break;
+      case fi::Outcome::kDetected:
+        ++counts.detected;
+        break;
     }
   }
   return counts;

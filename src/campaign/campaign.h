@@ -61,11 +61,20 @@ struct OutcomeCounts {
   std::uint64_t sdc = 0;
   std::uint64_t crash = 0;
   std::uint64_t hang = 0;
+  std::uint64_t detected = 0;
 
-  std::uint64_t total() const noexcept { return masked + sdc + crash + hang; }
+  std::uint64_t total() const noexcept {
+    return masked + sdc + crash + hang + detected;
+  }
   double sdc_fraction() const noexcept {
     return total() ? static_cast<double>(sdc) / static_cast<double>(total())
                    : 0.0;
+  }
+  /// Detector coverage over wrong outputs: detected / (detected + sdc).
+  double detected_coverage() const noexcept {
+    const std::uint64_t wrong = detected + sdc;
+    return wrong ? static_cast<double>(detected) / static_cast<double>(wrong)
+                 : 0.0;
   }
 };
 

@@ -82,6 +82,9 @@ OutcomeCounts GroundTruth::counts() const noexcept {
       case fi::Outcome::kHang:
         ++counts.hang;
         break;
+      case fi::Outcome::kDetected:
+        ++counts.detected;
+        break;
     }
   }
   return counts;

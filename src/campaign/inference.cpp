@@ -40,6 +40,11 @@ std::vector<ExperimentRecord> run_and_accumulate(
 
   const auto consume = [&](const ExperimentRecord& record,
                            std::span<const double> diffs) {
+    // Burst and memory-resident experiments (mode-tagged ids) are journaled
+    // like any other but describe a different fault model than the (site,
+    // bit) boundary -- their "site" field is a word index, not a trace
+    // index.  They never feed Algorithm 1.
+    if (!is_classic(record.id)) return;
     const std::uint64_t site = site_of(record.id);
     const int bit = bit_of(record.id);
 
@@ -105,6 +110,7 @@ std::vector<ExperimentRecord> run_and_accumulate_supervised(
       safe.push_back(record.id);
       continue;
     }
+    if (!is_classic(record.id)) continue;  // not boundary evidence
     const std::uint64_t site = site_of(record.id);
     accumulator.record_injection(site, bit_of(record.id),
                                  record.result.outcome,

@@ -49,6 +49,10 @@ void accumulate_latency(LatencyReport& report, const fi::GoldenRun& golden,
     }
     case fi::Outcome::kMasked:
       break;
+    case fi::Outcome::kDetected:
+      // Caught at the output check, after the run completed; latency is the
+      // whole remaining trace by construction, so there is nothing to add.
+      break;
     case fi::Outcome::kHang:
       // Sandbox-only outcome; no trap site or propagation data exists.
       break;

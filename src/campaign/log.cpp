@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "fi/outcome.h"
 #include "util/cache.h"
 #include "util/durable_file.h"
 
@@ -14,7 +15,12 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x4654422d434c4f47ull;  // "FTB-CLOG"
 // v2: adds a per-record crash_reason byte and a trailing CRC-32 frame check.
-constexpr std::uint64_t kVersion = 2;
+// v3: adds the kDetected outcome and a per-record flags word (bit 0 =
+// detector_fired).  v2 logs still load (flags default to 0).
+constexpr std::uint64_t kVersion = 3;
+constexpr std::uint64_t kMinVersion = 2;
+
+constexpr std::uint64_t kFlagDetectorFired = 1;
 
 std::optional<CampaignLog> fail(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what;
@@ -71,6 +77,7 @@ std::string CampaignLog::serialize() const {
     writer.put_f64(record.result.injected_error);
     writer.put_f64(record.result.output_error);
     writer.put_u64(record.result.crash_site);
+    writer.put_u64(record.result.detector_fired ? kFlagDetectorFired : 0);
   }
   // Trailing CRC-32 of everything written so far, stored as a u64 so the
   // whole file stays 8-byte framed.
@@ -102,9 +109,10 @@ std::optional<CampaignLog> CampaignLog::deserialize(const std::string& payload,
       return fail(error, "campaign log has bad magic (not an FTB-CLOG file)");
     }
     const std::uint64_t version = reader.get_u64();
-    if (version != kVersion) {
+    if (version < kMinVersion || version > kVersion) {
       return fail(error, "campaign log has unsupported version " +
                              std::to_string(version) + " (expected " +
+                             std::to_string(kMinVersion) + ".." +
                              std::to_string(kVersion) + ")");
     }
     if (stored_crc != actual_crc) {
@@ -119,9 +127,16 @@ std::optional<CampaignLog> CampaignLog::deserialize(const std::string& payload,
       ExperimentRecord record;
       record.id = reader.get_u64();
       const std::uint64_t raw = reader.get_u64();
-      if (raw > static_cast<std::uint64_t>(fi::Outcome::kHang)) {
+      if (raw > static_cast<std::uint64_t>(fi::Outcome::kDetected)) {
+        // Name the value so a v-next log fails readably on this binary.
         return fail(error, "campaign log record " + std::to_string(i) +
-                               " has invalid outcome " + std::to_string(raw));
+                               " has unsupported outcome " +
+                               fi::outcome_name(raw) +
+                               " (raw value " + std::to_string(raw) +
+                               "; this binary knows outcomes up to " +
+                               fi::outcome_name(static_cast<std::uint64_t>(
+                                   fi::Outcome::kDetected)) +
+                               ")");
       }
       record.result.outcome = static_cast<fi::Outcome>(raw);
       const std::uint64_t reason = reader.get_u64();
@@ -134,6 +149,10 @@ std::optional<CampaignLog> CampaignLog::deserialize(const std::string& payload,
       record.result.injected_error = reader.get_f64();
       record.result.output_error = reader.get_f64();
       record.result.crash_site = reader.get_u64();
+      if (version >= 3) {
+        const std::uint64_t flags = reader.get_u64();
+        record.result.detector_fired = (flags & kFlagDetectorFired) != 0;
+      }
       log.records_.push_back(record);
     }
     return log;
@@ -172,9 +191,13 @@ boundary::FaultToleranceBoundary boundary_from_log(
   boundary::BoundaryAccumulator accumulator(golden.trace.size(), options);
 
   // Injected-error evidence straight from the records; collect the masked
-  // ids for the propagation pass.
+  // ids for the propagation pass.  Only classic (site, bit) experiments
+  // feed the boundary: burst and memory-resident records (fi/memfault.h)
+  // are journaled alongside but describe a different fault model than the
+  // one the paper's boundary is defined over.
   std::vector<ExperimentId> masked_ids;
   for (const ExperimentRecord& record : log.records()) {
+    if (!is_classic(record.id)) continue;
     accumulator.record_injection(site_of(record.id), bit_of(record.id),
                                  record.result.outcome,
                                  record.result.injected_error);

@@ -1,30 +1,109 @@
-// The experiment sample space: one experiment per (dynamic instruction,
-// bit) pair, encoded as a single integer id = site * 64 + bit.  Table 1's
-// "Size" column is exactly the size of this space.
+// The experiment sample space.  The paper's space is one experiment per
+// (dynamic instruction, bit) pair, encoded as id = site * 64 + bit; Table
+// 1's "Size" column is exactly the size of that space.
+//
+// Richer fault models (fi/memfault.h) are folded into the same 64-bit
+// ExperimentId so campaigns over them journal, dedupe, and resume through
+// the exact machinery trace campaigns use.  The top byte tags the mode:
+//
+//   mode 0 (classic) : bits [55:0]  = site * 64 + bit          -- unchanged,
+//                      so every existing journal id stays valid;
+//   mode 1 (burst)   : bits [55:48] = burst width (bits),
+//                      bits [47:0]  = site * 64 + start_bit;
+//   mode 2 (mem)     : bits [47:32] = touch_point,
+//                      bits [31:0]  = word * 64 + bit;
+//   mode 3 (memburst): bits [55:48] = burst width,
+//                      bits [47:32] = touch_point,
+//                      bits [31:0]  = word * 64 + start_bit.
+//
+// site_of()/bit_of() remain mode-0 accessors (boundary inference is defined
+// over trace sites only); mode-aware consumers go through injection_of().
 #pragma once
 
 #include <cstdint>
 
 #include "fi/fpbits.h"
+#include "fi/memfault.h"
 #include "fi/tracer.h"
 
 namespace ftb::campaign {
 
 using ExperimentId = std::uint64_t;
 
+enum class FaultMode : std::uint8_t {
+  kBitFlip = 0,   // the paper's single-bit trace flip
+  kBurst = 1,     // k contiguous bits of one traced value
+  kMem = 2,       // single bit of a touched memory word
+  kMemBurst = 3,  // k contiguous bits of a touched memory word
+};
+
 inline ExperimentId encode(std::uint64_t site, int bit) noexcept {
   return site * fi::kBitsPerValue + static_cast<std::uint64_t>(bit);
 }
 
+inline FaultMode mode_of(ExperimentId id) noexcept {
+  return static_cast<FaultMode>(id >> 56);
+}
+
+/// True for ids in the paper's (site, bit) space -- the only ids that feed
+/// boundary accumulation and masked-propagation re-runs.
+inline bool is_classic(ExperimentId id) noexcept {
+  return mode_of(id) == FaultMode::kBitFlip;
+}
+
+/// Valid for mode 0 and mode 1 ids (both address the trace).
 inline std::uint64_t site_of(ExperimentId id) noexcept {
-  return id / fi::kBitsPerValue;
+  return (id & 0xffffffffffffull) / fi::kBitsPerValue;
 }
 
 inline int bit_of(ExperimentId id) noexcept {
-  return static_cast<int>(id % fi::kBitsPerValue);
+  return static_cast<int>((id & 0xffffffffffffull) % fi::kBitsPerValue);
+}
+
+inline int burst_width_of(ExperimentId id) noexcept {
+  return static_cast<int>((id >> 48) & 0xff);
+}
+
+inline ExperimentId encode_burst(std::uint64_t site, int start_bit,
+                                 int width) noexcept {
+  return (std::uint64_t{static_cast<std::uint8_t>(FaultMode::kBurst)} << 56) |
+         (static_cast<std::uint64_t>(width & 0xff) << 48) |
+         (encode(site, start_bit) & 0xffffffffffffull);
+}
+
+inline ExperimentId encode_mem(const fi::MemFault& fault) noexcept {
+  const auto mode =
+      fault.width > 1 ? FaultMode::kMemBurst : FaultMode::kMem;
+  return (std::uint64_t{static_cast<std::uint8_t>(mode)} << 56) |
+         (static_cast<std::uint64_t>(fault.width & 0xff) << 48) |
+         (static_cast<std::uint64_t>(fault.touch_point & 0xffff) << 32) |
+         ((fault.word * fi::kBitsPerValue +
+           static_cast<std::uint64_t>(fault.start_bit)) &
+          0xffffffffull);
+}
+
+inline fi::MemFault mem_fault_of(ExperimentId id) noexcept {
+  fi::MemFault fault;
+  fault.touch_point = static_cast<std::uint32_t>((id >> 32) & 0xffff);
+  const std::uint64_t packed = id & 0xffffffffull;
+  fault.word = packed / fi::kBitsPerValue;
+  fault.start_bit = static_cast<int>(packed % fi::kBitsPerValue);
+  fault.width = mode_of(id) == FaultMode::kMem
+                    ? 1
+                    : static_cast<int>((id >> 48) & 0xff);
+  return fault;
 }
 
 inline fi::Injection injection_of(ExperimentId id) noexcept {
+  switch (mode_of(id)) {
+    case FaultMode::kBitFlip:
+      return fi::Injection::bit_flip(site_of(id), bit_of(id));
+    case FaultMode::kBurst:
+      return fi::trace_burst(site_of(id), bit_of(id), burst_width_of(id));
+    case FaultMode::kMem:
+    case FaultMode::kMemBurst:
+      return mem_fault_of(id).to_injection();
+  }
   return fi::Injection::bit_flip(site_of(id), bit_of(id));
 }
 

@@ -1,0 +1,35 @@
+#include "fi/detector.h"
+
+#include <cmath>
+
+namespace ftb::fi {
+
+bool Detector::fires(std::span<const double> output,
+                     std::span<const double> reference) const {
+  const double observed = statistic(output);
+  if (!std::isfinite(observed)) return true;
+  const double expected = statistic(reference);
+  return std::fabs(observed - expected) > atol_ + rtol_ * std::fabs(expected);
+}
+
+double ChecksumDetector::statistic(std::span<const double> output) const {
+  double sum = 0.0;
+  for (double v : output) sum += v;
+  return sum;
+}
+
+double RowSumDetector::statistic(std::span<const double> output) const {
+  if (stride_ == 0) return 0.0;
+  double folded = 0.0;
+  double sign = 1.0;
+  for (std::size_t row = 0; row < output.size(); row += stride_) {
+    const std::size_t end = std::min(row + stride_, output.size());
+    double row_sum = 0.0;
+    for (std::size_t i = row; i < end; ++i) row_sum += output[i];
+    folded += sign * row_sum;
+    sign = -sign;
+  }
+  return folded;
+}
+
+}  // namespace ftb::fi

@@ -1,0 +1,107 @@
+// Cheap ABFT-style output detectors (Elliott/Hoemmen/Mueller's "detector
+// assumptions matter" direction).  A Detector summarises a program output
+// into one scalar statistic -- a checksum, a row-sum invariant, a recomputed
+// residual -- and *fires* when the faulty run's statistic deviates from the
+// fault-free reference beyond a tolerance.  The executor consults the
+// program's detector after the ordinary Masked/SDC comparison:
+//
+//   * SDC  + detector fired  -> Outcome::kDetected (the corruption would
+//     have been reported to the user, so it is no longer *silent*);
+//   * Masked + detector fired -> stays Masked, recorded as a false positive
+//     via ExperimentResult::detector_fired;
+//   * Crash/Hang -> the detector never runs (the program already failed
+//     loudly).
+//
+// Detectors are deliberately lossy: a one-scalar checksum cannot see every
+// corruption (cancellation, below-tolerance flips), so detected coverage =
+// detected / (detected + SDC) lands strictly between 0 and 1 on real
+// kernels -- exactly the quantity the boundary reports track per site.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ftb::fi {
+
+class Detector {
+ public:
+  /// `atol`/`rtol` govern the acceptance test on the statistic:
+  /// |s(output) - s(reference)| <= atol + rtol * |s(reference)|.
+  Detector(std::string name, double atol, double rtol) noexcept
+      : name_(std::move(name)), atol_(atol), rtol_(rtol) {}
+  virtual ~Detector() = default;
+
+  std::string_view name() const noexcept { return name_; }
+  double atol() const noexcept { return atol_; }
+  double rtol() const noexcept { return rtol_; }
+
+  /// The check the instrumented program would run on its own output.
+  virtual double statistic(std::span<const double> output) const = 0;
+
+  /// True when `output`'s statistic is non-finite or deviates from
+  /// `reference`'s beyond the tolerance -- i.e. the detector reports a fault.
+  bool fires(std::span<const double> output,
+             std::span<const double> reference) const;
+
+ private:
+  std::string name_;
+  double atol_;
+  double rtol_;
+};
+
+using DetectorPtr = std::unique_ptr<Detector>;
+
+/// Sum checksum over the whole output vector: the classic ABFT column-
+/// checksum equality for SpMV/GEMM-shaped kernels (sum(y) == c^T x holds
+/// exactly in the fault-free run, so the golden statistic *is* the checksum
+/// the augmented kernel would maintain).
+class ChecksumDetector final : public Detector {
+ public:
+  explicit ChecksumDetector(double atol = 1e-7, double rtol = 1e-7)
+      : Detector("checksum", atol, rtol) {}
+
+  double statistic(std::span<const double> output) const override;
+};
+
+/// Strided row-sum invariant: sums every `stride`-th window of the output
+/// and folds the per-row sums with alternating signs, so corruptions that a
+/// plain total-sum checksum cancels out still move the statistic.  Used by
+/// the stencil kernels, whose smoothing preserves interior row sums almost
+/// exactly.
+class RowSumDetector final : public Detector {
+ public:
+  explicit RowSumDetector(std::size_t stride, double atol = 1e-7,
+                          double rtol = 1e-7)
+      : Detector("row-sum", atol, rtol), stride_(stride) {}
+
+  double statistic(std::span<const double> output) const override;
+
+ private:
+  std::size_t stride_;
+};
+
+/// Kernel-specific invariant supplied as a closure: CG's recomputed
+/// residual ||b - A x||, LU's reconstruction error, ... The kernel builds
+/// the closure over its own immutable problem data (matrix, rhs); the
+/// fault-injection layer stays ignorant of kernel structure.
+class InvariantDetector final : public Detector {
+ public:
+  using Statistic = std::function<double(std::span<const double>)>;
+
+  InvariantDetector(std::string name, Statistic statistic, double atol,
+                    double rtol)
+      : Detector(std::move(name), atol, rtol),
+        statistic_(std::move(statistic)) {}
+
+  double statistic(std::span<const double> output) const override {
+    return statistic_(output);
+  }
+
+ private:
+  Statistic statistic_;
+};
+
+}  // namespace ftb::fi

@@ -32,6 +32,16 @@ ExperimentResult classify(const Program& program, const GoldenRun& golden,
   // without trapping (the tracer's CrashSignal path handles mid-run
   // non-finites), so the corruption is silent by definition.
   result.outcome = program.comparator().classify(output, golden.output);
+  // The program's ABFT detector (if any) sees the same finished output the
+  // user would: an SDC it rejects is no longer *silent* (kDetected); a
+  // rejection of an acceptable output stays Masked but is recorded as a
+  // detector false positive.
+  if (const Detector* detector = program.detector()) {
+    result.detector_fired = detector->fires(output, golden.output);
+    if (result.detector_fired && result.outcome == Outcome::kSdc) {
+      result.outcome = Outcome::kDetected;
+    }
+  }
   return result;
 }
 
@@ -51,7 +61,8 @@ ExperimentResult crash_result(const Tracer& tracer,
 GoldenRun run_golden(const Program& program) {
   GoldenRun golden;
   golden.trace.reserve(1024);
-  Tracer tracer = Tracer::recorder(golden.trace, &golden.phases);
+  Tracer tracer =
+      Tracer::recorder(golden.trace, &golden.phases, &golden.touch_sizes);
   golden.output = program.run(tracer);
   for (double v : golden.trace) {
     if (!std::isfinite(v)) {
@@ -71,7 +82,8 @@ std::uint64_t count_dynamic_instructions(const Program& program) {
 
 ExperimentResult run_injected(const Program& program, const GoldenRun& golden,
                               const Injection& injection) {
-  assert(injection.site < golden.trace.size());
+  assert(injection.is_memory_fault() ||
+         injection.site < golden.trace.size());
   Tracer tracer = Tracer::injector(injection);
   try {
     const std::vector<double> output = program.run(tracer);
@@ -85,7 +97,8 @@ ExperimentResult run_injected_compare(const Program& program,
                                       const GoldenRun& golden,
                                       const Injection& injection,
                                       std::span<double> diffs) {
-  assert(injection.site < golden.trace.size());
+  assert(injection.is_memory_fault() ||
+         injection.site < golden.trace.size());
   assert(diffs.size() == golden.trace.size());
   std::fill(diffs.begin(), diffs.end(), 0.0);
   Tracer tracer = Tracer::comparator(injection, golden.trace, diffs);

@@ -20,6 +20,7 @@ struct GoldenRun {
   std::vector<double> trace;    // value produced at every dynamic instruction
   std::vector<double> output;   // final program output
   std::vector<PhaseMark> phases;  // phase announcements, by start index
+  std::vector<std::uint64_t> touch_sizes;  // span length of each touch() call
   double tolerance = 0.0;       // comparator threshold for this output
 
   std::uint64_t dynamic_instructions() const noexcept { return trace.size(); }
@@ -36,8 +37,11 @@ GoldenRun run_golden(const Program& program);
 /// Counts dynamic instructions without recording (cheap sizing pass).
 std::uint64_t count_dynamic_instructions(const Program& program);
 
-/// Runs one fault-injection experiment and classifies the outcome.
-/// The injection site must be < golden.trace.size().
+/// Runs one fault-injection experiment and classifies the outcome.  For
+/// trace-target injections the site must be < golden.trace.size(); for
+/// memory-target injections (fi/memfault.h) the word/touch_point must lie
+/// within golden.touch_sizes.  When the program carries a detector, SDC
+/// outcomes the detector catches become Outcome::kDetected.
 ExperimentResult run_injected(const Program& program, const GoldenRun& golden,
                               const Injection& injection);
 

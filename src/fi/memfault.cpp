@@ -1,0 +1,52 @@
+#include "fi/memfault.h"
+
+#include "fi/fpbits.h"
+
+namespace ftb::fi {
+
+std::uint64_t burst_mask(int start_bit, int width) noexcept {
+  if (start_bit < 0) start_bit = 0;
+  if (start_bit >= kBitsPerValue) start_bit = kBitsPerValue - 1;
+  if (width < 1) width = 1;
+  if (width > kBitsPerValue - start_bit) width = kBitsPerValue - start_bit;
+  const std::uint64_t run = width == kBitsPerValue
+                                ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << width) - 1;
+  return run << start_bit;
+}
+
+Injection trace_burst(std::uint64_t site, int start_bit, int width) noexcept {
+  return Injection::xor_mask(site, burst_mask(start_bit, width));
+}
+
+std::uint64_t mem_sample_space(
+    std::span<const std::uint64_t> touch_sizes) noexcept {
+  std::uint64_t words = 0;
+  for (std::uint64_t size : touch_sizes) words += size;
+  return words * static_cast<std::uint64_t>(kBitsPerValue);
+}
+
+MemFault mem_fault_at(std::span<const std::uint64_t> touch_sizes,
+                      std::uint64_t flat, int width) noexcept {
+  MemFault fault;
+  fault.width = width;
+  fault.start_bit = static_cast<int>(flat % kBitsPerValue);
+  std::uint64_t word = flat / kBitsPerValue;
+  for (std::size_t point = 0; point < touch_sizes.size(); ++point) {
+    if (word < touch_sizes[point]) {
+      fault.touch_point = static_cast<std::uint32_t>(point);
+      fault.word = word;
+      return fault;
+    }
+    word -= touch_sizes[point];
+  }
+  // Out-of-range flat index: clamp to the last word (callers sample within
+  // mem_sample_space, so this only guards against stale journals).
+  fault.touch_point = touch_sizes.empty()
+                          ? 0
+                          : static_cast<std::uint32_t>(touch_sizes.size() - 1);
+  fault.word = touch_sizes.empty() ? 0 : touch_sizes.back() - 1;
+  return fault;
+}
+
+}  // namespace ftb::fi

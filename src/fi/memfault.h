@@ -1,0 +1,58 @@
+// Richer fault models beyond the paper's single-bit trace flip:
+//
+//   * multi-bit *burst* faults: k contiguous bits XOR-flipped at once, on a
+//     traced value or a memory word (the upsets ECC scrubbing can miss --
+//     the ablation_multibit direction generalised from 2 to k bits);
+//   * *memory-resident* faults: a bit (or burst) flipped in live
+//     matrix/vector state between program phases, applied at the spans
+//     kernels announce via Tracer::touch().
+//
+// The memory fault space is addressed (touch_point, word, bit): touch_point
+// indexes the touch() call in execution order, word the element within that
+// call's span.  GoldenRun::touch_sizes (recorded once per golden run) sizes
+// the space, so campaigns over it sample, journal, and resume exactly like
+// trace campaigns do.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fi/tracer.h"
+
+namespace ftb::fi {
+
+/// XOR mask of `width` contiguous set bits starting at `start_bit`.
+/// Clamped to the 64-bit word: width 0 becomes 1, and a burst that would
+/// run off bit 63 is truncated at the word boundary.
+std::uint64_t burst_mask(int start_bit, int width) noexcept;
+
+/// Burst fault on a traced value: flips `width` contiguous bits of the
+/// value produced at dynamic instruction `site`.
+Injection trace_burst(std::uint64_t site, int start_bit, int width) noexcept;
+
+/// One memory-resident fault: bits [start_bit, start_bit + width) of word
+/// `word` in the `touch_point`-th touched span.  width == 1 is a plain
+/// DRAM-style single-bit flip.
+struct MemFault {
+  std::uint32_t touch_point = 0;
+  std::uint64_t word = 0;
+  int start_bit = 0;
+  int width = 1;
+
+  Injection to_injection() const noexcept {
+    return Injection::mem_xor(touch_point, word, burst_mask(start_bit, width));
+  }
+};
+
+/// Number of (word, bit) single-bit fault candidates across all touched
+/// spans: 64 * sum(touch_sizes).
+std::uint64_t mem_sample_space(std::span<const std::uint64_t> touch_sizes) noexcept;
+
+/// Maps a flat index in [0, mem_sample_space(touch_sizes)) to a concrete
+/// memory fault of the given burst width.  Flat indices enumerate bits
+/// within words within touch points, in execution order, so the mapping is
+/// stable across runs of the same kernel configuration.
+MemFault mem_fault_at(std::span<const std::uint64_t> touch_sizes,
+                      std::uint64_t flat, int width) noexcept;
+
+}  // namespace ftb::fi

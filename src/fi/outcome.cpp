@@ -16,8 +16,17 @@ const char* to_string(Outcome outcome) noexcept {
       return "Crash";
     case Outcome::kHang:
       return "Hang";
+    case Outcome::kDetected:
+      return "Detected";
   }
   return "?";
+}
+
+std::string outcome_name(std::uint64_t raw) {
+  if (raw <= static_cast<std::uint64_t>(Outcome::kDetected)) {
+    return to_string(static_cast<Outcome>(raw));
+  }
+  return "unknown(" + std::to_string(raw) + ")";
 }
 
 const char* to_string(CrashReason reason) noexcept {

@@ -10,15 +10,23 @@
 namespace ftb::fi {
 
 enum class Outcome : std::uint8_t {
-  kMasked = 0,  // acceptable output (within tolerance of the golden run)
-  kSdc = 1,     // silently wrong output (includes a non-finite final output
-                // that was produced without tripping a CrashSignal: the
-                // program did not trap, so the corruption is silent)
-  kCrash = 2,   // "loud" failure: NaN/Inf trap, fatal signal, diverged run
-  kHang = 3,    // watchdog killed a runaway experiment (sandbox only)
+  kMasked = 0,    // acceptable output (within tolerance of the golden run)
+  kSdc = 1,       // silently wrong output (includes a non-finite final output
+                  // that was produced without tripping a CrashSignal: the
+                  // program did not trap, so the corruption is silent)
+  kCrash = 2,     // "loud" failure: NaN/Inf trap, fatal signal, diverged run
+  kHang = 3,      // watchdog killed a runaway experiment (sandbox only)
+  kDetected = 4,  // output is wrong, but the program's ABFT detector fired:
+                  // the corruption would have been reported, so it is not
+                  // *silent* data corruption (fi/detector.h)
 };
 
 const char* to_string(Outcome outcome) noexcept;
+
+/// Human-readable name for a raw serialized outcome value, including values
+/// this binary does not know (future log versions): "Masked", ...,
+/// "unknown(7)".  Load diagnostics use this so v-next logs fail readably.
+std::string outcome_name(std::uint64_t raw);
 
 /// Why a Crash (or Hang) experiment terminated.  The in-process executor can
 /// only observe the first two; the remaining reasons require the sandboxed
@@ -82,6 +90,11 @@ struct ExperimentResult {
   /// other outcomes.  crash_site - injection.site is the detection
   /// latency in dynamic instructions.
   std::uint64_t crash_site = 0;
+
+  /// True when the program's ABFT detector rejected the final output.  Set
+  /// for kDetected (detector caught an SDC) and for Masked false positives
+  /// (detector fired on an output that was actually within tolerance).
+  bool detector_fired = false;
 };
 
 }  // namespace ftb::fi

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fi/detector.h"
 #include "fi/outcome.h"
 #include "fi/tracer.h"
 
@@ -33,8 +34,15 @@ class Program {
 
   /// A short string identifying the exact configuration (matrix size,
   /// iterations, seeds...).  Used as part of ground-truth cache keys, so it
-  /// must change whenever run() behaviour changes.
+  /// must change whenever run() behaviour changes *or* classification
+  /// behaviour changes (e.g. a detector is enabled).
   virtual std::string config_key() const = 0;
+
+  /// The program's ABFT output detector, or nullptr when it runs without
+  /// one (the default).  When present, the executor reclassifies SDC
+  /// outcomes the detector catches as Outcome::kDetected.  The returned
+  /// pointer must stay valid for the program's lifetime.
+  virtual const Detector* detector() const noexcept { return nullptr; }
 };
 
 using ProgramPtr = std::unique_ptr<Program>;

@@ -51,6 +51,7 @@ ExperimentResult isolation_result(Outcome outcome, CrashReason reason) {
 struct ResultSlot {
   std::uint8_t outcome = 0;
   std::uint8_t crash_reason = 0;
+  std::uint8_t detector_fired = 0;
   double injected_error = 0.0;
   double output_error = 0.0;
   std::uint64_t crash_site = 0;
@@ -95,6 +96,7 @@ struct SharedBlock {
 void encode_slot(ResultSlot& slot, const ExperimentResult& result) {
   slot.outcome = static_cast<std::uint8_t>(result.outcome);
   slot.crash_reason = static_cast<std::uint8_t>(result.crash_reason);
+  slot.detector_fired = result.detector_fired ? 1 : 0;
   slot.injected_error = result.injected_error;
   slot.output_error = result.output_error;
   slot.crash_site = result.crash_site;
@@ -104,6 +106,7 @@ ExperimentResult decode_slot(const ResultSlot& slot) {
   ExperimentResult result;
   result.outcome = static_cast<Outcome>(slot.outcome);
   result.crash_reason = static_cast<CrashReason>(slot.crash_reason);
+  result.detector_fired = slot.detector_fired != 0;
   result.injected_error = slot.injected_error;
   result.output_error = slot.output_error;
   result.crash_site = slot.crash_site;

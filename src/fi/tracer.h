@@ -18,6 +18,7 @@
 // sequences; the executor verifies the step counts match.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -50,7 +51,8 @@ struct CrashSignal {
   std::uint64_t site = 0;  // dynamic instruction where the run "trapped"
 };
 
-/// Describes the fault applied at one dynamic instruction.
+/// Describes the fault applied at one dynamic instruction (Target::kTrace)
+/// or one word of live program state (Target::kMemory; see Tracer::touch).
 struct Injection {
   enum class Kind : std::uint8_t {
     kBitFlip,   // flip `bit` of the produced value (the paper's fault model)
@@ -59,11 +61,19 @@ struct Injection {
     kXorMask,   // XOR the bit pattern with `mask` (multi-bit fault models)
   };
 
+  enum class Target : std::uint8_t {
+    kTrace,   // fault the value produced at dynamic instruction `site`
+    kMemory,  // fault word `site` of the `touch_point`-th Tracer::touch()
+              // span: a memory-resident fault between program phases
+  };
+
   std::uint64_t site = 0;
   Kind kind = Kind::kBitFlip;
   int bit = 0;
   double operand = 0.0;
   std::uint64_t mask = 0;
+  Target target = Target::kTrace;
+  std::uint32_t touch_point = 0;  // kMemory only: which touch() call
 
   static Injection bit_flip(std::uint64_t site, int bit) noexcept {
     return {site, Kind::kBitFlip, bit, 0.0, 0};
@@ -85,6 +95,19 @@ struct Injection {
     return xor_mask(site, (std::uint64_t{1} << bit_a) |
                               (std::uint64_t{1} << bit_b));
   }
+  /// Memory-resident fault: XOR every set bit of `mask` into word `word` of
+  /// the span passed to the `touch_point`-th Tracer::touch() call.  A
+  /// single-bit mask models a DRAM flip the kernel reads back later; a
+  /// contiguous multi-bit mask models a burst upset (fi/memfault.h).
+  static Injection mem_xor(std::uint32_t touch_point, std::uint64_t word,
+                           std::uint64_t mask) noexcept {
+    Injection injection{word, Kind::kXorMask, 0, 0.0, mask};
+    injection.target = Target::kMemory;
+    injection.touch_point = touch_point;
+    return injection;
+  }
+
+  bool is_memory_fault() const noexcept { return target == Target::kMemory; }
 
   double apply(double v) const noexcept {
     switch (kind) {
@@ -107,12 +130,16 @@ class Tracer {
   static Tracer counter() noexcept { return Tracer(Mode::kCount); }
 
   /// Appends every produced value to `trace` (golden run).  When `phases`
-  /// is given, Tracer::phase() announcements are recorded into it.
+  /// is given, Tracer::phase() announcements are recorded into it; when
+  /// `touch_sizes` is given, the span length of every Tracer::touch() call
+  /// is recorded (sizing the memory-resident fault space, fi/memfault.h).
   static Tracer recorder(std::vector<double>& trace,
-                         std::vector<PhaseMark>* phases = nullptr) noexcept {
+                         std::vector<PhaseMark>* phases = nullptr,
+                         std::vector<std::uint64_t>* touch_sizes = nullptr) noexcept {
     Tracer t(Mode::kRecord);
     t.trace_out_ = &trace;
     t.phases_out_ = phases;
+    t.touch_sizes_out_ = touch_sizes;
     return t;
   }
 
@@ -164,6 +191,9 @@ class Tracer {
   }
 
   /// The hot path: every kernel FP production flows through here.
+  /// Trace-target injections fire when the dynamic-instruction index hits
+  /// the injection site; once any fault has fired (trace or memory), a
+  /// non-finite produced value simulates a trap via CrashSignal.
   double step(double v) {
     const std::uint64_t idx = index_++;
     switch (mode_) {
@@ -173,36 +203,178 @@ class Tracer {
         trace_out_->push_back(v);
         return v;
       case Mode::kInject:
-        if (idx == injection_.site) {
+        if (!injection_.is_memory_fault() && idx == injection_.site) {
           v = fire(v, idx);
-        } else if (idx > injection_.site && !std::isfinite(v)) {
+        } else if (fired_ && !std::isfinite(v)) {
           throw CrashSignal{idx};
         }
         return v;
       case Mode::kCompare:
-        if (idx == injection_.site) {
+        if (!injection_.is_memory_fault() && idx == injection_.site) {
           v = fire(v, idx);
-        } else if (idx > injection_.site && !std::isfinite(v)) {
+        } else if (fired_ && !std::isfinite(v)) {
           throw CrashSignal{idx};
         }
-        if (idx >= injection_.site && idx < diffs_.size()) {
+        if (fired_ && idx < diffs_.size()) {
           diffs_[idx] = std::fabs(v - golden_[idx]);
         }
         return v;
       case Mode::kCompareStream: {
         const double golden_value = hooks_.next_golden(hooks_.ctx);
-        if (idx == injection_.site) {
+        if (!injection_.is_memory_fault() && idx == injection_.site) {
           v = fire(v, idx);
-        } else if (idx > injection_.site && !std::isfinite(v)) {
+        } else if (fired_ && !std::isfinite(v)) {
           throw CrashSignal{idx};
         }
-        if (idx >= injection_.site && hooks_.observe != nullptr) {
+        if (fired_ && hooks_.observe != nullptr) {
           hooks_.observe(hooks_.ctx, idx, std::fabs(v - golden_value));
         }
         return v;
       }
     }
     return v;  // unreachable
+  }
+
+  /// Announces live program state (a matrix/vector span) at a phase
+  /// boundary.  Consumes no dynamic-instruction index.  In Record mode the
+  /// span's length is captured (when the recorder asked for touch sizes);
+  /// when armed with a memory-target injection whose touch_point matches,
+  /// the fault is applied to the named word *in place*.  A corrupted word
+  /// that becomes non-finite does not trap here -- state is data, not a
+  /// produced value -- the crash happens at the first non-finite value the
+  /// kernel later *produces* from it.
+  void touch(std::span<double> data) {
+    const std::uint32_t point = touch_index_++;
+    if (mode_ == Mode::kCount || mode_ == Mode::kRecord) {
+      if (touch_sizes_out_ != nullptr) touch_sizes_out_->push_back(data.size());
+      return;
+    }
+    if (injection_.is_memory_fault() && !fired_ &&
+        point == injection_.touch_point && injection_.site < data.size()) {
+      double& word = data[injection_.site];
+      fired_ = true;
+      original_value_ = word;
+      const double corrupted = injection_.apply(word);
+      injected_error_ = std::isfinite(corrupted)
+                            ? std::fabs(corrupted - word)
+                            : std::numeric_limits<double>::infinity();
+      word = corrupted;
+    }
+  }
+
+  // ---- Deterministic parallel tracing --------------------------------------
+  // A threaded kernel partitions each parallel region into per-thread shards
+  // with *precomputed* step counts (the region's work split is fixed by the
+  // thread count, never by data).  Shard creation pre-assigns each shard the
+  // global index range [begin, begin + steps), so the merged numbering is
+  // identical to the serial interleaving thread 0, thread 1, ... regardless
+  // of actual thread scheduling.  Shards never touch shared tracer state
+  // while threads run: records, fire bookkeeping, and crash sites stay
+  // shard-local (Compare-mode diff writes go to disjoint indices) and are
+  // folded back -- in shard order -- by join(), which throws the *minimum*
+  // crash site so crashes are as deterministic as the serial path.
+
+  class Shard {
+   public:
+    Shard() = default;
+
+    /// Per-thread hot path; safe to call concurrently with other shards.
+    double step(double v) {
+      const std::uint64_t idx = begin_ + local_++;
+      assert(local_ <= length_);
+      switch (parent_->mode_) {
+        case Mode::kCount:
+          return v;
+        case Mode::kRecord:
+          recorded_.push_back(v);
+          return v;
+        case Mode::kInject:
+        case Mode::kCompare: {
+          const Injection& injection = parent_->injection_;
+          const bool trace_target = !injection.is_memory_fault();
+          if (trace_target && idx == injection.site) {
+            fired_ = true;
+            original_value_ = v;
+            const double corrupted = injection.apply(v);
+            if (!std::isfinite(corrupted)) {
+              injected_error_ = std::numeric_limits<double>::infinity();
+              crash_site_ = idx;
+            } else {
+              injected_error_ = std::fabs(corrupted - v);
+            }
+            v = corrupted;
+          } else if (!std::isfinite(v) && crash_site_ > idx &&
+                     ((trace_target && idx > injection.site) ||
+                      parent_->fired_)) {
+            crash_site_ = idx;
+          }
+          if (parent_->mode_ == Mode::kCompare && crash_site_ == kNoCrash &&
+              (fired_ || parent_->fired_ ||
+               (trace_target && idx >= injection.site)) &&
+              idx < parent_->diffs_.size()) {
+            parent_->diffs_[idx] = std::fabs(v - parent_->golden_[idx]);
+          }
+          return v;
+        }
+        case Mode::kCompareStream:
+          assert(false && "stream comparison cannot be sharded");
+          return v;
+      }
+      return v;  // unreachable
+    }
+
+   private:
+    friend class Tracer;
+    static constexpr std::uint64_t kNoCrash = ~std::uint64_t{0};
+
+    Tracer* parent_ = nullptr;
+    std::uint64_t begin_ = 0;
+    std::uint64_t length_ = 0;
+    std::uint64_t local_ = 0;
+    std::uint64_t crash_site_ = kNoCrash;  // min non-finite site seen
+    bool fired_ = false;
+    double injected_error_ = 0.0;
+    double original_value_ = 0.0;
+    std::vector<double> recorded_;  // Record mode: this shard's trace slice
+  };
+
+  /// Reserves the next `steps` global dynamic-instruction indices for one
+  /// shard.  Call once per thread, in thread order, before the parallel
+  /// region runs; then run each shard on its thread and join() all shards
+  /// (again in thread order) after the threads complete.
+  Shard shard(std::uint64_t steps) {
+    assert(mode_ != Mode::kCompareStream &&
+           "stream comparison cannot be sharded");
+    Shard s;
+    s.parent_ = this;
+    s.begin_ = index_;
+    s.length_ = steps;
+    if (mode_ == Mode::kRecord) s.recorded_.reserve(steps);
+    index_ += steps;
+    return s;
+  }
+
+  /// Folds shard-local state back into the tracer, in shard order, and
+  /// throws CrashSignal at the minimum crashing site (matching what the
+  /// serial interleaving would have trapped on first).  Each shard must
+  /// have produced exactly the step count it declared.
+  void join(std::span<Shard> shards) {
+    std::uint64_t crash_site = Shard::kNoCrash;
+    for (Shard& s : shards) {
+      assert(s.local_ == s.length_ &&
+             "shard produced a different step count than declared");
+      if (mode_ == Mode::kRecord && trace_out_ != nullptr) {
+        trace_out_->insert(trace_out_->end(), s.recorded_.begin(),
+                           s.recorded_.end());
+      }
+      if (s.fired_) {
+        fired_ = true;
+        injected_error_ = s.injected_error_;
+        original_value_ = s.original_value_;
+      }
+      crash_site = std::min(crash_site, s.crash_site_);
+    }
+    if (crash_site != Shard::kNoCrash) throw CrashSignal{crash_site};
   }
 
   /// Announces that the instructions from the current index onward belong
@@ -252,12 +424,14 @@ class Tracer {
 
   Mode mode_;
   std::uint64_t index_ = 0;
+  std::uint32_t touch_index_ = 0;
   Injection injection_{};
   bool fired_ = false;
   double injected_error_ = 0.0;
   double original_value_ = 0.0;
   std::vector<double>* trace_out_ = nullptr;
   std::vector<PhaseMark>* phases_out_ = nullptr;
+  std::vector<std::uint64_t>* touch_sizes_out_ = nullptr;
   std::span<const double> golden_{};
   std::span<double> diffs_{};
   StreamHooks hooks_{};

@@ -34,6 +34,8 @@ struct CgConfig {
   std::uint64_t rhs_seed = 7;  // deterministic right-hand side
   double atol = 1e-8;          // output acceptance (paper's user tolerance T)
   double rtol = 1e-6;
+  std::size_t threads = 1;     // >1: deterministic sharded vector loops
+  bool detector = false;       // ABFT residual-recompute check on the output
 
   std::string key() const;
 };
@@ -50,6 +52,12 @@ class CgProgram final : public fi::Program {
 
   std::vector<double> run(fi::Tracer& tracer) const override;
 
+  /// Recomputed-residual ABFT check (||b - A x|| against the golden run's
+  /// converged residual) when CgConfig::detector is set; nullptr otherwise.
+  const fi::Detector* detector() const noexcept override {
+    return detector_.get();
+  }
+
   const CgConfig& config() const noexcept { return config_; }
   std::size_t unknowns() const noexcept { return config_.nx * config_.ny; }
 
@@ -64,6 +72,7 @@ class CgProgram final : public fi::Program {
 
  private:
   CgConfig config_;
+  fi::DetectorPtr detector_;
 };
 
 }  // namespace ftb::kernels

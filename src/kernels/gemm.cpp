@@ -8,12 +8,22 @@
 namespace ftb::kernels {
 
 std::string GemmConfig::key() const {
-  return util::format("gemm:n=%zu:b=%zu:seed=%llu:atol=%g:rtol=%g", n, block,
-                      static_cast<unsigned long long>(seed), atol, rtol);
+  std::string key =
+      util::format("gemm:n=%zu:b=%zu:seed=%llu:atol=%g:rtol=%g", n, block,
+                   static_cast<unsigned long long>(seed), atol, rtol);
+  if (detector) key += ":det=1";  // detector off keeps the historical key
+  return key;
 }
 
 GemmProgram::GemmProgram(GemmConfig config) : config_(config) {
   assert(config_.block > 0 && config_.n % config_.block == 0);
+  if (config_.detector) {
+    // Full-checksum GEMM (Huang & Abraham 1984): sum(C) equals the product
+    // of the input checksum vectors in the fault-free run, so the golden
+    // sum is the checksum the augmented kernel would carry.
+    detector_ = std::make_unique<fi::ChecksumDetector>(/*atol=*/1e-8,
+                                                       /*rtol=*/1e-6);
+  }
 }
 
 std::vector<double> GemmProgram::run(fi::Tracer& t) const {

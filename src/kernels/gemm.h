@@ -23,6 +23,7 @@ struct GemmConfig {
   std::uint64_t seed = 57;
   double atol = 1e-9;
   double rtol = 1e-6;
+  bool detector = false;    // ABFT sum-checksum over C (Huang & Abraham)
 
   std::string key() const;
 };
@@ -40,10 +41,17 @@ class GemmProgram final : public fi::Program {
   /// Output: C, row-major.
   std::vector<double> run(fi::Tracer& tracer) const override;
 
+  /// Sum-checksum over C (the Huang & Abraham 1984 full-checksum equality)
+  /// when GemmConfig::detector is set; nullptr otherwise.
+  const fi::Detector* detector() const noexcept override {
+    return detector_.get();
+  }
+
   const GemmConfig& config() const noexcept { return config_; }
 
  private:
   GemmConfig config_;
+  fi::DetectorPtr detector_;
 };
 
 }  // namespace ftb::kernels

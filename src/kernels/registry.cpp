@@ -39,7 +39,53 @@ std::vector<std::string> program_names() {
           "spmv", "daxpy",  "matvec", "hazard",  "hazard_spin"};
 }
 
-fi::ProgramPtr make_program(const std::string& name, Preset preset) {
+fi::ProgramPtr make_program(const std::string& decorated, Preset preset) {
+  // Decorations select the robustness variants: "<kernel>[+tN][+det]",
+  // e.g. "cg+det", "spmv+t2+det", "stencil2d+t4".  "+tN" runs the kernel's
+  // deterministic N-thread sharded loops; "+det" arms its ABFT detector.
+  // Undecorated names build the exact historical configuration.
+  std::string name = decorated;
+  std::size_t threads = 1;
+  bool detector = false;
+  for (std::size_t plus = name.find('+'); plus != std::string::npos;
+       plus = name.find('+')) {
+    const std::string option = name.substr(plus + 1);
+    const std::string token =
+        option.substr(0, option.find('+'));  // first option only
+    name = name.substr(0, plus) +
+           (option.size() > token.size() ? option.substr(token.size()) : "");
+    if (token == "det") {
+      detector = true;
+    } else if (token.size() > 1 && token[0] == 't') {
+      threads = 0;
+      for (std::size_t i = 1; i < token.size(); ++i) {
+        if (token[i] < '0' || token[i] > '9') {
+          throw std::invalid_argument("bad thread option '+" + token +
+                                      "' in program name '" + decorated + "'");
+        }
+        threads = threads * 10 + static_cast<std::size_t>(token[i] - '0');
+      }
+      if (threads == 0 || threads > 64) {
+        throw std::invalid_argument("bad thread count in program name '" +
+                                    decorated + "'");
+      }
+    } else {
+      throw std::invalid_argument("unknown option '+" + token +
+                                  "' in program name '" + decorated + "'");
+    }
+  }
+  const auto reject_unsupported = [&](const char* kernel, bool can_thread,
+                                      bool can_detect) {
+    if (threads > 1 && !can_thread) {
+      throw std::invalid_argument(std::string("kernel '") + kernel +
+                                  "' has no threaded variant");
+    }
+    if (detector && !can_detect) {
+      throw std::invalid_argument(std::string("kernel '") + kernel +
+                                  "' has no detector");
+    }
+  };
+
   if (name == "cg") {
     CgConfig config;
     // Iteration counts run the solver to (near) convergence: CG's
@@ -61,9 +107,12 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
         config.iterations = 50;
         break;
     }
+    config.threads = threads;
+    config.detector = detector;
     return std::make_unique<CgProgram>(config);
   }
   if (name == "lu") {
+    reject_unsupported("lu", false, false);
     LuConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -82,6 +131,7 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
     return std::make_unique<LuProgram>(config);
   }
   if (name == "fft") {
+    reject_unsupported("fft", false, false);
     FftConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -112,9 +162,12 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
         config.iterations = 10;
         break;
     }
+    config.threads = threads;
+    config.detector = detector;
     return std::make_unique<StencilProgram>(config);
   }
   if (name == "gemm") {
+    reject_unsupported("gemm", false, true);
     GemmConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -130,9 +183,11 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
         config.block = 8;
         break;
     }
+    config.detector = detector;
     return std::make_unique<GemmProgram>(config);
   }
   if (name == "jacobi") {
+    reject_unsupported("jacobi", false, false);
     JacobiConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -166,9 +221,12 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
         config.repeats = 16;
         break;
     }
+    config.threads = threads;
+    config.detector = detector;
     return std::make_unique<SpmvProgram>(config);
   }
   if (name == "daxpy") {
+    reject_unsupported("daxpy", false, false);
     DaxpyConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -184,6 +242,7 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
     return std::make_unique<DaxpyProgram>(config);
   }
   if (name == "matvec") {
+    reject_unsupported("matvec", false, false);
     MatvecConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -202,6 +261,7 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
     return std::make_unique<MatvecProgram>(config);
   }
   if (name == "hazard") {
+    reject_unsupported("hazard", false, false);
     HazardConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -220,6 +280,7 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
     return std::make_unique<HazardProgram>(config);
   }
   if (name == "hazard_spin") {
+    reject_unsupported("hazard_spin", false, false);
     HazardSpinConfig config;
     switch (preset) {
       case Preset::kTiny:
@@ -237,7 +298,7 @@ fi::ProgramPtr make_program(const std::string& name, Preset preset) {
     }
     return std::make_unique<HazardSpinProgram>(config);
   }
-  throw std::invalid_argument("unknown program: " + name);
+  throw std::invalid_argument("unknown program: " + decorated);
 }
 
 }  // namespace ftb::kernels

@@ -21,7 +21,10 @@ const char* to_string(Preset preset) noexcept;
 std::vector<std::string> program_names();
 
 /// Creates a configured program; throws std::invalid_argument for unknown
-/// names.
+/// names.  Names may carry decorations "<kernel>[+tN][+det]": "+tN" selects
+/// the kernel's deterministic N-thread variant (cg, spmv, stencil2d) and
+/// "+det" arms its ABFT detector (cg, spmv, stencil2d, gemm), e.g.
+/// "cg+det", "spmv+t2+det".  Decorations a kernel does not support throw.
 fi::ProgramPtr make_program(const std::string& name, Preset preset);
 
 }  // namespace ftb::kernels

@@ -1,5 +1,6 @@
 #include "kernels/spmv.h"
 
+#include "kernels/parallel.h"
 #include "linalg/csr.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -7,17 +8,30 @@
 namespace ftb::kernels {
 
 std::string SpmvConfig::key() const {
-  return util::format("spmv:nx=%zu:ny=%zu:rep=%zu:seed=%llu:atol=%g:rtol=%g",
-                      nx, ny, repeats, static_cast<unsigned long long>(seed),
-                      atol, rtol);
+  std::string key = util::format(
+      "spmv:nx=%zu:ny=%zu:rep=%zu:seed=%llu:atol=%g:rtol=%g", nx, ny, repeats,
+      static_cast<unsigned long long>(seed), atol, rtol);
+  // threads = 1 and detector off keep the historical key (see CgConfig).
+  if (threads > 1) key += util::format(":thr=%zu", threads);
+  if (detector) key += ":det=1";
+  return key;
 }
 
-SpmvProgram::SpmvProgram(SpmvConfig config) : config_(config) {}
+SpmvProgram::SpmvProgram(SpmvConfig config) : config_(config) {
+  if (config_.detector) {
+    // The ABFT column-checksum equality sum(A y) = (c^T) y holds exactly in
+    // the fault-free run, so comparing sum(output) against the golden sum
+    // is precisely the check a checksum-augmented SpMV would maintain.
+    detector_ = std::make_unique<fi::ChecksumDetector>(/*atol=*/1e-8,
+                                                       /*rtol=*/1e-6);
+  }
+}
 
 std::vector<double> SpmvProgram::run(fi::Tracer& t) const {
   const linalg::CsrMatrix structure =
       linalg::CsrMatrix::poisson5(config_.nx, config_.ny);
   const std::size_t n = structure.rows();
+  const std::size_t threads = config_.threads > 0 ? config_.threads : 1;
   const auto row_ptr = structure.row_ptr();
   const auto col_idx = structure.col_idx();
   const auto ref_values = structure.values();
@@ -26,24 +40,33 @@ std::vector<double> SpmvProgram::run(fi::Tracer& t) const {
   // products neither explode nor vanish.
   t.phase("matrix");
   std::vector<double> values(ref_values.size());
-  for (std::size_t k = 0; k < ref_values.size(); ++k) {
-    values[k] = t.step(ref_values[k] / 8.0);
-  }
+  traced_parallel_for(t, ref_values.size(), threads,
+                      [&](std::size_t k, auto& s) {
+                        values[k] = s.step(ref_values[k] / 8.0);
+                      });
 
   t.phase("vector");
   util::Rng rng(config_.seed);
+  std::vector<double> init(n);
+  for (double& v : init) v = rng.next_double(-1.0, 1.0);
   std::vector<double> y(n), next(n);
-  for (double& v : y) v = t.step(rng.next_double(-1.0, 1.0));
+  traced_parallel_for(t, n, threads,
+                      [&](std::size_t i, auto& s) { y[i] = s.step(init[i]); });
+
+  // Matrix and input vector are live between phases: memory-resident
+  // faults land here and are read back by every product (fi/memfault.h).
+  t.touch(values);
+  t.touch(y);
 
   t.phase("products");
   for (std::size_t rep = 0; rep < config_.repeats; ++rep) {
-    for (std::size_t row = 0; row < n; ++row) {
+    traced_parallel_for(t, n, threads, [&](std::size_t row, auto& s) {
       double sum = 0.0;
       for (std::size_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
         sum += values[k] * y[col_idx[k]];
       }
-      next[row] = t.step(sum);
-    }
+      next[row] = s.step(sum);
+    });
     y.swap(next);
   }
   return y;

@@ -23,6 +23,8 @@ struct SpmvConfig {
   std::uint64_t seed = 71;
   double atol = 1e-9;
   double rtol = 1e-6;
+  std::size_t threads = 1;     // >1: deterministic sharded row loops
+  bool detector = false;       // ABFT sum-checksum on the output vector
 
   std::string key() const;
 };
@@ -40,10 +42,17 @@ class SpmvProgram final : public fi::Program {
   /// Output: y after `repeats` products (scaled to keep magnitudes stable).
   std::vector<double> run(fi::Tracer& tracer) const override;
 
+  /// Column-checksum detector (sum(y) against the golden sum) when
+  /// SpmvConfig::detector is set; nullptr otherwise.
+  const fi::Detector* detector() const noexcept override {
+    return detector_.get();
+  }
+
   const SpmvConfig& config() const noexcept { return config_; }
 
  private:
   SpmvConfig config_;
+  fi::DetectorPtr detector_;
 };
 
 }  // namespace ftb::kernels

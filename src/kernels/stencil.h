@@ -19,6 +19,8 @@ struct StencilConfig {
   std::uint64_t init_seed = 31; // deterministic initial field
   double atol = 1e-9;
   double rtol = 1e-6;
+  std::size_t threads = 1;      // >1: deterministic sharded sweep loops
+  bool detector = false;        // ABFT row-sum invariant on the output
 
   std::string key() const;
 };
@@ -39,10 +41,17 @@ class StencilProgram final : public fi::Program {
 
   std::vector<double> run(fi::Tracer& tracer) const override;
 
+  /// Alternating-sign row-sum invariant (stride nx) when
+  /// StencilConfig::detector is set; nullptr otherwise.
+  const fi::Detector* detector() const noexcept override {
+    return detector_.get();
+  }
+
   const StencilConfig& config() const noexcept { return config_; }
 
  private:
   StencilConfig config_;
+  fi::DetectorPtr detector_;
 };
 
 }  // namespace ftb::kernels

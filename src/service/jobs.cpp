@@ -229,6 +229,7 @@ void JobRunner::execute(const CampaignJob& job) {
       tally.sdc += chunk.sdc;
       tally.crash += chunk.crash;
       tally.hang += chunk.hang;
+      tally.detected += chunk.detected;
       if (p.supervisor != nullptr) last_stats = *p.supervisor;
       if (p.chunk.empty()) return;  // final dedupe flush; CampaignDone covers it
       CampaignProgress progress;
@@ -240,6 +241,7 @@ void JobRunner::execute(const CampaignJob& job) {
       progress.sdc = tally.sdc;
       progress.crash = tally.crash;
       progress.hang = tally.hang;
+      progress.detected = tally.detected;
       progress.worker_deaths = last_stats.worker_deaths;
       progress.worker_hangs = last_stats.worker_hangs;
       progress.requeued = last_stats.experiments_requeued;
@@ -262,6 +264,7 @@ void JobRunner::execute(const CampaignJob& job) {
     done.sdc = counts.sdc;
     done.crash = counts.crash;
     done.hang = counts.hang;
+    done.detected = counts.detected;
     done.worker_deaths = run.supervisor_stats.worker_deaths;
     done.worker_hangs = run.supervisor_stats.worker_hangs;
     done.quarantined = run.supervisor_stats.quarantined;
@@ -280,8 +283,33 @@ void JobRunner::execute(const CampaignJob& job) {
         throw std::runtime_error("cannot write boundary artifact '" +
                                  artifact + "'");
       }
+      // Per-site detector coverage from the journal, so phase-report
+      // queries against this entry can show which phases the detector
+      // protects.  Only detector-armed campaigns produce one.
+      std::vector<double> coverage;
+      if (counts.detected > 0) {
+        std::vector<std::uint64_t> caught(golden.trace.size(), 0);
+        std::vector<std::uint64_t> wrong(golden.trace.size(), 0);
+        for (const campaign::ExperimentRecord& record : run.log.records()) {
+          if (!campaign::is_classic(record.id)) continue;
+          const fi::Outcome outcome = record.result.outcome;
+          if (outcome != fi::Outcome::kSdc && outcome != fi::Outcome::kDetected)
+            continue;
+          const std::uint64_t site = campaign::site_of(record.id);
+          if (site >= wrong.size()) continue;
+          ++wrong[site];
+          if (outcome == fi::Outcome::kDetected) ++caught[site];
+        }
+        coverage.assign(golden.trace.size(), 0.0);
+        for (std::size_t i = 0; i < coverage.size(); ++i) {
+          if (wrong[i] > 0) {
+            coverage[i] = static_cast<double>(caught[i]) /
+                          static_cast<double>(wrong[i]);
+          }
+        }
+      }
       std::string publish_error;
-      if (!store_->publish(key, built, &publish_error)) {
+      if (!store_->publish(key, built, &publish_error, std::move(coverage))) {
         throw std::runtime_error("cannot publish boundary: " + publish_error);
       }
       done.ok = true;
@@ -303,6 +331,11 @@ void JobRunner::execute(const CampaignJob& job) {
                          : done.stopped ? "jobs.stopped"
                                         : "jobs.failed";
     options_.telemetry->metrics().counter(counter).add();
+    if (done.detected > 0) {
+      options_.telemetry->metrics()
+          .counter("jobs.detected")
+          .add(done.detected);
+    }
   }
   if (callbacks_.on_done) callbacks_.on_done(job, done);
 }

@@ -163,6 +163,8 @@ net::Frame make_phase_report_ok(const PhaseReportOk& ok) {
     writer.put_f64(row.informed_fraction);
     put_bool(writer, row.mean_true_sdc.has_value());
     writer.put_f64(row.mean_true_sdc.value_or(0.0));
+    put_bool(writer, row.mean_detected_coverage.has_value());
+    writer.put_f64(row.mean_detected_coverage.value_or(0.0));
   }
   return finish(MsgType::kPhaseReportOk, writer);
 }
@@ -219,6 +221,7 @@ net::Frame make_campaign_progress(const CampaignProgress& msg) {
   writer.put_u64(msg.worker_hangs);
   writer.put_u64(msg.requeued);
   writer.put_u64(msg.quarantined);
+  writer.put_u64(msg.detected);
   return finish(MsgType::kCampaignProgress, writer);
 }
 
@@ -239,6 +242,7 @@ net::Frame make_campaign_done(const CampaignDone& msg) {
   writer.put_u64(msg.worker_deaths);
   writer.put_u64(msg.worker_hangs);
   writer.put_u64(msg.quarantined);
+  writer.put_u64(msg.detected);
   return finish(MsgType::kCampaignDone, writer);
 }
 
@@ -350,6 +354,9 @@ std::optional<PhaseReportOk> parse_phase_report_ok(const net::Frame& frame,
           const bool has_true = get_bool(reader);
           const double true_sdc = reader.get_f64();
           if (has_true) row.mean_true_sdc = true_sdc;
+          const bool has_coverage = get_bool(reader);
+          const double coverage = reader.get_f64();
+          if (has_coverage) row.mean_detected_coverage = coverage;
           msg.rows.push_back(std::move(row));
         }
         return msg;
@@ -437,6 +444,7 @@ std::optional<CampaignProgress> parse_campaign_progress(
         msg.worker_hangs = reader.get_u64();
         msg.requeued = reader.get_u64();
         msg.quarantined = reader.get_u64();
+        msg.detected = reader.get_u64();
         return msg;
       });
 }
@@ -461,6 +469,7 @@ std::optional<CampaignDone> parse_campaign_done(const net::Frame& frame,
         msg.worker_deaths = reader.get_u64();
         msg.worker_hangs = reader.get_u64();
         msg.quarantined = reader.get_u64();
+        msg.detected = reader.get_u64();
         return msg;
       });
 }

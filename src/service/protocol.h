@@ -146,6 +146,7 @@ struct CampaignProgress {
   std::uint64_t worker_hangs = 0;
   std::uint64_t requeued = 0;
   std::uint64_t quarantined = 0;
+  std::uint64_t detected = 0;  // detector-caught corruptions (kDetected)
 };
 
 struct CampaignDone {
@@ -161,6 +162,7 @@ struct CampaignDone {
   std::uint64_t worker_deaths = 0;
   std::uint64_t worker_hangs = 0;
   std::uint64_t quarantined = 0;
+  std::uint64_t detected = 0;  // detector-caught corruptions (kDetected)
 };
 
 // --- frame builders -------------------------------------------------------

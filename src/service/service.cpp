@@ -343,7 +343,8 @@ void Service::handle_phase_report(net::Server::ConnId conn,
   }
   PhaseReportOk ok;
   ok.rows = boundary::phase_report(entry->phases, entry->boundary,
-                                   entry->golden.trace);
+                                   entry->golden.trace, {},
+                                   entry->coverage_profile);
   reply(conn, make_phase_report_ok(ok));
 }
 

@@ -138,10 +138,14 @@ std::size_t BoundaryStore::load_directory(
 
 bool BoundaryStore::publish(const StoreKey& key,
                             const boundary::FaultToleranceBoundary& boundary,
-                            std::string* error) {
+                            std::string* error,
+                            std::vector<double> coverage_profile) {
   try {
     auto entry = build_entry(key, boundary, {}, error);
     if (entry == nullptr) return false;
+    if (coverage_profile.size() == entry->boundary.sites()) {
+      entry->coverage_profile = std::move(coverage_profile);
+    }
     insert(std::move(entry));
   } catch (const std::invalid_argument& e) {
     if (error != nullptr) *error = e.what();

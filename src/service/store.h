@@ -48,6 +48,11 @@ struct StoreEntry {
   boundary::FaultToleranceBoundary boundary;
   fi::GoldenRun golden;
   fi::PhaseMap phases;
+  /// Per-site detector coverage (detected / (detected + SDC)), present only
+  /// for entries published by a detector-armed campaign in this process;
+  /// boundary artifacts on disk do not persist it.  Empty = unknown, and
+  /// the phase report omits its coverage column.
+  std::vector<double> coverage_profile;
 };
 
 class BoundaryStore {
@@ -66,10 +71,13 @@ class BoundaryStore {
 
   /// Builds an entry for `key` from a freshly inferred boundary (the
   /// campaign plane calls this when a job finishes) and publishes it.
-  /// False (with diagnostic) when the kernel/preset cannot be constructed.
+  /// `coverage_profile`, when non-empty, must have one value per site and
+  /// is attached to the entry for phase-report queries.  False (with
+  /// diagnostic) when the kernel/preset cannot be constructed.
   bool publish(const StoreKey& key,
                const boundary::FaultToleranceBoundary& boundary,
-               std::string* error = nullptr);
+               std::string* error = nullptr,
+               std::vector<double> coverage_profile = {});
 
   /// Snapshot lookup; nullptr when absent.
   std::shared_ptr<const StoreEntry> find(const std::string& key) const;

@@ -1,0 +1,202 @@
+// ABFT detector suite: the detector primitives, the registry's decorated
+// kernel names ("<kernel>[+tN][+det]"), and the campaign-level contract
+// that arming a detector only ever reclassifies SDC outcomes as Detected
+// (coverage strictly between 0 and 1 on real kernels).
+#include "fi/detector.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "campaign/sampler.h"
+#include "fi/executor.h"
+#include "kernels/registry.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ftb {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ChecksumDetector, FiresOnCorruptionAboveTolerance) {
+  const fi::ChecksumDetector detector(/*atol=*/1e-9, /*rtol=*/1e-9);
+  const std::vector<double> reference = {1.0, 2.0, 3.0};
+  std::vector<double> corrupted = reference;
+  corrupted[1] += 0.5;
+  EXPECT_TRUE(detector.fires(corrupted, reference));
+  EXPECT_FALSE(detector.fires(reference, reference));
+}
+
+TEST(ChecksumDetector, ToleratesRoundoff) {
+  const fi::ChecksumDetector detector(/*atol=*/1e-6, /*rtol=*/1e-6);
+  const std::vector<double> reference = {1.0, 2.0, 3.0};
+  std::vector<double> nudged = reference;
+  nudged[0] += 1e-12;  // below atol + rtol * |sum|
+  EXPECT_FALSE(detector.fires(nudged, reference));
+}
+
+TEST(ChecksumDetector, BlindToExactCancellation) {
+  // The documented lossiness: equal-and-opposite corruptions cancel in a
+  // total-sum statistic, which is exactly why coverage < 1.
+  const fi::ChecksumDetector detector(/*atol=*/1e-9, /*rtol=*/1e-9);
+  const std::vector<double> reference = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> cancelled = reference;
+  cancelled[0] += 0.5;
+  cancelled[3] -= 0.5;
+  EXPECT_FALSE(detector.fires(cancelled, reference));
+}
+
+TEST(RowSumDetector, SeesCorruptionChecksumCancels) {
+  // Alternating-sign row folding: +0.5 in row 0 and -0.5 in row 1 cancel
+  // for the plain checksum but add for the row-sum statistic.
+  const fi::RowSumDetector row_detector(/*stride=*/2, /*atol=*/1e-9,
+                                        /*rtol=*/1e-9);
+  const fi::ChecksumDetector checksum(/*atol=*/1e-9, /*rtol=*/1e-9);
+  const std::vector<double> reference = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> cancelled = reference;
+  cancelled[0] += 0.5;  // row 0
+  cancelled[2] -= 0.5;  // row 1
+  EXPECT_FALSE(checksum.fires(cancelled, reference));
+  EXPECT_TRUE(row_detector.fires(cancelled, reference));
+}
+
+TEST(Detector, NonFiniteStatisticAlwaysFires) {
+  const fi::ChecksumDetector detector(/*atol=*/1e300, /*rtol=*/1e300);
+  const std::vector<double> reference = {1.0, 2.0};
+  EXPECT_TRUE(detector.fires(std::vector<double>{1.0, kNan}, reference));
+}
+
+TEST(InvariantDetector, RunsTheSuppliedClosure) {
+  const fi::InvariantDetector detector(
+      "norm", [](std::span<const double> v) { return std::fabs(v[0]); },
+      /*atol=*/1e-9, /*rtol=*/1e-9);
+  EXPECT_EQ(detector.name(), "norm");
+  const std::vector<double> reference = {2.0};
+  EXPECT_TRUE(detector.fires(std::vector<double>{3.0}, reference));
+  EXPECT_FALSE(detector.fires(std::vector<double>{-2.0}, reference));
+}
+
+TEST(RegistryDecorations, ParseThreadAndDetectorOptions) {
+  const fi::ProgramPtr plain =
+      kernels::make_program("spmv", kernels::Preset::kTiny);
+  EXPECT_EQ(plain->detector(), nullptr);
+  EXPECT_EQ(plain->config_key().find(":thr="), std::string::npos);
+  EXPECT_EQ(plain->config_key().find(":det="), std::string::npos);
+
+  const fi::ProgramPtr decorated =
+      kernels::make_program("spmv+t2+det", kernels::Preset::kTiny);
+  EXPECT_EQ(decorated->name(), "spmv");
+  ASSERT_NE(decorated->detector(), nullptr);
+  EXPECT_EQ(decorated->detector()->name(), "checksum");
+  EXPECT_NE(decorated->config_key().find(":thr=2"), std::string::npos)
+      << decorated->config_key();
+  EXPECT_NE(decorated->config_key().find(":det=1"), std::string::npos)
+      << decorated->config_key();
+
+  const fi::ProgramPtr cg =
+      kernels::make_program("cg+det", kernels::Preset::kTiny);
+  ASSERT_NE(cg->detector(), nullptr);
+  EXPECT_EQ(cg->detector()->name(), "cg-residual");
+
+  const fi::ProgramPtr stencil =
+      kernels::make_program("stencil2d+t4+det", kernels::Preset::kTiny);
+  ASSERT_NE(stencil->detector(), nullptr);
+  EXPECT_EQ(stencil->detector()->name(), "row-sum");
+
+  const fi::ProgramPtr gemm =
+      kernels::make_program("gemm+det", kernels::Preset::kTiny);
+  ASSERT_NE(gemm->detector(), nullptr);
+}
+
+TEST(RegistryDecorations, RejectUnsupportedCombinations) {
+  EXPECT_THROW(kernels::make_program("lu+det", kernels::Preset::kTiny),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::make_program("gemm+t2", kernels::Preset::kTiny),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::make_program("daxpy+det", kernels::Preset::kTiny),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::make_program("cg+t0", kernels::Preset::kTiny),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::make_program("cg+t999", kernels::Preset::kTiny),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::make_program("cg+t2x", kernels::Preset::kTiny),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::make_program("cg+bogus", kernels::Preset::kTiny),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::make_program("nosuch+det", kernels::Preset::kTiny),
+               std::invalid_argument);
+}
+
+/// Runs the same uniform experiment sample on a kernel with and without its
+/// detector and checks the reclassification contract.  `lossy` kernels use
+/// one-scalar checksums, which provably miss some corruptions (coverage
+/// strictly below 1); CG recomputes the residual, which can catch every
+/// sampled SDC.
+void expect_detector_shifts_sdc_split(const char* kernel, bool lossy) {
+  SCOPED_TRACE(kernel);
+  const fi::ProgramPtr plain =
+      kernels::make_program(kernel, kernels::Preset::kTiny);
+  const fi::ProgramPtr armed = kernels::make_program(
+      std::string(kernel) + "+det", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*plain);
+  const fi::GoldenRun golden_armed = fi::run_golden(*armed);
+  // The detector must not perturb the computation itself.
+  EXPECT_EQ(golden.trace, golden_armed.trace);
+  EXPECT_EQ(golden.output, golden_armed.output);
+
+  util::Rng rng(23);
+  const std::vector<campaign::ExperimentId> ids =
+      campaign::sample_uniform(rng, golden.sample_space_size(), 1500);
+  util::ThreadPool pool(4);
+  const auto plain_records =
+      campaign::run_experiments(*plain, golden, ids, pool);
+  const auto armed_records =
+      campaign::run_experiments(*armed, golden_armed, ids, pool);
+  const campaign::OutcomeCounts before =
+      campaign::count_outcomes(plain_records);
+  const campaign::OutcomeCounts after =
+      campaign::count_outcomes(armed_records);
+
+  // Arming a detector reclassifies SDC -> Detected and nothing else.
+  EXPECT_EQ(before.detected, 0u);
+  EXPECT_EQ(after.masked, before.masked);
+  EXPECT_EQ(after.crash, before.crash);
+  EXPECT_EQ(after.hang, before.hang);
+  EXPECT_EQ(after.sdc + after.detected, before.sdc);
+  // The acceptance criterion: a *measurable* shift in the SDC split.
+  EXPECT_GT(after.detected, 0u);
+  EXPECT_GT(after.detected_coverage(), 0.0);
+  EXPECT_LE(after.detected_coverage(), 1.0);
+  if (lossy) {
+    // Checksum detectors provably miss some corruptions: coverage < 1.
+    EXPECT_GT(after.sdc, 0u);
+    EXPECT_LT(after.detected_coverage(), 1.0);
+  }
+
+  // Per-record: every Detected outcome carries the detector_fired flag.
+  for (const campaign::ExperimentRecord& record : armed_records) {
+    if (record.result.outcome == fi::Outcome::kDetected) {
+      EXPECT_TRUE(record.result.detector_fired);
+    }
+  }
+}
+
+TEST(DetectorCampaign, ShiftsSdcSplitOnSpmv) {
+  expect_detector_shifts_sdc_split("spmv", /*lossy=*/true);
+}
+
+TEST(DetectorCampaign, ShiftsSdcSplitOnCg) {
+  expect_detector_shifts_sdc_split("cg", /*lossy=*/false);
+}
+
+TEST(DetectorCampaign, ShiftsSdcSplitOnGemm) {
+  expect_detector_shifts_sdc_split("gemm", /*lossy=*/true);
+}
+
+}  // namespace
+}  // namespace ftb

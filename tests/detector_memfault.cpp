@@ -1,0 +1,247 @@
+// Memory-resident and multi-bit burst fault models (fi/memfault.h): the
+// encoding round-trips, injected runs are deterministic, and campaigns over
+// the mode-tagged id space journal and resume byte-identically through the
+// exact machinery trace campaigns use.
+#include "fi/memfault.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
+#include "campaign/log.h"
+#include "campaign/sample_space.h"
+#include "campaign/sampler.h"
+#include "fi/executor.h"
+#include "kernels/registry.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ftb::campaign {
+namespace {
+
+std::string temp_journal(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("ftb_memfault_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".bin"))
+      .string();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct Prepared {
+  explicit Prepared(const char* name)
+      : program(kernels::make_program(name, kernels::Preset::kTiny)),
+        golden(fi::run_golden(*program)),
+        pool(2) {}
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  util::ThreadPool pool;
+};
+
+/// A mixed-mode experiment list over the kernel's memory fault space:
+/// single-bit mem faults interleaved with width-3 bursts, stable across
+/// runs because flat indices enumerate the touch spans in execution order.
+std::vector<ExperimentId> mem_ids(const fi::GoldenRun& golden,
+                                  std::uint64_t count) {
+  const std::uint64_t space = fi::mem_sample_space(golden.touch_sizes);
+  std::vector<ExperimentId> ids;
+  ids.reserve(count);
+  const std::uint64_t stride = std::max<std::uint64_t>(1, space / count);
+  for (std::uint64_t flat = 0; flat < space && ids.size() < count;
+       flat += stride) {
+    const int width = ids.size() % 2 == 0 ? 1 : 3;
+    ids.push_back(encode_mem(fi::mem_fault_at(golden.touch_sizes, flat, width)));
+  }
+  return ids;
+}
+
+TEST(BurstMask, WidthAndClamping) {
+  EXPECT_EQ(fi::burst_mask(3, 1), std::uint64_t{1} << 3);
+  EXPECT_EQ(fi::burst_mask(4, 3), std::uint64_t{0b111} << 4);
+  // Width 0 is promoted to a single bit.
+  EXPECT_EQ(fi::burst_mask(7, 0), std::uint64_t{1} << 7);
+  // A burst that would run past bit 63 truncates at the word boundary.
+  EXPECT_EQ(fi::burst_mask(62, 4), std::uint64_t{3} << 62);
+  EXPECT_EQ(fi::burst_mask(63, 8), std::uint64_t{1} << 63);
+}
+
+TEST(MemSampleSpace, CountsBitsAcrossTouchedSpans) {
+  const std::vector<std::uint64_t> touch_sizes = {5, 0, 3};
+  EXPECT_EQ(fi::mem_sample_space(touch_sizes), 64u * 8u);
+  EXPECT_EQ(fi::mem_sample_space(std::vector<std::uint64_t>{}), 0u);
+}
+
+TEST(MemFaultEncoding, FlatIndexAndIdRoundTrip) {
+  const std::vector<std::uint64_t> touch_sizes = {5, 0, 3};
+  const std::uint64_t space = fi::mem_sample_space(touch_sizes);
+  for (const int width : {1, 3}) {
+    for (std::uint64_t flat = 0; flat < space; flat += 17) {
+      const fi::MemFault fault = fi::mem_fault_at(touch_sizes, flat, width);
+      // The fault addresses a real word of a real span.
+      ASSERT_LT(fault.touch_point, touch_sizes.size());
+      ASSERT_LT(fault.word, touch_sizes[fault.touch_point]);
+      ASSERT_GE(fault.start_bit, 0);
+      ASSERT_LT(fault.start_bit, 64);
+      EXPECT_EQ(fault.width, width);
+
+      const ExperimentId id = encode_mem(fault);
+      EXPECT_FALSE(is_classic(id));
+      EXPECT_EQ(mode_of(id),
+                width == 1 ? FaultMode::kMem : FaultMode::kMemBurst);
+      const fi::MemFault back = mem_fault_of(id);
+      EXPECT_EQ(back.touch_point, fault.touch_point);
+      EXPECT_EQ(back.word, fault.word);
+      EXPECT_EQ(back.start_bit, fault.start_bit);
+      EXPECT_EQ(back.width, fault.width);
+      // The decoded fault produces the exact same injection.
+      const fi::Injection injection = injection_of(id);
+      EXPECT_TRUE(injection.is_memory_fault());
+      EXPECT_EQ(injection.touch_point, fault.touch_point);
+      EXPECT_EQ(injection.site, fault.word);
+      EXPECT_EQ(injection.mask, fi::burst_mask(fault.start_bit, fault.width));
+    }
+  }
+  // Flat indices enumerate bits-within-words-within-spans monotonically, so
+  // a sorted flat sample re-encodes to a sorted, distinct id list.
+  std::vector<ExperimentId> ids;
+  for (std::uint64_t flat = 0; flat < space; ++flat) {
+    ids.push_back(encode_mem(fi::mem_fault_at(touch_sizes, flat, 1)));
+  }
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(TraceBurst, EncodesTheClampedMask) {
+  const fi::Injection injection = fi::trace_burst(41, 52, 3);
+  EXPECT_FALSE(injection.is_memory_fault());
+  EXPECT_EQ(injection.site, 41u);
+  EXPECT_EQ(injection.mask, fi::burst_mask(52, 3));
+  const ExperimentId id = encode_burst(41, 52, 3);
+  EXPECT_FALSE(is_classic(id));
+  EXPECT_EQ(mode_of(id), FaultMode::kBurst);
+  EXPECT_EQ(site_of(id), 41u);
+  EXPECT_EQ(bit_of(id), 52);
+  EXPECT_EQ(burst_width_of(id), 3);
+}
+
+TEST(MemFaultExecution, InjectedRunsAreDeterministic) {
+  Prepared p("spmv");
+  ASSERT_GT(fi::mem_sample_space(p.golden.touch_sizes), 0u)
+      << "spmv announces no live spans";
+  for (const ExperimentId id : mem_ids(p.golden, 12)) {
+    const fi::Injection injection = injection_of(id);
+    const fi::ExperimentResult first =
+        fi::run_injected(*p.program, p.golden, injection);
+    const fi::ExperimentResult second =
+        fi::run_injected(*p.program, p.golden, injection);
+    EXPECT_EQ(first.outcome, second.outcome) << id;
+    EXPECT_EQ(first.crash_reason, second.crash_reason) << id;
+    EXPECT_DOUBLE_EQ(first.injected_error, second.injected_error) << id;
+    EXPECT_DOUBLE_EQ(first.output_error, second.output_error) << id;
+    EXPECT_EQ(first.crash_site, second.crash_site) << id;
+  }
+}
+
+TEST(MemFaultCampaign, JournalRoundTripIsByteIdentical) {
+  Prepared p("spmv");
+  const std::vector<ExperimentId> ids = mem_ids(p.golden, 40);
+  ASSERT_FALSE(ids.empty());
+  const auto records = run_experiments(*p.program, p.golden, ids, p.pool);
+
+  CampaignLog log(p.program->config_key());
+  log.append(records);
+  log.dedupe();
+  const std::string payload = log.serialize();
+
+  const auto restored = CampaignLog::deserialize(payload);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->serialize(), payload);
+  EXPECT_EQ(restored->ids(), log.ids());
+  for (const ExperimentRecord& record : restored->records()) {
+    EXPECT_FALSE(is_classic(record.id));
+  }
+}
+
+TEST(MemFaultCampaign, CheckpointResumeIsByteIdentical) {
+  // The ISSUE acceptance scenario for the new fault modes: a finished
+  // mem/burst campaign journal, re-invoked, must execute nothing and leave
+  // the journal bytes untouched.
+  Prepared p("spmv");
+  const std::vector<ExperimentId> ids = mem_ids(p.golden, 50);
+  ASSERT_FALSE(ids.empty());
+
+  CheckpointOptions options;
+  options.path = temp_journal("resume");
+  options.flush_every = 16;
+  options.pool = &p.pool;
+  const CheckpointRunResult first =
+      run_campaign_checkpointed(*p.program, p.golden, ids, options);
+  EXPECT_FALSE(first.resumed);
+  EXPECT_EQ(first.executed, ids.size());
+  const std::string bytes_after_first = file_bytes(options.path);
+  ASSERT_FALSE(bytes_after_first.empty());
+
+  const CheckpointRunResult second =
+      run_campaign_checkpointed(*p.program, p.golden, ids, options);
+  EXPECT_TRUE(second.resumed);
+  EXPECT_EQ(second.skipped, ids.size());
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(file_bytes(options.path), bytes_after_first);
+  EXPECT_EQ(second.log.serialize(), first.log.serialize());
+  std::filesystem::remove(options.path);
+}
+
+TEST(MemFaultCampaign, NonClassicRecordsNeverFeedTheBoundary) {
+  // A log carrying extra mem/burst records must rebuild the exact same
+  // silent-corruption boundary as one with only the classic records: the
+  // (site, bit) space is the boundary's domain and other modes are gated
+  // out by is_classic().
+  Prepared p("spmv");
+  util::Rng rng(7);
+  const std::vector<ExperimentId> classic_ids =
+      sample_uniform(rng, p.golden.sample_space_size(), 300);
+  const auto classic_records =
+      run_experiments(*p.program, p.golden, classic_ids, p.pool);
+  std::vector<ExperimentId> extra_ids = mem_ids(p.golden, 30);
+  extra_ids.push_back(encode_burst(3, 20, 4));
+  const auto extra_records =
+      run_experiments(*p.program, p.golden, extra_ids, p.pool);
+
+  CampaignLog classic_only(p.program->config_key());
+  classic_only.append(classic_records);
+  classic_only.dedupe();
+  CampaignLog mixed(p.program->config_key());
+  mixed.append(classic_records);
+  mixed.append(extra_records);
+  mixed.dedupe();
+  ASSERT_GT(mixed.size(), classic_only.size());
+
+  boundary::AccumulatorOptions options;
+  options.filter = true;
+  const auto from_classic = boundary_from_log(*p.program, p.golden,
+                                              classic_only, options, p.pool);
+  const auto from_mixed =
+      boundary_from_log(*p.program, p.golden, mixed, options, p.pool);
+  ASSERT_EQ(from_classic.sites(), from_mixed.sites());
+  for (std::size_t site = 0; site < from_classic.sites(); ++site) {
+    EXPECT_DOUBLE_EQ(from_classic.threshold(site), from_mixed.threshold(site))
+        << site;
+  }
+}
+
+}  // namespace
+}  // namespace ftb::campaign

@@ -1,0 +1,201 @@
+// Deterministic threaded tracing: sharded tracers reproduce the serial
+// dynamic-instruction numbering, crashes land on the minimum site exactly as
+// the serial interleaving would, and the threaded kernel variants produce
+// byte-identical traces, injected runs, and inference results across reruns.
+#include "kernels/parallel.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/inference.h"
+#include "campaign/sample_space.h"
+#include "fi/executor.h"
+#include "fi/tracer.h"
+#include "kernels/registry.h"
+#include "util/thread_pool.h"
+
+namespace ftb {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(SplitRanges, ContiguousNearEqualPartition) {
+  for (const std::size_t count : {0u, 1u, 7u, 64u, 65u}) {
+    for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+      const auto ranges = kernels::split_ranges(count, threads);
+      ASSERT_EQ(ranges.size(), threads);
+      std::size_t expected_begin = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_GE(end, begin);
+        // Near-equal: every range holds floor or ceil of count/threads.
+        EXPECT_LE(end - begin, count / threads + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, count);
+    }
+  }
+}
+
+TEST(TracerShard, JoinThrowsTheMinimumCrashSite) {
+  // Two shards, both hitting a non-finite value after the injection fired:
+  // shard 0 at global index 3, shard 1 at global index 6.  The serial
+  // interleaving would trap at 3 first, so join() must throw exactly that,
+  // regardless of which thread "finished" first.
+  fi::Tracer tracer = fi::Tracer::injector(fi::Injection::bit_flip(1, 52));
+  std::vector<fi::Tracer::Shard> shards;
+  shards.push_back(tracer.shard(5));  // global indices 0..4
+  shards.push_back(tracer.shard(5));  // global indices 5..9
+  EXPECT_EQ(tracer.steps(), 10u);
+
+  // Shard 1 runs to completion *before* shard 0 ever sees its NaN.
+  shards[1].step(1.0);
+  shards[1].step(kNan);  // global index 6
+  for (int i = 0; i < 3; ++i) shards[1].step(1.0);
+
+  shards[0].step(1.0);
+  shards[0].step(1.0);  // global index 1: injection fires (bit 52 -> 0.5)
+  shards[0].step(1.0);
+  shards[0].step(kNan);  // global index 3
+  shards[0].step(1.0);
+
+  try {
+    tracer.join(shards);
+    FAIL() << "join() must throw CrashSignal";
+  } catch (const fi::CrashSignal& signal) {
+    EXPECT_EQ(signal.site, 3u);
+  }
+  EXPECT_TRUE(tracer.fired());
+  EXPECT_DOUBLE_EQ(tracer.injected_error(), 0.5);  // |0.5 - 1.0|
+}
+
+TEST(TracerShard, RecordModeMergesInShardOrder) {
+  std::vector<double> trace;
+  fi::Tracer tracer = fi::Tracer::recorder(trace);
+  std::vector<fi::Tracer::Shard> shards;
+  shards.push_back(tracer.shard(2));
+  shards.push_back(tracer.shard(3));
+  // Run the shards "out of order"; the merged trace must still follow the
+  // pre-assigned global numbering.
+  shards[1].step(30.0);
+  shards[1].step(40.0);
+  shards[1].step(50.0);
+  shards[0].step(10.0);
+  shards[0].step(20.0);
+  tracer.join(shards);
+  EXPECT_EQ(trace, (std::vector<double>{10.0, 20.0, 30.0, 40.0, 50.0}));
+}
+
+TEST(ReducedParallelSum, FoldsInThreadOrder) {
+  std::vector<double> values(101);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto term = [&](std::size_t i) { return values[i]; };
+  double serial = 0.0;
+  for (const double v : values) serial += v;
+  // threads <= 1 is the plain serial loop, bit-for-bit.
+  EXPECT_EQ(kernels::reduced_parallel_sum(values.size(), 1, term), serial);
+  // Each thread count has one fixed grouping: reruns agree exactly.
+  for (const std::size_t threads : {2u, 3u, 4u, 7u}) {
+    const double once = kernels::reduced_parallel_sum(values.size(), threads, term);
+    const double again =
+        kernels::reduced_parallel_sum(values.size(), threads, term);
+    EXPECT_EQ(once, again) << threads;
+    EXPECT_NEAR(once, serial, 1e-12);
+  }
+}
+
+TEST(ThreadedGolden, SpmvTraceIsThreadCountInvariant) {
+  // SpMV has no cross-element reductions, so the threaded variant is not
+  // just deterministic but *identical* to the serial kernel.
+  const auto serial = fi::run_golden(
+      *kernels::make_program("spmv", kernels::Preset::kTiny));
+  const auto threaded = fi::run_golden(
+      *kernels::make_program("spmv+t2", kernels::Preset::kTiny));
+  EXPECT_EQ(serial.trace, threaded.trace);
+  EXPECT_EQ(serial.output, threaded.output);
+  EXPECT_EQ(serial.phases, threaded.phases);
+  EXPECT_EQ(serial.touch_sizes, threaded.touch_sizes);
+}
+
+TEST(ThreadedGolden, CgRerunsAreIdenticalPerThreadCount) {
+  // CG's dot products regroup per thread count (different rounding than
+  // serial), but each count is a single fixed grouping: reruns are exact.
+  for (const char* name : {"cg+t2", "cg+t4", "stencil2d+t3"}) {
+    SCOPED_TRACE(name);
+    const fi::ProgramPtr program =
+        kernels::make_program(name, kernels::Preset::kTiny);
+    const auto first = fi::run_golden(*program);
+    const auto second = fi::run_golden(*program);
+    EXPECT_EQ(first.trace, second.trace);
+    EXPECT_EQ(first.output, second.output);
+    EXPECT_EQ(first.phases, second.phases);
+  }
+}
+
+TEST(ThreadedInjection, InjectedRunsAreDeterministic) {
+  const fi::ProgramPtr program =
+      kernels::make_program("cg+t2", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  ASSERT_GT(golden.trace.size(), 10u);
+  // A spread of sites and bits, including the high-exponent bit 62 whose
+  // flips frequently crash.
+  const std::uint64_t last = golden.trace.size() - 1;
+  for (const auto& [site, bit] :
+       std::vector<std::pair<std::uint64_t, int>>{
+           {0, 52}, {last / 3, 62}, {last / 2, 0}, {last, 31}}) {
+    const fi::Injection injection = fi::Injection::bit_flip(site, bit);
+    const fi::ExperimentResult first =
+        fi::run_injected(*program, golden, injection);
+    const fi::ExperimentResult second =
+        fi::run_injected(*program, golden, injection);
+    EXPECT_EQ(first.outcome, second.outcome) << site << ":" << bit;
+    EXPECT_EQ(first.crash_reason, second.crash_reason) << site << ":" << bit;
+    EXPECT_DOUBLE_EQ(first.injected_error, second.injected_error);
+    EXPECT_DOUBLE_EQ(first.output_error, second.output_error);
+    EXPECT_EQ(first.crash_site, second.crash_site) << site << ":" << bit;
+  }
+}
+
+TEST(ThreadedInference, SpmvBoundaryMatchesSerial) {
+  // End-to-end: the full inference pipeline over the threaded SpMV variant
+  // reproduces the serial records and boundary exactly (same golden trace,
+  // same sampled ids, same outcomes, same thresholds).
+  const fi::ProgramPtr serial =
+      kernels::make_program("spmv", kernels::Preset::kTiny);
+  const fi::ProgramPtr threaded =
+      kernels::make_program("spmv+t2", kernels::Preset::kTiny);
+  const fi::GoldenRun golden_serial = fi::run_golden(*serial);
+  const fi::GoldenRun golden_threaded = fi::run_golden(*threaded);
+  util::ThreadPool pool(2);
+  campaign::InferenceOptions options;
+  options.sample_fraction = 0.05;
+  options.seed = 5;
+  options.filter = true;
+  const campaign::InferenceResult a =
+      campaign::infer_uniform(*serial, golden_serial, options, pool);
+  const campaign::InferenceResult b =
+      campaign::infer_uniform(*threaded, golden_threaded, options, pool);
+
+  EXPECT_EQ(a.sampled_ids, b.sampled_ids);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].id, b.records[i].id);
+    EXPECT_EQ(a.records[i].result.outcome, b.records[i].result.outcome)
+        << a.records[i].id;
+  }
+  ASSERT_EQ(a.boundary.sites(), b.boundary.sites());
+  for (std::size_t site = 0; site < a.boundary.sites(); ++site) {
+    EXPECT_DOUBLE_EQ(a.boundary.threshold(site), b.boundary.threshold(site))
+        << site;
+  }
+}
+
+}  // namespace
+}  // namespace ftb

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include "campaign/inference.h"
 #include "campaign/sampler.h"
 #include "kernels/registry.h"
+#include "util/cache.h"
 #include "util/rng.h"
 
 namespace ftb::campaign {
@@ -125,6 +127,100 @@ TEST(CampaignLog, CrashReasonSurvivesRoundTrip) {
             fi::CrashReason::kSigSegv);
   EXPECT_EQ(restored->records()[1].result.outcome, fi::Outcome::kHang);
   EXPECT_EQ(restored->records()[1].result.crash_reason, fi::CrashReason::kNone);
+}
+
+TEST(CampaignLog, DetectorFlagAndModeTaggedIdsSurviveRoundTrip) {
+  // v3 payload: the detector_fired flag and mode-tagged (burst / memory-
+  // resident) experiment ids must come back exactly.
+  ExperimentRecord detected;
+  detected.id = encode(11, 52);
+  detected.result.outcome = fi::Outcome::kDetected;
+  detected.result.detector_fired = true;
+  detected.result.output_error = 0.5;
+  ExperimentRecord false_positive;  // Masked but the detector cried wolf
+  false_positive.id = encode(12, 1);
+  false_positive.result.outcome = fi::Outcome::kMasked;
+  false_positive.result.detector_fired = true;
+  ExperimentRecord mem;
+  mem.id = encode_mem({/*touch_point=*/2, /*word=*/7, /*start_bit=*/3,
+                       /*width=*/4});
+  mem.result.outcome = fi::Outcome::kSdc;
+  ExperimentRecord burst;
+  burst.id = encode_burst(/*site=*/9, /*start_bit=*/50, /*width=*/3);
+  burst.result.outcome = fi::Outcome::kCrash;
+  const ExperimentRecord batch[] = {detected, false_positive, mem, burst};
+  CampaignLog original("detector-round-trip");
+  original.append(batch);
+
+  const auto restored = CampaignLog::deserialize(original.serialize());
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 4u);
+  EXPECT_EQ(restored->records()[0].result.outcome, fi::Outcome::kDetected);
+  EXPECT_TRUE(restored->records()[0].result.detector_fired);
+  EXPECT_TRUE(restored->records()[1].result.detector_fired);
+  EXPECT_EQ(restored->records()[1].result.outcome, fi::Outcome::kMasked);
+  EXPECT_EQ(restored->records()[2].id, mem.id);
+  EXPECT_EQ(mode_of(restored->records()[2].id), FaultMode::kMemBurst);
+  EXPECT_EQ(restored->records()[3].id, burst.id);
+  EXPECT_EQ(mode_of(restored->records()[3].id), FaultMode::kBurst);
+  // Serialization is canonical: a second trip is byte-identical (what the
+  // resume machinery relies on).
+  EXPECT_EQ(restored->serialize(), original.serialize());
+}
+
+// Writes a version-2 payload (pre-detector: no per-record flags word) by
+// hand, matching the v2 encoder byte for byte.
+std::string serialize_v2(const std::string& config_key,
+                         std::span<const ExperimentRecord> records) {
+  util::BinaryWriter writer;
+  writer.put_u64(0x4654422d434c4f47ull);  // "FTB-CLOG"
+  writer.put_u64(2);
+  writer.put_string(config_key);
+  writer.put_u64(records.size());
+  for (const ExperimentRecord& record : records) {
+    writer.put_u64(record.id);
+    writer.put_u64(static_cast<std::uint64_t>(record.result.outcome));
+    writer.put_u64(static_cast<std::uint64_t>(record.result.crash_reason));
+    writer.put_f64(record.result.injected_error);
+    writer.put_f64(record.result.output_error);
+    writer.put_u64(record.result.crash_site);
+  }
+  const std::uint32_t crc =
+      util::crc32(writer.buffer().data(), writer.buffer().size());
+  writer.put_u64(crc);
+  return {writer.buffer().begin(), writer.buffer().end()};
+}
+
+TEST(CampaignLog, VersionTwoLogsStillLoad) {
+  // Back-compat: journals written before the detector existed load with
+  // detector_fired defaulting to false.
+  ExperimentRecord record;
+  record.id = encode(5, 17);
+  record.result.outcome = fi::Outcome::kSdc;
+  record.result.injected_error = 0.25;
+  const ExperimentRecord batch[] = {record};
+  const auto restored =
+      CampaignLog::deserialize(serialize_v2("old-config", batch));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config_key(), "old-config");
+  ASSERT_EQ(restored->size(), 1u);
+  EXPECT_EQ(restored->records()[0].result.outcome, fi::Outcome::kSdc);
+  EXPECT_FALSE(restored->records()[0].result.detector_fired);
+}
+
+TEST(CampaignLog, UnknownOutcomeIsDiagnosedByName) {
+  // A v-next log carrying an outcome this binary does not know must fail
+  // with the *named* diagnostic, not a bare integer.
+  ExperimentRecord record;
+  record.id = encode(1, 2);
+  record.result.outcome = static_cast<fi::Outcome>(9);
+  const ExperimentRecord batch[] = {record};
+  std::string error;
+  EXPECT_FALSE(
+      CampaignLog::deserialize(serialize_v2("future", batch), &error)
+          .has_value());
+  EXPECT_NE(error.find("unknown(9)"), std::string::npos) << error;
+  EXPECT_NE(error.find("Detected"), std::string::npos) << error;
 }
 
 TEST(CampaignLog, FileRoundTrip) {

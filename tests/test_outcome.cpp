@@ -16,6 +16,16 @@ TEST(Outcome, ToString) {
   EXPECT_STREQ(to_string(Outcome::kMasked), "Masked");
   EXPECT_STREQ(to_string(Outcome::kSdc), "SDC");
   EXPECT_STREQ(to_string(Outcome::kCrash), "Crash");
+  EXPECT_STREQ(to_string(Outcome::kDetected), "Detected");
+}
+
+TEST(Outcome, NameOfRawValue) {
+  // outcome_name is the diagnostic used for raw on-disk bytes: known values
+  // print their name, unknown (future) values print the integer.
+  EXPECT_EQ(outcome_name(static_cast<std::uint64_t>(Outcome::kDetected)),
+            "Detected");
+  EXPECT_EQ(outcome_name(0), "Masked");
+  EXPECT_EQ(outcome_name(250), "unknown(250)");
 }
 
 TEST(OutputComparator, LinfDistance) {

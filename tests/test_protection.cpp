@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "boundary/accumulator.h"
 #include "boundary/predictor.h"
 #include "fi/fpbits.h"
+#include "fi/outcome.h"
 
 namespace ftb::boundary {
 namespace {
@@ -85,6 +87,51 @@ TEST(ProtectionTarget, AlreadyMetTargetNeedsNoProtection) {
   Fixture s;
   const ProtectionPlan plan = plan_to_target(s.boundary, s.trace, 1.0);
   EXPECT_TRUE(plan.sites.empty());
+}
+
+TEST(ProtectionWithDetector, DetectedHeavySitesAreDeprioritized) {
+  // Two sites with identical masked-propagation evidence; the same
+  // corruptions are *silent* at site 0 (kSdc) but *caught* at site 1
+  // (kDetected).  Detected evidence never feeds the silent-corruption
+  // boundary, so site 1 keeps its generous masked threshold while site 0's
+  // SDC evidence (via the Section 3.5 filter) clamps its threshold down --
+  // and the protection planner must therefore spend its budget on site 0.
+  const std::vector<double> trace = {1.0, 1.0};
+  AccumulatorOptions options;
+  options.filter = true;
+  BoundaryAccumulator acc(2, options);
+  acc.record_injection(0, 52, fi::Outcome::kSdc, 0.01);
+  acc.record_injection(1, 52, fi::Outcome::kDetected, 0.01);
+  const std::vector<double> diffs = {0.5, 0.5};
+  acc.record_masked_propagation(diffs);
+  const FaultToleranceBoundary shifted = acc.finalize();
+
+  // The detector-heavy site ends up with the larger threshold...
+  EXPECT_LT(shifted.threshold(0), shifted.threshold(1));
+  // ...so a one-site budget goes to the SDC-heavy site.
+  const ProtectionPlan plan = plan_with_budget(shifted, trace, 0.5);
+  ASSERT_EQ(plan.sites.size(), 1u);
+  EXPECT_EQ(plan.sites[0], 0u);
+
+  // Coverage bookkeeping: site 1's wrong outputs were all caught.
+  EXPECT_DOUBLE_EQ(acc.detected_coverage(0), 0.0);
+  EXPECT_DOUBLE_EQ(acc.detected_coverage(1), 1.0);
+  EXPECT_EQ(acc.total_detected(), 1u);
+  EXPECT_EQ(acc.total_sdc(), 1u);
+  const std::vector<double> profile = acc.coverage_profile();
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile[1], 1.0);
+
+  // Without the detector the same experiments classify kSdc at both sites
+  // and the planner sees them as equally urgent: both get protected under
+  // a full budget, and site 1's threshold collapses to site 0's.
+  BoundaryAccumulator no_det(2, options);
+  no_det.record_injection(0, 52, fi::Outcome::kSdc, 0.01);
+  no_det.record_injection(1, 52, fi::Outcome::kSdc, 0.01);
+  no_det.record_masked_propagation(diffs);
+  const FaultToleranceBoundary plain = no_det.finalize();
+  EXPECT_DOUBLE_EQ(plain.threshold(0), plain.threshold(1));
+  EXPECT_EQ(plan_with_budget(plain, trace, 1.0).sites.size(), 2u);
 }
 
 class ProtectionCoverageSweep : public ::testing::TestWithParam<double> {};

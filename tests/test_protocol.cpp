@@ -127,9 +127,11 @@ TEST(Protocol, PhaseReportRoundTrip) {
   row.median_threshold = 5.2e-5;
   row.informed_fraction = 1.0;
   row.mean_true_sdc = 0.25;
+  row.mean_detected_coverage = 0.75;
   ok.rows.push_back(row);
   row.name = "(prelude)";
   row.mean_true_sdc.reset();
+  row.mean_detected_coverage.reset();
   ok.rows.push_back(row);
 
   const net::Frame frame = make_phase_report_ok(ok);
@@ -139,7 +141,10 @@ TEST(Protocol, PhaseReportRoundTrip) {
   EXPECT_EQ(decoded->rows[0].name, "iterations");
   ASSERT_TRUE(decoded->rows[0].mean_true_sdc.has_value());
   EXPECT_DOUBLE_EQ(*decoded->rows[0].mean_true_sdc, 0.25);
+  ASSERT_TRUE(decoded->rows[0].mean_detected_coverage.has_value());
+  EXPECT_DOUBLE_EQ(*decoded->rows[0].mean_detected_coverage, 0.75);
   EXPECT_FALSE(decoded->rows[1].mean_true_sdc.has_value());
+  EXPECT_FALSE(decoded->rows[1].mean_detected_coverage.has_value());
   expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
     return parse_phase_report_ok(f, e);
   });
@@ -220,12 +225,14 @@ TEST(Protocol, CampaignStreamRoundTrip) {
   progress.crash = 1;
   progress.worker_deaths = 2;
   progress.requeued = 5;
+  progress.detected = 9;
   const net::Frame pframe = make_campaign_progress(progress);
   const auto decoded_progress = parse_campaign_progress(pframe);
   ASSERT_TRUE(decoded_progress.has_value());
   EXPECT_EQ(decoded_progress->done, 128u);
   EXPECT_EQ(decoded_progress->worker_deaths, 2u);
   EXPECT_EQ(decoded_progress->requeued, 5u);
+  EXPECT_EQ(decoded_progress->detected, 9u);
   expect_framing_discipline(pframe, [](const net::Frame& f, std::string* e) {
     return parse_campaign_progress(f, e);
   });
@@ -237,6 +244,7 @@ TEST(Protocol, CampaignStreamRoundTrip) {
   done.executed = 400;
   done.flushes = 5;
   done.masked = 206;
+  done.detected = 17;
   const net::Frame dframe = make_campaign_done(done);
   const auto decoded_done = parse_campaign_done(dframe);
   ASSERT_TRUE(decoded_done.has_value());
@@ -244,6 +252,7 @@ TEST(Protocol, CampaignStreamRoundTrip) {
   EXPECT_FALSE(decoded_done->stopped);
   EXPECT_EQ(decoded_done->store_key, "daxpy@tiny@1");
   EXPECT_EQ(decoded_done->executed, 400u);
+  EXPECT_EQ(decoded_done->detected, 17u);
   expect_framing_discipline(dframe, [](const net::Frame& f, std::string* e) {
     return parse_campaign_done(f, e);
   });

@@ -241,6 +241,44 @@ TEST_F(ServiceTest, SubmitRunsPublishesAndIsImmediatelyQueryable) {
   EXPECT_TRUE(fs::exists(dir_ / "daxpy@tiny@1.boundary"));
 }
 
+// The ISSUE acceptance scenario: a detector-enabled *threaded* preset is
+// servable end-to-end.  The campaign stream reports detected counts, and
+// the published entry answers phase-report queries with per-phase detector
+// coverage.
+TEST_F(ServiceTest, DetectorThreadedCampaignServesCoverage) {
+  start();
+  net::Client client = make_client();
+  SubmitCampaignReq req;
+  req.kernel = "spmv+t2+det";
+  req.preset = "tiny";
+  req.seed = 1;
+  req.batch = 400;
+  req.workers = 1;
+  req.flush_every = 200;
+  const SubmitOutcome outcome = submit_and_wait(client, req);
+  ASSERT_TRUE(outcome.accepted.has_value()) << outcome.error;
+  ASSERT_TRUE(outcome.done.has_value()) << outcome.error;
+  EXPECT_TRUE(outcome.done->ok) << outcome.done->error;
+  EXPECT_EQ(outcome.done->store_key, "spmv+t2+det@tiny@1");
+  // The checksum detector catches a healthy share of SpMV's corruptions.
+  EXPECT_GT(outcome.done->detected, 0u);
+  EXPECT_GT(outcome.done->masked, 0u);
+
+  std::string error;
+  PhaseReportReq report;
+  report.key = "spmv+t2+det@tiny@1";
+  const auto reply = client.call(make_phase_report(report), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  const auto report_ok = parse_phase_report_ok(*reply, &error);
+  ASSERT_TRUE(report_ok.has_value()) << error;
+  ASSERT_FALSE(report_ok->rows.empty());
+  bool any_coverage = false;
+  for (const auto& row : report_ok->rows) {
+    if (row.mean_detected_coverage.value_or(0.0) > 0.0) any_coverage = true;
+  }
+  EXPECT_TRUE(any_coverage);
+}
+
 // A campaign over the hazard kernel kills sandbox workers (signal deaths,
 // heartbeat hangs) as a matter of course.  None of that mortality may
 // surface to the client as a failure -- only as telemetry-style counts in

@@ -220,10 +220,11 @@ int cmd_infer(const util::Cli& cli) {
         result.boundary, k.golden.trace, result.records);
     std::printf("uniform sampling  : %zu experiments (%.2f%% of space)\n",
                 result.sampled_ids.size(), 100.0 * options.sample_fraction);
-    std::printf("outcomes          : masked %llu / sdc %llu / crash %llu / "
-                "hang %llu\n",
+    std::printf("outcomes          : masked %llu / sdc %llu / detected %llu / "
+                "crash %llu / hang %llu\n",
                 static_cast<unsigned long long>(result.counts.masked),
                 static_cast<unsigned long long>(result.counts.sdc),
+                static_cast<unsigned long long>(result.counts.detected),
                 static_cast<unsigned long long>(result.counts.crash),
                 static_cast<unsigned long long>(result.counts.hang));
     std::printf("uncertainty       : %s (self-verified precision)\n",
@@ -243,17 +244,76 @@ int cmd_infer(const util::Cli& cli) {
 
 void print_outcomes(std::span<const campaign::ExperimentRecord> records) {
   const campaign::OutcomeCounts counts = campaign::count_outcomes(records);
-  std::printf("outcomes          : masked %llu / sdc %llu / crash %llu / "
-              "hang %llu\n",
+  std::printf("outcomes          : masked %llu / sdc %llu / detected %llu / "
+              "crash %llu / hang %llu\n",
               static_cast<unsigned long long>(counts.masked),
               static_cast<unsigned long long>(counts.sdc),
+              static_cast<unsigned long long>(counts.detected),
               static_cast<unsigned long long>(counts.crash),
               static_cast<unsigned long long>(counts.hang));
+  if (counts.detected > 0) {
+    std::printf("detector coverage : %s (%llu of %llu corruptions caught)\n",
+                util::percent(counts.detected_coverage()).c_str(),
+                static_cast<unsigned long long>(counts.detected),
+                static_cast<unsigned long long>(counts.detected +
+                                                counts.sdc));
+  }
   const std::string reasons =
       campaign::describe_crash_reasons(campaign::count_crash_reasons(records));
   if (!reasons.empty()) {
     std::printf("crash reasons     : %s\n", reasons.c_str());
   }
+}
+
+/// Samples --batch experiment ids in the fault model selected by --fault
+/// bitflip|burst|mem|memburst (default bitflip, the paper's single-bit
+/// trace flip).  Burst models flip --burst-width contiguous bits (default
+/// 2); memory-resident models draw from the live-state spans the kernel
+/// announces via Tracer::touch().  The id set is a pure function of
+/// (--seed + seed_offset, --fault, --burst-width), so resumed invocations
+/// re-aim at the interrupted experiment set.
+std::vector<campaign::ExperimentId> sample_fault_ids(
+    const util::Cli& cli, const Loaded& k, std::uint64_t seed_offset) {
+  const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)) +
+                seed_offset);
+  const std::string fault = cli.get("fault", "bitflip");
+  const int width = static_cast<int>(cli.get_int("burst-width", 2));
+  if (fault == "bitflip") {
+    return campaign::sample_uniform(rng, k.golden.sample_space_size(), batch);
+  }
+  if (fault == "burst") {
+    // Same (site, start_bit) space as bitflip; re-tag each id with the
+    // burst width.  encode_burst is monotonic in (site, bit), so the
+    // sorted-distinct property of sample_uniform survives.
+    std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
+        rng, k.golden.sample_space_size(), batch);
+    for (campaign::ExperimentId& id : ids) {
+      id = campaign::encode_burst(campaign::site_of(id), campaign::bit_of(id),
+                                  width);
+    }
+    return ids;
+  }
+  if (fault == "mem" || fault == "memburst") {
+    const std::uint64_t space = fi::mem_sample_space(k.golden.touch_sizes);
+    if (space == 0) {
+      throw std::invalid_argument(
+          "kernel '" + k.program->name() +
+          "' announces no live spans (Tracer::touch), so it has no "
+          "memory-resident fault space");
+    }
+    const int mem_width = fault == "mem" ? 1 : width;
+    std::vector<campaign::ExperimentId> ids;
+    ids.reserve(batch);
+    for (const std::uint64_t flat :
+         campaign::sample_uniform(rng, space, batch)) {
+      ids.push_back(campaign::encode_mem(
+          fi::mem_fault_at(k.golden.touch_sizes, flat, mem_width)));
+    }
+    return ids;
+  }
+  throw std::invalid_argument("unknown --fault '" + fault +
+                              "' (expected bitflip, burst, mem or memburst)");
 }
 
 /// Checkpointed campaign: run the sampled experiment set through the
@@ -279,12 +339,10 @@ int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
   options.supervisor.pool.heartbeat_timeout_ms = options.sandbox.timeout_ms;
   options.supervisor.quarantine_after = cli.get_int("quarantine-after", 3);
 
-  // The id set must be a pure function of the seed: a resumed invocation
-  // has to aim at the same experiments as the interrupted one.
-  const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
-  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-  const std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
-      rng, k.golden.sample_space_size(), batch);
+  // The id set must be a pure function of the seed (and fault flags): a
+  // resumed invocation has to aim at the same experiments as the
+  // interrupted one.
+  const std::vector<campaign::ExperimentId> ids = sample_fault_ids(cli, k, 0);
 
   const campaign::CheckpointRunResult run =
       campaign::run_campaign_checkpointed(*k.program, k.golden, ids, options);
@@ -333,10 +391,7 @@ int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
 int cmd_campaign_oneshot(const util::Cli& cli, const Loaded& k,
                          telemetry::Telemetry* tele) {
   util::ThreadPool& pool = util::default_pool();
-  const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
-  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-  const std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
-      rng, k.golden.sample_space_size(), batch);
+  const std::vector<campaign::ExperimentId> ids = sample_fault_ids(cli, k, 0);
 
   const auto chunk_size = static_cast<std::size_t>(cli.get_int("chunk", 256));
   const auto timeout_ms =
@@ -425,11 +480,8 @@ int cmd_campaign(const util::Cli& cli) {
     return 1;
   }
 
-  const auto batch = static_cast<std::uint64_t>(cli.get_int("batch", 1000));
-  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)) +
-                log.size());
-  const std::vector<campaign::ExperimentId> ids = campaign::sample_uniform(
-      rng, k.golden.sample_space_size(), batch);
+  const std::vector<campaign::ExperimentId> ids =
+      sample_fault_ids(cli, k, log.size());
   log.append(campaign::run_experiments(*k.program, k.golden, ids, pool));
   log.dedupe();
   if (!log.save(path)) {
@@ -570,11 +622,19 @@ int main(int argc, char** argv) {
       "              persistent worker-pool supervisor instead (heartbeats,\n"
       "              respawn, --quarantine-after K site quarantine).\n"
       "              Without --log/--resume: one-shot campaign, nothing\n"
-      "              persisted (--batch N, --chunk N, same isolation flags)\n"
+      "              persisted (--batch N, --chunk N, same isolation flags).\n"
+      "              --fault bitflip|burst|mem|memburst picks the fault\n"
+      "              model (--burst-width K, default 2): burst = K\n"
+      "              contiguous bits of a traced value, mem/memburst =\n"
+      "              bits of live matrix/vector state between phases\n"
       "  report      per-phase vulnerability report (--load FILE)\n"
       "  protect     selective-protection plan (--load FILE, --budget F or\n"
       "              --target R)\n\n"
       "common flags: --kernel K  --preset tiny|default|paper  --seed S\n"
+      "              kernel names accept decorations K[+tN][+det]: \"+tN\"\n"
+      "              = deterministic N-thread variant (cg, spmv,\n"
+      "              stencil2d), \"+det\" = ABFT detector (cg, spmv,\n"
+      "              stencil2d, gemm), e.g. --kernel spmv+t2+det\n"
       "telemetry   : --metrics-out FILE (metrics JSON)  --trace-out FILE\n"
       "              (Chrome trace_event JSON for chrome://tracing/Perfetto)\n"
       "              --events-out FILE (JSONL event log); any of these flags\n"

@@ -78,6 +78,7 @@ const char* outcome_name(std::uint32_t outcome) {
     case fi::Outcome::kSdc: return "SDC";
     case fi::Outcome::kCrash: return "Crash";
     case fi::Outcome::kHang: return "Hang";
+    case fi::Outcome::kDetected: return "Detected";
   }
   return "?";
 }
@@ -154,11 +155,15 @@ int cmd_report(net::Client& client, const util::Cli& cli) {
   if (!ok.has_value()) return fail_reply(*reply);
   for (const boundary::PhaseReport& row : ok->rows) {
     std::printf("%-20s [%8llu, %8llu)  pred-sdc %.4f  median-thr %.6g  "
-                "informed %.4f\n",
+                "informed %.4f",
                 row.name.c_str(), static_cast<unsigned long long>(row.begin),
                 static_cast<unsigned long long>(row.end),
                 row.mean_predicted_sdc, row.median_threshold,
                 row.informed_fraction);
+    if (row.mean_detected_coverage.has_value()) {
+      std::printf("  det-coverage %.4f", *row.mean_detected_coverage);
+    }
+    std::printf("\n");
   }
   std::printf("%zu phases\n", ok->rows.size());
   return 0;
@@ -243,13 +248,14 @@ int cmd_submit(net::Client& client, const util::Cli& cli) {
     if (!frame.has_value()) return fail(error);
     if (const auto progress = service::parse_campaign_progress(*frame)) {
       std::printf("progress: %llu/%llu executed, %llu logged "
-                  "(masked %llu sdc %llu crash %llu hang %llu; "
+                  "(masked %llu sdc %llu detected %llu crash %llu hang %llu; "
                   "deaths %llu hangs %llu requeued %llu quarantined %llu)\n",
                   static_cast<unsigned long long>(progress->done),
                   static_cast<unsigned long long>(progress->total),
                   static_cast<unsigned long long>(progress->logged),
                   static_cast<unsigned long long>(progress->masked),
                   static_cast<unsigned long long>(progress->sdc),
+                  static_cast<unsigned long long>(progress->detected),
                   static_cast<unsigned long long>(progress->crash),
                   static_cast<unsigned long long>(progress->hang),
                   static_cast<unsigned long long>(progress->worker_deaths),
@@ -267,6 +273,14 @@ int cmd_submit(net::Client& client, const util::Cli& cli) {
                     static_cast<unsigned long long>(done->skipped),
                     static_cast<unsigned long long>(done->flushes),
                     done->store_key.c_str());
+        if (done->detected + done->sdc > 0) {
+          std::printf("detector: %llu detected vs %llu sdc "
+                      "(coverage %.4f)\n",
+                      static_cast<unsigned long long>(done->detected),
+                      static_cast<unsigned long long>(done->sdc),
+                      static_cast<double>(done->detected) /
+                          static_cast<double>(done->detected + done->sdc));
+        }
         return 0;
       }
       if (done->stopped) {
