@@ -8,6 +8,14 @@
 //   idle      -- queries only
 //   campaign  -- the same load while a campaign job runs on the server
 //
+// --workers N adds a third phase: the same campaign again with N in-process
+// WorkerAgents attached to the worker plane, so the job executes
+// distributed.  The JSON gains a "distributed" section comparing local and
+// distributed campaign wall-clock (speedup) plus the query-plane p99 under
+// each.  --p99-ratio-max R turns the campaign/idle p99 ratio into a
+// contract: exceed it and the run exits 2 (CI pairs this with ftb_served
+// --campaign-cpus to prove pinning keeps the query plane flat).
+//
 // Reported per phase: request count, Busy replies, QPS, p50/p99 latency of
 // admitted requests.  Clients back off on Busy (honouring the server's
 // retry-after hint with multiplicative growth), so the generator doubles as
@@ -26,6 +34,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -38,6 +47,8 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "service/service.h"
+#include "service/worker.h"
+#include "telemetry/events.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -155,6 +166,96 @@ PhaseResult run_phase(const std::string& name, const std::string& host,
   return result;
 }
 
+/// One campaign phase: submit a job on its own connection, run the query
+/// load while it executes, then drain the progress stream to CampaignDone.
+/// `wall_ms` is ack-to-done -- the campaign's wall-clock under identical
+/// concurrent query load, so local and distributed runs compare fairly.
+struct CampaignPhase {
+  PhaseResult phase;
+  double wall_ms = 0.0;
+  bool finished_early = false;
+  bool ok = false;
+};
+
+CampaignPhase run_campaign_phase(const std::string& name,
+                                 const ftb::service::SubmitCampaignReq& req,
+                                 const std::string& host, std::uint16_t port,
+                                 int connections, std::uint32_t duration_ms,
+                                 const std::vector<std::string>& keys,
+                                 std::uint64_t sites,
+                                 std::uint32_t deadline_ms) {
+  CampaignPhase result;
+  ftb::net::ClientOptions options;
+  options.host = host;
+  options.port = port;
+  ftb::net::Client submitter(options);
+  std::string error;
+  if (!submitter.connect(&error) ||
+      !submitter.send(ftb::service::make_submit_campaign(req), &error)) {
+    std::fprintf(stderr, "loadgen_service: submit failed: %s\n", error.c_str());
+    return result;
+  }
+  const auto accepted = submitter.recv(&error, 30000);
+  if (!accepted.has_value() ||
+      !ftb::service::parse_campaign_accepted(*accepted).has_value()) {
+    std::fprintf(stderr, "loadgen_service: campaign not accepted: %s\n",
+                 error.c_str());
+    return result;
+  }
+  const auto ack_time = Clock::now();
+
+  result.phase = run_phase(name, host, port, connections, duration_ms, keys,
+                           sites, deadline_ms);
+
+  // Drain the progress stream to completion.  If the whole drain is
+  // near-instant the campaign had already finished inside the measured
+  // window, which weakens the "under concurrent campaign" claim.
+  const auto drain_begin = Clock::now();
+  for (;;) {
+    const auto frame = submitter.recv(&error, 120000);
+    if (!frame.has_value()) {
+      std::fprintf(stderr, "loadgen_service: lost campaign stream: %s\n",
+                   error.c_str());
+      return result;
+    }
+    if (const auto done = ftb::service::parse_campaign_done(*frame)) {
+      if (!done->ok && !done->stopped) {
+        std::fprintf(stderr, "loadgen_service: campaign failed: %s\n",
+                     done->error.c_str());
+        return result;
+      }
+      break;
+    }
+  }
+  result.wall_ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                       Clock::now() - ack_time)
+                       .count();
+  result.finished_early =
+      (Clock::now() - drain_begin) < std::chrono::milliseconds(50);
+  result.ok = true;
+  return result;
+}
+
+/// Crude counter extraction from the ftb.telemetry.metrics/1 JSON, for
+/// polling the dispatcher's worker counters over the Stats RPC.
+std::uint64_t stats_counter(const std::string& host, std::uint16_t port,
+                            const std::string& counter) {
+  ftb::net::ClientOptions options;
+  options.host = host;
+  options.port = port;
+  ftb::net::Client client(options);
+  std::string error;
+  const auto reply = client.call(ftb::service::make_stats(), &error);
+  if (!reply.has_value()) return 0;
+  const auto ok = ftb::service::parse_stats_ok(*reply);
+  if (!ok.has_value()) return 0;
+  const std::string needle = "\"" + counter + "\": ";
+  const auto pos = ok->metrics_json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(ok->metrics_json.c_str() + pos + needle.size(),
+                       nullptr, 10);
+}
+
 /// Everything that makes a committed JSON entry self-describing across
 /// PRs: which run produced it (a caller-supplied stamp, e.g. the commit
 /// SHA -- never wall-clock, so reruns stay byte-identical) and which
@@ -163,17 +264,31 @@ struct JsonMeta {
   std::string run_ts;                      // --run-ts, verbatim
   std::string campaign_kernel;
   std::string campaign_preset;
+  unsigned host_cpus = 0;                  // hardware_concurrency at run time
   std::vector<std::string> boundary_keys;  // warmed store keys queried
+};
+
+/// Local-vs-distributed campaign wall-clock comparison (--workers N).
+struct DistributedResult {
+  int workers = 0;
+  double local_ms = 0.0;        // campaign wall-clock, no remote workers
+  double distributed_ms = 0.0;  // same campaign with N workers attached
+
+  double speedup() const {
+    return distributed_ms > 0 ? local_ms / distributed_ms : 0.0;
+  }
 };
 
 /// Serialises the measured phases as JSON so CI can commit the trajectory.
 bool write_json(const std::string& path, int connections,
                 std::uint32_t duration_ms, const JsonMeta& meta,
-                const std::vector<PhaseResult>& phases) {
+                const std::vector<PhaseResult>& phases,
+                const DistributedResult* distributed = nullptr) {
   std::string out = "{\n  \"schema\": \"ftb.bench.service/2\",\n";
   out += "  \"run_ts\": \"" + meta.run_ts + "\",\n";
   out += "  \"campaign\": {\"kernel\": \"" + meta.campaign_kernel +
          "\", \"preset\": \"" + meta.campaign_preset + "\"},\n";
+  out += "  \"host_cpus\": " + std::to_string(meta.host_cpus) + ",\n";
   out += "  \"boundary_keys\": [";
   for (std::size_t i = 0; i < meta.boundary_keys.size(); ++i) {
     out += (i ? ", \"" : "\"") + meta.boundary_keys[i] + "\"";
@@ -181,6 +296,15 @@ bool write_json(const std::string& path, int connections,
   out += "],\n";
   out += "  \"connections\": " + std::to_string(connections) + ",\n";
   out += "  \"duration_ms\": " + std::to_string(duration_ms) + ",\n";
+  if (distributed != nullptr) {
+    char dbuf[256];
+    std::snprintf(dbuf, sizeof(dbuf),
+                  "  \"distributed\": {\"workers\": %d, \"local_ms\": %.0f, "
+                  "\"distributed_ms\": %.0f, \"speedup\": %.2f},\n",
+                  distributed->workers, distributed->local_ms,
+                  distributed->distributed_ms, distributed->speedup());
+    out += dbuf;
+  }
   out += "  \"phases\": {";
   bool first = true;
   char buf[256];
@@ -231,6 +355,15 @@ int main(int argc, char** argv) {
                "server; asserts Busy shedding and a bounded admitted p99");
   cli.describe("overload-p99-ms",
                "admitted-request p99 ceiling for --overload (default 250)");
+  cli.describe("workers",
+               "in-process WorkerAgents for a distributed campaign phase "
+               "(default 0 = local only)");
+  cli.describe("campaign-cpus",
+               "pin the in-process server's campaign plane to these CPUs, "
+               "comma-separated (default: unpinned)");
+  cli.describe("p99-ratio-max",
+               "contract: fail (exit 2) when campaign p99 exceeds idle p99 "
+               "by more than this factor, e.g. 1.45 (default 0 = off)");
   if (cli.has("help")) {
     cli.print_help("ftb_served query-plane load generator");
     return 0;
@@ -250,6 +383,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("deadline-ms", 0));
   const std::string json_out = cli.get("json-out");
   const bool overload = cli.get_bool("overload");
+  const int workers = static_cast<int>(
+      std::max<std::int64_t>(0, cli.get_int("workers", 0)));
+  const double p99_ratio_max =
+      std::strtod(cli.get("p99-ratio-max", "0").c_str(), nullptr);
 
   if (!net::net_supported()) {
     std::fprintf(stderr, "loadgen_service: no socket support on this platform\n");
@@ -262,6 +399,8 @@ int main(int argc, char** argv) {
   }
 
   // Spawn an in-process server unless an external one was named.
+  telemetry::Telemetry telemetry;
+  telemetry.set_enabled(true);
   std::unique_ptr<service::Service> svc;
   std::unique_ptr<net::Server> server;
   std::thread loop;
@@ -283,6 +422,16 @@ int main(int argc, char** argv) {
                 ("ftb_loadgen_" + std::to_string(::getpid()));
     std::filesystem::create_directories(store_dir);
     options.store_dir = store_dir.string();
+    options.telemetry = &telemetry;  // the worker-attach poll reads Stats
+    if (const std::string cpus = cli.get("campaign-cpus"); !cpus.empty()) {
+      for (std::size_t pos = 0; pos < cpus.size();) {
+        std::size_t end = cpus.find(',', pos);
+        if (end == std::string::npos) end = cpus.size();
+        options.campaign_cpus.push_back(
+            std::atoi(cpus.substr(pos, end - pos).c_str()));
+        pos = end + 1;
+      }
+    }
     svc = std::make_unique<service::Service>(options);
     server = std::make_unique<net::Server>(*svc);
     svc->attach(server.get());
@@ -331,6 +480,7 @@ int main(int argc, char** argv) {
   meta.run_ts = cli.get("run-ts", "unset");
   meta.campaign_kernel = cli.get("campaign-kernel", "daxpy");
   meta.campaign_preset = cli.get("campaign-preset", "default");
+  meta.host_cpus = std::thread::hardware_concurrency();
   meta.boundary_keys = keys;
 
   std::printf("loadgen_service: %d connections, %u ms per phase, %zu warm "
@@ -394,13 +544,11 @@ int main(int argc, char** argv) {
   // Campaign phase: submit a job on its own connection, measure while it
   // runs, then wait for CampaignDone so the server ends quiesced.
   PhaseResult busy;
+  PhaseResult distributed_phase;
+  DistributedResult distributed;
   bool campaign_finished_early = false;
+  bool have_distributed = false;
   if (campaign_batch > 0) {
-    net::ClientOptions options;
-    options.host = host;
-    options.port = port;
-    net::Client submitter(options);
-    std::string error;
     service::SubmitCampaignReq req;
     req.kernel = cli.get("campaign-kernel", "daxpy");
     req.preset = cli.get("campaign-preset", "default");
@@ -409,45 +557,62 @@ int main(int argc, char** argv) {
     req.workers = static_cast<std::uint32_t>(std::max<std::int64_t>(
         1, cli.get_int("campaign-workers", 2)));
     req.flush_every = 128;
-    if (!submitter.connect(&error) ||
-        !submitter.send(service::make_submit_campaign(req), &error)) {
-      std::fprintf(stderr, "loadgen_service: submit failed: %s\n",
-                   error.c_str());
-      return 1;
-    }
-    const auto accepted = submitter.recv(&error, 30000);
-    if (!accepted.has_value() ||
-        !service::parse_campaign_accepted(*accepted).has_value()) {
-      std::fprintf(stderr, "loadgen_service: campaign not accepted: %s\n",
-                   error.c_str());
-      return 1;
-    }
+    const CampaignPhase local =
+        run_campaign_phase("campaign", req, host, port, connections,
+                           duration_ms, keys, sites, deadline_ms);
+    if (!local.ok) return 1;
+    busy = local.phase;
+    campaign_finished_early = local.finished_early;
 
-    busy = run_phase("campaign", host, port, connections, duration_ms, keys,
-                     sites, deadline_ms);
-
-    // Drain the progress stream to completion.  If the whole drain is
-    // near-instant the campaign had already finished inside the measured
-    // window, which weakens the "under concurrent campaign" claim.
-    const auto drain_begin = Clock::now();
-    for (;;) {
-      const auto frame = submitter.recv(&error, 120000);
-      if (!frame.has_value()) {
-        std::fprintf(stderr, "loadgen_service: lost campaign stream: %s\n",
-                     error.c_str());
+    // Distributed phase: the same campaign again (fresh seed, so no resume
+    // short-circuit) with N WorkerAgents attached to the worker plane.
+    if (workers > 0) {
+      std::vector<std::unique_ptr<service::WorkerAgent>> agents;
+      std::vector<std::thread> agent_threads;
+      for (int w = 0; w < workers; ++w) {
+        service::WorkerAgentOptions wopts;
+        wopts.host = host;
+        wopts.port = port;
+        wopts.name = "bench-w" + std::to_string(w);
+        wopts.pool_workers = req.workers;
+        agents.push_back(std::make_unique<service::WorkerAgent>(wopts));
+        agent_threads.emplace_back([agent = agents.back().get()] {
+          std::string error;
+          agent->serve(&error);
+        });
+      }
+      bool attached = false;
+      for (int waited_ms = 0; waited_ms < 10000; waited_ms += 100) {
+        if (stats_counter(host, port, "dispatch.workers_connected") >=
+            static_cast<std::uint64_t>(workers)) {
+          attached = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (!attached) {
+        std::fprintf(stderr,
+                     "loadgen_service: %d workers never attached to the "
+                     "worker plane\n",
+                     workers);
+        for (auto& agent : agents) agent->request_stop();
+        for (std::thread& thread : agent_threads) thread.join();
         return 1;
       }
-      if (const auto done = service::parse_campaign_done(*frame)) {
-        if (!done->ok && !done->stopped) {
-          std::fprintf(stderr, "loadgen_service: campaign failed: %s\n",
-                       done->error.c_str());
-          return 1;
-        }
-        break;
-      }
+      req.seed = 98;
+      const CampaignPhase dist =
+          run_campaign_phase("campaign_distributed", req, host, port,
+                             connections, duration_ms, keys, sites,
+                             deadline_ms);
+      for (auto& agent : agents) agent->request_stop();
+      for (std::thread& thread : agent_threads) thread.join();
+      if (!dist.ok) return 1;
+      distributed_phase = dist.phase;
+      distributed.workers = workers;
+      distributed.local_ms = local.wall_ms;
+      distributed.distributed_ms = dist.wall_ms;
+      have_distributed = true;
     }
-    campaign_finished_early = (Clock::now() - drain_begin) <
-                              std::chrono::milliseconds(50);
   }
 
   util::Table table(
@@ -467,30 +632,56 @@ int main(int argc, char** argv) {
                    util::format("%.1f", busy.p50_us),
                    util::format("%.1f", busy.p99_us)});
   }
+  if (have_distributed) {
+    table.add_row(
+        {distributed_phase.name,
+         util::format("%llu", (unsigned long long)distributed_phase.requests),
+         util::format("%llu", (unsigned long long)distributed_phase.busy),
+         util::format("%llu", (unsigned long long)distributed_phase.errors),
+         util::format("%.0f", distributed_phase.qps()),
+         util::format("%.1f", distributed_phase.p50_us),
+         util::format("%.1f", distributed_phase.p99_us)});
+  }
   std::fputs(table.render("query-plane load").c_str(), stdout);
   if (!json_out.empty()) {
     std::vector<PhaseResult> phases{idle};
     if (campaign_batch > 0) phases.push_back(busy);
-    if (!write_json(json_out, connections, duration_ms, meta, phases)) {
+    if (have_distributed) phases.push_back(distributed_phase);
+    if (!write_json(json_out, connections, duration_ms, meta, phases,
+                    have_distributed ? &distributed : nullptr)) {
       std::fprintf(stderr, "loadgen_service: cannot write %s\n",
                    json_out.c_str());
       return 1;
     }
     std::printf("results -> %s\n", json_out.c_str());
   }
+  double p99_ratio = 0.0;
   if (campaign_batch > 0 && idle.p99_us > 0) {
-    std::printf("p99 ratio (campaign/idle): %.2fx%s\n",
-                busy.p99_us / idle.p99_us,
+    p99_ratio = busy.p99_us / idle.p99_us;
+    std::printf("p99 ratio (campaign/idle): %.2fx%s\n", p99_ratio,
                 campaign_finished_early
                     ? "  (campaign finished inside the measured window; "
                       "raise --campaign-batch)"
                     : "");
+  }
+  if (have_distributed) {
+    std::printf("campaign wall-clock: local %.0f ms, distributed %.0f ms "
+                "with %d workers (%.2fx speedup)\n",
+                distributed.local_ms, distributed.distributed_ms,
+                distributed.workers, distributed.speedup());
   }
 
   if (in_process) {
     svc->request_shutdown();
     loop.join();
     std::filesystem::remove_all(store_dir);
+  }
+  if (p99_ratio_max > 0 && p99_ratio > p99_ratio_max) {
+    std::fprintf(stderr,
+                 "loadgen_service: FAIL: campaign/idle p99 ratio %.2fx "
+                 "exceeds the %.2fx contract\n",
+                 p99_ratio, p99_ratio_max);
+    return 2;
   }
   return 0;
 }

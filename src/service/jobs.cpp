@@ -3,15 +3,42 @@
 #include <algorithm>
 #include <exception>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include "boundary/serialize.h"
 #include "campaign/checkpoint.h"
 #include "campaign/log.h"
 #include "campaign/sampler.h"
 #include "kernels/registry.h"
+#include "service/dispatch.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ftb::service {
+
+namespace {
+
+/// Pins the calling thread to `cpus`.  Sandbox workers are forked from this
+/// thread and inherit the mask, so one call covers the whole campaign
+/// plane.  Invalid CPU numbers make the syscall fail; campaign work then
+/// runs unpinned rather than not at all.
+bool pin_to_cpus(const std::vector<int>& cpus) {
+#ifdef __linux__
+  if (cpus.empty()) return true;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return CPU_COUNT(&set) > 0 && sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return cpus.empty();
+#endif
+}
+
+}  // namespace
 
 JobRunner::JobRunner(BoundaryStore* store, JobRunnerOptions options,
                      JobCallbacks callbacks)
@@ -165,6 +192,14 @@ std::size_t JobRunner::depth() const {
 }
 
 void JobRunner::run_loop() {
+  if (!options_.campaign_cpus.empty()) {
+    const bool pinned = pin_to_cpus(options_.campaign_cpus);
+    if (telemetry::active(options_.telemetry)) {
+      options_.telemetry->metrics()
+          .counter(pinned ? "jobs.affinity_pinned" : "jobs.affinity_failed")
+          .add();
+    }
+  }
   for (;;) {
     CampaignJob job;
     {
@@ -253,8 +288,42 @@ void JobRunner::execute(const CampaignJob& job) {
       return stop_;
     };
 
-    const campaign::CheckpointRunResult run =
-        campaign::run_campaign_checkpointed(*program, golden, ids, options);
+    campaign::CheckpointRunResult run;
+    const bool distributed = options_.dispatcher != nullptr &&
+                             options_.dispatcher->live_workers() > 0;
+    if (distributed) {
+      // At least one remote worker is live: fan chunks out through the
+      // dispatcher (the runner thread co-executes, so losing every worker
+      // mid-job still finishes it).  Chunk outcomes are deterministic and
+      // the journal dedupe sorts by id, so this path and the local one
+      // below leave byte-identical journals and boundaries.
+      DistributedJobOptions dist;
+      dist.path = options.path;
+      dist.flush_every = options.flush_every;
+      dist.kernel = job.req.kernel;
+      dist.preset = job.req.preset;
+      dist.pool_workers = std::clamp<std::uint32_t>(job.req.workers, 1, 16);
+      dist.timeout_ms = job.req.timeout_ms;
+      dist.quarantine_after = job.req.quarantine_after;
+      dist.supervisor = options.supervisor;
+      dist.telemetry = options_.telemetry;
+      dist.on_progress = options.on_progress;
+      dist.should_stop = options.should_stop;
+      DistributedRunResult dres =
+          options_.dispatcher->run_job(*program, golden, ids, dist);
+      run.log = std::move(dres.log);
+      run.resumed = dres.resumed;
+      run.skipped = dres.skipped;
+      run.executed = dres.executed;
+      run.flushes = dres.flushes;
+      run.stopped = dres.stopped;
+      run.supervisor_stats = dres.supervisor_stats;
+      if (telemetry::active(options_.telemetry)) {
+        options_.telemetry->metrics().counter("jobs.distributed").add();
+      }
+    } else {
+      run = campaign::run_campaign_checkpointed(*program, golden, ids, options);
+    }
     done.executed = run.executed;
     done.skipped = run.skipped;
     done.flushes = run.flushes;

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "service/ledger.h"
 #include "service/protocol.h"
@@ -42,6 +43,8 @@
 #include "telemetry/events.h"
 
 namespace ftb::service {
+
+class ChunkDispatcher;
 
 struct CampaignJob {
   std::uint64_t id = 0;
@@ -55,6 +58,15 @@ struct JobRunnerOptions {
   std::string store_dir = ".";
   /// Jobs waiting in the queue (the running job is not counted).
   std::size_t max_queue = 8;
+  /// When non-empty, the runner thread (and, by fork inheritance, every
+  /// sandbox worker it spawns) is pinned to these CPUs so campaign load
+  /// stops stealing cycles from the epoll I/O thread.
+  std::vector<int> campaign_cpus;
+  /// Distributed execution plane (service/dispatch.h).  When set and at
+  /// least one remote worker is live at job start, chunks fan out to the
+  /// workers; otherwise the local checkpointed path runs unchanged.  Never
+  /// owned; must outlive the runner.
+  ChunkDispatcher* dispatcher = nullptr;
   telemetry::Telemetry* telemetry = nullptr;
 };
 

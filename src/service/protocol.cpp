@@ -84,6 +84,11 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kShutdown: return "Shutdown";
     case MsgType::kShutdownOk: return "ShutdownOk";
     case MsgType::kBusy: return "Busy";
+    case MsgType::kWorkerHello: return "WorkerHello";
+    case MsgType::kWorkerHelloOk: return "WorkerHelloOk";
+    case MsgType::kWorkerChunk: return "WorkerChunk";
+    case MsgType::kWorkerChunkResult: return "WorkerChunkResult";
+    case MsgType::kWorkerHeartbeat: return "WorkerHeartbeat";
   }
   return "Unknown";
 }
@@ -244,6 +249,69 @@ net::Frame make_campaign_done(const CampaignDone& msg) {
   writer.put_u64(msg.quarantined);
   writer.put_u64(msg.detected);
   return finish(MsgType::kCampaignDone, writer);
+}
+
+net::Frame make_worker_hello(const WorkerHello& msg) {
+  util::BinaryWriter writer;
+  writer.put_string(msg.name);
+  writer.put_u64(msg.capacity);
+  writer.put_u64(msg.pool_workers);
+  return finish(MsgType::kWorkerHello, writer);
+}
+
+net::Frame make_worker_hello_ok(const WorkerHelloOk& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.worker);
+  writer.put_u64(msg.heartbeat_interval_ms);
+  writer.put_u64(msg.lease_timeout_ms);
+  return finish(MsgType::kWorkerHelloOk, writer);
+}
+
+net::Frame make_worker_heartbeat(const WorkerHeartbeat& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.worker);
+  writer.put_u64(msg.seq);
+  return finish(MsgType::kWorkerHeartbeat, writer);
+}
+
+net::Frame make_worker_chunk(const WorkerChunk& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.job);
+  writer.put_u64(msg.chunk);
+  writer.put_string(msg.kernel);
+  writer.put_string(msg.preset);
+  writer.put_u64(msg.pool_workers);
+  writer.put_u64(msg.timeout_ms);
+  writer.put_u64(msg.quarantine_after);
+  writer.put_u64(msg.ids.size());
+  for (const campaign::ExperimentId id : msg.ids) writer.put_u64(id);
+  return finish(MsgType::kWorkerChunk, writer);
+}
+
+net::Frame make_worker_chunk_result(const WorkerChunkResult& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.job);
+  writer.put_u64(msg.chunk);
+  put_bool(writer, msg.ok);
+  writer.put_string(msg.error);
+  writer.put_u64(msg.records.size());
+  // Same field set (and bit-exact doubles) as the CampaignLog journal, so
+  // records merged from a remote worker serialize byte-identically to ones
+  // the local supervisor produced.
+  for (const campaign::ExperimentRecord& record : msg.records) {
+    writer.put_u64(record.id);
+    writer.put_u64(static_cast<std::uint64_t>(record.result.outcome));
+    writer.put_u64(static_cast<std::uint64_t>(record.result.crash_reason));
+    writer.put_f64(record.result.injected_error);
+    writer.put_f64(record.result.output_error);
+    writer.put_u64(record.result.crash_site);
+    writer.put_u64(record.result.detector_fired ? 1 : 0);
+  }
+  writer.put_u64(msg.worker_deaths);
+  writer.put_u64(msg.worker_hangs);
+  writer.put_u64(msg.requeued);
+  writer.put_u64(msg.quarantined);
+  return finish(MsgType::kWorkerChunkResult, writer);
 }
 
 std::optional<ErrorMsg> parse_error(const net::Frame& frame,
@@ -470,6 +538,115 @@ std::optional<CampaignDone> parse_campaign_done(const net::Frame& frame,
         msg.worker_hangs = reader.get_u64();
         msg.quarantined = reader.get_u64();
         msg.detected = reader.get_u64();
+        return msg;
+      });
+}
+
+std::optional<WorkerHello> parse_worker_hello(const net::Frame& frame,
+                                              std::string* error) {
+  auto msg = parse<WorkerHello>(frame, MsgType::kWorkerHello, error,
+                                [](util::BinaryReader& reader) {
+                                  WorkerHello hello;
+                                  hello.name = reader.get_string();
+                                  hello.capacity = static_cast<std::uint32_t>(
+                                      reader.get_u64());
+                                  hello.pool_workers =
+                                      static_cast<std::uint32_t>(
+                                          reader.get_u64());
+                                  return hello;
+                                });
+  if (msg.has_value() && msg->capacity == 0) {
+    if (error != nullptr) *error = "WorkerHello capacity must be nonzero";
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::optional<WorkerHelloOk> parse_worker_hello_ok(const net::Frame& frame,
+                                                   std::string* error) {
+  return parse<WorkerHelloOk>(
+      frame, MsgType::kWorkerHelloOk, error, [](util::BinaryReader& reader) {
+        WorkerHelloOk msg;
+        msg.worker = reader.get_u64();
+        msg.heartbeat_interval_ms =
+            static_cast<std::uint32_t>(reader.get_u64());
+        msg.lease_timeout_ms = static_cast<std::uint32_t>(reader.get_u64());
+        return msg;
+      });
+}
+
+std::optional<WorkerHeartbeat> parse_worker_heartbeat(const net::Frame& frame,
+                                                      std::string* error) {
+  return parse<WorkerHeartbeat>(frame, MsgType::kWorkerHeartbeat, error,
+                                [](util::BinaryReader& reader) {
+                                  WorkerHeartbeat msg;
+                                  msg.worker = reader.get_u64();
+                                  msg.seq = reader.get_u64();
+                                  return msg;
+                                });
+}
+
+std::optional<WorkerChunk> parse_worker_chunk(const net::Frame& frame,
+                                              std::string* error) {
+  return parse<WorkerChunk>(
+      frame, MsgType::kWorkerChunk, error, [](util::BinaryReader& reader) {
+        WorkerChunk msg;
+        msg.job = reader.get_u64();
+        msg.chunk = reader.get_u64();
+        msg.kernel = reader.get_string();
+        msg.preset = reader.get_string();
+        msg.pool_workers = static_cast<std::uint32_t>(reader.get_u64());
+        msg.timeout_ms = static_cast<std::uint32_t>(reader.get_u64());
+        msg.quarantine_after = static_cast<std::uint32_t>(reader.get_u64());
+        const std::uint64_t count = reader.get_u64();
+        msg.ids.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          msg.ids.push_back(reader.get_u64());
+        }
+        return msg;
+      });
+}
+
+std::optional<WorkerChunkResult> parse_worker_chunk_result(
+    const net::Frame& frame, std::string* error) {
+  return parse<WorkerChunkResult>(
+      frame, MsgType::kWorkerChunkResult, error,
+      [](util::BinaryReader& reader) {
+        WorkerChunkResult msg;
+        msg.job = reader.get_u64();
+        msg.chunk = reader.get_u64();
+        msg.ok = get_bool(reader);
+        msg.error = reader.get_string();
+        const std::uint64_t count = reader.get_u64();
+        msg.records.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          campaign::ExperimentRecord record;
+          record.id = reader.get_u64();
+          const std::uint64_t outcome = reader.get_u64();
+          if (outcome > static_cast<std::uint64_t>(fi::Outcome::kDetected)) {
+            throw std::runtime_error("record " + std::to_string(i) +
+                                     " has unsupported outcome " +
+                                     std::to_string(outcome));
+          }
+          record.result.outcome = static_cast<fi::Outcome>(outcome);
+          const std::uint64_t reason = reader.get_u64();
+          if (reason >
+              static_cast<std::uint64_t>(fi::CrashReason::kQuarantined)) {
+            throw std::runtime_error("record " + std::to_string(i) +
+                                     " has unsupported crash reason " +
+                                     std::to_string(reason));
+          }
+          record.result.crash_reason = static_cast<fi::CrashReason>(reason);
+          record.result.injected_error = reader.get_f64();
+          record.result.output_error = reader.get_f64();
+          record.result.crash_site = reader.get_u64();
+          record.result.detector_fired = get_bool(reader);
+          msg.records.push_back(record);
+        }
+        msg.worker_deaths = reader.get_u64();
+        msg.worker_hangs = reader.get_u64();
+        msg.requeued = reader.get_u64();
+        msg.quarantined = reader.get_u64();
         return msg;
       });
 }

@@ -14,6 +14,14 @@
 //     answered by CampaignAccepted, then zero or more CampaignProgress
 //     frames as checkpoint chunks land, then exactly one CampaignDone.
 //
+// A third, inward-facing plane carries distributed campaign execution
+// (service/dispatch.h): an ftb_workerd daemon registers with WorkerHello,
+// keeps its chunk leases alive with monotonically-numbered WorkerHeartbeat
+// frames, receives WorkerChunk assignments, and answers each with exactly
+// one WorkerChunkResult whose experiment records merge into the campaign
+// journal.  Worker frames share the connection, framing, and CRC discipline
+// of the client planes.
+//
 // Any request can instead be answered by an Error frame carrying a
 // human-readable message.
 #pragma once
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "boundary/report.h"
+#include "campaign/campaign.h"
 #include "net/frame.h"
 
 namespace ftb::service {
@@ -49,12 +58,17 @@ enum class MsgType : std::uint32_t {
   kShutdown = 17,
   kShutdownOk = 18,
   kBusy = 19,
+  kWorkerHello = 20,
+  kWorkerHelloOk = 21,
+  kWorkerChunk = 22,
+  kWorkerChunkResult = 23,
+  kWorkerHeartbeat = 24,
 };
 
 /// The largest type value the dispatcher accepts; anything above is an
 /// unknown message.
 inline constexpr std::uint32_t kMaxMsgType =
-    static_cast<std::uint32_t>(MsgType::kBusy);
+    static_cast<std::uint32_t>(MsgType::kWorkerHeartbeat);
 
 const char* to_string(MsgType type) noexcept;
 
@@ -165,6 +179,64 @@ struct CampaignDone {
   std::uint64_t detected = 0;  // detector-caught corruptions (kDetected)
 };
 
+// --- worker plane (ftb_workerd <-> ftb_served) ----------------------------
+
+/// First frame a worker daemon sends after connecting.  `capacity` is the
+/// number of chunks the worker is willing to hold at once (its exec queue
+/// depth); `pool_workers` is the sandbox pool it runs each chunk through
+/// (informational, for stats).
+struct WorkerHello {
+  std::string name;
+  std::uint32_t capacity = 1;
+  std::uint32_t pool_workers = 2;
+};
+
+/// Registration reply: the server-assigned worker id and the heartbeat
+/// cadence the dispatcher expects.  A worker that stays silent longer than
+/// `lease_timeout_ms` forfeits its leases.
+struct WorkerHelloOk {
+  std::uint64_t worker = 0;
+  std::uint32_t heartbeat_interval_ms = 500;
+  std::uint32_t lease_timeout_ms = 5000;
+};
+
+/// Liveness beacon.  `seq` must increase monotonically; the dispatcher only
+/// renews leases when it observes an *advance* (a SIGSTOPped worker whose
+/// kernel keeps the socket open still goes stale).
+struct WorkerHeartbeat {
+  std::uint64_t worker = 0;
+  std::uint64_t seq = 0;
+};
+
+/// A chunk lease: run `ids` of job `job` under the given campaign config
+/// and answer with a WorkerChunkResult carrying the same (job, chunk) pair.
+struct WorkerChunk {
+  std::uint64_t job = 0;
+  std::uint64_t chunk = 0;  ///< chunk sequence number within the job
+  std::string kernel;
+  std::string preset;
+  std::uint32_t pool_workers = 2;
+  std::uint32_t timeout_ms = 2000;
+  std::uint32_t quarantine_after = 3;
+  std::vector<campaign::ExperimentId> ids;
+};
+
+/// Chunk completion (or failure).  `records` carry full experiment results
+/// -- doubles round-trip bit-exactly so the merged journal stays
+/// byte-identical to a local-only run.  The supervisor counters are this
+/// chunk's deltas, folded into the job's campaign stats.
+struct WorkerChunkResult {
+  std::uint64_t job = 0;
+  std::uint64_t chunk = 0;
+  bool ok = false;
+  std::string error;  ///< when !ok: why the worker killed the chunk
+  std::vector<campaign::ExperimentRecord> records;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t worker_hangs = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t quarantined = 0;
+};
+
 // --- frame builders -------------------------------------------------------
 
 net::Frame make_error(const std::string& message);
@@ -187,6 +259,11 @@ net::Frame make_campaign_progress(const CampaignProgress& msg);
 net::Frame make_campaign_done(const CampaignDone& msg);
 net::Frame make_shutdown();
 net::Frame make_shutdown_ok();
+net::Frame make_worker_hello(const WorkerHello& msg);
+net::Frame make_worker_hello_ok(const WorkerHelloOk& msg);
+net::Frame make_worker_heartbeat(const WorkerHeartbeat& msg);
+net::Frame make_worker_chunk(const WorkerChunk& msg);
+net::Frame make_worker_chunk_result(const WorkerChunkResult& msg);
 
 // --- payload decoders -----------------------------------------------------
 //
@@ -221,5 +298,15 @@ std::optional<CampaignProgress> parse_campaign_progress(
     const net::Frame& frame, std::string* error = nullptr);
 std::optional<CampaignDone> parse_campaign_done(const net::Frame& frame,
                                                 std::string* error = nullptr);
+std::optional<WorkerHello> parse_worker_hello(const net::Frame& frame,
+                                              std::string* error = nullptr);
+std::optional<WorkerHelloOk> parse_worker_hello_ok(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<WorkerHeartbeat> parse_worker_heartbeat(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<WorkerChunk> parse_worker_chunk(const net::Frame& frame,
+                                              std::string* error = nullptr);
+std::optional<WorkerChunkResult> parse_worker_chunk_result(
+    const net::Frame& frame, std::string* error = nullptr);
 
 }  // namespace ftb::service

@@ -46,9 +46,14 @@ class RequestTimer {
 
 Service::Service(ServiceOptions options)
     : options_(std::move(options)), store_(options_.telemetry) {
+  DispatchOptions dispatch = options_.dispatch;
+  if (dispatch.telemetry == nullptr) dispatch.telemetry = options_.telemetry;
+  dispatcher_ = std::make_unique<ChunkDispatcher>(std::move(dispatch));
   JobRunnerOptions job_options;
   job_options.store_dir = options_.store_dir;
   job_options.max_queue = options_.max_queue;
+  job_options.campaign_cpus = options_.campaign_cpus;
+  job_options.dispatcher = dispatcher_.get();
   job_options.telemetry = options_.telemetry;
   JobCallbacks callbacks;
   callbacks.on_progress = [this](const CampaignJob& job,
@@ -72,6 +77,19 @@ Service::Service(ServiceOptions options)
 }
 
 Service::~Service() = default;
+
+void Service::attach(net::Server* server) {
+  server_.store(server, std::memory_order_release);
+  if (server != nullptr) {
+    // Server::send/wake are thread-safe, so the dispatcher may call these
+    // from the runner thread while leases move on the loop thread.
+    dispatcher_->attach(
+        [server](std::uint64_t conn, const net::Frame& frame) {
+          server->send(conn, frame);
+        },
+        [server] { server->wake(); });
+  }
+}
 
 std::size_t Service::load_store(std::vector<std::string>* diagnostics) {
   return store_.load_directory(options_.store_dir, diagnostics);
@@ -113,6 +131,18 @@ void Service::on_frame(net::Server::ConnId conn, net::Frame frame) {
     case MsgType::kSubmitCampaign:
       handle_submit(conn, frame);
       return;
+    // Worker plane: straight to the dispatcher, bypassing the admission
+    // queue -- a full query queue must not delay heartbeats, or healthy
+    // workers would look dead exactly when the service is busiest.
+    case MsgType::kWorkerHello:
+      handle_worker_hello(conn, frame);
+      return;
+    case MsgType::kWorkerHeartbeat:
+      handle_worker_heartbeat(conn, frame);
+      return;
+    case MsgType::kWorkerChunkResult:
+      handle_worker_result(conn, frame);
+      return;
     case MsgType::kShutdown:
       reply(conn, make_shutdown_ok());
       shutdown_requested_.store(true, std::memory_order_relaxed);
@@ -131,6 +161,41 @@ void Service::on_disconnect(net::Server::ConnId conn) {
   // drain (replies to a dead connection are silently dropped), and the
   // erase here keeps a reconnecting client from inheriting a stale cap.
   inflight_.erase(conn);
+  // If the connection carried a worker, its leases expire and requeue now.
+  dispatcher_->handle_disconnect(conn);
+}
+
+void Service::handle_worker_hello(net::Server::ConnId conn,
+                                  const net::Frame& frame) {
+  std::string error;
+  const auto hello = parse_worker_hello(frame, &error);
+  if (!hello.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  dispatcher_->handle_hello(conn, *hello);
+}
+
+void Service::handle_worker_heartbeat(net::Server::ConnId conn,
+                                      const net::Frame& frame) {
+  std::string error;
+  const auto beat = parse_worker_heartbeat(frame, &error);
+  if (!beat.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  dispatcher_->handle_heartbeat(conn, *beat);
+}
+
+void Service::handle_worker_result(net::Server::ConnId conn,
+                                   const net::Frame& frame) {
+  std::string error;
+  auto result = parse_worker_chunk_result(frame, &error);
+  if (!result.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  dispatcher_->handle_result(conn, std::move(*result));
 }
 
 void Service::admit(net::Server::ConnId conn, net::Frame frame) {
@@ -238,6 +303,7 @@ void Service::on_decode_error(net::Server::ConnId conn,
 
 void Service::on_tick() {
   if (tick_hook_) tick_hook_();
+  dispatcher_->on_tick();  // lease sweep, straggler detection, dispatch
   drain_admission();
   if (shutdown_requested_.load(std::memory_order_relaxed) && !draining_) {
     begin_drain();

@@ -36,6 +36,7 @@
 #include <unordered_map>
 
 #include "net/server.h"
+#include "service/dispatch.h"
 #include "service/jobs.h"
 #include "service/protocol.h"
 #include "service/store.h"
@@ -56,6 +57,12 @@ struct ServiceOptions {
   std::size_t admission_batch = 256;
   /// Retry-after hint carried in Busy replies, in milliseconds.
   std::uint64_t busy_retry_ms = 50;
+  /// Lease/heartbeat/quarantine policy for remote campaign workers.
+  DispatchOptions dispatch;
+  /// CPUs the campaign plane (runner thread + forked sandbox workers) is
+  /// pinned to; empty leaves scheduling to the kernel.  Pinning the
+  /// campaign off the epoll thread keeps query p99 flat under campaigns.
+  std::vector<int> campaign_cpus;
   telemetry::Telemetry* telemetry = nullptr;
 };
 
@@ -70,13 +77,14 @@ class Service : public net::Server::Handler {
 
   /// The server must be attached before run(); the Service does not own it.
   /// (Atomic because recovered jobs' callbacks can fire from the runner
-  /// thread before or while attach() runs.)
-  void attach(net::Server* server) {
-    server_.store(server, std::memory_order_release);
-  }
+  /// thread before or while attach() runs; such early jobs see zero live
+  /// workers and run locally.)  Also wires the dispatcher's frame output
+  /// and wakeups to the server.
+  void attach(net::Server* server);
 
   BoundaryStore& store() { return store_; }
   JobRunner& jobs() { return *jobs_; }
+  ChunkDispatcher& dispatcher() { return *dispatcher_; }
 
   /// Async-signal-safe shutdown trigger: flips a flag and wakes the loop;
   /// the drain itself runs in on_tick() on the loop thread.
@@ -117,8 +125,14 @@ class Service : public net::Server::Handler {
   void handle_stats(net::Server::ConnId conn);
   void handle_submit(net::Server::ConnId conn, const net::Frame& frame);
 
+  void handle_worker_hello(net::Server::ConnId conn, const net::Frame& frame);
+  void handle_worker_heartbeat(net::Server::ConnId conn,
+                               const net::Frame& frame);
+  void handle_worker_result(net::Server::ConnId conn, const net::Frame& frame);
+
   ServiceOptions options_;
   BoundaryStore store_;
+  std::unique_ptr<ChunkDispatcher> dispatcher_;  ///< before jobs_: outlives it
   std::unique_ptr<JobRunner> jobs_;
   std::atomic<net::Server*> server_{nullptr};
   std::atomic<bool> shutdown_requested_{false};

@@ -1,0 +1,118 @@
+// WorkerAgent: the library behind tools/ftb_workerd.
+//
+// One agent owns one connection to ftb_served's worker plane
+// (service/dispatch.h).  serve() registers with WorkerHello, then answers
+// WorkerChunk leases by running the chunk's experiment ids through a
+// sandboxed campaign::CampaignSupervisor and streaming the records back in
+// a WorkerChunkResult.  A background thread sends monotonically-numbered
+// WorkerHeartbeat frames at the cadence the server advertised, so the lease
+// stays alive even while a long chunk is executing -- and stops advancing
+// the moment the process is SIGSTOPped, which is exactly how the dispatcher
+// detects a wedged worker.
+//
+// Execution discipline mirrors the service's own job plane: experiments
+// never run on the agent's threads (allow_in_process_fallback stays off);
+// if the worker pool degrades to nothing the chunk is answered ok=false and
+// the supervisor is torn down so the next lease starts from a fresh pool.
+// Supervisors are cached per (kernel, preset) across chunks -- the fork
+// cost is paid once per campaign, not once per chunk.
+//
+// serve() returns when the connection drops or request_stop() is called;
+// reconnect policy (backoff, retry forever) belongs to the caller.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "campaign/supervisor.h"
+#include "fi/executor.h"
+#include "fi/program.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/protocol.h"
+#include "telemetry/events.h"
+#include "util/retry.h"
+
+namespace ftb::service {
+
+struct WorkerAgentOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Human-readable worker name reported in WorkerHello.
+  std::string name = "workerd";
+  /// Chunks the agent is willing to hold at once (leases queue in the
+  /// socket while one executes).
+  std::uint32_t capacity = 1;
+  /// Default sandbox pool size when a chunk does not specify one.
+  std::uint32_t pool_workers = 2;
+  /// Backoff for the TCP connect inside serve().
+  util::RetryOptions connect_retry;
+  /// Budget for the WorkerHelloOk reply.
+  std::uint32_t hello_timeout_ms = 5000;
+  std::size_t max_frame_payload = 16u << 20;
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+struct WorkerAgentStats {
+  std::uint64_t chunks_run = 0;
+  std::uint64_t chunks_failed = 0;
+  std::uint64_t records_sent = 0;
+  std::uint64_t heartbeats_sent = 0;
+};
+
+class WorkerAgent {
+ public:
+  explicit WorkerAgent(WorkerAgentOptions options);
+  ~WorkerAgent();
+  WorkerAgent(const WorkerAgent&) = delete;
+  WorkerAgent& operator=(const WorkerAgent&) = delete;
+
+  /// Connects, registers, and serves chunk leases until the server goes
+  /// away or request_stop().  Returns false with a diagnostic on any
+  /// transport or registration failure (the caller decides whether to
+  /// reconnect); true on a clean stop.
+  bool serve(std::string* error = nullptr);
+
+  /// Makes serve() return soon (bounded by one heartbeat interval).  Safe
+  /// from signal-handling threads.
+  void request_stop();
+
+  /// Server-assigned id after registration (0 before).
+  std::uint64_t worker_id() const noexcept {
+    return worker_id_.load(std::memory_order_relaxed);
+  }
+
+  WorkerAgentStats stats() const;
+
+ private:
+  /// Cached execution state for one campaign configuration.
+  struct Session {
+    fi::ProgramPtr program;
+    fi::GoldenRun golden;
+    std::unique_ptr<campaign::CampaignSupervisor> supervisor;
+    campaign::SupervisorStats last;  ///< snapshot for per-chunk deltas
+  };
+
+  bool send_frame(const net::Frame& frame, std::string* error);
+  void heartbeat_loop(std::uint32_t interval_ms);
+  WorkerChunkResult run_chunk(const WorkerChunk& chunk);
+
+  WorkerAgentOptions options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> worker_id_{0};
+  net::Fd fd_;
+  std::mutex send_mutex_;  ///< heartbeat thread vs. result/hello sends
+  std::atomic<bool> send_failed_{false};
+  std::thread heartbeat_;
+  std::atomic<bool> heartbeat_stop_{false};
+  std::map<std::string, Session> sessions_;  // by kernel@preset
+  mutable std::mutex stats_mutex_;
+  WorkerAgentStats stats_;
+};
+
+}  // namespace ftb::service

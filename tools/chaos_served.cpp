@@ -55,6 +55,7 @@
 #include "service/protocol.h"
 #include "util/cli.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -85,7 +86,8 @@ struct Daemon {
 /// `chaos_spec` non-empty arms FTB_CHAOS in the child's environment.
 std::optional<Daemon> spawn_daemon(const std::string& served,
                                    const std::string& store_dir,
-                                   const std::string& chaos_spec) {
+                                   const std::string& chaos_spec,
+                                   const std::vector<std::string>& extra_args = {}) {
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) return std::nullopt;
   const pid_t pid = ::fork();
@@ -103,8 +105,17 @@ std::optional<Daemon> spawn_daemon(const std::string& served,
     } else {
       ::setenv("FTB_CHAOS", chaos_spec.c_str(), 1);
     }
-    ::execl(served.c_str(), served.c_str(), "--port", "0", "--store-dir",
-            store_dir.c_str(), "--queue", "64", static_cast<char*>(nullptr));
+    std::vector<const char*> args;
+    args.push_back(served.c_str());
+    args.push_back("--port");
+    args.push_back("0");
+    args.push_back("--store-dir");
+    args.push_back(store_dir.c_str());
+    args.push_back("--queue");
+    args.push_back("64");
+    for (const std::string& arg : extra_args) args.push_back(arg.c_str());
+    args.push_back(nullptr);
+    ::execv(served.c_str(), const_cast<char* const*>(args.data()));
     std::fprintf(stderr, "exec %s failed: %s\n", served.c_str(),
                  std::strerror(errno));
     ::_exit(127);
@@ -201,6 +212,330 @@ std::string key_for_seed(std::uint64_t seed) {
   return "daxpy@tiny@" + std::to_string(seed);
 }
 
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string bytes;
+  char chunk[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.append(chunk, got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Worker-plane chaos: the distributed dispatch path under random worker
+// SIGKILL / SIGSTOP / net-fault incidents.
+// ---------------------------------------------------------------------------
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int index = 0;
+  bool chaotic = false;  // FTB_CHAOS armed on its sockets
+};
+
+/// Forks and execs one ftb_workerd aimed at `port`.  `chaos_spec` non-empty
+/// arms the syscall-fault layer on the worker's network path, so its frames
+/// arrive over short reads/EINTR storms.  Worker output is discarded: the
+/// interesting signal is the dispatcher's audit, not worker chatter.
+pid_t spawn_worker(const std::string& workerd, std::uint16_t port, int index,
+                   const std::string& chaos_spec) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+      ::close(devnull);
+    }
+    if (chaos_spec.empty()) {
+      ::unsetenv("FTB_CHAOS");
+    } else {
+      ::setenv("FTB_CHAOS", chaos_spec.c_str(), 1);
+    }
+    const std::string port_str = std::to_string(port);
+    const std::string name = "chaos-w" + std::to_string(index);
+    ::execl(workerd.c_str(), workerd.c_str(), "--port", port_str.c_str(),
+            "--name", name.c_str(), "--capacity", "1", "--pool-workers", "2",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+void kill_worker(WorkerProc& worker) {
+  if (worker.pid <= 0) return;
+  ::kill(worker.pid, SIGKILL);
+  ::waitpid(worker.pid, nullptr, 0);
+  worker.pid = -1;
+}
+
+/// Submits one daxpy@tiny campaign over a fresh connection (so the ack is
+/// the first frame back, not buried in other jobs' progress stream) and
+/// returns the acked job id.  The connection closing afterwards is fine:
+/// jobs are ledger-tracked, not tied to their submitter's socket.
+std::uint64_t submit_worker_job(const net::ClientOptions& copts,
+                                std::uint64_t seed, std::uint64_t batch,
+                                const Daemon* daemon) {
+  net::Client client(copts);
+  service::SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.preset = "tiny";
+  req.seed = seed;
+  req.batch = batch;
+  req.workers = 2;
+  req.flush_every = 16;
+  std::string error;
+  if (!client.connect(&error) ||
+      !client.send(service::make_submit_campaign(req), &error)) {
+    fail(daemon, "worker phase: submit seed %llu failed: %s",
+         static_cast<unsigned long long>(seed), error.c_str());
+  }
+  for (int hops = 0; hops < 64; ++hops) {
+    const auto reply = client.recv(&error, 15000);
+    if (!reply.has_value()) {
+      fail(daemon, "worker phase: no ack for seed %llu: %s",
+           static_cast<unsigned long long>(seed), error.c_str());
+    }
+    switch (static_cast<service::MsgType>(reply->type)) {
+      case service::MsgType::kCampaignAccepted: {
+        const auto accepted = service::parse_campaign_accepted(*reply);
+        if (!accepted.has_value()) {
+          fail(daemon, "worker phase: malformed CampaignAccepted");
+        }
+        return accepted->job;
+      }
+      case service::MsgType::kCampaignProgress:
+      case service::MsgType::kCampaignDone:
+        break;  // earlier job's stream traffic
+      default:
+        fail(daemon, "worker phase: unexpected reply type %u to submit",
+             reply->type);
+    }
+  }
+  fail(daemon, "worker phase: ack for seed %llu never arrived",
+       static_cast<unsigned long long>(seed));
+}
+
+/// One long-lived daemon, `workers` remote ftb_workerd processes, and at
+/// least `incidents` random SIGKILL / SIGSTOP+SIGCONT / net-fault strikes
+/// against them while campaigns run.  Afterwards every acked job must be
+/// terminal-done, every journal must hold exactly its batch of unique
+/// records, and both the journal and the published boundary must be
+/// byte-identical to a local-only run of the same seed.
+void run_worker_chaos(const std::string& served, const std::string& workerd,
+                      const std::string& store_dir, int workers, int incidents,
+                      std::uint64_t batch, std::uint64_t seed) {
+  fs::remove_all(store_dir);
+  fs::create_directories(store_dir);
+  std::mt19937_64 rng(seed * 7919 + 17);
+
+  // Short lease so a SIGSTOPped worker forfeits its chunks within one
+  // incident's dwell time; modest straggler timeout so degraded (net-fault)
+  // workers get speculatively second-sourced.
+  auto spawned = spawn_daemon(served, store_dir, /*chaos_spec=*/{},
+                              {"--lease-timeout-ms", "700",
+                               "--straggler-ms", "6000"});
+  if (!spawned.has_value()) {
+    fail(nullptr, "worker phase: daemon failed to start listening");
+  }
+  Daemon daemon = *spawned;
+
+  const auto chaos_spec_for = [&](int index) {
+    return "seed=" + std::to_string(seed + 100 + index) +
+           ",short_io=0.08,eintr=0.05";
+  };
+  std::vector<WorkerProc> fleet;
+  for (int i = 0; i < workers; ++i) {
+    WorkerProc worker;
+    worker.index = i;
+    worker.chaotic = (i % 2) == 1;  // half the fleet starts degraded
+    worker.pid = spawn_worker(workerd, daemon.port, i,
+                              worker.chaotic ? chaos_spec_for(i) : "");
+    if (worker.pid < 0) fail(&daemon, "worker phase: cannot spawn worker %d", i);
+    fleet.push_back(worker);
+  }
+
+  net::ClientOptions copts;
+  copts.port = daemon.port;
+  copts.recv_timeout_ms = 15000;
+  net::Client stats_client(copts);
+
+  const auto completed_and_failed = [&]() -> std::pair<std::uint64_t, std::uint64_t> {
+    std::string error;
+    const auto stats = stats_client.call(service::make_stats(), &error);
+    if (!stats.has_value()) return {0, 0};
+    const auto ok = service::parse_stats_ok(*stats);
+    if (!ok.has_value()) return {0, 0};
+    return {json_counter(ok->metrics_json, "jobs.completed").value_or(0),
+            json_counter(ok->metrics_json, "jobs.failed").value_or(0)};
+  };
+
+  std::vector<std::uint64_t> seeds;
+  std::set<std::uint64_t> acked_jobs;
+  std::uint64_t next_seed = 1;
+  int struck = 0, kills = 0, stops = 0, net_faults = 0;
+  while (struck < incidents) {
+    // Keep a few campaigns in flight so every strike lands mid-job.
+    const auto [completed, failed] = completed_and_failed();
+    if (failed > 0) {
+      fail(&daemon, "worker phase: %llu jobs failed under worker chaos",
+           static_cast<unsigned long long>(failed));
+    }
+    while (seeds.size() < completed + 3) {
+      acked_jobs.insert(submit_worker_job(copts, next_seed, batch, &daemon));
+      seeds.push_back(next_seed);
+      ++next_seed;
+    }
+
+    WorkerProc& victim = fleet[rng() % fleet.size()];
+    switch (rng() % 3) {
+      case 0: {  // SIGKILL mid-lease, clean respawn
+        kill_worker(victim);
+        victim.chaotic = false;
+        victim.pid = spawn_worker(workerd, daemon.port, victim.index, "");
+        ++kills;
+        break;
+      }
+      case 1: {  // SIGSTOP past the lease TTL, then SIGCONT
+        ::kill(victim.pid, SIGSTOP);
+        ::usleep(1100 * 1000);  // > --lease-timeout-ms 700
+        ::kill(victim.pid, SIGCONT);
+        ++stops;
+        break;
+      }
+      default: {  // sever the socket and come back with a degraded network
+        kill_worker(victim);
+        victim.chaotic = true;
+        victim.pid =
+            spawn_worker(workerd, daemon.port, victim.index,
+                         chaos_spec_for(victim.index + struck * 100));
+        ++net_faults;
+        break;
+      }
+    }
+    if (victim.pid < 0) {
+      fail(&daemon, "worker phase: cannot respawn worker %d", victim.index);
+    }
+    ++struck;
+    ::usleep(static_cast<useconds_t>((120 + rng() % 280) * 1000));
+  }
+
+  // Every submitted campaign must finish despite the strikes.
+  bool drained = false;
+  for (int waited_ms = 0; waited_ms < 300000; waited_ms += 250) {
+    const auto [completed, failed] = completed_and_failed();
+    if (failed > 0) {
+      fail(&daemon, "worker phase: %llu jobs failed during drain",
+           static_cast<unsigned long long>(failed));
+    }
+    if (completed >= seeds.size()) {
+      drained = true;
+      break;
+    }
+    ::usleep(250 * 1000);
+  }
+  if (!drained) {
+    fail(&daemon, "worker phase: %zu jobs did not finish in time",
+         seeds.size());
+  }
+
+  for (WorkerProc& worker : fleet) kill_worker(worker);
+  if (!stop_graceful(daemon)) {
+    fail(nullptr, "worker phase: daemon did not drain cleanly on SIGTERM");
+  }
+
+  // Audit 1: the ledger agrees nothing acked was lost.
+  const auto replay =
+      service::JobLedger::replay_file(store_dir + "/jobs.ledger");
+  if (!replay.pending.empty()) {
+    fail(nullptr, "worker phase: %zu jobs still pending after drain",
+         replay.pending.size());
+  }
+  std::set<std::uint64_t> done_jobs;
+  for (const auto& job : replay.terminal_jobs) {
+    if (job.state != service::JobState::kDone) {
+      fail(nullptr, "worker phase: job %llu ended %s (%s)",
+           static_cast<unsigned long long>(job.id),
+           service::to_string(job.state), job.note.c_str());
+    }
+    done_jobs.insert(job.id);
+  }
+  for (const std::uint64_t id : acked_jobs) {
+    if (done_jobs.count(id) == 0) {
+      fail(nullptr, "worker phase: acked job %llu lost",
+           static_cast<unsigned long long>(id));
+    }
+  }
+  audit_store_files(store_dir, nullptr);
+
+  // Audit 2: every journal holds exactly its batch, once each, and both
+  // journal and boundary bytes match a local-only run of the same seed.
+  const fi::ProgramPtr program =
+      kernels::make_program("daxpy", kernels::Preset::kTiny);
+  const fi::GoldenRun golden = fi::run_golden(*program);
+  for (const std::uint64_t job_seed : seeds) {
+    const std::string key = key_for_seed(job_seed);
+    const auto journal_bytes = read_file(store_dir + "/" + key + ".clog");
+    if (!journal_bytes.has_value()) {
+      fail(nullptr, "worker phase: journal for %s missing", key.c_str());
+    }
+    util::Rng sample_rng(job_seed);
+    const auto ids =
+        campaign::sample_uniform(sample_rng, golden.sample_space_size(), batch);
+    campaign::CheckpointOptions local;
+    local.path = store_dir + "/worker_reference.clog";
+    local.flush_every = 16;
+    const auto reference =
+        campaign::run_campaign_checkpointed(*program, golden, ids, local);
+    fs::remove(local.path);
+    std::set<std::uint64_t> unique_ids;
+    for (const auto& record : reference.log.records()) {
+      unique_ids.insert(record.id);
+    }
+    const auto distributed =
+        campaign::CampaignLog::load(store_dir + "/" + key + ".clog");
+    if (!distributed.has_value()) {
+      fail(nullptr, "worker phase: journal for %s unreadable", key.c_str());
+    }
+    std::set<std::uint64_t> seen;
+    for (const auto& record : distributed->records()) {
+      if (!seen.insert(record.id).second) {
+        fail(nullptr, "worker phase: duplicate record %llu in %s",
+             static_cast<unsigned long long>(record.id), key.c_str());
+      }
+    }
+    if (seen != unique_ids) {
+      fail(nullptr, "worker phase: %s record set diverged from local run",
+           key.c_str());
+    }
+    if (*journal_bytes != reference.log.serialize()) {
+      fail(nullptr, "worker phase: %s journal bytes diverged from local run",
+           key.c_str());
+    }
+    const auto boundary_bytes = read_file(store_dir + "/" + key + ".boundary");
+    if (!boundary_bytes.has_value()) {
+      fail(nullptr, "worker phase: boundary for %s missing", key.c_str());
+    }
+    const boundary::FaultToleranceBoundary built = campaign::boundary_from_log(
+        *program, golden, reference.log, {true, 32}, util::default_pool());
+    if (*boundary_bytes !=
+        boundary::serialize(built, program->config_key())) {
+      fail(nullptr, "worker phase: %s boundary bytes diverged from local run",
+           key.c_str());
+    }
+  }
+
+  std::printf(
+      "worker chaos: %d incidents (%d SIGKILL, %d SIGSTOP, %d net-fault) "
+      "across %d workers; %zu jobs done, 0 lost, 0 duplicate records, "
+      "journals and boundaries byte-identical to local runs\n",
+      struck, kills, stops, net_faults, workers, seeds.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +549,16 @@ int main(int argc, char** argv) {
   cli.describe("batch", "experiments per campaign job (default 400)");
   cli.describe("max-delay-ms",
                "max random delay between submit and SIGKILL (default 400)");
+  cli.describe("workers",
+               "remote ftb_workerd processes for the worker-chaos phase "
+               "(default 0 = skip the phase)");
+  cli.describe("workerd",
+               "path to the ftb_workerd binary (default ./ftb_workerd)");
+  cli.describe("worker-incidents",
+               "random SIGKILL/SIGSTOP/net-fault strikes against workers "
+               "(default 20)");
+  cli.describe("worker-batch",
+               "experiments per campaign in the worker phase (default 400)");
   if (cli.get_bool("help")) {
     cli.print_help("chaos_served: kill/recover harness for ftb_served");
     return 0;
@@ -232,6 +577,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("batch", 400));
   const std::uint64_t max_delay_ms =
       static_cast<std::uint64_t>(cli.get_int("max-delay-ms", 400));
+  const int workers = static_cast<int>(cli.get_int("workers", 0));
+  const std::string workerd = cli.get("workerd", "./ftb_workerd");
+  const int worker_incidents =
+      static_cast<int>(cli.get_int("worker-incidents", 20));
+  const std::uint64_t worker_batch =
+      static_cast<std::uint64_t>(cli.get_int("worker-batch", 400));
 
   std::signal(SIGPIPE, SIG_IGN);
   fs::remove_all(store_dir);
@@ -462,5 +813,12 @@ int main(int argc, char** argv) {
       kills, static_cast<unsigned long long>(total_acked),
       static_cast<unsigned long long>(total_busy),
       static_cast<unsigned long long>(total_lost_submits), acked_keys.size());
+
+  // Distributed phase: the same invariants with the campaign plane fanned
+  // out to remote workers under fire.
+  if (workers > 0) {
+    run_worker_chaos(served, workerd, store_dir + "/workers", workers,
+                     worker_incidents, worker_batch, seed);
+  }
   return 0;
 }

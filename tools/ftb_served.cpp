@@ -39,6 +39,37 @@ void handle_usr1(int) {
   g_dump_metrics = 1;
 }
 
+/// Parses a CPU list like "1,2,4-7" into sorted CPU numbers.  Returns
+/// false on anything it cannot read; an empty string is a valid empty list.
+bool parse_cpu_list(const std::string& text, std::vector<int>* cpus) {
+  cpus->clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) return false;
+    const std::size_t dash = token.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus->push_back(std::stoi(token));
+      } else {
+        const int lo = std::stoi(token.substr(0, dash));
+        const int hi = std::stoi(token.substr(dash + 1));
+        if (lo > hi || hi - lo > 1024) return false;
+        for (int cpu = lo; cpu <= hi; ++cpu) cpus->push_back(cpu);
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  for (const int cpu : *cpus) {
+    if (cpu < 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +90,16 @@ int main(int argc, char** argv) {
   cli.describe("max-connections", "accept backstop (default 1024)");
   cli.describe("metrics-out",
                "write a metrics JSON snapshot here on SIGUSR1 and at exit");
+  cli.describe("campaign-cpus",
+               "pin the campaign plane (runner thread + sandbox workers) to "
+               "these CPUs, e.g. 1,2,4-7; keeps query p99 flat under load "
+               "(default: unpinned)");
+  cli.describe("lease-timeout-ms",
+               "remote worker lease TTL; a worker whose heartbeat counter "
+               "stalls this long forfeits its chunks (default 3000)");
+  cli.describe("straggler-ms",
+               "speculatively re-dispatch a remote chunk leased longer than "
+               "this (default 20000)");
   if (cli.get_bool("help")) {
     cli.print_help("ftb_served: boundary-query / campaign-dispatch daemon");
     return 0;
@@ -88,6 +129,18 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("admission-queue", 1024));
   service_options.busy_retry_ms =
       static_cast<std::uint64_t>(cli.get_int("busy-retry-ms", 50));
+  service_options.dispatch.lease_timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("lease-timeout-ms", 3000));
+  service_options.dispatch.straggler_timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("straggler-ms", 20000));
+  if (const std::string cpus = cli.get("campaign-cpus"); !cpus.empty()) {
+    if (!parse_cpu_list(cpus, &service_options.campaign_cpus)) {
+      std::fprintf(stderr, "error: cannot parse --campaign-cpus '%s'\n",
+                   cpus.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "campaign plane pinned to CPUs %s\n", cpus.c_str());
+  }
   service_options.telemetry = &telemetry;
   service::Service service(service_options);
 

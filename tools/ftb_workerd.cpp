@@ -1,0 +1,128 @@
+// ftb_workerd: remote campaign worker daemon.
+//
+// Connects to an ftb_served instance, registers on the worker plane
+// (WorkerHello), and executes the experiment chunks the dispatcher leases
+// to it through a sandboxed fi::WorkerPool -- the same isolation the
+// service's own campaign plane uses, one process boundary further out.  A
+// background thread streams monotonically-numbered heartbeats so the
+// server can tell a busy worker from a SIGSTOPped one.
+//
+// The daemon reconnects with jittered exponential backoff whenever the
+// server goes away (restart, drain, network fault) and keeps serving until
+// SIGTERM/SIGINT, which stop it after the current chunk.  Being killed
+// -9 instead is routine: the dispatcher expires the lease and requeues the
+// chunk elsewhere, exactly-once.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "service/worker.h"
+#include "telemetry/events.h"
+#include "util/cli.h"
+#include "util/retry.h"
+#include "util/rng.h"
+
+namespace {
+
+ftb::service::WorkerAgent* g_agent = nullptr;
+std::atomic<bool> g_stop{false};
+
+void handle_terminate(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+  if (g_agent != nullptr) g_agent->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+
+  util::Cli cli(argc, argv);
+  cli.describe("host", "ftb_served host (default 127.0.0.1)");
+  cli.describe("port", "ftb_served port (required)");
+  cli.describe("name", "worker name reported to the server (default pid)");
+  cli.describe("capacity", "chunk leases held at once (default 1)");
+  cli.describe("pool-workers",
+               "sandbox pool size per chunk when the lease does not specify "
+               "one (default 2)");
+  cli.describe("once",
+               "serve one connection and exit instead of reconnecting "
+               "(for tests)");
+  if (cli.get_bool("help")) {
+    cli.print_help("ftb_workerd: remote campaign worker for ftb_served");
+    return 0;
+  }
+  if (!net::net_supported()) {
+    std::fprintf(stderr, "error: this platform has no socket support\n");
+    return 1;
+  }
+  const int port = static_cast<int>(cli.get_int("port", 0));
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: --port is required (1..65535)\n");
+    return 1;
+  }
+
+  service::WorkerAgentOptions options;
+  options.host = cli.get("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(port);
+  options.name = cli.get("name");
+  if (options.name.empty()) {
+    options.name = "workerd-" + std::to_string(::getpid());
+  }
+  options.capacity =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(1, cli.get_int("capacity", 1)));
+  options.pool_workers = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("pool-workers", 2)));
+  options.connect_retry.max_retries = 6;
+  options.connect_retry.initial_backoff_ms = 50;
+  const bool once = cli.get_bool("once");
+
+  service::WorkerAgent agent(options);
+  g_agent = &agent;
+  std::signal(SIGTERM, handle_terminate);
+  std::signal(SIGINT, handle_terminate);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("worker %s -> %s:%d\n", options.name.c_str(),
+              options.host.c_str(), port);
+  std::fflush(stdout);
+
+  // Session-level reconnect loop: each serve() is one connection's
+  // lifetime; backoff between attempts is jittered so a fleet of workers
+  // does not stampede a restarting server.
+  util::Rng jitter(static_cast<std::uint64_t>(::getpid()));
+  std::uint32_t backoff_ms = 100;
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::string error;
+    const bool clean = agent.serve(&error);
+    if (g_stop.load(std::memory_order_relaxed)) break;
+    if (clean) break;  // request_stop without a signal (not used today)
+    std::fprintf(stderr, "disconnected: %s\n", error.c_str());
+    if (once) {
+      g_agent = nullptr;
+      return 1;
+    }
+    const auto sleep_ms = static_cast<std::uint32_t>(
+        static_cast<double>(backoff_ms) * jitter.next_double(0.75, 1.25));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min(backoff_ms * 2, 5000u);
+  }
+  g_agent = nullptr;
+
+  const service::WorkerAgentStats stats = agent.stats();
+  std::fprintf(stderr,
+               "worker exiting: %llu chunks (%llu failed), %llu records, "
+               "%llu heartbeats\n",
+               static_cast<unsigned long long>(stats.chunks_run),
+               static_cast<unsigned long long>(stats.chunks_failed),
+               static_cast<unsigned long long>(stats.records_sent),
+               static_cast<unsigned long long>(stats.heartbeats_sent));
+  return 0;
+}
