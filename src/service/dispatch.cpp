@@ -164,6 +164,13 @@ void ChunkDispatcher::handle_hello(std::uint64_t conn,
   WorkerHelloOk ok;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (hello.token != options_.worker_token) {
+      count("dispatch.workers_rejected");
+      if (sender_) {
+        sender_(conn, make_error("worker token mismatch"));
+      }
+      return;
+    }
     // A conn can only carry one worker; a second hello replaces the first
     // (its leases requeue exactly like a disconnect).
     if (Worker* old = worker_by_conn_locked(conn)) {
@@ -213,7 +220,15 @@ void ChunkDispatcher::handle_result(std::uint64_t conn,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Worker* worker = worker_by_conn_locked(conn);
-    if (worker != nullptr) erase_value(worker->leased, result.chunk);
+    if (worker == nullptr) {
+      // The conn never registered (or its hello was replaced): the result
+      // maps onto no holder, and falling back to the local holder id would
+      // let a forged ok=false erase the runner's claim on a chunk it is
+      // executing.  Nothing from an unregistered conn may merge or requeue.
+      count("dispatch.unregistered_results");
+      return;
+    }
+    erase_value(worker->leased, result.chunk);
     if (!job_.active || job_.id != result.job ||
         result.chunk >= job_.chunks.size()) {
       // The job drained, finished, or never existed; the work is wasted but
@@ -223,30 +238,26 @@ void ChunkDispatcher::handle_result(std::uint64_t conn,
       return;
     }
     Chunk& chunk = job_.chunks[result.chunk];
-    const std::uint64_t worker_id =
-        worker != nullptr ? worker->id : kLocalHolder;
     if (!result.ok) {
       ++job_.stats.chunk_failures;
       count("dispatch.chunk_failures");
       const std::uint64_t t = now();
-      if (worker != nullptr) {
-        // Per-(worker,chunk) grudge: this worker must sit out a jittered
-        // backoff before it may lease this chunk again; other workers and
-        // the local runner can take it immediately.
-        Grudge& grudge = worker->grudges[result.chunk];
-        ++grudge.failures;
-        grudge.not_before_ns = t + jittered_backoff_locked(grudge.failures);
-        ++worker->kills;
-        if (worker->kills >= options_.worker_quarantine_after) {
-          worker->quarantined_until_ns =
-              t + jittered_backoff_locked(worker->kills -
-                                          options_.worker_quarantine_after +
-                                          1);
-          ++job_.stats.worker_quarantines;
-          count("dispatch.worker_quarantines");
-        }
+      // Per-(worker,chunk) grudge: this worker must sit out a jittered
+      // backoff before it may lease this chunk again; other workers and
+      // the local runner can take it immediately.
+      Grudge& grudge = worker->grudges[result.chunk];
+      ++grudge.failures;
+      grudge.not_before_ns = t + jittered_backoff_locked(grudge.failures);
+      ++worker->kills;
+      if (worker->kills >= options_.worker_quarantine_after) {
+        worker->quarantined_until_ns =
+            t + jittered_backoff_locked(worker->kills -
+                                        options_.worker_quarantine_after +
+                                        1);
+        ++job_.stats.worker_quarantines;
+        count("dispatch.worker_quarantines");
       }
-      requeue_chunk_locked(chunk, worker_id);
+      requeue_chunk_locked(chunk, worker->id);
       dispatch_locked(t);
     } else {
       if (chunk.state == Chunk::State::kDone) {
@@ -271,7 +282,7 @@ void ChunkDispatcher::handle_result(std::uint64_t conn,
       if (!coherent) {
         ++job_.stats.chunk_failures;
         count("dispatch.incoherent_results");
-        requeue_chunk_locked(chunk, worker_id);
+        requeue_chunk_locked(chunk, worker->id);
         dispatch_locked(now());
       } else {
         chunk.records = std::move(result.records);
@@ -285,7 +296,7 @@ void ChunkDispatcher::handle_result(std::uint64_t conn,
         job_.stats.remote_requeued += result.requeued;
         job_.stats.remote_quarantined += result.quarantined;
         count("dispatch.chunks_remote");
-        if (worker != nullptr) worker->kills = 0;
+        worker->kills = 0;
         dispatch_locked(now());
       }
     }

@@ -81,6 +81,10 @@ struct DispatchOptions {
   std::uint32_t quarantine_backoff_ms = 1000;
   /// Seed for the deterministic jitter stream.
   std::uint64_t jitter_seed = 0x77ab5eedu;
+  /// Shared secret a WorkerHello must carry to register; empty admits any
+  /// worker (loopback / trusted-network deployments).  Worker-plane frames
+  /// from connections that never registered are dropped regardless.
+  std::string worker_token;
   telemetry::Telemetry* telemetry = nullptr;
   /// Test seam: monotonic clock in nanoseconds (steady_clock when unset).
   std::function<std::uint64_t()> now_ns;

@@ -27,6 +27,22 @@ void put_bool(util::BinaryWriter& writer, bool value) {
 
 bool get_bool(util::BinaryReader& reader) { return reader.get_u64() != 0; }
 
+/// Reads an element count and validates it against the bytes actually left
+/// in the payload (each element encodes to at least `min_bytes_each`).  A
+/// forged count near 2^64 must fail here, as a diagnostic, instead of
+/// reaching vector::reserve -- reserve throws length_error/bad_alloc, and
+/// an exception that escapes the decoder kills the daemon's event loop.
+std::uint64_t get_count(util::BinaryReader& reader,
+                        std::size_t min_bytes_each, const char* what) {
+  const std::uint64_t count = reader.get_u64();
+  if (count > reader.remaining() / min_bytes_each) {
+    throw std::runtime_error(std::string(what) + " count " +
+                             std::to_string(count) +
+                             " exceeds the payload");
+  }
+  return count;
+}
+
 /// Runs `decode` over the frame payload with the usual guards: the frame
 /// must carry `expected`, the payload must parse to the end, and decoder
 /// exceptions become diagnostics instead of escaping to the event loop.
@@ -51,7 +67,9 @@ std::optional<T> parse(const net::Frame& frame, MsgType expected,
       return std::nullopt;
     }
     return value;
-  } catch (const std::runtime_error& e) {
+  } catch (const std::exception& e) {
+    // std::exception, not just runtime_error: length_error (a logic_error)
+    // and bad_alloc from a hostile payload must also become diagnostics.
     if (error != nullptr) {
       *error = std::string(to_string(expected)) +
                " payload truncated: " + e.what();
@@ -256,6 +274,7 @@ net::Frame make_worker_hello(const WorkerHello& msg) {
   writer.put_string(msg.name);
   writer.put_u64(msg.capacity);
   writer.put_u64(msg.pool_workers);
+  writer.put_string(msg.token);
   return finish(MsgType::kWorkerHello, writer);
 }
 
@@ -409,7 +428,7 @@ std::optional<PhaseReportOk> parse_phase_report_ok(const net::Frame& frame,
   return parse<PhaseReportOk>(
       frame, MsgType::kPhaseReportOk, error, [](util::BinaryReader& reader) {
         PhaseReportOk msg;
-        const std::uint64_t rows = reader.get_u64();
+        const std::uint64_t rows = get_count(reader, 80, "PhaseReportOk row");
         msg.rows.reserve(rows);
         for (std::uint64_t i = 0; i < rows; ++i) {
           boundary::PhaseReport row;
@@ -436,7 +455,8 @@ std::optional<BoundaryListOk> parse_boundary_list_ok(const net::Frame& frame,
   return parse<BoundaryListOk>(
       frame, MsgType::kBoundaryListOk, error, [](util::BinaryReader& reader) {
         BoundaryListOk msg;
-        const std::uint64_t count = reader.get_u64();
+        const std::uint64_t count =
+            get_count(reader, 32, "BoundaryListOk entry");
         msg.entries.reserve(count);
         for (std::uint64_t i = 0; i < count; ++i) {
           BoundaryInfo info;
@@ -553,6 +573,7 @@ std::optional<WorkerHello> parse_worker_hello(const net::Frame& frame,
                                   hello.pool_workers =
                                       static_cast<std::uint32_t>(
                                           reader.get_u64());
+                                  hello.token = reader.get_string();
                                   return hello;
                                 });
   if (msg.has_value() && msg->capacity == 0) {
@@ -598,7 +619,7 @@ std::optional<WorkerChunk> parse_worker_chunk(const net::Frame& frame,
         msg.pool_workers = static_cast<std::uint32_t>(reader.get_u64());
         msg.timeout_ms = static_cast<std::uint32_t>(reader.get_u64());
         msg.quarantine_after = static_cast<std::uint32_t>(reader.get_u64());
-        const std::uint64_t count = reader.get_u64();
+        const std::uint64_t count = get_count(reader, 8, "WorkerChunk id");
         msg.ids.reserve(count);
         for (std::uint64_t i = 0; i < count; ++i) {
           msg.ids.push_back(reader.get_u64());
@@ -617,7 +638,9 @@ std::optional<WorkerChunkResult> parse_worker_chunk_result(
         msg.chunk = reader.get_u64();
         msg.ok = get_bool(reader);
         msg.error = reader.get_string();
-        const std::uint64_t count = reader.get_u64();
+        // 7 u64-sized fields per encoded record (see make_worker_chunk_result).
+        const std::uint64_t count =
+            get_count(reader, 56, "WorkerChunkResult record");
         msg.records.reserve(count);
         for (std::uint64_t i = 0; i < count; ++i) {
           campaign::ExperimentRecord record;

@@ -184,11 +184,15 @@ struct CampaignDone {
 /// First frame a worker daemon sends after connecting.  `capacity` is the
 /// number of chunks the worker is willing to hold at once (its exec queue
 /// depth); `pool_workers` is the sandbox pool it runs each chunk through
-/// (informational, for stats).
+/// (informational, for stats).  `token` must match the server's
+/// --worker-token or registration is refused with an Error frame; frames
+/// on the worker plane from connections that never registered are dropped,
+/// so the token gates the whole plane, not just the hello.
 struct WorkerHello {
   std::string name;
   std::uint32_t capacity = 1;
   std::uint32_t pool_workers = 2;
+  std::string token;  ///< shared secret; empty matches a token-less server
 };
 
 /// Registration reply: the server-assigned worker id and the heartbeat

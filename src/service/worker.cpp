@@ -88,12 +88,23 @@ WorkerChunkResult WorkerAgent::run_chunk(const WorkerChunk& chunk) {
       it = sessions_.emplace(key, std::move(session)).first;
     }
     Session& session = it->second;
+    const std::uint32_t pool_workers = std::clamp<std::uint32_t>(
+        chunk.pool_workers != 0 ? chunk.pool_workers : options_.pool_workers,
+        1, 16);
+    if (session.supervisor &&
+        (session.pool_workers != pool_workers ||
+         session.timeout_ms != chunk.timeout_ms ||
+         session.quarantine_after != chunk.quarantine_after)) {
+      // The lease carries different pool settings than the cached
+      // supervisor was forked with (a new job for the same kernel@preset):
+      // refork rather than silently running under the old configuration.
+      session.supervisor.reset();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.sessions_rebuilt;
+    }
     if (!session.supervisor) {
       campaign::SupervisorOptions supervisor;
-      supervisor.pool.workers = static_cast<int>(std::clamp<std::uint32_t>(
-          chunk.pool_workers != 0 ? chunk.pool_workers
-                                  : options_.pool_workers,
-          1, 16));
+      supervisor.pool.workers = static_cast<int>(pool_workers);
       supervisor.pool.heartbeat_timeout_ms = chunk.timeout_ms;
       supervisor.quarantine_after = static_cast<int>(chunk.quarantine_after);
       supervisor.telemetry = options_.telemetry;
@@ -104,6 +115,9 @@ WorkerChunkResult WorkerAgent::run_chunk(const WorkerChunk& chunk) {
       session.supervisor = std::make_unique<campaign::CampaignSupervisor>(
           *session.program, session.golden, supervisor);
       session.last = session.supervisor->stats();
+      session.pool_workers = pool_workers;
+      session.timeout_ms = chunk.timeout_ms;
+      session.quarantine_after = chunk.quarantine_after;
     }
     result.records = session.supervisor->run(chunk.ids);
     const campaign::SupervisorStats now = session.supervisor->stats();
@@ -150,6 +164,7 @@ bool WorkerAgent::serve(std::string* error) {
   hello.name = options_.name;
   hello.capacity = std::max<std::uint32_t>(1, options_.capacity);
   hello.pool_workers = options_.pool_workers;
+  hello.token = options_.token;
   if (!send_frame(make_worker_hello(hello), error)) {
     fd_.reset();
     return false;
@@ -193,6 +208,11 @@ bool WorkerAgent::serve(std::string* error) {
   }
   const auto ok = parse_worker_hello_ok(*reply, &hello_error);
   if (!ok.has_value()) {
+    // A refusal (e.g. token mismatch) arrives as an Error frame; surface
+    // its message instead of "frame is not a WorkerHelloOk".
+    if (const auto refused = parse_error(*reply)) {
+      hello_error = refused->message;
+    }
     if (error != nullptr) *error = "registration failed: " + hello_error;
     fd_.reset();
     return false;

@@ -50,6 +50,9 @@ struct WorkerAgentOptions {
   std::uint32_t capacity = 1;
   /// Default sandbox pool size when a chunk does not specify one.
   std::uint32_t pool_workers = 2;
+  /// Shared secret sent in WorkerHello; must match the server's
+  /// --worker-token (empty for a token-less server).
+  std::string token;
   /// Backoff for the TCP connect inside serve().
   util::RetryOptions connect_retry;
   /// Budget for the WorkerHelloOk reply.
@@ -63,6 +66,9 @@ struct WorkerAgentStats {
   std::uint64_t chunks_failed = 0;
   std::uint64_t records_sent = 0;
   std::uint64_t heartbeats_sent = 0;
+  /// Supervisors torn down because a lease arrived with different pool
+  /// settings than the cached one was forked with.
+  std::uint64_t sessions_rebuilt = 0;
 };
 
 class WorkerAgent {
@@ -90,12 +96,19 @@ class WorkerAgent {
   WorkerAgentStats stats() const;
 
  private:
-  /// Cached execution state for one campaign configuration.
+  /// Cached execution state for one campaign configuration.  The program
+  /// and golden run depend only on kernel@preset, but the supervisor is
+  /// also parameterised by the lease's pool settings -- run_chunk tears it
+  /// down and reforks when those change, so a job submitted with different
+  /// settings never runs under a stale pool.
   struct Session {
     fi::ProgramPtr program;
     fi::GoldenRun golden;
     std::unique_ptr<campaign::CampaignSupervisor> supervisor;
     campaign::SupervisorStats last;  ///< snapshot for per-chunk deltas
+    std::uint32_t pool_workers = 0;  ///< settings the supervisor was built with
+    std::uint32_t timeout_ms = 0;
+    std::uint32_t quarantine_after = 0;
   };
 
   bool send_frame(const net::Frame& frame, std::string* error);

@@ -46,7 +46,9 @@ void BinaryWriter::put_string(const std::string& s) {
 }
 
 void BinaryReader::need(std::size_t n) const {
-  if (pos_ + n > buf_.size()) {
+  // Compare against the remaining span, not pos_ + n: a length prefix near
+  // SIZE_MAX would wrap pos_ + n and sail past the bound.
+  if (n > buf_.size() - pos_) {
     throw std::runtime_error("BinaryReader: truncated payload");
   }
 }
@@ -79,6 +81,9 @@ std::vector<std::uint8_t> BinaryReader::get_bytes() {
 
 std::vector<double> BinaryReader::get_f64_vec() {
   const std::uint64_t n = get_u64();
+  if (n > remaining() / 8) {
+    throw std::runtime_error("BinaryReader: truncated payload");
+  }
   std::vector<double> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(get_f64());

@@ -40,6 +40,11 @@ class BinaryReader {
 
   bool exhausted() const noexcept { return pos_ == buf_.size(); }
 
+  /// Bytes left to read.  Decoders validate untrusted element counts
+  /// against this before reserving (count <= remaining() / min bytes per
+  /// element), so a forged length prefix cannot drive a huge allocation.
+  std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+
  private:
   void need(std::size_t n) const;
   std::vector<std::uint8_t> buf_;

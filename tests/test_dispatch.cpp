@@ -23,6 +23,7 @@
 #include "net/socket.h"
 #include "service/service.h"
 #include "service/worker.h"
+#include "util/cache.h"
 #include "util/rng.h"
 
 namespace ftb::service {
@@ -35,12 +36,14 @@ TEST(WorkerProtocol, RoundTripsAllWorkerPlaneMessages) {
   hello.name = "w-test";
   hello.capacity = 3;
   hello.pool_workers = 4;
+  hello.token = "s3kr1t";
   std::string error;
   const auto hello2 = parse_worker_hello(make_worker_hello(hello), &error);
   ASSERT_TRUE(hello2.has_value()) << error;
   EXPECT_EQ(hello2->name, "w-test");
   EXPECT_EQ(hello2->capacity, 3u);
   EXPECT_EQ(hello2->pool_workers, 4u);
+  EXPECT_EQ(hello2->token, "s3kr1t");
 
   WorkerHelloOk ok;
   ok.worker = 42;
@@ -164,6 +167,41 @@ TEST(WorkerProtocol, RejectsTruncationTrailingGarbageAndBadEnums) {
       parse_worker_hello(make_worker_hello(hello), &error).has_value());
 }
 
+// A forged frame can claim any element count it likes; the decoder must
+// bound the count against the payload actually present instead of handing
+// it to vector::reserve (length_error/bad_alloc used to escape the parse
+// helper and kill the daemon's event loop -- one frame, one crash).
+TEST(WorkerProtocol, RejectsHostileElementCountsWithoutAllocating) {
+  std::string error;
+
+  util::BinaryWriter result_writer;
+  result_writer.put_u64(1);                     // job
+  result_writer.put_u64(0);                     // chunk
+  result_writer.put_u64(1);                     // ok
+  result_writer.put_u64(0);                     // error (empty string)
+  result_writer.put_u64(std::uint64_t{1} << 60);  // record count
+  net::Frame result_frame;
+  result_frame.type = static_cast<std::uint32_t>(MsgType::kWorkerChunkResult);
+  result_frame.payload = result_writer.buffer();
+  EXPECT_FALSE(parse_worker_chunk_result(result_frame, &error).has_value());
+  EXPECT_NE(error.find("count"), std::string::npos) << error;
+
+  util::BinaryWriter chunk_writer;
+  chunk_writer.put_u64(1);  // job
+  chunk_writer.put_u64(0);  // chunk
+  chunk_writer.put_string("cg");
+  chunk_writer.put_string("tiny");
+  chunk_writer.put_u64(2);     // pool_workers
+  chunk_writer.put_u64(1000);  // timeout_ms
+  chunk_writer.put_u64(3);     // quarantine_after
+  chunk_writer.put_u64(~std::uint64_t{0});  // id count
+  net::Frame chunk_frame;
+  chunk_frame.type = static_cast<std::uint32_t>(MsgType::kWorkerChunk);
+  chunk_frame.payload = chunk_writer.buffer();
+  EXPECT_FALSE(parse_worker_chunk(chunk_frame, &error).has_value());
+  EXPECT_NE(error.find("count"), std::string::npos) << error;
+}
+
 // ---------------------------------------------------------------------------
 // In-process cluster fixture: Server + Service with fast lease timeouts,
 // plus helpers to run real WorkerAgents and scripted fake workers.
@@ -185,7 +223,8 @@ class DispatchTest : public ::testing::Test {
   }
 
   void start(std::uint32_t lease_timeout_ms = 600,
-             std::uint32_t straggler_ms = 1000) {
+             std::uint32_t straggler_ms = 1000,
+             const std::string& worker_token = "") {
     ServiceOptions options;
     options.store_dir = dir_.string();
     options.telemetry = &telemetry_;
@@ -193,6 +232,7 @@ class DispatchTest : public ::testing::Test {
     options.dispatch.lease_timeout_ms = lease_timeout_ms;
     options.dispatch.straggler_timeout_ms = straggler_ms;
     options.dispatch.quarantine_backoff_ms = 200;
+    options.dispatch.worker_token = worker_token;
     telemetry_.set_enabled(true);
     service_ = std::make_unique<Service>(options);
     net::ServerOptions server_options;
@@ -293,12 +333,13 @@ class FakeWorker {
     client_ = std::make_unique<net::Client>(std::move(options));
   }
 
-  bool hello(std::uint32_t capacity = 1) {
+  bool hello(std::uint32_t capacity = 1, const std::string& token = "") {
     std::string error;
     if (!client_->connect(&error)) return false;
     WorkerHello hello;
     hello.name = "fake";
     hello.capacity = capacity;
+    hello.token = token;
     if (!client_->send(make_worker_hello(hello), &error)) return false;
     const auto reply = client_->recv(&error, 5000);
     if (!reply.has_value()) return false;
@@ -559,6 +600,135 @@ TEST_F(DispatchTest, DuplicateChunkResultIsDroppedExactlyOnce) {
         << "duplicate id " << record.id << " in journal";
   }
   EXPECT_EQ(log->size(), outcome.done->executed);
+}
+
+// A connection that never registered cannot inject anything into the
+// worker plane: its forged chunk results (which used to be processed under
+// the local runner's holder id, letting an ok=false erase the runner's own
+// claim) are dropped before they touch the job.
+TEST_F(DispatchTest, ForgedResultFromUnregisteredConnIsDropped) {
+  start();
+  WorkerAgentOptions agent_options;
+  agent_options.port = server_->port();
+  agent_options.name = "honest";
+  WorkerAgent agent(agent_options);
+  std::thread agent_thread([&] { agent.serve(); });
+  ASSERT_TRUE(wait_for_workers(1));
+
+  net::ClientOptions copts;
+  copts.port = server_->port();
+  net::Client forger(copts);
+  std::string connect_error;
+  ASSERT_TRUE(forger.connect(&connect_error)) << connect_error;
+  std::atomic<bool> stop{false};
+  std::thread spammer([&] {
+    while (!stop.load()) {
+      for (std::uint64_t job = 1; job <= 3 && !stop.load(); ++job) {
+        for (std::uint64_t chunk = 0; chunk < 4; ++chunk) {
+          WorkerChunkResult forged;
+          forged.job = job;
+          forged.chunk = chunk;
+          forged.ok = false;
+          forged.error = "forged kill";
+          if (!forger.send(make_worker_chunk_result(forged))) return;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.preset = "tiny";
+  req.seed = 71;
+  req.batch = 200;
+  req.flush_every = 50;
+  const SubmitOutcome outcome = submit_and_wait(req);
+  stop.store(true);
+  spammer.join();
+  agent.request_stop();
+  agent_thread.join();
+
+  ASSERT_TRUE(outcome.done.has_value()) << outcome.error;
+  EXPECT_TRUE(outcome.done->ok) << outcome.done->error;
+  EXPECT_EQ(outcome.done->executed, 200u);
+  EXPECT_GT(counter("dispatch.unregistered_results"), 0u)
+      << "forged results never reached the dispatcher";
+  EXPECT_EQ(journal_bytes("daxpy@tiny@71"), reference_journal(req));
+}
+
+// With --worker-token set, a hello carrying the wrong (or no) token is
+// refused with an Error frame and the connection never becomes a worker;
+// the right token registers and executes chunks as usual.
+TEST_F(DispatchTest, WorkerTokenGatesRegistration) {
+  start(/*lease_timeout_ms=*/600, /*straggler_ms=*/1000,
+        /*worker_token=*/"sekrit");
+  FakeWorker intruder(server_->port());
+  EXPECT_FALSE(intruder.hello(/*capacity=*/1, /*token=*/"wrong"));
+  EXPECT_EQ(service_->dispatcher().live_workers(), 0u);
+  EXPECT_GT(counter("dispatch.workers_rejected"), 0u);
+
+  WorkerAgentOptions agent_options;
+  agent_options.port = server_->port();
+  agent_options.name = "tokened";
+  agent_options.token = "sekrit";
+  WorkerAgent agent(agent_options);
+  std::thread agent_thread([&] { agent.serve(); });
+  ASSERT_TRUE(wait_for_workers(1));
+
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.preset = "tiny";
+  req.seed = 81;
+  req.batch = 150;
+  req.flush_every = 50;
+  const SubmitOutcome outcome = submit_and_wait(req);
+  agent.request_stop();
+  agent_thread.join();
+  ASSERT_TRUE(outcome.done.has_value()) << outcome.error;
+  EXPECT_TRUE(outcome.done->ok) << outcome.done->error;
+  EXPECT_EQ(journal_bytes("daxpy@tiny@81"), reference_journal(req));
+}
+
+// A second job for the same kernel@preset but different pool settings must
+// not run under the first job's cached supervisor: the agent tears the
+// supervisor down and reforks with the lease's settings.
+TEST_F(DispatchTest, LeaseSettingsChangeRebuildsWorkerSupervisor) {
+  start();
+  WorkerAgentOptions agent_options;
+  agent_options.port = server_->port();
+  agent_options.name = "rebuilder";
+  agent_options.capacity = 4;  // take every chunk so both jobs run remotely
+  WorkerAgent agent(agent_options);
+  std::thread agent_thread([&] { agent.serve(); });
+  ASSERT_TRUE(wait_for_workers(1));
+
+  SubmitCampaignReq req;
+  req.kernel = "daxpy";
+  req.preset = "tiny";
+  req.seed = 91;
+  req.batch = 120;
+  req.flush_every = 30;
+  req.workers = 2;
+  const SubmitOutcome first = submit_and_wait(req);
+  ASSERT_TRUE(first.done.has_value()) << first.error;
+  EXPECT_TRUE(first.done->ok) << first.done->error;
+
+  req.seed = 92;
+  req.workers = 3;  // same kernel@preset, different pool size
+  const SubmitOutcome second = submit_and_wait(req);
+  ASSERT_TRUE(second.done.has_value()) << second.error;
+  EXPECT_TRUE(second.done->ok) << second.done->error;
+
+  agent.request_stop();
+  agent_thread.join();
+  // Each job has exactly 4 chunks, so > 4 chunks run means the agent ran
+  // leases from both jobs -- only then is a rebuild guaranteed observable.
+  if (agent.stats().chunks_run > 4) {
+    EXPECT_GE(agent.stats().sessions_rebuilt, 1u)
+        << "second job's leases ran under the first job's pool settings";
+  }
+  EXPECT_EQ(journal_bytes("daxpy@tiny@92"), reference_journal(req));
 }
 
 // Zero live workers at job start: the distributed branch is not taken at

@@ -100,6 +100,9 @@ int main(int argc, char** argv) {
   cli.describe("straggler-ms",
                "speculatively re-dispatch a remote chunk leased longer than "
                "this (default 20000)");
+  cli.describe("worker-token",
+               "shared secret ftb_workerd must present to register; without "
+               "it the worker plane trusts the network (default: none)");
   if (cli.get_bool("help")) {
     cli.print_help("ftb_served: boundary-query / campaign-dispatch daemon");
     return 0;
@@ -133,6 +136,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("lease-timeout-ms", 3000));
   service_options.dispatch.straggler_timeout_ms =
       static_cast<std::uint32_t>(cli.get_int("straggler-ms", 20000));
+  service_options.dispatch.worker_token = cli.get("worker-token");
   if (const std::string cpus = cli.get("campaign-cpus"); !cpus.empty()) {
     if (!parse_cpu_list(cpus, &service_options.campaign_cpus)) {
       std::fprintf(stderr, "error: cannot parse --campaign-cpus '%s'\n",

@@ -52,6 +52,9 @@ int main(int argc, char** argv) {
   cli.describe("pool-workers",
                "sandbox pool size per chunk when the lease does not specify "
                "one (default 2)");
+  cli.describe("token",
+               "shared secret matching the server's --worker-token "
+               "(default: none)");
   cli.describe("once",
                "serve one connection and exit instead of reconnecting "
                "(for tests)");
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(std::max<std::int64_t>(1, cli.get_int("capacity", 1)));
   options.pool_workers = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, cli.get_int("pool-workers", 2)));
+  options.token = cli.get("token");
   options.connect_retry.max_retries = 6;
   options.connect_retry.initial_backoff_ms = 50;
   const bool once = cli.get_bool("once");
