@@ -277,6 +277,15 @@ struct DistributedResult {
   double speedup() const {
     return distributed_ms > 0 ? local_ms / distributed_ms : 0.0;
   }
+
+  /// Distributed speedup needs at least workers+1 CPUs (the server plus
+  /// each agent); on a smaller host the arms time-share one core and the
+  /// "speedup" only measures scheduler overhead, so the report must carry
+  /// the caveat rather than a bare misleading number.
+  bool cpu_constrained(unsigned host_cpus) const {
+    return host_cpus != 0 &&
+           host_cpus < static_cast<unsigned>(workers) + 1;
+  }
 };
 
 /// Serialises the measured phases as JSON so CI can commit the trajectory.
@@ -297,12 +306,21 @@ bool write_json(const std::string& path, int connections,
   out += "  \"connections\": " + std::to_string(connections) + ",\n";
   out += "  \"duration_ms\": " + std::to_string(duration_ms) + ",\n";
   if (distributed != nullptr) {
-    char dbuf[256];
-    std::snprintf(dbuf, sizeof(dbuf),
-                  "  \"distributed\": {\"workers\": %d, \"local_ms\": %.0f, "
-                  "\"distributed_ms\": %.0f, \"speedup\": %.2f},\n",
-                  distributed->workers, distributed->local_ms,
-                  distributed->distributed_ms, distributed->speedup());
+    const bool constrained = distributed->cpu_constrained(meta.host_cpus);
+    char dbuf[512];
+    std::snprintf(
+        dbuf, sizeof(dbuf),
+        "  \"distributed\": {\"workers\": %d, \"local_ms\": %.0f, "
+        "\"distributed_ms\": %.0f, \"speedup\": %.2f, "
+        "\"cpu_constrained\": %s%s},\n",
+        distributed->workers, distributed->local_ms,
+        distributed->distributed_ms, distributed->speedup(),
+        constrained ? "true" : "false",
+        constrained
+            ? ", \"note\": \"host_cpus < workers+1: the arms time-shared "
+              "the same cores, so speedup measures scheduler overhead, not "
+              "distribution\""
+            : "");
     out += dbuf;
   }
   out += "  \"phases\": {";
@@ -669,6 +687,11 @@ int main(int argc, char** argv) {
                 "with %d workers (%.2fx speedup)\n",
                 distributed.local_ms, distributed.distributed_ms,
                 distributed.workers, distributed.speedup());
+    if (distributed.cpu_constrained(meta.host_cpus)) {
+      std::printf("  NOTE: host has %u CPUs for %d workers + server; the "
+                  "speedup above measures time-sharing, not distribution\n",
+                  meta.host_cpus, distributed.workers);
+    }
   }
 
   if (in_process) {

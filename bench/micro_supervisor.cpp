@@ -6,8 +6,17 @@
 // workers.  The supervisor's pitch is that amortising the fork across the
 // whole campaign makes isolation affordable, so the persistent pool must be
 // no slower than per-batch forking on a healthy (non-hazard) workload.
+//
+// The snapshot benchmarks below add the third strategy: the same persistent
+// pool, but with each worker serving experiments from a copy-on-write
+// fork-server (fi/snapshot.h) so an experiment replays only the suffix after
+// the nearest checkpoint instead of the whole program.  Those run on
+// bench-sized CG/LU/FFT configs where one replay costs milliseconds -- at
+// the tiny sizes above, the ~0.2 ms fork round-trip would swamp the prefix
+// savings and the comparison would measure fork(), not the strategy.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "campaign/campaign.h"
@@ -15,6 +24,9 @@
 #include "campaign/supervisor.h"
 #include "fi/executor.h"
 #include "fi/sandbox.h"
+#include "kernels/cg.h"
+#include "kernels/fft.h"
+#include "kernels/lu.h"
 #include "kernels/registry.h"
 
 namespace {
@@ -95,5 +107,144 @@ void BM_CgSupervisorColdStart(benchmark::State& state) {
                           static_cast<std::int64_t>(f.ids.size()));
 }
 BENCHMARK(BM_CgSupervisorColdStart)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Snapshot fork-server benchmarks (fi/snapshot.h via WorkerPoolOptions).
+//
+// Two sampling shapes per kernel:
+//   *Uniform*  -- sites striped over the whole trace.  The classic worker
+//     replays the full program for every experiment; the snapshot worker
+//     skips the prefix before the nearest checkpoint, which for a uniform
+//     site distribution averages half the trace.  Speedup is therefore
+//     mathematically capped at 2x no matter the interval (see
+//     EXPERIMENTS.md).
+//   *LatePhase* -- sites confined to the last quarter of the trace, the
+//     shape adaptive boundary refinement produces once it has localised
+//     the transition region.  Here the snapshot path skips ~75% of every
+//     replay and the speedup clears the 2x cap.
+//
+// Benchmark argument = checkpoint interval in dynamic instructions;
+// 0 = classic pool (no snapshots), the baseline.  Low mantissa bits are
+// flipped so experiments stay benign (masked/SDC) and both arms execute
+// the same full suffix -- timing measures the strategy, not crash-early
+// artifacts.
+// ---------------------------------------------------------------------------
+
+struct SnapshotFixture {
+  explicit SnapshotFixture(fi::ProgramPtr p)
+      : program(std::move(p)), golden(fi::run_golden(*program)) {
+    const std::uint64_t sites = golden.trace.size();
+    const std::uint64_t late_begin = sites - sites / 4;
+    for (std::uint64_t i = 0; i < kExperiments; ++i) {
+      const int bit = static_cast<int>((i * 5) % 16);  // low mantissa only
+      uniform.push_back(campaign::encode((i * 99991) % sites, bit));
+      late.push_back(
+          campaign::encode(late_begin + (i * 99991) % (sites - late_begin),
+                           bit));
+    }
+  }
+  static constexpr std::uint64_t kExperiments = 64;
+  fi::ProgramPtr program;
+  fi::GoldenRun golden;
+  std::vector<campaign::ExperimentId> uniform;
+  std::vector<campaign::ExperimentId> late;
+};
+
+// Bench-sized configs: one golden replay costs a few milliseconds, the
+// regime the fork-server targets (a campaign over real NPB-class runs, not
+// the unit-test grids).
+SnapshotFixture& cg_snapshot_fixture() {
+  static SnapshotFixture f([] {
+    kernels::CgConfig config;
+    config.nx = 24;
+    config.ny = 24;
+    config.iterations = 200;
+    return std::make_unique<kernels::CgProgram>(config);
+  }());
+  return f;
+}
+
+SnapshotFixture& lu_snapshot_fixture() {
+  static SnapshotFixture f([] {
+    kernels::LuConfig config;
+    config.n = 128;
+    config.block = 16;
+    return std::make_unique<kernels::LuProgram>(config);
+  }());
+  return f;
+}
+
+SnapshotFixture& fft_snapshot_fixture() {
+  static SnapshotFixture f([] {
+    kernels::FftConfig config;
+    config.n1 = 128;
+    config.n2 = 128;
+    return std::make_unique<kernels::FftProgram>(config);
+  }());
+  return f;
+}
+
+void run_snapshot_campaign(benchmark::State& state, SnapshotFixture& f,
+                           const std::vector<campaign::ExperimentId>& ids) {
+  campaign::SupervisorOptions options;
+  options.pool.workers = 1;  // one worker: per-experiment cost, undiluted
+  options.chunk_size = 16;
+  const auto interval = static_cast<std::uint64_t>(state.range(0));
+  if (interval != 0) {
+    options.pool.use_snapshots = true;
+    options.pool.snapshot.interval = interval;
+  }
+  campaign::CampaignSupervisor supervisor(*f.program, f.golden, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(supervisor.run(ids));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ids.size()));
+  state.counters["trace"] = static_cast<double>(f.golden.trace.size());
+}
+
+void BM_CgSnapshotUniform(benchmark::State& state) {
+  run_snapshot_campaign(state, cg_snapshot_fixture(),
+                        cg_snapshot_fixture().uniform);
+}
+BENCHMARK(BM_CgSnapshotUniform)
+    ->Arg(0)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CgSnapshotLatePhase(benchmark::State& state) {
+  run_snapshot_campaign(state, cg_snapshot_fixture(),
+                        cg_snapshot_fixture().late);
+}
+BENCHMARK(BM_CgSnapshotLatePhase)
+    ->Arg(0)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LuSnapshotUniform(benchmark::State& state) {
+  run_snapshot_campaign(state, lu_snapshot_fixture(),
+                        lu_snapshot_fixture().uniform);
+}
+BENCHMARK(BM_LuSnapshotUniform)
+    ->Arg(0)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_LuSnapshotLatePhase(benchmark::State& state) {
+  run_snapshot_campaign(state, lu_snapshot_fixture(),
+                        lu_snapshot_fixture().late);
+}
+BENCHMARK(BM_LuSnapshotLatePhase)
+    ->Arg(0)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_FftSnapshotUniform(benchmark::State& state) {
+  run_snapshot_campaign(state, fft_snapshot_fixture(),
+                        fft_snapshot_fixture().uniform);
+}
+BENCHMARK(BM_FftSnapshotUniform)
+    ->Arg(0)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_FftSnapshotLatePhase(benchmark::State& state) {
+  run_snapshot_campaign(state, fft_snapshot_fixture(),
+                        fft_snapshot_fixture().late);
+}
+BENCHMARK(BM_FftSnapshotLatePhase)
+    ->Arg(0)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -37,6 +37,12 @@ CampaignSupervisor::CampaignSupervisor(const fi::Program& program,
               // A chunk must fit the worker-side slot arrays.
               pool_options.chunk_capacity = std::max(
                   pool_options.chunk_capacity, options_.chunk_size);
+              // A supervised campaign must always carry a deadline: 0 would
+              // disable hang detection and let one poisoned flip hang the
+              // whole campaign (see SandboxOptions::timeout_ms).
+              if (pool_options.heartbeat_timeout_ms == 0) {
+                pool_options.heartbeat_timeout_ms = kFallbackDeadlineMs;
+              }
               if (pool_options.telemetry == nullptr) {
                 pool_options.telemetry = options_.telemetry;
               }

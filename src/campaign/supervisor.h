@@ -48,6 +48,13 @@
 
 namespace ftb::campaign {
 
+/// Deadline substituted by campaign-driven paths (the supervisor's pool
+/// heartbeat, checkpoint.cpp's sandbox batches, service job runners) when a
+/// caller passes timeout 0.  0 means "no watchdog", which is acceptable for
+/// interactive one-off runs but hangs an unattended campaign on the first
+/// runaway experiment, so campaign entry points never let it through.
+inline constexpr std::uint32_t kFallbackDeadlineMs = 2000;
+
 struct SupervisorOptions {
   /// Pool shape: worker count, per-worker chunk capacity, heartbeat
   /// timeout, spawn/respawn backoff, and the spawn-failure testing seam.

@@ -16,9 +16,12 @@ bool step_count_matches(const Tracer& tracer, const GoldenRun& golden) noexcept 
   return tracer.steps() == golden.trace.size();
 }
 
-ExperimentResult classify(const Program& program, const GoldenRun& golden,
-                          const Tracer& tracer,
-                          const std::vector<double>& output) {
+}  // namespace
+
+ExperimentResult classify_finished(const Program& program,
+                                   const GoldenRun& golden,
+                                   const Tracer& tracer,
+                                   const std::vector<double>& output) {
   ExperimentResult result;
   result.injected_error = tracer.injected_error();
   if (!step_count_matches(tracer, golden)) {
@@ -45,8 +48,8 @@ ExperimentResult classify(const Program& program, const GoldenRun& golden,
   return result;
 }
 
-ExperimentResult crash_result(const Tracer& tracer,
-                               std::uint64_t crash_site) noexcept {
+ExperimentResult classify_crash(const Tracer& tracer,
+                                std::uint64_t crash_site) noexcept {
   ExperimentResult result;
   result.outcome = Outcome::kCrash;
   result.crash_reason = CrashReason::kNonFinite;
@@ -55,8 +58,6 @@ ExperimentResult crash_result(const Tracer& tracer,
   result.crash_site = crash_site;
   return result;
 }
-
-}  // namespace
 
 GoldenRun run_golden(const Program& program) {
   GoldenRun golden;
@@ -87,9 +88,9 @@ ExperimentResult run_injected(const Program& program, const GoldenRun& golden,
   Tracer tracer = Tracer::injector(injection);
   try {
     const std::vector<double> output = program.run(tracer);
-    return classify(program, golden, tracer, output);
+    return classify_finished(program, golden, tracer, output);
   } catch (const CrashSignal& signal) {
-    return crash_result(tracer, signal.site);
+    return classify_crash(tracer, signal.site);
   }
 }
 
@@ -104,9 +105,9 @@ ExperimentResult run_injected_compare(const Program& program,
   Tracer tracer = Tracer::comparator(injection, golden.trace, diffs);
   try {
     const std::vector<double> output = program.run(tracer);
-    return classify(program, golden, tracer, output);
+    return classify_finished(program, golden, tracer, output);
   } catch (const CrashSignal& signal) {
-    return crash_result(tracer, signal.site);
+    return classify_crash(tracer, signal.site);
   }
 }
 

@@ -45,6 +45,21 @@ std::uint64_t count_dynamic_instructions(const Program& program);
 ExperimentResult run_injected(const Program& program, const GoldenRun& golden,
                               const Injection& injection);
 
+/// Classifies a run that finished (program.run returned `output`): exactly
+/// the rule run_injected applies after a non-crashing run.  Exposed so the
+/// snapshot fork-server (fi/snapshot.h), whose experiment children resume a
+/// paused execution instead of calling run_injected, produces bit-identical
+/// results.
+ExperimentResult classify_finished(const Program& program,
+                                   const GoldenRun& golden,
+                                   const Tracer& tracer,
+                                   const std::vector<double>& output);
+
+/// Classifies a run that trapped (CrashSignal at `crash_site`); the
+/// CrashSignal counterpart of classify_finished.
+ExperimentResult classify_crash(const Tracer& tracer,
+                                std::uint64_t crash_site) noexcept;
+
 /// As run_injected, but also captures the propagated absolute error
 /// |x_i' - x_i| into diffs[i] for i >= injection.site.  `diffs` must have
 /// golden.trace.size() elements; the executor zeroes it first.  On Crash the

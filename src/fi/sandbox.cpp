@@ -212,7 +212,21 @@ ChildOutcome supervise(pid_t pid, const SharedBlock& block,
       ::waitpid(pid, &status, 0);
       outcome.started = block.header->started.load(std::memory_order_acquire);
       outcome.done = block.header->done.load(std::memory_order_acquire);
-      outcome.end = ChildEnd::kTimedOut;
+      // The child may have died on its own between the WNOHANG poll and the
+      // SIGKILL; the reaped status then carries the real cause.  Believing
+      // it keeps a signal death from being misfiled as a watchdog kill (and
+      // double-counted in watchdog_kills), and a child that slipped in a
+      // clean exit -- possibly having published everything -- from being
+      // blamed for a hang it never had.
+      if (WIFSIGNALED(status) && WTERMSIG(status) != SIGKILL) {
+        outcome.end = ChildEnd::kKilledBySignal;
+        outcome.signal = WTERMSIG(status);
+      } else if (WIFEXITED(status)) {
+        outcome.end = WEXITSTATUS(status) != 0 ? ChildEnd::kExitedNonZero
+                                               : ChildEnd::kFinished;
+      } else {
+        outcome.end = ChildEnd::kTimedOut;
+      }
       return outcome;
     }
     std::this_thread::sleep_for(
@@ -444,18 +458,34 @@ bool write_full_nosigpipe(int fd, const void* buffer, std::size_t bytes) {
 /// exception (the parent classifies that as kAbnormalExit).  Never returns.
 [[noreturn]] void pool_worker_main(const Program& program,
                                    const GoldenRun& golden, PoolShm& shm,
-                                   int command_fd, std::size_t capacity) {
+                                   int command_fd,
+                                   const WorkerPoolOptions& options) {
 #if defined(__linux__)
   // Die with the supervisor: a SIGKILLed campaign must not leak workers
   // spinning on hazard experiments.
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);
   if (::getppid() == 1) ::_exit(0);  // parent already gone before prctl
 #endif
+  const std::size_t capacity = options.chunk_capacity;
+  // Snapshot mode: each worker owns a private fork-server tree so chunks
+  // are served from copy-on-write checkpoints instead of replayed from
+  // instruction 0.  Results stay bit-identical (the tree classifies via
+  // classify_finished/classify_crash and falls back to run_injected when
+  // degraded), so the parent-side protocol is untouched.
+  std::unique_ptr<SnapshotServer> server;
+  if (options.use_snapshots && snapshot_safe(program)) {
+    server = std::make_unique<SnapshotServer>(program, golden,
+                                              options.snapshot);
+  }
+  const auto clean_exit = [&server] {
+    server.reset();  // reap the runner: no zombies charged to this worker
+    ::_exit(0);
+  };
   for (;;) {
     std::uint32_t count = 0;
-    if (!read_full(command_fd, &count, sizeof(count))) ::_exit(0);
+    if (!read_full(command_fd, &count, sizeof(count))) clean_exit();
     if (count == kShutdownCommand || count == 0 || count > capacity) {
-      ::_exit(0);
+      clean_exit();
     }
     shm.header->heartbeat.fetch_add(1, std::memory_order_release);
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -463,7 +493,9 @@ bool write_full_nosigpipe(int fd, const void* buffer, std::size_t bytes) {
       shm.header->heartbeat.fetch_add(1, std::memory_order_release);
       try {
         const ExperimentResult result =
-            run_injected(program, golden, shm.injections[i]);
+            server != nullptr ? server->run(shm.injections[i])
+                              : run_injected(program, golden,
+                                             shm.injections[i]);
         encode_slot(shm.slots[i], result);
       } catch (...) {
         ::_exit(2);
@@ -554,7 +586,7 @@ struct WorkerPool::Impl {
         if (other.command_write >= 0) ::close(other.command_write);
       }
       pool_worker_main(program, golden, slot.shm, fds[0],
-                       options.chunk_capacity);  // never returns
+                       options);  // never returns
     }
     ::close(fds[0]);
     slot.pid = pid;
@@ -793,12 +825,40 @@ struct WorkerPool::Impl {
                                                  options.heartbeat_timeout_ms)) {
         ::kill(slot.pid, SIGKILL);
         ::waitpid(slot.pid, &status, 0);
-        events.push_back(harvest(static_cast<int>(i), slot,
-                                 WorkerEvent::Kind::kWorkerHang));
+        // Same race as the per-batch watchdog: the worker may have finished
+        // the chunk, died on a fault's signal, or exited on its own between
+        // the heartbeat check and the SIGKILL.  The reaped status and the
+        // done counter carry the truth; only a genuine stall is a hang.
+        const std::uint64_t done_now =
+            slot.shm.header->done.load(std::memory_order_acquire);
+        if (done_now >= slot.chunk_count) {
+          events.push_back(harvest(static_cast<int>(i), slot,
+                                   WorkerEvent::Kind::kChunkDone));
+          tele_chunk_done(slot);
+        } else if (WIFSIGNALED(status) && WTERMSIG(status) != SIGKILL) {
+          WorkerEvent event = harvest(static_cast<int>(i), slot,
+                                      WorkerEvent::Kind::kWorkerDeath);
+          event.reason = crash_reason_from_signal(WTERMSIG(status));
+          ++stats.signal_deaths;
+          tele_worker_lost("worker.death", "pool.worker_deaths", i,
+                           event.reason);
+          events.push_back(std::move(event));
+        } else if (WIFEXITED(status)) {
+          WorkerEvent event = harvest(static_cast<int>(i), slot,
+                                      WorkerEvent::Kind::kWorkerDeath);
+          event.reason = CrashReason::kAbnormalExit;
+          ++stats.abnormal_exits;
+          tele_worker_lost("worker.death", "pool.worker_deaths", i,
+                           event.reason);
+          events.push_back(std::move(event));
+        } else {
+          events.push_back(harvest(static_cast<int>(i), slot,
+                                   WorkerEvent::Kind::kWorkerHang));
+          ++stats.hang_kills;
+          tele_worker_lost("worker.hang", "pool.worker_hangs", i,
+                           CrashReason::kNone);
+        }
         slot.busy = false;
-        ++stats.hang_kills;
-        tele_worker_lost("worker.hang", "pool.worker_hangs", i,
-                         CrashReason::kNone);
         respawn(slot);
       }
     }

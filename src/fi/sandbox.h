@@ -38,6 +38,7 @@
 #include "fi/executor.h"
 #include "fi/outcome.h"
 #include "fi/program.h"
+#include "fi/snapshot.h"
 #include "util/retry.h"
 
 namespace ftb::telemetry {
@@ -49,7 +50,11 @@ namespace ftb::fi {
 struct SandboxOptions {
   /// Watchdog budget per experiment, measured from the last observed
   /// progress (an experiment starting or finishing).  0 disables the
-  /// watchdog entirely -- a hung experiment then hangs the campaign.
+  /// watchdog entirely -- a hung experiment then hangs the caller, so 0 is
+  /// only for interactive runs that accept that risk.  Campaign-driven
+  /// paths (campaign/checkpoint.h, service/jobs.cpp) never pass 0 through:
+  /// they substitute a fallback deadline derived from the supervisor's
+  /// heartbeat timeout.
   std::uint32_t timeout_ms = 2000;
 
   /// Parent poll cadence while the child runs.
@@ -140,6 +145,17 @@ struct WorkerPoolOptions {
 
   /// Backoff policy for fork/mmap, applied per spawn or respawn attempt.
   util::RetryOptions spawn_retry;
+
+  /// Serve experiments from a snapshot fork-server (fi/snapshot.h) instead
+  /// of replaying each one from instruction 0.  Every worker builds its own
+  /// tree at spawn (and after respawn); results stay bit-identical to the
+  /// classic path for well-behaved programs, and workers fall back to
+  /// run_injected() when the program is not snapshot_safe() or the tree
+  /// degrades.
+  bool use_snapshots = false;
+
+  /// Checkpoint cadence/watchdog for the per-worker snapshot trees.
+  SnapshotOptions snapshot;
 
   /// Testing seam: the first N fork attempts fail as if fork() returned
   /// EAGAIN, without forking.  Lets tests drive the degradation path

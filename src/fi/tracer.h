@@ -126,6 +126,23 @@ struct Injection {
 
 class Tracer {
  public:
+  /// Sentinel for "no checkpoint armed" (see arm_checkpoint_hook).
+  static constexpr std::uint64_t kNoCheckpoint = ~std::uint64_t{0};
+
+  /// Callback armed by the snapshot fork-server (fi/snapshot.h).  `reached`
+  /// is invoked from step() the first time the dynamic-instruction index
+  /// reaches the armed checkpoint and returns the next index to arm (or
+  /// kNoCheckpoint to disarm).  The hook may fork(): in the child it may
+  /// rearm() the tracer before returning, which is how a snapshot
+  /// experiment resumes the paused execution with a real fault armed.  Raw
+  /// function pointers keep std::function off the hot path, mirroring
+  /// StreamHooks.
+  struct CheckpointHook {
+    void* ctx = nullptr;
+    std::uint64_t (*reached)(void* ctx, Tracer& tracer,
+                             std::uint64_t index) = nullptr;
+  };
+
   /// Counts dynamic instructions only (used to size golden structures).
   static Tracer counter() noexcept { return Tracer(Mode::kCount); }
 
@@ -196,6 +213,11 @@ class Tracer {
   /// non-finite produced value simulates a trap via CrashSignal.
   double step(double v) {
     const std::uint64_t idx = index_++;
+    if (idx >= next_checkpoint_) [[unlikely]] {
+      // Before the injection check on purpose: a hook that rearms this
+      // tracer with a fault at exactly this index must still fire it below.
+      next_checkpoint_ = checkpoint_.reached(checkpoint_.ctx, *this, idx);
+    }
     switch (mode_) {
       case Mode::kCount:
         return v;
@@ -345,6 +367,13 @@ class Tracer {
   Shard shard(std::uint64_t steps) {
     assert(mode_ != Mode::kCompareStream &&
            "stream comparison cannot be sharded");
+    if (index_ >= next_checkpoint_) [[unlikely]] {
+      // Sharded regions reserve index ranges in bulk, so a checkpoint that
+      // lands inside one fires here, at the region edge, on the calling
+      // thread (never on a worker thread -- fork() inside a threaded region
+      // would be unsafe).  The hook registers the *actual* index it ran at.
+      next_checkpoint_ = checkpoint_.reached(checkpoint_.ctx, *this, index_);
+    }
     Shard s;
     s.parent_ = this;
     s.begin_ = index_;
@@ -386,6 +415,26 @@ class Tracer {
     }
   }
 
+  /// Arms `hook` to fire the first time the dynamic-instruction index
+  /// reaches `first`.  Pass kNoCheckpoint (the construction default) to
+  /// leave the hot path a single always-false comparison.
+  void arm_checkpoint_hook(CheckpointHook hook, std::uint64_t first) noexcept {
+    checkpoint_ = hook;
+    next_checkpoint_ = hook.reached != nullptr ? first : kNoCheckpoint;
+  }
+
+  /// Swaps in a different injection mid-run, clearing the fired state.  Only
+  /// meaningful from a checkpoint hook in a freshly forked experiment child:
+  /// the new fault must not already be behind the execution point (a trace
+  /// site below the current index, or a memory fault whose touch point has
+  /// already been passed, can never fire).
+  void rearm(const Injection& injection) noexcept {
+    injection_ = injection;
+    fired_ = false;
+    injected_error_ = 0.0;
+    original_value_ = 0.0;
+  }
+
   /// Number of dynamic instructions seen so far.
   std::uint64_t steps() const noexcept { return index_; }
 
@@ -424,6 +473,8 @@ class Tracer {
 
   Mode mode_;
   std::uint64_t index_ = 0;
+  std::uint64_t next_checkpoint_ = kNoCheckpoint;
+  CheckpointHook checkpoint_{};
   std::uint32_t touch_index_ = 0;
   Injection injection_{};
   bool fired_ = false;

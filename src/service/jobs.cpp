@@ -247,7 +247,15 @@ void JobRunner::execute(const CampaignJob& job) {
     options.use_supervisor = true;
     options.supervisor.pool.workers =
         static_cast<int>(std::clamp<std::uint32_t>(job.req.workers, 1, 16));
-    options.supervisor.pool.heartbeat_timeout_ms = job.req.timeout_ms;
+    // timeout 0 from a client request must not disable hang detection on
+    // the daemon: substitute the campaign fallback deadline instead.
+    options.supervisor.pool.heartbeat_timeout_ms =
+        job.req.timeout_ms != 0 ? job.req.timeout_ms
+                                : campaign::kFallbackDeadlineMs;
+    options.supervisor.pool.use_snapshots = options_.use_snapshots;
+    options.supervisor.pool.snapshot.interval = options_.snapshot_interval;
+    options.supervisor.pool.snapshot.timeout_ms =
+        options.supervisor.pool.heartbeat_timeout_ms;
     options.supervisor.quarantine_after =
         static_cast<int>(job.req.quarantine_after);
     options.supervisor.telemetry = options_.telemetry;
@@ -303,7 +311,8 @@ void JobRunner::execute(const CampaignJob& job) {
       dist.kernel = job.req.kernel;
       dist.preset = job.req.preset;
       dist.pool_workers = std::clamp<std::uint32_t>(job.req.workers, 1, 16);
-      dist.timeout_ms = job.req.timeout_ms;
+      dist.timeout_ms = job.req.timeout_ms != 0 ? job.req.timeout_ms
+                                                : campaign::kFallbackDeadlineMs;
       dist.quarantine_after = job.req.quarantine_after;
       dist.supervisor = options.supervisor;
       dist.telemetry = options_.telemetry;

@@ -62,6 +62,13 @@ struct JobRunnerOptions {
   /// sandbox worker it spawns) is pinned to these CPUs so campaign load
   /// stops stealing cycles from the epoll I/O thread.
   std::vector<int> campaign_cpus;
+  /// Serve local campaign experiments from per-worker snapshot fork-servers
+  /// (fi/snapshot.h) instead of replaying each one from instruction 0.
+  /// Journals and boundary artifacts stay byte-identical to the classic
+  /// path; kernels that are not snapshot_safe() fall back automatically.
+  bool use_snapshots = false;
+  /// Checkpoint cadence for the snapshot trees, in dynamic instructions.
+  std::uint64_t snapshot_interval = 4096;
   /// Distributed execution plane (service/dispatch.h).  When set and at
   /// least one remote worker is live at job start, chunks fan out to the
   /// workers; otherwise the local checkpointed path runs unchanged.  Never

@@ -53,6 +53,8 @@ Service::Service(ServiceOptions options)
   job_options.store_dir = options_.store_dir;
   job_options.max_queue = options_.max_queue;
   job_options.campaign_cpus = options_.campaign_cpus;
+  job_options.use_snapshots = options_.snapshot_campaigns;
+  job_options.snapshot_interval = options_.snapshot_interval;
   job_options.dispatcher = dispatcher_.get();
   job_options.telemetry = options_.telemetry;
   JobCallbacks callbacks;

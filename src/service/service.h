@@ -57,6 +57,11 @@ struct ServiceOptions {
   std::size_t admission_batch = 256;
   /// Retry-after hint carried in Busy replies, in milliseconds.
   std::uint64_t busy_retry_ms = 50;
+  /// Serve local campaign experiments from snapshot fork-servers
+  /// (fi/snapshot.h); journals stay byte-identical to the classic path.
+  bool snapshot_campaigns = false;
+  /// Checkpoint cadence for the snapshot trees, in dynamic instructions.
+  std::uint64_t snapshot_interval = 4096;
   /// Lease/heartbeat/quarantine policy for remote campaign workers.
   DispatchOptions dispatch;
   /// CPUs the campaign plane (runner thread + forked sandbox workers) is

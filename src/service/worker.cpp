@@ -106,6 +106,9 @@ WorkerChunkResult WorkerAgent::run_chunk(const WorkerChunk& chunk) {
       campaign::SupervisorOptions supervisor;
       supervisor.pool.workers = static_cast<int>(pool_workers);
       supervisor.pool.heartbeat_timeout_ms = chunk.timeout_ms;
+      supervisor.pool.use_snapshots = options_.use_snapshots;
+      supervisor.pool.snapshot.interval = options_.snapshot_interval;
+      supervisor.pool.snapshot.timeout_ms = chunk.timeout_ms;
       supervisor.quarantine_after = static_cast<int>(chunk.quarantine_after);
       supervisor.telemetry = options_.telemetry;
       // Same rule as the service's own job plane: hazard experiments never

@@ -50,6 +50,12 @@ struct WorkerAgentOptions {
   std::uint32_t capacity = 1;
   /// Default sandbox pool size when a chunk does not specify one.
   std::uint32_t pool_workers = 2;
+  /// Serve leased experiments from per-worker snapshot fork-servers
+  /// (fi/snapshot.h).  A local execution strategy only -- nothing on the
+  /// wire changes, and chunk results stay byte-identical to classic runs.
+  bool use_snapshots = false;
+  /// Checkpoint cadence for the snapshot trees, in dynamic instructions.
+  std::uint64_t snapshot_interval = 4096;
   /// Shared secret sent in WorkerHello; must match the server's
   /// --worker-token (empty for a token-less server).
   std::string token;

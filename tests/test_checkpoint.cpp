@@ -131,6 +131,35 @@ TEST(Checkpoint, SandboxedChunksWork) {
   std::filesystem::remove(options.path);
 }
 
+TEST(Checkpoint, ZeroSandboxTimeoutGetsFallbackDeadline) {
+  // Regression: SandboxOptions::timeout_ms = 0 disables the per-experiment
+  // watchdog, so a checkpointed campaign passing it through used to hang
+  // forever on the first runaway flip.  The checkpoint layer must instead
+  // substitute a deadline (here derived from the configured supervisor
+  // heartbeat) and classify the spin as a Hang.
+  const kernels::HazardSpinProgram program{kernels::HazardSpinConfig{}};
+  const fi::GoldenRun golden = fi::run_golden(program);
+
+  const std::vector<ExperimentId> ids = {
+      encode(0, 0),  // benign
+      encode(kernels::HazardSpinProgram::kDecaySite, 52),  // infinite spin
+  };
+
+  CheckpointOptions options;
+  options.path = temp_journal("zero_timeout");
+  options.flush_every = 8;
+  options.use_sandbox = true;
+  options.sandbox.timeout_ms = 0;  // the hazardous configuration
+  options.supervisor.pool.heartbeat_timeout_ms = 300;  // fallback source
+  const CheckpointRunResult run =
+      run_campaign_checkpointed(program, golden, ids, options);
+
+  ASSERT_EQ(run.log.size(), ids.size());
+  EXPECT_EQ(run.log.records()[1].result.outcome, fi::Outcome::kHang);
+  EXPECT_GE(run.sandbox_stats.watchdog_kills, 1u);
+  std::filesystem::remove(options.path);
+}
+
 TEST(Checkpoint, ResumeAcrossLethalExperiments) {
   // A hazard campaign interrupted after the journal saw a signal-crash
   // resumes cleanly and keeps the crash record.

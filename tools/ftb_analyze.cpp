@@ -338,6 +338,17 @@ int cmd_campaign_resume(const util::Cli& cli, const Loaded& k,
   options.supervisor.pool.workers = cli.get_int("workers", 4);
   options.supervisor.pool.heartbeat_timeout_ms = options.sandbox.timeout_ms;
   options.supervisor.quarantine_after = cli.get_int("quarantine-after", 3);
+  // --snapshot serves experiments from the copy-on-write fork-server
+  // (fi/snapshot.h) instead of replaying each one from instruction 0.  It
+  // lives inside the pool workers, so it forces the supervisor on; journals
+  // stay byte-identical to the classic path either way.
+  if (cli.get_bool("snapshot", cli.has("snapshot-every"))) {
+    options.use_supervisor = true;
+    options.supervisor.pool.use_snapshots = true;
+    options.supervisor.pool.snapshot.interval =
+        static_cast<std::uint64_t>(cli.get_int("snapshot-every", 4096));
+    options.supervisor.pool.snapshot.timeout_ms = options.sandbox.timeout_ms;
+  }
 
   // The id set must be a pure function of the seed (and fault flags): a
   // resumed invocation has to aim at the same experiments as the
@@ -398,11 +409,19 @@ int cmd_campaign_oneshot(const util::Cli& cli, const Loaded& k,
       static_cast<std::uint32_t>(cli.get_int("timeout-ms", 2000));
   const bool use_sandbox = cli.get_bool("sandbox", cli.has("timeout-ms"));
 
+  // --snapshot requires the worker-pool supervisor (the fork-server lives
+  // inside its workers), so it forces one on even without --workers.
+  const bool use_snapshots =
+      cli.get_bool("snapshot", cli.has("snapshot-every"));
   std::optional<campaign::CampaignSupervisor> supervisor;
-  if (cli.has("workers")) {
+  if (cli.has("workers") || use_snapshots) {
     campaign::SupervisorOptions options;
     options.pool.workers = static_cast<int>(cli.get_int("workers", 4));
     options.pool.heartbeat_timeout_ms = timeout_ms;
+    options.pool.use_snapshots = use_snapshots;
+    options.pool.snapshot.interval =
+        static_cast<std::uint64_t>(cli.get_int("snapshot-every", 4096));
+    options.pool.snapshot.timeout_ms = timeout_ms;
     options.quarantine_after =
         static_cast<int>(cli.get_int("quarantine-after", 3));
     options.telemetry = tele;
@@ -621,6 +640,9 @@ int main(int argc, char** argv) {
       "              required for hazard kernels).  --workers N runs the\n"
       "              persistent worker-pool supervisor instead (heartbeats,\n"
       "              respawn, --quarantine-after K site quarantine).\n"
+      "              --snapshot serves experiments from copy-on-write\n"
+      "              fork-server checkpoints (--snapshot-every I dynamic\n"
+      "              instructions, default 4096); implies the supervisor.\n"
       "              Without --log/--resume: one-shot campaign, nothing\n"
       "              persisted (--batch N, --chunk N, same isolation flags).\n"
       "              --fault bitflip|burst|mem|memburst picks the fault\n"

@@ -103,6 +103,13 @@ int main(int argc, char** argv) {
   cli.describe("worker-token",
                "shared secret ftb_workerd must present to register; without "
                "it the worker plane trusts the network (default: none)");
+  cli.describe("snapshot",
+               "serve local campaign experiments from copy-on-write "
+               "fork-server snapshots (fi/snapshot.h); journals stay "
+               "byte-identical (default off)");
+  cli.describe("snapshot-every",
+               "snapshot checkpoint cadence in dynamic instructions "
+               "(default 4096; implies --snapshot)");
   if (cli.get_bool("help")) {
     cli.print_help("ftb_served: boundary-query / campaign-dispatch daemon");
     return 0;
@@ -137,6 +144,10 @@ int main(int argc, char** argv) {
   service_options.dispatch.straggler_timeout_ms =
       static_cast<std::uint32_t>(cli.get_int("straggler-ms", 20000));
   service_options.dispatch.worker_token = cli.get("worker-token");
+  service_options.snapshot_campaigns =
+      cli.get_bool("snapshot", cli.has("snapshot-every"));
+  service_options.snapshot_interval =
+      static_cast<std::uint64_t>(cli.get_int("snapshot-every", 4096));
   if (const std::string cpus = cli.get("campaign-cpus"); !cpus.empty()) {
     if (!parse_cpu_list(cpus, &service_options.campaign_cpus)) {
       std::fprintf(stderr, "error: cannot parse --campaign-cpus '%s'\n",

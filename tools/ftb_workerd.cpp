@@ -55,6 +55,12 @@ int main(int argc, char** argv) {
   cli.describe("token",
                "shared secret matching the server's --worker-token "
                "(default: none)");
+  cli.describe("snapshot",
+               "serve experiments from copy-on-write fork-server snapshots "
+               "(fi/snapshot.h); results stay byte-identical (default off)");
+  cli.describe("snapshot-every",
+               "snapshot checkpoint cadence in dynamic instructions "
+               "(default 4096; implies --snapshot)");
   cli.describe("once",
                "serve one connection and exit instead of reconnecting "
                "(for tests)");
@@ -84,6 +90,9 @@ int main(int argc, char** argv) {
   options.pool_workers = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, cli.get_int("pool-workers", 2)));
   options.token = cli.get("token");
+  options.use_snapshots = cli.get_bool("snapshot", cli.has("snapshot-every"));
+  options.snapshot_interval =
+      static_cast<std::uint64_t>(cli.get_int("snapshot-every", 4096));
   options.connect_retry.max_retries = 6;
   options.connect_retry.initial_backoff_ms = 50;
   const bool once = cli.get_bool("once");
