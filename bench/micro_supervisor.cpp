@@ -135,11 +135,15 @@ struct SnapshotFixture {
       : program(std::move(p)), golden(fi::run_golden(*program)) {
     const std::uint64_t sites = golden.trace.size();
     const std::uint64_t late_begin = sites - sites / 4;
+    const std::uint64_t tail_begin = sites - sites / 32;
     for (std::uint64_t i = 0; i < kExperiments; ++i) {
       const int bit = static_cast<int>((i * 5) % 16);  // low mantissa only
       uniform.push_back(campaign::encode((i * 99991) % sites, bit));
       late.push_back(
           campaign::encode(late_begin + (i * 99991) % (sites - late_begin),
+                           bit));
+      tail.push_back(
+          campaign::encode(tail_begin + (i * 99991) % (sites - tail_begin),
                            bit));
     }
   }
@@ -148,6 +152,11 @@ struct SnapshotFixture {
   fi::GoldenRun golden;
   std::vector<campaign::ExperimentId> uniform;
   std::vector<campaign::ExperimentId> late;
+  /// Sites packed into the last ~3% of the trace: the localised-transition
+  /// endgame where checkpoint *placement* (not just existence) decides how
+  /// much prefix each fork replays.  The thinned uniform grid leaves this
+  /// window one checkpoint at best; density hints fill it.
+  std::vector<campaign::ExperimentId> tail;
 };
 
 // Bench-sized configs: one golden replay costs a few milliseconds, the
@@ -185,7 +194,8 @@ SnapshotFixture& fft_snapshot_fixture() {
 }
 
 void run_snapshot_campaign(benchmark::State& state, SnapshotFixture& f,
-                           const std::vector<campaign::ExperimentId>& ids) {
+                           const std::vector<campaign::ExperimentId>& ids,
+                           bool density_hints = false) {
   campaign::SupervisorOptions options;
   options.pool.workers = 1;  // one worker: per-experiment cost, undiluted
   options.chunk_size = 16;
@@ -193,6 +203,16 @@ void run_snapshot_campaign(benchmark::State& state, SnapshotFixture& f,
   if (interval != 0) {
     options.pool.use_snapshots = true;
     options.pool.snapshot.interval = interval;
+    if (density_hints) {
+      // Density-aware placement: spend the checkpoint budget at quantiles
+      // of the campaign's own site distribution instead of on the uniform
+      // grid (fi::plan_checkpoints).  On the late-phase shape the uniform
+      // grid drops most of its slots in the dead first three quarters of
+      // the trace; the hinted plan packs them where the forks happen.
+      for (const campaign::ExperimentId id : ids) {
+        options.pool.snapshot.site_hints.push_back(campaign::site_of(id));
+      }
+    }
   }
   campaign::CampaignSupervisor supervisor(*f.program, f.golden, options);
   for (auto _ : state) {
@@ -218,6 +238,30 @@ void BM_CgSnapshotLatePhase(benchmark::State& state) {
 BENCHMARK(BM_CgSnapshotLatePhase)
     ->Arg(0)->Arg(1024)->Arg(4096)->Arg(16384)
     ->Unit(benchmark::kMillisecond);
+
+void BM_CgSnapshotLatePhaseDensityHints(benchmark::State& state) {
+  run_snapshot_campaign(state, cg_snapshot_fixture(),
+                        cg_snapshot_fixture().late,
+                        /*density_hints=*/true);
+}
+BENCHMARK(BM_CgSnapshotLatePhaseDensityHints)
+    ->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CgSnapshotTailCluster(benchmark::State& state) {
+  run_snapshot_campaign(state, cg_snapshot_fixture(),
+                        cg_snapshot_fixture().tail);
+}
+BENCHMARK(BM_CgSnapshotTailCluster)
+    ->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_CgSnapshotTailClusterDensityHints(benchmark::State& state) {
+  run_snapshot_campaign(state, cg_snapshot_fixture(),
+                        cg_snapshot_fixture().tail,
+                        /*density_hints=*/true);
+}
+BENCHMARK(BM_CgSnapshotTailClusterDensityHints)
+    ->Arg(4096)->Unit(benchmark::kMillisecond);
 
 void BM_LuSnapshotUniform(benchmark::State& state) {
   run_snapshot_campaign(state, lu_snapshot_fixture(),

@@ -66,6 +66,18 @@ CheckpointRunResult run_campaign_checkpointed(
     if (supervisor_options.telemetry == nullptr) {
       supervisor_options.telemetry = options.telemetry;
     }
+    // Density hints for snapshot placement: the ids still owed are exactly
+    // where this invocation will fork, so hand their sites to
+    // plan_checkpoints (fi/snapshot.h).  Placement is a speed knob only --
+    // journal bytes are identical wherever the checkpoints land.
+    if (supervisor_options.pool.use_snapshots &&
+        supervisor_options.pool.snapshot.site_hints.empty()) {
+      auto& hints = supervisor_options.pool.snapshot.site_hints;
+      hints.reserve(remaining.size());
+      for (ExperimentId id : remaining) {
+        if (is_classic(id)) hints.push_back(site_of(id));
+      }
+    }
     supervisor.emplace(program, golden, supervisor_options);
   }
 

@@ -186,14 +186,6 @@ bool snapshot_safe(const Program& program) {
          program.config_key().find(":thr=") == std::string::npos;
 }
 
-#if FTB_SNAPSHOT_POSIX
-
-namespace {
-
-constexpr std::uint64_t kDeadSlot = ~std::uint64_t{0};
-
-/// Planned checkpoint sites: instruction 0, every phase edge, and every
-/// `interval` instructions, thinned evenly to max_checkpoints (keeping 0).
 std::vector<std::uint64_t> plan_checkpoints(const GoldenRun& golden,
                                             const SnapshotOptions& options) {
   const std::uint64_t total = golden.trace.size();
@@ -203,13 +195,32 @@ std::vector<std::uint64_t> plan_checkpoints(const GoldenRun& golden,
       if (mark.begin < total) sites.insert(mark.begin);
     }
   }
-  if (options.interval > 0) {
+  const std::size_t cap = std::max<std::size_t>(options.max_checkpoints, 1);
+  // Density placement: with site hints, spend the slot budget left after
+  // the mandatory checkpoints on quantiles of the observed site
+  // distribution -- a checkpoint serves every experiment at or above it, so
+  // equal-mass spacing minimises the replayed prefix where the campaign
+  // actually injects.  Without hints, fall back to the uniform grid.
+  std::vector<std::uint64_t> hints;
+  hints.reserve(options.site_hints.size());
+  for (std::uint64_t hint : options.site_hints) {
+    if (hint < total) hints.push_back(hint);
+  }
+  if (!hints.empty()) {
+    std::sort(hints.begin(), hints.end());
+    const std::size_t budget = cap > sites.size() ? cap - sites.size() : 1;
+    for (std::size_t i = 0; i < budget; ++i) {
+      const std::size_t index =
+          budget > 1 ? i * (hints.size() - 1) / (budget - 1)
+                     : hints.size() / 2;
+      sites.insert(hints[index]);
+    }
+  } else if (options.interval > 0) {
     for (std::uint64_t s = options.interval; s < total; s += options.interval) {
       sites.insert(s);
     }
   }
   std::vector<std::uint64_t> plan(sites.begin(), sites.end());
-  const std::size_t cap = std::max<std::size_t>(options.max_checkpoints, 1);
   if (plan.size() > cap) {
     std::vector<std::uint64_t> thinned;
     thinned.reserve(cap);
@@ -221,6 +232,12 @@ std::vector<std::uint64_t> plan_checkpoints(const GoldenRun& golden,
   }
   return plan;
 }
+
+#if FTB_SNAPSHOT_POSIX
+
+namespace {
+
+constexpr std::uint64_t kDeadSlot = ~std::uint64_t{0};
 
 bool read_exact(int fd, void* buffer, std::size_t bytes) {
   char* out = static_cast<char*>(buffer);

@@ -47,6 +47,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "fi/executor.h"
 #include "fi/outcome.h"
@@ -79,6 +80,14 @@ struct SnapshotOptions {
   /// Tree rebuilds permitted before the server degrades permanently to the
   /// in-process executor.
   int max_rebuilds = 2;
+
+  /// Observed injection-site density -- typically the campaign's pending
+  /// sites.  When non-empty, checkpoint slots beyond the mandatory ones
+  /// (instruction 0 and phase edges) are placed at quantiles of this
+  /// distribution instead of on the uniform `interval` grid, so the
+  /// checkpoint budget concentrates where experiments actually fork.
+  /// Placement affects speed only; journal bytes never depend on it.
+  std::vector<std::uint64_t> site_hints;
 };
 
 /// Observability counters over the server's lifetime.
@@ -149,6 +158,14 @@ bool snapshot_supported() noexcept;
 /// single-threaded kernel configuration, recognised (by the kernel config
 /// key convention) as the absence of a ":thr=" marker.
 bool snapshot_safe(const Program& program);
+
+/// Planned checkpoint sites for `golden` under `options`: instruction 0,
+/// every phase edge (include_phase_edges), then either density quantiles of
+/// options.site_hints or the uniform `interval` grid, thinned evenly to
+/// max_checkpoints (instruction 0 is never dropped).  Exposed for tests and
+/// bench/micro_supervisor.
+std::vector<std::uint64_t> plan_checkpoints(const GoldenRun& golden,
+                                            const SnapshotOptions& options);
 
 class SnapshotServer {
  public:

@@ -1,0 +1,245 @@
+#include "sections/compose.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/cache.h"
+#include "util/durable_file.h"
+
+namespace ftb::sections {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4654422d434d5053ull;  // "FTB-CMPS"
+constexpr std::uint64_t kVersion = 1;
+
+std::optional<ComposedArtifact> fail(std::string* error,
+                                     const std::string& what) {
+  if (error != nullptr) *error = what;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const SectionRecord* ComposedArtifact::find(
+    const std::string& name) const noexcept {
+  for (const SectionRecord& record : sections) {
+    if (record.spec.name == name) return &record;
+  }
+  return nullptr;
+}
+
+double ComposedArtifact::edge_scale(std::size_t index) const noexcept {
+  if (index == 0 || index >= sections.size()) return 1.0;
+  const SectionRecord& upstream = sections[index - 1];
+  const SectionRecord& here = sections[index];
+  // A section campaign is end-to-end -- a masked outcome already certifies
+  // the fault through every later section -- so a *consistent* splice needs
+  // no cross-edge adjustment.  Consistency is the signature chain: this
+  // record must have been built against the exact boundary values its
+  // predecessor now produces.  A broken chain is the stale-composition
+  // failure mode (a record spliced over a different upstream), and only
+  // then do the stored bounds turn into a conservative scale: incoming
+  // certified error beyond the entry tolerance shrinks the stale section's
+  // thresholds proportionally rather than trusting them.
+  if (here.spec.entry_sig == upstream.spec.exit_sig) return 1.0;
+  const double incoming = upstream.exit_bound;
+  const double tolerated = here.entry_tolerance;
+  if (!(incoming > 0.0)) return 1.0;  // nothing certified across the edge
+  if (!std::isfinite(incoming)) return 0.0;  // unbounded incoming error
+  if (!std::isfinite(tolerated)) return 1.0;  // entry provably insensitive
+  if (tolerated >= incoming) return 1.0;
+  return tolerated / incoming;  // in [0, 1): shrink proportionally
+}
+
+boundary::FaultToleranceBoundary ComposedArtifact::compose() const {
+  std::vector<double> thresholds(total_sites, 0.0);
+  std::vector<std::uint8_t> exact(total_sites, 0);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const SectionRecord& record = sections[i];
+    const double scale = edge_scale(i);
+    for (std::uint64_t s = 0; s < record.spec.size(); ++s) {
+      thresholds[record.spec.begin + s] = record.thresholds[s] * scale;
+      exact[record.spec.begin + s] =
+          scale == 1.0 ? record.exact[s] : std::uint8_t{0};
+    }
+  }
+  return boundary::FaultToleranceBoundary(std::move(thresholds),
+                                          std::move(exact));
+}
+
+std::string serialize(const ComposedArtifact& artifact) {
+  util::BinaryWriter writer;
+  writer.put_u64(kMagic);
+  writer.put_u64(kVersion);
+  writer.put_string(artifact.config_key);
+  writer.put_string(artifact.kernel);
+  writer.put_string(artifact.preset);
+  writer.put_u64(artifact.seed);
+  writer.put_u64(artifact.total_sites);
+  writer.put_u64(artifact.sections.size());
+  for (const SectionRecord& record : artifact.sections) {
+    writer.put_string(record.spec.name);
+    writer.put_u64(record.spec.begin);
+    writer.put_u64(record.spec.end);
+    writer.put_u64(record.spec.entry_sig);
+    writer.put_u64(record.spec.exit_sig);
+    writer.put_u64(record.spec.fingerprint);
+    writer.put_u64(record.spec.batch);
+    writer.put_u64(record.executed);
+    writer.put_u64(record.masked);
+    writer.put_u64(record.sdc);
+    writer.put_u64(record.crash);
+    writer.put_u64(record.hang);
+    writer.put_u64(record.detected);
+    writer.put_f64(record.exit_bound);
+    writer.put_f64(record.entry_tolerance);
+    writer.put_string(record.journal);
+    writer.put_f64_vec(record.thresholds);
+    writer.put_bytes(record.exact);
+  }
+  const std::uint32_t crc =
+      util::crc32(writer.buffer().data(), writer.buffer().size());
+  writer.put_u64(crc);
+  return {writer.buffer().begin(), writer.buffer().end()};
+}
+
+std::optional<ComposedArtifact> deserialize_composed(
+    const std::string& payload, const std::string& expect_config,
+    std::string* error) {
+  if (payload.size() < 3 * 8) {
+    return fail(error, "composed artifact truncated: " +
+                           std::to_string(payload.size()) +
+                           " bytes is smaller than the fixed header");
+  }
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(payload.data());
+  try {
+    std::uint64_t magic = 0, version = 0;
+    for (int i = 0; i < 8; ++i) {
+      magic |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+      version |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+    }
+    if (magic != kMagic) {
+      return fail(error,
+                  "composed artifact has bad magic (not an FTB-CMPS file)");
+    }
+    if (version != kVersion) {
+      return fail(error, "composed artifact has unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersion) + ")");
+    }
+    const std::size_t body = payload.size() - 8;
+    std::uint64_t stored_crc = 0;
+    for (int i = 0; i < 8; ++i) {
+      stored_crc |= static_cast<std::uint64_t>(bytes[body + i]) << (8 * i);
+    }
+    if (stored_crc != util::crc32(bytes, body)) {
+      return fail(error,
+                  "composed artifact CRC mismatch (file is corrupt or was "
+                  "truncated mid-write)");
+    }
+    util::BinaryReader reader(
+        std::vector<std::uint8_t>(bytes + 16, bytes + body));
+    ComposedArtifact artifact;
+    artifact.config_key = reader.get_string();
+    artifact.kernel = reader.get_string();
+    artifact.preset = reader.get_string();
+    artifact.seed = reader.get_u64();
+    artifact.total_sites = reader.get_u64();
+    const std::uint64_t count = reader.get_u64();
+    // A section record is at least 13 u64s + 2 f64s + 3 length prefixes;
+    // validating the count against the remaining bytes stops a forged
+    // prefix from driving a huge reserve.
+    constexpr std::uint64_t kMinRecordBytes = 18 * 8;
+    if (count > reader.remaining() / kMinRecordBytes) {
+      return fail(error, "composed artifact section count " +
+                             std::to_string(count) +
+                             " does not fit the payload");
+    }
+    artifact.sections.reserve(count);
+    std::uint64_t expect_begin = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      SectionRecord record;
+      record.spec.name = reader.get_string();
+      record.spec.begin = reader.get_u64();
+      record.spec.end = reader.get_u64();
+      record.spec.entry_sig = reader.get_u64();
+      record.spec.exit_sig = reader.get_u64();
+      record.spec.fingerprint = reader.get_u64();
+      record.spec.batch = reader.get_u64();
+      record.executed = reader.get_u64();
+      record.masked = reader.get_u64();
+      record.sdc = reader.get_u64();
+      record.crash = reader.get_u64();
+      record.hang = reader.get_u64();
+      record.detected = reader.get_u64();
+      record.exit_bound = reader.get_f64();
+      record.entry_tolerance = reader.get_f64();
+      record.journal = reader.get_string();
+      record.thresholds = reader.get_f64_vec();
+      record.exact = reader.get_bytes();
+      if (record.spec.begin != expect_begin ||
+          record.spec.end <= record.spec.begin ||
+          record.spec.end > artifact.total_sites) {
+        return fail(error, "composed artifact section '" + record.spec.name +
+                               "' has range [" +
+                               std::to_string(record.spec.begin) + ", " +
+                               std::to_string(record.spec.end) +
+                               ") which does not tile the trace");
+      }
+      if (record.thresholds.size() != record.spec.size() ||
+          record.exact.size() != record.spec.size()) {
+        return fail(error, "composed artifact section '" + record.spec.name +
+                               "' carries " +
+                               std::to_string(record.thresholds.size()) +
+                               " thresholds / " +
+                               std::to_string(record.exact.size()) +
+                               " exact flags for " +
+                               std::to_string(record.spec.size()) + " sites");
+      }
+      expect_begin = record.spec.end;
+      artifact.sections.push_back(std::move(record));
+    }
+    if (expect_begin != artifact.total_sites) {
+      return fail(error, "composed artifact sections cover " +
+                             std::to_string(expect_begin) + " of " +
+                             std::to_string(artifact.total_sites) + " sites");
+    }
+    if (!reader.exhausted()) {
+      return fail(error, "composed artifact has trailing garbage after the "
+                         "section table");
+    }
+    if (!expect_config.empty() && artifact.config_key != expect_config) {
+      return fail(error, "composed artifact was built for config '" +
+                             artifact.config_key + "', not '" + expect_config +
+                             "'");
+    }
+    return artifact;
+  } catch (const std::runtime_error& e) {
+    return fail(error, std::string("composed artifact is corrupt: ") +
+                           e.what());
+  }
+}
+
+bool save_composed(const ComposedArtifact& artifact, const std::string& path) {
+  return util::write_file_durable(path, serialize(artifact));
+}
+
+std::optional<ComposedArtifact> load_composed(const std::string& path,
+                                              const std::string& expect_config,
+                                              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for reading";
+    return std::nullopt;
+  }
+  const std::string payload{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  std::string detail;
+  auto artifact = deserialize_composed(payload, expect_config, &detail);
+  if (!artifact) return fail(error, "'" + path + "': " + detail);
+  return artifact;
+}
+
+}  // namespace ftb::sections

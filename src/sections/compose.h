@@ -1,0 +1,93 @@
+// The composed-boundary artifact: one record per section (fingerprint,
+// provenance, outcome tallies, exit/entry error bounds, and the section's
+// own unscaled threshold slice) plus the composition operator that splices
+// those slices into a whole-program boundary.
+//
+// The artifact stores *unscaled* slices and derives edge scaling at
+// materialization time, so an incremental recompute that replaces one dirty
+// section's record re-derives every downstream scale from stored neighbour
+// bounds and serializes byte-identically to a fresh full compose.
+//
+// Framing follows boundary/serialize.cpp v2 and campaign/log.cpp: magic,
+// version, body, trailing CRC-32 stored as a u64.  The parser rejects --
+// with a one-line diagnostic, never a crash -- bad magic, unknown versions,
+// CRC mismatches, truncation, trailing garbage, forged counts, and section
+// tables that do not tile the trace (tests/test_sections.cpp fuzzes every
+// 1-byte corruption the way test_frame does).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boundary/boundary.h"
+#include "sections/section.h"
+
+namespace ftb::sections {
+
+/// Per-section provenance + evidence.  `thresholds`/`exact` cover exactly
+/// [spec.begin, spec.end) and come from the section's own campaign, before
+/// any edge scaling.
+struct SectionRecord {
+  SectionSpec spec;
+  std::uint64_t executed = 0;  // experiments run for this record
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t crash = 0;
+  std::uint64_t hang = 0;
+  std::uint64_t detected = 0;
+  /// Largest masked-propagation |error| observed in the section's exit
+  /// window; what the section can hand to its successor while still
+  /// producing an acceptable output.  0 with no masked evidence.
+  double exit_bound = 0.0;
+  /// Smallest informed threshold in the section's entry window; the
+  /// incoming error the section is known to tolerate.  0 when the entry
+  /// window has no informed sites (conservative: tolerate nothing).
+  double entry_tolerance = 0.0;
+  std::string journal;  // journal file stem this record was built from
+  std::vector<double> thresholds;      // size() == spec.size()
+  std::vector<std::uint8_t> exact;     // size() == spec.size()
+};
+
+struct ComposedArtifact {
+  std::string config_key;
+  std::string kernel;
+  std::string preset;
+  std::uint64_t seed = 1;
+  std::uint64_t total_sites = 0;
+  std::vector<SectionRecord> sections;  // sorted; ranges tile [0, total)
+
+  const SectionRecord* find(const std::string& name) const noexcept;
+
+  /// Edge scale applied to section `index` when materializing.  1 on a
+  /// consistent splice (the record's entry signature chains onto its
+  /// predecessor's exit signature -- section campaigns are end-to-end, so
+  /// consistent evidence needs no adjustment).  On a broken chain (the
+  /// stale-composition failure mode) the stored exit bound and entry
+  /// tolerance become a conservative scale: entry_tolerance / exit_bound
+  /// in [0, 1) when certified incoming error exceeds the tolerance, 0 when
+  /// the incoming bound is unbounded.  The first section is never scaled.
+  double edge_scale(std::size_t index) const noexcept;
+
+  /// Splices the per-section slices (times edge_scale) into one
+  /// whole-program boundary.  Exact flags survive only on unscaled
+  /// sections: a scaled threshold is no longer the enumerated value.
+  boundary::FaultToleranceBoundary compose() const;
+};
+
+std::string serialize(const ComposedArtifact& artifact);
+
+/// Strict parser; returns nullopt with a diagnostic in `*error` on any
+/// corruption.  `expect_config` "" skips the config check.
+std::optional<ComposedArtifact> deserialize_composed(
+    const std::string& payload, const std::string& expect_config,
+    std::string* error = nullptr);
+
+bool save_composed(const ComposedArtifact& artifact, const std::string& path);
+
+std::optional<ComposedArtifact> load_composed(
+    const std::string& path, const std::string& expect_config,
+    std::string* error = nullptr);
+
+}  // namespace ftb::sections

@@ -1,0 +1,175 @@
+#include "sections/section.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "campaign/sampler.h"
+#include "fi/fpbits.h"
+#include "fi/phase_map.h"
+#include "util/rng.h"
+
+namespace ftb::sections {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_step(std::uint64_t hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv_text(std::uint64_t hash, const std::string& text) noexcept {
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  // Length terminator: "ab" + "c" must not collide with "a" + "bc".
+  return fnv_step(hash, text.size());
+}
+
+/// "name=N,name=M" -> pairs; throws on malformed entries.
+std::vector<std::pair<std::string, std::uint64_t>> parse_overrides(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("section batch override '" + entry +
+                                  "' is not of the form name=count");
+    }
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(entry.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("section batch override '" + entry +
+                                  "' has a non-numeric count");
+    }
+    out.emplace_back(entry.substr(0, eq), value);
+  }
+  return out;
+}
+
+}  // namespace
+
+const SectionSpec* SectionPlan::find(const std::string& name) const noexcept {
+  for (const SectionSpec& spec : sections) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string sanitize_section_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out.push_back(ok ? c : '-');
+  }
+  if (out.empty()) out = "section";
+  return out;
+}
+
+std::uint64_t trace_signature(const std::vector<double>& trace,
+                              std::uint64_t site) {
+  std::uint64_t hash = kFnvOffset;
+  const std::uint64_t limit = std::min<std::uint64_t>(site, trace.size());
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    hash = fnv_step(hash, fi::to_bits(trace[i]));
+  }
+  return hash;
+}
+
+SectionPlan carve_sections(const std::string& config_key,
+                           const fi::GoldenRun& golden,
+                           const CarveOptions& options) {
+  const fi::PhaseMap phases(golden.phases, golden.trace.size());
+
+  SectionPlan plan;
+  plan.config_key = config_key;
+  plan.total_sites = golden.trace.size();
+  plan.seed = options.seed;
+
+  // Signatures are cumulative, so compute them in one forward sweep instead
+  // of re-hashing the prefix per section.
+  std::uint64_t rolling = kFnvOffset;
+  std::uint64_t hashed = 0;
+  const auto advance = [&](std::uint64_t to) {
+    for (; hashed < to; ++hashed) {
+      rolling = fnv_step(rolling, fi::to_bits(golden.trace[hashed]));
+    }
+    return rolling;
+  };
+
+  std::vector<std::string> used;
+  for (const fi::PhaseMap::Segment& segment : phases.segments()) {
+    SectionSpec spec;
+    spec.name = sanitize_section_name(segment.name);
+    int copy = 1;
+    while (std::find(used.begin(), used.end(), spec.name) != used.end()) {
+      spec.name = sanitize_section_name(segment.name) + "-" +
+                  std::to_string(++copy);
+    }
+    used.push_back(spec.name);
+    spec.begin = segment.begin;
+    spec.end = segment.end;
+    spec.entry_sig = advance(spec.begin);
+    spec.exit_sig = advance(spec.end);
+    spec.batch = std::min(options.batch_per_section, spec.sample_space());
+    plan.sections.push_back(std::move(spec));
+  }
+
+  for (const auto& [name, batch] : parse_overrides(options.batch_overrides)) {
+    bool found = false;
+    for (SectionSpec& spec : plan.sections) {
+      if (spec.name != name) continue;
+      spec.batch = std::min(batch, spec.sample_space());
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::invalid_argument("section batch override names unknown "
+                                  "section '" + name + "'");
+    }
+  }
+
+  for (SectionSpec& spec : plan.sections) {
+    std::uint64_t hash = kFnvOffset;
+    hash = fnv_text(hash, config_key);
+    hash = fnv_text(hash, spec.name);
+    hash = fnv_step(hash, spec.begin);
+    hash = fnv_step(hash, spec.end);
+    hash = fnv_step(hash, spec.entry_sig);
+    hash = fnv_step(hash, spec.exit_sig);
+    hash = fnv_step(hash, spec.batch);
+    hash = fnv_step(hash, options.seed);
+    spec.fingerprint = hash;
+  }
+  return plan;
+}
+
+std::vector<campaign::ExperimentId> section_sample_ids(
+    const SectionSpec& spec, std::uint64_t plan_seed) {
+  std::uint64_t section_seed = fnv_text(kFnvOffset, spec.name);
+  section_seed = fnv_step(section_seed, plan_seed);
+  util::Rng rng(section_seed);
+  std::vector<campaign::ExperimentId> ids =
+      campaign::sample_uniform(rng, spec.sample_space(), spec.batch);
+  const std::uint64_t offset =
+      spec.begin * static_cast<std::uint64_t>(fi::kBitsPerValue);
+  for (campaign::ExperimentId& id : ids) id += offset;
+  return ids;
+}
+
+}  // namespace ftb::sections

@@ -1,0 +1,90 @@
+// Section carving: the FastFlip-style decomposition of a kernel's dynamic
+// trace into named sections (PAPERS.md, arXiv 2403.13989).  Every kernel
+// already announces phases through Tracer::phase(); a SectionSpec wraps one
+// resolved PhaseMap segment with the three things compositional inference
+// needs on top of a range:
+//
+//   * entry/exit *value signatures* -- chained FNV-1a over the bit patterns
+//     of the golden trace prefix, so two builds agree on a section's
+//     boundary values iff the fault-free data flowing across that edge is
+//     bit-identical;
+//   * a *content fingerprint* -- a hash of (config key, section name, range,
+//     signatures, per-section campaign budget, seed).  Incremental
+//     recompute diffs fingerprints: any change to the kernel, preset,
+//     section shape, boundary data, or campaign budget dirties exactly the
+//     sections it touches;
+//   * a deterministic per-section experiment sample, drawn from a seed
+//     derived from the global seed and the section name so that re-carving
+//     the same program yields the same ids (journals resume across runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/sample_space.h"
+#include "fi/executor.h"
+
+namespace ftb::sections {
+
+struct SectionSpec {
+  std::string name;          // sanitized, unique within the plan
+  std::uint64_t begin = 0;   // first dynamic instruction (inclusive)
+  std::uint64_t end = 0;     // one past the last dynamic instruction
+  std::uint64_t entry_sig = 0;   // golden-value signature at entry
+  std::uint64_t exit_sig = 0;    // golden-value signature at exit
+  std::uint64_t fingerprint = 0;  // content hash; dirty iff it changed
+  std::uint64_t batch = 0;   // experiments budgeted for this section
+
+  std::uint64_t size() const noexcept { return end - begin; }
+  /// Single-bit-flip experiments available inside this section.
+  std::uint64_t sample_space() const noexcept {
+    return size() * static_cast<std::uint64_t>(fi::kBitsPerValue);
+  }
+};
+
+struct SectionPlan {
+  std::string config_key;
+  std::uint64_t total_sites = 0;
+  std::uint64_t seed = 1;
+  std::vector<SectionSpec> sections;  // sorted by begin; ranges tile the trace
+
+  const SectionSpec* find(const std::string& name) const noexcept;
+};
+
+struct CarveOptions {
+  std::uint64_t seed = 1;
+  /// Default experiments per section; sections smaller than the budget are
+  /// clamped to their sample space.
+  std::uint64_t batch_per_section = 256;
+  /// Per-section overrides as "name=N,name=M" (sanitized names).  Unknown
+  /// names throw std::invalid_argument so a typo cannot silently leave a
+  /// section on the default budget.
+  std::string batch_overrides;
+};
+
+/// Replaces characters that cannot appear in a file stem ("block 0" ->
+/// "block-0") and never returns an empty string.
+std::string sanitize_section_name(const std::string& name);
+
+/// Carves the golden run's phase map into a SectionPlan.  Section names are
+/// sanitized segment names, deduplicated with a "-2", "-3" suffix when a
+/// kernel reuses a phase name.  Ranges tile [0, trace size) exactly.
+SectionPlan carve_sections(const std::string& config_key,
+                           const fi::GoldenRun& golden,
+                           const CarveOptions& options = {});
+
+/// The section's deterministic experiment sample: `spec.batch` distinct
+/// classic ids drawn uniformly from the section's own (site, bit) space
+/// with a seed derived from (plan seed, section name), then offset into
+/// whole-program coordinates.  Sorted ascending; a pure function of the
+/// spec and seed, so resumed and fresh runs agree.
+std::vector<campaign::ExperimentId> section_sample_ids(const SectionSpec& spec,
+                                                       std::uint64_t plan_seed);
+
+/// Chained FNV-1a over the bit patterns of trace[0..site); signature 0 is
+/// the hash of the empty prefix.  Exposed for tests.
+std::uint64_t trace_signature(const std::vector<double>& trace,
+                              std::uint64_t site);
+
+}  // namespace ftb::sections

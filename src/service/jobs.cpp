@@ -12,6 +12,9 @@
 #include "campaign/log.h"
 #include "campaign/sampler.h"
 #include "kernels/registry.h"
+#include "sections/compose.h"
+#include "sections/driver.h"
+#include "sections/section.h"
 #include "service/dispatch.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -58,7 +61,9 @@ JobRunner::JobRunner(BoundaryStore* store, JobRunnerOptions options,
     CampaignJob job;
     job.id = pending.id;
     job.client = 0;  // the submitter's connection died with the old process
+    job.kind = pending.kind;
     job.req = pending.req;
+    job.recompute = pending.recompute;
     queue_.push_back(std::move(job));
   }
   if (telemetry::active(options_.telemetry)) {
@@ -77,11 +82,9 @@ JobRunner::~JobRunner() {
   join();
 }
 
-JobRunner::Submit JobRunner::submit(std::uint64_t client,
-                                    const SubmitCampaignReq& req,
-                                    std::uint64_t* job_id,
-                                    std::uint32_t* queue_depth,
-                                    std::string* error) {
+JobRunner::Submit JobRunner::enqueue(CampaignJob job, std::uint64_t* job_id,
+                                     std::uint32_t* queue_depth,
+                                     std::string* error) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (draining_ || stop_) {
     if (error != nullptr) *error = "server is draining; try again later";
@@ -102,16 +105,18 @@ JobRunner::Submit JobRunner::submit(std::uint64_t client,
     }
     return Submit::kQueueFull;
   }
-  CampaignJob job;
   job.id = next_job_id_++;
-  job.client = client;
-  job.req = req;
   {
     // fsync-before-ack: the submit record must be on disk before the
     // CampaignAccepted frame is even constructed.
     std::lock_guard<std::mutex> ledger_lock(ledger_mutex_);
     std::string ledger_error;
-    if (!ledger_.append_submitted(job.id, job.req, &ledger_error)) {
+    const bool logged =
+        job.kind == JobKind::kRecompute
+            ? ledger_.append_submitted_recompute(job.id, job.recompute,
+                                                 &ledger_error)
+            : ledger_.append_submitted(job.id, job.req, &ledger_error);
+    if (!logged) {
       if (telemetry::active(options_.telemetry)) {
         options_.telemetry->metrics().counter("ledger.append_failures").add();
       }
@@ -135,6 +140,30 @@ JobRunner::Submit JobRunner::submit(std::uint64_t client,
   }
   cv_.notify_all();
   return Submit::kAccepted;
+}
+
+JobRunner::Submit JobRunner::submit(std::uint64_t client,
+                                    const SubmitCampaignReq& req,
+                                    std::uint64_t* job_id,
+                                    std::uint32_t* queue_depth,
+                                    std::string* error) {
+  CampaignJob job;
+  job.client = client;
+  job.kind = JobKind::kCampaign;
+  job.req = req;
+  return enqueue(std::move(job), job_id, queue_depth, error);
+}
+
+JobRunner::Submit JobRunner::submit_recompute(std::uint64_t client,
+                                              const SubmitRecomputeReq& req,
+                                              std::uint64_t* job_id,
+                                              std::uint32_t* queue_depth,
+                                              std::string* error) {
+  CampaignJob job;
+  job.client = client;
+  job.kind = JobKind::kRecompute;
+  job.recompute = req;
+  return enqueue(std::move(job), job_id, queue_depth, error);
 }
 
 void JobRunner::ledger_transition(std::uint64_t job, JobState state,
@@ -167,13 +196,24 @@ void JobRunner::request_drain() {
   // stopped CampaignDone from the runner thread.  Neither gets a terminal
   // ledger record: they stay pending and replay when the daemon restarts.
   for (const CampaignJob& job : abandoned) {
-    CampaignDone done;
-    done.job = job.id;
-    done.ok = false;
-    done.stopped = true;
-    done.error = "server drained before the job started; it remains "
-                 "journalled and will resume when the daemon restarts";
-    if (callbacks_.on_done) callbacks_.on_done(job, done);
+    const std::string note =
+        "server drained before the job started; it remains "
+        "journalled and will resume when the daemon restarts";
+    if (job.kind == JobKind::kRecompute) {
+      RecomputeDone done;
+      done.job = job.id;
+      done.ok = false;
+      done.stopped = true;
+      done.error = note;
+      if (callbacks_.on_recompute_done) callbacks_.on_recompute_done(job, done);
+    } else {
+      CampaignDone done;
+      done.job = job.id;
+      done.ok = false;
+      done.stopped = true;
+      done.error = note;
+      if (callbacks_.on_done) callbacks_.on_done(job, done);
+    }
   }
 }
 
@@ -223,6 +263,14 @@ void JobRunner::run_loop() {
 }
 
 void JobRunner::execute(const CampaignJob& job) {
+  if (job.kind == JobKind::kRecompute) {
+    execute_recompute(job);
+  } else {
+    execute_campaign(job);
+  }
+}
+
+void JobRunner::execute_campaign(const CampaignJob& job) {
   telemetry::SpanScope span(options_.telemetry, "jobs.run", "service");
   span.arg("job", static_cast<double>(job.id));
   ledger_transition(job.id, JobState::kRunning, {});
@@ -416,6 +464,187 @@ void JobRunner::execute(const CampaignJob& job) {
     }
   }
   if (callbacks_.on_done) callbacks_.on_done(job, done);
+}
+
+void JobRunner::execute_recompute(const CampaignJob& job) {
+  telemetry::SpanScope span(options_.telemetry, "jobs.recompute", "service");
+  span.arg("job", static_cast<double>(job.id));
+  ledger_transition(job.id, JobState::kRunning, {});
+  const SubmitRecomputeReq& req = job.recompute;
+  const StoreKey key{req.kernel, req.preset, req.seed};
+  RecomputeDone done;
+  done.job = job.id;
+  try {
+    const fi::ProgramPtr program = kernels::make_program(
+        req.kernel, kernels::preset_from_string(req.preset));
+    const fi::GoldenRun golden = fi::run_golden(*program);
+
+    sections::SectionCampaignOptions sopts;
+    sopts.store_dir = options_.store_dir;
+    sopts.stem = key.str();
+    sopts.kernel = req.kernel;
+    sopts.preset = req.preset;
+    sopts.carve.seed = req.seed;
+    sopts.carve.batch_per_section = req.section_batch;
+    sopts.carve.batch_overrides = req.section_batches;
+    sopts.flush_every = std::max<std::uint32_t>(1, req.flush_every);
+    sopts.force = req.force;
+    sopts.telemetry = options_.telemetry;
+    // Same isolation posture as a campaign job: supervisor always on, no
+    // in-process fallback (an escaped flip must not take the daemon down),
+    // timeout 0 substituted with the campaign fallback deadline.
+    sopts.use_supervisor = true;
+    sopts.supervisor.pool.workers =
+        static_cast<int>(std::clamp<std::uint32_t>(req.workers, 1, 16));
+    sopts.supervisor.pool.heartbeat_timeout_ms =
+        req.timeout_ms != 0 ? req.timeout_ms : campaign::kFallbackDeadlineMs;
+    sopts.supervisor.pool.use_snapshots = options_.use_snapshots;
+    sopts.supervisor.pool.snapshot.interval = options_.snapshot_interval;
+    sopts.supervisor.pool.snapshot.timeout_ms =
+        sopts.supervisor.pool.heartbeat_timeout_ms;
+    sopts.supervisor.quarantine_after =
+        static_cast<int>(req.quarantine_after);
+    sopts.supervisor.telemetry = options_.telemetry;
+    sopts.supervisor.allow_in_process_fallback = false;
+    sopts.should_stop = [this] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return stop_;
+    };
+
+    campaign::OutcomeCounts tally;
+    const auto progress_sink = [&](const campaign::CheckpointProgress& p) {
+      const campaign::OutcomeCounts chunk = campaign::count_outcomes(p.chunk);
+      tally.masked += chunk.masked;
+      tally.sdc += chunk.sdc;
+      tally.crash += chunk.crash;
+      tally.hang += chunk.hang;
+      tally.detected += chunk.detected;
+      if (p.chunk.empty()) return;  // final dedupe flush
+      CampaignProgress progress;
+      progress.job = job.id;
+      progress.done = p.executed;   // within the running section
+      progress.total = p.total;
+      progress.logged = p.logged;
+      progress.masked = tally.masked;
+      progress.sdc = tally.sdc;
+      progress.crash = tally.crash;
+      progress.hang = tally.hang;
+      progress.detected = tally.detected;
+      if (p.supervisor != nullptr) {
+        progress.worker_deaths = p.supervisor->worker_deaths;
+        progress.worker_hangs = p.supervisor->worker_hangs;
+        progress.requeued = p.supervisor->experiments_requeued;
+        progress.quarantined = p.supervisor->quarantined;
+      }
+      if (callbacks_.on_progress) callbacks_.on_progress(job, progress);
+    };
+    sopts.on_progress = [&](const std::string&,
+                            const campaign::CheckpointProgress& p) {
+      progress_sink(p);
+    };
+
+    // With live remote workers, each dirty section fans out through the
+    // chunk dispatcher; the journal it leaves is byte-identical to the
+    // local path's, so resume and splice semantics are unchanged.
+    if (options_.dispatcher != nullptr &&
+        options_.dispatcher->live_workers() > 0) {
+      sopts.section_runner =
+          [&](const sections::SectionSpec&,
+              std::span<const campaign::ExperimentId> ids,
+              const std::string& journal) {
+            DistributedJobOptions dist;
+            dist.path = journal;
+            dist.flush_every = sopts.flush_every;
+            dist.kernel = req.kernel;
+            dist.preset = req.preset;
+            dist.pool_workers = std::clamp<std::uint32_t>(req.workers, 1, 16);
+            dist.timeout_ms = sopts.supervisor.pool.heartbeat_timeout_ms;
+            dist.quarantine_after = req.quarantine_after;
+            dist.supervisor = sopts.supervisor;
+            dist.telemetry = options_.telemetry;
+            dist.on_progress = progress_sink;
+            dist.should_stop = sopts.should_stop;
+            DistributedRunResult dres =
+                options_.dispatcher->run_job(*program, golden, ids, dist);
+            if (telemetry::active(options_.telemetry)) {
+              options_.telemetry->metrics()
+                  .counter("jobs.distributed_sections")
+                  .add();
+            }
+            sections::SectionRunOutcome out;
+            out.log = std::move(dres.log);
+            out.executed = dres.executed;
+            out.stopped = dres.stopped;
+            return out;
+          };
+    }
+
+    // Previous composed artifact seeds the fingerprint diff.  Missing ==
+    // full compose; unusable == recompute everything (counted) rather than
+    // failing the job, since a fresh compose overwrites it anyway.
+    const std::string compose_path =
+        options_.store_dir + "/" + key.str() + ".compose";
+    std::optional<sections::ComposedArtifact> previous;
+    {
+      std::string diag;
+      previous = sections::load_composed(compose_path, program->config_key(),
+                                         &diag);
+      if (!previous && diag.find("cannot open") == std::string::npos &&
+          telemetry::active(options_.telemetry)) {
+        options_.telemetry->metrics()
+            .counter("jobs.compose_previous_unusable")
+            .add();
+      }
+    }
+
+    const sections::SectionCampaignResult run = sections::run_section_campaigns(
+        *program, golden, previous ? &*previous : nullptr, sopts);
+    done.executed = run.executed;
+    done.dirty = run.dirty;
+    done.reused = run.reused;
+    if (run.stopped) {
+      done.stopped = true;
+      done.error = "server drained; per-section journals under '" +
+                   options_.store_dir + "' hold the finished chunks and are "
+                   "resumable";
+    } else {
+      done.sections = run.artifact.sections.size();
+      if (!sections::save_composed(run.artifact, compose_path)) {
+        throw std::runtime_error("cannot write composed artifact '" +
+                                 compose_path + "'");
+      }
+      const boundary::FaultToleranceBoundary built = run.artifact.compose();
+      const std::string artifact =
+          options_.store_dir + "/" + key.str() + ".boundary";
+      if (!boundary::save_to_file(built, program->config_key(), artifact)) {
+        throw std::runtime_error("cannot write boundary artifact '" +
+                                 artifact + "'");
+      }
+      std::string publish_error;
+      if (!store_->publish(key, built, &publish_error)) {
+        throw std::runtime_error("cannot publish boundary: " + publish_error);
+      }
+      done.ok = true;
+      done.store_key = key.str();
+    }
+  } catch (const std::exception& e) {
+    done.ok = false;
+    done.error = e.what();
+  }
+  // Same terminal-state discipline as campaigns: a drained recompute is NOT
+  // terminal -- it stays pending and resumes from its section journals.
+  if (done.ok) {
+    ledger_transition(job.id, JobState::kDone, done.store_key);
+  } else if (!done.stopped) {
+    ledger_transition(job.id, JobState::kFailed, done.error);
+  }
+  if (telemetry::active(options_.telemetry)) {
+    const char* counter = done.ok ? "jobs.recompute_completed"
+                         : done.stopped ? "jobs.recompute_stopped"
+                                        : "jobs.recompute_failed";
+    options_.telemetry->metrics().counter(counter).add();
+  }
+  if (callbacks_.on_recompute_done) callbacks_.on_recompute_done(job, done);
 }
 
 }  // namespace ftb::service

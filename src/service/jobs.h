@@ -49,7 +49,9 @@ class ChunkDispatcher;
 struct CampaignJob {
   std::uint64_t id = 0;
   std::uint64_t client = 0;  ///< net::ConnId of the submitter; 0 == recovered
-  SubmitCampaignReq req;
+  JobKind kind = JobKind::kCampaign;
+  SubmitCampaignReq req;        ///< meaningful when kind == kCampaign
+  SubmitRecomputeReq recompute; ///< meaningful when kind == kRecompute
 };
 
 struct JobRunnerOptions {
@@ -77,10 +79,15 @@ struct JobRunnerOptions {
   telemetry::Telemetry* telemetry = nullptr;
 };
 
-/// Event sinks, invoked from the runner thread (never concurrently).
+/// Event sinks, invoked from the runner thread (never concurrently), except
+/// that request_drain fails queued jobs on the caller's thread.  Progress
+/// frames are shared by both job kinds; the terminal frame depends on the
+/// kind (CampaignDone for campaigns, RecomputeDone for recomputes).
 struct JobCallbacks {
   std::function<void(const CampaignJob&, const CampaignProgress&)> on_progress;
   std::function<void(const CampaignJob&, const CampaignDone&)> on_done;
+  std::function<void(const CampaignJob&, const RecomputeDone&)>
+      on_recompute_done;
 };
 
 class JobRunner {
@@ -105,6 +112,15 @@ class JobRunner {
                 std::uint32_t* queue_depth = nullptr,
                 std::string* error = nullptr);
 
+  /// Same contract for a compositional recompute job (sections/driver.h):
+  /// only the fingerprint-dirty sections re-campaign, the composed artifact
+  /// is spliced and saved as "<key>.compose", and the materialized boundary
+  /// publishes under the same store key a campaign would use.
+  Submit submit_recompute(std::uint64_t client, const SubmitRecomputeReq& req,
+                          std::uint64_t* job_id = nullptr,
+                          std::uint32_t* queue_depth = nullptr,
+                          std::string* error = nullptr);
+
   /// Stops accepting jobs, stops the running job at its next chunk edge
   /// (journal stays resumable), and fails queued jobs.  Does not block.
   void request_drain();
@@ -128,6 +144,10 @@ class JobRunner {
  private:
   void run_loop();
   void execute(const CampaignJob& job);
+  void execute_campaign(const CampaignJob& job);
+  void execute_recompute(const CampaignJob& job);
+  Submit enqueue(CampaignJob job, std::uint64_t* job_id,
+                 std::uint32_t* queue_depth, std::string* error);
   void ledger_transition(std::uint64_t job, JobState state,
                          const std::string& note);
 

@@ -32,23 +32,46 @@ std::uint32_t read_u32(const std::uint8_t* p) {
   return v;
 }
 
-std::vector<std::uint8_t> encode_payload(std::uint64_t job, JobState state,
-                                         const SubmitCampaignReq* req,
-                                         const std::string& note) {
+std::vector<std::uint8_t> encode_state_payload(std::uint64_t job,
+                                               JobState state,
+                                               const std::string& note) {
   util::BinaryWriter writer;
   writer.put_u64(job);
   writer.put_u64(static_cast<std::uint64_t>(state));
-  if (state == JobState::kSubmitted) {
-    writer.put_string(req->kernel);
-    writer.put_string(req->preset);
-    writer.put_u64(req->seed);
-    writer.put_u64(req->batch);
-    writer.put_u64(req->workers);
-    writer.put_u64(req->flush_every);
-    writer.put_u64(req->timeout_ms);
-    writer.put_u64(req->quarantine_after);
+  writer.put_string(note);
+  return writer.buffer();
+}
+
+/// kSubmitted payload.  Campaign jobs stop at the eighth request field --
+/// byte-identical to ledgers written before recompute jobs existed --
+/// while recompute jobs append their kind and extra fields after it.
+std::vector<std::uint8_t> encode_submit_payload(
+    std::uint64_t job, JobKind kind, const SubmitCampaignReq* campaign,
+    const SubmitRecomputeReq* recompute) {
+  util::BinaryWriter writer;
+  writer.put_u64(job);
+  writer.put_u64(static_cast<std::uint64_t>(JobState::kSubmitted));
+  if (kind == JobKind::kRecompute) {
+    writer.put_string(recompute->kernel);
+    writer.put_string(recompute->preset);
+    writer.put_u64(recompute->seed);
+    writer.put_u64(recompute->section_batch);
+    writer.put_u64(recompute->workers);
+    writer.put_u64(recompute->flush_every);
+    writer.put_u64(recompute->timeout_ms);
+    writer.put_u64(recompute->quarantine_after);
+    writer.put_u64(static_cast<std::uint64_t>(kind));
+    writer.put_string(recompute->section_batches);
+    writer.put_u64(recompute->force ? 1 : 0);
   } else {
-    writer.put_string(note);
+    writer.put_string(campaign->kernel);
+    writer.put_string(campaign->preset);
+    writer.put_u64(campaign->seed);
+    writer.put_u64(campaign->batch);
+    writer.put_u64(campaign->workers);
+    writer.put_u64(campaign->flush_every);
+    writer.put_u64(campaign->timeout_ms);
+    writer.put_u64(campaign->quarantine_after);
   }
   return writer.buffer();
 }
@@ -71,6 +94,14 @@ const char* to_string(JobState state) noexcept {
     case JobState::kRunning: return "running";
     case JobState::kDone: return "done";
     case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kCampaign: return "campaign";
+    case JobKind::kRecompute: return "recompute";
   }
   return "unknown";
 }
@@ -176,7 +207,27 @@ JobLedger::ReplayResult JobLedger::replay_file(const std::string& path) {
         entry.req.quarantine_after =
             static_cast<std::uint32_t>(reader.get_u64());
         if (!reader.exhausted()) {
-          throw std::runtime_error("trailing garbage in submit record");
+          // Trailing kind fields: only recompute jobs write them, so a
+          // pre-recompute ledger (exhausted here) replays as a campaign.
+          const std::uint64_t raw_kind = reader.get_u64();
+          if (raw_kind != static_cast<std::uint64_t>(JobKind::kRecompute)) {
+            throw std::runtime_error("invalid submit kind " +
+                                     std::to_string(raw_kind));
+          }
+          entry.kind = JobKind::kRecompute;
+          entry.recompute.kernel = entry.req.kernel;
+          entry.recompute.preset = entry.req.preset;
+          entry.recompute.seed = entry.req.seed;
+          entry.recompute.section_batch = entry.req.batch;
+          entry.recompute.workers = entry.req.workers;
+          entry.recompute.flush_every = entry.req.flush_every;
+          entry.recompute.timeout_ms = entry.req.timeout_ms;
+          entry.recompute.quarantine_after = entry.req.quarantine_after;
+          entry.recompute.section_batches = reader.get_string();
+          entry.recompute.force = reader.get_u64() != 0;
+          if (!reader.exhausted()) {
+            throw std::runtime_error("trailing garbage in submit record");
+          }
         }
         index[job] = jobs.size();
         jobs.push_back(std::move(entry));
@@ -237,12 +288,12 @@ bool JobLedger::open(const std::string& path, ReplayResult* replay,
     compacted = preamble.buffer();
   }
   for (const LedgerJob& job : local.pending) {
-    const auto submit = frame_record(
-        encode_payload(job.id, JobState::kSubmitted, &job.req, {}));
+    const auto submit = frame_record(encode_submit_payload(
+        job.id, job.kind, &job.req, &job.recompute));
     compacted.insert(compacted.end(), submit.begin(), submit.end());
     if (job.state == JobState::kRunning) {
       const auto running = frame_record(
-          encode_payload(job.id, JobState::kRunning, nullptr, job.note));
+          encode_state_payload(job.id, JobState::kRunning, job.note));
       compacted.insert(compacted.end(), running.begin(), running.end());
     }
   }
@@ -258,14 +309,22 @@ bool JobLedger::open(const std::string& path, ReplayResult* replay,
 bool JobLedger::append_submitted(std::uint64_t job,
                                  const SubmitCampaignReq& req,
                                  std::string* error) {
-  const auto record =
-      frame_record(encode_payload(job, JobState::kSubmitted, &req, {}));
+  const auto record = frame_record(
+      encode_submit_payload(job, JobKind::kCampaign, &req, nullptr));
+  return log_.append(record.data(), record.size(), error);
+}
+
+bool JobLedger::append_submitted_recompute(std::uint64_t job,
+                                           const SubmitRecomputeReq& req,
+                                           std::string* error) {
+  const auto record = frame_record(
+      encode_submit_payload(job, JobKind::kRecompute, nullptr, &req));
   return log_.append(record.data(), record.size(), error);
 }
 
 bool JobLedger::append_state(std::uint64_t job, JobState state,
                              const std::string& note, std::string* error) {
-  const auto record = frame_record(encode_payload(job, state, nullptr, note));
+  const auto record = frame_record(encode_state_payload(job, state, note));
   return log_.append(record.data(), record.size(), error);
 }
 

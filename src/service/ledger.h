@@ -20,6 +20,11 @@
 //   then for kSubmitted: the SubmitCampaignReq fields in wire order
 //   (kernel, preset, seed, batch, workers, flush_every, timeout_ms,
 //   quarantine_after); for other states: a free-form note string.
+//   A recompute submission appends, after those eight fields (batch
+//   carrying section_batch): u64 kind (1), string section_batches,
+//   u64 force.  Campaign records stop at the eighth field, so ledgers
+//   written before recompute jobs existed replay unchanged -- the reader
+//   treats "payload exhausted after eight fields" as kind == campaign.
 //
 // Replay stops at the first torn or corrupt record (the tail a crash can
 // leave behind) and reports it; everything before the tear is trusted
@@ -47,11 +52,23 @@ enum class JobState : std::uint8_t {
 
 const char* to_string(JobState state) noexcept;
 
-/// One pending job recovered from the ledger.
+/// What a ledgered job runs: a classic uniform campaign or a compositional
+/// section-graph recompute (sections/driver.h).
+enum class JobKind : std::uint8_t {
+  kCampaign = 0,
+  kRecompute = 1,
+};
+
+const char* to_string(JobKind kind) noexcept;
+
+/// One pending job recovered from the ledger.  `req` is meaningful when
+/// kind == kCampaign, `recompute` when kind == kRecompute.
 struct LedgerJob {
   std::uint64_t id = 0;
   JobState state = JobState::kSubmitted;
+  JobKind kind = JobKind::kCampaign;
   SubmitCampaignReq req;
+  SubmitRecomputeReq recompute;
   std::string note;
 };
 
@@ -88,6 +105,11 @@ class JobLedger {
   /// submission is acked to the client.
   bool append_submitted(std::uint64_t job, const SubmitCampaignReq& req,
                         std::string* error = nullptr);
+
+  /// kSubmitted record for a recompute job (trailing kind fields).
+  bool append_submitted_recompute(std::uint64_t job,
+                                  const SubmitRecomputeReq& req,
+                                  std::string* error = nullptr);
 
   /// Appends a state-transition record (kRunning/kDone/kFailed) and fsyncs.
   bool append_state(std::uint64_t job, JobState state, const std::string& note,

@@ -107,6 +107,8 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kWorkerChunk: return "WorkerChunk";
     case MsgType::kWorkerChunkResult: return "WorkerChunkResult";
     case MsgType::kWorkerHeartbeat: return "WorkerHeartbeat";
+    case MsgType::kSubmitRecompute: return "SubmitRecompute";
+    case MsgType::kRecomputeDone: return "RecomputeDone";
   }
   return "Unknown";
 }
@@ -221,6 +223,37 @@ net::Frame make_submit_campaign(const SubmitCampaignReq& req) {
   writer.put_u64(req.timeout_ms);
   writer.put_u64(req.quarantine_after);
   return finish(MsgType::kSubmitCampaign, writer);
+}
+
+net::Frame make_submit_recompute(const SubmitRecomputeReq& req) {
+  util::BinaryWriter writer;
+  writer.put_string(req.kernel);
+  writer.put_string(req.preset);
+  writer.put_u64(req.seed);
+  writer.put_u64(req.section_batch);
+  writer.put_string(req.section_batches);
+  put_bool(writer, req.force);
+  writer.put_u64(req.workers);
+  writer.put_u64(req.flush_every);
+  writer.put_u64(req.timeout_ms);
+  writer.put_u64(req.quarantine_after);
+  return finish(MsgType::kSubmitRecompute, writer);
+}
+
+net::Frame make_recompute_done(const RecomputeDone& msg) {
+  util::BinaryWriter writer;
+  writer.put_u64(msg.job);
+  put_bool(writer, msg.ok);
+  put_bool(writer, msg.stopped);
+  writer.put_string(msg.error);
+  writer.put_string(msg.store_key);
+  writer.put_u64(msg.executed);
+  writer.put_u64(msg.sections);
+  writer.put_u64(msg.dirty.size());
+  for (const std::string& name : msg.dirty) writer.put_string(name);
+  writer.put_u64(msg.reused.size());
+  for (const std::string& name : msg.reused) writer.put_string(name);
+  return finish(MsgType::kRecomputeDone, writer);
 }
 
 net::Frame make_campaign_accepted(const CampaignAccepted& msg) {
@@ -500,6 +533,60 @@ std::optional<SubmitCampaignReq> parse_submit_campaign(const net::Frame& frame,
     return std::nullopt;
   }
   return req;
+}
+
+std::optional<SubmitRecomputeReq> parse_submit_recompute(
+    const net::Frame& frame, std::string* error) {
+  auto req = parse<SubmitRecomputeReq>(
+      frame, MsgType::kSubmitRecompute, error, [](util::BinaryReader& reader) {
+        SubmitRecomputeReq msg;
+        msg.kernel = reader.get_string();
+        msg.preset = reader.get_string();
+        msg.seed = reader.get_u64();
+        msg.section_batch = reader.get_u64();
+        msg.section_batches = reader.get_string();
+        msg.force = get_bool(reader);
+        msg.workers = static_cast<std::uint32_t>(reader.get_u64());
+        msg.flush_every = static_cast<std::uint32_t>(reader.get_u64());
+        msg.timeout_ms = static_cast<std::uint32_t>(reader.get_u64());
+        msg.quarantine_after = static_cast<std::uint32_t>(reader.get_u64());
+        return msg;
+      });
+  if (req.has_value() && req->section_batch == 0) {
+    if (error != nullptr) {
+      *error = "SubmitRecompute section_batch must be nonzero";
+    }
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::optional<RecomputeDone> parse_recompute_done(const net::Frame& frame,
+                                                  std::string* error) {
+  return parse<RecomputeDone>(
+      frame, MsgType::kRecomputeDone, error, [](util::BinaryReader& reader) {
+        RecomputeDone msg;
+        msg.job = reader.get_u64();
+        msg.ok = get_bool(reader);
+        msg.stopped = get_bool(reader);
+        msg.error = reader.get_string();
+        msg.store_key = reader.get_string();
+        msg.executed = reader.get_u64();
+        msg.sections = reader.get_u64();
+        const std::uint64_t dirty =
+            get_count(reader, 8, "RecomputeDone dirty section");
+        msg.dirty.reserve(dirty);
+        for (std::uint64_t i = 0; i < dirty; ++i) {
+          msg.dirty.push_back(reader.get_string());
+        }
+        const std::uint64_t reused =
+            get_count(reader, 8, "RecomputeDone reused section");
+        msg.reused.reserve(reused);
+        for (std::uint64_t i = 0; i < reused; ++i) {
+          msg.reused.push_back(reader.get_string());
+        }
+        return msg;
+      });
 }
 
 std::optional<CampaignAccepted> parse_campaign_accepted(

@@ -63,12 +63,14 @@ enum class MsgType : std::uint32_t {
   kWorkerChunk = 22,
   kWorkerChunkResult = 23,
   kWorkerHeartbeat = 24,
+  kSubmitRecompute = 25,
+  kRecomputeDone = 26,
 };
 
 /// The largest type value the dispatcher accepts; anything above is an
 /// unknown message.
 inline constexpr std::uint32_t kMaxMsgType =
-    static_cast<std::uint32_t>(MsgType::kWorkerHeartbeat);
+    static_cast<std::uint32_t>(MsgType::kRecomputeDone);
 
 const char* to_string(MsgType type) noexcept;
 
@@ -179,6 +181,39 @@ struct CampaignDone {
   std::uint64_t detected = 0;  // detector-caught corruptions (kDetected)
 };
 
+/// Compositional (section-graph) campaign submission.  Accepted with
+/// CampaignAccepted, streams CampaignProgress as per-section checkpoint
+/// chunks land, and finishes with exactly one RecomputeDone.  The job
+/// diffs section fingerprints against the store's previous composed
+/// artifact ("<key>.compose") and re-campaigns only the dirty sections.
+struct SubmitRecomputeReq {
+  std::string kernel;
+  std::string preset = "tiny";
+  std::uint64_t seed = 1;
+  std::uint64_t section_batch = 256;  // experiments per section
+  std::string section_batches;        // "name=N,..." per-section overrides
+  bool force = false;                 // recompute all sections
+  std::uint32_t workers = 2;
+  std::uint32_t flush_every = 256;
+  std::uint32_t timeout_ms = 2000;
+  std::uint32_t quarantine_after = 3;
+};
+
+/// Terminal frame for a recompute job: the campaign tallies plus which
+/// sections actually re-ran and which were spliced from the previous
+/// artifact unchanged.
+struct RecomputeDone {
+  std::uint64_t job = 0;
+  bool ok = false;
+  bool stopped = false;  // drained mid-flight; section journals resumable
+  std::string error;
+  std::string store_key;  // published boundary key when ok
+  std::uint64_t executed = 0;
+  std::uint64_t sections = 0;  // sections in the composed artifact
+  std::vector<std::string> dirty;   // sections (re-)campaigned
+  std::vector<std::string> reused;  // sections spliced unchanged
+};
+
 // --- worker plane (ftb_workerd <-> ftb_served) ----------------------------
 
 /// First frame a worker daemon sends after connecting.  `capacity` is the
@@ -258,6 +293,8 @@ net::Frame make_boundary_list_ok(const BoundaryListOk& ok);
 net::Frame make_stats();
 net::Frame make_stats_ok(const StatsOk& ok);
 net::Frame make_submit_campaign(const SubmitCampaignReq& req);
+net::Frame make_submit_recompute(const SubmitRecomputeReq& req);
+net::Frame make_recompute_done(const RecomputeDone& msg);
 net::Frame make_campaign_accepted(const CampaignAccepted& msg);
 net::Frame make_campaign_progress(const CampaignProgress& msg);
 net::Frame make_campaign_done(const CampaignDone& msg);
@@ -295,6 +332,10 @@ std::optional<BoundaryListOk> parse_boundary_list_ok(
 std::optional<StatsOk> parse_stats_ok(const net::Frame& frame,
                                       std::string* error = nullptr);
 std::optional<SubmitCampaignReq> parse_submit_campaign(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<SubmitRecomputeReq> parse_submit_recompute(
+    const net::Frame& frame, std::string* error = nullptr);
+std::optional<RecomputeDone> parse_recompute_done(
     const net::Frame& frame, std::string* error = nullptr);
 std::optional<CampaignAccepted> parse_campaign_accepted(
     const net::Frame& frame, std::string* error = nullptr);

@@ -74,6 +74,14 @@ Service::Service(ServiceOptions options)
       server->wake();  // drain progress may now be complete
     }
   };
+  callbacks.on_recompute_done = [this](const CampaignJob& job,
+                                       const RecomputeDone& done) {
+    net::Server* server = server_.load(std::memory_order_acquire);
+    if (server != nullptr) {
+      if (job.client != 0) server->send(job.client, make_recompute_done(done));
+      server->wake();
+    }
+  };
   jobs_ = std::make_unique<JobRunner>(&store_, std::move(job_options),
                                       std::move(callbacks));
 }
@@ -132,6 +140,9 @@ void Service::on_frame(net::Server::ConnId conn, net::Frame frame) {
       return;
     case MsgType::kSubmitCampaign:
       handle_submit(conn, frame);
+      return;
+    case MsgType::kSubmitRecompute:
+      handle_submit_recompute(conn, frame);
       return;
     // Worker plane: straight to the dispatcher, bypassing the admission
     // queue -- a full query queue must not delay heartbeats, or healthy
@@ -474,6 +485,33 @@ void Service::handle_submit(net::Server::ConnId conn, const net::Frame& frame) {
       break;
     case JobRunner::Submit::kQueueFull:
       // Retryable by definition: the queue drains as jobs finish.
+      busy(conn, error, "service.shed_queue_full");
+      return;
+    case JobRunner::Submit::kRejected:
+      reply(conn, make_error(error));
+      return;
+  }
+  CampaignAccepted accepted;
+  accepted.job = job_id;
+  accepted.queue_depth = queue_depth;
+  reply(conn, make_campaign_accepted(accepted));
+}
+
+void Service::handle_submit_recompute(net::Server::ConnId conn,
+                                      const net::Frame& frame) {
+  RequestTimer timer(options_.telemetry, "submit_recompute");
+  std::string error;
+  const auto req = parse_submit_recompute(frame, &error);
+  if (!req.has_value()) {
+    reply(conn, make_error(error));
+    return;
+  }
+  std::uint64_t job_id = 0;
+  std::uint32_t queue_depth = 0;
+  switch (jobs_->submit_recompute(conn, *req, &job_id, &queue_depth, &error)) {
+    case JobRunner::Submit::kAccepted:
+      break;
+    case JobRunner::Submit::kQueueFull:
       busy(conn, error, "service.shed_queue_full");
       return;
     case JobRunner::Submit::kRejected:

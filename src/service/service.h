@@ -129,6 +129,8 @@ class Service : public net::Server::Handler {
   void handle_list(net::Server::ConnId conn);
   void handle_stats(net::Server::ConnId conn);
   void handle_submit(net::Server::ConnId conn, const net::Frame& frame);
+  void handle_submit_recompute(net::Server::ConnId conn,
+                               const net::Frame& frame);
 
   void handle_worker_hello(net::Server::ConnId conn, const net::Frame& frame);
   void handle_worker_heartbeat(net::Server::ConnId conn,

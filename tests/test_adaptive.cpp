@@ -7,7 +7,9 @@
 
 #include "boundary/metrics.h"
 #include "boundary/predictor.h"
+#include "boundary/serialize.h"
 #include "campaign/ground_truth.h"
+#include "campaign/log.h"
 #include "kernels/registry.h"
 
 namespace ftb::campaign {
@@ -166,6 +168,41 @@ TEST(Adaptive, StopRuleCountsSilentOutcomesOnly) {
   all_masked.masked = 10;
   EXPECT_FALSE(adaptive_should_stop(all_masked, 0.95));  // share 1 > 0.05
   EXPECT_TRUE(adaptive_should_stop(all_masked, 0.0));    // 1 <= 1
+}
+
+TEST(Adaptive, SnapshotRoundsAreByteIdenticalToClassicSupervisor) {
+  // ftb_analyze infer --adaptive --snapshot serves each refinement round
+  // from the copy-on-write fork-server inside the pool workers.  Checkpoint
+  // placement is a speed knob only: the sampled ids, every record, and the
+  // final boundary must be byte-identical to the classic supervisor path.
+  Prepared p("daxpy");
+  AdaptiveOptions options = fast_options();
+  options.use_supervisor = true;
+  options.supervisor.pool.workers = 2;
+
+  AdaptiveOptions snapshot_options = options;
+  snapshot_options.supervisor.pool.use_snapshots = true;
+  snapshot_options.supervisor.pool.snapshot.interval = 64;
+
+  const AdaptiveResult classic =
+      infer_adaptive(*p.program, p.golden, options, p.pool);
+  const AdaptiveResult snapshot =
+      infer_adaptive(*p.program, p.golden, snapshot_options, p.pool);
+
+  EXPECT_EQ(classic.sampled_ids, snapshot.sampled_ids);
+  ASSERT_EQ(classic.records.size(), snapshot.records.size());
+
+  // Journal byte-identity: the same records serialize to the same log.
+  CampaignLog classic_log(p.program->config_key());
+  classic_log.append(classic.records);
+  CampaignLog snapshot_log(p.program->config_key());
+  snapshot_log.append(snapshot.records);
+  EXPECT_EQ(classic_log.serialize(), snapshot_log.serialize());
+
+  // Boundary byte-identity, artifact framing included.
+  EXPECT_EQ(
+      boundary::serialize(classic.boundary, p.program->config_key()),
+      boundary::serialize(snapshot.boundary, p.program->config_key()));
 }
 
 TEST(Adaptive, MaxRoundsBounds) {

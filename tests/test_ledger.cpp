@@ -76,6 +76,36 @@ class LedgerTest : public ::testing::Test {
     return out;
   }
 
+  static SubmitRecomputeReq recompute_request(std::uint64_t seed) {
+    SubmitRecomputeReq req;
+    req.kernel = "cg";
+    req.preset = "tiny";
+    req.seed = seed;
+    req.section_batch = 64;
+    req.section_batches = "iterations=96";
+    req.force = true;
+    req.workers = 2;
+    req.flush_every = 32;
+    req.timeout_ms = 777;
+    req.quarantine_after = 4;
+    return req;
+  }
+
+  /// Frames `payload` the way the ledger does (u32 length, u32 CRC, body).
+  static std::vector<std::uint8_t> frame(
+      const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> out;
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(body.size() >> (8 * i)));
+    }
+    const std::uint32_t crc = util::crc32(body.data(), body.size());
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+  }
+
   fs::path dir_;
   std::string path_;
 };
@@ -253,6 +283,103 @@ TEST_F(LedgerTest, AppendFailsWhenFsyncFails) {
   EXPECT_EQ(replay.torn_records, 0u);
   ASSERT_EQ(replay.pending.size(), 1u);
   EXPECT_EQ(replay.pending[0].id, 1u);
+}
+
+TEST_F(LedgerTest, RecomputeSubmitRoundTripsAndSurvivesCompaction) {
+  {
+    JobLedger ledger;
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+    ASSERT_TRUE(ledger.append_submitted(1, request(1)));
+    ASSERT_TRUE(ledger.append_submitted_recompute(2, recompute_request(2)));
+    ASSERT_TRUE(ledger.append_state(2, JobState::kRunning, ""));
+  }
+  const auto replay = JobLedger::replay_file(path_);
+  ASSERT_EQ(replay.pending.size(), 2u);
+  EXPECT_EQ(replay.pending[0].kind, JobKind::kCampaign);
+  ASSERT_EQ(replay.pending[1].kind, JobKind::kRecompute);
+  EXPECT_EQ(replay.pending[1].state, JobState::kRunning);
+
+  const SubmitRecomputeReq want = recompute_request(2);
+  const SubmitRecomputeReq& got = replay.pending[1].recompute;
+  EXPECT_EQ(got.kernel, want.kernel);
+  EXPECT_EQ(got.preset, want.preset);
+  EXPECT_EQ(got.seed, want.seed);
+  EXPECT_EQ(got.section_batch, want.section_batch);
+  EXPECT_EQ(got.section_batches, want.section_batches);
+  EXPECT_EQ(got.force, want.force);
+  EXPECT_EQ(got.workers, want.workers);
+  EXPECT_EQ(got.flush_every, want.flush_every);
+  EXPECT_EQ(got.timeout_ms, want.timeout_ms);
+  EXPECT_EQ(got.quarantine_after, want.quarantine_after);
+
+  // open() compacts the file; the rewritten submit record must preserve
+  // the job kind and the recompute-only fields.
+  {
+    JobLedger ledger;
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+    ledger.close();
+  }
+  const auto after = JobLedger::replay_file(path_);
+  ASSERT_EQ(after.pending.size(), 2u);
+  ASSERT_EQ(after.pending[1].kind, JobKind::kRecompute);
+  EXPECT_EQ(after.pending[1].recompute.section_batches, "iterations=96");
+  EXPECT_TRUE(after.pending[1].recompute.force);
+}
+
+TEST_F(LedgerTest, PreRecomputeSubmitRecordReplaysAsCampaign) {
+  // A submit payload that stops at the eighth request field is exactly what
+  // ledgers written before recompute jobs existed contain; it must replay
+  // as a campaign job, not be rejected for missing trailing fields.
+  {
+    JobLedger ledger;  // writes the preamble
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+  }
+  util::BinaryWriter payload;
+  payload.put_u64(9);  // job id
+  payload.put_u64(static_cast<std::uint64_t>(JobState::kSubmitted));
+  payload.put_string("daxpy");
+  payload.put_string("tiny");
+  payload.put_u64(1);    // seed
+  payload.put_u64(123);  // batch
+  payload.put_u64(3);    // workers
+  payload.put_u64(17);   // flush_every
+  payload.put_u64(999);  // timeout_ms
+  payload.put_u64(5);    // quarantine_after
+  append_raw(frame(payload.buffer()));
+
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_EQ(replay.torn_records, 0u);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].kind, JobKind::kCampaign);
+  EXPECT_EQ(replay.pending[0].req.kernel, "daxpy");
+  EXPECT_EQ(replay.pending[0].req.batch, 123u);
+  EXPECT_EQ(replay.next_job_id, 10u);
+}
+
+TEST_F(LedgerTest, InvalidSubmitKindIsDiagnosedNotTrusted) {
+  // A trailing kind that is neither absent nor kRecompute is a malformed
+  // record: replay must drop it with a diagnostic instead of guessing.
+  {
+    JobLedger ledger;  // writes the preamble
+    ASSERT_TRUE(ledger.open(path_, nullptr));
+  }
+  util::BinaryWriter payload;
+  payload.put_u64(4);
+  payload.put_u64(static_cast<std::uint64_t>(JobState::kSubmitted));
+  payload.put_string("cg");
+  payload.put_string("tiny");
+  for (int i = 0; i < 6; ++i) payload.put_u64(1);
+  payload.put_u64(99);  // bogus kind
+  payload.put_string("");
+  payload.put_u64(0);
+  append_raw(frame(payload.buffer()));
+
+  const auto replay = JobLedger::replay_file(path_);
+  EXPECT_TRUE(replay.pending.empty());
+  EXPECT_EQ(replay.torn_records, 1u);
+  ASSERT_FALSE(replay.diagnostics.empty());
+  EXPECT_NE(replay.diagnostics[0].find("invalid submit kind"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -258,10 +258,94 @@ TEST(Protocol, CampaignStreamRoundTrip) {
   });
 }
 
+TEST(Protocol, SubmitRecomputeRoundTrip) {
+  SubmitRecomputeReq req;
+  req.kernel = "cg";
+  req.preset = "tiny";
+  req.seed = 3;
+  req.section_batch = 64;
+  req.section_batches = "iterations=96,setup=32";
+  req.force = true;
+  req.workers = 4;
+  req.flush_every = 128;
+  req.timeout_ms = 1500;
+  req.quarantine_after = 2;
+  const net::Frame frame = make_submit_recompute(req);
+  const auto decoded = parse_submit_recompute(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kernel, "cg");
+  EXPECT_EQ(decoded->preset, "tiny");
+  EXPECT_EQ(decoded->seed, 3u);
+  EXPECT_EQ(decoded->section_batch, 64u);
+  EXPECT_EQ(decoded->section_batches, "iterations=96,setup=32");
+  EXPECT_TRUE(decoded->force);
+  EXPECT_EQ(decoded->workers, 4u);
+  EXPECT_EQ(decoded->flush_every, 128u);
+  EXPECT_EQ(decoded->timeout_ms, 1500u);
+  EXPECT_EQ(decoded->quarantine_after, 2u);
+  expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
+    return parse_submit_recompute(f, e);
+  });
+}
+
+TEST(Protocol, SubmitRecomputeRejectsZeroSectionBatch) {
+  SubmitRecomputeReq req;
+  req.kernel = "cg";
+  req.section_batch = 0;
+  std::string error;
+  EXPECT_FALSE(
+      parse_submit_recompute(make_submit_recompute(req), &error).has_value());
+  EXPECT_NE(error.find("batch"), std::string::npos) << error;
+}
+
+TEST(Protocol, RecomputeDoneRoundTrip) {
+  RecomputeDone done;
+  done.job = 7;
+  done.ok = true;
+  done.store_key = "cg@tiny@1";
+  done.executed = 96;
+  done.sections = 3;
+  done.dirty = {"iterations"};
+  done.reused = {"zero-init", "setup"};
+  const net::Frame frame = make_recompute_done(done);
+  const auto decoded = parse_recompute_done(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_FALSE(decoded->stopped);
+  EXPECT_EQ(decoded->store_key, "cg@tiny@1");
+  EXPECT_EQ(decoded->executed, 96u);
+  EXPECT_EQ(decoded->sections, 3u);
+  EXPECT_EQ(decoded->dirty, std::vector<std::string>{"iterations"});
+  EXPECT_EQ(decoded->reused, (std::vector<std::string>{"zero-init", "setup"}));
+  expect_framing_discipline(frame, [](const net::Frame& f, std::string* e) {
+    return parse_recompute_done(f, e);
+  });
+}
+
+TEST(Protocol, RecomputeDoneRejectsForgedSectionCount) {
+  // A forged dirty-section count larger than the remaining payload must be
+  // rejected before any allocation, same as the worker-frame count guards.
+  RecomputeDone done;
+  done.job = 1;
+  done.dirty = {"a"};
+  net::Frame frame = make_recompute_done(done);
+  // Every field ahead of the dirty count is a u64 (bools and string length
+  // prefixes included): job, ok, stopped, empty error, empty store_key,
+  // executed, sections.
+  const std::size_t count_offset = 7 * 8;
+  ASSERT_GT(frame.payload.size(), count_offset + 8);
+  frame.payload[count_offset] = 0xff;  // count becomes absurd
+  std::string error;
+  EXPECT_FALSE(parse_recompute_done(frame, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(Protocol, TypeNamesAreStable) {
   EXPECT_STREQ(to_string(MsgType::kPing), "Ping");
   EXPECT_STREQ(to_string(MsgType::kSubmitCampaign), "SubmitCampaign");
   EXPECT_STREQ(to_string(MsgType::kShutdownOk), "ShutdownOk");
+  EXPECT_STREQ(to_string(MsgType::kSubmitRecompute), "SubmitRecompute");
+  EXPECT_STREQ(to_string(MsgType::kRecomputeDone), "RecomputeDone");
 }
 
 }  // namespace

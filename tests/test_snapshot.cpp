@@ -259,6 +259,89 @@ void expect_same_result(const ExperimentResult& snap,
   EXPECT_EQ(snap.detector_fired, classic.detector_fired) << tag;
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint planning: density-aware slot placement (bench/micro_supervisor
+// measures the speedup; these tests pin the placement contract).
+// ---------------------------------------------------------------------------
+
+TEST(PlanCheckpoints, UniformGridWithoutHints) {
+  const ProgramPtr program = kernels::make_program("cg", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  SnapshotOptions options;
+  options.interval = 100;
+  options.max_checkpoints = 64;
+  const std::vector<std::uint64_t> plan = plan_checkpoints(golden, options);
+
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.front(), 0u);  // the pre-run checkpoint always exists
+  EXPECT_TRUE(std::is_sorted(plan.begin(), plan.end()));
+  // Every phase edge and every interval multiple below the trace end shows
+  // up (the plan is under the cap, so nothing is thinned).
+  for (const PhaseMark& mark : golden.phases) {
+    EXPECT_NE(std::find(plan.begin(), plan.end(), mark.begin), plan.end())
+        << "phase edge " << mark.begin;
+  }
+  for (std::uint64_t s = 100; s < golden.trace.size(); s += 100) {
+    EXPECT_NE(std::find(plan.begin(), plan.end(), s), plan.end())
+        << "grid site " << s;
+  }
+}
+
+TEST(PlanCheckpoints, DensityHintsConcentrateSlotsWhereSitesAre) {
+  const ProgramPtr program = kernels::make_program("cg", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  const std::uint64_t total = golden.trace.size();
+
+  // All pending experiments live in the last quarter of the trace (the
+  // late-site regime snapshots exist for).
+  SnapshotOptions options;
+  options.max_checkpoints = 12;
+  for (std::uint64_t s = total - total / 4; s < total; s += 3) {
+    options.site_hints.push_back(s);
+  }
+  const std::vector<std::uint64_t> plan = plan_checkpoints(golden, options);
+
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.front(), 0u);
+  EXPECT_LE(plan.size(), options.max_checkpoints);
+  EXPECT_TRUE(std::is_sorted(plan.begin(), plan.end()));
+  // The non-mandatory slots all land inside the hinted region: nothing from
+  // the uniform grid in the dead first three quarters.
+  std::size_t inside = 0;
+  for (std::uint64_t site : plan) {
+    if (site >= total - total / 4) ++inside;
+  }
+  EXPECT_GE(inside, plan.size() - 1 - golden.phases.size());
+  // Hint quantiles include the extremes, so the budget spans the region.
+  EXPECT_EQ(plan.back(), options.site_hints.back());
+}
+
+TEST(PlanCheckpoints, OutOfRangeHintsFallBackToUniformGrid) {
+  const ProgramPtr program = kernels::make_program("cg", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  SnapshotOptions options;
+  options.interval = 200;
+  // Every hint is past the end of the trace: filtered out, so the plan
+  // must match the no-hints uniform grid exactly.
+  options.site_hints = {golden.trace.size(), golden.trace.size() + 7};
+  const std::vector<std::uint64_t> hinted = plan_checkpoints(golden, options);
+  options.site_hints.clear();
+  EXPECT_EQ(hinted, plan_checkpoints(golden, options));
+}
+
+TEST(PlanCheckpoints, CapThinsButKeepsInstructionZero) {
+  const ProgramPtr program = kernels::make_program("cg", kernels::Preset::kTiny);
+  const GoldenRun golden = run_golden(*program);
+  SnapshotOptions options;
+  options.interval = 8;  // far more grid sites than the cap allows
+  options.max_checkpoints = 5;
+  const std::vector<std::uint64_t> plan = plan_checkpoints(golden, options);
+  EXPECT_LE(plan.size(), 5u);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.front(), 0u);
+  EXPECT_TRUE(std::is_sorted(plan.begin(), plan.end()));
+}
+
 TEST(SnapshotServer, SupportedOnThisPlatform) {
   EXPECT_TRUE(snapshot_supported());
 }

@@ -15,7 +15,10 @@
 //            [--budget F | --target R]
 //
 // Common flags: --preset tiny|default|paper, --seed S.
+#include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "boundary/exhaustive.h"
@@ -30,6 +33,9 @@
 #include "campaign/log.h"
 #include "campaign/sampler.h"
 #include "campaign/supervisor.h"
+#include "sections/compose.h"
+#include "sections/driver.h"
+#include "sections/section.h"
 #include "telemetry/events.h"
 #include "telemetry/export.h"
 #include "util/rng.h"
@@ -186,6 +192,17 @@ int cmd_infer(const util::Cli& cli) {
         cli.has("workers") || cli.has("quarantine-after");
     options.supervisor.pool.workers = cli.get_int("workers", 4);
     options.supervisor.quarantine_after = cli.get_int("quarantine-after", 3);
+    // --snapshot serves each refinement round from the copy-on-write
+    // fork-server inside the pool workers (fi/snapshot.h), so late-site
+    // rounds stop replaying the whole prefix.  It needs the supervisor, so
+    // it forces one on; the records and boundary stay byte-identical to
+    // the classic supervisor path (tests/test_adaptive.cpp pins this).
+    if (cli.get_bool("snapshot", cli.has("snapshot-every"))) {
+      options.use_supervisor = true;
+      options.supervisor.pool.use_snapshots = true;
+      options.supervisor.pool.snapshot.interval =
+          static_cast<std::uint64_t>(cli.get_int("snapshot-every", 4096));
+    }
     options.telemetry = tele;
     const campaign::AdaptiveResult result =
         campaign::infer_adaptive(*k.program, k.golden, options, pool);
@@ -520,6 +537,234 @@ int cmd_campaign(const util::Cli& cli) {
   return saved != 0 ? saved : exported;
 }
 
+sections::CarveOptions carve_options(const util::Cli& cli) {
+  sections::CarveOptions carve;
+  carve.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  carve.batch_per_section =
+      static_cast<std::uint64_t>(cli.get_int("section-batch", 256));
+  carve.batch_overrides = cli.get("section-batches");
+  return carve;
+}
+
+/// Journal/artifact stem for a compositional campaign: pure function of
+/// (kernel, preset, seed), so a re-invocation resumes the same files.
+std::string compose_stem(const util::Cli& cli) {
+  return sections::sanitize_section_name(cli.get("kernel", "cg")) + "-" +
+         cli.get("preset", "default") + "-s" +
+         std::to_string(cli.get_int("seed", 1));
+}
+
+/// Shows the section carve: ranges, signatures, fingerprints, budgets --
+/// and, against an existing composed artifact (--artifact FILE), which
+/// sections an incremental recompute would treat as dirty.
+int cmd_sections(const util::Cli& cli) {
+  const Loaded k = load_kernel(cli);
+  const sections::SectionPlan plan = sections::carve_sections(
+      k.program->config_key(), k.golden, carve_options(cli));
+
+  std::optional<sections::ComposedArtifact> previous;
+  const std::string artifact_path = cli.get("artifact");
+  if (!artifact_path.empty()) {
+    std::string error;
+    previous = sections::load_composed(artifact_path, "", &error);
+    if (!previous) {
+      std::printf("previous artifact : none usable (%s)\n", error.c_str());
+    }
+  }
+
+  std::printf("kernel            : %s (%s)\n", k.program->name().c_str(),
+              k.program->config_key().c_str());
+  std::printf("sections          : %zu over %llu dynamic instructions\n",
+              plan.sections.size(),
+              static_cast<unsigned long long>(plan.total_sites));
+  util::Table table({"section", "range", "batch", "fingerprint", "status"});
+  for (const sections::SectionSpec& spec : plan.sections) {
+    std::string status = "new";
+    if (previous) {
+      const sections::SectionRecord* record = previous->find(spec.name);
+      if (record == nullptr) {
+        status = "new";
+      } else if (record->spec.fingerprint == spec.fingerprint) {
+        status = "clean";
+      } else {
+        status = "dirty";
+      }
+    }
+    table.add_row({spec.name,
+                   util::format("[%llu, %llu)",
+                                static_cast<unsigned long long>(spec.begin),
+                                static_cast<unsigned long long>(spec.end)),
+                   std::to_string(spec.batch),
+                   util::format("%016llx",
+                                static_cast<unsigned long long>(
+                                    spec.fingerprint)),
+                   status});
+  }
+  std::fputs(table.render("section plan").c_str(), stdout);
+  return 0;
+}
+
+volatile std::sig_atomic_t g_compose_stop = 0;
+void compose_stop_handler(int) { g_compose_stop = 1; }
+
+/// Compositional campaign: per-section checkpointed campaigns, error-bound
+/// composition, incremental recompute against --artifact.  SIGTERM/SIGINT
+/// drain between chunks, leaving every per-section journal resumable.
+int cmd_compose(const util::Cli& cli) {
+  telemetry::Telemetry* const tele = setup_telemetry(cli);
+  const Loaded k = load_kernel(cli, tele);
+  const std::string artifact_path = cli.get("artifact");
+  if (artifact_path.empty()) {
+    std::fprintf(stderr, "error: compose requires --artifact FILE\n");
+    return 1;
+  }
+
+  sections::SectionCampaignOptions options;
+  options.store_dir = cli.get("store-dir", ".");
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(options.store_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create store dir %s: %s\n",
+                   options.store_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+  options.stem = compose_stem(cli);
+  options.kernel = cli.get("kernel", "cg");
+  options.preset = cli.get("preset", "default");
+  options.carve = carve_options(cli);
+  options.flush_every =
+      static_cast<std::size_t>(cli.get_int("flush-every", 256));
+  options.force = cli.get_bool("force", false);
+  options.filter = cli.get_bool("filter", true);
+  options.edge_window =
+      static_cast<std::uint64_t>(cli.get_int("edge-window", 16));
+  options.telemetry = tele;
+  options.use_supervisor = cli.has("workers") || cli.has("quarantine-after");
+  options.supervisor.pool.workers = cli.get_int("workers", 4);
+  options.supervisor.quarantine_after = cli.get_int("quarantine-after", 3);
+  if (cli.get_bool("snapshot", cli.has("snapshot-every"))) {
+    options.use_supervisor = true;
+    options.supervisor.pool.use_snapshots = true;
+    options.supervisor.pool.snapshot.interval =
+        static_cast<std::uint64_t>(cli.get_int("snapshot-every", 4096));
+  }
+
+  g_compose_stop = 0;
+  std::signal(SIGTERM, compose_stop_handler);
+  std::signal(SIGINT, compose_stop_handler);
+  options.should_stop = [] { return g_compose_stop != 0; };
+  options.on_progress = [](const std::string& section,
+                           const campaign::CheckpointProgress& progress) {
+    if (progress.chunk.empty()) return;
+    std::printf("  [%s] %llu/%llu experiments journaled\n", section.c_str(),
+                static_cast<unsigned long long>(progress.executed),
+                static_cast<unsigned long long>(progress.total));
+  };
+
+  // Incremental by default: a previous artifact at --artifact seeds the
+  // fingerprint diff.  A file that exists but does not parse for this
+  // config is an error (--force recomputes everything from scratch).
+  std::optional<sections::ComposedArtifact> previous;
+  {
+    std::string error;
+    previous =
+        sections::load_composed(artifact_path, k.program->config_key(), &error);
+    if (!previous && error.find("cannot open") == std::string::npos &&
+        !options.force) {
+      std::fprintf(stderr,
+                   "error: %s (pass --force to rebuild from scratch)\n",
+                   error.c_str());
+      return 1;
+    }
+  }
+
+  const sections::SectionCampaignResult result = sections::run_section_campaigns(
+      *k.program, k.golden, previous ? &*previous : nullptr, options);
+  if (result.stopped) {
+    std::printf("drained           : %llu experiments journaled; re-run to "
+                "resume\n",
+                static_cast<unsigned long long>(result.executed));
+    return 2;
+  }
+
+  if (!sections::save_composed(result.artifact, artifact_path)) {
+    std::fprintf(stderr, "error: could not write %s\n", artifact_path.c_str());
+    return 1;
+  }
+  std::printf("sections          : %zu recomputed, %zu reused, %llu "
+              "experiments run\n",
+              result.dirty.size(), result.reused.size(),
+              static_cast<unsigned long long>(result.executed));
+
+  util::Table table(
+      {"section", "range", "exit bound", "entry tol", "scale", "outcomes"});
+  for (std::size_t i = 0; i < result.artifact.sections.size(); ++i) {
+    const sections::SectionRecord& record = result.artifact.sections[i];
+    table.add_row(
+        {record.spec.name,
+         util::format("[%llu, %llu)",
+                      static_cast<unsigned long long>(record.spec.begin),
+                      static_cast<unsigned long long>(record.spec.end)),
+         util::format("%.3g", record.exit_bound),
+         util::format("%.3g", record.entry_tolerance),
+         util::format("%.3g", result.artifact.edge_scale(i)),
+         util::format("m%llu/s%llu/c%llu/h%llu/d%llu",
+                      static_cast<unsigned long long>(record.masked),
+                      static_cast<unsigned long long>(record.sdc),
+                      static_cast<unsigned long long>(record.crash),
+                      static_cast<unsigned long long>(record.hang),
+                      static_cast<unsigned long long>(record.detected))});
+  }
+  std::fputs(table.render("composed sections").c_str(), stdout);
+
+  const boundary::FaultToleranceBoundary composed = result.artifact.compose();
+  describe_boundary(composed, k);
+  std::printf("artifact saved to %s\n", artifact_path.c_str());
+
+  // --verify: one monolithic campaign over the union of the per-section id
+  // sets -- same experiments, one accumulator -- then the agreement
+  // statistics EXPERIMENTS.md's recipe reads.  Per-section accumulators see
+  // a subset of the monolithic evidence, so the composed boundary must be
+  // pointwise conservative: `optimistic sites` is 0 on a correct splice.
+  if (cli.get_bool("verify", false)) {
+    util::ThreadPool& pool = util::default_pool();
+    const sections::SectionPlan plan = sections::carve_sections(
+        k.program->config_key(), k.golden, options.carve);
+    std::vector<campaign::ExperimentId> ids;
+    for (const sections::SectionSpec& spec : plan.sections) {
+      const auto batch = sections::section_sample_ids(spec, plan.seed);
+      ids.insert(ids.end(), batch.begin(), batch.end());
+    }
+    campaign::CampaignLog log(k.program->config_key());
+    log.append(campaign::run_experiments(*k.program, k.golden, ids, pool));
+    log.dedupe();
+    const boundary::FaultToleranceBoundary monolithic =
+        campaign::boundary_from_log(*k.program, k.golden, log,
+                                    {options.filter, 32}, pool);
+    const sections::CompositionCheck check =
+        sections::compare_boundaries(composed, monolithic, log.records());
+    std::printf("verify            : %llu probes, %s prediction agreement\n",
+                static_cast<unsigned long long>(check.probes),
+                util::percent(check.agreement()).c_str());
+    std::printf("informed overlap  : %llu common, %llu composed-only, %llu "
+                "monolithic-only\n",
+                static_cast<unsigned long long>(check.common_informed),
+                static_cast<unsigned long long>(check.composed_only),
+                static_cast<unsigned long long>(check.monolithic_only));
+    std::printf("threshold deltas  : mean %.3g, max %.3g (relative, common "
+                "informed sites); %llu optimistic sites (must be 0)\n",
+                check.mean_rel_delta, check.max_rel_delta,
+                static_cast<unsigned long long>(check.composed_optimistic));
+    print_outcomes(log.records());
+  }
+
+  const int saved = save_if_requested(cli, composed, k);
+  const int exported = export_telemetry(cli);
+  return saved != 0 ? saved : exported;
+}
+
 int cmd_exhaustive(const util::Cli& cli) {
   const Loaded k = load_kernel(cli);
   util::ThreadPool& pool = util::default_pool();
@@ -613,6 +858,8 @@ int main(int argc, char** argv) {
     if (command == "infer") return cmd_infer(cli);
     if (command == "exhaustive") return cmd_exhaustive(cli);
     if (command == "campaign") return cmd_campaign(cli);
+    if (command == "sections") return cmd_sections(cli);
+    if (command == "compose") return cmd_compose(cli);
     if (command == "report") return cmd_report(cli);
     if (command == "protect") return cmd_protect(cli);
   } catch (const std::exception& error) {
@@ -649,6 +896,23 @@ int main(int argc, char** argv) {
       "              model (--burst-width K, default 2): burst = K\n"
       "              contiguous bits of a traced value, mem/memburst =\n"
       "              bits of live matrix/vector state between phases\n"
+      "  sections    show the section carve (ranges, signatures,\n"
+      "              fingerprints, --section-batch N budgets,\n"
+      "              --section-batches name=N,... overrides); with\n"
+      "              --artifact FILE, mark which sections an incremental\n"
+      "              recompute would treat as dirty\n"
+      "  compose     compositional campaign: per-section checkpointed\n"
+      "              campaigns -> error-bound composition -> whole-program\n"
+      "              boundary.  Incremental against --artifact FILE\n"
+      "              (fingerprint diff; only dirty sections re-run, --force\n"
+      "              recomputes all).  --store-dir DIR holds per-section\n"
+      "              journals; SIGTERM/SIGINT drains to resumable journals.\n"
+      "              Same isolation flags as campaign (--workers,\n"
+      "              --quarantine-after, --snapshot, --snapshot-every);\n"
+      "              --verify re-runs the union of the section id sets as\n"
+      "              one monolithic campaign and reports agreement (the\n"
+      "              composed boundary must be pointwise conservative);\n"
+      "              --save FILE writes the composed boundary artifact\n"
       "  report      per-phase vulnerability report (--load FILE)\n"
       "  protect     selective-protection plan (--load FILE, --budget F or\n"
       "              --target R)\n\n"

@@ -296,6 +296,107 @@ int cmd_submit(net::Client& client, const util::Cli& cli) {
   }
 }
 
+/// Streams one accepted job's CampaignProgress frames and the terminal
+/// RecomputeDone.  Shares the submit command's Busy retry discipline.
+int cmd_recompute(net::Client& client, const util::Cli& cli) {
+  service::SubmitRecomputeReq req;
+  req.kernel = cli.get("kernel");
+  req.preset = cli.get("preset", "tiny");
+  req.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  req.section_batch =
+      static_cast<std::uint64_t>(cli.get_int("section-batch", 256));
+  req.section_batches = cli.get("section-batches");
+  req.force = cli.get_bool("force");
+  req.workers = static_cast<std::uint32_t>(cli.get_int("workers", 2));
+  req.flush_every =
+      static_cast<std::uint32_t>(cli.get_int("flush-every", 256));
+  req.timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("timeout-ms", 2000));
+  req.quarantine_after =
+      static_cast<std::uint32_t>(cli.get_int("quarantine-after", 3));
+  if (req.kernel.empty()) return fail("--kernel is required");
+
+  std::string error;
+  if (!client.connect(&error)) return fail(error);
+  std::optional<net::Frame> accepted_frame;
+  std::uint32_t backoff_ms = g_busy_retry.initial_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    if (!client.send(service::make_submit_recompute(req), &error)) {
+      return fail(error);
+    }
+    accepted_frame = client.recv(&error);
+    if (!accepted_frame.has_value()) return fail(error);
+    const auto busy = service::parse_busy(*accepted_frame);
+    if (!busy.has_value()) break;
+    if (attempt >= g_busy_retry.max_retries) {
+      return fail_reply(*accepted_frame);
+    }
+    const std::uint64_t sleep_ms =
+        std::max<std::uint64_t>(busy->retry_after_ms, backoff_ms);
+    std::fprintf(stderr, "busy: %s; retrying in %llu ms\n",
+                 busy->message.c_str(),
+                 static_cast<unsigned long long>(sleep_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(std::uint64_t{backoff_ms} * 2, 60'000));
+  }
+  const auto accepted = service::parse_campaign_accepted(*accepted_frame);
+  if (!accepted.has_value()) return fail_reply(*accepted_frame);
+  std::printf("accepted: recompute job %llu (%u ahead in queue)\n",
+              static_cast<unsigned long long>(accepted->job),
+              accepted->queue_depth);
+  if (cli.get_bool("no-wait")) return 0;
+
+  const auto wait_ms =
+      static_cast<std::uint32_t>(cli.get_int("wait-ms", 600000));
+  for (;;) {
+    const auto frame = client.recv(&error, wait_ms);
+    if (!frame.has_value()) return fail(error);
+    if (const auto progress = service::parse_campaign_progress(*frame)) {
+      std::printf("progress: %llu/%llu executed, %llu logged "
+                  "(masked %llu sdc %llu detected %llu crash %llu hang "
+                  "%llu)\n",
+                  static_cast<unsigned long long>(progress->done),
+                  static_cast<unsigned long long>(progress->total),
+                  static_cast<unsigned long long>(progress->logged),
+                  static_cast<unsigned long long>(progress->masked),
+                  static_cast<unsigned long long>(progress->sdc),
+                  static_cast<unsigned long long>(progress->detected),
+                  static_cast<unsigned long long>(progress->crash),
+                  static_cast<unsigned long long>(progress->hang));
+      continue;
+    }
+    if (const auto done = service::parse_recompute_done(*frame)) {
+      if (done->ok) {
+        std::printf("done: recompute job %llu ok; %llu experiments, "
+                    "%llu sections (%zu dirty, %zu reused); boundary "
+                    "published as %s\n",
+                    static_cast<unsigned long long>(done->job),
+                    static_cast<unsigned long long>(done->executed),
+                    static_cast<unsigned long long>(done->sections),
+                    done->dirty.size(), done->reused.size(),
+                    done->store_key.c_str());
+        for (const std::string& name : done->dirty) {
+          std::printf("  dirty : %s\n", name.c_str());
+        }
+        for (const std::string& name : done->reused) {
+          std::printf("  reused: %s\n", name.c_str());
+        }
+        return 0;
+      }
+      if (done->stopped) {
+        std::printf("stopped: recompute job %llu drained; %s\n",
+                    static_cast<unsigned long long>(done->job),
+                    done->error.c_str());
+        return 2;
+      }
+      return fail("recompute job " + std::to_string(done->job) +
+                  " failed: " + done->error);
+    }
+    return fail_reply(*frame);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -325,19 +426,26 @@ int main(int argc, char** argv) {
   if (command == "stats") return cmd_stats(client);
   if (command == "shutdown") return cmd_shutdown(client);
   if (command == "submit") return cmd_submit(client, cli);
+  if (command == "recompute") return cmd_recompute(client, cli);
 
   if (!command.empty() && command != "help") {
     std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   }
   std::fprintf(stderr,
                "usage: ftb_client <ping|list|predict|site|report|stats|"
-               "submit|shutdown> --port N [options]\n"
+               "submit|recompute|shutdown> --port N [options]\n"
                "  predict: --key K --site S --bit B\n"
                "  site:    --key K --site S\n"
                "  report:  --key K\n"
                "  submit:  --kernel NAME [--preset tiny] [--seed 1] "
                "[--batch 1000]\n"
                "           [--workers 2] [--flush-every 512] [--no-wait]\n"
+               "  recompute: --kernel NAME [--preset tiny] [--seed 1]\n"
+               "           [--section-batch 256] [--section-batches n=N,...]\n"
+               "           [--force] (per-section campaigns; only "
+               "fingerprint-dirty\n"
+               "           sections re-run against the server's stored "
+               "composed artifact)\n"
                "  common:  [--deadline-ms 0] (server sheds overdue queries)\n"
                "           [--busy-retries 4] (backoff on Busy; exit 3 when "
                "still busy)\n");
